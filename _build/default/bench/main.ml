@@ -1,0 +1,150 @@
+(* EnCore benchmark harness.
+
+   Phase 1 regenerates every quantitative table of the paper's
+   evaluation at paper scale (the reproduction itself: compare each
+   printed table against the corresponding one in the paper, shapes are
+   annotated under each).
+
+   Phase 2 times the system with Bechamel: one Test.make per paper
+   table plus micro-benchmarks of the pipeline stages (parse, assemble,
+   type inference, rule inference, detection, FP-Growth).  The timing
+   tests run at test scale so the whole exe stays in CI territory.
+
+   Run with: dune exec bench/main.exe
+   Skip timing with: dune exec bench/main.exe -- --tables-only *)
+
+open Bechamel
+open Toolkit
+
+module Experiments = Encore.Experiments
+module Population = Encore_workloads.Population
+module Profile = Encore_workloads.Profile
+module Image = Encore_sysenv.Image
+module Assemble = Encore_dataset.Assemble
+module Detector = Encore_detect.Detector
+
+(* --- phase 1: regenerate the paper's tables ------------------------------- *)
+
+let print_tables () =
+  print_endline "=== EnCore (ASPLOS 2014) - reproduced evaluation tables ===\n";
+  List.iter
+    (fun t ->
+      print_endline (Experiments.render t);
+      print_newline ())
+    (Experiments.all ~scale:Experiments.paper_scale ());
+  print_endline "=== Ablation studies (beyond the paper) ===\n";
+  List.iter
+    (fun t ->
+      print_endline (Experiments.render t);
+      print_newline ())
+    (Encore.Ablation.all ~scale:Experiments.paper_scale ())
+
+(* --- phase 2: bechamel timing ---------------------------------------------- *)
+
+let scale = Experiments.test_scale
+
+(* shared fixtures, built once so the timed closures measure the
+   interesting work only *)
+let fixture_images =
+  lazy (Population.clean (Population.generate ~seed:7 Image.Mysql ~n:25))
+
+let fixture_model = lazy (Detector.learn (Lazy.force fixture_images))
+
+let fixture_assembled =
+  lazy (Assemble.assemble_training (Lazy.force fixture_images))
+
+let fixture_target =
+  lazy
+    (Population.generator_for Image.Mysql Profile.ec2
+       (Encore_util.Prng.create 4242) ~id:"bench-target")
+
+let fixture_transactions =
+  lazy
+    (let assembled = Lazy.force fixture_assembled in
+     Encore_dataset.Discretize.transactions assembled.Assemble.table)
+
+let table_tests =
+  [ Test.make ~name:"table1" (Staged.stage (fun () -> Experiments.table1 ()));
+    Test.make ~name:"table2" (Staged.stage (fun () -> Experiments.table2 ~scale ()));
+    Test.make ~name:"table3" (Staged.stage (fun () -> Experiments.table3 ~scale ()));
+    Test.make ~name:"table8" (Staged.stage (fun () -> Experiments.table8 ~scale ()));
+    Test.make ~name:"table9" (Staged.stage (fun () -> Experiments.table9 ~scale ()));
+    Test.make ~name:"table10" (Staged.stage (fun () -> Experiments.table10 ~scale ()));
+    Test.make ~name:"table11" (Staged.stage (fun () -> Experiments.table11 ~scale ()));
+    Test.make ~name:"table12" (Staged.stage (fun () -> Experiments.table12 ~scale ()));
+    Test.make ~name:"table13" (Staged.stage (fun () -> Experiments.table13 ~scale ())) ]
+
+let stage_tests =
+  [ Test.make ~name:"parse-image"
+      (Staged.stage (fun () ->
+           Encore_confparse.Registry.parse_image (Lazy.force fixture_target)));
+    Test.make ~name:"assemble-training-25"
+      (Staged.stage (fun () -> Assemble.assemble_training (Lazy.force fixture_images)));
+    Test.make ~name:"rule-inference-25"
+      (Staged.stage (fun () ->
+           let assembled = Lazy.force fixture_assembled in
+           let images = Lazy.force fixture_images in
+           let training =
+             List.map2
+               (fun img (_, row) -> (img, row))
+               images
+               (Encore_dataset.Table.rows assembled.Assemble.table)
+           in
+           Encore_rules.Infer.infer ~types:assembled.Assemble.types training));
+    Test.make ~name:"detector-check"
+      (Staged.stage (fun () ->
+           Detector.check (Lazy.force fixture_model) (Lazy.force fixture_target)));
+    Test.make ~name:"fpgrowth-assembled"
+      (Staged.stage (fun () ->
+           let transactions, _ = Lazy.force fixture_transactions in
+           Encore_mining.Fpgrowth.count_only ~max_itemsets:20_000
+             ~min_support:(Array.length transactions * 6 / 10)
+             transactions));
+    Test.make ~name:"generate-image"
+      (Staged.stage (fun () ->
+           Population.generator_for Image.Mysql Profile.ec2
+             (Encore_util.Prng.create 1) ~id:"g"));
+    Test.make ~name:"model-serialize"
+      (Staged.stage (fun () ->
+           Encore_detect.Model_io.to_string (Lazy.force fixture_model)));
+    Test.make ~name:"testgen-all-rules"
+      (Staged.stage (fun () ->
+           Encore.Testgen.generate (Lazy.force fixture_model)
+             (Lazy.force fixture_target))) ]
+
+let run_benchmarks () =
+  (* force fixtures outside the timed region *)
+  ignore (Lazy.force fixture_images);
+  ignore (Lazy.force fixture_model);
+  ignore (Lazy.force fixture_assembled);
+  ignore (Lazy.force fixture_target);
+  ignore (Lazy.force fixture_transactions);
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let tests =
+    Test.make_grouped ~name:"encore" ~fmt:"%s/%s" (table_tests @ stage_tests)
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "=== Bechamel timings (monotonic clock, ns/run) ===";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ estimate ] -> rows := (name, estimate) :: !rows
+      | Some _ | None -> ())
+    results;
+  List.iter
+    (fun (name, ns) ->
+      Printf.printf "  %-32s %12.0f ns/run  (%8.3f ms)\n" name ns (ns /. 1e6))
+    (List.sort compare !rows)
+
+let () =
+  let tables_only = Array.exists (fun a -> a = "--tables-only") Sys.argv in
+  print_tables ();
+  if not tables_only then run_benchmarks ()

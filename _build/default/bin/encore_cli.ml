@@ -1,0 +1,400 @@
+(* encore-cli: command-line interface to the EnCore reproduction.
+
+   Subcommands:
+     generate     synthesize an image population and dump one config
+     learn        learn a model from a population and print its rules
+     check        learn, misconfigure a held-out image, and report
+     inject       run a ConfErr-style campaign and show the ground truth
+     experiment   regenerate one (or all) of the paper's tables
+     ablation     run a design-choice ablation study
+     case         reproduce one of the ten Table 9 real-world cases
+     study        print the Table 1 catalog study
+     export       write the assembled attribute table as CSV
+     save         learn a model and serialize it to a file
+     load-check   load a serialized model and check an image (--advise)
+     testgen      generate rule-violating configuration test cases *)
+
+module Population = Encore_workloads.Population
+module Profile = Encore_workloads.Profile
+module Detector = Encore_detect.Detector
+module Report = Encore_detect.Report
+module Image = Encore_sysenv.Image
+module Conferr = Encore_inject.Conferr
+module Fault = Encore_inject.Fault
+
+open Cmdliner
+
+(* --- shared arguments --------------------------------------------------- *)
+
+let app_conv =
+  let parse s =
+    match Image.app_of_string s with
+    | Some app -> Ok app
+    | None -> Error (`Msg (Printf.sprintf "unknown application %S" s))
+  in
+  Arg.conv (parse, fun fmt app -> Format.pp_print_string fmt (Image.app_to_string app))
+
+let app_arg =
+  Arg.(value & opt app_conv Image.Mysql
+       & info [ "a"; "app" ] ~docv:"APP" ~doc:"Application: apache, mysql, php or sshd.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic master seed.")
+
+let count_arg default =
+  Arg.(value & opt int default
+       & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of images.")
+
+let profile_conv =
+  let parse = function
+    | "ec2" -> Ok Profile.ec2
+    | "private-cloud" | "cloud" -> Ok Profile.private_cloud
+    | "uniform" -> Ok Profile.uniform
+    | s -> Error (`Msg (Printf.sprintf "unknown profile %S" s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt p.Profile.label)
+
+let profile_arg =
+  Arg.(value & opt profile_conv Profile.ec2
+       & info [ "profile" ] ~docv:"PROFILE" ~doc:"Population profile: ec2, private-cloud or uniform.")
+
+let custom_arg =
+  Arg.(value & opt (some file) None
+       & info [ "custom" ] ~docv:"FILE" ~doc:"Customization file (Figure 6 format).")
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let learn_model ?custom ~seed ~profile app n =
+  let images = Population.clean (Population.generate ~profile ~seed app ~n) in
+  let custom = Option.map read_file custom in
+  (Encore.Pipeline.learn ?custom images, List.length images)
+
+(* --- generate ------------------------------------------------------------ *)
+
+let generate seed profile app n =
+  let pop = Population.generate ~profile ~seed app ~n in
+  let clean = Population.clean pop in
+  Printf.printf "generated %d %s images under profile %s (%d clean, %d with a latent fault)\n\n"
+    n (Image.app_to_string app) profile.Profile.label (List.length clean)
+    (n - List.length clean);
+  match pop with
+  | { Population.image; latent } :: _ ->
+      (match Image.config_for image app with
+       | Some cf ->
+           Printf.printf "--- %s (%s) ---\n%s" image.Image.image_id cf.Image.path cf.Image.text
+       | None -> ());
+      List.iter
+        (fun inj -> Printf.printf "\nlatent fault: %s\n" (Fault.injection_to_string inj))
+        latent
+  | [] -> ()
+
+let generate_cmd =
+  let doc = "Synthesize a deterministic image population and print one configuration." in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const generate $ seed_arg $ profile_arg $ app_arg $ count_arg 10)
+
+(* --- learn ---------------------------------------------------------------- *)
+
+let learn seed profile app n custom =
+  let model, trained = learn_model ?custom ~seed ~profile app n in
+  Printf.printf "learned from %d clean images: %d types, %d rules\n\n" trained
+    (List.length model.Detector.types) (List.length model.Detector.rules);
+  List.iter
+    (fun r -> print_endline (Encore_rules.Template.rule_to_string r))
+    model.Detector.rules
+
+let learn_cmd =
+  let doc = "Learn configuration rules from a generated population." in
+  Cmd.v (Cmd.info "learn" ~doc)
+    Term.(const learn $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg)
+
+(* --- check ---------------------------------------------------------------- *)
+
+let check seed profile app n custom threshold =
+  let model, trained = learn_model ?custom ~seed ~profile app n in
+  Printf.printf "model: %d rules from %d images\n" (List.length model.Detector.rules) trained;
+  let rng = Encore_util.Prng.create (seed + 10_000) in
+  let target = Population.generator_for app profile rng ~id:"held-out" in
+  let campaign = Conferr.inject ~env_fault_fraction:0.4 rng app target ~n:3 in
+  print_endline "\ninjected ground truth:";
+  List.iter
+    (fun inj -> Printf.printf "  %s\n" (Fault.injection_to_string inj))
+    campaign.Conferr.injections;
+  let warnings =
+    List.filter
+      (fun w -> w.Encore_detect.Warning.score >= threshold)
+      (Detector.check model campaign.Conferr.image)
+  in
+  print_endline "\nranked warnings:";
+  print_string (Report.to_string warnings)
+
+let threshold_arg =
+  Arg.(value & opt float 0.45
+       & info [ "threshold" ] ~docv:"S" ~doc:"Minimum warning score to report.")
+
+let check_cmd =
+  let doc = "Misconfigure a held-out image and run the detector against it." in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const check $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg
+          $ threshold_arg)
+
+(* --- inject ---------------------------------------------------------------- *)
+
+let inject seed app n_faults =
+  let rng = Encore_util.Prng.create seed in
+  let target = Population.generator_for app Profile.ec2 rng ~id:"victim" in
+  let campaign = Conferr.inject ~env_fault_fraction:0.3 rng app target ~n:n_faults in
+  Printf.printf "%d faults injected into a fresh %s image:\n"
+    (List.length campaign.Conferr.injections) (Image.app_to_string app);
+  List.iter
+    (fun inj -> Printf.printf "  %s\n" (Fault.injection_to_string inj))
+    campaign.Conferr.injections;
+  match Image.config_for campaign.Conferr.image app with
+  | Some cf -> Printf.printf "\nresulting configuration:\n%s" cf.Image.text
+  | None -> ()
+
+let inject_cmd =
+  let doc = "Run a ConfErr-style fault-injection campaign and show the result." in
+  Cmd.v (Cmd.info "inject" ~doc)
+    Term.(const inject $ seed_arg $ app_arg
+          $ Arg.(value & opt int 5 & info [ "faults" ] ~docv:"N" ~doc:"Faults to inject."))
+
+(* --- experiment ------------------------------------------------------------- *)
+
+let experiment which scale_name seed =
+  let config = { Encore.Config.default with Encore.Config.seed } in
+  let scale =
+    match scale_name with
+    | "paper" -> Encore.Experiments.paper_scale
+    | _ -> Encore.Experiments.test_scale
+  in
+  let tables =
+    match which with
+    | "all" -> Encore.Experiments.all ~config ~scale ()
+    | id -> (
+        let pick = function
+          | "table1" -> Encore.Experiments.table1 ()
+          | "table2" -> Encore.Experiments.table2 ~config ~scale ()
+          | "table3" -> Encore.Experiments.table3 ~config ~scale ()
+          | "table8" -> Encore.Experiments.table8 ~config ~scale ()
+          | "table9" -> Encore.Experiments.table9 ~config ~scale ()
+          | "table10" -> Encore.Experiments.table10 ~config ~scale ()
+          | "table11" -> Encore.Experiments.table11 ~config ~scale ()
+          | "table12" -> Encore.Experiments.table12 ~config ~scale ()
+          | "table13" -> Encore.Experiments.table13 ~config ~scale ()
+          | other -> failwith ("unknown experiment: " ^ other)
+        in
+        [ pick id ])
+  in
+  List.iter (fun t -> print_endline (Encore.Experiments.render t)) tables
+
+let experiment_cmd =
+  let doc = "Regenerate one of the paper's evaluation tables (or 'all')." in
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const experiment
+          $ Arg.(value & pos 0 string "all" & info [] ~docv:"TABLE")
+          $ Arg.(value & opt string "paper"
+                 & info [ "scale" ] ~docv:"SCALE" ~doc:"'paper' or 'test'.")
+          $ seed_arg)
+
+(* --- save / load-check -------------------------------------------------------- *)
+
+let save seed profile app n custom output =
+  let model, trained = learn_model ?custom ~seed ~profile app n in
+  Encore_detect.Model_io.save output model;
+  Printf.printf "saved a model learned from %d images (%d rules, %d typed columns) to %s\n"
+    trained (List.length model.Detector.rules) (List.length model.Detector.types)
+    output
+
+let save_cmd =
+  let doc = "Learn a model and serialize it to a file." in
+  Cmd.v (Cmd.info "save" ~doc)
+    Term.(const save $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg
+          $ Arg.(required & opt (some string) None
+                 & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Model output path."))
+
+let load_check model_path seed app threshold advise =
+  match Encore_detect.Model_io.load model_path with
+  | Error e -> prerr_endline ("cannot load model: " ^ e); exit 1
+  | Ok model ->
+      Printf.printf "loaded model: %d rules, trained on %d images\n"
+        (List.length model.Detector.rules) model.Detector.training_count;
+      let rng = Encore_util.Prng.create (seed + 20_000) in
+      let target = Population.generator_for app Profile.ec2 rng ~id:"target" in
+      let campaign = Conferr.inject ~env_fault_fraction:0.4 rng app target ~n:2 in
+      print_endline "injected ground truth:";
+      List.iter
+        (fun inj -> Printf.printf "  %s\n" (Fault.injection_to_string inj))
+        campaign.Conferr.injections;
+      let warnings =
+        List.filter
+          (fun w -> w.Encore_detect.Warning.score >= threshold)
+          (Detector.check model campaign.Conferr.image)
+      in
+      print_endline "\nranked warnings:";
+      print_string (Report.to_string warnings);
+      if advise then begin
+        print_endline "\nsuggested remediations:";
+        print_string
+          (Encore_detect.Advisor.to_string
+             (Encore_detect.Advisor.advise model campaign.Conferr.image warnings))
+      end
+
+let load_cmd =
+  let doc = "Load a serialized model and check a faulted image against it." in
+  Cmd.v (Cmd.info "load-check" ~doc)
+    Term.(const load_check
+          $ Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL")
+          $ seed_arg $ app_arg $ threshold_arg
+          $ Arg.(value & flag & info [ "advise" ] ~doc:"Also print remediation advice."))
+
+(* --- testgen -------------------------------------------------------------------- *)
+
+let testgen seed profile app n =
+  let model, _ = learn_model ~seed ~profile app n in
+  let rng = Encore_util.Prng.create (seed + 30_000) in
+  let img = Population.generator_for app profile rng ~id:"seed-image" in
+  let cases = Encore.Testgen.generate model img in
+  Printf.printf "%d rule-violating test cases generated from %d learned rules:\n"
+    (List.length cases) (List.length model.Detector.rules);
+  let verified = ref 0 in
+  List.iter
+    (fun (c : Encore.Testgen.test_case) ->
+      let ok = Encore.Testgen.verify_detected model c in
+      if ok then incr verified;
+      Printf.printf "  [%s] %s\n    target rule: %s\n"
+        (if ok then "re-detected" else "silent     ")
+        c.Encore.Testgen.description
+        (Encore_rules.Template.rule_to_string c.Encore.Testgen.rule))
+    cases;
+  Printf.printf "\n%d/%d cases re-detected by the checker\n" !verified
+    (List.length cases)
+
+let testgen_cmd =
+  let doc = "Generate rule-violating configuration test cases (paper section 8)." in
+  Cmd.v (Cmd.info "testgen" ~doc)
+    Term.(const testgen $ seed_arg $ profile_arg $ app_arg $ count_arg 100)
+
+(* --- ablation --------------------------------------------------------------------- *)
+
+let ablation which scale_name seed =
+  let config = { Encore.Config.default with Encore.Config.seed } in
+  let scale =
+    match scale_name with
+    | "paper" -> Encore.Experiments.paper_scale
+    | _ -> Encore.Experiments.test_scale
+  in
+  let tables =
+    match which with
+    | "all" -> Encore.Ablation.all ~config ~scale ()
+    | "training-size" -> [ Encore.Ablation.training_size ~config () ]
+    | "confidence" -> [ Encore.Ablation.confidence_sweep ~config ~scale () ]
+    | "type-selection" -> [ Encore.Ablation.type_selection ~config ~scale () ]
+    | "checks" -> [ Encore.Ablation.check_breakdown ~config ~scale () ]
+    | "miners" -> [ Encore.Ablation.miners ~config ~scale () ]
+    | other -> failwith ("unknown ablation: " ^ other)
+  in
+  List.iter (fun t -> print_endline (Encore.Experiments.render t)) tables
+
+let ablation_cmd =
+  let doc =
+    "Run an ablation study: training-size, confidence, type-selection, \
+     checks or all."
+  in
+  Cmd.v (Cmd.info "ablation" ~doc)
+    Term.(const ablation
+          $ Arg.(value & pos 0 string "all" & info [] ~docv:"STUDY")
+          $ Arg.(value & opt string "paper"
+                 & info [ "scale" ] ~docv:"SCALE" ~doc:"'paper' or 'test'.")
+          $ seed_arg)
+
+(* --- case ----------------------------------------------------------------- *)
+
+let run_case case_id seed =
+  let cases = Encore_workloads.Cases.all ~seed:(seed + 900) in
+  match List.find_opt (fun c -> c.Encore_workloads.Cases.case_id = case_id) cases with
+  | None ->
+      prerr_endline "case id must be between 1 and 10";
+      exit 1
+  | Some case ->
+      Printf.printf "case %d (%s, needs %s):\n  %s\n\n" case.Encore_workloads.Cases.case_id
+        (Image.app_to_string case.Encore_workloads.Cases.app)
+        (Encore_workloads.Cases.info_to_string case.Encore_workloads.Cases.info)
+        case.Encore_workloads.Cases.description;
+      let n =
+        Option.value ~default:100
+          (List.assoc_opt case.Encore_workloads.Cases.app Population.paper_training_sizes)
+      in
+      let model, _ = learn_model ~seed ~profile:Profile.ec2 case.Encore_workloads.Cases.app n in
+      let warnings =
+        List.filter
+          (fun w -> w.Encore_detect.Warning.score >= 0.55)
+          (Detector.check model case.Encore_workloads.Cases.target)
+      in
+      if warnings = [] then
+        print_endline
+          (if case.Encore_workloads.Cases.expect_miss then
+             "no warnings - the paper misses this case too (no hardware data \
+              in EC2-style training)"
+           else "no warnings")
+      else begin
+        print_endline "ranked warnings:";
+        print_string (Report.to_string (Report.merge_by_attr warnings));
+        print_endline "\nsuggested remediations:";
+        print_string
+          (Encore_detect.Advisor.to_string
+             (Encore_detect.Advisor.advise model case.Encore_workloads.Cases.target
+                (Report.merge_by_attr warnings)))
+      end
+
+let case_cmd =
+  let doc = "Reproduce one of the ten real-world cases of paper Table 9." in
+  Cmd.v (Cmd.info "case" ~doc)
+    Term.(const run_case
+          $ Arg.(value & pos 0 int 3 & info [] ~docv:"ID")
+          $ seed_arg)
+
+(* --- study ------------------------------------------------------------------ *)
+
+let study () =
+  print_endline (Encore.Experiments.render (Encore.Experiments.table1 ()))
+
+let study_cmd =
+  let doc = "Print the configuration-parameter study (Table 1)." in
+  Cmd.v (Cmd.info "study" ~doc) Term.(const study $ const ())
+
+(* --- export ------------------------------------------------------------------- *)
+
+let export seed profile app n output =
+  let images = Population.clean (Population.generate ~profile ~seed app ~n) in
+  let assembled = Encore_dataset.Assemble.assemble_training images in
+  let csv = Encore_dataset.Table.to_csv assembled.Encore_dataset.Assemble.table in
+  (match output with
+   | Some path ->
+       let oc = open_out path in
+       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc csv);
+       Printf.printf "wrote %d rows x %d columns to %s\n"
+         (Encore_dataset.Table.row_count assembled.Encore_dataset.Assemble.table)
+         (Encore_dataset.Table.column_count assembled.Encore_dataset.Assemble.table)
+         path
+   | None -> print_string csv)
+
+let export_cmd =
+  let doc = "Assemble a population and export the attribute table as CSV." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const export $ seed_arg $ profile_arg $ app_arg $ count_arg 50
+          $ Arg.(value & opt (some string) None
+                 & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (stdout if absent)."))
+
+let () =
+  let doc = "EnCore misconfiguration detection (ASPLOS 2014 reproduction)" in
+  let info = Cmd.info "encore-cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; learn_cmd; check_cmd; inject_cmd; experiment_cmd;
+            study_cmd; export_cmd; save_cmd; load_cmd; testgen_cmd; case_cmd;
+            ablation_cmd ]))

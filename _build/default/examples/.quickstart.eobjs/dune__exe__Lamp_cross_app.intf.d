@@ -1,0 +1,1 @@
+examples/lamp_cross_app.mli:

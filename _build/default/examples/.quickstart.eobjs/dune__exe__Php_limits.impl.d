@@ -1,0 +1,1 @@
+examples/php_limits.ml: Encore_confparse Encore_detect Encore_sysenv Encore_util Encore_workloads List Option Printf

@@ -1,0 +1,1 @@
+examples/php_limits.mli:

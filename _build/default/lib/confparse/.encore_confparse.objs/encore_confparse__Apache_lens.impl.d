@@ -1,0 +1,1 @@
+lib/confparse/apache_lens.ml: Buffer Encore_util Kv List Printf String

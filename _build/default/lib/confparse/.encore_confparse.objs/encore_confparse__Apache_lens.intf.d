@@ -1,0 +1,1 @@
+lib/confparse/apache_lens.mli: Kv

@@ -1,0 +1,1 @@
+lib/confparse/ini.ml: Buffer Encore_util Hashtbl Kv List String

@@ -1,0 +1,1 @@
+lib/confparse/ini.mli: Kv

@@ -1,0 +1,1 @@
+lib/confparse/kv.ml: Encore_util List String

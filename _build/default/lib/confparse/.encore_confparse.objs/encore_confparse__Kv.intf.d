@@ -1,0 +1,1 @@
+lib/confparse/kv.mli:

@@ -1,0 +1,1 @@
+lib/confparse/registry.ml: Apache_lens Encore_sysenv Hashtbl Ini Kv List Sshd_lens

@@ -1,0 +1,1 @@
+lib/confparse/registry.mli: Encore_sysenv Kv

@@ -1,0 +1,1 @@
+lib/confparse/sshd_lens.ml: Buffer Encore_util Hashtbl Kv List Printf String

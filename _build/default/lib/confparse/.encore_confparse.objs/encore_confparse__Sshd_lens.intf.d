@@ -1,0 +1,1 @@
+lib/confparse/sshd_lens.mli: Kv

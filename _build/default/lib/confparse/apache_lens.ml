@@ -1,0 +1,237 @@
+let unquote v =
+  let n = String.length v in
+  if n >= 2 && v.[0] = '"' && v.[n - 1] = '"' then String.sub v 1 (n - 2)
+  else v
+
+(* Split a directive line into words, honoring double quotes. *)
+let words line =
+  let n = String.length line in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  let rec go i in_quote =
+    if i >= n then flush ()
+    else
+      let c = line.[i] in
+      if c = '"' then go (i + 1) (not in_quote)
+      else if (c = ' ' || c = '\t') && not in_quote then begin
+        flush ();
+        go (i + 1) false
+      end
+      else begin
+        Buffer.add_char buf c;
+        go (i + 1) in_quote
+      end
+  in
+  go 0 false;
+  List.rev !out
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some 0 -> ""
+  | Some _ | None -> line
+(* Apache only treats '#' at line start (after whitespace) as comment. *)
+
+let is_comment line =
+  let t = String.trim line in
+  t <> "" && t.[0] = '#'
+
+type frame = { name : string; arg : string }
+
+let frame_key frames =
+  List.rev_map (fun f -> f.name ^ "[" ^ f.arg ^ "]") frames
+
+let parse ~app text =
+  let lines = String.split_on_char '\n' text in
+  let kvs = ref [] in
+  let stack = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line = "" || is_comment line then ()
+      else if Encore_util.Strutil.starts_with ~prefix:"</" line then
+        (* closing tag: pop if it matches the innermost frame *)
+        match !stack with
+        | top :: rest
+          when Encore_util.Strutil.lowercase_ascii line
+               = Encore_util.Strutil.lowercase_ascii ("</" ^ top.name ^ ">") ->
+            stack := rest
+        | _ -> ()
+      else if line.[0] = '<' && String.length line > 2 then begin
+        (* opening tag <Name arg...> *)
+        let inner =
+          let l = String.length line in
+          if line.[l - 1] = '>' then String.sub line 1 (l - 2)
+          else String.sub line 1 (l - 1)
+        in
+        match words inner with
+        | name :: args ->
+            let arg = unquote (String.concat " " args) in
+            stack := { name; arg } :: !stack;
+            (* synthetic entry exposing the section argument as a value,
+               so correlations like "DocumentRoot matches some
+               <Directory> section" are learnable (Eq-exists template) *)
+            let skey = Kv.qualify ~app [ name ^ "/__section__" ] in
+            kvs := Kv.make ~line:lineno skey arg :: !kvs
+        | [] -> ()
+      end
+      else
+        match words (strip_comment line) with
+        | [] -> ()
+        | [ name ] ->
+            let key = Kv.qualify ~app (frame_key !stack @ [ name ]) in
+            kvs := Kv.make ~line:lineno key "on" :: !kvs
+        | [ name; value ] ->
+            let key = Kv.qualify ~app (frame_key !stack @ [ name ]) in
+            kvs := Kv.make ~line:lineno key (unquote value) :: !kvs
+        | name :: arg1 :: rest ->
+            (* multi-argument directive: index by first argument *)
+            let base = frame_key !stack @ [ name ^ "[" ^ unquote arg1 ^ "]" ] in
+            List.iteri
+              (fun i v ->
+                let key =
+                  Kv.qualify ~app (base @ [ Printf.sprintf "arg%d" (i + 2) ])
+                in
+                kvs := Kv.make ~line:lineno key (unquote v) :: !kvs)
+              rest)
+    lines;
+  List.rev !kvs
+
+(* --- rendering ------------------------------------------------------- *)
+
+type node =
+  | Directive of string * string
+  | Section of string * string * node list
+
+(* Split a key on '/' but not inside bracket arguments: the section
+   argument of "Directory[/var/www/html]/Options" keeps its slashes. *)
+let split_key_parts key =
+  let parts = ref [] in
+  let buf = Buffer.create 32 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '[' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ']' ->
+          decr depth;
+          Buffer.add_char buf c
+      | '/' when !depth = 0 ->
+          if Buffer.length buf > 0 then begin
+            parts := Buffer.contents buf :: !parts;
+            Buffer.clear buf
+          end
+      | c -> Buffer.add_char buf c)
+    key;
+  if Buffer.length buf > 0 then parts := Buffer.contents buf :: !parts;
+  List.rev !parts
+
+let split_key key =
+  match split_key_parts key with _ :: rest -> rest | [] -> []
+
+let parse_bracket part =
+  (* "Directory[/var/www]" -> Some ("Directory", "/var/www") *)
+  match String.index_opt part '[' with
+  | Some i when String.length part > 0 && part.[String.length part - 1] = ']' ->
+      let name = String.sub part 0 i in
+      let arg = String.sub part (i + 1) (String.length part - i - 2) in
+      Some (name, arg)
+  | Some _ | None -> None
+
+let rec insert nodes parts value =
+  match parts with
+  | [] -> nodes
+  | [ last ] -> (
+      match parse_bracket last with
+      | Some (name, arg) ->
+          (* multi-arg directive leaf handled by caller via argN child *)
+          nodes @ [ Section (name, arg, [ Directive ("__arg__", value) ]) ]
+      | None -> nodes @ [ Directive (last, value) ])
+  | part :: rest -> (
+      match parse_bracket part with
+      | Some (name, arg) ->
+          let found = ref false in
+          let nodes =
+            List.map
+              (function
+                | Section (n, a, kids) when n = name && a = arg ->
+                    found := true;
+                    Section (n, a, insert kids rest value)
+                | other -> other)
+              nodes
+          in
+          if !found then nodes
+          else nodes @ [ Section (name, arg, insert [] rest value) ]
+      | None ->
+          (* unexpected: treat as flat directive with compound name *)
+          nodes @ [ Directive (String.concat "/" parts, value) ])
+
+let quote_if_needed v =
+  if v = "" || String.contains v ' ' then "\"" ^ v ^ "\"" else v
+
+let rec render_nodes buf indent nodes =
+  let pad = String.make (indent * 2) ' ' in
+  List.iter
+    (function
+      | Directive (name, value) ->
+          Buffer.add_string buf (pad ^ name ^ " " ^ quote_if_needed value ^ "\n")
+      | Section (name, arg, kids) ->
+          (* a section holding only __arg__/argN children is a multi-arg
+             directive, not a container *)
+          let args_only =
+            kids <> []
+            && List.for_all
+                 (function
+                   | Directive (n, _) ->
+                       n = "__arg__" || Encore_util.Strutil.starts_with ~prefix:"arg" n
+                   | Section _ -> false)
+                 kids
+          in
+          if args_only then begin
+            let argv =
+              List.filter_map
+                (function Directive (_, v) -> Some (quote_if_needed v) | Section _ -> None)
+                kids
+            in
+            Buffer.add_string buf
+              (pad ^ name ^ " " ^ quote_if_needed arg ^ " " ^ String.concat " " argv ^ "\n")
+          end
+          else begin
+            Buffer.add_string buf (pad ^ "<" ^ name ^ " " ^ quote_if_needed arg ^ ">\n");
+            render_nodes buf (indent + 1) kids;
+            Buffer.add_string buf (pad ^ "</" ^ name ^ ">\n")
+          end)
+    nodes
+
+let render ~app kvs =
+  let mine =
+    List.filter
+      (fun (kv : Kv.t) ->
+        Kv.app_of_key kv.key = app
+        (* synthetic section markers are re-derived on parse *)
+        && Kv.key_basename kv.key <> "__section__")
+      kvs
+  in
+  let tree =
+    List.fold_left
+      (fun nodes (kv : Kv.t) -> insert nodes (split_key kv.key) kv.value)
+      [] mine
+  in
+  let buf = Buffer.create 1024 in
+  render_nodes buf 0 tree;
+  Buffer.contents buf
+
+let section_paths kvs =
+  List.concat_map
+    (fun (kv : Kv.t) ->
+      List.filter_map parse_bracket (split_key kv.key))
+    kvs
+  |> List.sort_uniq compare

@@ -1,0 +1,28 @@
+(** Apache httpd.conf lens.
+
+    Handles the directive syntax [Name arg1 arg2 ...] and nested
+    container sections such as [<Directory "/var/www">...</Directory>].
+
+    Key shape:
+    - top-level [Listen 80]          -> [apache/Listen = 80]
+    - multi-argument [LoadModule php5_module modules/libphp5.so]
+      -> [apache/LoadModule[php5_module]/arg2 = modules/libphp5.so]
+      (the paper's rule "ServerRoot + LoadModule/arg2 => file path"
+      depends on this shape)
+    - section-scoped [<Directory "/var/www"> Options Indexes ...]
+      -> [apache/Directory[/var/www]/Options = Indexes ...]
+
+    Repeated single-argument directives (e.g. several [Listen]) keep one
+    pair each; downstream consumers see them as multiple instances of the
+    same attribute, matching the paper's treatment. *)
+
+val parse : app:string -> string -> Kv.t list
+
+val render : app:string -> Kv.t list -> string
+(** Regenerate a canonical httpd.conf; [parse (render kvs)] preserves
+    keys and values. *)
+
+val section_paths : Kv.t list -> (string * string) list
+(** All [(section_name, argument)] pairs present among the keys, e.g.
+    [("Directory", "/var/www")].  The Table 9 case #1 check ("no
+    <Directory> matching DocumentRoot") uses this view. *)

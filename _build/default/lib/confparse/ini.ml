@@ -1,0 +1,85 @@
+let strip_comment line =
+  (* a '#' or ';' starts a comment unless inside a double-quoted value *)
+  let n = String.length line in
+  let buf = Buffer.create n in
+  let rec go i in_quote =
+    if i >= n then Buffer.contents buf
+    else
+      let c = line.[i] in
+      if c = '"' then begin
+        Buffer.add_char buf c;
+        go (i + 1) (not in_quote)
+      end
+      else if (c = '#' || c = ';') && not in_quote then Buffer.contents buf
+      else begin
+        Buffer.add_char buf c;
+        go (i + 1) in_quote
+      end
+  in
+  go 0 false
+
+let unquote v =
+  let n = String.length v in
+  if n >= 2 && v.[0] = '"' && v.[n - 1] = '"' then String.sub v 1 (n - 2)
+  else v
+
+let parse ~app text =
+  let lines = String.split_on_char '\n' text in
+  let _, kvs =
+    List.fold_left
+      (fun (section, acc) (lineno, raw) ->
+        let line = String.trim (strip_comment raw) in
+        if line = "" then (section, acc)
+        else if String.length line >= 2 && line.[0] = '[' then
+          match String.index_opt line ']' with
+          | Some close when close > 1 ->
+              (String.trim (String.sub line 1 (close - 1)), acc)
+          | Some _ | None -> (section, acc)
+        else if line.[0] = '!' then (section, acc) (* !include etc. *)
+        else
+          match String.index_opt line '=' with
+          | Some eq ->
+              let key = String.trim (String.sub line 0 eq) in
+              let value =
+                String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
+              in
+              if key = "" then (section, acc)
+              else
+                let qkey = Kv.qualify ~app [ section; key ] in
+                (section, Kv.make ~line:lineno qkey (unquote value) :: acc)
+          | None ->
+              (* bare flag, e.g. skip-networking *)
+              let qkey = Kv.qualify ~app [ section; line ] in
+              (section, Kv.make ~line:lineno qkey "on" :: acc))
+      ("main", [])
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  List.rev kvs
+
+let render ~app kvs =
+  let mine =
+    List.filter (fun (kv : Kv.t) -> Kv.app_of_key kv.key = app) kvs
+  in
+  (* regroup by section while keeping first-appearance order *)
+  let sections = ref [] in
+  let entries = Hashtbl.create 16 in
+  List.iter
+    (fun (kv : Kv.t) ->
+      match Encore_util.Strutil.split_on '/' kv.key with
+      | [ _; section; key ] ->
+          if not (List.mem section !sections) then
+            sections := section :: !sections;
+          Hashtbl.add entries section (key, kv.value)
+      | _ -> ())
+    mine;
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun section ->
+      Buffer.add_string buf ("[" ^ section ^ "]\n");
+      List.iter
+        (fun (key, value) ->
+          Buffer.add_string buf (key ^ " = " ^ value ^ "\n"))
+        (List.rev (Hashtbl.find_all entries section));
+      Buffer.add_char buf '\n')
+    (List.rev !sections);
+  Buffer.contents buf

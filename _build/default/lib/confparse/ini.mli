@@ -1,0 +1,16 @@
+(** INI-style lens, used for MySQL's my.cnf and php.ini.
+
+    Supported syntax: [\[section\]] headers, [key = value] and bare
+    [key] flags, ['#'] and [';'] comments (full-line or trailing),
+    whitespace tolerance, [!include]-style directives skipped.  Bare
+    flags parse to the value ["on"], matching my.cnf semantics
+    (e.g. [skip-networking]). *)
+
+val parse : app:string -> string -> Kv.t list
+(** Keys are qualified as [app/section/key]; entries before any section
+    header use the pseudo-section ["main"]. *)
+
+val render : app:string -> Kv.t list -> string
+(** Inverse of {!parse} for keys belonging to [app]: regroups entries by
+    section and emits a canonical INI document.  [parse (render kvs)]
+    preserves keys and values. *)

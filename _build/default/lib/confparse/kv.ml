@@ -1,0 +1,23 @@
+type t = { key : string; value : string; line : int }
+
+let make ?(line = 0) key value = { key; value = String.trim value; line }
+
+let qualify ~app parts = String.concat "/" (app :: parts)
+
+let key_basename key =
+  match Encore_util.Strutil.split_on '/' key with
+  | [] -> key
+  | parts -> List.nth parts (List.length parts - 1)
+
+let app_of_key key =
+  match Encore_util.Strutil.split_on '/' key with
+  | [] -> key
+  | first :: _ -> first
+
+let find kvs key =
+  List.find_map (fun kv -> if kv.key = key then Some kv.value else None) kvs
+
+let find_all kvs key =
+  List.filter_map (fun kv -> if kv.key = key then Some kv.value else None) kvs
+
+let compare_key a b = compare a.key b.key

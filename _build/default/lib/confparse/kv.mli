@@ -1,0 +1,32 @@
+(** Normalized key–value pairs: the uniform representation all lenses
+    produce (paper section 4.1).
+
+    Keys are hierarchical: [app/section/name] for INI files,
+    [app/Section[arg]/Directive] for Apache's nested sections, and plain
+    [app/name] for flat formats.  Keys preserve the application
+    namespace so attributes from different software never collide in the
+    assembled table. *)
+
+type t = {
+  key : string;  (** fully-qualified attribute name *)
+  value : string;  (** raw textual value, trimmed *)
+  line : int;  (** 1-based source line, for diagnostics *)
+}
+
+val make : ?line:int -> string -> string -> t
+
+val qualify : app:string -> string list -> string
+(** [qualify ~app ["mysqld"; "datadir"]] = ["mysql/mysqld/datadir"]. *)
+
+val key_basename : string -> string
+(** Last ['/']-separated component of a key. *)
+
+val app_of_key : string -> string
+(** First component. *)
+
+val find : t list -> string -> string option
+(** First value bound to an exact key. *)
+
+val find_all : t list -> string -> string list
+
+val compare_key : t -> t -> int

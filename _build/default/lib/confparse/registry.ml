@@ -1,0 +1,30 @@
+type lens = {
+  parse : app:string -> string -> Kv.t list;
+  render : app:string -> Kv.t list -> string;
+}
+
+let ini_lens = { parse = Ini.parse; render = Ini.render }
+let apache_lens = { parse = Apache_lens.parse; render = Apache_lens.render }
+let sshd_lens = { parse = Sshd_lens.parse; render = Sshd_lens.render }
+
+let default () =
+  [ ("apache", apache_lens); ("mysql", ini_lens); ("php", ini_lens);
+    ("sshd", sshd_lens) ]
+
+let custom : (string, lens) Hashtbl.t = Hashtbl.create 8
+
+let register name lens = Hashtbl.replace custom name lens
+
+let lens_for name =
+  match Hashtbl.find_opt custom name with
+  | Some lens -> Some lens
+  | None -> List.assoc_opt name (default ())
+
+let parse_image (img : Encore_sysenv.Image.t) =
+  List.concat_map
+    (fun (cf : Encore_sysenv.Image.config_file) ->
+      let app = Encore_sysenv.Image.app_to_string cf.app in
+      match lens_for app with
+      | None -> []
+      | Some lens -> lens.parse ~app cf.text)
+    img.configs

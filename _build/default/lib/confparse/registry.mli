@@ -1,0 +1,26 @@
+(** Lens registry: application -> parser/renderer, extensible like the
+    Augeas import interface the paper builds on. *)
+
+type lens = {
+  parse : app:string -> string -> Kv.t list;
+  render : app:string -> Kv.t list -> string;
+}
+
+val ini_lens : lens
+val apache_lens : lens
+val sshd_lens : lens
+
+val default : unit -> (string * lens) list
+(** Built-in bindings: apache -> Apache lens, mysql/php -> INI lens,
+    sshd -> sshd lens. *)
+
+val lens_for : string -> lens option
+(** Look up in the default registry extended by {!register}. *)
+
+val register : string -> lens -> unit
+(** Bind (or override) the lens used for an application name. *)
+
+val parse_image : Encore_sysenv.Image.t -> Kv.t list
+(** Parse every config file carried by an image with its app's lens,
+    concatenated in file order.  Files whose app has no lens are
+    skipped. *)

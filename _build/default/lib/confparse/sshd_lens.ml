@@ -1,0 +1,210 @@
+(* Canonical capitalization for common sshd_config keywords, so that
+   case-insensitive input maps to one attribute name. *)
+let canonical = [
+  "port", "Port";
+  "listenaddress", "ListenAddress";
+  "hostkey", "HostKey";
+  "permitrootlogin", "PermitRootLogin";
+  "pubkeyauthentication", "PubkeyAuthentication";
+  "passwordauthentication", "PasswordAuthentication";
+  "permitemptypasswords", "PermitEmptyPasswords";
+  "challengeresponseauthentication", "ChallengeResponseAuthentication";
+  "usepam", "UsePAM";
+  "x11forwarding", "X11Forwarding";
+  "printmotd", "PrintMotd";
+  "printlastlog", "PrintLastLog";
+  "tcpkeepalive", "TCPKeepAlive";
+  "acceptenv", "AcceptEnv";
+  "subsystem", "Subsystem";
+  "authorizedkeysfile", "AuthorizedKeysFile";
+  "syslogfacility", "SyslogFacility";
+  "loglevel", "LogLevel";
+  "strictmodes", "StrictModes";
+  "maxauthtries", "MaxAuthTries";
+  "maxsessions", "MaxSessions";
+  "clientaliveinterval", "ClientAliveInterval";
+  "clientalivecountmax", "ClientAliveCountMax";
+  "logingracetime", "LoginGraceTime";
+  "banner", "Banner";
+  "allowusers", "AllowUsers";
+  "allowgroups", "AllowGroups";
+  "denyusers", "DenyUsers";
+  "chrootdirectory", "ChrootDirectory";
+  "usedns", "UseDNS";
+  "pidfile", "PidFile";
+  "protocol", "Protocol";
+  "match", "Match";
+]
+
+let canon word =
+  match List.assoc_opt (Encore_util.Strutil.lowercase_ascii word) canonical with
+  | Some c -> c
+  | None -> word
+
+let normalize_blanks line =
+  String.map (fun c -> if c = '\t' then ' ' else c) line
+
+let split_kw line =
+  (* sshd accepts "Keyword argument" and "Keyword=argument", blanks may
+     be tabs *)
+  let line = normalize_blanks line in
+  match String.index_opt line '=' with
+  | Some eq when not (String.contains (String.sub line 0 eq) ' ') ->
+      let k = String.trim (String.sub line 0 eq) in
+      let v = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+      Some (k, v)
+  | Some _ | None -> (
+      match String.index_opt line ' ' with
+      | None -> None
+      | Some sp ->
+          let k = String.sub line 0 sp in
+          let v = String.trim (String.sub line (sp + 1) (String.length line - sp - 1)) in
+          Some (k, v))
+
+(* "Subsystem sftp /usr/lib/sftp-server" and other >=3-word lines are
+   multi-argument directives, keyed like the Apache lens:
+   sshd/Subsystem[sftp]/arg2.  Single-argument lines stay plain. *)
+let split_args v = Encore_util.Strutil.split_on ' ' v
+
+let parse ~app text =
+  let lines = String.split_on_char '\n' text in
+  let kvs = ref [] in
+  let match_scope = ref None in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match split_kw line with
+        | None -> ()
+        | Some (k, v) ->
+            let k = canon k in
+            if k = "Match" then
+              if Encore_util.Strutil.lowercase_ascii v = "all" then
+                match_scope := None
+              else match_scope := Some v
+            else
+              let scope_prefix =
+                match !match_scope with
+                | None -> []
+                | Some scope -> [ "Match[" ^ scope ^ "]" ]
+              in
+              (match split_args v with
+               | arg1 :: (_ :: _ as rest) ->
+                   List.iteri
+                     (fun i arg ->
+                       let parts =
+                         scope_prefix
+                         @ [ k ^ "[" ^ arg1 ^ "]"; Printf.sprintf "arg%d" (i + 2) ]
+                       in
+                       kvs := Kv.make ~line:lineno (Kv.qualify ~app parts) arg :: !kvs)
+                     rest
+               | _ ->
+                   let parts = scope_prefix @ [ k ] in
+                   kvs := Kv.make ~line:lineno (Kv.qualify ~app parts) v :: !kvs))
+    lines;
+  List.rev !kvs
+
+(* Split a key on '/' outside bracket arguments (the Match scope or a
+   multi-argument first argument may contain slashes). *)
+let split_key_parts key =
+  let parts = ref [] in
+  let buf = Buffer.create 32 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '[' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ']' ->
+          decr depth;
+          Buffer.add_char buf c
+      | '/' when !depth = 0 ->
+          if Buffer.length buf > 0 then begin
+            parts := Buffer.contents buf :: !parts;
+            Buffer.clear buf
+          end
+      | c -> Buffer.add_char buf c)
+    key;
+  if Buffer.length buf > 0 then parts := Buffer.contents buf :: !parts;
+  List.rev !parts
+
+let bracket_arg part =
+  (* "Subsystem[sftp]" -> Some ("Subsystem", "sftp") *)
+  match String.index_opt part '[' with
+  | Some i when String.length part > 0 && part.[String.length part - 1] = ']' ->
+      Some (String.sub part 0 i, String.sub part (i + 1) (String.length part - i - 2))
+  | Some _ | None -> None
+
+(* One rendered line per directive.  Multi-argument keys sharing the
+   K[arg1] prefix within one scope merge back onto a single line. *)
+let render_scope buf indent entries =
+  let pad = String.make indent ' ' in
+  let emitted = Hashtbl.create 8 in
+  List.iter
+    (fun (part, (kv : Kv.t)) ->
+      match bracket_arg part with
+      | Some (k, arg1) ->
+          let group_key = part in
+          if not (Hashtbl.mem emitted group_key) then begin
+            Hashtbl.add emitted group_key ();
+            let args =
+              List.filter_map
+                (fun (p, (kv' : Kv.t)) -> if p = part then Some kv'.Kv.value else None)
+                entries
+            in
+            Buffer.add_string buf
+              (pad ^ k ^ " " ^ arg1 ^ " " ^ String.concat " " args ^ "\n")
+          end
+      | None -> Buffer.add_string buf (pad ^ part ^ " " ^ kv.Kv.value ^ "\n"))
+    entries
+
+let render ~app kvs =
+  let mine = List.filter (fun (kv : Kv.t) -> Kv.app_of_key kv.key = app) kvs in
+  (* classify: (scope option, directive part, kv) *)
+  let classified =
+    List.filter_map
+      (fun (kv : Kv.t) ->
+        match split_key_parts kv.key with
+        | [ _; part ] -> Some (None, (part, kv))
+        | [ _; scope_part; part ]
+          when Encore_util.Strutil.starts_with ~prefix:"Match[" scope_part ->
+            let scope = String.sub scope_part 6 (String.length scope_part - 7) in
+            Some (Some scope, (part, kv))
+        | [ _; group_part; arg ] -> (
+            (* multi-arg key: Subsystem[sftp]/arg2 *)
+            match bracket_arg group_part with
+            | Some _ -> Some (None, (group_part, kv))
+            | None -> Some (None, (group_part ^ "/" ^ arg, kv)))
+        | [ _; scope_part; group_part; arg ]
+          when Encore_util.Strutil.starts_with ~prefix:"Match[" scope_part -> (
+            let scope = String.sub scope_part 6 (String.length scope_part - 7) in
+            match bracket_arg group_part with
+            | Some _ -> Some (Some scope, (group_part, kv))
+            | None -> Some (Some scope, (group_part ^ "/" ^ arg, kv)))
+        | _ -> None)
+      mine
+  in
+  let top = List.filter_map (function None, e -> Some e | Some _, _ -> None) classified in
+  let buf = Buffer.create 512 in
+  render_scope buf 0 top;
+  let scopes = ref [] in
+  List.iter
+    (function
+      | Some scope, _ when not (List.mem scope !scopes) -> scopes := scope :: !scopes
+      | _ -> ())
+    classified;
+  List.iter
+    (fun scope ->
+      Buffer.add_string buf ("Match " ^ scope ^ "\n");
+      let entries =
+        List.filter_map
+          (function Some s, e when s = scope -> Some e | _ -> None)
+          classified
+      in
+      render_scope buf 2 entries;
+      Buffer.add_string buf "Match all\n")
+    (List.rev !scopes);
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** sshd_config lens: flat [Keyword argument ...] lines, '#' comments,
+    case-insensitive keywords (canonicalized to their documented
+    capitalization when known), [Match] blocks scoped like Apache
+    sections ([sshd/Match[User foo]/X11Forwarding]). *)
+
+val parse : app:string -> string -> Kv.t list
+val render : app:string -> Kv.t list -> string

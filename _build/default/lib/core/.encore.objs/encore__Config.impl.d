@@ -1,0 +1,1 @@
+lib/core/config.ml: Encore_rules Encore_util

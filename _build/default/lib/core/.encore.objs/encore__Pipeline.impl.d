@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Config Encore_detect Encore_rules List Printf

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Config Encore_detect Encore_sysenv

@@ -1,0 +1,1 @@
+lib/core/testgen.ml: Encore_confparse Encore_dataset Encore_detect Encore_rules Encore_sysenv Encore_util List Option Printf

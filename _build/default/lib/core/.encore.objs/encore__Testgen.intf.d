@@ -1,0 +1,1 @@
+lib/core/testgen.mli: Encore_detect Encore_rules Encore_sysenv

@@ -1,0 +1,26 @@
+type model = Encore_detect.Detector.model
+
+let learn ?(config = Config.default) ?custom images =
+  let templates =
+    match custom with
+    | None -> Encore_rules.Template.predefined
+    | Some text -> (
+        match Encore_rules.Customfile.parse text with
+        | Ok parsed ->
+            Encore_rules.Template.predefined @ parsed.Encore_rules.Customfile.templates
+        | Error e ->
+            invalid_arg
+              (Printf.sprintf "customization file, line %d: %s"
+                 e.Encore_rules.Customfile.line e.Encore_rules.Customfile.message))
+  in
+  Encore_detect.Detector.learn
+    ~params:(Config.rule_params config)
+    ~templates
+    ~entropy_threshold:config.Config.entropy_threshold images
+
+let check ?config:_ model img = Encore_detect.Detector.check model img
+
+let detections ?(config = Config.default) model img =
+  List.filter
+    (fun w -> w.Encore_detect.Warning.score >= config.Config.detection_score)
+    (check model img)

@@ -1,0 +1,22 @@
+(** End-to-end EnCore pipeline (paper Figure 2): data collection and
+    assembly, rule inference, anomaly detection — one facade over the
+    substrate libraries, parameterized by {!Config}. *)
+
+type model = Encore_detect.Detector.model
+
+val learn :
+  ?config:Config.t -> ?custom:string -> Encore_sysenv.Image.t list -> model
+(** Learn a model from training images.  [custom] is the text of a
+    customization file (paper Figure 6): its types are registered and
+    its templates used in addition to the predefined ones.
+    @raise Invalid_argument when the customization file is malformed. *)
+
+val check :
+  ?config:Config.t -> model -> Encore_sysenv.Image.t ->
+  Encore_detect.Warning.t list
+(** Ranked warnings for a target image. *)
+
+val detections :
+  ?config:Config.t -> model -> Encore_sysenv.Image.t ->
+  Encore_detect.Warning.t list
+(** Warnings at or above the configured detection score. *)

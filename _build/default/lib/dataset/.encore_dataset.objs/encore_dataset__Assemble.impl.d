@@ -1,0 +1,1 @@
+lib/dataset/assemble.ml: Augment Encore_confparse Encore_sysenv Encore_typing List Row Table

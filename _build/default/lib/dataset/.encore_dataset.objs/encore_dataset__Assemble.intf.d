@@ -1,0 +1,1 @@
+lib/dataset/assemble.mli: Encore_sysenv Encore_typing Row Table

@@ -1,0 +1,1 @@
+lib/dataset/augment.ml: Encore_sysenv Encore_typing Encore_util List Option Printf String

@@ -1,0 +1,1 @@
+lib/dataset/augment.mli: Encore_sysenv Encore_typing

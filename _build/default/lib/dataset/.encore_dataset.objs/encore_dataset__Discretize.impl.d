@@ -1,0 +1,1 @@
+lib/dataset/discretize.ml: Array Encore_util Hashtbl List Option Printf Row Table

@@ -1,0 +1,1 @@
+lib/dataset/discretize.mli: Table

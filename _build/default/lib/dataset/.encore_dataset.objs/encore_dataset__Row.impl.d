@@ -1,0 +1,1 @@
+lib/dataset/row.ml: Hashtbl List Option

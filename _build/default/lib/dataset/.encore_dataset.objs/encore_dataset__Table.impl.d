@@ -1,0 +1,1 @@
+lib/dataset/table.ml: Encore_util Hashtbl List Row String

@@ -1,0 +1,76 @@
+module Image = Encore_sysenv.Image
+module Registry = Encore_confparse.Registry
+module Kv = Encore_confparse.Kv
+module Infer = Encore_typing.Infer
+module Ctype = Encore_typing.Ctype
+
+type assembled = { table : Table.t; types : Infer.env }
+
+let parse_only img =
+  Row.of_list
+    (List.map (fun (kv : Kv.t) -> (kv.key, kv.value)) (Registry.parse_image img))
+
+let augment_row ~types img base_row =
+  let augmented =
+    List.concat_map
+      (fun (attr, value) ->
+        match Infer.find types attr with
+        | None -> []
+        | Some decision -> Augment.entry img attr decision.Infer.ctype value)
+      (Row.to_list base_row)
+  in
+  Row.of_list (Row.to_list base_row @ augmented @ Augment.globals img)
+
+let assemble_training images =
+  (* pass 1: parse every image and infer column types on the raw data *)
+  let parsed = List.map (fun img -> (img, parse_only img)) images in
+  let config_types =
+    Infer.infer
+      (List.map (fun (img, row) -> (img, Row.to_list row)) parsed)
+  in
+  (* pass 2: augment according to the types *)
+  let rows =
+    List.map
+      (fun (img, row) ->
+        (img.Image.image_id, augment_row ~types:config_types img row))
+      parsed
+  in
+  (* infer types for the augmented columns too, so rules can reference
+     them; augmentation-derived columns have canonical suffix types *)
+  let aug_types =
+    let tbl = Table.of_rows rows in
+    List.filter_map
+      (fun col ->
+        if Infer.find config_types col <> None then None
+        else if Augment.is_augmented col then
+          Some
+            ( col,
+              { Infer.ctype = Augment.augmented_type col;
+                agreement = 1.0;
+                samples = Table.column_support tbl col } )
+        else
+          (* global attributes: infer from their values *)
+          let samples =
+            List.filter_map
+              (fun (img, row) ->
+                match Row.get row col with
+                | Some v -> Some (img, v)
+                | None -> None)
+              (List.map2
+                 (fun (img, _) (_, row) -> (img, row))
+                 parsed rows)
+          in
+          Some (col, Infer.infer_column samples))
+      (Table.columns (Table.of_rows rows))
+  in
+  { table = Table.of_rows rows; types = config_types @ aug_types }
+
+let assemble_target ~types img =
+  augment_row ~types img (parse_only img)
+
+let type_of types attr =
+  match Infer.find types attr with
+  | Some d -> d.Infer.ctype
+  | None ->
+      if Augment.is_augmented attr then Augment.augmented_type attr
+      else Ctype.String_t

@@ -1,0 +1,30 @@
+(** Data assembler (paper Figure 3): parse the image's configuration
+    files, infer each entry's type, integrate environment information,
+    and emit the assembled row.
+
+    The two-pass protocol matches the paper: a first pass over the whole
+    training set fixes per-column types; a second pass augments each
+    image with environment attributes according to those types.  Target
+    images reuse the *training* type environment, so checking and
+    learning stay cleanly separated. *)
+
+type assembled = {
+  table : Table.t;
+  types : Encore_typing.Infer.env;  (** per-column decisions, original and augmented *)
+}
+
+val parse_only : Encore_sysenv.Image.t -> Row.t
+(** Configuration entries alone (no augmentation): the "Original"
+    attribute view of paper Table 2. *)
+
+val assemble_training : Encore_sysenv.Image.t list -> assembled
+(** Full pipeline over a training set. *)
+
+val assemble_target :
+  types:Encore_typing.Infer.env -> Encore_sysenv.Image.t -> Row.t
+(** Assemble one target image using the training type environment. *)
+
+val type_of :
+  Encore_typing.Infer.env -> string -> Encore_typing.Ctype.t
+(** Column type, falling back to the augmentation-suffix type for
+    augmented attributes and [String_t] otherwise. *)

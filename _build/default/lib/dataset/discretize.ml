@@ -1,0 +1,65 @@
+type item = string
+
+let numeric_bins = 4
+
+let is_numeric_column values =
+  values <> []
+  && List.for_all
+       (fun v -> Encore_util.Strutil.parse_number v <> None)
+       values
+
+let bin_label attr lo hi = Printf.sprintf "%s in [%g,%g)" attr lo hi
+
+let numeric_item attr values v =
+  let floats = List.filter_map Encore_util.Strutil.parse_number values in
+  let lo = List.fold_left min infinity floats in
+  let hi = List.fold_left max neg_infinity floats in
+  let x = Option.value ~default:lo (Encore_util.Strutil.parse_number v) in
+  if hi <= lo then bin_label attr lo (lo +. 1.0)
+  else
+    let width = (hi -. lo) /. float_of_int numeric_bins in
+    let idx =
+      min (numeric_bins - 1) (int_of_float ((x -. lo) /. width))
+    in
+    let blo = lo +. (width *. float_of_int idx) in
+    bin_label attr blo (blo +. width)
+
+let items_of_table ?(numeric = true) table =
+  let columns = Table.columns table in
+  let column_vals =
+    List.map (fun c -> (c, Table.column_values table c)) columns
+  in
+  let item_of attr v =
+    let values = List.assoc attr column_vals in
+    if numeric && is_numeric_column values then numeric_item attr values v
+    else attr ^ "=" ^ v
+  in
+  let row_items =
+    Array.of_list
+      (List.map
+         (fun (_, row) ->
+           List.sort_uniq compare
+             (List.map (fun (attr, v) -> item_of attr v) (Row.to_list row)))
+         (Table.rows table))
+  in
+  let universe =
+    Array.to_list row_items |> List.concat |> List.sort_uniq compare
+  in
+  (universe, row_items)
+
+let transactions table =
+  let universe, row_items = items_of_table table in
+  let dict = Array.of_list universe in
+  let index = Hashtbl.create (Array.length dict) in
+  Array.iteri (fun i item -> Hashtbl.add index item i) dict;
+  let encode items =
+    items
+    |> List.map (fun item -> Hashtbl.find index item)
+    |> List.sort_uniq compare
+    |> Array.of_list
+  in
+  (Array.map encode row_items, dict)
+
+let binomial_count table =
+  let universe, _ = items_of_table table in
+  List.length universe

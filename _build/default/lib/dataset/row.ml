@@ -1,0 +1,45 @@
+(* Representation: reversed list of pairs, plus an index for lookups. *)
+type t = { rev_pairs : (string * string) list; index : (string, string list) Hashtbl.t }
+
+let empty = { rev_pairs = []; index = Hashtbl.create 4 }
+
+let add t attr value =
+  let index = Hashtbl.copy t.index in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt index attr) in
+  Hashtbl.replace index attr (existing @ [ value ]);
+  { rev_pairs = (attr, value) :: t.rev_pairs; index }
+
+let of_list pairs =
+  let index = Hashtbl.create (List.length pairs) in
+  List.iter
+    (fun (attr, value) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt index attr) in
+      Hashtbl.replace index attr (existing @ [ value ]))
+    pairs;
+  { rev_pairs = List.rev pairs; index }
+
+let to_list t = List.rev t.rev_pairs
+
+let get t attr =
+  match Hashtbl.find_opt t.index attr with
+  | Some (v :: _) -> Some v
+  | Some [] | None -> None
+
+let get_all t attr = Option.value ~default:[] (Hashtbl.find_opt t.index attr)
+
+let mem t attr = Hashtbl.mem t.index attr
+
+let attrs t =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (attr, _) ->
+      if Hashtbl.mem seen attr then None
+      else begin
+        Hashtbl.add seen attr ();
+        Some attr
+      end)
+    (to_list t)
+
+let cardinal t = List.length t.rev_pairs
+
+let union a b = of_list (to_list a @ to_list b)

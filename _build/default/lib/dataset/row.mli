@@ -1,0 +1,30 @@
+(** One assembled row: the attribute/value map of a single system image,
+    after parsing and environment augmentation.
+
+    An attribute may carry several instances in one image (e.g. repeated
+    [Listen] directives); the row keeps them all, in source order. *)
+
+type t
+
+val empty : t
+val of_list : (string * string) list -> t
+val to_list : t -> (string * string) list
+(** All (attribute, value) pairs in insertion order, one per instance. *)
+
+val add : t -> string -> string -> t
+(** Append an instance. *)
+
+val get : t -> string -> string option
+(** First instance of the attribute. *)
+
+val get_all : t -> string -> string list
+
+val mem : t -> string -> bool
+val attrs : t -> string list
+(** Distinct attribute names, in first-appearance order. *)
+
+val cardinal : t -> int
+(** Number of (attribute, value) instances. *)
+
+val union : t -> t -> t
+(** Left-biased append. *)

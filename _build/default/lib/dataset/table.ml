@@ -1,0 +1,71 @@
+type t = { rows : (string * Row.t) list; columns : string list }
+
+let compute_columns rows =
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (_, row) ->
+      List.iter
+        (fun attr ->
+          if not (Hashtbl.mem seen attr) then begin
+            Hashtbl.add seen attr ();
+            order := attr :: !order
+          end)
+        (Row.attrs row))
+    rows;
+  List.rev !order
+
+let of_rows rows = { rows; columns = compute_columns rows }
+
+let rows t = t.rows
+let row_count t = List.length t.rows
+let columns t = t.columns
+let column_count t = List.length t.columns
+
+let column_values t attr =
+  List.concat_map (fun (_, row) -> Row.get_all row attr) t.rows
+
+let column_entropy t attr = Encore_util.Stats.entropy (column_values t attr)
+
+let column_support t attr =
+  List.length (List.filter (fun (_, row) -> Row.mem row attr) t.rows)
+
+let to_csv t =
+  let header = "image_id" :: t.columns in
+  let data_rows =
+    List.map
+      (fun (id, row) ->
+        id
+        :: List.map
+             (fun attr -> String.concat ";" (Row.get_all row attr))
+             t.columns)
+      t.rows
+  in
+  Encore_util.Csvio.to_string ~header data_rows
+
+let of_csv text =
+  match Encore_util.Csvio.parse text with
+  | [] -> of_rows []
+  | header :: data -> (
+      match header with
+      | _id_col :: columns ->
+          let parse_row fields =
+            match fields with
+            | id :: cells ->
+                let pairs =
+                  List.concat
+                    (List.mapi
+                       (fun i cell ->
+                         if cell = "" then []
+                         else
+                           let attr = List.nth columns i in
+                           List.map
+                             (fun v -> (attr, v))
+                             (String.split_on_char ';' cell))
+                       cells)
+                in
+                Some (id, Row.of_list pairs)
+            | [] -> None
+          in
+          of_rows (List.filter_map parse_row data)
+      | [] -> of_rows [])

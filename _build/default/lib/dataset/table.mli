@@ -1,0 +1,32 @@
+(** The assembled attribute table: one row per system image, one column
+    per attribute (original entry or augmented), as stored in the
+    assembler's CSV output (paper section 4.1). *)
+
+type t
+
+val of_rows : (string * Row.t) list -> t
+(** [(image_id, row)] pairs. *)
+
+val rows : t -> (string * Row.t) list
+val row_count : t -> int
+
+val columns : t -> string list
+(** Union of every row's attributes, first-appearance order. *)
+
+val column_count : t -> int
+
+val column_values : t -> string -> string list
+(** One entry per instance per row where the attribute is present. *)
+
+val column_entropy : t -> string -> float
+(** Shannon entropy of the column's values (paper section 5.2). *)
+
+val column_support : t -> string -> int
+(** Number of rows carrying the attribute at least once. *)
+
+val to_csv : t -> string
+(** Header = image_id followed by each column; multi-instance cells are
+    [";"]-joined; absent cells empty. *)
+
+val of_csv : string -> t
+(** Inverse of {!to_csv} (instances re-split on [";"]). *)

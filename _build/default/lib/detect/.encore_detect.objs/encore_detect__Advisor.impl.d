@@ -1,0 +1,1 @@
+lib/detect/advisor.ml: Buffer Detector Encore_dataset Encore_rules Encore_typing Encore_util List Option Printf String Warning

@@ -1,0 +1,1 @@
+lib/detect/advisor.mli: Detector Encore_sysenv Warning

@@ -1,0 +1,1 @@
+lib/detect/baseline.ml: Detector Encore_dataset Encore_util Hashtbl List Warning

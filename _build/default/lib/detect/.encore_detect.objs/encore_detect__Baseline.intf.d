@@ -1,0 +1,1 @@
+lib/detect/baseline.mli: Detector Encore_sysenv Warning

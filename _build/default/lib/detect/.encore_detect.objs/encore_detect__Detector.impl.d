@@ -1,0 +1,1 @@
+lib/detect/detector.ml: Encore_confparse Encore_dataset Encore_rules Encore_typing Encore_util Hashtbl List Printf Warning

@@ -1,0 +1,1 @@
+lib/detect/detector.mli: Encore_dataset Encore_rules Encore_sysenv Encore_typing Warning

@@ -1,0 +1,1 @@
+lib/detect/model_io.ml: Buffer Detector Encore_rules Encore_typing Encore_util Fun List Option Printf Result String

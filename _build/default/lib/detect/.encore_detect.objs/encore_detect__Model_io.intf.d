@@ -1,0 +1,1 @@
+lib/detect/model_io.mli: Detector

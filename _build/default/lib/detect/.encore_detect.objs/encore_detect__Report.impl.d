@@ -1,0 +1,1 @@
+lib/detect/report.ml: Buffer Encore_dataset Encore_util Hashtbl List Printf Warning

@@ -1,0 +1,1 @@
+lib/detect/warning.ml: Encore_rules Encore_typing List

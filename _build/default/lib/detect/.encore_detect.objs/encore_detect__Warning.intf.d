@@ -1,0 +1,1 @@
+lib/detect/warning.mli: Encore_rules Encore_typing

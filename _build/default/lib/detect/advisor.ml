@@ -1,0 +1,109 @@
+module Row = Encore_dataset.Row
+module Template = Encore_rules.Template
+module Relation = Encore_rules.Relation
+module Ctype = Encore_typing.Ctype
+module Stats = Encore_util.Stats
+
+type suggestion = {
+  warning : Warning.t;
+  action : string;
+  rationale : string;
+}
+
+let top_training_values model attr =
+  match List.assoc_opt attr model.Detector.value_stats with
+  | Some (_ :: _ as values) ->
+      let top = List.filteri (fun i _ -> i < 3) values in
+      Some (String.concat ", " top)
+  | Some [] | None -> None
+
+let first_value row attr = Row.get row attr
+
+let rule_suggestion row (rule : Template.rule) =
+  let a = rule.Template.attr_a and b = rule.Template.attr_b in
+  let va = Option.value ~default:"?" (first_value row a) in
+  let vb = Option.value ~default:"?" (first_value row b) in
+  let confidence_note =
+    Printf.sprintf "the rule held in %d training images (confidence %.0f%%)"
+      rule.Template.support (100.0 *. rule.Template.confidence)
+  in
+  match rule.Template.template.Template.relation with
+  | Relation.Ownership ->
+      ( Printf.sprintf "chown %s %s" vb va,
+        Printf.sprintf "%s names the owner of %s; %s" b a confidence_note )
+  | Relation.User_in_group ->
+      ( Printf.sprintf "usermod -a -G %s %s" vb va,
+        Printf.sprintf "%s must belong to group %s; %s" va vb confidence_note )
+  | Relation.Not_accessible ->
+      ( Printf.sprintf "chmod o-rwx %s" va,
+        Printf.sprintf "%s must not be readable by %s; %s" va vb confidence_note )
+  | Relation.Eq_all | Relation.Eq_exists ->
+      ( Printf.sprintf "set %s = %s (to match %s)" a vb b,
+        Printf.sprintf "the two entries agree in training; %s" confidence_note )
+  | Relation.Size_less | Relation.Num_less ->
+      ( Printf.sprintf "lower %s below %s (currently %s)" a vb va,
+        Printf.sprintf "%s stays under %s in training; %s" a b confidence_note )
+  | Relation.Concat_path ->
+      ( Printf.sprintf "create %s under %s, or fix the fragment %s" vb va b,
+        Printf.sprintf "%s + %s must resolve in the filesystem; %s" a b confidence_note )
+  | Relation.Subnet ->
+      ( Printf.sprintf "move %s into the %s network (%s)" a b vb,
+        confidence_note )
+  | Relation.Substring ->
+      ( Printf.sprintf "make %s contain %s" b va,
+        Printf.sprintf "%s is a fragment of %s in training; %s" a b confidence_note )
+  | Relation.Bool_implies (pa, pb) ->
+      ( Printf.sprintf "with %s=%b, set %s to %b" a pa b pb,
+        Printf.sprintf "the boolean pairing held in training; %s" confidence_note )
+
+let advise model img warnings =
+  let row =
+    Encore_dataset.Assemble.assemble_target ~types:model.Detector.types img
+  in
+  List.map
+    (fun (w : Warning.t) ->
+      let action, rationale =
+        match w.Warning.kind with
+        | Warning.Correlation_violation rule -> rule_suggestion row rule
+        | Warning.Entry_name_violation { unseen; nearest = Some near } ->
+            ( Printf.sprintf "rename %s to %s" unseen near,
+              "every training image spells the entry this way" )
+        | Warning.Entry_name_violation { unseen; nearest = None } ->
+            ( Printf.sprintf "remove or double-check the unknown entry %s" unseen,
+              "the entry was never observed during training" )
+        | Warning.Type_violation { attr; expected; value } ->
+            let hint =
+              match expected with
+              | Ctype.File_path ->
+                  "point it at an existing filesystem object"
+              | Ctype.User_name -> "use an account from /etc/passwd"
+              | Ctype.Group_name -> "use a group from /etc/group"
+              | Ctype.Port_number -> "use a service port from /etc/services"
+              | Ctype.Size -> "use a byte count with a K/M/G/T suffix"
+              | Ctype.Number -> "use a plain number"
+              | _ -> "supply a value of the expected form"
+            in
+            ( Printf.sprintf "fix %s='%s' (%s)" attr value hint,
+              Printf.sprintf "the entry is a %s in every training image"
+                (Ctype.to_string expected) )
+        | Warning.Suspicious_value { attr; value; _ } -> (
+            match top_training_values model attr with
+            | Some common ->
+                ( Printf.sprintf "review %s='%s'; training uses: %s" attr value common,
+                  "the value was never observed during training" )
+            | None ->
+                ( Printf.sprintf "review %s='%s'" attr value,
+                  "the value was never observed during training" ))
+      in
+      { warning = w; action; rationale })
+    warnings
+
+let to_string suggestions =
+  let buf = Buffer.create 512 in
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%2d. %s\n    fix:  %s\n    why:  %s\n" (i + 1)
+           s.warning.Warning.message s.action s.rationale))
+    suggestions;
+  Buffer.contents buf

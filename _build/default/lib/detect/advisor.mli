@@ -1,0 +1,24 @@
+(** Remediation advice (the paper's auto-configuration direction,
+    section 9: the assembled values and inferred rules "can be used to
+    ... assist the process of auto-configuration").
+
+    For every warning the detector raised, the advisor derives a
+    concrete, actionable suggestion from the violated rule's semantics
+    and the training statistics: the chown command that restores an
+    ownership rule, the bound a size entry must stay under, the most
+    common training values for a suspicious entry, the likely intended
+    spelling of a misspelled key. *)
+
+type suggestion = {
+  warning : Warning.t;
+  action : string;  (** one-line imperative fix, shell-flavoured where natural *)
+  rationale : string;  (** why, grounded in the learned rule or statistics *)
+}
+
+val advise :
+  Detector.model -> Encore_sysenv.Image.t -> Warning.t list -> suggestion list
+(** One suggestion per warning (same order); warnings the advisor cannot
+    improve on get a generic review action. *)
+
+val to_string : suggestion list -> string
+(** Numbered report: warning, action, rationale. *)

@@ -1,0 +1,55 @@
+(** The EnCore anomaly detector (paper section 6).
+
+    A learned [model] packages everything the checking side needs: the
+    type environment, the learned rules and the per-attribute training
+    value statistics.  Checking a target image performs the paper's four
+    checks and returns a ranked warning list:
+
+    1. entry-name violation: an attribute never seen in training,
+       flagged as a likely misspelling when a near-identical trained
+       attribute exists;
+    2. correlation violation: a learned rule evaluates to false in the
+       target context (rules whose attributes are absent are skipped);
+    3. data-type violation: a value fails the syntactic match or the
+       semantic verification of its column's learned type;
+    4. suspicious value: a value never observed in training, ranked by
+       Inverse Change Frequency — unseen values of low-diversity
+       columns rank highest. *)
+
+type model = {
+  types : Encore_typing.Infer.env;
+  rules : Encore_rules.Template.rule list;
+  value_stats : (string * string list) list;
+      (** attribute -> distinct training values *)
+  known_attrs : string list;
+  training_count : int;
+}
+
+val learn :
+  ?params:Encore_rules.Infer.params ->
+  ?templates:Encore_rules.Template.t list ->
+  ?entropy_threshold:float ->
+  Encore_sysenv.Image.t list -> model
+(** Full learning pipeline: assemble the training set, infer rules from
+    the templates, apply support/confidence plus the entropy filter. *)
+
+val model_of_training :
+  ?params:Encore_rules.Infer.params ->
+  ?templates:Encore_rules.Template.t list ->
+  ?entropy_threshold:float ->
+  types:Encore_typing.Infer.env ->
+  (Encore_sysenv.Image.t * Encore_dataset.Row.t) list -> model
+(** Same, from an already-assembled training set. *)
+
+type checks = {
+  check_names : bool;
+  check_rules : bool;
+  check_types : bool;
+  check_values : bool;
+}
+
+val all_checks : checks
+
+val check :
+  ?checks:checks -> model -> Encore_sysenv.Image.t -> Warning.t list
+(** Ranked warnings (best first) for a target image. *)

@@ -1,0 +1,202 @@
+module Csvio = Encore_util.Csvio
+module Ctype = Encore_typing.Ctype
+module Tinfer = Encore_typing.Infer
+module Template = Encore_rules.Template
+module Relation = Encore_rules.Relation
+
+let magic = "ENCORE-MODEL"
+let version = "1"
+
+let section name = Printf.sprintf "@%s" name
+
+let opt_ctype_to_string = function
+  | None -> ""
+  | Some ct -> Ctype.to_string ct
+
+let opt_ctype_of_string = function
+  | "" -> Ok None
+  | s -> (
+      match Ctype.of_string s with
+      | Some ct -> Ok (Some ct)
+      | None -> Error ("unknown type: " ^ s))
+
+let to_string (m : Detector.model) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "%s %s\n" magic version);
+  Buffer.add_string buf
+    (Printf.sprintf "%s\n%d\n" (section "meta") m.Detector.training_count);
+  Buffer.add_string buf (section "types");
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (attr, (d : Tinfer.decision)) ->
+      Buffer.add_string buf
+        (Csvio.row_to_string
+           [ attr; Ctype.to_string d.Tinfer.ctype;
+             string_of_float d.Tinfer.agreement; string_of_int d.Tinfer.samples ]);
+      Buffer.add_char buf '\n')
+    m.Detector.types;
+  Buffer.add_string buf (section "rules");
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (r : Template.rule) ->
+      let t = r.Template.template in
+      Buffer.add_string buf
+        (Csvio.row_to_string
+           [ t.Template.tname; Relation.symbol t.Template.relation;
+             opt_ctype_to_string t.Template.slot_a;
+             opt_ctype_to_string t.Template.slot_b;
+             (match t.Template.min_confidence with
+              | Some c -> string_of_float c
+              | None -> "");
+             r.Template.attr_a; r.Template.attr_b;
+             string_of_int r.Template.support;
+             string_of_float r.Template.confidence ]);
+      Buffer.add_char buf '\n')
+    m.Detector.rules;
+  Buffer.add_string buf (section "values");
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (attr, values) ->
+      Buffer.add_string buf (Csvio.row_to_string (attr :: values));
+      Buffer.add_char buf '\n')
+    m.Detector.value_stats;
+  Buffer.add_string buf (section "attrs");
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun attr ->
+      Buffer.add_string buf (Csvio.row_to_string [ attr ]);
+      Buffer.add_char buf '\n')
+    m.Detector.known_attrs;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let parse_type_row = function
+  | [ attr; ctype; agreement; samples ] -> (
+      match (Ctype.of_string ctype, float_of_string_opt agreement, int_of_string_opt samples) with
+      | Some ctype, Some agreement, Some samples ->
+          Ok (attr, { Tinfer.ctype; agreement; samples })
+      | _ -> Error ("bad type row for " ^ attr))
+  | row -> Error ("malformed type row: " ^ String.concat "," row)
+
+let parse_rule_row = function
+  | [ tname; symbol; slot_a; slot_b; min_conf; attr_a; attr_b; support; confidence ] ->
+      let* relation =
+        match Relation.of_symbol symbol with
+        | Some r -> Ok r
+        | None -> Error ("unknown relation symbol: " ^ symbol)
+      in
+      let* slot_a = opt_ctype_of_string slot_a in
+      let* slot_b = opt_ctype_of_string slot_b in
+      let* min_confidence =
+        match min_conf with
+        | "" -> Ok None
+        | s -> (
+            match float_of_string_opt s with
+            | Some f -> Ok (Some f)
+            | None -> Error ("bad min confidence: " ^ s))
+      in
+      let* support =
+        Option.to_result ~none:("bad support: " ^ support) (int_of_string_opt support)
+      in
+      let* confidence =
+        Option.to_result ~none:("bad confidence: " ^ confidence)
+          (float_of_string_opt confidence)
+      in
+      Ok
+        {
+          Template.template =
+            { Template.tname; description = "restored rule"; relation;
+              slot_a; slot_b; min_confidence };
+          attr_a; attr_b; support; confidence;
+        }
+  | row -> Error ("malformed rule row: " ^ String.concat "," row)
+
+let rec collect_section parse acc = function
+  | [] -> Ok (List.rev acc, [])
+  | line :: rest when String.length line > 0 && line.[0] = '@' ->
+      Ok (List.rev acc, line :: rest)
+  | line :: rest ->
+      let* row =
+        match Csvio.parse (line ^ "\n") with
+        | [ row ] -> Ok row
+        | _ -> Error ("unparsable line: " ^ line)
+      in
+      let* item = parse row in
+      collect_section parse (item :: acc) rest
+
+let of_string text =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+  in
+  match lines with
+  | header :: rest when header = magic ^ " " ^ version ->
+      let* meta, rest =
+        match rest with
+        | "@meta" :: count :: rest -> (
+            match int_of_string_opt count with
+            | Some n -> Ok (n, rest)
+            | None -> Error ("bad training count: " ^ count))
+        | _ -> Error "missing @meta section"
+      in
+      let* rest =
+        match rest with
+        | "@types" :: rest -> Ok rest
+        | _ -> Error "missing @types section"
+      in
+      let* types, rest = collect_section parse_type_row [] rest in
+      let* rest =
+        match rest with
+        | "@rules" :: rest -> Ok rest
+        | _ -> Error "missing @rules section"
+      in
+      let* rules, rest = collect_section parse_rule_row [] rest in
+      let* rest =
+        match rest with
+        | "@values" :: rest -> Ok rest
+        | _ -> Error "missing @values section"
+      in
+      let* value_stats, rest =
+        collect_section
+          (function
+            | attr :: values -> Ok (attr, values)
+            | [] -> Error "empty values row")
+          [] rest
+      in
+      let* rest =
+        match rest with
+        | "@attrs" :: rest -> Ok rest
+        | _ -> Error "missing @attrs section"
+      in
+      let* attrs, leftover =
+        collect_section
+          (function
+            | [ attr ] -> Ok attr
+            | row -> Error ("malformed attr row: " ^ String.concat "," row))
+          [] rest
+      in
+      if leftover <> [] then Error "trailing content after @attrs"
+      else
+        Ok
+          {
+            Detector.types; rules; value_stats; known_attrs = attrs;
+            training_count = meta;
+          }
+  | header :: _ -> Error ("unsupported model header: " ^ header)
+  | [] -> Error "empty model file"
+
+let save path model =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string model))
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> of_string (really_input_string ic (in_channel_length ic)))

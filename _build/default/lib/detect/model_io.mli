@@ -1,0 +1,23 @@
+(** Model persistence.
+
+    The paper separates checking from learning so that "the learned
+    rules can be reused to check different systems" (section 3): a model
+    learned once from a large training set ships to the machines being
+    checked.  This module serializes a {!Detector.model} to a portable
+    text format and back.
+
+    Format: a versioned header followed by CSV sections
+    ([types], [rules], [values], [attrs]); everything the checker needs,
+    nothing else.  Custom-type *registrations* are not embedded — load
+    the same customization file on both sides. *)
+
+val to_string : Detector.model -> string
+
+val of_string : string -> (Detector.model, string) result
+(** Parse a serialized model.  Fails with a descriptive message on
+    version mismatch or malformed sections. *)
+
+val save : string -> Detector.model -> unit
+(** Write to a file. *)
+
+val load : string -> (Detector.model, string) result

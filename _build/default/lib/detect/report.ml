@@ -1,0 +1,44 @@
+let to_string warnings =
+  let buf = Buffer.create 512 in
+  List.iteri
+    (fun i w ->
+      Buffer.add_string buf
+        (Printf.sprintf "%2d. [%-11s score=%.2f] %s\n" (i + 1)
+           (Warning.kind_label w) w.Warning.score w.Warning.message))
+    warnings;
+  Buffer.contents buf
+
+let primary_attr (w : Warning.t) =
+  match w.Warning.attrs with
+  | [] -> w.Warning.message
+  | attr :: _ -> Encore_dataset.Augment.base_attr attr
+
+let merge_by_attr warnings =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun w ->
+      let key = primary_attr w in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    warnings
+
+let rank_of warnings pred =
+  let rec go i = function
+    | [] -> None
+    | w :: rest -> if pred w then Some i else go (i + 1) rest
+  in
+  go 1 warnings
+
+let rank_of_attr warnings needle =
+  rank_of warnings (fun w ->
+      List.exists
+        (fun attr -> Encore_util.Strutil.contains_sub attr needle)
+        w.Warning.attrs)
+
+let detected_of warnings ~expected =
+  List.partition
+    (fun needle -> rank_of_attr warnings needle <> None)
+    expected

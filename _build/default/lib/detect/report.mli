@@ -1,0 +1,23 @@
+(** Warning report rendering and ground-truth evaluation helpers. *)
+
+val to_string : Warning.t list -> string
+(** Numbered, ranked listing. *)
+
+val merge_by_attr : Warning.t list -> Warning.t list
+(** Collapse warnings sharing a primary (base) attribute into the
+    highest-scored one, preserving rank order.  An environment problem
+    typically violates several rules at once (ownership, equal-owner,
+    suspicious value); the ranked report the paper shows counts it
+    once. *)
+
+val rank_of : Warning.t list -> (Warning.t -> bool) -> int option
+(** 1-based rank of the first warning satisfying the predicate. *)
+
+val rank_of_attr : Warning.t list -> string -> int option
+(** 1-based rank of the first warning implicating an attribute whose
+    name contains the given substring (augmented attributes of an entry
+    count as hits for that entry). *)
+
+val detected_of :
+  Warning.t list -> expected:string list -> string list * string list
+(** [(hit, missed)] partition of the expected attribute substrings. *)

@@ -1,0 +1,29 @@
+type kind =
+  | Entry_name_violation of { unseen : string; nearest : string option }
+  | Correlation_violation of Encore_rules.Template.rule
+  | Type_violation of {
+      attr : string;
+      expected : Encore_typing.Ctype.t;
+      value : string;
+    }
+  | Suspicious_value of {
+      attr : string;
+      value : string;
+      training_cardinality : int;
+    }
+
+type t = { kind : kind; attrs : string list; message : string; score : float }
+
+let kind_label t =
+  match t.kind with
+  | Entry_name_violation _ -> "name"
+  | Correlation_violation _ -> "correlation"
+  | Type_violation _ -> "type"
+  | Suspicious_value _ -> "value"
+
+let involves t attr = List.mem attr t.attrs
+
+let compare_rank a b =
+  match compare b.score a.score with
+  | 0 -> compare a.message b.message
+  | c -> c

@@ -1,0 +1,27 @@
+(** Detector warnings (paper section 6).
+
+    Each warning carries the violated check, the attributes involved,
+    a human-readable explanation and a ranking score; higher scores
+    rank earlier in the report. *)
+
+type kind =
+  | Entry_name_violation of { unseen : string; nearest : string option }
+  | Correlation_violation of Encore_rules.Template.rule
+  | Type_violation of { attr : string; expected : Encore_typing.Ctype.t; value : string }
+  | Suspicious_value of { attr : string; value : string; training_cardinality : int }
+
+type t = {
+  kind : kind;
+  attrs : string list;  (** attributes implicated *)
+  message : string;
+  score : float;
+}
+
+val kind_label : t -> string
+(** ["name"], ["correlation"], ["type"], ["value"]. *)
+
+val involves : t -> string -> bool
+(** Does the warning implicate the attribute? *)
+
+val compare_rank : t -> t -> int
+(** Descending score; stable tie-break on message. *)

@@ -1,0 +1,1 @@
+lib/inject/conferr.ml: Char Encore_confparse Encore_sysenv Encore_util Fault List Printf String Typo

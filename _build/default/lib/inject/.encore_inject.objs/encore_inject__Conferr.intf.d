@@ -1,0 +1,1 @@
+lib/inject/conferr.mli: Encore_sysenv Encore_util Fault

@@ -1,0 +1,1 @@
+lib/inject/fault.ml: Printf

@@ -1,0 +1,1 @@
+lib/inject/typo.ml: Bytes Char Encore_util Fun List String

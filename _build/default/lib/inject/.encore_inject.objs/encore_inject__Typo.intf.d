@@ -1,0 +1,1 @@
+lib/inject/typo.mli: Encore_util

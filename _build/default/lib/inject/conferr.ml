@@ -1,0 +1,235 @@
+module Prng = Encore_util.Prng
+module Strutil = Encore_util.Strutil
+module Image = Encore_sysenv.Image
+module Fs = Encore_sysenv.Fs
+module Accounts = Encore_sysenv.Accounts
+module Kv = Encore_confparse.Kv
+module Registry = Encore_confparse.Registry
+
+type campaign = { image : Image.t; injections : Fault.injection list }
+
+let kvs_of img app =
+  let app_name = Image.app_to_string app in
+  match (Image.config_for img app, Registry.lens_for app_name) with
+  | Some cf, Some lens -> Some (lens.Registry.parse ~app:app_name cf.Image.text)
+  | _, _ -> None
+
+let rewrite img app kvs =
+  let app_name = Image.app_to_string app in
+  match Registry.lens_for app_name with
+  | None -> img
+  | Some lens -> Image.set_config img app (lens.Registry.render ~app:app_name kvs)
+
+let replace_kv kvs old_kv new_kv =
+  List.map (fun kv -> if kv == old_kv then new_kv else kv) kvs
+
+(* pick a kv satisfying [pred], if any *)
+let pick_kv rng kvs pred =
+  match List.filter pred kvs with
+  | [] -> None
+  | candidates -> Some (Prng.pick rng candidates)
+
+let is_path_value img (kv : Kv.t) =
+  Strutil.starts_with ~prefix:"/" kv.value && Fs.exists img.Image.fs kv.value
+
+let is_dir_value img (kv : Kv.t) =
+  Strutil.starts_with ~prefix:"/" kv.value && Fs.is_dir img.Image.fs kv.value
+
+let is_user_value img (kv : Kv.t) =
+  Accounts.user_exists img.Image.accounts kv.value && kv.value <> "root"
+
+let is_size_value (kv : Kv.t) =
+  (* only unit-suffixed values are size entries; bare numbers may be
+     ports, counts or timeouts *)
+  let n = String.length kv.value in
+  n >= 2
+  && (match Char.uppercase_ascii kv.value.[n - 1] with
+      | 'K' | 'M' | 'G' | 'T' -> true
+      | _ -> false)
+  && Strutil.parse_size kv.value <> None
+
+let mk_injection fault (kv : Kv.t) after =
+  { Fault.fault; target_attr = kv.key; before = kv.value; after }
+
+let regular_files img =
+  Fs.fold
+    (fun path (m : Fs.meta) acc ->
+      match m.kind with Fs.Regular -> path :: acc | Fs.Directory | Fs.Symlink _ -> acc)
+    img.Image.fs []
+
+let inject_config rng app img kind kvs =
+  match (kind : Fault.config_fault) with
+  | Fault.Key_typo -> (
+      match pick_kv rng kvs (fun (kv : Kv.t) ->
+          String.length (Kv.key_basename kv.key) >= 3) with
+      | None -> None
+      | Some kv ->
+          let base = Kv.key_basename kv.key in
+          let mutated = Typo.random rng base in
+          let prefix = String.sub kv.key 0 (String.length kv.key - String.length base) in
+          let new_kv = Kv.make (prefix ^ mutated) kv.value in
+          let img' = rewrite img app (replace_kv kvs kv new_kv) in
+          Some
+            ( img',
+              { Fault.fault = Fault.Config_fault kind;
+                target_attr = kv.key; before = kv.key; after = new_kv.Kv.key } ))
+  | Fault.Value_typo -> (
+      match pick_kv rng kvs (fun (kv : Kv.t) -> String.length kv.value >= 2) with
+      | None -> None
+      | Some kv ->
+          let after = Typo.random rng kv.value in
+          let img' = rewrite img app (replace_kv kvs kv (Kv.make kv.key after)) in
+          Some (img', mk_injection (Fault.Config_fault kind) kv after))
+  | Fault.Wrong_path -> (
+      match pick_kv rng kvs (fun kv -> is_path_value img kv) with
+      | None -> None
+      | Some kv ->
+          let after = "/nonexistent/path" ^ string_of_int (Prng.int rng 1000) in
+          let img' = rewrite img app (replace_kv kvs kv (Kv.make kv.key after)) in
+          Some (img', mk_injection (Fault.Config_fault kind) kv after))
+  | Fault.Path_to_file -> (
+      match pick_kv rng kvs (fun kv -> is_dir_value img kv) with
+      | None -> None
+      | Some kv -> (
+          match regular_files img with
+          | [] -> None
+          | files ->
+              let after = Prng.pick rng files in
+              let img' = rewrite img app (replace_kv kvs kv (Kv.make kv.key after)) in
+              Some (img', mk_injection (Fault.Config_fault kind) kv after)))
+  | Fault.Wrong_user -> (
+      match pick_kv rng kvs (fun kv -> is_user_value img kv) with
+      | None -> None
+      | Some kv -> (
+          let others =
+            List.filter
+              (fun (u : Accounts.user) -> u.name <> kv.value)
+              (Accounts.users img.Image.accounts)
+          in
+          match others with
+          | [] -> None
+          | _ ->
+              let after = (Prng.pick rng others).Accounts.name in
+              let img' = rewrite img app (replace_kv kvs kv (Kv.make kv.key after)) in
+              Some (img', mk_injection (Fault.Config_fault kind) kv after)))
+  | Fault.Value_swap -> (
+      let eligible = List.filter (fun (kv : Kv.t) -> kv.value <> "") kvs in
+      if List.length eligible < 2 then None
+      else
+        let a = Prng.pick rng eligible in
+        let rec pick_b tries =
+          let b = Prng.pick rng eligible in
+          if (b != a && b.Kv.value <> a.Kv.value) || tries > 16 then b
+          else pick_b (tries + 1)
+        in
+        let b = pick_b 0 in
+        if b == a || b.Kv.value = a.Kv.value then None
+        else
+          let kvs' =
+            List.map
+              (fun kv ->
+                if kv == a then Kv.make a.Kv.key b.Kv.value
+                else if kv == b then Kv.make b.Kv.key a.Kv.value
+                else kv)
+              kvs
+          in
+          Some
+            ( rewrite img app kvs',
+              mk_injection (Fault.Config_fault kind) a b.Kv.value ))
+  | Fault.Size_inversion -> (
+      match pick_kv rng kvs is_size_value with
+      | None -> None
+      | Some kv -> (
+          match Strutil.parse_size kv.value with
+          | None -> None
+          | Some bytes ->
+              (* push the value far out of its band, in either
+                 direction, breaking some a<b ordering around it *)
+              let after =
+                if Prng.bool rng then
+                  Strutil.format_size (max 1 bytes * 1024 * 16)
+                else Strutil.format_size (max 1024 (bytes / (1024 * 16)))
+              in
+              let img' =
+                rewrite img app (replace_kv kvs kv (Kv.make kv.key after))
+              in
+              Some (img', mk_injection (Fault.Config_fault kind) kv after)))
+
+let inject_env rng _app img kind kvs =
+  match (kind : Fault.env_fault) with
+  | Fault.Chown_flip -> (
+      match pick_kv rng kvs (fun kv -> is_path_value img kv) with
+      | None -> None
+      | Some kv ->
+          let owner_before =
+            match Fs.lookup img.Image.fs kv.Kv.value with
+            | Some m -> m.Fs.owner
+            | None -> "?"
+          in
+          let others =
+            List.filter
+              (fun (u : Accounts.user) -> u.name <> owner_before)
+              (Accounts.users img.Image.accounts)
+          in
+          if others = [] then None
+          else
+            let new_owner = (Prng.pick rng others).Accounts.name in
+            let fs =
+              Fs.chown img.Image.fs kv.Kv.value ~owner:new_owner ~group:new_owner
+            in
+            Some
+              ( Image.with_fs img fs,
+                { Fault.fault = Fault.Env_fault kind;
+                  target_attr = kv.Kv.key;
+                  before = owner_before; after = new_owner } ))
+  | Fault.Perm_flip -> (
+      match pick_kv rng kvs (fun kv -> is_path_value img kv) with
+      | None -> None
+      | Some kv ->
+          let before =
+            match Fs.lookup img.Image.fs kv.Kv.value with
+            | Some m -> Printf.sprintf "%o" m.Fs.perm
+            | None -> "?"
+          in
+          let fs = Fs.chmod img.Image.fs kv.Kv.value ~perm:0o600 in
+          Some
+            ( Image.with_fs img fs,
+              { Fault.fault = Fault.Env_fault kind;
+                target_attr = kv.Kv.key; before; after = "600" } ))
+  | Fault.Symlink_inject -> (
+      match pick_kv rng kvs (fun kv -> is_dir_value img kv) with
+      | None -> None
+      | Some kv ->
+          let link = Strutil.path_join kv.Kv.value "injected_link" in
+          let fs = Fs.add_symlink img.Image.fs link ~target:"/etc/passwd" in
+          Some
+            ( Image.with_fs img fs,
+              { Fault.fault = Fault.Env_fault kind;
+                target_attr = kv.Kv.key; before = "no-symlink"; after = link } ))
+
+let inject_one rng app img fault =
+  match kvs_of img app with
+  | None -> None
+  | Some kvs -> (
+      match fault with
+      | Fault.Config_fault kind -> inject_config rng app img kind kvs
+      | Fault.Env_fault kind -> inject_env rng app img kind kvs)
+
+let inject ?(env_fault_fraction = 0.0) rng app img ~n =
+  let rec go img acc used k attempts =
+    if k = 0 || attempts > n * 30 then
+      { image = img; injections = List.rev acc }
+    else
+      let fault =
+        if Prng.chance rng env_fault_fraction then
+          Fault.Env_fault (Prng.pick rng Fault.all_env_faults)
+        else Fault.Config_fault (Prng.pick rng Fault.all_config_faults)
+      in
+      match inject_one rng app img fault with
+      | Some (img', injection)
+        when not (List.mem injection.Fault.target_attr used) ->
+          go img' (injection :: acc) (injection.Fault.target_attr :: used)
+            (k - 1) (attempts + 1)
+      | Some _ | None -> go img acc used k (attempts + 1)
+  in
+  go img [] [] n 0

@@ -1,0 +1,28 @@
+(** ConfErr-style injection campaigns: apply N random faults to one
+    image and record the ground truth, for the Table 8 experiment.
+
+    Config faults rewrite the application's configuration file through
+    its lens; environment faults mutate the image's file tree while the
+    configuration text stays untouched. *)
+
+type campaign = {
+  image : Encore_sysenv.Image.t;  (** the faulted image *)
+  injections : Fault.injection list;  (** ground truth, in order *)
+}
+
+val inject :
+  ?env_fault_fraction:float ->
+  Encore_util.Prng.t -> Encore_sysenv.Image.app ->
+  Encore_sysenv.Image.t -> n:int -> campaign
+(** [inject rng app img ~n] applies [n] distinct-target faults to the
+    [app] configuration of [img].  [env_fault_fraction] (default 0.0,
+    matching the paper's note that ConfErr stays within configuration
+    files) is the probability that a fault perturbs the environment
+    instead of the file. *)
+
+val inject_one :
+  Encore_util.Prng.t -> Encore_sysenv.Image.app ->
+  Encore_sysenv.Image.t -> Fault.fault ->
+  (Encore_sysenv.Image.t * Fault.injection) option
+(** Apply one specific fault kind; [None] when no entry of the image is
+    a suitable target. *)

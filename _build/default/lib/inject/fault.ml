@@ -1,0 +1,42 @@
+type config_fault =
+  | Key_typo
+  | Value_typo
+  | Wrong_path
+  | Path_to_file
+  | Wrong_user
+  | Value_swap
+  | Size_inversion
+
+type env_fault = Chown_flip | Perm_flip | Symlink_inject
+
+type fault = Config_fault of config_fault | Env_fault of env_fault
+
+let fault_to_string = function
+  | Config_fault Key_typo -> "key-typo"
+  | Config_fault Value_typo -> "value-typo"
+  | Config_fault Wrong_path -> "wrong-path"
+  | Config_fault Path_to_file -> "path-to-file"
+  | Config_fault Wrong_user -> "wrong-user"
+  | Config_fault Value_swap -> "value-swap"
+  | Config_fault Size_inversion -> "size-inversion"
+  | Env_fault Chown_flip -> "chown-flip"
+  | Env_fault Perm_flip -> "perm-flip"
+  | Env_fault Symlink_inject -> "symlink-inject"
+
+let all_config_faults =
+  [ Key_typo; Value_typo; Wrong_path; Path_to_file; Wrong_user; Value_swap;
+    Size_inversion ]
+
+let all_env_faults = [ Chown_flip; Perm_flip; Symlink_inject ]
+
+type injection = {
+  fault : fault;
+  target_attr : string;
+  before : string;
+  after : string;
+}
+
+let injection_to_string i =
+  Printf.sprintf "%s on %s: '%s' -> '%s'"
+    (fault_to_string i.fault)
+    i.target_attr i.before i.after

@@ -1,0 +1,76 @@
+module Prng = Encore_util.Prng
+
+type op = Omission | Insertion | Substitution | Transposition | Case_flip
+
+let all_ops = [ Omission; Insertion; Substitution; Transposition; Case_flip ]
+
+let op_to_string = function
+  | Omission -> "omission"
+  | Insertion -> "insertion"
+  | Substitution -> "substitution"
+  | Transposition -> "transposition"
+  | Case_flip -> "case-flip"
+
+let letters = "abcdefghijklmnopqrstuvwxyz"
+
+let random_letter rng = letters.[Prng.int rng (String.length letters)]
+
+let apply rng op s =
+  let n = String.length s in
+  match op with
+  | Omission ->
+      if n < 2 then s
+      else
+        let i = Prng.int rng n in
+        String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+  | Insertion ->
+      let i = if n = 0 then 0 else Prng.int rng (n + 1) in
+      String.sub s 0 i ^ String.make 1 (random_letter rng) ^ String.sub s i (n - i)
+  | Substitution ->
+      if n = 0 then s
+      else
+        let i = Prng.int rng n in
+        let c = random_letter rng in
+        let c = if c = s.[i] then (if c = 'z' then 'a' else Char.chr (Char.code c + 1)) else c in
+        String.sub s 0 i ^ String.make 1 c ^ String.sub s (i + 1) (n - i - 1)
+  | Transposition ->
+      if n < 2 then s
+      else begin
+        (* pick an adjacent pair that actually differs when possible *)
+        let candidates =
+          List.filter (fun i -> s.[i] <> s.[i + 1]) (List.init (n - 1) Fun.id)
+        in
+        match candidates with
+        | [] -> s
+        | _ ->
+            let i = Prng.pick rng candidates in
+            let b = Bytes.of_string s in
+            Bytes.set b i s.[i + 1];
+            Bytes.set b (i + 1) s.[i];
+            Bytes.to_string b
+      end
+  | Case_flip ->
+      let alpha = List.filter (fun i ->
+          let c = s.[i] in
+          (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))
+          (List.init n Fun.id)
+      in
+      (match alpha with
+       | [] -> s
+       | _ ->
+           let i = Prng.pick rng alpha in
+           let b = Bytes.of_string s in
+           let c = s.[i] in
+           Bytes.set b i
+             (if c >= 'a' && c <= 'z' then Char.uppercase_ascii c
+              else Char.lowercase_ascii c);
+           Bytes.to_string b)
+
+let random rng s =
+  if String.length s < 2 then apply rng Insertion s
+  else
+    let rec try_ops tries =
+      let mutated = apply rng (Prng.pick rng all_ops) s in
+      if mutated <> s || tries > 8 then mutated else try_ops (tries + 1)
+    in
+    try_ops 0

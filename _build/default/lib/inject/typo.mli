@@ -1,0 +1,16 @@
+(** Typographic error operators, after ConfErr's psychology-grounded
+    fault classes (Keller, Upadhyaya & Candea, DSN 2008): omission,
+    insertion, substitution, adjacent transposition and case flips. *)
+
+type op = Omission | Insertion | Substitution | Transposition | Case_flip
+
+val all_ops : op list
+val op_to_string : op -> string
+
+val apply : Encore_util.Prng.t -> op -> string -> string
+(** Apply one operator at a random position.  Strings too short for the
+    operator are returned unchanged (e.g. transposition on length 1). *)
+
+val random : Encore_util.Prng.t -> string -> string
+(** Apply a uniformly chosen applicable operator; guaranteed to differ
+    from the input when the input has length >= 2. *)

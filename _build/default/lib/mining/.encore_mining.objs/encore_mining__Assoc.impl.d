@@ -1,0 +1,1 @@
+lib/mining/assoc.ml: Hashtbl Itemset List Printf String

@@ -1,0 +1,1 @@
+lib/mining/assoc.mli: Itemset

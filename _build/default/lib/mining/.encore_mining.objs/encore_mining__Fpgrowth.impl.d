@@ -1,0 +1,1 @@
+lib/mining/fpgrowth.ml: Array Hashtbl Itemset List Option

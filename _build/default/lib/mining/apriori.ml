@@ -1,0 +1,62 @@
+type result = {
+  frequent : (Itemset.t * int) list;
+  overflowed : bool;
+  levels : int;
+}
+
+let frequent_singletons ~min_support transactions =
+  let counts = Hashtbl.create 256 in
+  Array.iter
+    (fun tx ->
+      Array.iter
+        (fun item ->
+          Hashtbl.replace counts item
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts item)))
+        tx)
+    transactions;
+  Hashtbl.fold
+    (fun item c acc ->
+      if c >= min_support then (Itemset.singleton item, c) :: acc else acc)
+    counts []
+  |> List.sort (fun (a, _) (b, _) -> Itemset.compare a b)
+
+(* Candidate (k+1)-itemsets from frequent k-itemsets, with subset
+   pruning: every k-subset of a candidate must itself be frequent. *)
+let candidates frequent_k =
+  let frequent_set = Hashtbl.create (List.length frequent_k) in
+  List.iter (fun (s, _) -> Hashtbl.replace frequent_set s ()) frequent_k;
+  let sets = List.map fst frequent_k in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          match Itemset.join a b with
+          | None -> None
+          | Some c ->
+              if
+                List.for_all
+                  (fun sub -> Hashtbl.mem frequent_set sub)
+                  (Itemset.subsets_k_minus_1 c)
+              then Some c
+              else None)
+        sets)
+    sets
+
+let mine ?(max_itemsets = 2_000_000) ~min_support transactions =
+  let rec level k acc current =
+    if current = [] then { frequent = acc; overflowed = false; levels = k - 1 }
+    else if List.length acc > max_itemsets then
+      { frequent = acc; overflowed = true; levels = k }
+    else
+      let cands = candidates current in
+      let next =
+        List.filter_map
+          (fun c ->
+            let s = Itemset.support transactions c in
+            if s >= min_support then Some (c, s) else None)
+          cands
+      in
+      level (k + 1) (acc @ next) next
+  in
+  let l1 = frequent_singletons ~min_support transactions in
+  level 2 l1 l1

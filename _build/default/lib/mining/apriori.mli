@@ -1,0 +1,22 @@
+(** Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994).
+
+    Level-wise candidate generation with the k-1 x k-1 join and
+    prefix-subset pruning.  The paper's section 2.2 observes that
+    Apriori "does not scale to large data sets"; this implementation
+    exists to reproduce that observation (Table 3) and as the mining
+    baseline.
+
+    [max_itemsets] bounds the frequent-set population to stand in for
+    the out-of-memory failures reported in Table 3: when exceeded,
+    mining stops and the result is flagged as overflowed. *)
+
+type result = {
+  frequent : (Itemset.t * int) list;  (** itemset with its support count *)
+  overflowed : bool;  (** stopped early: the OOM stand-in *)
+  levels : int;  (** deepest k reached *)
+}
+
+val mine :
+  ?max_itemsets:int -> min_support:int -> Itemset.t array -> result
+(** [mine ~min_support transactions].  [max_itemsets] defaults to
+    2_000_000. *)

@@ -1,0 +1,40 @@
+type rule = {
+  antecedent : Itemset.t;
+  consequent : Itemset.t;
+  support : int;
+  confidence : float;
+}
+
+let rules ~min_confidence frequent =
+  let support_of = Hashtbl.create (List.length frequent) in
+  List.iter (fun (s, c) -> Hashtbl.replace support_of s c) frequent;
+  List.concat_map
+    (fun (itemset, support) ->
+      if Itemset.size itemset < 2 then []
+      else
+        List.filter_map
+          (fun consequent_item ->
+            let consequent = Itemset.singleton consequent_item in
+            let antecedent =
+              Itemset.of_list
+                (List.filter
+                   (fun i -> i <> consequent_item)
+                   (Itemset.to_list itemset))
+            in
+            match Hashtbl.find_opt support_of antecedent with
+            | None -> None
+            | Some ant_support ->
+                let confidence =
+                  float_of_int support /. float_of_int ant_support
+                in
+                if confidence >= min_confidence then
+                  Some { antecedent; consequent; support; confidence }
+                else None)
+          (Itemset.to_list itemset))
+    frequent
+
+let to_string label rule =
+  Printf.sprintf "{%s} => {%s} (sup=%d, conf=%.2f)"
+    (String.concat ", " (List.map label (Itemset.to_list rule.antecedent)))
+    (String.concat ", " (List.map label (Itemset.to_list rule.consequent)))
+    rule.support rule.confidence

@@ -1,0 +1,21 @@
+(** Association rules from frequent itemsets: the classic
+    antecedent => consequent form with support and confidence, as
+    produced by the off-the-shelf mining pipeline EnCore compares
+    against (paper section 2.2). *)
+
+type rule = {
+  antecedent : Itemset.t;
+  consequent : Itemset.t;
+  support : int;  (** support count of antecedent U consequent *)
+  confidence : float;
+}
+
+val rules :
+  min_confidence:float -> (Itemset.t * int) list -> rule list
+(** Derive every rule [A => (S \ A)] with [A] a proper non-empty subset
+    of a frequent set [S], keeping those meeting [min_confidence].
+    Only single-item consequents are generated (the common mining
+    configuration, sufficient for correlation discovery). *)
+
+val to_string : (int -> string) -> rule -> string
+(** Render with an item-label function. *)

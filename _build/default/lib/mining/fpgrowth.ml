@@ -1,0 +1,151 @@
+type result = { frequent : (Itemset.t * int) list; overflowed : bool }
+
+type node = {
+  item : int;
+  mutable count : int;
+  parent : node option;
+  mutable children : (int * node) list;
+}
+
+type tree = {
+  root : node;
+  mutable header : (int * node list ref) list;  (** item -> node chain *)
+}
+
+exception Overflow
+
+let new_node ?parent item = { item; count = 0; parent; children = [] }
+
+let tree_insert tree sorted_items count =
+  let rec go node = function
+    | [] -> ()
+    | item :: rest ->
+        let child =
+          match List.assoc_opt item node.children with
+          | Some c -> c
+          | None ->
+              let c = new_node ~parent:node item in
+              node.children <- (item, c) :: node.children;
+              (match List.assoc_opt item tree.header with
+               | Some chain -> chain := c :: !chain
+               | None -> tree.header <- (item, ref [ c ]) :: tree.header);
+              c
+        in
+        child.count <- child.count + count;
+        go child rest
+  in
+  go tree.root sorted_items
+
+(* Order items by descending support (ties by item id) and drop
+   infrequent ones. *)
+let order_items ~min_support weighted_transactions =
+  let counts = Hashtbl.create 256 in
+  List.iter
+    (fun (items, w) ->
+      List.iter
+        (fun item ->
+          Hashtbl.replace counts item
+            (w + Option.value ~default:0 (Hashtbl.find_opt counts item)))
+        items)
+    weighted_transactions;
+  let frequent =
+    Hashtbl.fold
+      (fun item c acc -> if c >= min_support then (item, c) :: acc else acc)
+      counts []
+  in
+  let rank = Hashtbl.create (List.length frequent) in
+  List.iteri
+    (fun i (item, _) -> Hashtbl.add rank item i)
+    (List.sort
+       (fun (ia, ca) (ib, cb) ->
+         match compare cb ca with 0 -> compare ia ib | c -> c)
+       frequent);
+  (rank, frequent)
+
+let build_tree ~min_support weighted_transactions =
+  let rank, frequent = order_items ~min_support weighted_transactions in
+  let tree = { root = new_node (-1); header = [] } in
+  List.iter
+    (fun (items, w) ->
+      let kept =
+        items
+        |> List.filter (fun i -> Hashtbl.mem rank i)
+        |> List.sort (fun a b -> compare (Hashtbl.find rank a) (Hashtbl.find rank b))
+      in
+      if kept <> [] then tree_insert tree kept w)
+    weighted_transactions;
+  (tree, frequent)
+
+(* Path from a node up to (excluding) the root. *)
+let prefix_path node =
+  let rec go acc n =
+    match n.parent with
+    | None -> acc
+    | Some p -> if p.item = -1 then acc else go (p.item :: acc) p
+  in
+  go [] node
+
+let mine ?(max_itemsets = 2_000_000) ~min_support transactions =
+  let out = ref [] in
+  let n_out = ref 0 in
+  let emit itemset count =
+    incr n_out;
+    if !n_out > max_itemsets then raise Overflow;
+    out := (Itemset.of_list itemset, count) :: !out
+  in
+  let rec grow weighted suffix =
+    let tree, frequent = build_tree ~min_support weighted in
+    List.iter
+      (fun (item, support) ->
+        let itemset = item :: suffix in
+        emit itemset support;
+        (* conditional pattern base of [item] *)
+        match List.assoc_opt item tree.header with
+        | None -> ()
+        | Some chain ->
+            let base =
+              List.filter_map
+                (fun node ->
+                  match prefix_path node with
+                  | [] -> None
+                  | path -> Some (path, node.count))
+                !chain
+            in
+            if base <> [] then grow base itemset)
+      frequent
+  in
+  let weighted =
+    Array.to_list (Array.map (fun tx -> (Array.to_list tx, 1)) transactions)
+  in
+  match grow weighted [] with
+  | () -> { frequent = List.rev !out; overflowed = false }
+  | exception Overflow -> { frequent = List.rev !out; overflowed = true }
+
+let count_only ?(max_itemsets = 2_000_000) ~min_support transactions =
+  let n = ref 0 in
+  let rec grow weighted depth =
+    let tree, frequent = build_tree ~min_support weighted in
+    List.iter
+      (fun (item, _) ->
+        incr n;
+        if !n > max_itemsets then raise Overflow;
+        match List.assoc_opt item tree.header with
+        | None -> ()
+        | Some chain ->
+            let base =
+              List.filter_map
+                (fun node ->
+                  match prefix_path node with
+                  | [] -> None
+                  | path -> Some (path, node.count))
+                !chain
+            in
+            if base <> [] then grow base (depth + 1))
+      frequent
+  in
+  let weighted =
+    Array.to_list (Array.map (fun tx -> (Array.to_list tx, 1)) transactions)
+  in
+  match grow weighted 0 with
+  | () -> (!n, false)
+  | exception Overflow -> (!n, true)

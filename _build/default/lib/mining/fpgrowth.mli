@@ -1,0 +1,24 @@
+(** FP-Growth frequent-itemset mining (Han, Pei & Yin, SIGMOD 2000).
+
+    Builds an FP-tree (prefix tree ordered by descending item frequency
+    with header links) and mines it by recursive conditional-tree
+    projection, avoiding Apriori's candidate generation.
+
+    As with {!Apriori}, [max_itemsets] caps the output to emulate the
+    out-of-memory terminations the paper reports past ~200 attributes
+    (Table 3). *)
+
+type result = {
+  frequent : (Itemset.t * int) list;
+  overflowed : bool;
+}
+
+val mine :
+  ?max_itemsets:int -> min_support:int -> Itemset.t array -> result
+(** [max_itemsets] defaults to 2_000_000. *)
+
+val count_only :
+  ?max_itemsets:int -> min_support:int -> Itemset.t array -> int * bool
+(** Mine but only count the frequent itemsets — the Table 3 measurement
+    ("size of the intermediate frequent item set") without materializing
+    the sets. *)

@@ -1,0 +1,80 @@
+type t = int array
+
+let of_list xs = Array.of_list (List.sort_uniq compare xs)
+let to_list = Array.to_list
+let singleton x = [| x |]
+let size = Array.length
+
+let mem x t =
+  (* binary search over the sorted array *)
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if t.(mid) = x then true
+      else if t.(mid) < x then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length t)
+
+let subset a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i >= la then true
+    else if j >= lb then false
+    else if a.(i) = b.(j) then go (i + 1) (j + 1)
+    else if a.(i) > b.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+let union a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let rec go i j k =
+    if i >= la && j >= lb then k
+    else if i >= la then begin
+      out.(k) <- b.(j);
+      go i (j + 1) (k + 1)
+    end
+    else if j >= lb then begin
+      out.(k) <- a.(i);
+      go (i + 1) j (k + 1)
+    end
+    else if a.(i) = b.(j) then begin
+      out.(k) <- a.(i);
+      go (i + 1) (j + 1) (k + 1)
+    end
+    else if a.(i) < b.(j) then begin
+      out.(k) <- a.(i);
+      go (i + 1) j (k + 1)
+    end
+    else begin
+      out.(k) <- b.(j);
+      go i (j + 1) (k + 1)
+    end
+  in
+  let k = go 0 0 0 in
+  Array.sub out 0 k
+
+let equal a b = a = b
+let compare = compare
+
+let support transactions itemset =
+  Array.fold_left
+    (fun acc tx -> if subset itemset tx then acc + 1 else acc)
+    0 transactions
+
+let join a b =
+  let k = Array.length a in
+  if k = 0 || Array.length b <> k then None
+  else
+    let rec prefix_eq i =
+      if i >= k - 1 then true else if a.(i) = b.(i) then prefix_eq (i + 1) else false
+    in
+    if prefix_eq 0 && a.(k - 1) < b.(k - 1) then Some (union a b) else None
+
+let subsets_k_minus_1 t =
+  let n = Array.length t in
+  List.init n (fun drop ->
+      Array.init (n - 1) (fun i -> if i < drop then t.(i) else t.(i + 1)))

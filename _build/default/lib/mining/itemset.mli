@@ -1,0 +1,28 @@
+(** Itemsets as strictly increasing int arrays over a dense item
+    dictionary; transactions use the same representation. *)
+
+type t = int array
+
+val of_list : int list -> t
+(** Sorts and dedups. *)
+
+val to_list : t -> int list
+val singleton : int -> t
+val size : t -> int
+val subset : t -> t -> bool
+(** [subset a b]: every item of [a] occurs in [b] (both sorted). *)
+
+val union : t -> t -> t
+val mem : int -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val support : t array -> t -> int
+(** Number of transactions containing the itemset. *)
+
+val join : t -> t -> t option
+(** Apriori k-1 x k-1 join: if the two k-itemsets share their first
+    k-1 items, return their (k+1)-union, else [None]. *)
+
+val subsets_k_minus_1 : t -> t list
+(** All subsets obtained by dropping one item. *)

@@ -1,0 +1,1 @@
+lib/rules/customfile.ml: Encore_typing Encore_util Hashtbl List Option Relation String Template

@@ -1,0 +1,1 @@
+lib/rules/filters.ml: Encore_dataset Encore_util Hashtbl List Relation Template

@@ -1,0 +1,1 @@
+lib/rules/filters.mli: Infer Template

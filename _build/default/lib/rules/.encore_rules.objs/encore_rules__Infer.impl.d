@@ -1,0 +1,1 @@
+lib/rules/infer.ml: Domain Encore_dataset Encore_sysenv Encore_typing Encore_util Hashtbl List Option Relation String Template

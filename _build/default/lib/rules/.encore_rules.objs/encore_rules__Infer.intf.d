@@ -1,0 +1,1 @@
+lib/rules/infer.mli: Encore_dataset Encore_sysenv Encore_typing Template

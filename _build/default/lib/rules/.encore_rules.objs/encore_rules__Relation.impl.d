@@ -1,0 +1,1 @@
+lib/rules/relation.ml: Encore_dataset Encore_sysenv Encore_typing Encore_util List Printf String

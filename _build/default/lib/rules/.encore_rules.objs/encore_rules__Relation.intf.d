@@ -1,0 +1,1 @@
+lib/rules/relation.mli: Encore_dataset Encore_sysenv Encore_typing

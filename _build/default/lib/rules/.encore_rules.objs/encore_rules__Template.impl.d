@@ -1,0 +1,1 @@
+lib/rules/template.ml: Encore_dataset Encore_typing Printf Relation

@@ -1,0 +1,1 @@
+lib/rules/template.mli: Encore_typing Relation

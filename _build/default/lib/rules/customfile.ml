@@ -1,0 +1,181 @@
+module Ctype = Encore_typing.Ctype
+module Registry = Encore_typing.Custom_registry
+module Strutil = Encore_util.Strutil
+
+type t = { declared_types : string list; templates : Template.t list }
+
+type error = { line : int; message : string }
+
+(* --- template grammar -------------------------------------------------
+   [A:Type] OP [B:Type] (-- NN%)?   where Type is optional ([A] alone). *)
+
+let parse_slot s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 3 || s.[0] <> '[' || s.[n - 1] <> ']' then Error ("bad slot: " ^ s)
+  else
+    let inner = String.sub s 1 (n - 2) in
+    match String.index_opt inner ':' with
+    | None -> Ok (String.trim inner, None)
+    | Some i ->
+        let name = String.trim (String.sub inner 0 i) in
+        let tyname = String.trim (String.sub inner (i + 1) (String.length inner - i - 1)) in
+        let ctype =
+          match Ctype.of_string tyname with
+          | Some ct -> Some ct
+          | None ->
+              if Registry.is_registered tyname then Some (Ctype.Custom tyname)
+              else None
+        in
+        (match ctype with
+         | Some ct -> Ok (name, Some ct)
+         | None -> Error ("unknown type: " ^ tyname))
+
+let parse_template_line line =
+  (* strip optional "-- NN%" suffix *)
+  let body, min_confidence =
+    match Strutil.split_once line "--" with
+    | Some (body, conf) -> (
+        let conf = String.trim conf in
+        let conf =
+          if Strutil.ends_with ~suffix:"%" conf then
+            String.sub conf 0 (String.length conf - 1)
+          else conf
+        in
+        match float_of_string_opt conf with
+        | Some pct -> (body, Some (pct /. 100.0))
+        | None -> (line, None))
+    | None -> (line, None)
+  in
+  let body = String.trim body in
+  (* find the closing bracket of slot A, then the opening of slot B *)
+  match String.index_opt body ']' with
+  | None -> Error ("no slot A in: " ^ line)
+  | Some close_a -> (
+      let slot_a_str = String.sub body 0 (close_a + 1) in
+      let rest = String.sub body (close_a + 1) (String.length body - close_a - 1) in
+      match String.index_opt rest '[' with
+      | None -> Error ("no slot B in: " ^ line)
+      | Some open_b -> (
+          let op = String.trim (String.sub rest 0 open_b) in
+          let slot_b_str =
+            String.trim (String.sub rest open_b (String.length rest - open_b))
+          in
+          match Relation.of_symbol op with
+          | None -> Error ("unknown operator: " ^ op)
+          | Some relation -> (
+              match (parse_slot slot_a_str, parse_slot slot_b_str) with
+              | Ok (_, slot_a), Ok (_, slot_b) ->
+                  Ok
+                    {
+                      Template.tname = "custom:" ^ body;
+                      description = "user template " ^ body;
+                      relation;
+                      slot_a;
+                      slot_b;
+                      min_confidence;
+                    }
+              | Error e, _ | _, Error e -> Error e)))
+
+(* --- sectioned file ---------------------------------------------------- *)
+
+type section =
+  | Sec_decl
+  | Sec_inference
+  | Sec_validation
+  | Sec_template
+  | Sec_ignored
+
+let section_of_header = function
+  | "$$TypeDeclaration" -> Some Sec_decl
+  | "$$TypeInference" -> Some Sec_inference
+  | "$$TypeValidation" -> Some Sec_validation
+  | "$$Template" -> Some Sec_template
+  | "$$TypeAugmentDeclaration" | "$$TypeAugment" | "$$TypeOperator" ->
+      Some Sec_ignored
+  | _ -> None
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let declared = ref [] in
+  let inference = Hashtbl.create 8 in
+  let validation = Hashtbl.create 8 in
+  let templates = ref [] in
+  let error = ref None in
+  let section = ref Sec_ignored in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if !error <> None || line = "" || line.[0] = '#' then ()
+      else if Strutil.starts_with ~prefix:"$$" line then
+        match section_of_header line with
+        | Some s -> section := s
+        | None -> error := Some { line = lineno; message = "unknown section " ^ line }
+      else
+        match !section with
+        | Sec_decl -> declared := line :: !declared
+        | Sec_inference -> (
+            match Strutil.split_once line ":" with
+            | Some (name, spec) -> (
+                let name = String.trim name in
+                let spec = String.trim spec in
+                match Strutil.split_once spec " " with
+                | Some ("regex", pattern) ->
+                    Hashtbl.replace inference name (String.trim pattern)
+                | _ ->
+                    error :=
+                      Some
+                        { line = lineno;
+                          message = "inference must be 'Name: regex <pattern>'" })
+            | None ->
+                error :=
+                  Some { line = lineno; message = "bad inference line: " ^ line })
+        | Sec_validation -> (
+            match Strutil.split_once line ":" with
+            | Some (name, v) -> (
+                match Registry.validator_of_string (String.trim v) with
+                | Some validator ->
+                    Hashtbl.replace validation (String.trim name) validator
+                | None ->
+                    error :=
+                      Some
+                        { line = lineno; message = "unknown validator: " ^ String.trim v })
+            | None ->
+                error :=
+                  Some { line = lineno; message = "bad validation line: " ^ line })
+        | Sec_template ->
+            (* templates may reference types declared in this same file;
+               defer parsing until registration below *)
+            templates := (lineno, line) :: !templates
+        | Sec_ignored -> ())
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> (
+      let declared_types = List.rev !declared in
+      List.iter
+        (fun name ->
+          let pattern =
+            Option.value ~default:".+" (Hashtbl.find_opt inference name)
+          in
+          let validator =
+            Option.value ~default:Registry.Always (Hashtbl.find_opt validation name)
+          in
+          Registry.register ~name ~pattern ~validator)
+        declared_types;
+      let parsed =
+        List.fold_left
+          (fun acc (lineno, line) ->
+            match acc with
+            | Error _ -> acc
+            | Ok ts -> (
+                match parse_template_line line with
+                | Ok t -> Ok (t :: ts)
+                | Error message -> Error { line = lineno; message }))
+          (Ok [])
+          (List.rev !templates)
+      in
+      match parsed with
+      | Ok ts -> Ok { declared_types; templates = List.rev ts }
+      | Error e -> Error e)

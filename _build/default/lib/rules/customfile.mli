@@ -1,0 +1,38 @@
+(** Customization file parser (paper section 5.3, Figure 6).
+
+    The file has ["$$"]-prefixed sections.  Because this reproduction is
+    statically typed (the original embedded Python snippets), methods
+    are chosen from fixed vocabularies rather than supplied as code:
+
+    {v
+    $$TypeDeclaration
+    LogPath
+    $$TypeInference
+    LogPath: regex /var/log/.+
+    $$TypeValidation
+    LogPath: exists_in_fs
+    $$Template
+    [A:LogPath] => [B:UserName] -- 90%
+    [A:Size] <# [B:Size]
+    v}
+
+    Declared types are registered in
+    {!Encore_typing.Custom_registry} (priority over predefined types,
+    in file order); templates are returned for use alongside the
+    predefined ones. *)
+
+type t = {
+  declared_types : string list;
+  templates : Template.t list;
+}
+
+type error = { line : int; message : string }
+
+val parse : string -> (t, error) result
+(** Parse the text and register the declared types as a side effect.
+    Types with no [$$TypeInference] entry default to pattern [".+"]
+    (match anything); no [$$TypeValidation] entry means [always]. *)
+
+val parse_template_line : string -> (Template.t, string) result
+(** Parse a single template specification such as
+    ["\[A:FilePath\] => \[B:UserName\] -- 85%"]. *)

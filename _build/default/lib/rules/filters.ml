@@ -1,0 +1,98 @@
+module Row = Encore_dataset.Row
+
+let attribute_entropy training attr =
+  let values = List.concat_map (fun (_, row) -> Row.get_all row attr) training in
+  Encore_util.Stats.entropy values
+
+let pair_key (r : Template.rule) =
+  if r.attr_a <= r.attr_b then (r.attr_a, r.attr_b) else (r.attr_b, r.attr_a)
+
+let by_confidence rules =
+  List.sort
+    (fun (a : Template.rule) b ->
+      match compare b.confidence a.confidence with
+      | 0 -> compare b.support a.support
+      | c -> c)
+    rules
+
+(* Spanning tree per equivalence class: keep a rule only if its two
+   attributes were not already connected by kept rules. *)
+let spanning_tree rules =
+  let parent = Hashtbl.create 32 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None -> x
+    | Some p -> if p = x then x else find p
+  in
+  List.filter
+    (fun (r : Template.rule) ->
+      let ra = find r.attr_a and rb = find r.attr_b in
+      if ra = rb then false
+      else begin
+        Hashtbl.replace parent ra rb;
+        true
+      end)
+    (by_confidence rules)
+
+(* Hasse reduction of a strict order: drop (a,c) when kept rules give
+   a<b and b<c. *)
+let order_reduce rules =
+  let edges = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Template.rule) -> Hashtbl.replace edges (r.attr_a, r.attr_b) ())
+    rules;
+  List.filter
+    (fun (r : Template.rule) ->
+      let has_midpoint =
+        List.exists
+          (fun (m : Template.rule) ->
+            m.attr_a = r.attr_a && m.attr_b <> r.attr_b
+            && Hashtbl.mem edges (m.attr_b, r.attr_b))
+          rules
+      in
+      not has_midpoint)
+    rules
+
+let reduce_redundant rules =
+  let is_rel rel (r : Template.rule) = r.template.Template.relation = rel in
+  let eq_all = List.filter (is_rel Relation.Eq_all) rules in
+  let eq_pairs = Hashtbl.create 32 in
+  List.iter (fun r -> Hashtbl.replace eq_pairs (pair_key r) ()) eq_all;
+  let eq_exists =
+    List.filter
+      (fun r ->
+        is_rel Relation.Eq_exists r && not (Hashtbl.mem eq_pairs (pair_key r)))
+      rules
+  in
+  let num_less = List.filter (is_rel Relation.Num_less) rules in
+  let size_less = List.filter (is_rel Relation.Size_less) rules in
+  let others =
+    List.filter
+      (fun (r : Template.rule) ->
+        match r.template.Template.relation with
+        | Relation.Eq_all | Relation.Eq_exists | Relation.Num_less
+        | Relation.Size_less ->
+            false
+        | _ -> true)
+      rules
+  in
+  by_confidence
+    (spanning_tree eq_all @ spanning_tree eq_exists @ order_reduce num_less
+     @ order_reduce size_less @ others)
+
+let entropy_filter ?(threshold = Encore_util.Stats.entropy_threshold_90_10)
+    training rules =
+  (* memoize per-attribute entropy: many rules share attributes *)
+  let cache = Hashtbl.create 64 in
+  let entropy attr =
+    match Hashtbl.find_opt cache attr with
+    | Some h -> h
+    | None ->
+        let h = attribute_entropy training attr in
+        Hashtbl.add cache attr h;
+        h
+  in
+  List.partition
+    (fun (r : Template.rule) ->
+      entropy r.attr_a > threshold && entropy r.attr_b > threshold)
+    rules

@@ -1,0 +1,235 @@
+module Row = Encore_dataset.Row
+module Tinfer = Encore_typing.Infer
+module Augment = Encore_dataset.Augment
+
+type training = (Encore_sysenv.Image.t * Row.t) list
+
+type params = { min_support_frac : float; min_confidence : float }
+
+let default_params = { min_support_frac = 0.10; min_confidence = 0.90 }
+
+let type_of types attr =
+  match Tinfer.find types attr with
+  | Some d -> d.Tinfer.ctype
+  | None ->
+      if Augment.is_augmented attr then Augment.augmented_type attr
+      else Encore_typing.Ctype.String_t
+
+(* Equality and boolean-implication templates are how augmented
+   environment attributes enter rules; the remaining (path/user/number)
+   relations instantiate over configuration entries and image globals
+   only — pairing every path with every augmented .owner/.group copy
+   would restate the same fact quadratically. *)
+let augmented_slots_allowed (template : Template.t) =
+  match template.Template.relation with
+  | Relation.Eq_all | Relation.Eq_exists | Relation.Bool_implies _ -> true
+  | Relation.Subnet | Relation.Concat_path | Relation.Substring
+  | Relation.User_in_group | Relation.Not_accessible | Relation.Ownership
+  | Relation.Num_less | Relation.Size_less ->
+      false
+
+let instantiations ~types template attrs =
+  let slot_ok attr =
+    augmented_slots_allowed template || not (Augment.is_augmented attr)
+  in
+  let eligible_a =
+    List.filter
+      (fun a -> slot_ok a && Template.eligible_a template (type_of types a))
+      attrs
+  in
+  let eligible_b =
+    List.filter
+      (fun b -> slot_ok b && Template.eligible_b template (type_of types b))
+      attrs
+  in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if a = b then None
+          else if
+            (* symmetric relations: one orientation suffices; boolean
+               implications: the a>b orientation is the contrapositive
+               of an a<b rule with flipped polarities, so it is learned
+               iff that one is — keep the canonical orientation only *)
+            (Relation.symmetric template.Template.relation
+            || match template.Template.relation with
+               | Relation.Bool_implies _ -> true
+               | _ -> false)
+            && a > b
+          then None
+          else if Augment.base_attr a = Augment.base_attr b then
+            (* an entry and its own augmentation correlate trivially *)
+            None
+          else if
+            Relation.same_type_required template.Template.relation
+            && not
+                 (Encore_typing.Ctype.equal (type_of types a) (type_of types b))
+          then None
+          else Some (a, b))
+        eligible_b)
+    eligible_a
+
+let evaluate_instantiation template training ~a ~b =
+  List.fold_left
+    (fun (applicable, valid) (image, row) ->
+      let va = Row.get_all row a and vb = Row.get_all row b in
+      if va = [] || vb = [] then (applicable, valid)
+      else
+        match
+          Relation.eval template.Template.relation
+            { Relation.image; row } ~a:va ~b:vb
+        with
+        | None -> (applicable, valid)
+        | Some true -> (applicable + 1, valid + 1)
+        | Some false -> (applicable + 1, valid))
+    (0, 0) training
+
+let expand_polarities templates =
+  List.concat_map
+    (fun t ->
+      match t.Template.relation with
+      | Relation.Bool_implies _ ->
+          List.map
+            (fun (pa, pb) ->
+              { t with Template.relation = Relation.Bool_implies (pa, pb) })
+            [ (true, true); (true, false); (false, true); (false, false) ]
+      | _ -> [ t ])
+    templates
+
+(* For implication rules, vacuous truth (antecedent never holding) must
+   not count as evidence: require the antecedent polarity to actually
+   occur in a minimum number of training images. *)
+let truthy v =
+  match Encore_util.Strutil.lowercase_ascii (String.trim v) with
+  | "on" | "true" | "yes" | "1" | "enabled" -> Some true
+  | "off" | "false" | "no" | "0" | "disabled" -> Some false
+  | _ -> None
+
+let antecedent_support relation training ~a =
+  match relation with
+  | Relation.Bool_implies (pa, _) ->
+      Some
+        (List.fold_left
+           (fun acc (_, row) ->
+             let holds =
+               List.exists
+                 (fun v -> truthy v = Some pa)
+                 (Row.get_all row a)
+             in
+             if holds then acc + 1 else acc)
+           0 training)
+  | _ -> None
+
+(* The consequent's base rate: fraction of images carrying B whose value
+   already equals the implied polarity.  An implication whose confidence
+   does not beat this base rate carries no information (lift ≈ 1) — the
+   dominant source of binomial association noise. *)
+let consequent_base_rate relation training ~b =
+  match relation with
+  | Relation.Bool_implies (_, pb) ->
+      let present, matching =
+        List.fold_left
+          (fun (present, matching) (_, row) ->
+            match Row.get_all row b with
+            | [] -> (present, matching)
+            | values ->
+                let all_pb = List.for_all (fun v -> truthy v = Some pb) values in
+                (present + 1, if all_pb then matching + 1 else matching))
+          (0, 0) training
+      in
+      if present = 0 then None
+      else Some (float_of_int matching /. float_of_int present)
+  | _ -> None
+
+let min_lift_margin = 0.05
+
+(* Evaluate a list of (template, a, b) candidates into rules. *)
+let evaluate_candidates ~params ~min_support training candidates =
+  List.filter_map
+    (fun (template, a, b) ->
+      let applicable, valid = evaluate_instantiation template training ~a ~b in
+      let vacuous =
+        match antecedent_support template.Template.relation training ~a with
+        | Some s -> s < min_support
+        | None -> false
+      in
+      if applicable < min_support || vacuous then None
+      else
+        let min_conf =
+          Option.value ~default:params.min_confidence
+            template.Template.min_confidence
+        in
+        let confidence = float_of_int valid /. float_of_int applicable in
+        let lifts =
+          match consequent_base_rate template.Template.relation training ~b with
+          | Some base -> confidence >= base +. min_lift_margin
+          | None -> true
+        in
+        if confidence >= min_conf && lifts then
+          Some
+            { Template.template; attr_a = a; attr_b = b;
+              support = applicable; confidence }
+        else None)
+    candidates
+
+(* Split [xs] into [n] chunks of near-equal length, preserving order. *)
+let chunks n xs =
+  let len = List.length xs in
+  let size = max 1 ((len + n - 1) / n) in
+  let rec go acc current count = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+        if count = size then go (List.rev current :: acc) [ x ] 1 rest
+        else go acc (x :: current) (count + 1) rest
+  in
+  go [] [] 0 xs
+
+let infer ?(params = default_params) ?(templates = Template.predefined)
+    ?(jobs = 1) ~types training =
+  let templates = expand_polarities templates in
+  let n = List.length training in
+  let min_support =
+    max 2 (int_of_float (ceil (params.min_support_frac *. float_of_int n)))
+  in
+  (* all attributes seen anywhere in the training rows *)
+  let attrs =
+    let seen = Hashtbl.create 256 in
+    let order = ref [] in
+    List.iter
+      (fun (_, row) ->
+        List.iter
+          (fun attr ->
+            if not (Hashtbl.mem seen attr) then begin
+              Hashtbl.add seen attr ();
+              order := attr :: !order
+            end)
+          (Row.attrs row))
+      training;
+    List.rev !order
+  in
+  let candidates =
+    List.concat_map
+      (fun template ->
+        List.map
+          (fun (a, b) -> (template, a, b))
+          (instantiations ~types template attrs))
+      templates
+  in
+  let rules =
+    if jobs <= 1 then evaluate_candidates ~params ~min_support training candidates
+    else
+      (* zero state sharing between candidate evaluations: fan the
+         chunks out over domains and keep chunk order for determinism *)
+      chunks jobs candidates
+      |> List.map (fun chunk ->
+             Domain.spawn (fun () ->
+                 evaluate_candidates ~params ~min_support training chunk))
+      |> List.concat_map Domain.join
+  in
+  List.sort
+    (fun (a : Template.rule) b ->
+      match compare b.confidence a.confidence with
+      | 0 -> compare b.support a.support
+      | c -> c)
+    rules

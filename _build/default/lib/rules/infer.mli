@@ -1,0 +1,49 @@
+(** Template-guided rule inference (paper section 5.1, Figure 5).
+
+    For each template, every ordered pair of attributes whose inferred
+    types match the slots is a candidate instantiation.  The relation's
+    validation method is evaluated on every training image where both
+    attributes are present; an instantiation becomes a candidate rule
+    when it is applicable often enough (support) and holds almost always
+    (confidence).  The entropy filter is applied separately (see
+    {!Filters}) so its effect can be measured, as the paper does in
+    Table 13. *)
+
+type training = (Encore_sysenv.Image.t * Encore_dataset.Row.t) list
+
+type params = {
+  min_support_frac : float;  (** fraction of training images, default 0.10 *)
+  min_confidence : float;    (** default 0.90 *)
+}
+
+val default_params : params
+
+val instantiations :
+  types:Encore_typing.Infer.env -> Template.t -> string list ->
+  (string * string) list
+(** Eligible ordered attribute pairs for a template, excluding
+    self-pairs and pairs of augmented attributes sharing one base entry
+    (an entry trivially correlates with its own augmentation). *)
+
+val expand_polarities : Template.t list -> Template.t list
+(** The predefined extended-boolean template names one relation but
+    stands for every implication polarity; expand each [Bool_implies]
+    template into its four (antecedent, consequent) polarity variants
+    under the same template name. *)
+
+val infer :
+  ?params:params -> ?templates:Template.t list -> ?jobs:int ->
+  types:Encore_typing.Infer.env -> training -> Template.rule list
+(** Learn concrete rules; [templates] defaults to
+    {!Template.predefined}.  Rules are sorted by decreasing confidence,
+    then support.
+
+    [jobs] (default 1) spreads candidate evaluation over that many
+    domains — the paper notes the instantiation loop "is highly
+    parallelizable because there is zero state sharing" (section 5.1)
+    and runs EnCore as a multi-process program.  The result is
+    identical for every [jobs] value. *)
+
+val evaluate_instantiation :
+  Template.t -> training -> a:string -> b:string -> int * int
+(** [(applicable, valid)] counts over the training set. *)

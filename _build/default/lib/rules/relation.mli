@@ -1,0 +1,52 @@
+(** Relation semantics for the rule templates (paper Table 6).
+
+    A relation is a validation method: given the evaluation context (the
+    image's environment plus the image's assembled row), it decides
+    whether the relation holds between the instances of the two
+    participating attributes.  [eval] returns [None] when the relation is
+    not applicable in that context (missing attribute, unparsable value)
+    so that inapplicable images count toward neither support nor
+    confidence. *)
+
+module Ctype = Encore_typing.Ctype
+
+type t =
+  | Eq_all           (** every instance of A equals every instance of B *)
+  | Eq_exists        (** some instance of A equals some instance of B *)
+  | Bool_implies of bool * bool
+      (** (A = fst) implies (B = snd), both boolean-valued *)
+  | Subnet           (** IP entry A lies in the subnet/prefix of B *)
+  | Concat_path      (** A + B forms a path that exists in the image *)
+  | Substring        (** A is a substring of B *)
+  | User_in_group    (** user A belongs to group B *)
+  | Not_accessible   (** path A is not readable by user B *)
+  | Ownership        (** user B owns path A *)
+  | Num_less         (** number A < number B *)
+  | Size_less        (** size A < size B, unit-aware *)
+
+val to_string : t -> string
+val symbol : t -> string
+(** Operator spelling used by the template grammar: [==] [=~] [~>TT]
+    [<<] [+] [<:] [@] [!@] [=>] [<] [<#]. *)
+
+val of_symbol : string -> t option
+
+type ctx = {
+  image : Encore_sysenv.Image.t;
+  row : Encore_dataset.Row.t;
+}
+
+val slot_a_ok : t -> Ctype.t -> bool
+(** May an attribute of this type fill slot A? *)
+
+val slot_b_ok : t -> Ctype.t -> bool
+
+val symmetric : t -> bool
+(** [a R b] iff [b R a]; inference keeps one orientation of such rules. *)
+
+val same_type_required : t -> bool
+(** Eq/substring relations additionally require both slots to share one
+    type. *)
+
+val eval : t -> ctx -> a:string list -> b:string list -> bool option
+(** Validation method on the instance lists of the two attributes. *)

@@ -1,0 +1,1 @@
+lib/sysenv/accounts.ml: List Map Option String

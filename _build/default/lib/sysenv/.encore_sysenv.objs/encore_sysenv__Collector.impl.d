@@ -1,0 +1,1 @@
+lib/sysenv/collector.ml: Accounts Encore_util Fs Hostinfo Image List Option Printf Services String

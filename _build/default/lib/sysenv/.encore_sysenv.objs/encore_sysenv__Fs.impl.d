@@ -1,0 +1,1 @@
+lib/sysenv/fs.ml: Encore_util List Map String

@@ -1,0 +1,1 @@
+lib/sysenv/hostinfo.mli:

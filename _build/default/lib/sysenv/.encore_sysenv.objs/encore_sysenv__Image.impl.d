@@ -1,0 +1,1 @@
+lib/sysenv/image.ml: Accounts Fs Hostinfo List Services

@@ -1,0 +1,1 @@
+lib/sysenv/image.mli: Accounts Fs Hostinfo Services

@@ -1,0 +1,1 @@
+lib/sysenv/services.ml: Int List Map

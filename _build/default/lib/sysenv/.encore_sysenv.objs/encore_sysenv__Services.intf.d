@@ -1,0 +1,1 @@
+lib/sysenv/services.mli:

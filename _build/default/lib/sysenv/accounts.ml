@@ -1,0 +1,106 @@
+module Smap = Map.Make (String)
+
+type user = {
+  name : string;
+  uid : int;
+  gid : int;
+  home : string;
+  shell : string;
+}
+
+type group = { gname : string; ggid : int; members : string list }
+
+type t = { users : user Smap.t; groups : group Smap.t }
+
+let empty = { users = Smap.empty; groups = Smap.empty }
+
+let add_group t g = { t with groups = Smap.add g.gname g t.groups }
+
+let group_with_gid t gid =
+  Smap.exists (fun _ g -> g.ggid = gid) t.groups
+
+let add_user t u =
+  let t =
+    if group_with_gid t u.gid then t
+    else add_group t { gname = u.name; ggid = u.gid; members = [] }
+  in
+  { t with users = Smap.add u.name u t.users }
+
+let base =
+  let t = empty in
+  let t = add_group t { gname = "root"; ggid = 0; members = [] } in
+  let t = add_group t { gname = "wheel"; ggid = 10; members = [] } in
+  let t = add_group t { gname = "adm"; ggid = 4; members = [] } in
+  let t = add_group t { gname = "nogroup"; ggid = 65534; members = [] } in
+  let t =
+    add_user t { name = "root"; uid = 0; gid = 0; home = "/root"; shell = "/bin/bash" }
+  in
+  let t =
+    add_user t
+      { name = "daemon"; uid = 1; gid = 1; home = "/usr/sbin"; shell = "/usr/sbin/nologin" }
+  in
+  let t =
+    add_user t { name = "bin"; uid = 2; gid = 2; home = "/bin"; shell = "/usr/sbin/nologin" }
+  in
+  let t =
+    add_user t
+      { name = "nobody"; uid = 65534; gid = 65534; home = "/nonexistent";
+        shell = "/usr/sbin/nologin" }
+  in
+  t
+
+let next_system_uid t =
+  let used = Smap.fold (fun _ u acc -> u.uid :: acc) t.users [] in
+  let rec go i = if List.mem i used then go (i + 1) else i in
+  go 100
+
+let add_service_account t name =
+  if Smap.mem name t.users then t
+  else
+    let uid = next_system_uid t in
+    let t = add_group t { gname = name; ggid = uid; members = [] } in
+    add_user t
+      { name; uid; gid = uid; home = "/var/lib/" ^ name; shell = "/usr/sbin/nologin" }
+
+let user_exists t name = Smap.mem name t.users
+let group_exists t name = Smap.mem name t.groups
+let find_user t name = Smap.find_opt name t.users
+let find_group t name = Smap.find_opt name t.groups
+
+let users t = List.map snd (Smap.bindings t.users)
+let groups t = List.map snd (Smap.bindings t.groups)
+
+let primary_group t name =
+  match find_user t name with
+  | None -> None
+  | Some u ->
+      Smap.fold
+        (fun _ g acc -> if g.ggid = u.gid then Some g.gname else acc)
+        t.groups None
+
+let groups_of_user t name =
+  match find_user t name with
+  | None -> []
+  | Some _ ->
+      let primary = Option.to_list (primary_group t name) in
+      let supplementary =
+        Smap.fold
+          (fun _ g acc -> if List.mem name g.members then g.gname :: acc else acc)
+          t.groups []
+      in
+      List.sort_uniq compare (primary @ supplementary)
+
+let user_in_group t ~user ~group =
+  List.mem group (groups_of_user t user)
+
+let is_admin t name =
+  match find_user t name with
+  | None -> false
+  | Some u ->
+      u.uid = 0
+      || List.exists
+           (fun g -> user_in_group t ~user:name ~group:g)
+           [ "wheel"; "adm"; "sudo" ]
+
+let is_root_group t name =
+  match find_user t name with None -> false | Some u -> u.gid = 0

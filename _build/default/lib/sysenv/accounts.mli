@@ -1,0 +1,55 @@
+(** Account database: the image's /etc/passwd and /etc/group.
+
+    Type verification consults it for UserName / GroupName entries and
+    the augmenter derives [.isAdmin], [.isRootGroup], [.isGroup] from it
+    (paper Table 5a). *)
+
+type user = {
+  name : string;
+  uid : int;
+  gid : int;
+  home : string;
+  shell : string;
+}
+
+type group = { gname : string; ggid : int; members : string list }
+
+type t
+
+val empty : t
+
+val base : t
+(** A typical minimal Linux account set: root, daemon, bin, nobody and
+    the wheel/adm groups. *)
+
+val add_user : t -> user -> t
+(** Also creates the user's primary group when no group with that gid
+    exists yet. *)
+
+val add_group : t -> group -> t
+
+val add_service_account : t -> string -> t
+(** [add_service_account t name] adds a daemon-style user [name] with a
+    same-named primary group, the next free uid in the system range, home
+    under /var/lib and a nologin shell. *)
+
+val user_exists : t -> string -> bool
+val group_exists : t -> string -> bool
+val find_user : t -> string -> user option
+val find_group : t -> string -> group option
+
+val users : t -> user list
+val groups : t -> group list
+
+val groups_of_user : t -> string -> string list
+(** Primary group plus supplementary memberships; [] for unknown users. *)
+
+val user_in_group : t -> user:string -> group:string -> bool
+
+val is_admin : t -> string -> bool
+(** uid 0, or member of wheel / adm / sudo. *)
+
+val is_root_group : t -> string -> bool
+(** The user's primary group is gid 0. *)
+
+val primary_group : t -> string -> string option

@@ -1,0 +1,209 @@
+type record = { section : string; key : string; fields : string list }
+
+let fs_records fs =
+  Fs.fold
+    (fun path (m : Fs.meta) acc ->
+      let kind, target =
+        match m.kind with
+        | Fs.Regular -> ("file", "")
+        | Fs.Directory -> ("dir", "")
+        | Fs.Symlink t -> ("symlink", t)
+      in
+      {
+        section = "FS";
+        key = path;
+        fields =
+          [ kind; m.owner; m.group; Printf.sprintf "%o" m.perm;
+            string_of_int m.size; target ];
+      }
+      :: acc)
+    fs []
+  |> List.rev
+
+let account_records accounts =
+  let users =
+    List.map
+      (fun (u : Accounts.user) ->
+        {
+          section = "Acct.User";
+          key = u.name;
+          fields = [ string_of_int u.uid; string_of_int u.gid; u.home; u.shell ];
+        })
+      (Accounts.users accounts)
+  in
+  let groups =
+    List.map
+      (fun (g : Accounts.group) ->
+        {
+          section = "Acct.Group";
+          key = g.gname;
+          fields = string_of_int g.ggid :: g.members;
+        })
+      (Accounts.groups accounts)
+  in
+  users @ groups
+
+let service_records services =
+  List.map
+    (fun port ->
+      {
+        section = "Service";
+        key = string_of_int port;
+        fields = [ Option.value ~default:"" (Services.service_of_port services port) ];
+      })
+    (Services.ports services)
+
+let host_records (img : Image.t) =
+  let base =
+    [
+      { section = "Sys"; key = "HostName"; fields = [ img.hostname ] };
+      { section = "Sys"; key = "IPAddress"; fields = [ img.ip_address ] };
+      { section = "Sys"; key = "FSType"; fields = [ img.fs_type ] };
+      { section = "OS"; key = "DistName"; fields = [ img.os.dist_name ] };
+      { section = "OS"; key = "Version"; fields = [ img.os.dist_version ] };
+      { section = "Sec"; key = "SELinux";
+        fields = [ Hostinfo.selinux_to_string img.os.selinux ] };
+    ]
+  in
+  let hw =
+    match img.hardware with
+    | None -> []
+    | Some h ->
+        [
+          { section = "HW"; key = "Cores"; fields = [ string_of_int h.cpu_threads ] };
+          { section = "HW"; key = "Freq"; fields = [ string_of_int h.cpu_freq_mhz ] };
+          { section = "HW"; key = "Memory"; fields = [ string_of_int h.mem_bytes ] };
+          { section = "HW"; key = "DiskSize"; fields = [ string_of_int h.disk_avail_bytes ] };
+        ]
+  in
+  let env =
+    List.map
+      (fun (k, v) -> { section = "Env"; key = k; fields = [ v ] })
+      img.env_vars
+  in
+  base @ hw @ env
+
+let collect img =
+  host_records img
+  @ fs_records img.Image.fs
+  @ account_records img.Image.accounts
+  @ service_records img.Image.services
+
+let to_text records =
+  let line r = String.concat "|" (r.section :: r.key :: r.fields) in
+  String.concat "\n" (List.map line records) ^ "\n"
+
+let of_text text =
+  Encore_util.Strutil.trim_lines text
+  |> List.filter_map (fun line ->
+         match String.split_on_char '|' line with
+         | section :: key :: fields when section <> "" && key <> "" ->
+             Some { section; key; fields }
+         | _ -> None)
+
+let find records ~section ~key =
+  List.find_map
+    (fun r -> if r.section = section && r.key = key then Some r.fields else None)
+    records
+
+(* --- restoration -------------------------------------------------------- *)
+
+let restore_fs records =
+  List.fold_left
+    (fun fs r ->
+      if r.section <> "FS" then fs
+      else
+        match r.fields with
+        | [ kind; owner; group; perm; size; target ] -> (
+            let perm = Option.value ~default:0o644 (int_of_string_opt ("0o" ^ perm)) in
+            let size = Option.value ~default:0 (int_of_string_opt size) in
+            match kind with
+            | "dir" -> Fs.add_dir ~owner ~group ~perm fs r.key
+            | "file" -> Fs.add_file ~owner ~group ~perm ~size fs r.key
+            | "symlink" -> Fs.add_symlink ~owner ~group fs r.key ~target
+            | _ -> fs)
+        | _ -> fs)
+    Fs.empty records
+
+let restore_accounts records =
+  let accounts =
+    List.fold_left
+      (fun acc r ->
+        if r.section <> "Acct.User" then acc
+        else
+          match r.fields with
+          | [ uid; gid; home; shell ] -> (
+              match (int_of_string_opt uid, int_of_string_opt gid) with
+              | Some uid, Some gid ->
+                  Accounts.add_user acc { Accounts.name = r.key; uid; gid; home; shell }
+              | _ -> acc)
+          | _ -> acc)
+      Accounts.empty records
+  in
+  List.fold_left
+    (fun acc r ->
+      if r.section <> "Acct.Group" then acc
+      else
+        match r.fields with
+        | gid :: members -> (
+            match int_of_string_opt gid with
+            | Some ggid ->
+                Accounts.add_group acc { Accounts.gname = r.key; ggid; members }
+            | None -> acc)
+        | [] -> acc)
+    accounts records
+
+let restore_services records =
+  List.fold_left
+    (fun services r ->
+      if r.section <> "Service" then services
+      else
+        match (int_of_string_opt r.key, r.fields) with
+        | Some port, [ name ] -> Services.add services ~port ~name
+        | _ -> services)
+    Services.empty records
+
+let field1 records ~section ~key ~default =
+  match find records ~section ~key with
+  | Some (v :: _) -> v
+  | Some [] | None -> default
+
+let restore ~id ~configs records =
+  let fs = restore_fs records in
+  let accounts = restore_accounts records in
+  let services = restore_services records in
+  let hostname = field1 records ~section:"Sys" ~key:"HostName" ~default:"localhost" in
+  let ip_address = field1 records ~section:"Sys" ~key:"IPAddress" ~default:"10.0.0.1" in
+  let fs_type = field1 records ~section:"Sys" ~key:"FSType" ~default:"ext4" in
+  let os =
+    {
+      Hostinfo.dist_name = field1 records ~section:"OS" ~key:"DistName" ~default:"ubuntu";
+      dist_version = field1 records ~section:"OS" ~key:"Version" ~default:"12.04";
+      selinux =
+        Option.value ~default:Hostinfo.Disabled
+          (Hostinfo.selinux_of_string
+             (field1 records ~section:"Sec" ~key:"SELinux" ~default:"disabled"));
+    }
+  in
+  let int_field section key =
+    int_of_string_opt (field1 records ~section ~key ~default:"")
+  in
+  let hardware =
+    match
+      ( int_field "HW" "Cores", int_field "HW" "Freq", int_field "HW" "Memory",
+        int_field "HW" "DiskSize" )
+    with
+    | Some cpu_threads, Some cpu_freq_mhz, Some mem_bytes, Some disk_avail_bytes ->
+        Some { Hostinfo.cpu_threads; cpu_freq_mhz; mem_bytes; disk_avail_bytes }
+    | _ -> None
+  in
+  let env_vars =
+    List.filter_map
+      (fun r ->
+        if r.section = "Env" then
+          match r.fields with v :: _ -> Some (r.key, v) | [] -> None
+        else None)
+      records
+  in
+  Image.make ~hostname ~ip_address ~fs_type ~fs ~accounts ~services ~env_vars
+    ~hardware ~os ~id configs

@@ -1,0 +1,30 @@
+(** Data collector (paper Figure 2, first stage).
+
+    Serializes an image's environment into the textual "raw data" format
+    the assembler consumes: one record per fact, mirroring the global
+    data structures of paper Table 7 (FS.FileList, FS.FileMetaMap,
+    Acct.UserList, Acct.GroupList, Service.PortServMap, Env.VarValueMap,
+    Sec.SELinux, HW dims).  The round-trip exists so the pipeline can be
+    exercised file-by-file exactly as the real tool was. *)
+
+type record = { section : string; key : string; fields : string list }
+
+val collect : Image.t -> record list
+(** Dump every environment fact of the image. *)
+
+val to_text : record list -> string
+(** Stable line-oriented rendering: [section|key|field1|field2|...]. *)
+
+val of_text : string -> record list
+(** Inverse of {!to_text}; skips malformed lines. *)
+
+val find : record list -> section:string -> key:string -> string list option
+
+val restore :
+  id:string -> configs:Image.config_file list -> record list -> Image.t
+(** Rebuild a system image from collected records plus its configuration
+    files: the assembler-side entry point when the collector ran on a
+    remote machine and shipped its dump.  Unrecognized records are
+    ignored; missing sections leave the image's defaults.  For every
+    image [i], [restore ~id ~configs (collect i)] reproduces [i]'s
+    environment (filesystem, accounts, services, host facts). *)

@@ -1,0 +1,148 @@
+module Smap = Map.Make (String)
+
+type kind = Regular | Directory | Symlink of string
+
+type meta = {
+  owner : string;
+  group : string;
+  perm : int;
+  size : int;
+  kind : kind;
+}
+
+(* Flat representation: a map from absolute path to metadata.  The tree
+   structure is recovered from path prefixes; this keeps insertion and
+   lookup trivially correct at the modest scale of a config snapshot. *)
+type t = meta Smap.t
+
+let root_meta =
+  { owner = "root"; group = "root"; perm = 0o755; size = 0; kind = Directory }
+
+let empty = Smap.add "/" root_meta Smap.empty
+
+let normalize path =
+  if path = "" || path.[0] <> '/' then
+    invalid_arg ("Fs: path must be absolute: " ^ path);
+  let comps = Encore_util.Strutil.path_components path in
+  if comps = [] then "/" else "/" ^ String.concat "/" comps
+
+let parent path = Encore_util.Strutil.dirname path
+
+let rec ensure_dirs fs path =
+  if path = "/" then fs
+  else
+    let fs = ensure_dirs fs (parent path) in
+    match Smap.find_opt path fs with
+    | Some _ -> fs
+    | None -> Smap.add path { root_meta with kind = Directory } fs
+
+let add fs path meta =
+  let path = normalize path in
+  if path = "/" then Smap.add "/" meta fs
+  else
+    let fs = ensure_dirs fs (parent path) in
+    Smap.add path meta fs
+
+let add_dir ?(owner = "root") ?(group = "root") ?(perm = 0o755) fs path =
+  add fs path { owner; group; perm; size = 0; kind = Directory }
+
+let add_file ?(owner = "root") ?(group = "root") ?(perm = 0o644) ?(size = 1024)
+    fs path =
+  add fs path { owner; group; perm; size; kind = Regular }
+
+let add_symlink ?(owner = "root") ?(group = "root") fs path ~target =
+  add fs path { owner; group; perm = 0o777; size = 0; kind = Symlink target }
+
+let remove fs path =
+  let path = try normalize path with Invalid_argument _ -> "" in
+  if path = "/" || path = "" then fs
+  else
+    let prefix = path ^ "/" in
+    Smap.filter
+      (fun p _ -> p <> path && not (Encore_util.Strutil.starts_with ~prefix p))
+      fs
+
+let lookup fs path =
+  match normalize path with
+  | exception Invalid_argument _ -> None
+  | p -> Smap.find_opt p fs
+
+let rec resolve_n fs path n =
+  if n = 0 then None
+  else
+    match lookup fs path with
+    | Some { kind = Symlink target; _ } -> resolve_n fs target (n - 1)
+    | other -> other
+
+let resolve fs path = resolve_n fs path 16
+
+let exists fs path = lookup fs path <> None
+
+let is_dir fs path =
+  match resolve fs path with
+  | Some { kind = Directory; _ } -> true
+  | Some _ | None -> false
+
+let is_file fs path =
+  match resolve fs path with
+  | Some { kind = Regular; _ } -> true
+  | Some _ | None -> false
+
+let children fs path =
+  match normalize path with
+  | exception Invalid_argument _ -> []
+  | p ->
+      let prefix = if p = "/" then "/" else p ^ "/" in
+      Smap.fold
+        (fun q _ acc ->
+          if q <> "/" && Encore_util.Strutil.starts_with ~prefix q then
+            let rest = String.sub q (String.length prefix)
+                         (String.length q - String.length prefix) in
+            if Encore_util.Strutil.contains_char rest '/' then acc
+            else rest :: acc
+          else acc)
+        fs []
+      |> List.sort compare
+
+let child_metas fs path =
+  List.filter_map
+    (fun c -> lookup fs (Encore_util.Strutil.path_join path c))
+    (children fs path)
+
+let has_subdir fs path =
+  List.exists (fun m -> m.kind = Directory) (child_metas fs path)
+
+let has_symlink fs path =
+  List.exists
+    (fun m -> match m.kind with Symlink _ -> true | Regular | Directory -> false)
+    (child_metas fs path)
+
+let all_paths fs =
+  Smap.fold (fun p _ acc -> if p = "/" then acc else p :: acc) fs []
+  |> List.sort compare
+
+let chown fs path ~owner ~group =
+  match lookup fs path with
+  | None -> fs
+  | Some m -> Smap.add (normalize path) { m with owner; group } fs
+
+let chmod fs path ~perm =
+  match lookup fs path with
+  | None -> fs
+  | Some m -> Smap.add (normalize path) { m with perm } fs
+
+let readable_by fs ~user ~groups path =
+  if user = "root" then exists fs path
+  else
+    match resolve fs path with
+    | None -> false
+    | Some m ->
+        let bits =
+          if m.owner = user then (m.perm lsr 6) land 7
+          else if List.mem m.group groups then (m.perm lsr 3) land 7
+          else m.perm land 7
+        in
+        bits land 4 <> 0
+
+let fold f fs acc =
+  Smap.fold (fun p m acc -> if p = "/" then acc else f p m acc) fs acc

@@ -1,0 +1,84 @@
+(** Virtual filesystem model.
+
+    A system image carries a snapshot of its file tree: for each path, the
+    owner, group, permission bits, file kind and (for symlinks) the
+    target.  The semantic type verifier and the environment augmenter
+    query this model exactly as the real EnCore queried the file-system
+    metadata dumped by its data collector.
+
+    Paths are absolute, ['/']-separated, with no trailing slash (except
+    the root ["/"] itself). *)
+
+type kind = Regular | Directory | Symlink of string
+
+type meta = {
+  owner : string;
+  group : string;
+  perm : int;  (** e.g. 0o644 *)
+  size : int;  (** bytes; 0 for directories *)
+  kind : kind;
+}
+
+type t
+(** Immutable file tree. *)
+
+val empty : t
+(** Just the root directory, owned by root:root with mode 0755. *)
+
+val add : t -> string -> meta -> t
+(** [add fs path meta] inserts or replaces the node at [path], creating
+    any missing parent directories (root-owned, 0755).
+    @raise Invalid_argument if [path] is not absolute. *)
+
+val add_dir :
+  ?owner:string -> ?group:string -> ?perm:int -> t -> string -> t
+
+val add_file :
+  ?owner:string -> ?group:string -> ?perm:int -> ?size:int -> t -> string -> t
+
+val add_symlink :
+  ?owner:string -> ?group:string -> t -> string -> target:string -> t
+
+val remove : t -> string -> t
+(** Remove a node and all its descendants.  Removing ["/"] or a missing
+    path returns the tree unchanged. *)
+
+val lookup : t -> string -> meta option
+(** Metadata at [path], without following symlinks. *)
+
+val resolve : t -> string -> meta option
+(** Metadata at [path], following symlinks (up to 16 hops). *)
+
+val exists : t -> string -> bool
+val is_dir : t -> string -> bool
+(** True for a directory, following symlinks. *)
+
+val is_file : t -> string -> bool
+(** True for a regular file, following symlinks. *)
+
+val children : t -> string -> string list
+(** Immediate child basenames of a directory, sorted; [] otherwise. *)
+
+val has_subdir : t -> string -> bool
+(** Directory with at least one subdirectory among its children. *)
+
+val has_symlink : t -> string -> bool
+(** Directory with at least one symlink among its children. *)
+
+val all_paths : t -> string list
+(** Every path in the tree (excluding the root), sorted. *)
+
+val chown : t -> string -> owner:string -> group:string -> t
+(** Change ownership of an existing node; no-op when absent. *)
+
+val chmod : t -> string -> perm:int -> t
+
+val readable_by :
+  t -> user:string -> groups:string list -> string -> bool
+(** POSIX-style read-permission check on the node itself (owner bits if
+    [user] matches, else group bits if any of [groups] matches, else
+    other bits).  [false] when the path does not exist.  [root] can read
+    everything. *)
+
+val fold : (string -> meta -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over every (path, meta) pair, excluding the root. *)

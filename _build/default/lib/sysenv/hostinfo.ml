@@ -1,0 +1,34 @@
+type hardware = {
+  cpu_threads : int;
+  cpu_freq_mhz : int;
+  mem_bytes : int;
+  disk_avail_bytes : int;
+}
+
+type selinux = Enforcing | Permissive | Disabled
+
+type os = { dist_name : string; dist_version : string; selinux : selinux }
+
+let selinux_to_string = function
+  | Enforcing -> "enforcing"
+  | Permissive -> "permissive"
+  | Disabled -> "disabled"
+
+let selinux_of_string = function
+  | "enforcing" -> Some Enforcing
+  | "permissive" -> Some Permissive
+  | "disabled" -> Some Disabled
+  | _ -> None
+
+let default_hardware =
+  {
+    cpu_threads = 4;
+    cpu_freq_mhz = 2400;
+    mem_bytes = 8 * 1024 * 1024 * 1024;
+    disk_avail_bytes = 40 * 1024 * 1024 * 1024;
+  }
+
+let no_hardware = None
+
+let default_os =
+  { dist_name = "ubuntu"; dist_version = "12.04"; selinux = Disabled }

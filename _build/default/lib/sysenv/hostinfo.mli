@@ -1,0 +1,28 @@
+(** Hardware specification and operating-system descriptors of an image
+    (paper Table 5b: CPU.Threads, CPU.Freq, MemSize, HDD.AvailSpace;
+    OS.DistName, OS.Version, OS.SEStatus; Sys.HostName, Sys.IPAddress,
+    Sys.FSType). *)
+
+type hardware = {
+  cpu_threads : int;
+  cpu_freq_mhz : int;
+  mem_bytes : int;
+  disk_avail_bytes : int;
+}
+
+type selinux = Enforcing | Permissive | Disabled
+
+type os = { dist_name : string; dist_version : string; selinux : selinux }
+
+val selinux_to_string : selinux -> string
+val selinux_of_string : string -> selinux option
+
+val default_hardware : hardware
+(** 4 threads, 2400 MHz, 8 GiB RAM, 40 GiB free disk — a typical cloud
+    instance shape. *)
+
+val no_hardware : hardware option
+(** [None]: dormant images (e.g. freshly crawled EC2 templates) carry no
+    hardware specification, which is why the paper misses Problem #8. *)
+
+val default_os : os

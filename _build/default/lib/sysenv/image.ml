@@ -1,0 +1,63 @@
+type app = Apache | Mysql | Php | Sshd
+
+let app_to_string = function
+  | Apache -> "apache"
+  | Mysql -> "mysql"
+  | Php -> "php"
+  | Sshd -> "sshd"
+
+let app_of_string = function
+  | "apache" -> Some Apache
+  | "mysql" -> Some Mysql
+  | "php" -> Some Php
+  | "sshd" -> Some Sshd
+  | _ -> None
+
+let all_apps = [ Apache; Mysql; Php; Sshd ]
+
+type config_file = { app : app; path : string; text : string }
+
+type t = {
+  image_id : string;
+  hostname : string;
+  ip_address : string;
+  fs_type : string;
+  fs : Fs.t;
+  accounts : Accounts.t;
+  services : Services.t;
+  env_vars : (string * string) list;
+  hardware : Hostinfo.hardware option;
+  os : Hostinfo.os;
+  configs : config_file list;
+}
+
+let make ?(hostname = "localhost") ?(ip_address = "10.0.0.1")
+    ?(fs_type = "ext4") ?(fs = Fs.empty) ?(accounts = Accounts.base)
+    ?(services = Services.base) ?(env_vars = [])
+    ?(hardware = Some Hostinfo.default_hardware) ?(os = Hostinfo.default_os)
+    ~id configs =
+  {
+    image_id = id;
+    hostname;
+    ip_address;
+    fs_type;
+    fs;
+    accounts;
+    services;
+    env_vars;
+    hardware;
+    os;
+    configs;
+  }
+
+let config_for t app = List.find_opt (fun c -> c.app = app) t.configs
+
+let set_config t app text =
+  let configs =
+    List.map (fun c -> if c.app = app then { c with text } else c) t.configs
+  in
+  { t with configs }
+
+let with_fs t fs = { t with fs }
+
+let env_var t name = List.assoc_opt name t.env_vars

@@ -1,0 +1,44 @@
+(** The system image: the unit of training and checking.
+
+    An image bundles everything the EnCore data collector would dump
+    from one machine or VM snapshot: its configuration files, file-system
+    metadata, account database, service registry, environment variables
+    and host descriptors. *)
+
+type app = Apache | Mysql | Php | Sshd
+
+val app_to_string : app -> string
+val app_of_string : string -> app option
+val all_apps : app list
+
+type config_file = { app : app; path : string; text : string }
+
+type t = {
+  image_id : string;
+  hostname : string;
+  ip_address : string;
+  fs_type : string;
+  fs : Fs.t;
+  accounts : Accounts.t;
+  services : Services.t;
+  env_vars : (string * string) list;
+      (** Only populated for running instances (paper Table 7 note). *)
+  hardware : Hostinfo.hardware option;
+      (** [None] for dormant images such as EC2 templates. *)
+  os : Hostinfo.os;
+  configs : config_file list;
+}
+
+val make :
+  ?hostname:string -> ?ip_address:string -> ?fs_type:string ->
+  ?fs:Fs.t -> ?accounts:Accounts.t -> ?services:Services.t ->
+  ?env_vars:(string * string) list ->
+  ?hardware:Hostinfo.hardware option -> ?os:Hostinfo.os ->
+  id:string -> config_file list -> t
+
+val config_for : t -> app -> config_file option
+val set_config : t -> app -> string -> t
+(** Replace the config text for [app]; no-op when the app is absent. *)
+
+val with_fs : t -> Fs.t -> t
+val env_var : t -> string -> string option

@@ -1,0 +1,25 @@
+module Imap = Map.Make (Int)
+
+type t = string Imap.t
+
+let empty = Imap.empty
+
+let add t ~port ~name = Imap.add port name t
+
+let base =
+  List.fold_left
+    (fun t (port, name) -> add t ~port ~name)
+    empty
+    [ (21, "ftp"); (22, "ssh"); (23, "telnet"); (25, "smtp"); (53, "domain");
+      (80, "http"); (110, "pop3"); (143, "imap"); (443, "https");
+      (465, "smtps"); (587, "submission"); (993, "imaps"); (995, "pop3s");
+      (3306, "mysql"); (5432, "postgresql"); (6379, "redis");
+      (8080, "http-alt"); (8443, "https-alt"); (11211, "memcached") ]
+
+let known_port t port = Imap.mem port t
+let service_of_port t port = Imap.find_opt port t
+
+let port_of_service t name =
+  Imap.fold (fun p n acc -> if n = name then Some p else acc) t None
+
+let ports t = List.map fst (Imap.bindings t)

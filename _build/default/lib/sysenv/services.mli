@@ -1,0 +1,19 @@
+(** Service registry: the image's /etc/services.
+
+    PortNumber semantic verification checks that a numeric value names a
+    known service port (paper Table 4). *)
+
+type t
+
+val empty : t
+
+val base : t
+(** Common well-known ports (ssh 22, http 80, https 443, mysql 3306,
+    smtp 25, dns 53, pop3 110, imap 143, memcached 11211, redis 6379,
+    postgres 5432, and the registered alternates 8080/8443). *)
+
+val add : t -> port:int -> name:string -> t
+val known_port : t -> int -> bool
+val service_of_port : t -> int -> string option
+val port_of_service : t -> string -> int option
+val ports : t -> int list

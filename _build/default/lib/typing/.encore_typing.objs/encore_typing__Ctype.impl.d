@@ -1,0 +1,1 @@
+lib/typing/ctype.ml: Encore_util List String

@@ -1,0 +1,1 @@
+lib/typing/custom_registry.ml: Encore_sysenv Hashtbl Re String

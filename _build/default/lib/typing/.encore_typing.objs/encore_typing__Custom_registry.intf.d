@@ -1,0 +1,1 @@
+lib/typing/custom_registry.mli: Encore_sysenv

@@ -1,0 +1,1 @@
+lib/typing/infer.ml: Ctype Encore_util Hashtbl List Semantic Syntactic

@@ -1,0 +1,1 @@
+lib/typing/infer.mli: Ctype Encore_sysenv

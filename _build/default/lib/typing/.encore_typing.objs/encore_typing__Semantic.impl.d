@@ -1,0 +1,1 @@
+lib/typing/semantic.ml: Ctype Custom_registry Encore_sysenv Encore_util List String Syntactic

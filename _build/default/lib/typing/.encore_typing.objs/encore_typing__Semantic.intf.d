@@ -1,0 +1,1 @@
+lib/typing/semantic.mli: Ctype Encore_sysenv

@@ -1,0 +1,1 @@
+lib/typing/syntactic.ml: Ctype Custom_registry Encore_util List Re String

@@ -1,0 +1,1 @@
+lib/typing/syntactic.mli: Ctype

@@ -1,0 +1,80 @@
+type t =
+  | File_path
+  | Partial_file_path
+  | File_name
+  | User_name
+  | Group_name
+  | Ip_address
+  | Port_number
+  | Url
+  | Mime_type
+  | Charset
+  | Language
+  | Size
+  | Bool_t
+  | Permission
+  | Enum of string list
+  | Custom of string
+  | Number
+  | String_t
+
+let to_string = function
+  | File_path -> "FilePath"
+  | Partial_file_path -> "PartialFilePath"
+  | File_name -> "FileName"
+  | User_name -> "UserName"
+  | Group_name -> "GroupName"
+  | Ip_address -> "IPAddress"
+  | Port_number -> "PortNumber"
+  | Url -> "URL"
+  | Mime_type -> "MIMEType"
+  | Charset -> "Charset"
+  | Language -> "Language"
+  | Size -> "Size"
+  | Bool_t -> "Boolean"
+  | Permission -> "Permission"
+  | Enum values -> "Enum(" ^ String.concat "|" values ^ ")"
+  | Custom name -> "Custom(" ^ name ^ ")"
+  | Number -> "Number"
+  | String_t -> "String"
+
+let of_string s =
+  match s with
+  | "FilePath" -> Some File_path
+  | "PartialFilePath" -> Some Partial_file_path
+  | "FileName" -> Some File_name
+  | "UserName" -> Some User_name
+  | "GroupName" -> Some Group_name
+  | "IPAddress" -> Some Ip_address
+  | "PortNumber" -> Some Port_number
+  | "URL" -> Some Url
+  | "MIMEType" -> Some Mime_type
+  | "Charset" -> Some Charset
+  | "Language" -> Some Language
+  | "Size" -> Some Size
+  | "Boolean" -> Some Bool_t
+  | "Permission" -> Some Permission
+  | "Number" -> Some Number
+  | "String" -> Some String_t
+  | s
+    when Encore_util.Strutil.starts_with ~prefix:"Enum(" s
+         && Encore_util.Strutil.ends_with ~suffix:")" s ->
+      let inner = String.sub s 5 (String.length s - 6) in
+      Some (Enum (Encore_util.Strutil.split_on '|' inner))
+  | s
+    when Encore_util.Strutil.starts_with ~prefix:"Custom(" s
+         && Encore_util.Strutil.ends_with ~suffix:")" s ->
+      Some (Custom (String.sub s 7 (String.length s - 8)))
+  | _ -> None
+
+let equal a b =
+  match (a, b) with
+  | Enum xs, Enum ys -> List.sort compare xs = List.sort compare ys
+  | a, b -> a = b
+
+let is_trivial = function String_t | Number -> true | _ -> false
+
+let all_simple =
+  [ File_path; Partial_file_path; File_name; User_name; Group_name;
+    Ip_address; Port_number; Url; Mime_type; Charset; Language; Size;
+    Bool_t; Permission; Number; String_t ]

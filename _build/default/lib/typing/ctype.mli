@@ -1,0 +1,38 @@
+(** Configuration-entry type taxonomy (paper Table 4), plus the types
+    assigned to augmented attributes (Permission, Enum).
+
+    [String_t] and [Number] are the trivial fallbacks; everything else
+    is a non-trivial semantic type. *)
+
+type t =
+  | File_path          (** absolute path into the filesystem *)
+  | Partial_file_path  (** relative path fragment, joined with a root *)
+  | File_name          (** bare name with an extension *)
+  | User_name
+  | Group_name
+  | Ip_address
+  | Port_number
+  | Url
+  | Mime_type
+  | Charset
+  | Language
+  | Size               (** byte count with optional K/M/G/T suffix *)
+  | Bool_t
+  | Permission         (** octal mode, only from augmentation *)
+  | Enum of string list  (** closed value set learned from samples *)
+  | Custom of string     (** user-defined type from a customization file *)
+  | Number
+  | String_t
+
+val to_string : t -> string
+val of_string : string -> t option
+(** Inverse of {!to_string} for non-parameterized constructors; an
+    ["Enum(a|b|c)"] spelling round-trips too. *)
+
+val equal : t -> t -> bool
+val is_trivial : t -> bool
+(** True for [String_t] and [Number] (paper Table 11 counts everything
+    else as "NonTrivial"). *)
+
+val all_simple : t list
+(** Every constructor except [Enum]. *)

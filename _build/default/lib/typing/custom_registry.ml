@@ -1,0 +1,60 @@
+type validator =
+  | Always
+  | Exists_in_fs
+  | Is_dir
+  | Is_file
+  | In_users
+  | In_groups
+  | Known_port
+
+let validator_of_string = function
+  | "always" -> Some Always
+  | "exists_in_fs" -> Some Exists_in_fs
+  | "is_dir" -> Some Is_dir
+  | "is_file" -> Some Is_file
+  | "in_users" -> Some In_users
+  | "in_groups" -> Some In_groups
+  | "known_port" -> Some Known_port
+  | _ -> None
+
+type entry = { re : Re.re; validator : validator }
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 8
+let order : string list ref = ref []
+
+let register ~name ~pattern ~validator =
+  let re =
+    try Re.compile (Re.whole_string (Re.Perl.re pattern))
+    with _ -> invalid_arg ("Custom_registry: bad pattern for " ^ name)
+  in
+  if not (Hashtbl.mem table name) then order := !order @ [ name ];
+  Hashtbl.replace table name { re; validator }
+
+let clear () =
+  Hashtbl.reset table;
+  order := []
+
+let registered () = !order
+let is_registered name = Hashtbl.mem table name
+
+let matches name value =
+  match Hashtbl.find_opt table name with
+  | None -> false
+  | Some e -> Re.execp e.re (String.trim value)
+
+let verify (img : Encore_sysenv.Image.t) name value =
+  match Hashtbl.find_opt table name with
+  | None -> false
+  | Some e -> (
+      let v = String.trim value in
+      match e.validator with
+      | Always -> true
+      | Exists_in_fs -> Encore_sysenv.Fs.exists img.fs v
+      | Is_dir -> Encore_sysenv.Fs.is_dir img.fs v
+      | Is_file -> Encore_sysenv.Fs.is_file img.fs v
+      | In_users -> Encore_sysenv.Accounts.user_exists img.accounts v
+      | In_groups -> Encore_sysenv.Accounts.group_exists img.accounts v
+      | Known_port -> (
+          match int_of_string_opt v with
+          | Some p -> Encore_sysenv.Services.known_port img.services p
+          | None -> false))

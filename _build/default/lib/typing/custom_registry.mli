@@ -1,0 +1,40 @@
+(** Registry for user-defined configuration types (paper section 5.3).
+
+    A customization file declares a type name, a syntactic inference
+    pattern (regular expression) and an optional semantic validator
+    chosen from a fixed vocabulary of environment probes.  Registered
+    types take priority over the predefined ones during inference, in
+    the order of registration, exactly as the paper specifies. *)
+
+type validator =
+  | Always
+  | Exists_in_fs
+  | Is_dir
+  | Is_file
+  | In_users
+  | In_groups
+  | Known_port
+
+val validator_of_string : string -> validator option
+(** Accepts ["always"], ["exists_in_fs"], ["is_dir"], ["is_file"],
+    ["in_users"], ["in_groups"], ["known_port"]. *)
+
+val register : name:string -> pattern:string -> validator:validator -> unit
+(** Compile [pattern] (whole-string Perl syntax) and bind the type.
+    Re-registering a name replaces the previous binding but keeps its
+    original priority position.
+    @raise Invalid_argument on a malformed pattern. *)
+
+val clear : unit -> unit
+(** Forget every custom type (used between experiments). *)
+
+val registered : unit -> string list
+(** Names in priority (registration) order. *)
+
+val is_registered : string -> bool
+
+val matches : string -> string -> bool
+(** [matches name value]: syntactic check; false for unknown names. *)
+
+val verify : Encore_sysenv.Image.t -> string -> string -> bool
+(** [verify img name value]: semantic check; false for unknown names. *)

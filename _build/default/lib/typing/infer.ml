@@ -1,0 +1,109 @@
+type decision = { ctype : Ctype.t; agreement : float; samples : int }
+
+type env = (string * decision) list
+
+(* Rank in Syntactic.candidate_order = specificity; lower is better. *)
+let specificity t =
+  let rec idx i = function
+    | [] -> max_int
+    | x :: rest -> if Ctype.equal x t then i else idx (i + 1) rest
+  in
+  match t with
+  (* customized types take priority over the predefined ones *)
+  | Ctype.Custom _ -> -1
+  | Ctype.Number -> 100
+  | Ctype.String_t -> 101
+  | _ -> idx 0 Syntactic.candidate_order
+
+let infer_column ?(min_agreement = 0.8) ?hint samples =
+  let n = List.length samples in
+  if n = 0 then { ctype = Ctype.String_t; agreement = 1.0; samples = 0 }
+  else begin
+    (* Count, for every candidate type, how many samples verify it. *)
+    let tally = Hashtbl.create 8 in
+    List.iter
+      (fun (img, value) ->
+        List.iter
+          (fun t ->
+            if Semantic.verify img t value then
+              let key = Ctype.to_string t in
+              Hashtbl.replace tally key
+                (match Hashtbl.find_opt tally key with
+                 | None -> (t, 1)
+                 | Some (_, c) -> (t, c + 1)))
+          (Syntactic.candidates value))
+      samples;
+    let nf = float_of_int n in
+    let qualified =
+      Hashtbl.fold
+        (fun _ (t, c) acc ->
+          let agreement = float_of_int c /. nf in
+          if agreement >= min_agreement then (t, agreement) :: acc else acc)
+        tally []
+    in
+    match
+      List.sort
+        (fun (a, aa) (b, ab) ->
+          match compare (specificity a) (specificity b) with
+          | 0 -> compare ab aa
+          | c -> c)
+        qualified
+    with
+    | [] -> { ctype = Ctype.String_t; agreement = 1.0; samples = n }
+    | (t, agreement) :: _ -> (
+        match hint with
+        | Some h -> (
+            match
+              List.find_opt (fun (q, qa) -> Ctype.equal q h && qa >= agreement) qualified
+            with
+            | Some (_, ha) -> { ctype = h; agreement = ha; samples = n }
+            | None -> { ctype = t; agreement; samples = n })
+        | None -> { ctype = t; agreement; samples = n })
+  end
+
+let infer ?(min_agreement = 0.8) ?(enum_max_cardinality = 4) rows =
+  (* Pivot: attribute -> [(image, value); ...] *)
+  let columns = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (img, kvs) ->
+      List.iter
+        (fun (attr, value) ->
+          (match Hashtbl.find_opt columns attr with
+           | None ->
+               Hashtbl.add columns attr [ (img, value) ];
+               order := attr :: !order
+           | Some existing -> Hashtbl.replace columns attr ((img, value) :: existing)))
+        kvs)
+    rows;
+  (* name-based hints resolve ambiguities the value alone cannot
+     (a user and its primary group usually share one name) *)
+  let hint_of attr =
+    let base =
+      Encore_util.Strutil.lowercase_ascii
+        (match Encore_util.Strutil.split_on '/' attr with
+         | [] -> attr
+         | parts -> List.nth parts (List.length parts - 1))
+    in
+    if Encore_util.Strutil.contains_sub base "group" then Some Ctype.Group_name
+    else if Encore_util.Strutil.contains_sub base "user" then Some Ctype.User_name
+    else None
+  in
+  List.rev_map
+    (fun attr ->
+      let samples = List.rev (Hashtbl.find columns attr) in
+      let decision = infer_column ~min_agreement ?hint:(hint_of attr) samples in
+      let decision =
+        if Ctype.equal decision.ctype Ctype.String_t && decision.samples >= 5
+        then
+          let values = List.map snd samples in
+          let distinct = Encore_util.Stats.distinct values in
+          if List.length distinct <= enum_max_cardinality then
+            { decision with ctype = Ctype.Enum (List.sort compare distinct) }
+          else decision
+        else decision
+      in
+      (attr, decision))
+    !order
+
+let find env attr = List.assoc_opt attr env

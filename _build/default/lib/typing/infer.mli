@@ -1,0 +1,36 @@
+(** Per-attribute type inference over a training set.
+
+    For each attribute (column), every training value is run through the
+    two-step inference; the column is assigned the most specific type
+    that a qualified majority of the samples agree on.  Columns whose
+    values form a small closed set are promoted to [Enum] (which is how
+    boolean-like and keyword-like entries become checkable even when no
+    predefined type fits). *)
+
+type decision = {
+  ctype : Ctype.t;
+  agreement : float;  (** fraction of samples confirming [ctype] *)
+  samples : int;
+}
+
+type env = (string * decision) list
+(** Attribute name -> inferred type. *)
+
+val infer_column :
+  ?min_agreement:float -> ?hint:Ctype.t ->
+  (Encore_sysenv.Image.t * string) list -> decision
+(** [infer_column samples] where each sample is (image context, value).
+    [min_agreement] defaults to 0.8.  When [hint] is given and qualifies
+    with at least the winner's agreement, it wins ties with equally
+    plausible types — used for UserName/GroupName ambiguity, where the
+    value alone cannot distinguish a user from its same-named group. *)
+
+val infer :
+  ?min_agreement:float -> ?enum_max_cardinality:int ->
+  (Encore_sysenv.Image.t * (string * string) list) list -> env
+(** [infer rows] over a training set: [rows] pairs each image with its
+    (attribute, value) list.  Columns falling back to [String_t] with at
+    most [enum_max_cardinality] (default 4) distinct values over at
+    least 5 samples are refined to [Enum].  *)
+
+val find : env -> string -> decision option

@@ -1,0 +1,17 @@
+(** Step 2 of type inference: heavy-weight semantic verification against
+    the system environment (paper section 4.2).
+
+    A candidate type is confirmed only if the value resolves to a real
+    object of the image: a FilePath must exist in the file tree, a
+    UserName in the account database, a PortNumber in the service map,
+    and so on.  Types without an external reference (URL, Language,
+    Size, Number...) verify by value-shape alone. *)
+
+val verify : Encore_sysenv.Image.t -> Ctype.t -> string -> bool
+(** [verify img t value]: does [value] pass the semantic check of [t]
+    in the context of [img]? *)
+
+val infer_value : Encore_sysenv.Image.t -> string -> Ctype.t
+(** Full two-step inference for a single value in a single image: first
+    syntactic candidate that also passes semantic verification, falling
+    back to [Number]/[String_t]. *)

@@ -1,0 +1,88 @@
+let re_full pattern = Re.compile (Re.whole_string (Re.Perl.re pattern))
+
+(* Compiled patterns, close to paper Table 4 (with IPv6 and a stricter
+   IPv4 range check done post-match). *)
+let file_path_re = re_full "/[^\\s]+(/[^\\s]+)*/?"
+let partial_path_re = re_full "[^/\\s]+(/[^\\s]+)+"
+let file_name_re = re_full "([\\w-]+\\.)+[\\w-]+|\\.[\\w-]+"
+let user_re = re_full "[a-zA-Z_][a-zA-Z0-9_-]*"
+let ipv4_re = re_full "\\d{1,3}(\\.\\d{1,3}){3}"
+let ipv6_re = re_full "[0-9a-fA-F:]*:[0-9a-fA-F:]+"
+let port_re = re_full "\\d{1,5}"
+let number_re = re_full "-?[0-9]+(\\.[0-9]+)?"
+let url_re = re_full "[a-z][a-z0-9+.-]*://[^\\s]+"
+let mime_re = re_full "[\\w-]+/[\\w.+-]+"
+let charset_re = re_full "[A-Za-z][A-Za-z0-9._-]{2,}"
+let language_re = re_full "[a-zA-Z]{2}([_-][a-zA-Z]{2})?"
+(* a bare count is a Number; only a unit suffix marks a Size *)
+let size_re = re_full "[0-9]+[KMGTkmgt]"
+let perm_re = re_full "0?[0-7]{3,4}"
+
+let bool_words =
+  [ "on"; "off"; "true"; "false"; "yes"; "no"; "0"; "1"; "enabled"; "disabled" ]
+
+let exec re s = Re.execp re s
+
+let ipv4_in_range s =
+  List.for_all
+    (fun octet ->
+      match int_of_string_opt octet with
+      | Some v -> v >= 0 && v <= 255
+      | None -> false)
+    (String.split_on_char '.' s)
+
+let matches (t : Ctype.t) value =
+  let v = String.trim value in
+  if v = "" then t = Ctype.String_t
+  else
+    match t with
+    | Ctype.File_path -> exec file_path_re v
+    | Ctype.Partial_file_path -> exec partial_path_re v
+    | Ctype.File_name ->
+        exec file_name_re v && not (Encore_util.Strutil.contains_char v '/')
+    | Ctype.User_name | Ctype.Group_name -> exec user_re v
+    | Ctype.Ip_address ->
+        (exec ipv4_re v && ipv4_in_range v) || exec ipv6_re v
+    | Ctype.Port_number -> (
+        exec port_re v
+        && match int_of_string_opt v with
+           | Some p -> p >= 0 && p <= 65535
+           | None -> false)
+    | Ctype.Url -> exec url_re v
+    | Ctype.Mime_type -> exec mime_re v && not (exec file_path_re v)
+    | Ctype.Charset -> exec charset_re v
+    | Ctype.Language -> exec language_re v
+    | Ctype.Size -> exec size_re v
+    | Ctype.Bool_t ->
+        List.mem (Encore_util.Strutil.lowercase_ascii v) bool_words
+    | Ctype.Permission -> exec perm_re v
+    | Ctype.Number -> exec number_re v
+    | Ctype.Custom name -> Custom_registry.matches name v
+    | Ctype.Enum _ | Ctype.String_t -> true
+
+(* Most specific first.  E.g. "/usr/lib/php.so" matches File_path before
+   File_name; "3306" matches Port_number before Size/Number. *)
+let candidate_order =
+  [ Ctype.Url; Ctype.File_path; Ctype.Ip_address; Ctype.Bool_t;
+    Ctype.Port_number; Ctype.Size; Ctype.Mime_type; Ctype.Partial_file_path;
+    Ctype.File_name; Ctype.Language; Ctype.User_name; Ctype.Group_name;
+    Ctype.Charset ]
+
+let candidates value =
+  (* customized types have priority over predefined ones, in the order
+     they appear in the customization file (paper section 5.3.1) *)
+  let custom =
+    List.filter_map
+      (fun name ->
+        let t = Ctype.Custom name in
+        if matches t value then Some t else None)
+      (Custom_registry.registered ())
+  in
+  let non_trivial =
+    custom @ List.filter (fun t -> matches t value) candidate_order
+  in
+  let trivial =
+    if matches Ctype.Number value then [ Ctype.Number; Ctype.String_t ]
+    else [ Ctype.String_t ]
+  in
+  non_trivial @ trivial

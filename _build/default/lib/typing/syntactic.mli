@@ -1,0 +1,21 @@
+(** Step 1 of type inference: syntactic pattern matching (paper §4.2).
+
+    Each candidate type has a cheap regular-expression hint.  A value may
+    match several hints; candidates are returned from most to least
+    specific, and step 2 ({!Semantic}) disambiguates by consulting the
+    environment.  This ordering implements the paper's observation that
+    the syntactic pass "prunes away most of the improbable types". *)
+
+val matches : Ctype.t -> string -> bool
+(** Does [value] satisfy the syntactic hint of the given type?
+    [Enum] and [String_t] match everything; [Permission] requires an
+    octal string. *)
+
+val candidate_order : Ctype.t list
+(** The non-trivial types in decreasing specificity; the order used to
+    resolve multi-candidate values. *)
+
+val candidates : string -> Ctype.t list
+(** All non-trivial types whose hint matches, most specific first,
+    always terminated by the trivial fallbacks ([Number] when numeric,
+    then [String_t]). *)

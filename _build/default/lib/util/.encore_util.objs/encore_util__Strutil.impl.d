@@ -1,0 +1,1 @@
+lib/util/strutil.ml: Array Char List String

@@ -1,0 +1,80 @@
+let needs_quote s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape_field s =
+  if needs_quote s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row_to_string fields = String.concat "," (List.map escape_field fields)
+
+let to_string ~header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (row_to_string header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (row_to_string row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+type state = Field | Quoted | Quote_in_quoted
+
+let parse text =
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 64 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let state = ref Field in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    (match (!state, c) with
+    | Field, ',' -> flush_field ()
+    | Field, '\n' -> flush_row ()
+    | Field, '\r' -> ()
+    | Field, '"' when Buffer.length buf = 0 -> state := Quoted
+    | Field, c -> Buffer.add_char buf c
+    | Quoted, '"' -> state := Quote_in_quoted
+    | Quoted, c -> Buffer.add_char buf c
+    | Quote_in_quoted, '"' ->
+        Buffer.add_char buf '"';
+        state := Quoted
+    | Quote_in_quoted, ',' ->
+        state := Field;
+        flush_field ()
+    | Quote_in_quoted, '\n' ->
+        state := Field;
+        flush_row ()
+    | Quote_in_quoted, '\r' -> state := Field
+    | Quote_in_quoted, c ->
+        state := Field;
+        Buffer.add_char buf c);
+    incr i
+  done;
+  if Buffer.length buf > 0 || !fields <> [] then flush_row ();
+  List.rev !rows
+
+let write_file path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~header rows))

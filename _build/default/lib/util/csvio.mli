@@ -1,0 +1,20 @@
+(** Minimal CSV reading and writing (RFC 4180 quoting).
+
+    The data assembler stores the augmented attribute table as CSV, one
+    row per system image and one column per attribute, mirroring the
+    paper's description of the assembler output. *)
+
+val escape_field : string -> string
+(** Quote a field if it contains a comma, quote or newline. *)
+
+val row_to_string : string list -> string
+
+val to_string : header:string list -> string list list -> string
+(** Render a full CSV document with a header row. *)
+
+val parse : string -> string list list
+(** Parse a CSV document into rows of fields.  Handles quoted fields
+    with embedded commas, quotes and newlines.  Blank trailing line is
+    ignored. *)
+
+val write_file : string -> header:string list -> string list list -> unit

@@ -1,0 +1,52 @@
+module Smap = Map.Make (String)
+
+let counts values =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt tbl v with
+      | None ->
+          Hashtbl.add tbl v 1;
+          order := v :: !order
+      | Some n -> Hashtbl.replace tbl v (n + 1))
+    values;
+  List.rev_map (fun v -> (v, Hashtbl.find tbl v)) !order
+
+let distinct values = List.map fst (counts values)
+
+let entropy values =
+  let n = List.length values in
+  if n = 0 then 0.0
+  else
+    let nf = float_of_int n in
+    List.fold_left
+      (fun acc (_, c) ->
+        let p = float_of_int c /. nf in
+        acc -. (p *. log p))
+      0.0 (counts values)
+
+let entropy_threshold_90_10 = 0.325
+
+let majority values =
+  match counts values with
+  | [] -> None
+  | cs ->
+      Some
+        (List.fold_left
+           (fun ((_, bc) as best) ((_, c) as cur) ->
+             if c > bc then cur else best)
+           (List.hd cs) (List.tl cs))
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | sorted ->
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p *. float_of_int n)) in
+      let idx = max 0 (min (n - 1) (rank - 1)) in
+      List.nth sorted idx

@@ -1,0 +1,29 @@
+(** Small statistics helpers used throughout EnCore.
+
+    The central piece is Shannon entropy (paper section 5.2), used by the
+    rule-filtering stage to discard rules whose attributes barely vary in
+    the training set. *)
+
+val entropy : string list -> float
+(** [entropy values] is the Shannon entropy [- sum p_i ln p_i] of the
+    empirical distribution of [values] (natural log, as in the paper).
+    The entropy of the empty list is 0. *)
+
+val entropy_threshold_90_10 : float
+(** The paper's default threshold Ht = 0.325: the entropy of a binary
+    90 % / 10 % split. *)
+
+val distinct : string list -> string list
+(** Distinct values, in order of first appearance. *)
+
+val counts : string list -> (string * int) list
+(** Value histogram, in order of first appearance. *)
+
+val majority : string list -> (string * int) option
+(** Most frequent value and its count; [None] on the empty list. *)
+
+val mean : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]]; nearest-rank on sorted data.
+    @raise Invalid_argument on the empty list. *)

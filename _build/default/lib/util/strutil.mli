@@ -1,0 +1,47 @@
+(** String helpers: edit distance, path manipulation and the unit-suffix
+    parsers used by the Size / Number configuration types. *)
+
+val damerau_levenshtein : string -> string -> int
+(** Restricted Damerau–Levenshtein distance (insert, delete, substitute,
+    adjacent transposition).  Used by the entry-name violation check to
+    decide whether an unseen key is a likely misspelling. *)
+
+val lowercase_ascii : string -> string
+
+val starts_with : prefix:string -> string -> bool
+val ends_with : suffix:string -> string -> bool
+val contains_char : string -> char -> bool
+val contains_sub : string -> string -> bool
+
+val split_once : string -> string -> (string * string) option
+(** [split_once s sep] splits at the first occurrence of substring
+    [sep]: [split_once "a -- b" "--"] is [Some ("a ", " b")]. *)
+
+val split_on : char -> string -> string list
+(** Like [String.split_on_char] but drops empty fields. *)
+
+val trim_lines : string -> string list
+(** Split into lines, trimming each and dropping blank lines. *)
+
+val path_join : string -> string -> string
+(** Join two path fragments with exactly one ['/'] between them. *)
+
+val path_components : string -> string list
+(** ["/a/b/c"] -> [\["a";"b";"c"\]]. *)
+
+val dirname : string -> string
+(** Directory part of a path; ["/"] for top-level entries. *)
+
+val basename : string -> string
+
+val parse_size : string -> int option
+(** Parse ["64M"], ["8K"], ["1G"], ["2T"] or a bare byte count into
+    bytes.  Case-insensitive suffix; [None] if unparsable. *)
+
+val format_size : int -> string
+(** Render a byte count with the largest exact unit suffix. *)
+
+val parse_number : string -> float option
+(** Decimal integer or float. *)
+
+val is_int_string : string -> bool

@@ -1,0 +1,56 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?title ?(aligns = []) ~header rows =
+  let ncols =
+    List.fold_left
+      (fun acc row -> max acc (List.length row))
+      (List.length header) rows
+  in
+  let get lst i = try List.nth lst i with _ -> "" in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (get row i)))
+          (String.length (get header i))
+          rows)
+  in
+  let align_of i = try List.nth aligns i with _ -> Left in
+  let fmt_row row =
+    "| "
+    ^ String.concat " | "
+        (List.mapi (fun i w -> pad (align_of i) w (get row i)) widths)
+    ^ " |"
+  in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (fmt_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (fmt_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let print ?title ?aligns ~header rows =
+  print_string (render ?title ?aligns ~header rows);
+  print_newline ()

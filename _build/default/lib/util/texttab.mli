@@ -1,0 +1,16 @@
+(** ASCII table rendering for experiment output.
+
+    The benchmark harness prints each reproduced paper table with this
+    module so the rows can be compared side by side with the paper. *)
+
+type align = Left | Right
+
+val render :
+  ?title:string -> ?aligns:align list -> header:string list ->
+  string list list -> string
+(** [render ~header rows] lays out a boxed table.  [aligns] defaults to
+    left for every column; a shorter list is padded with [Left]. *)
+
+val print :
+  ?title:string -> ?aligns:align list -> header:string list ->
+  string list list -> unit

@@ -1,0 +1,1 @@
+lib/workloads/apache_app.ml: Encore_confparse Encore_sysenv Encore_typing Encore_util Imagebase List Printf Profile Spec String

@@ -1,0 +1,1 @@
+lib/workloads/apache_app.mli: Encore_sysenv Encore_util Profile Spec

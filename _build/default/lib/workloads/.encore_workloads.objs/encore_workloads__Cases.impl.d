@@ -1,0 +1,1 @@
+lib/workloads/cases.ml: Encore_confparse Encore_sysenv Encore_util List Option Population Printf Profile

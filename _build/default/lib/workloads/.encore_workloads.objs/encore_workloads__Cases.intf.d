@@ -1,0 +1,1 @@
+lib/workloads/cases.mli: Encore_sysenv

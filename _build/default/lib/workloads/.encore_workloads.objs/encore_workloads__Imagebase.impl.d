@@ -1,0 +1,1 @@
+lib/workloads/imagebase.ml: Encore_sysenv Encore_util List Printf

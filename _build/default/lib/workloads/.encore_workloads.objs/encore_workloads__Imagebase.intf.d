@@ -1,0 +1,1 @@
+lib/workloads/imagebase.mli: Encore_sysenv Encore_util

@@ -1,0 +1,1 @@
+lib/workloads/mysql_app.ml: Encore_confparse Encore_sysenv Encore_typing Encore_util Imagebase List Profile Spec String

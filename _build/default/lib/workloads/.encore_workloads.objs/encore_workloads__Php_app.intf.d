@@ -1,0 +1,1 @@
+lib/workloads/php_app.mli: Encore_confparse Encore_sysenv Encore_util Imagebase Profile Spec

@@ -1,0 +1,1 @@
+lib/workloads/population.ml: Apache_app Encore_confparse Encore_inject Encore_sysenv Encore_util Fun Imagebase List Mysql_app Php_app Printf Profile Sshd_app

@@ -1,0 +1,1 @@
+lib/workloads/population.mli: Encore_inject Encore_sysenv Encore_util Profile Spec

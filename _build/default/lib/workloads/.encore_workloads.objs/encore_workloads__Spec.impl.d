@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Encore_sysenv Encore_typing List

@@ -1,0 +1,1 @@
+lib/workloads/spec.mli: Encore_sysenv Encore_typing

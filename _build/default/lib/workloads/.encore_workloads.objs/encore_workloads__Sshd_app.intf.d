@@ -1,0 +1,1 @@
+lib/workloads/sshd_app.mli: Encore_sysenv Encore_util Profile Spec

@@ -1,0 +1,1 @@
+lib/workloads/study.ml: Encore_sysenv List Population Spec

@@ -1,0 +1,1 @@
+lib/workloads/study.mli: Encore_sysenv

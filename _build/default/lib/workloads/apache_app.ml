@@ -1,0 +1,309 @@
+module Ctype = Encore_typing.Ctype
+module Prng = Encore_util.Prng
+module Strutil = Encore_util.Strutil
+module Image = Encore_sysenv.Image
+module Kv = Encore_confparse.Kv
+module Apache_lens = Encore_confparse.Apache_lens
+
+let e = Spec.entry
+
+let catalog =
+  {
+    Spec.app = Image.Apache;
+    entries =
+      [
+        e ~env:true ~corr:true "ServerRoot" Ctype.File_path;
+        e ~env:true ~corr:true "Listen" Ctype.Port_number;
+        e ~env:true ~corr:true "User" Ctype.User_name;
+        e ~env:true ~corr:true "Group" Ctype.Group_name;
+        e ~presence:0.9 "ServerAdmin" Ctype.String_t;
+        e ~presence:0.9 "ServerName" Ctype.String_t;
+        e ~env:true ~corr:true "DocumentRoot" Ctype.File_path;
+        e ~env:true ~corr:true "ErrorLog" Ctype.File_path;
+        e ~presence:0.9 "LogLevel" Ctype.String_t;
+        e "Timeout" Ctype.Number;
+        e "KeepAlive" Ctype.Bool_t;
+        e ~presence:0.9 "MaxKeepAliveRequests" Ctype.Number;
+        e ~presence:0.9 "KeepAliveTimeout" Ctype.Number;
+        e ~corr:true ~presence:0.85 "MinSpareServers" Ctype.Number;
+        e ~corr:true ~presence:0.85 "MaxSpareServers" Ctype.Number;
+        e ~presence:0.85 "StartServers" Ctype.Number;
+        e ~corr:true ~presence:0.85 "MaxClients" Ctype.Number;
+        e ~presence:0.8 "MaxRequestsPerChild" Ctype.Number;
+        e ~env:true ~corr:true "LoadModule[mime_module]/arg2" Ctype.Partial_file_path;
+        e ~env:true ~corr:true ~presence:0.9 "LoadModule[rewrite_module]/arg2" Ctype.Partial_file_path;
+        e ~env:true ~corr:true ~presence:0.7 "LoadModule[php5_module]/arg2" Ctype.Partial_file_path;
+        e ~env:true ~corr:true ~presence:0.6 "LoadModule[ssl_module]/arg2" Ctype.Partial_file_path;
+        e ~env:true ~corr:true "PidFile" Ctype.File_path;
+        e ~env:true ~presence:0.9 "TypesConfig" Ctype.Partial_file_path;
+        e ~presence:0.8 "DefaultType" Ctype.Mime_type;
+        e ~presence:0.9 "HostnameLookups" Ctype.Bool_t;
+        e ~presence:0.8 "AccessFileName" Ctype.File_name;
+        e ~presence:0.8 "ServerTokens" Ctype.String_t;
+        e ~presence:0.8 "ServerSignature" Ctype.Bool_t;
+        e ~presence:0.7 "AddDefaultCharset" Ctype.Charset;
+        e ~presence:0.9 "DirectoryIndex" Ctype.File_name;
+        e ~presence:0.7 "EnableSendfile" Ctype.Bool_t;
+        e ~presence:0.6 "ExtendedStatus" Ctype.Bool_t;
+        e ~presence:0.7 "UseCanonicalName" Ctype.Bool_t;
+        e ~presence:0.5 "LimitRequestBody" Ctype.Number;
+        e ~presence:0.5 "TraceEnable" Ctype.Bool_t;
+        e ~presence:0.6 "FileETag" Ctype.String_t;
+        e ~presence:0.6 "ContentDigest" Ctype.Bool_t;
+        e ~env:true ~corr:true ~presence:0.9 "Directory[DOCROOT]/Options" Ctype.String_t;
+        e ~presence:0.9 "Directory[DOCROOT]/AllowOverride" Ctype.String_t;
+        e ~presence:0.9 "Directory[DOCROOT]/Order" Ctype.String_t;
+        e ~env:true ~presence:0.6 "ScoreBoardFile" Ctype.File_path;
+        e ~presence:0.6 "ServerAlias" Ctype.String_t;
+        e ~presence:0.5 "AddType[application/x-httpd-php]/arg2" Ctype.File_name;
+        e ~env:true ~corr:true ~presence:0.8 "CustomLog[ACCESSLOG]/arg2" Ctype.String_t;
+        e ~presence:0.4 "Include" Ctype.Partial_file_path;
+        e ~presence:0.5 "GracefulShutdownTimeout" Ctype.Number;
+        e ~presence:0.5 "ListenBacklog" Ctype.Number;
+        e ~presence:0.5 "SendBufferSize" Ctype.Number;
+        e ~presence:0.5 "ReceiveBufferSize" Ctype.Number;
+        e ~presence:0.4 "ThreadsPerChild" Ctype.Number;
+        e ~presence:0.4 "ServerLimit" Ctype.Number;
+        e ~presence:0.4 "RLimitCPU" Ctype.Number;
+        e ~presence:0.4 "RLimitMEM" Ctype.Number;
+        e ~presence:0.4 "RLimitNPROC" Ctype.Number;
+        e ~presence:0.7 "LogFormat[%h %l %u %t]/arg2" Ctype.String_t;
+        e ~env:true ~presence:0.6 "ErrorDocument[404]/arg2" Ctype.Partial_file_path;
+        e ~env:true ~corr:true ~presence:0.6 "Alias[/icons/]/arg2" Ctype.File_path;
+        e ~env:true ~corr:true ~presence:0.5 "ScriptAlias[/cgi-bin/]/arg2" Ctype.File_path;
+        e ~presence:0.5 "IndexOptions" Ctype.String_t;
+        e ~presence:0.5 "ReadmeName" Ctype.File_name;
+        e ~presence:0.5 "HeaderName" Ctype.File_name;
+        e ~presence:0.5 "IndexIgnore" Ctype.String_t;
+        e ~presence:0.4 "LanguagePriority" Ctype.String_t;
+        e ~presence:0.4 "AddLanguage[en]/arg2" Ctype.String_t;
+        e ~env:true ~presence:0.5 "MIMEMagicFile" Ctype.Partial_file_path;
+        e ~presence:0.6 "EnableMMAP" Ctype.Bool_t;
+        e ~presence:0.4 "DirectorySlash" Ctype.Bool_t;
+        e ~presence:0.4 "AllowEncodedSlashes" Ctype.Bool_t;
+        e ~presence:0.4 "LimitRequestFields" Ctype.Number;
+        e ~presence:0.4 "LimitRequestFieldSize" Ctype.Number;
+        e ~presence:0.4 "LimitRequestLine" Ctype.Number;
+        e ~presence:0.4 "MaxMemFree" Ctype.Number;
+        e ~presence:0.3 "ThreadStackSize" Ctype.Number;
+        e ~presence:0.4 "Mutex" Ctype.String_t;
+        e ~presence:0.4 "DeflateCompressionLevel" Ctype.Number;
+        e ~presence:0.5 "Protocols" Ctype.String_t;
+        e ~presence:0.4 "UseCanonicalPhysicalPort" Ctype.Bool_t;
+        e ~presence:0.4 "SeeRequestTail" Ctype.Bool_t;
+      ];
+  }
+
+let true_correlations =
+  [ ("apache/MinSpareServers", "apache/MaxSpareServers");
+    ("apache/MaxSpareServers", "apache/MaxClients");
+    ("apache/MinSpareServers", "apache/MaxClients");
+    ("apache/MinSpareServers", "apache/StartServers");
+    ("apache/StartServers", "apache/MaxSpareServers");
+    ("apache/User", "apache/Group");
+    ("apache/ServerRoot", "apache/LoadModule[mime_module]/arg2");
+    ("apache/ServerRoot", "apache/LoadModule[rewrite_module]/arg2");
+    ("apache/ServerRoot", "apache/LoadModule[php5_module]/arg2");
+    ("apache/ServerRoot", "apache/LoadModule[ssl_module]/arg2");
+    ("apache/ServerRoot", "apache/TypesConfig");
+    ("apache/ServerRoot", "apache/MIMEMagicFile");
+    ("apache/PidFile", "apache/User");
+    ("apache/DocumentRoot", "apache/Directory/__section__");
+    ("apache/Alias[/icons/]/arg2", "apache/DocumentRoot");
+    ("apache/ScriptAlias[/cgi-bin/]/arg2", "apache/DocumentRoot") ]
+
+let generate profile rng ~id =
+  let b = Imagebase.create rng in
+  let vary d alts = Profile.vary profile rng ~default:d alts in
+  let present key =
+    match Spec.find catalog key with
+    | Some entry ->
+        entry.Spec.presence >= 1.0 || Profile.optional profile rng entry.Spec.presence
+    | None -> true
+  in
+
+  let idrng = Prng.split rng in
+  let idvary d alts = Profile.vary_p idrng 0.3 ~default:d alts in
+  let user = idvary "www-data" [ "apache"; "httpd"; "nobody" ] in
+  if user <> "nobody" then Imagebase.add_service_user b user;
+  let group =
+    match Encore_sysenv.Accounts.primary_group b.Imagebase.accounts user with
+    | Some g -> g
+    | None -> "nogroup"
+  in
+  let server_root = idvary "/etc/apache2" [ "/etc/httpd"; "/usr/local/apache2" ] in
+  let docroot = idvary "/var/www/html" [ "/var/www"; "/srv/www/htdocs" ] in
+  let logdir = idvary "/var/log/apache2" [ "/var/log/httpd" ] in
+  let port = idvary "80" [ "8080"; "8000" ] in
+  (match int_of_string_opt port with
+   | Some p -> Imagebase.register_port b p "http"
+   | None -> ());
+  let pid_file = idvary "/var/run/apache2.pid" [ Strutil.path_join logdir "httpd.pid" ] in
+
+  Imagebase.mkdir b server_root;
+  Imagebase.mkdir b (Strutil.path_join server_root "modules");
+  Imagebase.mkdir b (Strutil.path_join server_root "conf");
+  Imagebase.mkfile b (Strutil.path_join server_root "conf/mime.types");
+  Imagebase.mkdir ~owner:"root" ~group:"root" ~perm:0o755 b docroot;
+  Imagebase.mkfile ~owner:"root" ~group:"root" ~perm:0o644 b
+    (Strutil.path_join docroot "index.html");
+  Imagebase.mkdir ~owner:"root" ~group:"adm" ~perm:0o750 b logdir;
+  Imagebase.mkfile ~owner:"root" ~group:"adm" ~perm:0o640 b
+    (Strutil.path_join logdir "error.log");
+  Imagebase.mkfile ~owner:"root" ~group:"adm" ~perm:0o640 b
+    (Strutil.path_join logdir "access.log");
+  Imagebase.mkfile ~owner:"root" ~group:"root" b pid_file ~size:8;
+
+  (* distros place loadable modules under different relative dirs, so
+     the LoadModule arguments vary across the training set while the
+     ServerRoot + argument concatenation always resolves *)
+  let module_dir = idvary "modules" [ "lib/modules"; "extramodules" ] in
+  let modules =
+    List.map
+      (fun (name, so) -> (name, module_dir ^ "/" ^ so))
+      [ ("mime_module", "mod_mime.so"); ("rewrite_module", "mod_rewrite.so");
+        ("php5_module", "libphp5.so"); ("ssl_module", "mod_ssl.so") ]
+  in
+  List.iter
+    (fun (_, rel) -> Imagebase.mkfile b (Strutil.path_join server_root rel))
+    modules;
+
+  (* correlated worker-pool numbers *)
+  let min_spare = Prng.int_in rng 3 8 in
+  let start_servers = min_spare + Prng.int_in rng 0 3 in
+  let max_spare = min_spare + Prng.int_in rng 5 15 in
+  let max_clients = max_spare + Prng.int_in rng 50 200 in
+
+  let kvs = ref [] in
+  let add key value = kvs := Kv.make (Kv.qualify ~app:"apache" [ key ]) value :: !kvs in
+  let addp key value = if present key then add key value in
+
+  add "ServerRoot" server_root;
+  add "Listen" port;
+  add "User" user;
+  add "Group" group;
+  addp "ServerAdmin" ("webmaster@" ^ vary "example.com" [ "localhost"; "mycorp.net" ]);
+  addp "ServerName" (vary "localhost" [ "www.example.com" ]);
+  add "DocumentRoot" docroot;
+  add "ErrorLog" (Strutil.path_join logdir "error.log");
+  addp "LogLevel" (vary "warn" [ "info"; "error"; "debug" ]);
+  add "Timeout" (vary "300" [ "60"; "120" ]);
+  add "KeepAlive" (vary "On" [ "Off" ]);
+  addp "MaxKeepAliveRequests" (vary "100" [ "500" ]);
+  addp "KeepAliveTimeout" (vary "5" [ "15" ]);
+  if present "MinSpareServers" then begin
+    add "MinSpareServers" (string_of_int min_spare);
+    if present "MaxSpareServers" then add "MaxSpareServers" (string_of_int max_spare)
+  end;
+  addp "StartServers" (string_of_int start_servers);
+  addp "MaxClients" (string_of_int max_clients);
+  addp "MaxRequestsPerChild" (vary "0" [ "4000"; "10000" ]);
+  List.iter
+    (fun (name, rel) ->
+      if present (Printf.sprintf "LoadModule[%s]/arg2" name) then
+        add (Printf.sprintf "LoadModule[%s]/arg2" name) rel)
+    modules;
+  add "PidFile" pid_file;
+  addp "TypesConfig" "conf/mime.types";
+  addp "DefaultType" (vary "text/plain" [ "text/html" ]);
+  addp "HostnameLookups" "Off";
+  addp "AccessFileName" ".htaccess";
+  addp "ServerTokens" (vary "Prod" [ "OS"; "Full" ]);
+  addp "ServerSignature" (vary "On" [ "Off" ]);
+  addp "AddDefaultCharset" (vary "utf-8" [ "iso-8859-1" ]);
+  addp "DirectoryIndex" (vary "index.html" [ "index.php" ]);
+  addp "EnableSendfile" (vary "On" [ "Off" ]);
+  addp "ExtendedStatus" (vary "Off" [ "On" ]);
+  addp "UseCanonicalName" (vary "Off" [ "On" ]);
+  addp "LimitRequestBody" (vary "0" [ "102400" ]);
+  addp "TraceEnable" "Off";
+  addp "FileETag" (vary "MTime Size" [ "None" ]);
+  addp "ContentDigest" (vary "Off" [ "On" ]);
+  if present "ScoreBoardFile" then begin
+    let sb = Strutil.path_join logdir "apache_status" in
+    Imagebase.mkfile b sb ~size:0;
+    add "ScoreBoardFile" sb
+  end;
+  addp "ServerAlias" (vary "example.com" [ "web.internal" ]);
+  addp "AddType[application/x-httpd-php]/arg2" ".php";
+  if present "Include" then begin
+    Imagebase.mkfile b (Strutil.path_join server_root "conf/extra.conf");
+    add "Include" "conf/extra.conf"
+  end;
+  addp "GracefulShutdownTimeout" (vary "0" [ "30" ]);
+  addp "ListenBacklog" (vary "511" [ "1024" ]);
+  addp "SendBufferSize" (vary "0" [ "65536" ]);
+  addp "ReceiveBufferSize" (vary "0" [ "65536" ]);
+  addp "ThreadsPerChild" (vary "25" [ "64" ]);
+  addp "ServerLimit" (vary "256" [ "512" ]);
+  addp "RLimitCPU" (vary "60" [ "120" ]);
+  addp "RLimitMEM" (vary "536870912" [ "1073741824" ]);
+  addp "RLimitNPROC" (vary "50" [ "100" ]);
+
+  addp "LogFormat[%h %l %u %t]/arg2" "combined";
+  addp "ErrorDocument[404]/arg2" "error/404.html";
+  if present "ErrorDocument[404]/arg2" then
+    Imagebase.mkfile b (Strutil.path_join docroot "error/404.html");
+  if present "Alias[/icons/]/arg2" then begin
+    let icons = vary "/usr/share/apache2/icons" [ "/var/www/icons" ] in
+    Imagebase.mkdir b icons;
+    Imagebase.mkfile b (Strutil.path_join icons "folder.gif");
+    add "Alias[/icons/]/arg2" icons
+  end;
+  if present "ScriptAlias[/cgi-bin/]/arg2" then begin
+    let cgi = vary "/usr/lib/cgi-bin" [ "/var/www/cgi-bin" ] in
+    Imagebase.mkdir b cgi;
+    add "ScriptAlias[/cgi-bin/]/arg2" cgi
+  end;
+  addp "IndexOptions" (vary "FancyIndexing" [ "FancyIndexing VersionSort" ]);
+  addp "ReadmeName" "README.html";
+  addp "HeaderName" "HEADER.html";
+  addp "IndexIgnore" (vary ".??* *~ *#" [ ".??*" ]);
+  addp "LanguagePriority" (vary "en ca cs da de" [ "en" ]);
+  addp "AddLanguage[en]/arg2" ".en";
+  if present "MIMEMagicFile" then begin
+    Imagebase.mkfile b (Strutil.path_join server_root "conf/magic");
+    add "MIMEMagicFile" "conf/magic"
+  end;
+  addp "EnableMMAP" (vary "On" [ "Off" ]);
+  addp "DirectorySlash" "On";
+  addp "AllowEncodedSlashes" (vary "Off" [ "On" ]);
+  addp "LimitRequestFields" (vary "100" [ "200" ]);
+  addp "LimitRequestFieldSize" (vary "8190" [ "16380" ]);
+  addp "LimitRequestLine" (vary "8190" [ "16380" ]);
+  addp "MaxMemFree" (vary "2048" [ "0" ]);
+  addp "ThreadStackSize" (vary "8388608" [ "524288" ]);
+  addp "Mutex" (vary "default" [ "file:/var/lock/apache2 default" ]);
+  addp "DeflateCompressionLevel" (vary "6" [ "9" ]);
+  addp "Protocols" (vary "http/1.1" [ "h2 http/1.1" ]);
+  addp "UseCanonicalPhysicalPort" "Off";
+  addp "SeeRequestTail" (vary "Off" [ "On" ]);
+
+  (* DocumentRoot's <Directory> section; symlink-free in pristine images *)
+  let dirkey sub = Printf.sprintf "Directory[%s]/%s" docroot sub in
+  if present "Directory[DOCROOT]/Options" then
+    add (dirkey "Options") (vary "Indexes" [ "None"; "ExecCGI" ]);
+  if present "Directory[DOCROOT]/AllowOverride" then
+    add (dirkey "AllowOverride") (vary "None" [ "All" ]);
+  if present "Directory[DOCROOT]/Order" then
+    add (dirkey "Order") "allow,deny";
+  if present "CustomLog[ACCESSLOG]/arg2" then
+    add
+      (Printf.sprintf "CustomLog[%s]/arg2" (Strutil.path_join logdir "access.log"))
+      "combined";
+
+  let text = Apache_lens.render ~app:"apache" (List.rev !kvs) in
+  let conf_path = Strutil.path_join server_root "httpd.conf" in
+  Imagebase.mkfile b conf_path ~size:(String.length text);
+  let config = { Image.app = Image.Apache; path = conf_path; text } in
+  let hardware =
+    if profile.Profile.with_hardware then Some Encore_sysenv.Hostinfo.default_hardware
+    else None
+  in
+  let env_vars =
+    if profile.Profile.with_env_vars then
+      [ ("APACHE_RUN_USER", user); ("APACHE_RUN_GROUP", group);
+        ("LANG", "en_US.UTF-8") ]
+    else []
+  in
+  Imagebase.build ~hardware ~env_vars b ~id [ config ]

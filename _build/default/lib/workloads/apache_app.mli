@@ -1,0 +1,17 @@
+(** Apache httpd workload: catalog and generator.
+
+    Generated correlations:
+    - [MinSpareServers] < [MaxSpareServers]                 (num-less)
+    - [MaxSpareServers] < [MaxClients]                      (num-less)
+    - [User] belongs to [Group]                             (user-in-group)
+    - [ServerRoot] + [LoadModule/arg2] exists               (concat-path)
+    - [DocumentRoot] owned by root but readable, with a matching
+      <Directory> section                                   (env)
+    - [ErrorLog]/[CustomLog] under a root-owned log dir     (env)
+    - [DocumentRoot] has no symlinks in pristine images     (env)
+    - [PidFile] owned by root                               (ownership) *)
+
+val catalog : Spec.catalog
+val true_correlations : (string * string) list
+val generate :
+  Profile.t -> Encore_util.Prng.t -> id:string -> Encore_sysenv.Image.t

@@ -1,0 +1,218 @@
+module Prng = Encore_util.Prng
+module Strutil = Encore_util.Strutil
+module Image = Encore_sysenv.Image
+module Fs = Encore_sysenv.Fs
+module Kv = Encore_confparse.Kv
+
+type info = Corr | Env | Env_corr
+
+let info_to_string = function
+  | Corr -> "Corr"
+  | Env -> "Env"
+  | Env_corr -> "Env + Corr"
+
+type case = {
+  case_id : int;
+  app : Image.app;
+  description : string;
+  info : info;
+  expected_attr : string;
+  expect_miss : bool;
+  target : Image.t;
+}
+
+let fresh app seed =
+  let rng = Prng.create seed in
+  Population.generator_for app Profile.ec2 rng ~id:(Printf.sprintf "case-%s-%d" (Image.app_to_string app) seed)
+
+(* Edit one value inside an app's config through its lens. *)
+let set_value img app key value =
+  let app_name = Image.app_to_string app in
+  match (Image.config_for img app, Encore_confparse.Registry.lens_for app_name) with
+  | Some cf, Some lens ->
+      let kvs = lens.Encore_confparse.Registry.parse ~app:app_name cf.Image.text in
+      let kvs =
+        List.map
+          (fun (kv : Kv.t) -> if kv.key = key then Kv.make key value else kv)
+          kvs
+      in
+      Image.set_config img app (lens.Encore_confparse.Registry.render ~app:app_name kvs)
+  | _, _ -> img
+
+let get_value img app key =
+  let app_name = Image.app_to_string app in
+  match (Image.config_for img app, Encore_confparse.Registry.lens_for app_name) with
+  | Some cf, Some lens ->
+      Kv.find (lens.Encore_confparse.Registry.parse ~app:app_name cf.Image.text) key
+  | _, _ -> None
+
+(* #1: DocumentRoot not covered by a <Directory> section, so the
+   intended protections do not apply (paper rank 1 of 5). *)
+let case1 seed =
+  let img = fresh Image.Apache seed in
+  let other = "/srv/site" in
+  let img = Image.with_fs img (Fs.add_dir img.Image.fs other) in
+  let img =
+    Image.with_fs img (Fs.add_file img.Image.fs (Strutil.path_join other "index.html"))
+  in
+  let img = set_value img Image.Apache "apache/DocumentRoot" other in
+  {
+    case_id = 1; app = Image.Apache;
+    description =
+      "Website not granted desired protection because DocumentRoot does not \
+       have a related <Directory> section";
+    info = Corr; expected_attr = "DocumentRoot"; expect_miss = false;
+    target = img;
+  }
+
+(* #2: extension_dir points to a regular file (Figure 1a). *)
+let case2 seed =
+  let img = fresh Image.Php seed in
+  let file = "/usr/lib/php5/20121212/mysql.so" in
+  let img = set_value img Image.Php "php/PHP/extension_dir" file in
+  {
+    case_id = 2; app = Image.Php;
+    description =
+      "Does not connect to database due to extension_dir pointing to a file \
+       instead of the directory";
+    info = Env; expected_attr = "extension_dir"; expect_miss = false;
+    target = img;
+  }
+
+(* #3: datadir owned by the wrong user (Figure 1b). *)
+let case3 seed =
+  let img = fresh Image.Mysql seed in
+  match get_value img Image.Mysql "mysql/mysqld/datadir" with
+  | None -> assert false
+  | Some datadir ->
+      let fs = Fs.chown img.Image.fs datadir ~owner:"root" ~group:"root" in
+      {
+        case_id = 3; app = Image.Mysql;
+        description = "File creation error due to datadir's wrong owner";
+        info = Env_corr; expected_attr = "datadir"; expect_miss = false;
+        target = Image.with_fs img fs;
+      }
+
+(* #4: a MAC policy (AppArmor in the paper) shields the data directory;
+   modeled as a root-only 0700 directory the mysql user cannot enter. *)
+let case4 seed =
+  let img = fresh Image.Mysql seed in
+  match get_value img Image.Mysql "mysql/mysqld/datadir" with
+  | None -> assert false
+  | Some datadir ->
+      let fs = Fs.chown img.Image.fs datadir ~owner:"root" ~group:"root" in
+      let fs = Fs.chmod fs datadir ~perm:0o700 in
+      {
+        case_id = 4; app = Image.Mysql;
+        description =
+          "Data writing error due to undesired protection (AppArmor in the \
+           original; modeled as an inaccessible 0700 root-owned datadir)";
+        info = Env; expected_attr = "datadir"; expect_miss = false;
+        target = Image.with_fs img fs;
+      }
+
+(* #5: extension_dir set to a location that does not exist. *)
+let case5 seed =
+  let img = fresh Image.Php seed in
+  let img = set_value img Image.Php "php/PHP/extension_dir" "/usr/lib/php/modules-missing" in
+  {
+    case_id = 5; app = Image.Php;
+    description =
+      "Modules not loaded because extension_dir is set to a wrong location";
+    info = Env; expected_attr = "extension_dir"; expect_miss = false;
+    target = img;
+  }
+
+(* #6: served directory contains symlinks while symlink following is
+   disabled. *)
+let case6 seed =
+  let img = fresh Image.Apache seed in
+  match get_value img Image.Apache "apache/DocumentRoot" with
+  | None -> assert false
+  | Some docroot ->
+      let fs =
+        Fs.add_symlink img.Image.fs
+          (Strutil.path_join docroot "data")
+          ~target:"/etc/passwd"
+      in
+      {
+        case_id = 6; app = Image.Apache;
+        description =
+          "Website unavailability because directory contains symbolic links \
+           when FollowSymLinks is off";
+        info = Env_corr; expected_attr = "DocumentRoot"; expect_miss = false;
+        target = Image.with_fs img fs;
+      }
+
+(* #7: web user cannot write the upload area under the document root. *)
+let case7 seed =
+  let img = fresh Image.Apache seed in
+  match get_value img Image.Apache "apache/DocumentRoot" with
+  | None -> assert false
+  | Some docroot ->
+      let fs = Fs.chmod img.Image.fs docroot ~perm:0o700 in
+      let fs = Fs.chown fs docroot ~owner:"daemon" ~group:"daemon" in
+      {
+        case_id = 7; app = Image.Apache;
+        description =
+          "Website visitors are unable to upload files due to the wrong \
+           permission set for the Apache user";
+        info = Env_corr; expected_attr = "DocumentRoot"; expect_miss = false;
+        target = Image.with_fs img fs;
+      }
+
+(* #8: max_heap_table_size set to the whole system memory.  The paper's
+   single miss: EC2 training images carry no hardware data, so the rule
+   linking the size to MemSize cannot be learned. *)
+let case8 seed =
+  let img = fresh Image.Mysql seed in
+  let img = set_value img Image.Mysql "mysql/mysqld/max_heap_table_size" "8G" in
+  {
+    case_id = 8; app = Image.Mysql;
+    description =
+      "Out of memory error due to too large table size allowed in \
+       configuration";
+    info = Env_corr; expected_attr = "max_heap_table_size"; expect_miss = true;
+    target = img;
+  }
+
+(* #9: error log unwritable by the server user. *)
+let case9 seed =
+  let img = fresh Image.Mysql seed in
+  match get_value img Image.Mysql "mysql/mysqld/log_error" with
+  | None -> assert false
+  | Some log ->
+      let fs = Fs.chown img.Image.fs log ~owner:"root" ~group:"root" in
+      let fs = Fs.chmod fs log ~perm:0o600 in
+      {
+        case_id = 9; app = Image.Mysql;
+        description =
+          "Logging is not performed even with relevant entry set correctly \
+           due to wrong permission";
+        info = Env_corr; expected_attr = "log_error"; expect_miss = false;
+        target = Image.with_fs img fs;
+      }
+
+(* #10: upload_max_filesize exceeds post_max_size (section 7.1.3). *)
+let case10 seed =
+  let img = fresh Image.Php seed in
+  let post = Option.value ~default:"8M" (get_value img Image.Php "php/PHP/post_max_size") in
+  let bigger =
+    match Strutil.parse_size post with
+    | Some bytes -> Strutil.format_size (bytes * 4)
+    | None -> "64M"
+  in
+  let img = set_value img Image.Php "php/PHP/upload_max_filesize" bigger in
+  {
+    case_id = 10; app = Image.Php;
+    description =
+      "Failure when uploading large file due to the wrong setting of file \
+       size limit";
+    info = Corr; expected_attr = "upload_max_filesize"; expect_miss = false;
+    target = img;
+  }
+
+let all ~seed =
+  [ case1 (seed + 1); case2 (seed + 2); case3 (seed + 3); case4 (seed + 4);
+    case5 (seed + 5); case6 (seed + 6); case7 (seed + 7); case8 (seed + 8);
+    case9 (seed + 9); case10 (seed + 10) ]

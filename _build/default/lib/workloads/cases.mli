@@ -1,0 +1,26 @@
+(** The ten real-world misconfiguration cases of paper Table 9,
+    reconstructed in the simulated environment.
+
+    Each case builds a misconfigured target image from a clean generated
+    one.  The metadata records which information channel the paper says
+    the detection needs ([Corr], [Env] or [Env_corr]) and the attribute
+    the detector must implicate.  Case 8 is the paper's one miss: the
+    needed hardware correlation cannot be learned from EC2-style
+    training images that carry no hardware specification. *)
+
+type info = Corr | Env | Env_corr
+
+val info_to_string : info -> string
+
+type case = {
+  case_id : int;
+  app : Encore_sysenv.Image.app;
+  description : string;
+  info : info;
+  expected_attr : string;  (** substring the implicated attribute must contain *)
+  expect_miss : bool;      (** the paper reports this case as missed *)
+  target : Encore_sysenv.Image.t;
+}
+
+val all : seed:int -> case list
+(** The ten cases, built deterministically. *)

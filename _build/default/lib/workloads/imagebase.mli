@@ -1,0 +1,44 @@
+(** Shared base-image construction.
+
+    Every synthetic system image starts from a common Linux-like file
+    tree (/etc, /var, /usr, /tmp, common binaries and log directories)
+    and the standard account set; per-application generators then add
+    their packages, data directories and configuration files on top. *)
+
+type builder = {
+  mutable fs : Encore_sysenv.Fs.t;
+  mutable accounts : Encore_sysenv.Accounts.t;
+  mutable services : Encore_sysenv.Services.t;
+  rng : Encore_util.Prng.t;
+}
+
+val create : Encore_util.Prng.t -> builder
+(** Base tree + base accounts. *)
+
+val add_service_user : builder -> string -> unit
+(** Daemon account with a same-named group. *)
+
+val mkdir :
+  ?owner:string -> ?group:string -> ?perm:int -> builder -> string -> unit
+
+val mkfile :
+  ?owner:string -> ?group:string -> ?perm:int -> ?size:int ->
+  builder -> string -> unit
+
+val mklink : builder -> string -> target:string -> unit
+
+val register_port : builder -> int -> string -> unit
+(** Record a service port in the image's /etc/services, as the
+    application package's installer would. *)
+
+val random_ip : Encore_util.Prng.t -> string
+(** A private RFC-1918 address. *)
+
+val random_hostname : Encore_util.Prng.t -> string
+
+val build :
+  ?hardware:Encore_sysenv.Hostinfo.hardware option ->
+  ?env_vars:(string * string) list ->
+  ?os:Encore_sysenv.Hostinfo.os ->
+  builder -> id:string ->
+  Encore_sysenv.Image.config_file list -> Encore_sysenv.Image.t

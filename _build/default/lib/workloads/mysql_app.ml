@@ -1,0 +1,347 @@
+module Ctype = Encore_typing.Ctype
+module Prng = Encore_util.Prng
+module Strutil = Encore_util.Strutil
+module Image = Encore_sysenv.Image
+module Kv = Encore_confparse.Kv
+module Ini = Encore_confparse.Ini
+
+let e = Spec.entry
+
+let catalog =
+  {
+    Spec.app = Image.Mysql;
+    entries =
+      [
+        e ~env:true ~corr:true "mysqld/datadir" Ctype.File_path;
+        e ~env:true "mysqld/basedir" Ctype.File_path;
+        e ~env:true ~corr:true "mysqld/user" Ctype.User_name;
+        e ~env:true ~corr:true "mysqld/port" Ctype.Port_number;
+        e ~env:true ~corr:true "mysqld/socket" Ctype.File_path;
+        e ~env:true ~presence:0.9 "mysqld/bind-address" Ctype.Ip_address;
+        e ~presence:0.95 "mysqld/key_buffer_size" Ctype.Size;
+        e ~corr:true "mysqld/max_allowed_packet" Ctype.Size;
+        e ~corr:true "mysqld/net_buffer_length" Ctype.Size;
+        e ~presence:0.8 "mysqld/table_open_cache" Ctype.Number;
+        e ~presence:0.8 "mysqld/sort_buffer_size" Ctype.Size;
+        e ~presence:0.8 "mysqld/read_buffer_size" Ctype.Size;
+        e ~presence:0.9 "mysqld/max_connections" Ctype.Number;
+        e ~corr:true ~presence:0.85 "mysqld/max_heap_table_size" Ctype.Size;
+        e ~corr:true ~presence:0.85 "mysqld/tmp_table_size" Ctype.Size;
+        e ~presence:0.7 "mysqld/thread_cache_size" Ctype.Number;
+        e ~presence:0.7 "mysqld/query_cache_size" Ctype.Size;
+        e ~env:true ~corr:true "mysqld/log_error" Ctype.File_path;
+        e ~presence:0.6 "mysqld/general_log" Ctype.Bool_t;
+        e ~env:true ~presence:0.6 "mysqld/general_log_file" Ctype.File_path;
+        e ~presence:0.7 "mysqld/slow_query_log" Ctype.Bool_t;
+        e ~env:true ~presence:0.7 "mysqld/slow_query_log_file" Ctype.File_path;
+        e ~presence:0.7 "mysqld/long_query_time" Ctype.Number;
+        e ~env:true ~presence:0.85 "mysqld/tmpdir" Ctype.File_path;
+        e ~presence:0.6 "mysqld/character_set_server" Ctype.Charset;
+        e ~presence:0.5 "mysqld/collation_server" Ctype.String_t;
+        e ~presence:0.6 "mysqld/skip-external-locking" Ctype.Bool_t;
+        e ~env:true ~corr:true ~presence:0.9 "mysqld/innodb_buffer_pool_size" Ctype.Size;
+        e ~presence:0.8 "mysqld/innodb_log_file_size" Ctype.Size;
+        e ~env:true ~presence:0.4 "mysqld/innodb_data_home_dir" Ctype.File_path;
+        e ~presence:0.8 "mysqld/innodb_flush_log_at_trx_commit" Ctype.Number;
+        e ~presence:0.6 "mysqld/sync_binlog" Ctype.Number;
+        e ~presence:0.7 "mysqld/server-id" Ctype.Number;
+        e ~presence:0.5 "mysqld/log-bin" Ctype.File_name;
+        e ~presence:0.5 "mysqld/expire_logs_days" Ctype.Number;
+        e ~presence:0.7 "mysqld/max_binlog_size" Ctype.Size;
+        e ~presence:0.5 "mysqld/binlog_format" Ctype.String_t;
+        e ~presence:0.8 "mysqld/wait_timeout" Ctype.Number;
+        e ~presence:0.8 "mysqld/interactive_timeout" Ctype.Number;
+        e ~presence:0.6 "mysqld/open_files_limit" Ctype.Number;
+        e ~env:true ~corr:true "mysqld/pid-file" Ctype.File_path;
+        e ~presence:0.6 "mysqld/default_storage_engine" Ctype.String_t;
+        e ~presence:0.4 "mysqld/sql_mode" Ctype.String_t;
+        e ~corr:true "client/port" Ctype.Port_number;
+        e ~env:true ~corr:true "client/socket" Ctype.File_path;
+        e ~corr:true ~presence:0.8 "mysqld_safe/log-error" Ctype.File_path;
+        e ~env:true ~corr:true ~presence:0.8 "mysqld_safe/pid-file" Ctype.File_path;
+        e ~presence:0.4 "mysqld/lower_case_table_names" Ctype.Number;
+        e ~presence:0.8 "mysqld/innodb_file_per_table" Ctype.Bool_t;
+        e ~presence:0.6 "mysqld/innodb_flush_method" Ctype.String_t;
+        e ~presence:0.5 "mysqld/innodb_io_capacity" Ctype.Number;
+        e ~presence:0.5 "mysqld/innodb_read_io_threads" Ctype.Number;
+        e ~presence:0.5 "mysqld/innodb_write_io_threads" Ctype.Number;
+        e ~presence:0.5 "mysqld/innodb_thread_concurrency" Ctype.Number;
+        e ~presence:0.6 "mysqld/innodb_lock_wait_timeout" Ctype.Number;
+        e ~presence:0.4 "mysqld/innodb_autoinc_lock_mode" Ctype.Number;
+        e ~presence:0.6 "mysqld/join_buffer_size" Ctype.Size;
+        e ~presence:0.4 "mysqld/bulk_insert_buffer_size" Ctype.Size;
+        e ~presence:0.6 "mysqld/myisam_sort_buffer_size" Ctype.Size;
+        e ~presence:0.4 "mysqld/myisam_max_sort_file_size" Ctype.Size;
+        e ~presence:0.5 "mysqld/myisam-recover" Ctype.String_t;
+        e ~presence:0.5 "mysqld/concurrent_insert" Ctype.Number;
+        e ~presence:0.6 "mysqld/connect_timeout" Ctype.Number;
+        e ~presence:0.5 "mysqld/net_read_timeout" Ctype.Number;
+        e ~presence:0.5 "mysqld/net_write_timeout" Ctype.Number;
+        e ~presence:0.4 "mysqld/net_retry_count" Ctype.Number;
+        e ~presence:0.5 "mysqld/max_connect_errors" Ctype.Number;
+        e ~presence:0.5 "mysqld/back_log" Ctype.Number;
+        e ~presence:0.5 "mysqld/skip-name-resolve" Ctype.Bool_t;
+        e ~presence:0.4 "mysqld/ft_min_word_len" Ctype.Number;
+        e ~presence:0.5 "mysqld/group_concat_max_len" Ctype.Number;
+        e ~corr:true ~presence:0.6 "mysqld/query_cache_limit" Ctype.Size;
+        e ~presence:0.5 "mysqld/query_cache_type" Ctype.Number;
+        e ~presence:0.5 "mysqld/table_definition_cache" Ctype.Number;
+        e ~presence:0.6 "mysqld/performance_schema" Ctype.Bool_t;
+        e ~presence:0.4 "mysqld/relay-log" Ctype.File_name;
+        e ~presence:0.4 "mysqld/slave_net_timeout" Ctype.Number;
+        e ~presence:0.4 "mysqld/log_slave_updates" Ctype.Bool_t;
+        e ~presence:0.5 "mysqld/read_only" Ctype.Bool_t;
+        e ~env:true ~presence:0.5 "mysqld/secure_file_priv" Ctype.File_path;
+        e ~env:true ~presence:0.3 "mysqld/init_file" Ctype.File_path;
+        e ~env:true ~corr:true ~presence:0.4 "mysqld/ssl-ca" Ctype.File_path;
+        e ~env:true ~corr:true ~presence:0.4 "mysqld/ssl-cert" Ctype.File_path;
+        e ~env:true ~corr:true ~presence:0.4 "mysqld/ssl-key" Ctype.File_path;
+        e ~env:true ~presence:0.6 "mysqld/plugin_dir" Ctype.File_path;
+        e ~env:true ~presence:0.4 "mysqld/character_sets_dir" Ctype.File_path;
+        e ~presence:0.4 "mysqld/transaction_isolation" Ctype.String_t;
+        e ~presence:0.4 "mysqld/event_scheduler" Ctype.Bool_t;
+        e ~presence:0.4 "mysqld/local_infile" Ctype.Bool_t;
+        e ~presence:0.4 "mysqld/explicit_defaults_for_timestamp" Ctype.Bool_t;
+      ];
+  }
+
+let true_correlations =
+  [ ("mysql/mysqld/datadir", "mysql/mysqld/user");
+    ("mysql/client/socket", "mysql/mysqld/socket");
+    ("mysql/client/port", "mysql/mysqld/port");
+    ("mysql/mysqld/net_buffer_length", "mysql/mysqld/max_allowed_packet");
+    ("mysql/mysqld/tmp_table_size", "mysql/mysqld/max_heap_table_size");
+    ("mysql/mysqld_safe/log-error", "mysql/mysqld/log_error");
+    ("mysql/mysqld_safe/pid-file", "mysql/mysqld/pid-file");
+    ("mysql/mysqld/log_error", "mysql/mysqld/user");
+    ("mysql/mysqld/pid-file", "mysql/mysqld/user");
+    (* every server-owned path shares the user's identity: their owner/
+       group attributes mutually correlate *)
+    ("mysql/mysqld/socket", "mysql/mysqld/user");
+    ("mysql/mysqld/general_log_file", "mysql/mysqld/user");
+    ("mysql/mysqld/slow_query_log_file", "mysql/mysqld/user");
+    ("mysql/mysqld/innodb_data_home_dir", "mysql/mysqld/user");
+    ("mysql/mysqld/datadir", "mysql/mysqld/socket");
+    ("mysql/mysqld/port", "mysql/client/port");
+    ("mysql/mysqld/ssl-ca", "mysql/mysqld/user");
+    ("mysql/mysqld/ssl-cert", "mysql/mysqld/user");
+    ("mysql/mysqld/ssl-key", "mysql/mysqld/user");
+    ("mysql/mysqld/secure_file_priv", "mysql/mysqld/user");
+    ("mysql/mysqld/query_cache_limit", "mysql/mysqld/query_cache_size") ]
+
+let size_str = Strutil.format_size
+
+let generate profile rng ~id =
+  let b = Imagebase.create rng in
+  let vary d alts = Profile.vary profile rng ~default:d alts in
+  let opt p = Profile.optional profile rng p in
+  let present key =
+    match Spec.find catalog key with
+    | Some entry -> entry.Spec.presence >= 1.0 || opt entry.Spec.presence
+    | None -> true
+  in
+
+  (* core identity choices: deliberately diverse so the rules built on
+     them survive the entropy filter, exactly like the customized values
+     in real image populations.  They draw from their own split stream
+     so catalog growth cannot shift them. *)
+  let idrng = Prng.split rng in
+  let idvary d alts = Profile.vary_p idrng 0.3 ~default:d alts in
+  let user = idvary "mysql" [ "mysqld"; "dbadmin" ] in
+  Imagebase.add_service_user b user;
+  let datadir = idvary "/var/lib/mysql" [ "/srv/mysql"; "/data/mysql"; "/usr/local/mysql/data" ] in
+  let basedir = vary "/usr" [ "/usr/local/mysql" ] in
+  let port = idvary "3306" [ "3307"; "13306" ] in
+  (match int_of_string_opt port with
+   | Some p -> Imagebase.register_port b p "mysql"
+   | None -> ());
+  let socket = idvary "/var/run/mysqld/mysqld.sock" [ Strutil.path_join datadir "mysql.sock" ] in
+  let logdir = idvary "/var/log/mysql" [ "/var/log" ] in
+  let log_error = Strutil.path_join logdir (idvary "error.log" [ "mysqld.log" ]) in
+  let pid_file = idvary "/var/run/mysqld/mysqld.pid" [ Strutil.path_join datadir "mysqld.pid" ] in
+
+  (* build the consistent environment *)
+  Imagebase.mkdir ~owner:user ~group:user b datadir;
+  Imagebase.mkdir ~owner:user ~group:user b (Strutil.path_join datadir "mysql");
+  Imagebase.mkdir ~owner:user ~group:user b (Strutil.path_join datadir "performance_schema");
+  Imagebase.mkfile ~owner:user ~group:user b (Strutil.path_join datadir "ibdata1") ~size:(12 * 1024 * 1024);
+  Imagebase.mkdir ~owner:user ~group:user b (Strutil.dirname socket);
+  Imagebase.mkfile ~owner:user ~group:user ~perm:0o777 b socket ~size:0;
+  Imagebase.mkdir ~owner:"root" ~group:"root" b logdir;
+  (* the log must not leak to other users (paper section 7.1.3) *)
+  Imagebase.mkfile ~owner:user ~group:"adm" ~perm:0o640 b log_error;
+  Imagebase.mkdir ~owner:user ~group:user b (Strutil.dirname pid_file);
+  Imagebase.mkfile ~owner:user ~group:user ~perm:0o644 b pid_file ~size:8;
+  Imagebase.mkdir b basedir;
+  let tmpdir = vary "/tmp" [ "/var/tmp"; Strutil.path_join datadir "tmp" ] in
+  Imagebase.mkdir ~perm:0o777 b tmpdir;
+
+  (* correlated sizes *)
+  let map_exp = Prng.int_in rng 4 6 in  (* max_allowed_packet: 16M..64M *)
+  let max_allowed_packet = size_str ((1 lsl map_exp) * 1024 * 1024) in
+  let net_buffer_length = size_str ((1 lsl Prng.int_in rng 3 5) * 1024) in
+  let heap_exp = Prng.int_in rng 4 6 in
+  let max_heap_table_size = size_str ((1 lsl heap_exp) * 1024 * 1024) in
+  let tmp_table_size = size_str ((1 lsl (heap_exp - 1)) * 1024 * 1024) in
+  let mem_bytes =
+    match profile.Profile.with_hardware with
+    | true -> Encore_sysenv.Hostinfo.default_hardware.Encore_sysenv.Hostinfo.mem_bytes
+    | false -> 8 * 1024 * 1024 * 1024
+  in
+  let innodb_pool = size_str (mem_bytes / (4 * 1024 * 1024 * 1024) * 1024 * 1024 * 1024 / 2 + 1024 * 1024 * 1024) in
+
+  let kvs = ref [] in
+  let add section key value = kvs := Kv.make (Kv.qualify ~app:"mysql" [ section; key ]) value :: !kvs in
+  let addp section key value = if present (section ^ "/" ^ key) then add section key value in
+
+  add "mysqld" "user" user;
+  add "mysqld" "datadir" datadir;
+  addp "mysqld" "basedir" basedir;
+  add "mysqld" "port" port;
+  add "mysqld" "socket" socket;
+  addp "mysqld" "bind-address" (vary "127.0.0.1" [ "0.0.0.0"; Imagebase.random_ip rng ]);
+  addp "mysqld" "key_buffer_size" (size_str ((1 lsl Prng.int_in rng 3 5) * 1024 * 1024));
+  add "mysqld" "max_allowed_packet" max_allowed_packet;
+  add "mysqld" "net_buffer_length" net_buffer_length;
+  addp "mysqld" "table_open_cache" (vary "2000" [ "400"; "4000" ]);
+  addp "mysqld" "sort_buffer_size" (size_str ((1 lsl Prng.int_in rng 1 3) * 1024 * 1024));
+  addp "mysqld" "read_buffer_size" (size_str (128 * 1024 * (1 lsl Prng.int rng 2)));
+  addp "mysqld" "max_connections" (vary "151" [ "100"; "500"; "1000" ]);
+  if present "mysqld/max_heap_table_size" then begin
+    add "mysqld" "max_heap_table_size" max_heap_table_size;
+    if present "mysqld/tmp_table_size" then add "mysqld" "tmp_table_size" tmp_table_size
+  end;
+  addp "mysqld" "thread_cache_size" (vary "8" [ "16"; "32" ]);
+  addp "mysqld" "query_cache_size" (size_str ((1 lsl Prng.int rng 3) * 1024 * 1024));
+  add "mysqld" "log_error" log_error;
+  if present "mysqld/general_log" then begin
+    add "mysqld" "general_log" (vary "0" [ "1" ]);
+    let general_log_file = Strutil.path_join logdir "general.log" in
+    Imagebase.mkfile ~owner:user ~group:"adm" ~perm:0o640 b general_log_file;
+    add "mysqld" "general_log_file" general_log_file
+  end;
+  if present "mysqld/slow_query_log" then begin
+    add "mysqld" "slow_query_log" (vary "1" [ "0" ]);
+    let slow_file = Strutil.path_join logdir "slow.log" in
+    Imagebase.mkfile ~owner:user ~group:"adm" ~perm:0o640 b slow_file;
+    add "mysqld" "slow_query_log_file" slow_file
+  end;
+  addp "mysqld" "long_query_time" (vary "10" [ "2"; "5" ]);
+  addp "mysqld" "tmpdir" tmpdir;
+  addp "mysqld" "character_set_server" (vary "utf8" [ "utf8mb4"; "latin1" ]);
+  addp "mysqld" "collation_server" (vary "utf8_general_ci" [ "utf8mb4_unicode_ci" ]);
+  if present "mysqld/skip-external-locking" then add "mysqld" "skip-external-locking" "on";
+  addp "mysqld" "innodb_buffer_pool_size" innodb_pool;
+  addp "mysqld" "innodb_log_file_size" (size_str ((1 lsl Prng.int_in rng 4 8) * 1024 * 1024));
+  if present "mysqld/innodb_data_home_dir" then begin
+    let home = Strutil.path_join datadir "innodb" in
+    Imagebase.mkdir ~owner:user ~group:user b home;
+    add "mysqld" "innodb_data_home_dir" home
+  end;
+  addp "mysqld" "innodb_flush_log_at_trx_commit" (vary "1" [ "0"; "2" ]);
+  addp "mysqld" "sync_binlog" (vary "0" [ "1" ]);
+  addp "mysqld" "server-id" (string_of_int (Prng.int_in rng 1 64));
+  addp "mysqld" "log-bin" "mysql-bin.log";
+  addp "mysqld" "expire_logs_days" (vary "10" [ "7"; "30" ]);
+  (* default inside the heap/tmp size band so no confident accidental
+     ordering forms against the table-size entries *)
+  addp "mysqld" "max_binlog_size" (vary "32M" [ "100M"; "1G" ]);
+  addp "mysqld" "binlog_format" (vary "STATEMENT" [ "ROW"; "MIXED" ]);
+  addp "mysqld" "wait_timeout" (vary "28800" [ "600"; "3600" ]);
+  addp "mysqld" "interactive_timeout" (vary "28800" [ "3600" ]);
+  addp "mysqld" "open_files_limit" (vary "5000" [ "1024"; "65535" ]);
+  add "mysqld" "pid-file" pid_file;
+  addp "mysqld" "default_storage_engine" (vary "InnoDB" [ "MyISAM" ]);
+  addp "mysqld" "sql_mode" (vary "NO_ENGINE_SUBSTITUTION" [ "STRICT_TRANS_TABLES,NO_ENGINE_SUBSTITUTION" ]);
+  addp "mysqld" "lower_case_table_names" (vary "0" [ "1" ]);
+
+  addp "mysqld" "innodb_file_per_table" (vary "1" [ "0" ]);
+  addp "mysqld" "innodb_flush_method" (vary "O_DIRECT" [ "fsync" ]);
+  addp "mysqld" "innodb_io_capacity" (vary "200" [ "1000"; "2000" ]);
+  addp "mysqld" "innodb_read_io_threads" (vary "4" [ "8" ]);
+  addp "mysqld" "innodb_write_io_threads" (vary "4" [ "8" ]);
+  addp "mysqld" "innodb_thread_concurrency" (vary "0" [ "16" ]);
+  addp "mysqld" "innodb_lock_wait_timeout" (vary "50" [ "120" ]);
+  addp "mysqld" "innodb_autoinc_lock_mode" (vary "1" [ "2" ]);
+  addp "mysqld" "join_buffer_size" (size_str (256 * 1024 * (1 lsl Prng.int rng 2)));
+  addp "mysqld" "bulk_insert_buffer_size" (vary "8M" [ "16M" ]);
+  addp "mysqld" "myisam_sort_buffer_size" (vary "8M" [ "64M" ]);
+  (* effectively never customized: constant across the fleet, so the
+     entropy filter keeps it out of rules (it would otherwise order
+     confidently above every tunable size) *)
+  addp "mysqld" "myisam_max_sort_file_size" "10G";
+  addp "mysqld" "myisam-recover" (vary "BACKUP" [ "FORCE,BACKUP" ]);
+  addp "mysqld" "concurrent_insert" (vary "1" [ "2" ]);
+  addp "mysqld" "connect_timeout" (vary "10" [ "30" ]);
+  addp "mysqld" "net_read_timeout" (vary "30" [ "60" ]);
+  addp "mysqld" "net_write_timeout" (vary "60" [ "120" ]);
+  addp "mysqld" "net_retry_count" (vary "10" [ "20" ]);
+  addp "mysqld" "max_connect_errors" (vary "100" [ "10000" ]);
+  addp "mysqld" "back_log" (vary "80" [ "200" ]);
+  if present "mysqld/skip-name-resolve" then add "mysqld" "skip-name-resolve" "on";
+  addp "mysqld" "ft_min_word_len" (vary "4" [ "3" ]);
+  addp "mysqld" "group_concat_max_len" (vary "1024" [ "4096" ]);
+  (* query_cache_limit stays under query_cache_size *)
+  addp "mysqld" "query_cache_limit" (size_str ((1 lsl Prng.int rng 2) * 128 * 1024));
+  addp "mysqld" "query_cache_type" (vary "0" [ "1" ]);
+  addp "mysqld" "table_definition_cache" (vary "1400" [ "4000" ]);
+  addp "mysqld" "performance_schema" (vary "1" [ "0" ]);
+  addp "mysqld" "relay-log" "mysqld-relay-bin.log";
+  addp "mysqld" "slave_net_timeout" (vary "60" [ "3600" ]);
+  addp "mysqld" "log_slave_updates" (vary "0" [ "1" ]);
+  addp "mysqld" "read_only" (vary "0" [ "1" ]);
+  if present "mysqld/secure_file_priv" then begin
+    let priv = Strutil.path_join datadir "files" in
+    Imagebase.mkdir ~owner:user ~group:user b priv;
+    add "mysqld" "secure_file_priv" priv
+  end;
+  if present "mysqld/init_file" then begin
+    Imagebase.mkfile b "/etc/mysql/init.sql";
+    add "mysqld" "init_file" "/etc/mysql/init.sql"
+  end;
+  if present "mysqld/ssl-ca" then begin
+    let certdir = "/etc/mysql/certs" in
+    Imagebase.mkdir b certdir;
+    List.iter
+      (fun (key, file) ->
+        let path = Strutil.path_join certdir file in
+        Imagebase.mkfile ~owner:user ~group:user ~perm:0o600 b path;
+        add "mysqld" key path)
+      [ ("ssl-ca", "ca.pem"); ("ssl-cert", "server-cert.pem"); ("ssl-key", "server-key.pem") ]
+  end;
+  if present "mysqld/plugin_dir" then begin
+    let plugin_dir = vary "/usr/lib/mysql/plugin" [ "/usr/lib64/mysql/plugin" ] in
+    Imagebase.mkdir b plugin_dir;
+    Imagebase.mkfile b (Strutil.path_join plugin_dir "auth_socket.so");
+    add "mysqld" "plugin_dir" plugin_dir
+  end;
+  if present "mysqld/character_sets_dir" then begin
+    let cs_dir = "/usr/share/mysql/charsets" in
+    Imagebase.mkdir b cs_dir;
+    add "mysqld" "character_sets_dir" cs_dir
+  end;
+  addp "mysqld" "transaction_isolation" (vary "REPEATABLE-READ" [ "READ-COMMITTED" ]);
+  addp "mysqld" "event_scheduler" (vary "0" [ "1" ]);
+  addp "mysqld" "local_infile" (vary "1" [ "0" ]);
+  addp "mysqld" "explicit_defaults_for_timestamp" (vary "0" [ "1" ]);
+
+  add "client" "port" port;
+  add "client" "socket" socket;
+  addp "mysqld_safe" "log-error" log_error;
+  addp "mysqld_safe" "pid-file" pid_file;
+
+  let text = Ini.render ~app:"mysql" (List.rev !kvs) in
+  let config = { Image.app = Image.Mysql; path = "/etc/mysql/my.cnf"; text } in
+  Imagebase.mkdir b "/etc/mysql";
+  Imagebase.mkfile b "/etc/mysql/my.cnf" ~size:(String.length text);
+  let hardware =
+    if profile.Profile.with_hardware then Some Encore_sysenv.Hostinfo.default_hardware
+    else None
+  in
+  let env_vars =
+    if profile.Profile.with_env_vars then
+      [ ("PATH", "/usr/local/sbin:/usr/local/bin:/usr/sbin:/usr/bin:/sbin:/bin");
+        ("HOME", "/root"); ("LANG", "en_US.UTF-8") ]
+    else []
+  in
+  Imagebase.build ~hardware ~env_vars b ~id [ config ]

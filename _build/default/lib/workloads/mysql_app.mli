@@ -1,0 +1,23 @@
+(** MySQL workload: the my.cnf entry catalog and a generator producing
+    internally consistent MySQL images.
+
+    Generated correlations (the ground truth the rule inference should
+    rediscover):
+    - [mysqld/datadir] is owned by [mysqld/user]            (ownership)
+    - [client/socket] equals [mysqld/socket]                (equal)
+    - [client/port]   equals [mysqld/port]                  (equal)
+    - [mysqld/net_buffer_length] < [mysqld/max_allowed_packet] (size-less)
+    - [mysqld/tmp_table_size] < [mysqld/max_heap_table_size]   (size-less)
+    - [mysqld/user] belongs to the mysql group              (user-in-group)
+    - [mysqld/log_error] not readable by [nobody]           (not-accessible)
+    - [mysqld_safe/log-error] equals [mysqld/log_error]     (equal)
+    - [mysqld/innodb_buffer_pool_size] below MemSize        (env, hardware) *)
+
+val catalog : Spec.catalog
+
+val true_correlations : (string * string) list
+(** Attribute pairs (qualified) that genuinely correlate — the ground
+    truth for the rule-inference precision measurement (Table 12/13). *)
+
+val generate :
+  Profile.t -> Encore_util.Prng.t -> id:string -> Encore_sysenv.Image.t

@@ -1,0 +1,232 @@
+module Ctype = Encore_typing.Ctype
+module Prng = Encore_util.Prng
+module Strutil = Encore_util.Strutil
+module Image = Encore_sysenv.Image
+module Kv = Encore_confparse.Kv
+module Ini = Encore_confparse.Ini
+
+let e = Spec.entry
+
+let catalog =
+  {
+    Spec.app = Image.Php;
+    entries =
+      [
+        e "PHP/engine" Ctype.Bool_t;
+        e ~presence:0.9 "PHP/short_open_tag" Ctype.Bool_t;
+        e ~presence:0.9 "PHP/expose_php" Ctype.Bool_t;
+        e "PHP/max_execution_time" Ctype.Number;
+        e ~presence:0.9 "PHP/max_input_time" Ctype.Number;
+        e ~corr:true "PHP/memory_limit" Ctype.Size;
+        e ~presence:0.9 "PHP/error_reporting" Ctype.String_t;
+        e ~corr:true "PHP/display_errors" Ctype.Bool_t;
+        e ~presence:0.8 "PHP/display_startup_errors" Ctype.Bool_t;
+        e ~corr:true "PHP/log_errors" Ctype.Bool_t;
+        e ~env:true ~corr:true ~presence:0.85 "PHP/error_log" Ctype.File_path;
+        e ~corr:true "PHP/post_max_size" Ctype.Size;
+        e ~corr:true "PHP/upload_max_filesize" Ctype.Size;
+        e ~env:true ~presence:0.8 "PHP/upload_tmp_dir" Ctype.File_path;
+        e ~presence:0.8 "PHP/max_file_uploads" Ctype.Number;
+        e ~presence:0.8 "PHP/default_charset" Ctype.Charset;
+        e ~env:true ~corr:true "PHP/extension_dir" Ctype.File_path;
+        e ~presence:0.7 "PHP/enable_dl" Ctype.Bool_t;
+        e "PHP/file_uploads" Ctype.Bool_t;
+        e ~presence:0.9 "PHP/allow_url_fopen" Ctype.Bool_t;
+        e ~presence:0.9 "PHP/allow_url_include" Ctype.Bool_t;
+        e ~env:true ~corr:true ~presence:0.9 "Session/session.save_path" Ctype.File_path;
+        e ~presence:0.8 "Session/session.gc_maxlifetime" Ctype.Number;
+        e ~presence:0.7 "Session/session.cookie_lifetime" Ctype.Number;
+        e ~presence:0.7 "Session/session.use_strict_mode" Ctype.Bool_t;
+        e ~presence:0.8 "Date/date.timezone" Ctype.String_t;
+        e ~env:true ~corr:true ~presence:0.6 "MySQL/mysql.default_socket" Ctype.File_path;
+        e ~presence:0.5 "MySQL/mysql.default_port" Ctype.Port_number;
+        e ~presence:0.7 "PHP/output_buffering" Ctype.Number;
+        e ~presence:0.6 "PHP/zlib.output_compression" Ctype.Bool_t;
+        e ~presence:0.6 "PHP/realpath_cache_size" Ctype.Size;
+        e ~presence:0.6 "PHP/realpath_cache_ttl" Ctype.Number;
+        e ~presence:0.6 "PHP/max_input_vars" Ctype.Number;
+        e ~presence:0.6 "PHP/precision" Ctype.Number;
+        e ~presence:0.5 "PHP/serialize_precision" Ctype.Number;
+        e ~presence:0.5 "PHP/ignore_repeated_errors" Ctype.Bool_t;
+        e ~presence:0.5 "PHP/html_errors" Ctype.Bool_t;
+        e ~presence:0.5 "PHP/variables_order" Ctype.String_t;
+        e ~presence:0.5 "PHP/request_order" Ctype.String_t;
+        (* the always-constant warning-level entry the paper singles out
+           as entropy-filter fodder (section 5.2) *)
+        e ~presence:0.9 "PHP/log_errors_max_len" Ctype.Number;
+        e ~presence:0.9 "PHP/warning_level" Ctype.Number;
+        e ~presence:0.5 "PHP/implicit_flush" Ctype.Bool_t;
+        e ~presence:0.5 "PHP/report_memleaks" Ctype.Bool_t;
+        e ~env:true ~presence:0.3 "PHP/auto_prepend_file" Ctype.File_path;
+        e ~presence:0.5 "PHP/include_path" Ctype.String_t;
+        e ~presence:0.4 "PHP/user_dir" Ctype.String_t;
+        e ~presence:0.5 "PHP/cgi.fix_pathinfo" Ctype.Number;
+        e ~presence:0.6 "Opcache/opcache.enable" Ctype.Bool_t;
+        e ~presence:0.5 "Opcache/opcache.memory_consumption" Ctype.Number;
+        e ~presence:0.5 "Opcache/opcache.max_accelerated_files" Ctype.Number;
+        e ~presence:0.6 "Session/session.name" Ctype.String_t;
+        e ~presence:0.6 "Session/session.save_handler" Ctype.String_t;
+        e ~corr:true ~presence:0.5 "Session/session.gc_probability" Ctype.Number;
+        e ~corr:true ~presence:0.5 "Session/session.gc_divisor" Ctype.Number;
+        e ~env:true ~presence:0.4 "Mail/sendmail_path" Ctype.File_path;
+        e ~presence:0.4 "Mail/mail.add_x_header" Ctype.Bool_t;
+        e ~env:true ~presence:0.4 "PHP/sys_temp_dir" Ctype.File_path;
+        e ~presence:0.4 "PHP/disable_functions" Ctype.String_t;
+        e ~presence:0.4 "PHP/max_input_nesting_level" Ctype.Number;
+      ];
+  }
+
+let true_correlations =
+  [ ("php/PHP/upload_max_filesize", "php/PHP/post_max_size");
+    ("php/PHP/post_max_size", "php/PHP/memory_limit");
+    ("php/PHP/upload_max_filesize", "php/PHP/memory_limit");
+    ("php/PHP/display_errors", "php/PHP/log_errors");
+    ("php/PHP/error_log", "php/PHP/log_errors");
+    ("php/MySQL/mysql.default_socket", "mysql/mysqld/socket") ]
+
+let size_str = Strutil.format_size
+
+(* Shared so the LAMP generator can emit a php.ini consistent with its
+   MySQL and Apache choices. *)
+let config_kvs profile rng b ~web_user ~mysql_socket =
+  let idrng = Encore_util.Prng.split rng in
+  let vary d alts = Profile.vary profile rng ~default:d alts in
+  let present key =
+    match Spec.find catalog key with
+    | Some entry ->
+        entry.Spec.presence >= 1.0 || Profile.optional profile rng entry.Spec.presence
+    | None -> true
+  in
+  let extension_dir =
+    Profile.vary_p idrng 0.3 ~default:"/usr/lib/php5/20121212"
+      [ "/usr/lib/php/modules"; "/usr/local/lib/php/extensions" ]
+  in
+  Imagebase.mkdir b extension_dir;
+  List.iter
+    (fun m -> Imagebase.mkfile b (Strutil.path_join extension_dir m))
+    [ "mysql.so"; "gd.so"; "curl.so"; "json.so" ];
+  let logdir = Profile.vary_p idrng 0.3 ~default:"/var/log" [ "/var/log/php" ] in
+  Imagebase.mkdir ~owner:"root" ~group:"adm" ~perm:0o750 b logdir;
+  let error_log = Strutil.path_join logdir "php_errors.log" in
+  Imagebase.mkfile ~owner:web_user ~group:"adm" ~perm:0o640 b error_log;
+  let session_path = vary "/var/lib/php5/sessions" [ "/var/lib/php/session"; "/tmp" ] in
+  Imagebase.mkdir ~owner:web_user ~group:web_user ~perm:0o733 b session_path;
+  let upload_tmp = vary "/tmp" [ "/var/tmp" ] in
+
+  (* correlated limits: upload < post < memory *)
+  let upload_exp = Prng.int_in rng 1 4 in   (* 2M..16M *)
+  let upload_max = size_str ((1 lsl upload_exp) * 1024 * 1024) in
+  let post_max = size_str ((1 lsl (upload_exp + 1)) * 1024 * 1024) in
+  let memory_limit = size_str ((1 lsl (upload_exp + 3)) * 1024 * 1024) in
+
+  (* bool-implies pair: display_errors Off => log_errors On.  Dev-style
+     images flip display_errors on often enough that the pair survives
+     the entropy filter (needs H > 0.325, i.e. > ~10% deviation). *)
+  let display_errors = Profile.vary_p idrng 0.3 ~default:"Off" [ "On" ] in
+  let log_errors =
+    if display_errors = "Off" then "On"
+    else Profile.vary_p rng 0.5 ~default:"Off" [ "On" ]
+  in
+
+  let kvs = ref [] in
+  let add section key value =
+    kvs := Kv.make (Kv.qualify ~app:"php" [ section; key ]) value :: !kvs
+  in
+  let addp section key value = if present (section ^ "/" ^ key) then add section key value in
+
+  add "PHP" "engine" "On";
+  addp "PHP" "short_open_tag" (vary "Off" [ "On" ]);
+  addp "PHP" "expose_php" (vary "Off" [ "On" ]);
+  add "PHP" "max_execution_time" (vary "30" [ "60"; "120" ]);
+  addp "PHP" "max_input_time" (vary "60" [ "120" ]);
+  add "PHP" "memory_limit" memory_limit;
+  addp "PHP" "error_reporting" (vary "E_ALL & ~E_DEPRECATED" [ "E_ALL"; "E_ALL & ~E_NOTICE" ]);
+  add "PHP" "display_errors" display_errors;
+  addp "PHP" "display_startup_errors" (vary "Off" [ "On" ]);
+  add "PHP" "log_errors" log_errors;
+  addp "PHP" "error_log" error_log;
+  add "PHP" "post_max_size" post_max;
+  add "PHP" "upload_max_filesize" upload_max;
+  addp "PHP" "upload_tmp_dir" upload_tmp;
+  addp "PHP" "max_file_uploads" (vary "20" [ "50" ]);
+  addp "PHP" "default_charset" (vary "UTF-8" [ "ISO-8859-1" ]);
+  add "PHP" "extension_dir" extension_dir;
+  addp "PHP" "enable_dl" "Off";
+  add "PHP" "file_uploads" (vary "On" [ "Off" ]);
+  addp "PHP" "allow_url_fopen" (vary "On" [ "Off" ]);
+  addp "PHP" "allow_url_include" "Off";
+  addp "Session" "session.save_path" session_path;
+  addp "Session" "session.gc_maxlifetime" (vary "1440" [ "3600"; "86400" ]);
+  addp "Session" "session.cookie_lifetime" (vary "0" [ "3600" ]);
+  addp "Session" "session.use_strict_mode" (vary "0" [ "1" ]);
+  addp "Date" "date.timezone" (vary "UTC" [ "America/Los_Angeles"; "Europe/Berlin" ]);
+  (match mysql_socket with
+   | Some socket -> addp "MySQL" "mysql.default_socket" socket
+   | None -> ());
+  addp "MySQL" "mysql.default_port" "3306";
+  addp "PHP" "output_buffering" (vary "4096" [ "Off" ]);
+  addp "PHP" "zlib.output_compression" (vary "Off" [ "On" ]);
+  addp "PHP" "realpath_cache_size" (vary "16K" [ "4M" ]);
+  addp "PHP" "realpath_cache_ttl" (vary "120" [ "600" ]);
+  addp "PHP" "max_input_vars" (vary "1000" [ "5000" ]);
+  addp "PHP" "precision" "14";
+  addp "PHP" "serialize_precision" (vary "17" [ "-1" ]);
+  addp "PHP" "ignore_repeated_errors" (vary "Off" [ "On" ]);
+  addp "PHP" "html_errors" (vary "On" [ "Off" ]);
+  addp "PHP" "variables_order" "GPCS";
+  addp "PHP" "request_order" "GP";
+  addp "PHP" "log_errors_max_len" "1024";
+  (* deliberately constant across the training set (entropy fodder) *)
+  addp "PHP" "warning_level" "10";
+  addp "PHP" "implicit_flush" "Off";
+  addp "PHP" "report_memleaks" "On";
+  if present "PHP/auto_prepend_file" then begin
+    Imagebase.mkfile b "/etc/php5/prepend.php";
+    add "PHP" "auto_prepend_file" "/etc/php5/prepend.php"
+  end;
+  addp "PHP" "include_path" (vary ".:/usr/share/php" [ ".:/usr/local/lib/php" ]);
+  addp "PHP" "user_dir" (vary "www" [ "public_html" ]);
+  addp "PHP" "cgi.fix_pathinfo" (vary "1" [ "0" ]);
+  addp "Opcache" "opcache.enable" (vary "1" [ "0" ]);
+  addp "Opcache" "opcache.memory_consumption" (vary "64" [ "128"; "256" ]);
+  addp "Opcache" "opcache.max_accelerated_files" (vary "2000" [ "10000" ]);
+  addp "Session" "session.name" (vary "PHPSESSID" [ "SID" ]);
+  addp "Session" "session.save_handler" (vary "files" [ "memcached" ]);
+  (* gc_probability/gc_divisor form a rate: probability stays below the
+     divisor *)
+  if present "Session/session.gc_probability" then begin
+    add "Session" "session.gc_probability" (vary "1" [ "0" ]);
+    if present "Session/session.gc_divisor" then
+      add "Session" "session.gc_divisor" (vary "1000" [ "100" ])
+  end;
+  if present "Mail/sendmail_path" then begin
+    Imagebase.mkfile ~perm:0o755 b "/usr/sbin/sendmail";
+    add "Mail" "sendmail_path" "/usr/sbin/sendmail"
+  end;
+  addp "Mail" "mail.add_x_header" (vary "On" [ "Off" ]);
+  if present "PHP/sys_temp_dir" then begin
+    let tmp = vary "/tmp" [ "/var/tmp/php" ] in
+    Imagebase.mkdir ~perm:0o777 b tmp;
+    add "PHP" "sys_temp_dir" tmp
+  end;
+  addp "PHP" "disable_functions" (vary "exec" [ "exec,system,shell_exec" ]);
+  addp "PHP" "max_input_nesting_level" "64";
+  List.rev !kvs
+
+let generate profile rng ~id =
+  let b = Imagebase.create rng in
+  let web_user = Profile.vary_p (Prng.split rng) 0.3 ~default:"www-data" [ "apache" ] in
+  Imagebase.add_service_user b web_user;
+  let kvs = config_kvs profile rng b ~web_user ~mysql_socket:None in
+  let text = Ini.render ~app:"php" kvs in
+  Imagebase.mkdir b "/etc/php5";
+  Imagebase.mkfile b "/etc/php5/php.ini" ~size:(String.length text);
+  let config = { Image.app = Image.Php; path = "/etc/php5/php.ini"; text } in
+  let hardware =
+    if profile.Profile.with_hardware then Some Encore_sysenv.Hostinfo.default_hardware
+    else None
+  in
+  let env_vars =
+    if profile.Profile.with_env_vars then [ ("LANG", "en_US.UTF-8") ] else []
+  in
+  Imagebase.build ~hardware ~env_vars b ~id [ config ]

@@ -1,0 +1,23 @@
+(** PHP workload: php.ini catalog and generator.
+
+    Generated correlations:
+    - [upload_max_filesize] < [post_max_size]               (size-less)
+    - [post_max_size] < [memory_limit]                      (size-less)
+    - [extension_dir] is a populated directory              (env)
+    - [display_errors] Off implies [log_errors] On          (bool-implies)
+    - [error_log] under a root-owned log directory          (env)
+    - [mysql.default_socket] equals the MySQL socket on LAMP images
+      (cross-application, exercised by the multi-app generator) *)
+
+val catalog : Spec.catalog
+val true_correlations : (string * string) list
+val generate :
+  Profile.t -> Encore_util.Prng.t -> id:string -> Encore_sysenv.Image.t
+
+val config_kvs :
+  Profile.t -> Encore_util.Prng.t -> Imagebase.builder ->
+  web_user:string -> mysql_socket:string option ->
+  Encore_confparse.Kv.t list
+(** Emit the php.ini pairs into an existing builder, wiring
+    [mysql.default_socket] to a co-installed MySQL's socket when given.
+    Used by the multi-application (LAMP) generator. *)

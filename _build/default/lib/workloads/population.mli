@@ -1,0 +1,40 @@
+(** Image populations: the stand-in for the paper's EC2 crawl and the
+    commercial private cloud.
+
+    [generate] produces deterministic per-application populations; with
+    a profile carrying a non-zero [latent_error_rate], a corresponding
+    fraction of images receives one real (environment or configuration)
+    misconfiguration, whose ground truth is returned alongside — the
+    Table 10 experiment scans for exactly these. *)
+
+type labeled = {
+  image : Encore_sysenv.Image.t;
+  latent : Encore_inject.Fault.injection list;  (** [] for clean images *)
+}
+
+val generator_for :
+  Encore_sysenv.Image.app ->
+  Profile.t -> Encore_util.Prng.t -> id:string -> Encore_sysenv.Image.t
+
+val catalog_for : Encore_sysenv.Image.app -> Spec.catalog
+
+val true_correlations_for : Encore_sysenv.Image.app -> (string * string) list
+
+val generate :
+  ?profile:Profile.t -> seed:int -> Encore_sysenv.Image.app -> n:int ->
+  labeled list
+(** [profile] defaults to {!Profile.ec2}. *)
+
+val images : labeled list -> Encore_sysenv.Image.t list
+
+val clean : labeled list -> Encore_sysenv.Image.t list
+(** Only the images without latent errors (suitable for training). *)
+
+val generate_lamp :
+  ?profile:Profile.t -> seed:int -> n:int -> unit -> labeled list
+(** Images carrying Apache + MySQL + PHP together, with the cross-
+    application socket correlation wired up.  Latent errors off. *)
+
+val paper_training_sizes : (Encore_sysenv.Image.app * int) list
+(** Apache 127, MySQL 187, PHP 123 — the paper's per-app training-set
+    sizes (section 7). *)

@@ -1,0 +1,52 @@
+module Prng = Encore_util.Prng
+
+type t = {
+  label : string;
+  diversity : float;
+  optional_presence : float;
+  latent_error_rate : float;
+  with_hardware : bool;
+  with_env_vars : bool;
+}
+
+let ec2 =
+  {
+    label = "ec2";
+    diversity = 0.06;
+    optional_presence = 0.8;
+    latent_error_rate = 0.30;
+    with_hardware = false;
+    with_env_vars = false;
+  }
+
+let private_cloud =
+  {
+    label = "private-cloud";
+    diversity = 0.45;
+    optional_presence = 1.0;
+    latent_error_rate = 0.08;
+    with_hardware = true;
+    with_env_vars = true;
+  }
+
+let uniform =
+  {
+    label = "uniform";
+    diversity = 0.8;
+    optional_presence = 1.0;
+    latent_error_rate = 0.0;
+    with_hardware = true;
+    with_env_vars = true;
+  }
+
+let vary t rng ~default alternatives =
+  if alternatives = [] || not (Prng.chance rng t.diversity) then default
+  else Prng.pick rng alternatives
+
+let optional t rng p =
+  let p = min 1.0 (p *. t.optional_presence) in
+  Prng.chance rng p
+
+let vary_p rng p ~default alternatives =
+  if alternatives = [] || not (Prng.chance rng p) then default
+  else Prng.pick rng alternatives

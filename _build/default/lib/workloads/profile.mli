@@ -1,0 +1,37 @@
+(** Generation profiles: the knobs that distinguish the two image
+    populations of the paper's evaluation.
+
+    EC2-like images are pristine templates: mostly default values (low
+    diversity), no hardware specification (the crawler skips it, paper
+    section 7.1.2), and a surprisingly high latent-misconfiguration
+    rate (the paper found 37 problems in 120 fresh EC2 images).
+    Private-cloud images have been customized and used in production:
+    higher value diversity, hardware known, fewer latent problems. *)
+
+type t = {
+  label : string;
+  diversity : float;  (** probability a tunable entry deviates from default *)
+  optional_presence : float;  (** scale on optional entries' presence *)
+  latent_error_rate : float;  (** per-image probability of one seeded misconfiguration *)
+  with_hardware : bool;
+  with_env_vars : bool;
+}
+
+val ec2 : t
+val private_cloud : t
+val uniform : t
+(** High-diversity profile for stress tests. *)
+
+val vary :
+  t -> Encore_util.Prng.t -> default:string -> string list -> string
+(** Pick [default] with probability [1 - diversity], otherwise a uniform
+    alternative. *)
+
+val optional : t -> Encore_util.Prng.t -> float -> bool
+(** Does an entry with base presence [p] appear under this profile? *)
+
+val vary_p :
+  Encore_util.Prng.t -> float -> default:string -> string list -> string
+(** Like {!vary} but with an explicit deviation probability, for entries
+    whose real-world diversity does not track the profile knob (e.g. the
+    boolean pairs that must vary enough to survive the entropy filter). *)

@@ -1,0 +1,27 @@
+module Ctype = Encore_typing.Ctype
+
+type entry = {
+  key : string;
+  ctype : Ctype.t;
+  env_related : bool;
+  correlated : bool;
+  presence : float;
+}
+
+type catalog = { app : Encore_sysenv.Image.app; entries : entry list }
+
+let entry ?(env = false) ?(corr = false) ?(presence = 1.0) key ctype =
+  { key; ctype; env_related = env; correlated = corr; presence }
+
+let find catalog key = List.find_opt (fun e -> e.key = key) catalog.entries
+let size catalog = List.length catalog.entries
+
+let env_related_count catalog =
+  List.length (List.filter (fun e -> e.env_related) catalog.entries)
+
+let correlated_count catalog =
+  List.length (List.filter (fun e -> e.correlated) catalog.entries)
+
+let ground_truth_types catalog =
+  let app = Encore_sysenv.Image.app_to_string catalog.app in
+  List.map (fun e -> (app ^ "/" ^ e.key, e.ctype)) catalog.entries

@@ -1,0 +1,35 @@
+(** Catalog model for the studied applications.
+
+    Each application ships a catalog of configuration entries annotated
+    with the ground-truth semantic type and the two properties counted
+    in paper Table 1: whether the entry refers to the execution
+    environment and whether it is correlated with other entries or
+    environment objects.  The annotations drive the Table 1 study and
+    give the type-inference evaluation (Table 11) its ground truth. *)
+
+module Ctype = Encore_typing.Ctype
+
+type entry = {
+  key : string;  (** key path below the app namespace, e.g. ["mysqld/datadir"] *)
+  ctype : Ctype.t;  (** ground-truth semantic type *)
+  env_related : bool;  (** value refers to an environment object *)
+  correlated : bool;  (** participates in a correlation with other entries *)
+  presence : float;  (** probability the entry appears in a generated image *)
+}
+
+type catalog = {
+  app : Encore_sysenv.Image.app;
+  entries : entry list;
+}
+
+val entry :
+  ?env:bool -> ?corr:bool -> ?presence:float -> string -> Ctype.t -> entry
+(** [presence] defaults to 1.0; [env]/[corr] to false. *)
+
+val find : catalog -> string -> entry option
+val size : catalog -> int
+val env_related_count : catalog -> int
+val correlated_count : catalog -> int
+
+val ground_truth_types : catalog -> (string * Ctype.t) list
+(** [(qualified_attr, type)] with the app prefix applied. *)

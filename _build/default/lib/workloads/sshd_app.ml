@@ -1,0 +1,169 @@
+module Ctype = Encore_typing.Ctype
+module Prng = Encore_util.Prng
+module Strutil = Encore_util.Strutil
+module Image = Encore_sysenv.Image
+module Kv = Encore_confparse.Kv
+module Sshd_lens = Encore_confparse.Sshd_lens
+
+let e = Spec.entry
+
+let catalog =
+  {
+    Spec.app = Image.Sshd;
+    entries =
+      [
+        e ~env:true "Port" Ctype.Port_number;
+        e ~env:true ~presence:0.7 "ListenAddress" Ctype.Ip_address;
+        e ~env:true ~corr:true "HostKey" Ctype.File_path;
+        e ~corr:true "PermitRootLogin" Ctype.Bool_t;
+        e ~presence:0.9 "PubkeyAuthentication" Ctype.Bool_t;
+        e ~corr:true "PasswordAuthentication" Ctype.Bool_t;
+        e ~corr:true ~presence:0.9 "PermitEmptyPasswords" Ctype.Bool_t;
+        e ~corr:true "ChallengeResponseAuthentication" Ctype.Bool_t;
+        e ~corr:true "UsePAM" Ctype.Bool_t;
+        e ~presence:0.9 "X11Forwarding" Ctype.Bool_t;
+        e ~presence:0.8 "PrintMotd" Ctype.Bool_t;
+        e ~presence:0.7 "PrintLastLog" Ctype.Bool_t;
+        e ~presence:0.7 "TCPKeepAlive" Ctype.Bool_t;
+        e ~presence:0.7 "AcceptEnv[LANG]/arg2" Ctype.String_t;
+        e ~env:true ~presence:0.9 "Subsystem[sftp]/arg2" Ctype.File_path;
+        e ~env:true ~presence:0.8 "AuthorizedKeysFile" Ctype.Partial_file_path;
+        e ~presence:0.8 "SyslogFacility" Ctype.String_t;
+        e ~presence:0.8 "LogLevel" Ctype.String_t;
+        e ~presence:0.9 "StrictModes" Ctype.Bool_t;
+        e ~corr:true ~presence:0.7 "MaxAuthTries" Ctype.Number;
+        e ~presence:0.6 "MaxSessions" Ctype.Number;
+        e ~corr:true ~presence:0.7 "ClientAliveInterval" Ctype.Number;
+        e ~presence:0.7 "ClientAliveCountMax" Ctype.Number;
+        e ~corr:true ~presence:0.7 "LoginGraceTime" Ctype.Number;
+        e ~env:true ~presence:0.4 "Banner" Ctype.File_path;
+        e ~presence:0.7 "UseDNS" Ctype.Bool_t;
+        e ~env:true ~presence:0.8 "PidFile" Ctype.File_path;
+        e ~presence:0.6 "Protocol" Ctype.Number;
+        e ~presence:0.5 "Compression" Ctype.Bool_t;
+        e ~presence:0.5 "GatewayPorts" Ctype.Bool_t;
+        e ~presence:0.4 "PermitTunnel" Ctype.Bool_t;
+        e ~presence:0.5 "AddressFamily" Ctype.String_t;
+        e ~presence:0.4 "PermitUserEnvironment" Ctype.Bool_t;
+        e ~presence:0.6 "AllowTcpForwarding" Ctype.Bool_t;
+        e ~presence:0.5 "AllowAgentForwarding" Ctype.Bool_t;
+        e ~presence:0.5 "HostbasedAuthentication" Ctype.Bool_t;
+        e ~presence:0.6 "IgnoreRhosts" Ctype.Bool_t;
+        e ~presence:0.4 "IgnoreUserKnownHosts" Ctype.Bool_t;
+        e ~presence:0.4 "KerberosAuthentication" Ctype.Bool_t;
+        e ~presence:0.5 "GSSAPIAuthentication" Ctype.Bool_t;
+        e ~presence:0.3 "ServerKeyBits" Ctype.Number;
+        e ~presence:0.3 "KeyRegenerationInterval" Ctype.Number;
+        e ~presence:0.5 "MaxStartups" Ctype.String_t;
+        e ~presence:0.4 "Ciphers" Ctype.String_t;
+        e ~presence:0.4 "MACs" Ctype.String_t;
+        e ~env:true ~presence:0.4 "XAuthLocation" Ctype.File_path;
+      ];
+  }
+
+let true_correlations =
+  [ ("sshd/UsePAM", "sshd/ChallengeResponseAuthentication");
+    ("sshd/PasswordAuthentication", "sshd/PermitEmptyPasswords");
+    ("sshd/MaxAuthTries", "sshd/LoginGraceTime");
+    ("sshd/HostKey", "sshd/PidFile") ]
+
+let generate profile rng ~id =
+  let b = Imagebase.create rng in
+  let vary d alts = Profile.vary profile rng ~default:d alts in
+  let present key =
+    match Spec.find catalog key with
+    | Some entry ->
+        entry.Spec.presence >= 1.0 || Profile.optional profile rng entry.Spec.presence
+    | None -> true
+  in
+
+  Imagebase.mkdir b "/etc/ssh";
+  let host_key = vary "/etc/ssh/ssh_host_rsa_key" [ "/etc/ssh/ssh_host_ecdsa_key" ] in
+  Imagebase.mkfile ~owner:"root" ~group:"root" ~perm:0o600 b host_key ~size:1679;
+  Imagebase.mkfile ~owner:"root" ~group:"root" ~perm:0o644 b (host_key ^ ".pub") ~size:400;
+  let sftp_server = vary "/usr/lib/openssh/sftp-server" [ "/usr/libexec/sftp-server" ] in
+  Imagebase.mkfile ~perm:0o755 b sftp_server;
+  let pid_file = "/var/run/sshd.pid" in
+  Imagebase.mkfile b pid_file ~size:6;
+
+  let use_pam = Profile.vary_p (Prng.split rng) 0.3 ~default:"yes" [ "no" ] in
+  let cra =
+    if use_pam = "yes" then "no" else Profile.vary_p rng 0.5 ~default:"yes" [ "no" ]
+  in
+  let password_auth = Profile.vary_p rng 0.3 ~default:"yes" [ "no" ] in
+  (* hardened pairing: empty passwords only ever allowed without
+     password auth, and almost never *)
+  let permit_empty = if password_auth = "yes" then "no" else vary "no" [ "yes" ] in
+  let login_grace = Prng.int_in rng 30 120 in
+  let max_auth = Prng.int_in rng 3 6 in
+
+  let kvs = ref [] in
+  let add key value = kvs := Kv.make (Kv.qualify ~app:"sshd" [ key ]) value :: !kvs in
+  let addp key value = if present key then add key value in
+
+  let port = Profile.vary_p (Prng.split rng) 0.3 ~default:"22" [ "2222"; "2022" ] in
+  (match int_of_string_opt port with
+   | Some p -> Imagebase.register_port b p "ssh"
+   | None -> ());
+  add "Port" port;
+  addp "ListenAddress" (vary "0.0.0.0" [ Imagebase.random_ip rng ]);
+  add "HostKey" host_key;
+  add "PermitRootLogin" (vary "no" [ "yes" ]);
+  addp "PubkeyAuthentication" "yes";
+  add "PasswordAuthentication" password_auth;
+  addp "PermitEmptyPasswords" permit_empty;
+  add "ChallengeResponseAuthentication" cra;
+  add "UsePAM" use_pam;
+  addp "X11Forwarding" (vary "no" [ "yes" ]);
+  addp "PrintMotd" (vary "no" [ "yes" ]);
+  addp "PrintLastLog" (vary "yes" [ "no" ]);
+  addp "TCPKeepAlive" (vary "yes" [ "no" ]);
+  addp "AcceptEnv[LANG]/arg2" "LC_*";
+  if present "Subsystem[sftp]/arg2" then
+    add "Subsystem[sftp]/arg2" sftp_server;
+  addp "AuthorizedKeysFile" (vary ".ssh/authorized_keys" [ ".ssh/authorized_keys2" ]);
+  addp "SyslogFacility" (vary "AUTH" [ "AUTHPRIV" ]);
+  addp "LogLevel" (vary "INFO" [ "VERBOSE" ]);
+  addp "StrictModes" "yes";
+  addp "MaxAuthTries" (string_of_int max_auth);
+  addp "MaxSessions" (vary "10" [ "4" ]);
+  addp "ClientAliveInterval" (string_of_int (login_grace + Prng.int_in rng 60 300));
+  addp "ClientAliveCountMax" (vary "3" [ "0" ]);
+  addp "LoginGraceTime" (string_of_int login_grace);
+  if present "Banner" then begin
+    Imagebase.mkfile b "/etc/issue.net";
+    add "Banner" "/etc/issue.net"
+  end;
+  addp "UseDNS" (vary "no" [ "yes" ]);
+  addp "PidFile" pid_file;
+  addp "Protocol" "2";
+  addp "Compression" (vary "yes" [ "no" ]);
+  addp "GatewayPorts" "no";
+  addp "PermitTunnel" "no";
+  addp "AddressFamily" (vary "any" [ "inet" ]);
+  addp "PermitUserEnvironment" "no";
+  addp "AllowTcpForwarding" (vary "yes" [ "no" ]);
+  addp "AllowAgentForwarding" (vary "yes" [ "no" ]);
+  addp "HostbasedAuthentication" "no";
+  addp "IgnoreRhosts" "yes";
+  addp "IgnoreUserKnownHosts" (vary "no" [ "yes" ]);
+  addp "KerberosAuthentication" "no";
+  addp "GSSAPIAuthentication" (vary "yes" [ "no" ]);
+  addp "ServerKeyBits" (vary "1024" [ "2048" ]);
+  addp "KeyRegenerationInterval" (vary "3600" [ "7200" ]);
+  addp "MaxStartups" (vary "10:30:100" [ "10:30:60" ]);
+  addp "Ciphers" (vary "aes128-ctr,aes192-ctr,aes256-ctr" [ "aes256-ctr" ]);
+  addp "MACs" (vary "hmac-sha2-256,hmac-sha2-512" [ "hmac-sha2-512" ]);
+  if present "XAuthLocation" then begin
+    Imagebase.mkfile ~perm:0o755 b "/usr/bin/xauth";
+    add "XAuthLocation" "/usr/bin/xauth"
+  end;
+
+  let text = Sshd_lens.render ~app:"sshd" (List.rev !kvs) in
+  Imagebase.mkfile b "/etc/ssh/sshd_config" ~size:(String.length text);
+  let config = { Image.app = Image.Sshd; path = "/etc/ssh/sshd_config"; text } in
+  let hardware =
+    if profile.Profile.with_hardware then Some Encore_sysenv.Hostinfo.default_hardware
+    else None
+  in
+  Imagebase.build ~hardware b ~id [ config ]

@@ -1,0 +1,13 @@
+(** sshd workload: sshd_config catalog and generator.
+
+    Generated correlations:
+    - [UsePAM] yes implies [ChallengeResponseAuthentication] no
+      (bool-implies, the classic Debian pairing)
+    - [HostKey] files exist, root-owned, mode 600        (env/ownership)
+    - [Banner]/[PidFile]/[AuthorizedKeysFile] path consistency (env)
+    - [ClientAliveInterval] > [LoginGraceTime] in hardened profiles *)
+
+val catalog : Spec.catalog
+val true_correlations : (string * string) list
+val generate :
+  Profile.t -> Encore_util.Prng.t -> id:string -> Encore_sysenv.Image.t

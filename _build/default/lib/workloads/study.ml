@@ -1,0 +1,23 @@
+type row = {
+  app : Encore_sysenv.Image.app;
+  total : int;
+  env_related : int;
+  correlated : int;
+}
+
+let rows () =
+  List.map
+    (fun app ->
+      let catalog = Population.catalog_for app in
+      {
+        app;
+        total = Spec.size catalog;
+        env_related = Spec.env_related_count catalog;
+        correlated = Spec.correlated_count catalog;
+      })
+    [ Encore_sysenv.Image.Apache; Encore_sysenv.Image.Mysql;
+      Encore_sysenv.Image.Php; Encore_sysenv.Image.Sshd ]
+
+let paper_rows =
+  [ ("Apache", 94, 29, 42); ("MySQL", 113, 19, 31); ("PHP", 53, 16, 20);
+    ("sshd", 57, 12, 29) ]

@@ -1,0 +1,23 @@
+(** The configuration-parameter study behind paper Table 1: per
+    application, how many of the studied entries are environment-related
+    and how many are correlated with other entries.
+
+    The paper's numbers come from a manual study of the real
+    applications (Apache 94, MySQL 113, PHP 53, sshd 57 entries); ours
+    come from the annotated catalogs of the synthetic workload, which
+    were designed to preserve the proportions (roughly 17–31 %
+    env-related, 27–51 % correlated). *)
+
+type row = {
+  app : Encore_sysenv.Image.app;
+  total : int;
+  env_related : int;
+  correlated : int;
+}
+
+val rows : unit -> row list
+(** One row per studied application (Apache, MySQL, PHP, sshd). *)
+
+val paper_rows : (string * int * int * int) list
+(** The paper's Table 1 numbers for side-by-side display:
+    (app, total, env_related, correlated). *)

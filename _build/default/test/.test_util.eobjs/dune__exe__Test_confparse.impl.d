@@ -1,0 +1,1 @@
+test/test_confparse.ml: Alcotest Encore_confparse Encore_sysenv Encore_util List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Encore_dataset Encore_sysenv Encore_typing Encore_util List Printf QCheck QCheck_alcotest

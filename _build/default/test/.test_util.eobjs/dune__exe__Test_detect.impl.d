@@ -1,0 +1,1 @@
+test/test_detect.ml: Alcotest Encore_detect Encore_sysenv Encore_util List Printf

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Encore Encore_confparse Encore_detect Encore_rules Encore_sysenv Encore_util Encore_workloads Filename Fun Lazy List Option Printf Result String Sys

@@ -1,0 +1,1 @@
+test/test_inject.ml: Alcotest Char Encore_confparse Encore_inject Encore_sysenv Encore_util Gen List QCheck QCheck_alcotest String

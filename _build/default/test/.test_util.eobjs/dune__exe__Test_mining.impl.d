@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Array Encore_mining Fun List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Encore Encore_confparse Encore_detect Encore_inject Encore_rules Encore_sysenv Encore_typing Encore_util Encore_workloads Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Encore_dataset Encore_rules Encore_sysenv Encore_typing List Option Printf

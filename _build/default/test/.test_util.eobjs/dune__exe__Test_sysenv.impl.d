@@ -1,0 +1,1 @@
+test/test_sysenv.ml: Alcotest Encore_sysenv Encore_util List Option QCheck QCheck_alcotest String

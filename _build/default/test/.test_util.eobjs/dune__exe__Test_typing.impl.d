@@ -1,0 +1,1 @@
+test/test_typing.ml: Alcotest Encore_sysenv Encore_typing Format Fun Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Encore_util Fun Gen Hashtbl List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Encore_confparse Encore_sysenv Encore_util Encore_workloads List Printf

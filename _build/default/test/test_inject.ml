@@ -1,0 +1,222 @@
+(* Tests for encore_inject: typo operators and the ConfErr-style
+   injection campaigns. *)
+
+module Typo = Encore_inject.Typo
+module Fault = Encore_inject.Fault
+module Conferr = Encore_inject.Conferr
+module Prng = Encore_util.Prng
+module Strutil = Encore_util.Strutil
+module Image = Encore_sysenv.Image
+module Fs = Encore_sysenv.Fs
+module Accounts = Encore_sysenv.Accounts
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Typo ------------------------------------------------------------------- *)
+
+let test_typo_omission_shortens () =
+  let rng = Prng.create 1 in
+  check Alcotest.int "one shorter" 6 (String.length (Typo.apply rng Typo.Omission "datadir"))
+
+let test_typo_insertion_lengthens () =
+  let rng = Prng.create 2 in
+  check Alcotest.int "one longer" 8 (String.length (Typo.apply rng Typo.Insertion "datadir"))
+
+let test_typo_substitution_same_length () =
+  let rng = Prng.create 3 in
+  let out = Typo.apply rng Typo.Substitution "datadir" in
+  check Alcotest.int "same length" 7 (String.length out);
+  check Alcotest.bool "changed" true (out <> "datadir")
+
+let test_typo_transposition () =
+  let rng = Prng.create 4 in
+  let out = Typo.apply rng Typo.Transposition "ab" in
+  check Alcotest.string "swapped" "ba" out
+
+let test_typo_transposition_uniform_string () =
+  let rng = Prng.create 4 in
+  check Alcotest.string "aaa unchanged" "aaa" (Typo.apply rng Typo.Transposition "aaa")
+
+let test_typo_case_flip () =
+  let rng = Prng.create 5 in
+  let out = Typo.apply rng Typo.Case_flip "abc" in
+  check Alcotest.bool "one char uppercased" true
+    (out <> "abc" && String.lowercase_ascii out = "abc")
+
+let test_typo_short_strings_safe () =
+  let rng = Prng.create 6 in
+  check Alcotest.string "omission on 1-char" "a" (Typo.apply rng Typo.Omission "a");
+  (* insertion works even on empty *)
+  check Alcotest.int "insert into empty" 1 (String.length (Typo.apply rng Typo.Insertion ""))
+
+let prop_typo_random_changes_string =
+  QCheck.Test.make ~name:"random typo differs for length >= 2" ~count:300
+    QCheck.(pair small_int (string_of_size (Gen.int_range 2 12)))
+    (fun (seed, s) ->
+      (* restrict to letters so case flips always apply *)
+      let s = String.map (fun c -> Char.chr (Char.code 'a' + (Char.code c mod 26))) s in
+      let rng = Prng.create seed in
+      Typo.random rng s <> s)
+
+let prop_typo_edit_distance_small =
+  QCheck.Test.make ~name:"single typo within edit distance 2" ~count:300
+    QCheck.(pair small_int (string_of_size (Gen.int_range 2 12)))
+    (fun (seed, s) ->
+      let rng = Prng.create seed in
+      let op = Prng.pick rng Typo.all_ops in
+      Strutil.damerau_levenshtein s (Typo.apply rng op s) <= 2)
+
+(* --- Conferr ------------------------------------------------------------------ *)
+
+let target_image () =
+  let fs = Fs.add_dir ~owner:"mysql" ~group:"mysql" Fs.empty "/var/lib/mysql" in
+  let fs = Fs.add_file ~owner:"mysql" ~group:"adm" ~perm:0o640 fs "/var/log/mysql/error.log" in
+  let accounts = Accounts.add_service_account Accounts.base "mysql" in
+  let text =
+    "[mysqld]\nuser = mysql\ndatadir = /var/lib/mysql\nport = 3306\n\
+     log_error = /var/log/mysql/error.log\nnet_buffer_length = 16K\n\
+     max_allowed_packet = 16M\n"
+  in
+  Image.make ~id:"target" ~fs ~accounts
+    [ { Image.app = Image.Mysql; path = "/etc/my.cnf"; text } ]
+
+let parse_config img =
+  match Image.config_for img Image.Mysql with
+  | Some c -> Encore_confparse.Ini.parse ~app:"mysql" c.Image.text
+  | None -> []
+
+let test_inject_campaign_count_and_distinct_targets () =
+  let rng = Prng.create 11 in
+  let campaign = Conferr.inject rng Image.Mysql (target_image ()) ~n:5 in
+  check Alcotest.int "five faults" 5 (List.length campaign.Conferr.injections);
+  let targets = List.map (fun i -> i.Fault.target_attr) campaign.Conferr.injections in
+  check Alcotest.int "distinct targets" 5 (List.length (List.sort_uniq compare targets))
+
+let test_inject_changes_config () =
+  let rng = Prng.create 12 in
+  let original = target_image () in
+  let campaign = Conferr.inject rng Image.Mysql original ~n:3 in
+  let before = parse_config original and after = parse_config campaign.Conferr.image in
+  check Alcotest.bool "config differs" true
+    (List.map (fun (kv : Encore_confparse.Kv.t) -> (kv.key, kv.value)) before
+     <> List.map (fun (kv : Encore_confparse.Kv.t) -> (kv.key, kv.value)) after)
+
+let test_inject_deterministic () =
+  let c1 = Conferr.inject (Prng.create 7) Image.Mysql (target_image ()) ~n:4 in
+  let c2 = Conferr.inject (Prng.create 7) Image.Mysql (target_image ()) ~n:4 in
+  check Alcotest.bool "same campaign" true
+    (List.map Fault.injection_to_string c1.Conferr.injections
+     = List.map Fault.injection_to_string c2.Conferr.injections)
+
+let test_inject_one_wrong_path () =
+  let rng = Prng.create 13 in
+  match
+    Conferr.inject_one rng Image.Mysql (target_image ())
+      (Fault.Config_fault Fault.Wrong_path)
+  with
+  | Some (img, inj) ->
+      check Alcotest.bool "target is a path entry" true
+        (Strutil.starts_with ~prefix:"/" inj.Fault.before);
+      check Alcotest.bool "new value broken" true
+        (not (Fs.exists img.Image.fs inj.Fault.after))
+  | None -> Alcotest.fail "no wrong-path target found"
+
+let test_inject_one_wrong_user () =
+  let rng = Prng.create 14 in
+  match
+    Conferr.inject_one rng Image.Mysql (target_image ())
+      (Fault.Config_fault Fault.Wrong_user)
+  with
+  | Some (_, inj) ->
+      check Alcotest.string "targets the user entry" "mysql/mysqld/user" inj.Fault.target_attr;
+      check Alcotest.bool "different user" true (inj.Fault.after <> "mysql")
+  | None -> Alcotest.fail "no wrong-user target found"
+
+let test_inject_one_chown_flip () =
+  let rng = Prng.create 15 in
+  let original = target_image () in
+  match
+    Conferr.inject_one rng Image.Mysql original (Fault.Env_fault Fault.Chown_flip)
+  with
+  | Some (img, inj) ->
+      (* config text untouched, environment changed *)
+      check Alcotest.bool "config unchanged" true
+        (parse_config original = parse_config img);
+      let path =
+        match Encore_confparse.Kv.find (parse_config img) inj.Fault.target_attr with
+        | Some p -> p
+        | None -> Alcotest.fail "target value missing"
+      in
+      (match Fs.lookup img.Image.fs path with
+       | Some m -> check Alcotest.bool "owner flipped" true (m.Fs.owner = inj.Fault.after)
+       | None -> Alcotest.fail "path missing")
+  | None -> Alcotest.fail "no chown target found"
+
+let test_inject_one_symlink () =
+  let rng = Prng.create 16 in
+  match
+    Conferr.inject_one rng Image.Mysql (target_image ())
+      (Fault.Env_fault Fault.Symlink_inject)
+  with
+  | Some (img, inj) ->
+      check Alcotest.bool "symlink created" true (Fs.exists img.Image.fs inj.Fault.after)
+  | None -> Alcotest.fail "no symlink target found"
+
+let test_inject_one_size_inversion () =
+  let rng = Prng.create 17 in
+  match
+    Conferr.inject_one rng Image.Mysql (target_image ())
+      (Fault.Config_fault Fault.Size_inversion)
+  with
+  | Some (_, inj) -> (
+      match (Strutil.parse_size inj.Fault.before, Strutil.parse_size inj.Fault.after) with
+      | Some b, Some a -> check Alcotest.bool "inflated" true (a > b)
+      | _ -> Alcotest.fail "unparsable sizes")
+  | None -> Alcotest.fail "no size target found"
+
+let test_inject_one_no_target () =
+  (* an image with no config for the app yields no injection *)
+  let img = Image.make ~id:"empty" [] in
+  let rng = Prng.create 18 in
+  check Alcotest.bool "none" true
+    (Conferr.inject_one rng Image.Mysql img (Fault.Config_fault Fault.Key_typo) = None)
+
+let test_fault_labels_distinct () =
+  let labels =
+    List.map (fun f -> Fault.fault_to_string (Fault.Config_fault f)) Fault.all_config_faults
+    @ List.map (fun f -> Fault.fault_to_string (Fault.Env_fault f)) Fault.all_env_faults
+  in
+  check Alcotest.int "all labels distinct" (List.length labels)
+    (List.length (List.sort_uniq compare labels))
+
+let () =
+  Alcotest.run "encore_inject"
+    [
+      ( "typo",
+        [
+          Alcotest.test_case "omission" `Quick test_typo_omission_shortens;
+          Alcotest.test_case "insertion" `Quick test_typo_insertion_lengthens;
+          Alcotest.test_case "substitution" `Quick test_typo_substitution_same_length;
+          Alcotest.test_case "transposition" `Quick test_typo_transposition;
+          Alcotest.test_case "transposition uniform" `Quick test_typo_transposition_uniform_string;
+          Alcotest.test_case "case flip" `Quick test_typo_case_flip;
+          Alcotest.test_case "short strings" `Quick test_typo_short_strings_safe;
+          qtest prop_typo_random_changes_string;
+          qtest prop_typo_edit_distance_small;
+        ] );
+      ( "conferr",
+        [
+          Alcotest.test_case "campaign count/targets" `Quick
+            test_inject_campaign_count_and_distinct_targets;
+          Alcotest.test_case "changes config" `Quick test_inject_changes_config;
+          Alcotest.test_case "deterministic" `Quick test_inject_deterministic;
+          Alcotest.test_case "wrong path" `Quick test_inject_one_wrong_path;
+          Alcotest.test_case "wrong user" `Quick test_inject_one_wrong_user;
+          Alcotest.test_case "chown flip" `Quick test_inject_one_chown_flip;
+          Alcotest.test_case "symlink inject" `Quick test_inject_one_symlink;
+          Alcotest.test_case "size inversion" `Quick test_inject_one_size_inversion;
+          Alcotest.test_case "no target" `Quick test_inject_one_no_target;
+          Alcotest.test_case "fault labels" `Quick test_fault_labels_distinct;
+        ] );
+    ]

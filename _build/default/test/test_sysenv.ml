@@ -1,0 +1,294 @@
+(* Tests for encore_sysenv: virtual filesystem, accounts, services,
+   the image aggregate and the collector round-trip. *)
+
+module Fs = Encore_sysenv.Fs
+module Accounts = Encore_sysenv.Accounts
+module Services = Encore_sysenv.Services
+module Hostinfo = Encore_sysenv.Hostinfo
+module Image = Encore_sysenv.Image
+module Collector = Encore_sysenv.Collector
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Fs ----------------------------------------------------------------- *)
+
+let test_fs_empty_root () =
+  check Alcotest.bool "root exists" true (Fs.exists Fs.empty "/");
+  check Alcotest.bool "root is dir" true (Fs.is_dir Fs.empty "/")
+
+let test_fs_add_file_creates_parents () =
+  let fs = Fs.add_file Fs.empty "/var/log/mysql/error.log" in
+  check Alcotest.bool "file" true (Fs.is_file fs "/var/log/mysql/error.log");
+  check Alcotest.bool "parent dir" true (Fs.is_dir fs "/var/log/mysql");
+  check Alcotest.bool "grandparent dir" true (Fs.is_dir fs "/var")
+
+let test_fs_add_relative_rejected () =
+  Alcotest.check_raises "relative path"
+    (Invalid_argument "Fs: path must be absolute: var/log")
+    (fun () -> ignore (Fs.add_dir Fs.empty "var/log"))
+
+let test_fs_normalization () =
+  let fs = Fs.add_dir Fs.empty "/a//b/" in
+  check Alcotest.bool "normalized" true (Fs.is_dir fs "/a/b")
+
+let test_fs_metadata () =
+  let fs = Fs.add_file ~owner:"mysql" ~group:"adm" ~perm:0o640 ~size:77 Fs.empty "/x" in
+  match Fs.lookup fs "/x" with
+  | Some m ->
+      check Alcotest.string "owner" "mysql" m.Fs.owner;
+      check Alcotest.string "group" "adm" m.Fs.group;
+      check Alcotest.int "perm" 0o640 m.Fs.perm;
+      check Alcotest.int "size" 77 m.Fs.size
+  | None -> Alcotest.fail "missing"
+
+let test_fs_symlink_resolution () =
+  let fs = Fs.add_file Fs.empty "/target" in
+  let fs = Fs.add_symlink fs "/link" ~target:"/target" in
+  check Alcotest.bool "resolves to file" true (Fs.is_file fs "/link");
+  match Fs.lookup fs "/link" with
+  | Some { Fs.kind = Fs.Symlink t; _ } -> check Alcotest.string "target" "/target" t
+  | Some _ | None -> Alcotest.fail "expected symlink from lookup"
+
+let test_fs_symlink_loop () =
+  let fs = Fs.add_symlink Fs.empty "/a" ~target:"/b" in
+  let fs = Fs.add_symlink fs "/b" ~target:"/a" in
+  check Alcotest.bool "loop terminates as missing" true (Fs.resolve fs "/a" = None)
+
+let test_fs_children_sorted () =
+  let fs = Fs.add_file Fs.empty "/d/b" in
+  let fs = Fs.add_file fs "/d/a" in
+  let fs = Fs.add_dir fs "/d/c" in
+  check (Alcotest.list Alcotest.string) "sorted children" [ "a"; "b"; "c" ]
+    (Fs.children fs "/d");
+  check (Alcotest.list Alcotest.string) "no grandchildren" [ "a"; "b"; "c" ]
+    (Fs.children (Fs.add_file fs "/d/c/deep") "/d")
+
+let test_fs_has_subdir_symlink () =
+  let fs = Fs.add_dir Fs.empty "/d/sub" in
+  check Alcotest.bool "has subdir" true (Fs.has_subdir fs "/d");
+  check Alcotest.bool "no symlink" false (Fs.has_symlink fs "/d");
+  let fs = Fs.add_symlink fs "/d/link" ~target:"/etc" in
+  check Alcotest.bool "has symlink" true (Fs.has_symlink fs "/d")
+
+let test_fs_remove_subtree () =
+  let fs = Fs.add_file Fs.empty "/a/b/c" in
+  let fs = Fs.remove fs "/a/b" in
+  check Alcotest.bool "dir gone" false (Fs.exists fs "/a/b");
+  check Alcotest.bool "child gone" false (Fs.exists fs "/a/b/c");
+  check Alcotest.bool "parent stays" true (Fs.exists fs "/a")
+
+let test_fs_chown_chmod () =
+  let fs = Fs.add_file Fs.empty "/f" in
+  let fs = Fs.chown fs "/f" ~owner:"alice" ~group:"users" in
+  let fs = Fs.chmod fs "/f" ~perm:0o600 in
+  match Fs.lookup fs "/f" with
+  | Some m ->
+      check Alcotest.string "owner" "alice" m.Fs.owner;
+      check Alcotest.int "perm" 0o600 m.Fs.perm
+  | None -> Alcotest.fail "missing"
+
+let test_fs_readable_by () =
+  let fs = Fs.add_file ~owner:"alice" ~group:"staff" ~perm:0o640 Fs.empty "/f" in
+  check Alcotest.bool "owner reads" true (Fs.readable_by fs ~user:"alice" ~groups:[] "/f");
+  check Alcotest.bool "group reads" true
+    (Fs.readable_by fs ~user:"bob" ~groups:[ "staff" ] "/f");
+  check Alcotest.bool "other denied" false
+    (Fs.readable_by fs ~user:"bob" ~groups:[ "users" ] "/f");
+  check Alcotest.bool "root reads" true (Fs.readable_by fs ~user:"root" ~groups:[] "/f");
+  check Alcotest.bool "missing file" false
+    (Fs.readable_by fs ~user:"root" ~groups:[] "/nope")
+
+let test_fs_fold_counts () =
+  let fs = Fs.add_file Fs.empty "/a/b" in
+  let n = Fs.fold (fun _ _ acc -> acc + 1) fs 0 in
+  check Alcotest.int "two nodes (a, a/b)" 2 n
+
+let prop_fs_add_then_exists =
+  let seg = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 6)) in
+  let path_gen =
+    QCheck.Gen.(map (fun segs -> "/" ^ String.concat "/" segs)
+                  (list_size (int_range 1 5) seg))
+  in
+  QCheck.Test.make ~name:"added path always exists" ~count:300
+    (QCheck.make path_gen)
+    (fun path -> Fs.exists (Fs.add_file Fs.empty path) path)
+
+(* --- Accounts ----------------------------------------------------------- *)
+
+let test_accounts_base () =
+  check Alcotest.bool "root" true (Accounts.user_exists Accounts.base "root");
+  check Alcotest.bool "nobody" true (Accounts.user_exists Accounts.base "nobody");
+  check Alcotest.bool "wheel group" true (Accounts.group_exists Accounts.base "wheel")
+
+let test_accounts_service_account () =
+  let t = Accounts.add_service_account Accounts.base "mysql" in
+  check Alcotest.bool "user" true (Accounts.user_exists t "mysql");
+  check Alcotest.bool "group" true (Accounts.group_exists t "mysql");
+  check (Alcotest.option Alcotest.string) "primary group" (Some "mysql")
+    (Accounts.primary_group t "mysql");
+  let t2 = Accounts.add_service_account t "mysql" in
+  check Alcotest.int "idempotent" (List.length (Accounts.users t))
+    (List.length (Accounts.users t2))
+
+let test_accounts_groups_of_user () =
+  let t = Accounts.add_service_account Accounts.base "web" in
+  let t = Accounts.add_group t { Accounts.gname = "extra"; ggid = 900; members = [ "web" ] } in
+  check (Alcotest.list Alcotest.string) "primary+supplementary" [ "extra"; "web" ]
+    (Accounts.groups_of_user t "web");
+  check (Alcotest.list Alcotest.string) "unknown user" []
+    (Accounts.groups_of_user t "ghost")
+
+let test_accounts_is_admin () =
+  check Alcotest.bool "root is admin" true (Accounts.is_admin Accounts.base "root");
+  let t = Accounts.add_service_account Accounts.base "svc" in
+  check Alcotest.bool "service not admin" false (Accounts.is_admin t "svc");
+  let t = Accounts.add_group t { Accounts.gname = "sudo"; ggid = 27; members = [ "svc" ] } in
+  check Alcotest.bool "sudo member is admin" true (Accounts.is_admin t "svc")
+
+let test_accounts_is_root_group () =
+  check Alcotest.bool "root" true (Accounts.is_root_group Accounts.base "root");
+  check Alcotest.bool "nobody" false (Accounts.is_root_group Accounts.base "nobody")
+
+let test_accounts_user_in_group () =
+  let t = Accounts.add_service_account Accounts.base "app" in
+  check Alcotest.bool "own group" true (Accounts.user_in_group t ~user:"app" ~group:"app");
+  check Alcotest.bool "not wheel" false (Accounts.user_in_group t ~user:"app" ~group:"wheel")
+
+(* --- Services ----------------------------------------------------------- *)
+
+let test_services_base () =
+  check Alcotest.bool "ssh" true (Services.known_port Services.base 22);
+  check Alcotest.bool "mysql" true (Services.known_port Services.base 3306);
+  check Alcotest.bool "unknown" false (Services.known_port Services.base 12345);
+  check (Alcotest.option Alcotest.string) "name" (Some "http")
+    (Services.service_of_port Services.base 80);
+  check (Alcotest.option Alcotest.int) "reverse" (Some 443)
+    (Services.port_of_service Services.base "https")
+
+let test_services_add () =
+  let t = Services.add Services.base ~port:9000 ~name:"php-fpm" in
+  check Alcotest.bool "added" true (Services.known_port t 9000)
+
+(* --- Image + Collector --------------------------------------------------- *)
+
+let sample_image () =
+  let fs = Fs.add_file ~owner:"mysql" ~perm:0o640 Fs.empty "/var/log/err.log" in
+  let fs = Fs.add_symlink fs "/var/link" ~target:"/etc" in
+  Image.make ~id:"img-1" ~fs
+    ~env_vars:[ ("LANG", "C") ]
+    [ { Image.app = Image.Mysql; path = "/etc/my.cnf"; text = "[mysqld]\nport=3306\n" } ]
+
+let test_image_config_access () =
+  let img = sample_image () in
+  (match Image.config_for img Image.Mysql with
+   | Some c -> check Alcotest.string "path" "/etc/my.cnf" c.Image.path
+   | None -> Alcotest.fail "config missing");
+  check Alcotest.bool "no apache" true (Image.config_for img Image.Apache = None)
+
+let test_image_set_config () =
+  let img = sample_image () in
+  let img = Image.set_config img Image.Mysql "[mysqld]\nport=3307\n" in
+  match Image.config_for img Image.Mysql with
+  | Some c ->
+      check Alcotest.bool "updated" true
+        (Encore_util.Strutil.contains_sub c.Image.text "3307")
+  | None -> Alcotest.fail "config missing"
+
+let test_image_env_var () =
+  let img = sample_image () in
+  check (Alcotest.option Alcotest.string) "env" (Some "C") (Image.env_var img "LANG");
+  check (Alcotest.option Alcotest.string) "missing" None (Image.env_var img "PATH")
+
+let test_app_name_roundtrip () =
+  List.iter
+    (fun app ->
+      check (Alcotest.option Alcotest.string) "roundtrip"
+        (Some (Image.app_to_string app))
+        (Option.map Image.app_to_string (Image.app_of_string (Image.app_to_string app))))
+    Image.all_apps
+
+let test_collector_roundtrip () =
+  let img = sample_image () in
+  let records = Collector.collect img in
+  let parsed = Collector.of_text (Collector.to_text records) in
+  check Alcotest.int "record count preserved" (List.length records) (List.length parsed);
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "hostname" (Some [ "localhost" ])
+    (Collector.find parsed ~section:"Sys" ~key:"HostName");
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "env var" (Some [ "C" ])
+    (Collector.find parsed ~section:"Env" ~key:"LANG")
+
+let test_collector_fs_record () =
+  let img = sample_image () in
+  let records = Collector.collect img in
+  match Collector.find records ~section:"FS" ~key:"/var/log/err.log" with
+  | Some (kind :: owner :: _) ->
+      check Alcotest.string "kind" "file" kind;
+      check Alcotest.string "owner" "mysql" owner
+  | Some ([] | [ _ ]) | None -> Alcotest.fail "fs record missing"
+
+let test_collector_no_hardware_when_dormant () =
+  let img = Image.make ~id:"d" ~hardware:Hostinfo.no_hardware [] in
+  let records = Collector.collect img in
+  check Alcotest.bool "no HW record" true
+    (Collector.find records ~section:"HW" ~key:"Cores" = None)
+
+let test_selinux_string_roundtrip () =
+  List.iter
+    (fun s ->
+      check (Alcotest.option Alcotest.string) "roundtrip"
+        (Some (Hostinfo.selinux_to_string s))
+        (Option.map Hostinfo.selinux_to_string
+           (Hostinfo.selinux_of_string (Hostinfo.selinux_to_string s))))
+    [ Hostinfo.Enforcing; Hostinfo.Permissive; Hostinfo.Disabled ]
+
+let () =
+  Alcotest.run "encore_sysenv"
+    [
+      ( "fs",
+        [
+          Alcotest.test_case "empty root" `Quick test_fs_empty_root;
+          Alcotest.test_case "parents created" `Quick test_fs_add_file_creates_parents;
+          Alcotest.test_case "relative rejected" `Quick test_fs_add_relative_rejected;
+          Alcotest.test_case "normalization" `Quick test_fs_normalization;
+          Alcotest.test_case "metadata" `Quick test_fs_metadata;
+          Alcotest.test_case "symlink resolution" `Quick test_fs_symlink_resolution;
+          Alcotest.test_case "symlink loop" `Quick test_fs_symlink_loop;
+          Alcotest.test_case "children sorted" `Quick test_fs_children_sorted;
+          Alcotest.test_case "has_subdir/has_symlink" `Quick test_fs_has_subdir_symlink;
+          Alcotest.test_case "remove subtree" `Quick test_fs_remove_subtree;
+          Alcotest.test_case "chown/chmod" `Quick test_fs_chown_chmod;
+          Alcotest.test_case "readable_by" `Quick test_fs_readable_by;
+          Alcotest.test_case "fold" `Quick test_fs_fold_counts;
+          qtest prop_fs_add_then_exists;
+        ] );
+      ( "accounts",
+        [
+          Alcotest.test_case "base set" `Quick test_accounts_base;
+          Alcotest.test_case "service account" `Quick test_accounts_service_account;
+          Alcotest.test_case "groups of user" `Quick test_accounts_groups_of_user;
+          Alcotest.test_case "is_admin" `Quick test_accounts_is_admin;
+          Alcotest.test_case "is_root_group" `Quick test_accounts_is_root_group;
+          Alcotest.test_case "user_in_group" `Quick test_accounts_user_in_group;
+        ] );
+      ( "services",
+        [
+          Alcotest.test_case "base ports" `Quick test_services_base;
+          Alcotest.test_case "add" `Quick test_services_add;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "config access" `Quick test_image_config_access;
+          Alcotest.test_case "set config" `Quick test_image_set_config;
+          Alcotest.test_case "env var" `Quick test_image_env_var;
+          Alcotest.test_case "app name roundtrip" `Quick test_app_name_roundtrip;
+        ] );
+      ( "collector",
+        [
+          Alcotest.test_case "text roundtrip" `Quick test_collector_roundtrip;
+          Alcotest.test_case "fs record" `Quick test_collector_fs_record;
+          Alcotest.test_case "dormant has no hardware" `Quick
+            test_collector_no_hardware_when_dormant;
+          Alcotest.test_case "selinux roundtrip" `Quick test_selinux_string_roundtrip;
+        ] );
+    ]

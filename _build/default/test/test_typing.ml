@@ -1,0 +1,300 @@
+(* Tests for encore_typing: the two-step type inference — syntactic
+   candidates, semantic verification, per-column decisions and custom
+   type registration. *)
+
+module Ctype = Encore_typing.Ctype
+module Syntactic = Encore_typing.Syntactic
+module Semantic = Encore_typing.Semantic
+module Infer = Encore_typing.Infer
+module Registry = Encore_typing.Custom_registry
+module Fs = Encore_sysenv.Fs
+module Accounts = Encore_sysenv.Accounts
+module Image = Encore_sysenv.Image
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let ctype = Alcotest.testable
+    (fun fmt t -> Format.pp_print_string fmt (Ctype.to_string t))
+    Ctype.equal
+
+(* --- Ctype --------------------------------------------------------------- *)
+
+let test_ctype_string_roundtrip () =
+  List.iter
+    (fun t ->
+      check (Alcotest.option ctype) (Ctype.to_string t) (Some t)
+        (Ctype.of_string (Ctype.to_string t)))
+    (Ctype.all_simple @ [ Ctype.Enum [ "a"; "b" ]; Ctype.Custom "LogPath" ])
+
+let test_ctype_trivial () =
+  check Alcotest.bool "string trivial" true (Ctype.is_trivial Ctype.String_t);
+  check Alcotest.bool "number trivial" true (Ctype.is_trivial Ctype.Number);
+  check Alcotest.bool "path not" false (Ctype.is_trivial Ctype.File_path)
+
+let test_ctype_enum_equal_unordered () =
+  check Alcotest.bool "order-insensitive" true
+    (Ctype.equal (Ctype.Enum [ "b"; "a" ]) (Ctype.Enum [ "a"; "b" ]))
+
+(* --- Syntactic ------------------------------------------------------------ *)
+
+let matches = Syntactic.matches
+
+let test_syntactic_file_path () =
+  check Alcotest.bool "abs path" true (matches Ctype.File_path "/var/lib/mysql");
+  check Alcotest.bool "root file" true (matches Ctype.File_path "/vmlinuz");
+  check Alcotest.bool "relative" false (matches Ctype.File_path "var/lib");
+  check Alcotest.bool "word" false (matches Ctype.File_path "mysql")
+
+let test_syntactic_partial_path () =
+  check Alcotest.bool "fragment" true
+    (matches Ctype.Partial_file_path "modules/libphp5.so");
+  check Alcotest.bool "bare word" false (matches Ctype.Partial_file_path "mysql")
+
+let test_syntactic_ip () =
+  check Alcotest.bool "v4" true (matches Ctype.Ip_address "10.0.1.1");
+  check Alcotest.bool "octet range" false (matches Ctype.Ip_address "999.0.0.1");
+  check Alcotest.bool "v6" true (matches Ctype.Ip_address "::1");
+  check Alcotest.bool "not ip" false (matches Ctype.Ip_address "banana")
+
+let test_syntactic_port () =
+  check Alcotest.bool "valid" true (matches Ctype.Port_number "3306");
+  check Alcotest.bool "too big" false (matches Ctype.Port_number "70000");
+  check Alcotest.bool "word" false (matches Ctype.Port_number "http")
+
+let test_syntactic_url () =
+  check Alcotest.bool "http" true (matches Ctype.Url "http://example.com/x");
+  check Alcotest.bool "no scheme" false (matches Ctype.Url "example.com/x")
+
+let test_syntactic_size () =
+  check Alcotest.bool "suffix" true (matches Ctype.Size "64M");
+  check Alcotest.bool "bare number is not a size" false (matches Ctype.Size "300")
+
+let test_syntactic_bool () =
+  List.iter
+    (fun v -> check Alcotest.bool v true (matches Ctype.Bool_t v))
+    [ "On"; "off"; "TRUE"; "no"; "0"; "1" ];
+  check Alcotest.bool "word" false (matches Ctype.Bool_t "maybe")
+
+let test_syntactic_mime () =
+  check Alcotest.bool "mime" true (matches Ctype.Mime_type "text/plain");
+  check Alcotest.bool "abs path" false (matches Ctype.Mime_type "/text/plain")
+
+let test_syntactic_filename_dotfile () =
+  check Alcotest.bool "dotfile" true (matches Ctype.File_name ".htaccess");
+  check Alcotest.bool "classic" true (matches Ctype.File_name "index.html");
+  check Alcotest.bool "with slash" false (matches Ctype.File_name "a/b.html")
+
+let test_syntactic_candidates_order () =
+  match Syntactic.candidates "/var/lib/mysql" with
+  | first :: _ -> check ctype "first candidate" Ctype.File_path first
+  | [] -> Alcotest.fail "no candidates"
+
+let test_syntactic_candidates_end_with_trivial () =
+  let cands = Syntactic.candidates "anything at all" in
+  check ctype "last is String" Ctype.String_t (List.nth cands (List.length cands - 1))
+
+(* --- Semantic -------------------------------------------------------------- *)
+
+let test_image () =
+  let fs = Fs.add_dir Fs.empty "/var/lib/mysql" in
+  let fs = Fs.add_file fs "/etc/my.cnf" in
+  let accounts = Accounts.add_service_account Accounts.base "mysql" in
+  Image.make ~id:"t" ~fs ~accounts []
+
+let test_semantic_file_path () =
+  let img = test_image () in
+  check Alcotest.bool "exists" true (Semantic.verify img Ctype.File_path "/var/lib/mysql");
+  check Alcotest.bool "missing" false (Semantic.verify img Ctype.File_path "/no/such")
+
+let test_semantic_user_group () =
+  let img = test_image () in
+  check Alcotest.bool "user" true (Semantic.verify img Ctype.User_name "mysql");
+  check Alcotest.bool "ghost" false (Semantic.verify img Ctype.User_name "ghost");
+  check Alcotest.bool "group" true (Semantic.verify img Ctype.Group_name "mysql")
+
+let test_semantic_port () =
+  let img = test_image () in
+  check Alcotest.bool "registered" true (Semantic.verify img Ctype.Port_number "3306");
+  check Alcotest.bool "unregistered" false (Semantic.verify img Ctype.Port_number "5999")
+
+let test_semantic_mime_charset_language () =
+  let img = test_image () in
+  check Alcotest.bool "mime" true (Semantic.verify img Ctype.Mime_type "text/html");
+  check Alcotest.bool "bad mime" false (Semantic.verify img Ctype.Mime_type "modules/x.so");
+  check Alcotest.bool "charset" true (Semantic.verify img Ctype.Charset "utf-8");
+  check Alcotest.bool "bad charset" false (Semantic.verify img Ctype.Charset "klingon8");
+  check Alcotest.bool "language" true (Semantic.verify img Ctype.Language "en");
+  check Alcotest.bool "locale form" true (Semantic.verify img Ctype.Language "en_US")
+
+let test_semantic_enum () =
+  let img = test_image () in
+  let t = Ctype.Enum [ "a"; "b" ] in
+  check Alcotest.bool "member" true (Semantic.verify img t "a");
+  check Alcotest.bool "not member" false (Semantic.verify img t "c")
+
+let test_infer_value_two_step () =
+  let img = test_image () in
+  check ctype "existing dir" Ctype.File_path (Semantic.infer_value img "/var/lib/mysql");
+  check Alcotest.bool "missing path is not File_path" true
+    (Semantic.infer_value img "/no/such/path" <> Ctype.File_path);
+  check ctype "user" Ctype.User_name (Semantic.infer_value img "mysql");
+  check ctype "number" Ctype.Number (Semantic.infer_value img "28800")
+
+(* --- Column inference ------------------------------------------------------- *)
+
+let img_with_path path =
+  let fs = Fs.add_dir Fs.empty path in
+  Image.make ~id:("i-" ^ path) ~fs []
+
+let test_infer_column_majority () =
+  let samples =
+    [ (img_with_path "/data/a", "/data/a");
+      (img_with_path "/data/b", "/data/b");
+      (img_with_path "/data/c", "/data/c");
+      (img_with_path "/data/d", "/data/d");
+      (img_with_path "/data/e", "/broken/path") ]
+  in
+  let d = Infer.infer_column samples in
+  check ctype "majority type" Ctype.File_path d.Infer.ctype
+
+let test_infer_column_empty () =
+  let d = Infer.infer_column [] in
+  check ctype "string fallback" Ctype.String_t d.Infer.ctype
+
+let test_infer_enum_promotion () =
+  let img = Image.make ~id:"e" [] in
+  let rows =
+    List.map
+      (fun v -> (img, [ ("app/mode", v) ]))
+      [ "alpha+"; "beta+"; "alpha+"; "alpha+"; "beta+"; "alpha+" ]
+  in
+  let env = Infer.infer rows in
+  match Infer.find env "app/mode" with
+  | Some d -> check ctype "enum" (Ctype.Enum [ "alpha+"; "beta+" ]) d.Infer.ctype
+  | None -> Alcotest.fail "column missing"
+
+let test_infer_no_enum_for_diverse () =
+  let img = Image.make ~id:"e" [] in
+  let rows =
+    List.mapi
+      (fun i _ -> (img, [ ("app/id", Printf.sprintf "value %d!" i) ]))
+      (List.init 10 Fun.id)
+  in
+  let env = Infer.infer rows in
+  match Infer.find env "app/id" with
+  | Some d -> check ctype "stays string" Ctype.String_t d.Infer.ctype
+  | None -> Alcotest.fail "column missing"
+
+let test_infer_group_hint () =
+  (* "www-data" exists as both a user and a group; the Group column must
+     resolve to GroupName thanks to the name hint *)
+  let accounts = Accounts.add_service_account Accounts.base "www-data" in
+  let img = Image.make ~id:"h" ~accounts [] in
+  let rows =
+    List.init 6 (fun _ ->
+        (img, [ ("apache/Group", "www-data"); ("apache/User", "www-data") ]))
+  in
+  let env = Infer.infer rows in
+  (match Infer.find env "apache/Group" with
+   | Some d -> check ctype "group" Ctype.Group_name d.Infer.ctype
+   | None -> Alcotest.fail "group column missing");
+  match Infer.find env "apache/User" with
+  | Some d -> check ctype "user" Ctype.User_name d.Infer.ctype
+  | None -> Alcotest.fail "user column missing"
+
+(* --- Custom registry --------------------------------------------------------- *)
+
+let test_custom_register_and_match () =
+  Registry.clear ();
+  Registry.register ~name:"LogPath" ~pattern:"/var/log/.+" ~validator:Registry.Exists_in_fs;
+  check Alcotest.bool "registered" true (Registry.is_registered "LogPath");
+  check Alcotest.bool "matches" true (Registry.matches "LogPath" "/var/log/x.log");
+  check Alcotest.bool "no match" false (Registry.matches "LogPath" "/etc/passwd");
+  let fs = Fs.add_file Fs.empty "/var/log/x.log" in
+  let img = Image.make ~id:"c" ~fs [] in
+  check Alcotest.bool "verify" true (Registry.verify img "LogPath" "/var/log/x.log");
+  check Alcotest.bool "verify missing" false (Registry.verify img "LogPath" "/var/log/y.log");
+  Registry.clear ()
+
+let test_custom_priority_over_predefined () =
+  Registry.clear ();
+  Registry.register ~name:"MyPath" ~pattern:"/opt/.+" ~validator:Registry.Always;
+  (match Syntactic.candidates "/opt/tool" with
+   | first :: _ -> check ctype "custom wins" (Ctype.Custom "MyPath") first
+   | [] -> Alcotest.fail "no candidates");
+  Registry.clear ()
+
+let test_custom_bad_pattern () =
+  Registry.clear ();
+  Alcotest.check_raises "bad regex"
+    (Invalid_argument "Custom_registry: bad pattern for Broken")
+    (fun () -> Registry.register ~name:"Broken" ~pattern:"(" ~validator:Registry.Always);
+  Registry.clear ()
+
+let test_custom_validator_names () =
+  List.iter
+    (fun name ->
+      check Alcotest.bool name true (Registry.validator_of_string name <> None))
+    [ "always"; "exists_in_fs"; "is_dir"; "is_file"; "in_users"; "in_groups"; "known_port" ];
+  check Alcotest.bool "unknown" true (Registry.validator_of_string "frobnicate" = None)
+
+let prop_syntactic_candidates_never_empty =
+  QCheck.Test.make ~name:"candidates always end in a trivial type" ~count:300
+    QCheck.(string_of_size (Gen.int_range 0 20))
+    (fun value ->
+      match List.rev (Syntactic.candidates value) with
+      | last :: _ -> Ctype.is_trivial last
+      | [] -> false)
+
+let () =
+  Alcotest.run "encore_typing"
+    [
+      ( "ctype",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_ctype_string_roundtrip;
+          Alcotest.test_case "trivial" `Quick test_ctype_trivial;
+          Alcotest.test_case "enum equal unordered" `Quick test_ctype_enum_equal_unordered;
+        ] );
+      ( "syntactic",
+        [
+          Alcotest.test_case "file path" `Quick test_syntactic_file_path;
+          Alcotest.test_case "partial path" `Quick test_syntactic_partial_path;
+          Alcotest.test_case "ip" `Quick test_syntactic_ip;
+          Alcotest.test_case "port" `Quick test_syntactic_port;
+          Alcotest.test_case "url" `Quick test_syntactic_url;
+          Alcotest.test_case "size needs suffix" `Quick test_syntactic_size;
+          Alcotest.test_case "bool words" `Quick test_syntactic_bool;
+          Alcotest.test_case "mime" `Quick test_syntactic_mime;
+          Alcotest.test_case "filename dotfile" `Quick test_syntactic_filename_dotfile;
+          Alcotest.test_case "candidate order" `Quick test_syntactic_candidates_order;
+          Alcotest.test_case "trivial fallback last" `Quick
+            test_syntactic_candidates_end_with_trivial;
+          qtest prop_syntactic_candidates_never_empty;
+        ] );
+      ( "semantic",
+        [
+          Alcotest.test_case "file path" `Quick test_semantic_file_path;
+          Alcotest.test_case "user/group" `Quick test_semantic_user_group;
+          Alcotest.test_case "port" `Quick test_semantic_port;
+          Alcotest.test_case "mime/charset/language" `Quick test_semantic_mime_charset_language;
+          Alcotest.test_case "enum" `Quick test_semantic_enum;
+          Alcotest.test_case "two-step value inference" `Quick test_infer_value_two_step;
+        ] );
+      ( "column-inference",
+        [
+          Alcotest.test_case "majority vote" `Quick test_infer_column_majority;
+          Alcotest.test_case "empty column" `Quick test_infer_column_empty;
+          Alcotest.test_case "enum promotion" `Quick test_infer_enum_promotion;
+          Alcotest.test_case "diverse stays string" `Quick test_infer_no_enum_for_diverse;
+          Alcotest.test_case "group name hint" `Quick test_infer_group_hint;
+        ] );
+      ( "custom",
+        [
+          Alcotest.test_case "register and match" `Quick test_custom_register_and_match;
+          Alcotest.test_case "priority over predefined" `Quick
+            test_custom_priority_over_predefined;
+          Alcotest.test_case "bad pattern" `Quick test_custom_bad_pattern;
+          Alcotest.test_case "validator names" `Quick test_custom_validator_names;
+        ] );
+    ]

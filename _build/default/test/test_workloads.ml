@@ -1,0 +1,332 @@
+(* Tests for encore_workloads: catalogs, generators, populations, the
+   Table 9 case studies and the Table 1 study rows.
+
+   The key invariants: generated images are deterministic in the seed,
+   their configurations parse, and the correlations the generators
+   promise actually hold inside every clean image. *)
+
+module Spec = Encore_workloads.Spec
+module Profile = Encore_workloads.Profile
+module Population = Encore_workloads.Population
+module Cases = Encore_workloads.Cases
+module Study = Encore_workloads.Study
+module Imagebase = Encore_workloads.Imagebase
+module Image = Encore_sysenv.Image
+module Fs = Encore_sysenv.Fs
+module Accounts = Encore_sysenv.Accounts
+module Kv = Encore_confparse.Kv
+module Registry = Encore_confparse.Registry
+module Strutil = Encore_util.Strutil
+module Prng = Encore_util.Prng
+
+let check = Alcotest.check
+
+let all_apps = [ Image.Apache; Image.Mysql; Image.Php; Image.Sshd ]
+
+let kvs_of img app =
+  let name = Image.app_to_string app in
+  match (Image.config_for img app, Registry.lens_for name) with
+  | Some c, Some lens -> lens.Registry.parse ~app:name c.Image.text
+  | _ -> []
+
+let value img app key = Kv.find (kvs_of img app) key
+
+(* --- catalogs ----------------------------------------------------------- *)
+
+let test_catalog_sizes () =
+  List.iter
+    (fun app ->
+      let c = Population.catalog_for app in
+      check Alcotest.bool
+        (Image.app_to_string app ^ " catalog substantial")
+        true
+        (Spec.size c >= 30))
+    all_apps
+
+let test_catalog_annotations_sane () =
+  List.iter
+    (fun app ->
+      let c = Population.catalog_for app in
+      check Alcotest.bool "env <= total" true (Spec.env_related_count c <= Spec.size c);
+      check Alcotest.bool "corr <= total" true (Spec.correlated_count c <= Spec.size c);
+      check Alcotest.bool "has env entries" true (Spec.env_related_count c > 0);
+      check Alcotest.bool "has correlated entries" true (Spec.correlated_count c > 0))
+    all_apps
+
+let test_catalog_keys_unique () =
+  List.iter
+    (fun app ->
+      let c = Population.catalog_for app in
+      let keys = List.map (fun e -> e.Spec.key) c.Spec.entries in
+      check Alcotest.int
+        (Image.app_to_string app ^ " unique keys")
+        (List.length keys)
+        (List.length (List.sort_uniq compare keys)))
+    all_apps
+
+let test_catalog_ground_truth_qualified () =
+  let gt = Spec.ground_truth_types (Population.catalog_for Image.Mysql) in
+  check Alcotest.bool "qualified with app" true
+    (List.mem_assoc "mysql/mysqld/datadir" gt)
+
+(* --- generators ---------------------------------------------------------- *)
+
+let test_generator_deterministic () =
+  List.iter
+    (fun app ->
+      let g seed = Population.generator_for app Profile.ec2 (Prng.create seed) ~id:"x" in
+      let a = g 5 and b = g 5 and c = g 6 in
+      let text img =
+        match Image.config_for img app with Some cf -> cf.Image.text | None -> ""
+      in
+      check Alcotest.string (Image.app_to_string app ^ " same seed") (text a) (text b);
+      check Alcotest.bool (Image.app_to_string app ^ " different seed") true
+        (text a <> text c || a.Image.hostname <> c.Image.hostname))
+    all_apps
+
+let test_generator_config_parses () =
+  List.iter
+    (fun app ->
+      let img = Population.generator_for app Profile.ec2 (Prng.create 3) ~id:"p" in
+      check Alcotest.bool (Image.app_to_string app ^ " parses") true
+        (List.length (kvs_of img app) > 10))
+    all_apps
+
+let test_mysql_invariants () =
+  (* the generated correlations hold inside every clean image *)
+  for seed = 1 to 15 do
+    let img = Population.generator_for Image.Mysql Profile.ec2 (Prng.create seed) ~id:"m" in
+    let v key = value img Image.Mysql key in
+    (match (v "mysql/mysqld/datadir", v "mysql/mysqld/user") with
+     | Some datadir, Some user -> (
+         match Fs.lookup img.Image.fs datadir with
+         | Some m -> check Alcotest.string "datadir owned by user" user m.Fs.owner
+         | None -> Alcotest.fail "datadir missing from fs")
+     | _ -> Alcotest.fail "core entries missing");
+    (match (v "mysql/client/socket", v "mysql/mysqld/socket") with
+     | Some a, Some b -> check Alcotest.string "sockets equal" b a
+     | _ -> Alcotest.fail "sockets missing");
+    (match (v "mysql/mysqld/net_buffer_length", v "mysql/mysqld/max_allowed_packet") with
+     | Some nb, Some map -> (
+         match (Strutil.parse_size nb, Strutil.parse_size map) with
+         | Some nb, Some map -> check Alcotest.bool "net < packet" true (nb < map)
+         | _ -> Alcotest.fail "unparsable sizes")
+     | _ -> Alcotest.fail "sizes missing");
+    match v "mysql/mysqld/log_error" with
+    | Some log ->
+        (* the error log must not be world-readable (section 7.1.3) *)
+        check Alcotest.bool "log hidden from nobody" false
+          (Fs.readable_by img.Image.fs ~user:"nobody" ~groups:[] log)
+    | None -> Alcotest.fail "log_error missing"
+  done
+
+let test_apache_invariants () =
+  for seed = 1 to 15 do
+    let img = Population.generator_for Image.Apache Profile.ec2 (Prng.create seed) ~id:"a" in
+    let v key = value img Image.Apache key in
+    (match (v "apache/User", v "apache/Group") with
+     | Some user, Some group ->
+         check Alcotest.bool "user in group" true
+           (Accounts.user_in_group img.Image.accounts ~user ~group)
+     | _ -> Alcotest.fail "user/group missing");
+    (match (v "apache/MinSpareServers", v "apache/MaxSpareServers") with
+     | Some min_s, Some max_s ->
+         check Alcotest.bool "spare servers ordered" true
+           (int_of_string min_s < int_of_string max_s)
+     | _ -> () (* optional entries *));
+    (match v "apache/DocumentRoot" with
+     | Some docroot ->
+         check Alcotest.bool "docroot exists" true (Fs.is_dir img.Image.fs docroot);
+         check Alcotest.bool "docroot symlink-free" false
+           (Fs.has_symlink img.Image.fs docroot)
+     | None -> Alcotest.fail "DocumentRoot missing");
+    match (v "apache/ServerRoot", v "apache/LoadModule[mime_module]/arg2") with
+    | Some root, Some rel ->
+        check Alcotest.bool "module resolves" true
+          (Fs.exists img.Image.fs (Strutil.path_join root rel))
+    | _ -> Alcotest.fail "ServerRoot/LoadModule missing"
+  done
+
+let test_php_invariants () =
+  for seed = 1 to 15 do
+    let img = Population.generator_for Image.Php Profile.ec2 (Prng.create seed) ~id:"p" in
+    let v key = value img Image.Php key in
+    (match (v "php/PHP/upload_max_filesize", v "php/PHP/post_max_size", v "php/PHP/memory_limit") with
+     | Some u, Some p, Some m -> (
+         match (Strutil.parse_size u, Strutil.parse_size p, Strutil.parse_size m) with
+         | Some u, Some p, Some m ->
+             check Alcotest.bool "upload < post < memory" true (u < p && p < m)
+         | _ -> Alcotest.fail "unparsable limits")
+     | _ -> Alcotest.fail "limits missing");
+    (match v "php/PHP/extension_dir" with
+     | Some dir ->
+         check Alcotest.bool "extension dir is dir" true (Fs.is_dir img.Image.fs dir);
+         check Alcotest.bool "extension dir populated" true
+           (Fs.children img.Image.fs dir <> [])
+     | None -> Alcotest.fail "extension_dir missing");
+    match (v "php/PHP/display_errors", v "php/PHP/log_errors") with
+    | Some "Off", Some log -> check Alcotest.string "silent display logs" "On" log
+    | _ -> ()
+  done
+
+let test_sshd_invariants () =
+  for seed = 1 to 15 do
+    let img = Population.generator_for Image.Sshd Profile.ec2 (Prng.create seed) ~id:"s" in
+    let v key = value img Image.Sshd key in
+    (match v "sshd/HostKey" with
+     | Some key -> (
+         match Fs.lookup img.Image.fs key with
+         | Some m ->
+             check Alcotest.string "host key root-owned" "root" m.Fs.owner;
+             check Alcotest.int "mode 600" 0o600 m.Fs.perm
+         | None -> Alcotest.fail "host key missing")
+     | None -> Alcotest.fail "HostKey entry missing");
+    match (v "sshd/UsePAM", v "sshd/ChallengeResponseAuthentication") with
+    | Some "yes", Some cra -> check Alcotest.string "pam implies no cra" "no" cra
+    | _ -> ()
+  done
+
+(* --- populations ---------------------------------------------------------- *)
+
+let test_population_deterministic () =
+  let p1 = Population.generate ~seed:9 Image.Mysql ~n:5 in
+  let p2 = Population.generate ~seed:9 Image.Mysql ~n:5 in
+  check (Alcotest.list Alcotest.string) "same ids"
+    (List.map (fun l -> l.Population.image.Image.image_id) p1)
+    (List.map (fun l -> l.Population.image.Image.image_id) p2);
+  check (Alcotest.list Alcotest.int) "same latent counts"
+    (List.map (fun l -> List.length l.Population.latent) p1)
+    (List.map (fun l -> List.length l.Population.latent) p2)
+
+let test_population_latent_rate () =
+  let pop = Population.generate ~profile:Profile.ec2 ~seed:4 Image.Mysql ~n:120 in
+  let latent = List.length (List.filter (fun l -> l.Population.latent <> []) pop) in
+  (* ec2 rate 0.30: expect roughly a third of images seeded *)
+  check Alcotest.bool "some latent errors" true (latent > 15 && latent < 60);
+  let clean = Population.clean pop in
+  check Alcotest.int "clean partition" (120 - latent) (List.length clean)
+
+let test_population_uniform_profile_clean () =
+  let pop = Population.generate ~profile:Profile.uniform ~seed:4 Image.Php ~n:20 in
+  check Alcotest.int "no latent errors" 20 (List.length (Population.clean pop))
+
+let test_population_hardware_by_profile () =
+  let ec2 = Population.generate ~profile:Profile.ec2 ~seed:2 Image.Mysql ~n:3 in
+  List.iter
+    (fun l -> check Alcotest.bool "ec2 dormant" true (l.Population.image.Image.hardware = None))
+    ec2;
+  let cloud = Population.generate ~profile:Profile.private_cloud ~seed:2 Image.Mysql ~n:3 in
+  List.iter
+    (fun l -> check Alcotest.bool "cloud has hw" true (l.Population.image.Image.hardware <> None))
+    cloud
+
+let test_lamp_images_cross_app () =
+  let lamp = Population.generate_lamp ~seed:3 ~n:3 () in
+  List.iter
+    (fun l ->
+      let img = l.Population.image in
+      check Alcotest.int "three configs" 3 (List.length img.Image.configs);
+      (* the php mysql socket points at the co-installed mysql's socket *)
+      match
+        (value img Image.Php "php/MySQL/mysql.default_socket",
+         value img Image.Mysql "mysql/mysqld/socket")
+      with
+      | Some php_sock, Some my_sock -> check Alcotest.string "sockets wired" my_sock php_sock
+      | None, Some _ -> () (* optional entry absent in this image *)
+      | _ -> Alcotest.fail "mysql socket missing")
+    lamp
+
+(* --- cases and study -------------------------------------------------------- *)
+
+let test_cases_ten () =
+  let cases = Cases.all ~seed:100 in
+  check Alcotest.int "ten cases" 10 (List.length cases);
+  check (Alcotest.list Alcotest.int) "ids in order" (List.init 10 (fun i -> i + 1))
+    (List.map (fun c -> c.Cases.case_id) cases)
+
+let test_cases_only_case8_expected_miss () =
+  let cases = Cases.all ~seed:100 in
+  List.iter
+    (fun c ->
+      check Alcotest.bool
+        (Printf.sprintf "case %d miss flag" c.Cases.case_id)
+        (c.Cases.case_id = 8) c.Cases.expect_miss)
+    cases
+
+let test_case2_extension_dir_is_file () =
+  let cases = Cases.all ~seed:100 in
+  let c2 = List.find (fun c -> c.Cases.case_id = 2) cases in
+  match value c2.Cases.target Image.Php "php/PHP/extension_dir" with
+  | Some v -> check Alcotest.bool "points at a regular file" true
+                (Fs.is_file c2.Cases.target.Image.fs v)
+  | None -> Alcotest.fail "extension_dir missing"
+
+let test_case3_datadir_wrong_owner () =
+  let cases = Cases.all ~seed:100 in
+  let c3 = List.find (fun c -> c.Cases.case_id = 3) cases in
+  match value c3.Cases.target Image.Mysql "mysql/mysqld/datadir" with
+  | Some datadir -> (
+      match Fs.lookup c3.Cases.target.Image.fs datadir with
+      | Some m -> check Alcotest.string "root owns it" "root" m.Fs.owner
+      | None -> Alcotest.fail "datadir missing")
+  | None -> Alcotest.fail "datadir entry missing"
+
+let test_case6_symlink_planted () =
+  let cases = Cases.all ~seed:100 in
+  let c6 = List.find (fun c -> c.Cases.case_id = 6) cases in
+  match value c6.Cases.target Image.Apache "apache/DocumentRoot" with
+  | Some docroot ->
+      check Alcotest.bool "symlink present" true
+        (Fs.has_symlink c6.Cases.target.Image.fs docroot)
+  | None -> Alcotest.fail "DocumentRoot missing"
+
+let test_study_rows () =
+  let rows = Study.rows () in
+  check Alcotest.int "four apps" 4 (List.length rows);
+  List.iter
+    (fun (r : Study.row) ->
+      check Alcotest.bool "env fraction >= 10%" true
+        (10 * r.Study.env_related >= r.Study.total);
+      check Alcotest.bool "corr fraction >= 15%" true
+        (100 * r.Study.correlated >= 15 * r.Study.total))
+    rows;
+  check Alcotest.int "paper rows" 4 (List.length Study.paper_rows)
+
+let () =
+  Alcotest.run "encore_workloads"
+    [
+      ( "catalogs",
+        [
+          Alcotest.test_case "sizes" `Quick test_catalog_sizes;
+          Alcotest.test_case "annotations" `Quick test_catalog_annotations_sane;
+          Alcotest.test_case "unique keys" `Quick test_catalog_keys_unique;
+          Alcotest.test_case "ground truth qualified" `Quick test_catalog_ground_truth_qualified;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "configs parse" `Quick test_generator_config_parses;
+          Alcotest.test_case "mysql invariants" `Quick test_mysql_invariants;
+          Alcotest.test_case "apache invariants" `Quick test_apache_invariants;
+          Alcotest.test_case "php invariants" `Quick test_php_invariants;
+          Alcotest.test_case "sshd invariants" `Quick test_sshd_invariants;
+        ] );
+      ( "populations",
+        [
+          Alcotest.test_case "deterministic" `Quick test_population_deterministic;
+          Alcotest.test_case "latent rate" `Quick test_population_latent_rate;
+          Alcotest.test_case "uniform profile clean" `Quick test_population_uniform_profile_clean;
+          Alcotest.test_case "hardware by profile" `Quick test_population_hardware_by_profile;
+          Alcotest.test_case "lamp cross-app" `Quick test_lamp_images_cross_app;
+        ] );
+      ( "cases",
+        [
+          Alcotest.test_case "ten cases" `Quick test_cases_ten;
+          Alcotest.test_case "only case 8 misses" `Quick test_cases_only_case8_expected_miss;
+          Alcotest.test_case "case 2 file-not-dir" `Quick test_case2_extension_dir_is_file;
+          Alcotest.test_case "case 3 wrong owner" `Quick test_case3_datadir_wrong_owner;
+          Alcotest.test_case "case 6 symlink" `Quick test_case6_symlink_planted;
+        ] );
+      ( "study",
+        [ Alcotest.test_case "table 1 rows" `Quick test_study_rows ] );
+    ]
