@@ -5,6 +5,7 @@
      learn        learn a model from a population and print its rules
      check        learn, misconfigure a held-out image, and report
      inject       run a ConfErr-style campaign and show the ground truth
+     chaos        storm a population with pipeline faults, learn resiliently
      experiment   regenerate one (or all) of the paper's tables
      ablation     run a design-choice ablation study
      case         reproduce one of the ten Table 9 real-world cases
@@ -98,18 +99,84 @@ let generate_cmd =
 
 (* --- learn ---------------------------------------------------------------- *)
 
-let learn seed profile app n custom =
-  let model, trained = learn_model ?custom ~seed ~profile app n in
-  Printf.printf "learned from %d clean images: %d types, %d rules\n\n" trained
-    (List.length model.Detector.types) (List.length model.Detector.rules);
-  List.iter
-    (fun r -> print_endline (Encore_rules.Template.rule_to_string r))
-    model.Detector.rules
+let mode_arg =
+  Arg.(value
+       & vflag Encore.Pipeline.Keep_going
+           [ (Encore.Pipeline.Keep_going,
+              info [ "keep-going" ]
+                ~doc:"Quarantine damaged images and train on the survivors \
+                      (default).");
+             (Encore.Pipeline.Fail_fast,
+              info [ "fail-fast" ]
+                ~doc:"Abort on the first damaged image.") ])
+
+let max_retries_arg =
+  Arg.(value & opt int 3
+       & info [ "max-retries" ] ~docv:"N"
+           ~doc:"Probe retries per image before it is quarantined.")
+
+let chaos_frac_arg =
+  Arg.(value & opt float 0.0
+       & info [ "chaos" ] ~docv:"FRAC"
+           ~doc:"Storm this fraction of the training population with \
+                 pipeline faults (truncation, garbage bytes, probe flaps) \
+                 before learning.")
+
+let learn seed profile app n custom mode max_retries chaos_frac =
+  let config = { Encore.Config.default with Encore.Config.seed = seed } in
+  let images = Population.clean (Population.generate ~profile ~seed app ~n) in
+  let images, stormed =
+    if chaos_frac > 0.0 then begin
+      let rng = Encore_util.Prng.create (seed + 31) in
+      let s = Encore_inject.Chaos.storm ~fraction:chaos_frac ~rng images in
+      (s.Encore_inject.Chaos.images,
+       List.length s.Encore_inject.Chaos.victims)
+    end
+    else (images, 0)
+  in
+  let custom = Option.map read_file custom in
+  match Encore.Pipeline.learn_resilient ~config ?custom ~mode ~max_retries images with
+  | Error d ->
+      prerr_endline
+        ("learning failed: " ^ Encore_util.Resilience.diagnostic_to_string d);
+      exit 1
+  | Ok (model, report) ->
+      if stormed > 0 then Printf.printf "chaos: stormed %d image(s)\n" stormed;
+      print_string (Encore.Pipeline.report_to_string report);
+      Printf.printf "\nlearned from %d image(s): %d types, %d rules\n\n"
+        report.Encore.Pipeline.ok
+        (List.length model.Detector.types) (List.length model.Detector.rules);
+      List.iter
+        (fun r -> print_endline (Encore_rules.Template.rule_to_string r))
+        model.Detector.rules
 
 let learn_cmd =
   let doc = "Learn configuration rules from a generated population." in
   Cmd.v (Cmd.info "learn" ~doc)
-    Term.(const learn $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg)
+    Term.(const learn $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg
+          $ mode_arg $ max_retries_arg $ chaos_frac_arg)
+
+(* --- chaos ----------------------------------------------------------------- *)
+
+let chaos seed app n fraction max_retries =
+  match Encore.Chaosrun.run ~n ~fraction ~max_retries ~app ~seed () with
+  | Error d ->
+      prerr_endline
+        ("chaos run failed: " ^ Encore_util.Resilience.diagnostic_to_string d);
+      exit 1
+  | Ok o -> print_string (Encore.Chaosrun.outcome_to_string o)
+
+let chaos_cmd =
+  let doc =
+    "Storm a training population with pipeline faults, learn through the \
+     resilient path and compare detection against an undamaged model."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const chaos $ seed_arg $ app_arg $ count_arg 50
+          $ Arg.(value & opt float 0.3
+                 & info [ "fraction" ] ~docv:"FRAC"
+                     ~doc:"Fraction of the population to damage.")
+          $ max_retries_arg)
 
 (* --- check ---------------------------------------------------------------- *)
 
@@ -397,4 +464,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; learn_cmd; check_cmd; inject_cmd; experiment_cmd;
             study_cmd; export_cmd; save_cmd; load_cmd; testgen_cmd; case_cmd;
-            ablation_cmd ]))
+            ablation_cmd; chaos_cmd ]))

@@ -1,1 +1,1 @@
-lib/confparse/registry.ml: Apache_lens Encore_sysenv Hashtbl Ini Kv List Sshd_lens
+lib/confparse/registry.ml: Apache_lens Encore_sysenv Encore_util Hashtbl Ini Kv List Printexc Printf Sshd_lens

@@ -1,1 +1,1 @@
-lib/confparse/registry.mli: Encore_sysenv Kv
+lib/confparse/registry.mli: Encore_sysenv Encore_util Kv

@@ -46,10 +46,12 @@ type frame = { name : string; arg : string }
 let frame_key frames =
   List.rev_map (fun f -> f.name ^ "[" ^ f.arg ^ "]") frames
 
-let parse ~app text =
+let parse_diag ~app text =
   let lines = String.split_on_char '\n' text in
   let kvs = ref [] in
   let stack = ref [] in
+  let diags = ref [] in
+  let skip lineno message = diags := (lineno, message) :: !diags in
   List.iteri
     (fun idx raw ->
       let lineno = idx + 1 in
@@ -62,7 +64,7 @@ let parse ~app text =
           when Encore_util.Strutil.lowercase_ascii line
                = Encore_util.Strutil.lowercase_ascii ("</" ^ top.name ^ ">") ->
             stack := rest
-        | _ -> ()
+        | _ -> skip lineno ("unmatched closing tag: " ^ line)
       else if line.[0] = '<' && String.length line > 2 then begin
         (* opening tag <Name arg...> *)
         let inner =
@@ -79,7 +81,7 @@ let parse ~app text =
                <Directory> section" are learnable (Eq-exists template) *)
             let skey = Kv.qualify ~app [ name ^ "/__section__" ] in
             kvs := Kv.make ~line:lineno skey arg :: !kvs
-        | [] -> ()
+        | [] -> skip lineno ("empty opening tag: " ^ line)
       end
       else
         match words (strip_comment line) with
@@ -101,7 +103,12 @@ let parse ~app text =
                 kvs := Kv.make ~line:lineno key (unquote v) :: !kvs)
               rest)
     lines;
-  List.rev !kvs
+  List.iter
+    (fun f -> skip (List.length lines) ("unclosed section <" ^ f.name ^ ">"))
+    !stack;
+  (List.rev !kvs, List.rev !diags)
+
+let parse ~app text = fst (parse_diag ~app text)
 
 (* --- rendering ------------------------------------------------------- *)
 

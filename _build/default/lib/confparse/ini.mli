@@ -10,6 +10,12 @@ val parse : app:string -> string -> Kv.t list
 (** Keys are qualified as [app/section/key]; entries before any section
     header use the pseudo-section ["main"]. *)
 
+val parse_diag : app:string -> string -> Kv.t list * (int * string) list
+(** Like {!parse}, additionally returning one [(line, message)]
+    diagnostic per skipped malformed line (bad section header, empty
+    key).  The key/value output is identical to {!parse}: bad lines are
+    skipped, never fatal. *)
+
 val render : app:string -> Kv.t list -> string
 (** Inverse of {!parse} for keys belonging to [app]: regroups entries by
     section and emits a canonical INI document.  [parse (render kvs)]

@@ -28,3 +28,57 @@ let parse_image (img : Encore_sysenv.Image.t) =
       | None -> []
       | Some lens -> lens.parse ~app cf.text)
     img.configs
+
+(* Diagnostic-collecting counterparts of the builtin lens parsers.  The
+   [lens] record itself stays minimal (custom lenses only have to supply
+   parse/render), so the richer entry points live in a side table. *)
+let builtin_diag_parsers =
+  [ ("apache", Apache_lens.parse_diag); ("mysql", Ini.parse_diag);
+    ("php", Ini.parse_diag); ("sshd", Sshd_lens.parse_diag) ]
+
+type image_parse = {
+  kvs : Kv.t list;
+  fatal : Encore_util.Resilience.diagnostic list;
+  warnings : Encore_util.Resilience.diagnostic list;
+}
+
+let parse_image_diag (img : Encore_sysenv.Image.t) =
+  let module Res = Encore_util.Resilience in
+  let kvs = ref [] and fatal = ref [] and warnings = ref [] in
+  List.iter
+    (fun (cf : Encore_sysenv.Image.config_file) ->
+      let app = Encore_sysenv.Image.app_to_string cf.app in
+      let subject = img.Encore_sysenv.Image.image_id ^ ":" ^ cf.path in
+      match Res.scan_text ~subject cf.text with
+      | _ :: _ as bad ->
+          (* the file payload itself is damaged; parsing it would yield
+             garbage attributes, so mark it fatal and keep its kvs out *)
+          fatal := !fatal @ bad
+      | [] -> (
+          match List.assoc_opt app builtin_diag_parsers with
+          | Some parse_diag ->
+              let pairs, diags = parse_diag ~app cf.text in
+              kvs := !kvs @ pairs;
+              warnings :=
+                !warnings
+                @ List.map
+                    (fun (line, msg) ->
+                      Res.diag Res.Parse_error
+                        ~subject:(Printf.sprintf "%s:%d" subject line)
+                        msg)
+                    diags
+          | None -> (
+              (* custom lens: no diagnostic channel; a raising parser is
+                 a rule-author bug, surfaced as Custom_rule_error *)
+              match lens_for app with
+              | None -> ()
+              | Some lens -> (
+                  match lens.parse ~app cf.text with
+                  | pairs -> kvs := !kvs @ pairs
+                  | exception e ->
+                      fatal :=
+                        !fatal
+                        @ [ Res.diag Res.Custom_rule_error ~subject
+                              (Printexc.to_string e) ]))))
+    img.configs;
+  { kvs = !kvs; fatal = !fatal; warnings = !warnings }

@@ -24,3 +24,21 @@ val parse_image : Encore_sysenv.Image.t -> Kv.t list
 (** Parse every config file carried by an image with its app's lens,
     concatenated in file order.  Files whose app has no lens are
     skipped. *)
+
+type image_parse = {
+  kvs : Kv.t list;
+  fatal : Encore_util.Resilience.diagnostic list;
+      (** payload-level damage: corrupt bytes, truncation, raising
+          custom lens.  A non-empty list means the image should not be
+          trusted for training. *)
+  warnings : Encore_util.Resilience.diagnostic list;
+      (** recoverable per-line lens diagnostics; the malformed lines
+          were skipped and the remaining [kvs] are usable. *)
+}
+
+val parse_image_diag : Encore_sysenv.Image.t -> image_parse
+(** Resilient counterpart of {!parse_image}.  Never raises: config
+    files whose raw text fails {!Encore_util.Resilience.scan_text} are
+    excluded wholesale and reported under [fatal]; builtin lenses
+    contribute skipped-line diagnostics under [warnings]; custom lenses
+    that raise are caught and reported as [Custom_rule_error]. *)

@@ -5,3 +5,7 @@
 
 val parse : app:string -> string -> Kv.t list
 val render : app:string -> Kv.t list -> string
+
+val parse_diag : app:string -> string -> Kv.t list * (int * string) list
+(** Like {!parse}, additionally returning one [(line, message)]
+    diagnostic per skipped malformed line (keyword without argument). *)

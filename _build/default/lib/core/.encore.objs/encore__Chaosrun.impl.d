@@ -1,0 +1,1 @@
+lib/core/chaosrun.ml: Buffer Config Encore_confparse Encore_detect Encore_inject Encore_sysenv Encore_util Encore_workloads List Pipeline Printf

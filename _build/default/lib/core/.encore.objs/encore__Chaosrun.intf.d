@@ -1,0 +1,1 @@
+lib/core/chaosrun.mli: Config Encore_inject Encore_sysenv Encore_util Pipeline

@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: Config Encore_detect Encore_rules List Printf
+lib/core/pipeline.ml: Array Buffer Config Encore_confparse Encore_dataset Encore_detect Encore_mining Encore_rules Encore_sysenv Encore_util List Printf Result String

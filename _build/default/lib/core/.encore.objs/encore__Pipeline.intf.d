@@ -1,1 +1,1 @@
-lib/core/pipeline.mli: Config Encore_detect Encore_sysenv
+lib/core/pipeline.mli: Config Encore_detect Encore_sysenv Encore_util

@@ -1,0 +1,113 @@
+module Prng = Encore_util.Prng
+module Res = Encore_util.Resilience
+module Image = Encore_sysenv.Image
+module Fault = Encore_inject.Fault
+module Chaos = Encore_inject.Chaos
+module Conferr = Encore_inject.Conferr
+module Population = Encore_workloads.Population
+module Profile = Encore_workloads.Profile
+module Report = Encore_detect.Report
+module Warning = Encore_detect.Warning
+
+type outcome = {
+  population : int;
+  victims : string list;
+  report : Pipeline.ingest_report;
+  quarantine_exact : bool;
+  injected : int;
+  clean_detected : int;
+  chaos_detected : int;
+  notes : string list;
+}
+
+(* Same detection criterion as the Table 8/10 experiments: a strong
+   warning naming the faulted attribute. *)
+let injection_detected ~config warnings (inj : Fault.injection) =
+  let strong =
+    List.filter
+      (fun w -> w.Warning.score >= config.Config.detection_score)
+      warnings
+  in
+  let base = Encore_confparse.Kv.key_basename inj.Fault.target_attr in
+  let needles =
+    match inj.Fault.fault with
+    | Fault.Config_fault Fault.Key_typo ->
+        [ Encore_confparse.Kv.key_basename inj.Fault.after; base ]
+    | _ -> [ base ]
+  in
+  List.exists (fun needle -> Report.rank_of_attr strong needle <> None) needles
+
+let count_detected ~config warnings injections =
+  List.length (List.filter (injection_detected ~config warnings) injections)
+
+let run ?(config = Config.default) ?(n = 50) ?(fraction = 0.3) ?faults
+    ?max_retries ?(app = Image.Mysql) ~seed () =
+  let profile = { Profile.ec2 with Profile.latent_error_rate = 0.0 } in
+  let images =
+    Population.images (Population.generate ~profile ~seed app ~n)
+  in
+  let rng = Prng.create (seed + 31) in
+  let stormed = Chaos.storm ~fraction ?faults ~rng images in
+  let victims =
+    List.map (fun (v : Chaos.victim) -> v.Chaos.image_id) stormed.Chaos.victims
+  in
+  match
+    Pipeline.learn_resilient ~config ?max_retries ~mode:Pipeline.Keep_going
+      stormed.Chaos.images
+  with
+  | Error d -> Error d
+  | Ok (chaos_model, report) ->
+      let clean_model = Pipeline.learn ~config images in
+      let quarantine_exact =
+        let ids = List.map fst report.Pipeline.quarantined in
+        List.sort_uniq compare ids = List.sort_uniq compare victims
+      in
+      (* held-out clean target, ConfErr-injected *)
+      let target_rng = Prng.create (seed + 7777) in
+      let target =
+        Population.generator_for app Profile.ec2 target_rng
+          ~id:("chaos-target-" ^ Image.app_to_string app)
+      in
+      let campaign = Conferr.inject target_rng app target ~n:10 in
+      let injections = campaign.Conferr.injections in
+      let clean_detected =
+        count_detected ~config
+          (Pipeline.check ~config clean_model campaign.Conferr.image)
+          injections
+      in
+      let degraded =
+        Pipeline.check_degraded ~config ~report chaos_model
+          campaign.Conferr.image
+      in
+      let chaos_detected =
+        count_detected ~config degraded.Pipeline.result injections
+      in
+      Ok
+        {
+          population = List.length images;
+          victims;
+          report;
+          quarantine_exact;
+          injected = List.length injections;
+          clean_detected;
+          chaos_detected;
+          notes = degraded.Pipeline.notes;
+        }
+
+let outcome_to_string o =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "chaos storm: %d image(s), %d victim(s); quarantine %s\n"
+       o.population (List.length o.victims)
+       (if o.quarantine_exact then "exact" else "INEXACT"));
+  Buffer.add_string buf (Pipeline.report_to_string o.report);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "detection on injected target: clean-trained %d/%d, chaos-trained \
+        %d/%d\n"
+       o.clean_detected o.injected o.chaos_detected o.injected);
+  List.iter
+    (fun note -> Buffer.add_string buf (Printf.sprintf "note: %s\n" note))
+    o.notes;
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Chaos harness: storm a training population with pipeline faults and
+    measure that resilient learning degrades gracefully.
+
+    The experiment the robustness claims hang on: generate a clean
+    per-application population, damage a fraction of it with
+    {!Encore_inject.Chaos} faults (truncated files, garbage bytes,
+    permanently flapping probes), learn through
+    {!Pipeline.learn_resilient}, and compare the chaos-trained model
+    against a model trained on the undamaged population over the same
+    ConfErr-injected target.  A resilient pipeline must (a) never
+    raise, (b) quarantine exactly the stormed images, and (c) keep its
+    detection power on clean targets. *)
+
+type outcome = {
+  population : int;      (** clean images generated *)
+  victims : string list; (** image ids damaged by the storm *)
+  report : Pipeline.ingest_report;
+  quarantine_exact : bool;
+      (** quarantined ids = victim ids (set equality) *)
+  injected : int;        (** ground-truth faults in the check target *)
+  clean_detected : int;  (** faults found by the model trained undamaged *)
+  chaos_detected : int;  (** faults found by the chaos-trained model *)
+  notes : string list;   (** degraded-mode notes from the target check *)
+}
+
+val run :
+  ?config:Config.t ->
+  ?n:int ->
+  ?fraction:float ->
+  ?faults:Encore_inject.Fault.pipeline_fault list ->
+  ?max_retries:int ->
+  ?app:Encore_sysenv.Image.app ->
+  seed:int ->
+  unit ->
+  (outcome, Encore_util.Resilience.diagnostic) result
+(** [n] images (default 50) of [app] (default Mysql), storm [fraction]
+    (default 0.3) of them with [faults] (default all pipeline faults),
+    then learn and evaluate.  Deterministic in [seed].  [Error] only
+    when the whole population is quarantined. *)
+
+val outcome_to_string : outcome -> string

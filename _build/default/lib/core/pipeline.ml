@@ -1,26 +1,247 @@
-type model = Encore_detect.Detector.model
+module Res = Encore_util.Resilience
+module Prng = Encore_util.Prng
+module Image = Encore_sysenv.Image
+module Flaky = Encore_sysenv.Flaky
+module Registry = Encore_confparse.Registry
+module Assemble = Encore_dataset.Assemble
+module Detector = Encore_detect.Detector
+module Template = Encore_rules.Template
 
-let learn ?(config = Config.default) ?custom images =
-  let templates =
-    match custom with
-    | None -> Encore_rules.Template.predefined
-    | Some text -> (
-        match Encore_rules.Customfile.parse text with
-        | Ok parsed ->
-            Encore_rules.Template.predefined @ parsed.Encore_rules.Customfile.templates
-        | Error e ->
-            invalid_arg
-              (Printf.sprintf "customization file, line %d: %s"
-                 e.Encore_rules.Customfile.line e.Encore_rules.Customfile.message))
-  in
-  Encore_detect.Detector.learn
-    ~params:(Config.rule_params config)
-    ~templates
-    ~entropy_threshold:config.Config.entropy_threshold images
+type model = Detector.model
 
-let check ?config:_ model img = Encore_detect.Detector.check model img
+let templates_result custom =
+  match custom with
+  | None -> Ok Template.predefined
+  | Some text -> (
+      match Encore_rules.Customfile.parse text with
+      | Ok parsed ->
+          Ok (Template.predefined @ parsed.Encore_rules.Customfile.templates)
+      | Error e ->
+          Error
+            (Res.diag Res.Custom_rule_error ~subject:"customization file"
+               (Printf.sprintf "line %d: %s" e.Encore_rules.Customfile.line
+                  e.Encore_rules.Customfile.message)))
+
+let learn_result ?(config = Config.default) ?custom images =
+  match templates_result custom with
+  | Error d -> Error d
+  | Ok templates ->
+      Ok
+        (Detector.learn
+           ~params:(Config.rule_params config)
+           ~templates
+           ~entropy_threshold:config.Config.entropy_threshold images)
+
+let learn ?config ?custom images =
+  match learn_result ?config ?custom images with
+  | Ok model -> model
+  | Error d -> invalid_arg (d.Res.subject ^ ", " ^ d.Res.detail)
+
+let check ?config:_ model img = Detector.check model img
 
 let detections ?(config = Config.default) model img =
   List.filter
     (fun w -> w.Encore_detect.Warning.score >= config.Config.detection_score)
     (check model img)
+
+(* --- resilient ingestion ------------------------------------------------- *)
+
+type mode = Keep_going | Fail_fast
+
+type ingest_report = {
+  total : int;
+  ok : int;
+  quarantined : (string * Res.diagnostic list) list;
+  retried : int;
+  total_backoff_ms : int;
+  warnings : Res.diagnostic list;
+  histogram : (Res.error_kind * int) list;
+  mining_overflowed : bool;
+}
+
+let default_mining_cap = 100_000
+
+(* Mining capacity probe: the learning path itself mines rules pairwise,
+   but Table 3's failure mode — frequent-itemset blow-up past the
+   miner's cap — is what degrades real deployments.  Run the counting
+   miner against the assembled table so the model can carry the
+   degraded-mode bit. *)
+let mining_probe ~config ~mining_cap table =
+  let transactions, _dict = Encore_dataset.Discretize.transactions table in
+  let n_tx = Array.length transactions in
+  if n_tx = 0 then false
+  else
+    let min_support =
+      max 2
+        (int_of_float
+           (ceil (config.Config.min_support_frac *. float_of_int n_tx)))
+    in
+    let _count, overflowed =
+      Encore_mining.Fpgrowth.count_only ~max_itemsets:mining_cap ~min_support
+        transactions
+    in
+    overflowed
+
+let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
+    ?max_retries ?flaky ?(mining_cap = default_mining_cap) images =
+  let ( let* ) = Result.bind in
+  let* templates = templates_result custom in
+  let flaky =
+    match flaky with
+    | Some f -> f
+    | None -> Flaky.reliable ~rng:(Prng.create (config.Config.seed + 101))
+  in
+  (* one fatal diagnostic is enough to distrust an image for training *)
+  let breaker = Res.breaker ~threshold:1 () in
+  let retried = ref 0 and backoff = ref 0 in
+  let warnings = ref [] in
+  let rec ingest acc = function
+    | [] -> Ok (List.rev acc)
+    | img :: rest -> (
+        let id = img.Image.image_id in
+        let att = Flaky.collect_with_retries ?max_retries flaky img in
+        retried := !retried + att.Res.retries;
+        backoff := !backoff + att.Res.backoff_ms;
+        match att.Res.outcome with
+        | Error d ->
+            Res.record_failure breaker ~subject:id d;
+            if mode = Fail_fast then Error d else ingest acc rest
+        | Ok (_records, probe_diags) -> (
+            warnings := !warnings @ probe_diags;
+            let parsed = Registry.parse_image_diag img in
+            match parsed.Registry.fatal with
+            | first :: _ as fatal ->
+                List.iter
+                  (fun d -> Res.record_failure breaker ~subject:id d)
+                  fatal;
+                if mode = Fail_fast then Error first else ingest acc rest
+            | [] ->
+                warnings := !warnings @ parsed.Registry.warnings;
+                Res.record_success breaker ~subject:id;
+                ingest (img :: acc) rest))
+  in
+  let* survivors = ingest [] images in
+  match survivors with
+  | [] ->
+      Error
+        (Res.diag Res.Corrupt_image ~subject:"training population"
+           (Printf.sprintf "all %d image(s) quarantined; nothing to learn from"
+              (List.length images)))
+  | _ ->
+      let assembled = Assemble.assemble_training survivors in
+      let rows = Encore_dataset.Table.rows assembled.Assemble.table in
+      let training = List.map2 (fun img (_, row) -> (img, row)) survivors rows in
+      let model =
+        Detector.model_of_training
+          ~params:(Config.rule_params config)
+          ~templates
+          ~entropy_threshold:config.Config.entropy_threshold
+          ~types:assembled.Assemble.types training
+      in
+      let mining_overflowed =
+        mining_probe ~config ~mining_cap assembled.Assemble.table
+      in
+      let model = { model with Detector.overflowed = mining_overflowed } in
+      if mining_overflowed then
+        warnings :=
+          !warnings
+          @ [ Res.diag Res.Overflow ~subject:"fp-growth"
+                (Printf.sprintf "frequent itemsets exceeded cap %d" mining_cap) ];
+      let quarantined = Res.quarantined breaker in
+      let all_diags = List.concat_map snd quarantined @ !warnings in
+      let report =
+        {
+          total = List.length images;
+          ok = List.length survivors;
+          quarantined;
+          retried = !retried;
+          total_backoff_ms = !backoff;
+          warnings = !warnings;
+          histogram = Res.histogram all_diags;
+          mining_overflowed;
+        }
+      in
+      Ok (model, report)
+
+let report_to_string r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "ingested %d/%d image(s); %d quarantined; %d probe retrie(s), %d ms \
+        virtual backoff\n"
+       r.ok r.total
+       (List.length r.quarantined)
+       r.retried r.total_backoff_ms);
+  Buffer.add_string buf "error histogram:";
+  List.iter
+    (fun (kind, n) ->
+      Buffer.add_string buf
+        (Printf.sprintf " %s=%d" (Res.kind_to_string kind) n))
+    r.histogram;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (subject, diags) ->
+      let cause =
+        match diags with
+        | d :: _ -> Res.diagnostic_to_string d
+        | [] -> "unknown"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "quarantined %s: %s\n" subject cause))
+    r.quarantined;
+  if r.mining_overflowed then
+    Buffer.add_string buf
+      "degraded: itemset mining overflowed; correlation rules may be \
+       incomplete\n";
+  Buffer.contents buf
+
+(* --- degraded-mode checking ---------------------------------------------- *)
+
+type degraded_check = {
+  result : Encore_detect.Warning.t list;
+  notes : string list;  (** degradations that limit detection coverage *)
+}
+
+let check_degraded ?config ?report model img =
+  let result =
+    match config with
+    | Some config -> check ~config model img
+    | None -> check model img
+  in
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  if model.Detector.overflowed then
+    note
+      "itemset mining hit its cap during learning: correlation rules may be \
+       incomplete";
+  (match report with
+  | Some r when r.quarantined <> [] ->
+      note
+        "%d of %d training image(s) quarantined: value statistics cover less \
+         of the corpus"
+        (List.length r.quarantined) r.total
+  | Some _ | None -> ());
+  (match report with
+  | Some r
+    when List.exists
+           (fun (d : Res.diagnostic) -> d.Res.kind = Res.Custom_rule_error)
+           (List.concat_map snd r.quarantined) ->
+      note "a custom lens failed during ingestion: its app's entries are absent"
+  | Some _ | None -> ());
+  let learned_classes =
+    List.sort_uniq compare
+      (List.map
+         (fun (r : Template.rule) -> r.Template.template.Template.tname)
+         model.Detector.rules)
+  in
+  let missing =
+    List.filter
+      (fun (t : Template.t) -> not (List.mem t.Template.tname learned_classes))
+      Template.predefined
+  in
+  if missing <> [] then
+    note "no rules learned for template class(es) %s: their violations cannot \
+          be flagged"
+      (String.concat ", "
+         (List.map (fun (t : Template.t) -> t.Template.tname) missing));
+  { result; notes = List.rev !notes }

@@ -1,14 +1,28 @@
 (** End-to-end EnCore pipeline (paper Figure 2): data collection and
     assembly, rule inference, anomaly detection — one facade over the
-    substrate libraries, parameterized by {!Config}. *)
+    substrate libraries, parameterized by {!Config}.
+
+    Two learning entry points are exposed.  {!learn} is the historical
+    strict path: it assumes a clean corpus and raises on a malformed
+    customization file.  {!learn_resilient} is total: every fallible
+    ingestion step reports through
+    {!Encore_util.Resilience.diagnostic}, damaged images are
+    quarantined instead of killing the run, and the returned
+    {!ingest_report} accounts for every failure. *)
 
 type model = Encore_detect.Detector.model
 
-val learn :
-  ?config:Config.t -> ?custom:string -> Encore_sysenv.Image.t list -> model
+val learn_result :
+  ?config:Config.t -> ?custom:string -> Encore_sysenv.Image.t list ->
+  (model, Encore_util.Resilience.diagnostic) result
 (** Learn a model from training images.  [custom] is the text of a
     customization file (paper Figure 6): its types are registered and
-    its templates used in addition to the predefined ones.
+    its templates used in addition to the predefined ones.  A malformed
+    customization file yields [Error] with kind [Custom_rule_error]. *)
+
+val learn :
+  ?config:Config.t -> ?custom:string -> Encore_sysenv.Image.t list -> model
+(** Raising wrapper over {!learn_result}, kept for API compatibility.
     @raise Invalid_argument when the customization file is malformed. *)
 
 val check :
@@ -20,3 +34,62 @@ val detections :
   ?config:Config.t -> model -> Encore_sysenv.Image.t ->
   Encore_detect.Warning.t list
 (** Warnings at or above the configured detection score. *)
+
+(** {1 Resilient ingestion} *)
+
+type mode =
+  | Keep_going  (** quarantine damaged images, train on the survivors *)
+  | Fail_fast   (** surface the first fatal diagnostic as [Error] *)
+
+type ingest_report = {
+  total : int;            (** images offered for training *)
+  ok : int;               (** images that survived probing and parsing *)
+  quarantined : (string * Encore_util.Resilience.diagnostic list) list;
+      (** image id -> fatal diagnostics, in quarantine order *)
+  retried : int;          (** probe retries performed across the run *)
+  total_backoff_ms : int; (** virtual backoff accumulated by retries *)
+  warnings : Encore_util.Resilience.diagnostic list;
+      (** recoverable diagnostics: skipped config lines, dropped or
+          truncated metadata records, mining overflow *)
+  histogram : (Encore_util.Resilience.error_kind * int) list;
+      (** every diagnostic of the run (fatal and recoverable) counted
+          by kind; total = quarantine diagnostics + warnings *)
+  mining_overflowed : bool;
+}
+
+val default_mining_cap : int
+
+val learn_resilient :
+  ?config:Config.t ->
+  ?custom:string ->
+  ?mode:mode ->
+  ?max_retries:int ->
+  ?flaky:Encore_sysenv.Flaky.t ->
+  ?mining_cap:int ->
+  Encore_sysenv.Image.t list ->
+  (model * ingest_report, Encore_util.Resilience.diagnostic) result
+(** Total learning path.  Each image is probed through [flaky] (default:
+    a reliable simulator — only the image's own flakiness can fail it)
+    with up to [max_retries] deterministic retries, then parsed through
+    the diagnostic lens registry.  Images whose probe never succeeds or
+    whose config payload is damaged are quarantined ([Keep_going],
+    default) or returned as [Error] ([Fail_fast]).  The model is
+    trained on the survivors; an FP-growth capacity probe (cap
+    [mining_cap], default {!default_mining_cap}) sets the model's
+    [overflowed] bit.  [Error] in keep-going mode only for a malformed
+    customization file or a fully-quarantined population.  Never
+    raises. *)
+
+val report_to_string : ingest_report -> string
+
+type degraded_check = {
+  result : Encore_detect.Warning.t list;
+  notes : string list;  (** degradations that limit detection coverage *)
+}
+
+val check_degraded :
+  ?config:Config.t -> ?report:ingest_report -> model ->
+  Encore_sysenv.Image.t -> degraded_check
+(** {!check}, annotated with what the model {e cannot} see: mining
+    overflow, quarantined training images, failed custom lenses, and
+    predefined template classes for which no rule survived learning. *)

@@ -30,6 +30,7 @@ let baseline_model images =
     value_stats;
     known_attrs;
     training_count = List.length images;
+    overflowed = false;
   }
 
 let no_rules_no_types =
@@ -65,6 +66,7 @@ let baseline_env_model images =
     value_stats;
     known_attrs;
     training_count = List.length images;
+    overflowed = false;
   }
 
 let baseline_env_check model img = Detector.check ~checks:no_rules model img

@@ -18,6 +18,7 @@ type model = {
   value_stats : (string * string list) list;
   known_attrs : string list;
   training_count : int;
+  overflowed : bool;
 }
 
 let model_of_training ?(params = Rinfer.default_params) ?templates
@@ -51,6 +52,7 @@ let model_of_training ?(params = Rinfer.default_params) ?templates
     value_stats;
     known_attrs;
     training_count = List.length training;
+    overflowed = false;
   }
 
 let learn ?params ?templates ?entropy_threshold images =

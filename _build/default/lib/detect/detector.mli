@@ -23,6 +23,11 @@ type model = {
       (** attribute -> distinct training values *)
   known_attrs : string list;
   training_count : int;
+  overflowed : bool;
+      (** true when itemset mining hit its capacity cap during learning,
+          so the rule set may be incomplete (degraded mode).  Constructors
+          set [false]; the resilient pipeline flips it after its mining
+          capacity probe. *)
 }
 
 val learn :

@@ -25,6 +25,7 @@ let to_string (m : Detector.model) =
   Buffer.add_string buf (Printf.sprintf "%s %s\n" magic version);
   Buffer.add_string buf
     (Printf.sprintf "%s\n%d\n" (section "meta") m.Detector.training_count);
+  if m.Detector.overflowed then Buffer.add_string buf "overflowed\n";
   Buffer.add_string buf (section "types");
   Buffer.add_char buf '\n';
   List.iter
@@ -133,11 +134,15 @@ let of_string text =
   in
   match lines with
   | header :: rest when header = magic ^ " " ^ version ->
-      let* meta, rest =
+      let* (meta, overflowed), rest =
         match rest with
         | "@meta" :: count :: rest -> (
             match int_of_string_opt count with
-            | Some n -> Ok (n, rest)
+            | Some n -> (
+                (* "overflowed" marker is optional for older model files *)
+                match rest with
+                | "overflowed" :: rest -> Ok ((n, true), rest)
+                | rest -> Ok ((n, false), rest))
             | None -> Error ("bad training count: " ^ count))
         | _ -> Error "missing @meta section"
       in
@@ -182,7 +187,7 @@ let of_string text =
         Ok
           {
             Detector.types; rules; value_stats; known_attrs = attrs;
-            training_count = meta;
+            training_count = meta; overflowed;
           }
   | header :: _ -> Error ("unsupported model header: " ^ header)
   | [] -> Error "empty model file"

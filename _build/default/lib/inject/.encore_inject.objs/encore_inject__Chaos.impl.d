@@ -1,0 +1,1 @@
+lib/inject/chaos.ml: Encore_sysenv Encore_util Fault Float Fun List Printf Prng String

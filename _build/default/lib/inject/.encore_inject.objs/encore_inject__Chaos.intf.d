@@ -1,0 +1,1 @@
+lib/inject/chaos.mli: Encore_sysenv Encore_util Fault

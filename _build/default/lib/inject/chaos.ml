@@ -1,0 +1,91 @@
+open Encore_util
+module Image = Encore_sysenv.Image
+
+type victim = { image_id : string; injection : Fault.injection }
+
+type storm_report = { images : Image.t list; victims : victim list }
+
+let garbage = "\x00\x01\x02\x03\x04\x05\x06\x07"
+
+let pick_config rng (img : Image.t) =
+  match List.filter (fun (c : Image.config_file) -> c.text <> "") img.configs with
+  | [] -> None
+  | candidates -> Some (Prng.pick rng candidates)
+
+(* Longest prefix of [text] of length <= cut that does not end in a
+   newline; None when no such non-empty prefix exists. *)
+let truncate_at text cut =
+  let rec back i = if i > 0 && text.[i - 1] = '\n' then back (i - 1) else i in
+  match back cut with 0 -> None | i -> Some (String.sub text 0 i)
+
+let corrupt_one rng kind (img : Image.t) =
+  match kind with
+  | Fault.Probe_flap ->
+      Some
+        ( Image.with_flakiness img 1.0,
+          { Fault.fault = Fault.Pipeline_fault kind;
+            target_attr = img.image_id;
+            before = Printf.sprintf "flakiness=%.2f" img.flakiness;
+            after = "flakiness=1.00" } )
+  | Fault.Truncated_file -> (
+      match pick_config rng img with
+      | None -> None
+      | Some cf -> (
+          let len = String.length cf.text in
+          if len < 2 then None
+          else
+            match truncate_at cf.text (Prng.int_in rng 1 (len - 1)) with
+            | None -> None
+            | Some cut ->
+                Some
+                  ( Image.set_config img cf.app cut,
+                    { Fault.fault = Fault.Pipeline_fault kind;
+                      target_attr = cf.path;
+                      before = Printf.sprintf "%d bytes" len;
+                      after = Printf.sprintf "%d bytes, no trailing newline"
+                          (String.length cut) } )))
+  | Fault.Garbage_bytes -> (
+      match pick_config rng img with
+      | None -> None
+      | Some cf ->
+          let pos = Prng.int rng (String.length cf.text) in
+          let text =
+            String.sub cf.text 0 pos ^ garbage
+            ^ String.sub cf.text pos (String.length cf.text - pos)
+          in
+          Some
+            ( Image.set_config img cf.app text,
+              { Fault.fault = Fault.Pipeline_fault kind;
+                target_attr = cf.path;
+                before = "clean";
+                after = Printf.sprintf "%d control bytes at offset %d"
+                    (String.length garbage) pos } ))
+
+let storm ?(fraction = 0.3) ?(faults = Fault.all_pipeline_faults) ~rng images =
+  let n = List.length images in
+  let k =
+    if n = 0 || fraction <= 0.0 then 0
+    else max 1 (int_of_float (Float.round (fraction *. float_of_int n)))
+  in
+  let chosen = Prng.sample rng k (List.init n Fun.id) in
+  let images, victims =
+    List.fold_left
+      (fun (imgs, vs) (i, img) ->
+        if not (List.mem i chosen) then (img :: imgs, vs)
+        else
+          let kind = Prng.pick rng faults in
+          match corrupt_one rng kind img with
+          | Some (img', injection) ->
+              (img' :: imgs, { image_id = img.Image.image_id; injection } :: vs)
+          | None -> (
+              (* the drawn fault cannot apply (e.g. no config files);
+                 probe-flap always can, so every chosen victim is hit *)
+              match corrupt_one rng Fault.Probe_flap img with
+              | Some (img', injection) ->
+                  (img' :: imgs,
+                   { image_id = img.Image.image_id; injection } :: vs)
+              | None -> (img :: imgs, vs)))
+      ([], [])
+      (List.mapi (fun i img -> (i, img)) images)
+  in
+  { images = List.rev images; victims = List.rev victims }

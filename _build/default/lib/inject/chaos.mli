@@ -1,0 +1,50 @@
+(** Pipeline-level chaos injection.
+
+    Where {!Conferr} perturbs configuration *semantics* (plausible but
+    wrong settings), this module damages the ingestion *channel*: bytes
+    on disk and the probe transport.  A chaos-stormed population is the
+    adversarial input for the resilient learning path — each victim
+    must be quarantined rather than silently folded into training. *)
+
+type victim = {
+  image_id : string;
+  injection : Fault.injection;
+}
+
+type storm_report = {
+  images : Encore_sysenv.Image.t list;
+      (** the full population, victims replaced by their damaged form,
+          original order preserved *)
+  victims : victim list;
+      (** one entry per damaged image, in population order *)
+}
+
+val corrupt_one :
+  Encore_util.Prng.t ->
+  Fault.pipeline_fault ->
+  Encore_sysenv.Image.t ->
+  (Encore_sysenv.Image.t * Fault.injection) option
+(** Apply one pipeline fault to an image.
+
+    - [Truncated_file]: cut a config file mid-line so the text no longer
+      ends in a newline (the renderers always emit a trailing newline,
+      so this is detectable by {!Encore_util.Resilience.scan_text});
+    - [Garbage_bytes]: splice raw control bytes into a config file;
+    - [Probe_flap]: set the image's flakiness to 1.0 so every probe
+      pass fails even after retries.
+
+    Returns [None] when the fault cannot apply (image carries no config
+    files, or the chosen file is too short to truncate). *)
+
+val storm :
+  ?fraction:float ->
+  ?faults:Fault.pipeline_fault list ->
+  rng:Encore_util.Prng.t ->
+  Encore_sysenv.Image.t list ->
+  storm_report
+(** Damage [fraction] (default 0.3) of the population, each victim
+    getting one fault drawn uniformly from [faults] (default
+    {!Fault.all_pipeline_faults}).  Victim selection and fault choice
+    are deterministic in [rng].  The victim count is
+    [max 1 (round (fraction * n))] for non-empty populations with
+    [fraction > 0]. *)

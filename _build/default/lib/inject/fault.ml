@@ -9,7 +9,12 @@ type config_fault =
 
 type env_fault = Chown_flip | Perm_flip | Symlink_inject
 
-type fault = Config_fault of config_fault | Env_fault of env_fault
+type pipeline_fault = Truncated_file | Garbage_bytes | Probe_flap
+
+type fault =
+  | Config_fault of config_fault
+  | Env_fault of env_fault
+  | Pipeline_fault of pipeline_fault
 
 let fault_to_string = function
   | Config_fault Key_typo -> "key-typo"
@@ -22,12 +27,16 @@ let fault_to_string = function
   | Env_fault Chown_flip -> "chown-flip"
   | Env_fault Perm_flip -> "perm-flip"
   | Env_fault Symlink_inject -> "symlink-inject"
+  | Pipeline_fault Truncated_file -> "truncated-file"
+  | Pipeline_fault Garbage_bytes -> "garbage-bytes"
+  | Pipeline_fault Probe_flap -> "probe-flap"
 
 let all_config_faults =
   [ Key_typo; Value_typo; Wrong_path; Path_to_file; Wrong_user; Value_swap;
     Size_inversion ]
 
 let all_env_faults = [ Chown_flip; Perm_flip; Symlink_inject ]
+let all_pipeline_faults = [ Truncated_file; Garbage_bytes; Probe_flap ]
 
 type injection = {
   fault : fault;

@@ -22,11 +22,25 @@ type env_fault =
   | Perm_flip        (** remove read bits on a config-referenced path *)
   | Symlink_inject   (** drop a symlink into a served directory *)
 
-type fault = Config_fault of config_fault | Env_fault of env_fault
+type pipeline_fault =
+  | Truncated_file   (** cut a config file short mid-write *)
+  | Garbage_bytes    (** splice raw control bytes into a config file *)
+  | Probe_flap       (** make every environment probe against the image fail *)
+
+type fault =
+  | Config_fault of config_fault
+  | Env_fault of env_fault
+  | Pipeline_fault of pipeline_fault
+      (** *Pipeline faults* damage the ingestion channel rather than the
+          configuration semantics: the bytes on disk or the probe
+          transport.  They never produce a plausible-but-wrong config,
+          only an unreadable one, so the resilient pipeline must
+          quarantine (not mis-learn from) their victims. *)
 
 val fault_to_string : fault -> string
 val all_config_faults : config_fault list
 val all_env_faults : env_fault list
+val all_pipeline_faults : pipeline_fault list
 
 type injection = {
   fault : fault;

@@ -1,0 +1,1 @@
+lib/sysenv/flaky.ml: Collector Encore_util Image List Printf

@@ -1,0 +1,1 @@
+lib/sysenv/flaky.mli: Collector Encore_util Image

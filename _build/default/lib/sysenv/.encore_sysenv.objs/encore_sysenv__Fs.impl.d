@@ -1,1 +1,1 @@
-lib/sysenv/fs.ml: Encore_util List Map String
+lib/sysenv/fs.ml: Encore_util List Map Result String

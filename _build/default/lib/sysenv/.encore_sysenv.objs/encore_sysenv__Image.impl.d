@@ -1,1 +1,1 @@
-lib/sysenv/image.ml: Accounts Fs Hostinfo List Services
+lib/sysenv/image.ml: Accounts Float Fs Hostinfo List Services

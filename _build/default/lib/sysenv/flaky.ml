@@ -1,0 +1,62 @@
+module Prng = Encore_util.Prng
+module Res = Encore_util.Resilience
+
+type t = {
+  rng : Prng.t;
+  flap : float;
+  drop_record : float;
+  truncate_record : float;
+}
+
+let make ?(flap = 0.0) ?(drop_record = 0.0) ?(truncate_record = 0.0) ~rng () =
+  { rng; flap; drop_record; truncate_record }
+
+let reliable ~rng = make ~rng ()
+
+(* A flap is transient unless the image itself is permanently broken:
+   combine the simulator's rate with the image's own flakiness as
+   independent failure sources. *)
+let flap_rate t (img : Image.t) =
+  1.0 -. ((1.0 -. t.flap) *. (1.0 -. img.Image.flakiness))
+
+let truncate_fields fields =
+  List.filteri (fun i _ -> 2 * i < List.length fields) fields
+
+let collect t (img : Image.t) =
+  if Prng.chance t.rng (flap_rate t img) then
+    Error
+      (Res.diag Res.Probe_failure ~subject:img.Image.image_id
+         (Printf.sprintf "environment probe flapped (flakiness %.2f)"
+            (flap_rate t img)))
+  else
+    let records = Collector.collect img in
+    let diags = ref [] in
+    let surviving =
+      List.filter_map
+        (fun (r : Collector.record) ->
+          let subject =
+            Printf.sprintf "%s:%s/%s" img.Image.image_id r.Collector.section
+              r.Collector.key
+          in
+          if Prng.chance t.rng t.drop_record then begin
+            diags :=
+              Res.diag Res.Probe_failure ~subject "unreadable metadata: dropped"
+              :: !diags;
+            None
+          end
+          else if Prng.chance t.rng t.truncate_record then begin
+            diags :=
+              Res.diag Res.Probe_failure ~subject
+                (Printf.sprintf "truncated record: %d of %d fields readable"
+                   (List.length (truncate_fields r.Collector.fields))
+                   (List.length r.Collector.fields))
+              :: !diags;
+            Some { r with Collector.fields = truncate_fields r.Collector.fields }
+          end
+          else Some r)
+        records
+    in
+    Ok (surviving, List.rev !diags)
+
+let collect_with_retries ?max_retries t img =
+  Res.with_retries ?max_retries ~rng:t.rng (fun ~attempt:_ -> collect t img)

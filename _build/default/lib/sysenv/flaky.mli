@@ -1,0 +1,50 @@
+(** Flaky environment simulator: a fault-injecting wrapper around the
+    {!Collector} probe layer.
+
+    Real image corpora are collected over networks from sources that
+    flap, throttle and serve partially-readable metadata.  This module
+    reproduces those failure modes deterministically (PRNG-seeded) on
+    top of the band-2 synthetic substrate, so the resilient ingestion
+    path can be exercised and measured:
+
+    - a whole collection pass may {e flap} (transient probe failure —
+      retrying may succeed), driven by the simulator's [flap] rate
+      combined with the image's own [flakiness];
+    - individual metadata records may be {e unreadable} (dropped with a
+      diagnostic) or {e truncated} (fields cut short, kept with a
+      diagnostic). *)
+
+type t
+
+val make :
+  ?flap:float ->
+  ?drop_record:float ->
+  ?truncate_record:float ->
+  rng:Encore_util.Prng.t ->
+  unit -> t
+(** [flap] is the whole-pass transient failure rate, [drop_record] the
+    per-record unreadable-metadata rate, [truncate_record] the
+    per-record field-truncation rate; each defaults to 0. *)
+
+val reliable : rng:Encore_util.Prng.t -> t
+(** No simulator-injected faults; only the image's own [flakiness]
+    still applies. *)
+
+val collect :
+  t -> Image.t ->
+  (Collector.record list * Encore_util.Resilience.diagnostic list,
+   Encore_util.Resilience.diagnostic)
+  result
+(** One probe pass.  [Error] is a whole-pass flap ([Probe_failure]);
+    [Ok (records, diags)] carries the surviving records plus one
+    recoverable [Probe_failure] diagnostic per dropped or truncated
+    record. *)
+
+val collect_with_retries :
+  ?max_retries:int -> t -> Image.t ->
+  (Collector.record list * Encore_util.Resilience.diagnostic list)
+  Encore_util.Resilience.attempt
+(** {!collect} under {!Encore_util.Resilience.with_retries}: flaps are
+    retried with deterministic backoff (default 3 retries); a
+    permanently flapping image ([flakiness = 1.0]) exhausts its retries
+    and surfaces the final [Probe_failure]. *)

@@ -20,11 +20,41 @@ let root_meta =
 
 let empty = Smap.add "/" root_meta Smap.empty
 
+(* Collector dumps and config values arrive with cosmetic noise: "./"
+   prefixes, trailing or doubled slashes, "." and ".." components.
+   Canonicalization absorbs what is unambiguous and reports the rest as
+   a typed error instead of raising. *)
+let canonicalize path =
+  if path = "" then Error "empty path"
+  else
+    (* a leading "./" before an absolute remainder is droppable noise *)
+    let rec strip_dot p =
+      if Encore_util.Strutil.starts_with ~prefix:"./" p then
+        strip_dot (String.sub p 2 (String.length p - 2))
+      else p
+    in
+    let p = strip_dot path in
+    if p = "" || p.[0] <> '/' then
+      Error ("path must be absolute: " ^ path)
+    else
+      let rec resolve acc = function
+        | [] -> Ok (List.rev acc)
+        | "." :: rest -> resolve acc rest
+        | ".." :: rest -> (
+            match acc with
+            | _ :: parent -> resolve parent rest
+            | [] -> Error ("path escapes the root: " ^ path))
+        | comp :: rest -> resolve (comp :: acc) rest
+      in
+      match resolve [] (Encore_util.Strutil.path_components p) with
+      | Error e -> Error e
+      | Ok [] -> Ok "/"
+      | Ok comps -> Ok ("/" ^ String.concat "/" comps)
+
 let normalize path =
-  if path = "" || path.[0] <> '/' then
-    invalid_arg ("Fs: path must be absolute: " ^ path);
-  let comps = Encore_util.Strutil.path_components path in
-  if comps = [] then "/" else "/" ^ String.concat "/" comps
+  match canonicalize path with
+  | Ok p -> p
+  | Error e -> invalid_arg ("Fs: " ^ e)
 
 let parent path = Encore_util.Strutil.dirname path
 
@@ -54,7 +84,7 @@ let add_symlink ?(owner = "root") ?(group = "root") fs path ~target =
   add fs path { owner; group; perm = 0o777; size = 0; kind = Symlink target }
 
 let remove fs path =
-  let path = try normalize path with Invalid_argument _ -> "" in
+  let path = Result.value ~default:"" (canonicalize path) in
   if path = "/" || path = "" then fs
   else
     let prefix = path ^ "/" in
@@ -63,9 +93,9 @@ let remove fs path =
       fs
 
 let lookup fs path =
-  match normalize path with
-  | exception Invalid_argument _ -> None
-  | p -> Smap.find_opt p fs
+  match canonicalize path with
+  | Error _ -> None
+  | Ok p -> Smap.find_opt p fs
 
 let rec resolve_n fs path n =
   if n = 0 then None
@@ -89,9 +119,9 @@ let is_file fs path =
   | Some _ | None -> false
 
 let children fs path =
-  match normalize path with
-  | exception Invalid_argument _ -> []
-  | p ->
+  match canonicalize path with
+  | Error _ -> []
+  | Ok p ->
       let prefix = if p = "/" then "/" else p ^ "/" in
       Smap.fold
         (fun q _ acc ->

@@ -25,10 +25,18 @@ type t
 val empty : t
 (** Just the root directory, owned by root:root with mode 0755. *)
 
+val canonicalize : string -> (string, string) result
+(** Normalize a path to canonical absolute form: a droppable leading
+    ["./"], doubled or trailing slashes and ["."] components are
+    absorbed; ["..]"] components resolve against their parent.  Typed
+    errors (instead of an exception) for the unsafe cases: the empty
+    path, a genuinely relative path, or [".."] escaping the root. *)
+
 val add : t -> string -> meta -> t
 (** [add fs path meta] inserts or replaces the node at [path], creating
-    any missing parent directories (root-owned, 0755).
-    @raise Invalid_argument if [path] is not absolute. *)
+    any missing parent directories (root-owned, 0755).  The path is
+    normalized with {!canonicalize} first.
+    @raise Invalid_argument if [path] does not canonicalize. *)
 
 val add_dir :
   ?owner:string -> ?group:string -> ?perm:int -> t -> string -> t

@@ -1,0 +1,1 @@
+lib/util/resilience.ml: Char Hashtbl List Option Printf Prng String

@@ -1,0 +1,116 @@
+type error_kind =
+  | Parse_error
+  | Probe_failure
+  | Corrupt_image
+  | Overflow
+  | Custom_rule_error
+
+let all_kinds =
+  [ Parse_error; Probe_failure; Corrupt_image; Overflow; Custom_rule_error ]
+
+let kind_to_string = function
+  | Parse_error -> "parse-error"
+  | Probe_failure -> "probe-failure"
+  | Corrupt_image -> "corrupt-image"
+  | Overflow -> "overflow"
+  | Custom_rule_error -> "custom-rule-error"
+
+let kind_of_string = function
+  | "parse-error" -> Some Parse_error
+  | "probe-failure" -> Some Probe_failure
+  | "corrupt-image" -> Some Corrupt_image
+  | "overflow" -> Some Overflow
+  | "custom-rule-error" -> Some Custom_rule_error
+  | _ -> None
+
+type diagnostic = { kind : error_kind; subject : string; detail : string }
+
+let diag kind ~subject detail = { kind; subject; detail }
+
+let diagnostic_to_string d =
+  Printf.sprintf "[%s] %s: %s" (kind_to_string d.kind) d.subject d.detail
+
+let histogram diags =
+  List.map
+    (fun kind ->
+      (kind, List.length (List.filter (fun d -> d.kind = kind) diags)))
+    all_kinds
+
+let histogram_total h = List.fold_left (fun acc (_, n) -> acc + n) 0 h
+
+(* --- integrity scanning ------------------------------------------------- *)
+
+let control_byte c =
+  match c with '\n' | '\t' | '\r' -> false | c -> Char.code c < 0x20
+
+let scan_text ~subject text =
+  let n = String.length text in
+  let garbage = ref 0 in
+  String.iter (fun c -> if control_byte c then incr garbage) text;
+  let corrupt =
+    if !garbage > 0 then
+      [ diag Corrupt_image ~subject
+          (Printf.sprintf "%d garbage byte(s) in %d-byte payload" !garbage n) ]
+    else []
+  in
+  let truncated =
+    if n > 0 && text.[n - 1] <> '\n' then
+      [ diag Parse_error ~subject "truncated: payload ends mid-record" ]
+    else []
+  in
+  corrupt @ truncated
+
+(* --- deterministic retry ------------------------------------------------ *)
+
+type 'a attempt = {
+  outcome : ('a, diagnostic) result;
+  retries : int;
+  backoff_ms : int;
+}
+
+let with_retries ?(max_retries = 3) ?(base_delay_ms = 10)
+    ?(retry_on = [ Probe_failure ]) ~rng f =
+  let rec go attempt backoff =
+    match f ~attempt with
+    | Ok v -> { outcome = Ok v; retries = attempt; backoff_ms = backoff }
+    | Error d when attempt < max_retries && List.mem d.kind retry_on ->
+        (* exponential backoff with jitter, accumulated virtually: the
+           schedule is part of the deterministic experiment, not a sleep *)
+        let delay =
+          (base_delay_ms * (1 lsl attempt)) + Prng.int rng (max 1 base_delay_ms)
+        in
+        go (attempt + 1) (backoff + delay)
+    | Error d -> { outcome = Error d; retries = attempt; backoff_ms = backoff }
+  in
+  go 0 0
+
+(* --- circuit breaker ---------------------------------------------------- *)
+
+type breaker = {
+  threshold : int;
+  failures : (string, diagnostic list) Hashtbl.t;
+  mutable trip_order : string list;  (* reverse order of first trip *)
+}
+
+let breaker ?(threshold = 3) () =
+  { threshold; failures = Hashtbl.create 16; trip_order = [] }
+
+let record_failure b ~subject d =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt b.failures subject) in
+  let now = d :: prev in
+  Hashtbl.replace b.failures subject now;
+  if List.length now = b.threshold then b.trip_order <- subject :: b.trip_order
+
+let record_success b ~subject = Hashtbl.remove b.failures subject
+
+let tripped b ~subject =
+  match Hashtbl.find_opt b.failures subject with
+  | Some ds -> List.length ds >= b.threshold
+  | None -> false
+
+let quarantined b =
+  List.rev_map
+    (fun subject ->
+      (subject,
+       List.rev (Option.value ~default:[] (Hashtbl.find_opt b.failures subject))))
+    b.trip_order

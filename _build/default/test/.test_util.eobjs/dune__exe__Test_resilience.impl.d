@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Encore Encore_confparse Encore_detect Encore_inject Encore_sysenv Encore_util Encore_workloads List Printf Result

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Lint gate for library code.  The build itself (dev profile) already
+# promotes warnings -- including partial matches -- to errors; this
+# script rejects the raising idioms the compiler cannot see.  Library
+# code reports failures through Resilience.diagnostic; only bin/ and
+# test/ may abort the process.
+set -u
+
+bad=0
+
+if grep -rn 'failwith' lib --include='*.ml'; then
+  echo 'lint: failwith is banned in lib/ — report a typed Resilience error instead' >&2
+  bad=1
+fi
+
+if grep -rn 'Obj\.magic' lib --include='*.ml'; then
+  echo 'lint: Obj.magic is banned' >&2
+  bad=1
+fi
+
+if grep -rn 'exit [0-9]' lib --include='*.ml'; then
+  echo 'lint: library code must not exit the process' >&2
+  bad=1
+fi
+
+exit "$bad"

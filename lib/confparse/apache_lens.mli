@@ -18,6 +18,12 @@
 
 val parse : app:string -> string -> Kv.t list
 
+val parse_diag : app:string -> string -> Kv.t list * (int * string) list
+(** Like {!parse}, additionally returning one [(line, message)]
+    diagnostic per structural problem (unmatched closing tag, empty
+    opening tag, sections left unclosed at end of file).  Bad lines are
+    skipped, never fatal. *)
+
 val render : app:string -> Kv.t list -> string
 (** Regenerate a canonical httpd.conf; [parse (render kvs)] preserves
     keys and values. *)

@@ -23,8 +23,10 @@ let unquote v =
   if n >= 2 && v.[0] = '"' && v.[n - 1] = '"' then String.sub v 1 (n - 2)
   else v
 
-let parse ~app text =
+let parse_diag ~app text =
   let lines = String.split_on_char '\n' text in
+  let diags = ref [] in
+  let skip lineno message = diags := (lineno, message) :: !diags in
   let _, kvs =
     List.fold_left
       (fun (section, acc) (lineno, raw) ->
@@ -34,7 +36,9 @@ let parse ~app text =
           match String.index_opt line ']' with
           | Some close when close > 1 ->
               (String.trim (String.sub line 1 (close - 1)), acc)
-          | Some _ | None -> (section, acc)
+          | Some _ | None ->
+              skip lineno ("malformed section header: " ^ line);
+              (section, acc)
         else if line.[0] = '!' then (section, acc) (* !include etc. *)
         else
           match String.index_opt line '=' with
@@ -43,7 +47,10 @@ let parse ~app text =
               let value =
                 String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
               in
-              if key = "" then (section, acc)
+              if key = "" then begin
+                skip lineno ("entry with empty key: " ^ line);
+                (section, acc)
+              end
               else
                 let qkey = Kv.qualify ~app [ section; key ] in
                 (section, Kv.make ~line:lineno qkey (unquote value) :: acc)
@@ -54,7 +61,9 @@ let parse ~app text =
       ("main", [])
       (List.mapi (fun i l -> (i + 1, l)) lines)
   in
-  List.rev kvs
+  (List.rev kvs, List.rev !diags)
+
+let parse ~app text = fst (parse_diag ~app text)
 
 let render ~app kvs =
   let mine =

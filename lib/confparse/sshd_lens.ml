@@ -66,9 +66,10 @@ let split_kw line =
    sshd/Subsystem[sftp]/arg2.  Single-argument lines stay plain. *)
 let split_args v = Encore_util.Strutil.split_on ' ' v
 
-let parse ~app text =
+let parse_diag ~app text =
   let lines = String.split_on_char '\n' text in
   let kvs = ref [] in
+  let diags = ref [] in
   let match_scope = ref None in
   List.iteri
     (fun idx raw ->
@@ -77,7 +78,8 @@ let parse ~app text =
       if line = "" || line.[0] = '#' then ()
       else
         match split_kw line with
-        | None -> ()
+        | None ->
+            diags := (lineno, "keyword without argument: " ^ line) :: !diags
         | Some (k, v) ->
             let k = canon k in
             if k = "Match" then
@@ -104,7 +106,9 @@ let parse ~app text =
                    let parts = scope_prefix @ [ k ] in
                    kvs := Kv.make ~line:lineno (Kv.qualify ~app parts) v :: !kvs))
     lines;
-  List.rev !kvs
+  (List.rev !kvs, List.rev !diags)
+
+let parse ~app text = fst (parse_diag ~app text)
 
 (* Split a key on '/' outside bracket arguments (the Match scope or a
    multi-argument first argument may contain slashes). *)

@@ -29,13 +29,14 @@ type t = {
   hardware : Hostinfo.hardware option;
   os : Hostinfo.os;
   configs : config_file list;
+  flakiness : float;
 }
 
 let make ?(hostname = "localhost") ?(ip_address = "10.0.0.1")
     ?(fs_type = "ext4") ?(fs = Fs.empty) ?(accounts = Accounts.base)
     ?(services = Services.base) ?(env_vars = [])
     ?(hardware = Some Hostinfo.default_hardware) ?(os = Hostinfo.default_os)
-    ~id configs =
+    ?(flakiness = 0.0) ~id configs =
   {
     image_id = id;
     hostname;
@@ -48,6 +49,7 @@ let make ?(hostname = "localhost") ?(ip_address = "10.0.0.1")
     hardware;
     os;
     configs;
+    flakiness;
   }
 
 let config_for t app = List.find_opt (fun c -> c.app = app) t.configs
@@ -59,5 +61,8 @@ let set_config t app text =
   { t with configs }
 
 let with_fs t fs = { t with fs }
+
+let with_flakiness t flakiness =
+  { t with flakiness = Float.max 0.0 (Float.min 1.0 flakiness) }
 
 let env_var t name = List.assoc_opt name t.env_vars

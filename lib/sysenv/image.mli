@@ -27,6 +27,10 @@ type t = {
       (** [None] for dormant images such as EC2 templates. *)
   os : Hostinfo.os;
   configs : config_file list;
+  flakiness : float;
+      (** Probability that one environment probe against this image
+          fails transiently (damaged or heavily loaded source); [1.0]
+          means probes always fail.  [0.0] for healthy images. *)
 }
 
 val make :
@@ -34,6 +38,7 @@ val make :
   ?fs:Fs.t -> ?accounts:Accounts.t -> ?services:Services.t ->
   ?env_vars:(string * string) list ->
   ?hardware:Hostinfo.hardware option -> ?os:Hostinfo.os ->
+  ?flakiness:float ->
   id:string -> config_file list -> t
 
 val config_for : t -> app -> config_file option
@@ -41,4 +46,8 @@ val set_config : t -> app -> string -> t
 (** Replace the config text for [app]; no-op when the app is absent. *)
 
 val with_fs : t -> Fs.t -> t
+
+val with_flakiness : t -> float -> t
+(** Set the probe-failure probability, clamped to [0,1]. *)
+
 val env_var : t -> string -> string option
