@@ -11,7 +11,9 @@
    tests run at test scale so the whole exe stays in CI territory.
 
    Run with: dune exec bench/main.exe
-   Skip timing with: dune exec bench/main.exe -- --tables-only *)
+   Skip timing with: dune exec bench/main.exe -- --tables-only
+   Per-stage wall-time of one paper-scale learn/check run:
+   dune exec bench/main.exe -- --stage-times *)
 
 open Bechamel
 open Toolkit
@@ -63,7 +65,9 @@ let fixture_transactions =
     (let assembled = Lazy.force fixture_assembled in
      Encore_dataset.Discretize.transactions assembled.Assemble.table)
 
-let table_tests =
+(* built lazily per invocation so that --tables-only and --stage-times
+   never pay for Bechamel test setup *)
+let table_tests () =
   [ Test.make ~name:"table1" (Staged.stage (fun () -> Experiments.table1 ()));
     Test.make ~name:"table2" (Staged.stage (fun () -> Experiments.table2 ~scale ()));
     Test.make ~name:"table3" (Staged.stage (fun () -> Experiments.table3 ~scale ()));
@@ -74,7 +78,7 @@ let table_tests =
     Test.make ~name:"table12" (Staged.stage (fun () -> Experiments.table12 ~scale ()));
     Test.make ~name:"table13" (Staged.stage (fun () -> Experiments.table13 ~scale ())) ]
 
-let stage_tests =
+let stage_tests () =
   [ Test.make ~name:"parse-image"
       (Staged.stage (fun () ->
            Encore_confparse.Registry.parse_image (Lazy.force fixture_target)));
@@ -110,7 +114,12 @@ let stage_tests =
     Test.make ~name:"testgen-all-rules"
       (Staged.stage (fun () ->
            Encore.Testgen.generate (Lazy.force fixture_model)
-             (Lazy.force fixture_target))) ]
+             (Lazy.force fixture_target)));
+    (* instrumented path with the nil trace sink: its cost must stay
+       within noise of the uninstrumented stages above *)
+    Test.make ~name:"learn-resilient-25"
+      (Staged.stage (fun () ->
+           Encore.Pipeline.learn_resilient (Lazy.force fixture_images))) ]
 
 let run_benchmarks () =
   (* force fixtures outside the timed region *)
@@ -124,7 +133,7 @@ let run_benchmarks () =
   in
   let instances = Instance.[ monotonic_clock ] in
   let tests =
-    Test.make_grouped ~name:"encore" ~fmt:"%s/%s" (table_tests @ stage_tests)
+    Test.make_grouped ~name:"encore" ~fmt:"%s/%s" (table_tests () @ stage_tests ())
   in
   let raw = Benchmark.all cfg instances tests in
   let ols =
@@ -144,7 +153,42 @@ let run_benchmarks () =
       Printf.printf "  %-32s %12.0f ns/run  (%8.3f ms)\n" name ns (ns /. 1e6))
     (List.sort compare !rows)
 
+(* --- per-stage wall time of one paper-scale run ---------------------------- *)
+
+let print_stage_times () =
+  let module Trace = Encore_obs.Trace in
+  let module Summary = Encore_obs.Summary in
+  let n =
+    match List.assoc_opt Image.Mysql Population.paper_training_sizes with
+    | Some n -> n
+    | None -> 100
+  in
+  Printf.printf
+    "=== Per-stage wall time: learn + check, mysql, n=%d (paper scale) ===\n\n"
+    n;
+  let images = Population.clean (Population.generate ~seed:7 Image.Mysql ~n) in
+  let target =
+    Population.generator_for Image.Mysql Profile.ec2
+      (Encore_util.Prng.create 4242) ~id:"bench-target"
+  in
+  Trace.set_sink Trace.Memory;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_sink Trace.Nil;
+      Trace.clear ())
+    (fun () ->
+      (match Encore.Pipeline.learn_resilient images with
+       | Ok (model, _report) -> ignore (Detector.check model target)
+       | Error d ->
+           prerr_endline
+             ("learn failed: " ^ Encore_util.Resilience.diagnostic_to_string d);
+           exit 1);
+      print_string (Summary.to_string (Summary.of_spans (Trace.roots ()))))
+
 let () =
-  let tables_only = Array.exists (fun a -> a = "--tables-only") Sys.argv in
-  print_tables ();
-  if not tables_only then run_benchmarks ()
+  let has flag = Array.exists (fun a -> a = flag) Sys.argv in
+  if has "--stage-times" then print_stage_times ()
+  else begin
+    print_tables ();
+    if not (has "--tables-only") then run_benchmarks ()
+  end

@@ -13,7 +13,11 @@
      export       write the assembled attribute table as CSV
      save         learn a model and serialize it to a file
      load-check   load a serialized model and check an image (--advise)
-     testgen      generate rule-violating configuration test cases *)
+     testgen      generate rule-violating configuration test cases
+     trace        summarize a JSONL trace (per-stage time breakdown)
+
+   learn, check and chaos accept --trace FILE (JSONL span/event export)
+   and --metrics (print the metric registry after the run). *)
 
 module Population = Encore_workloads.Population
 module Profile = Encore_workloads.Profile
@@ -73,6 +77,54 @@ let learn_model ?custom ~seed ~profile app n =
   let custom = Option.map read_file custom in
   (Encore.Pipeline.learn ?custom images, List.length images)
 
+(* --- telemetry plumbing -------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Export spans and events of the run as JSONL to $(docv) \
+                 (inspect with 'trace summarize').")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the telemetry metric registry (counters, gauges, \
+                 latency histograms) after the run.")
+
+(* Wire the global telemetry sinks around [f].  With --trace, spans and
+   events stream to a JSONL file; with --metrics alone, spans are still
+   timed (into the span_us.* histograms) but discarded.  [f] returns an
+   exit code so teardown — closing the trace file — happens before any
+   [exit]. *)
+let with_telemetry ~trace ~metrics f =
+  let oc = Option.map open_out trace in
+  (match oc with
+   | Some oc ->
+       Encore_obs.Events.set_sink (Encore_obs.Events.Channel oc);
+       Encore_obs.Events.stream_spans ()
+   | None ->
+       if metrics then
+         Encore_obs.Trace.set_sink (Encore_obs.Trace.Stream (fun _ -> ())));
+  let code =
+    Fun.protect
+      ~finally:(fun () ->
+        Encore_obs.Trace.set_sink Encore_obs.Trace.Nil;
+        Encore_obs.Events.set_sink Encore_obs.Events.Nil;
+        Option.iter close_out oc)
+      f
+  in
+  if metrics then begin
+    print_newline ();
+    print_string
+      (Encore_util.Texttab.render ~title:"telemetry metrics"
+         ~header:[ "metric"; "kind"; "value" ]
+         (Encore_obs.Metrics.rows (Encore_obs.Metrics.snapshot ())))
+  end;
+  (match trace with
+   | Some path -> Printf.printf "trace written to %s\n" path
+   | None -> ());
+  if code <> 0 then exit code
+
 (* --- generate ------------------------------------------------------------ *)
 
 let generate seed profile app n =
@@ -122,7 +174,8 @@ let chaos_frac_arg =
                  pipeline faults (truncation, garbage bytes, probe flaps) \
                  before learning.")
 
-let learn seed profile app n custom mode max_retries chaos_frac =
+let learn seed profile app n custom mode max_retries chaos_frac trace metrics =
+  with_telemetry ~trace ~metrics @@ fun () ->
   let config = { Encore.Config.default with Encore.Config.seed = seed } in
   let images = Population.clean (Population.generate ~profile ~seed app ~n) in
   let images, stormed =
@@ -139,7 +192,7 @@ let learn seed profile app n custom mode max_retries chaos_frac =
   | Error d ->
       prerr_endline
         ("learning failed: " ^ Encore_util.Resilience.diagnostic_to_string d);
-      exit 1
+      1
   | Ok (model, report) ->
       if stormed > 0 then Printf.printf "chaos: stormed %d image(s)\n" stormed;
       print_string (Encore.Pipeline.report_to_string report);
@@ -148,23 +201,27 @@ let learn seed profile app n custom mode max_retries chaos_frac =
         (List.length model.Detector.types) (List.length model.Detector.rules);
       List.iter
         (fun r -> print_endline (Encore_rules.Template.rule_to_string r))
-        model.Detector.rules
+        model.Detector.rules;
+      0
 
 let learn_cmd =
   let doc = "Learn configuration rules from a generated population." in
   Cmd.v (Cmd.info "learn" ~doc)
     Term.(const learn $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg
-          $ mode_arg $ max_retries_arg $ chaos_frac_arg)
+          $ mode_arg $ max_retries_arg $ chaos_frac_arg $ trace_arg $ metrics_arg)
 
 (* --- chaos ----------------------------------------------------------------- *)
 
-let chaos seed app n fraction max_retries =
+let chaos seed app n fraction max_retries trace metrics =
+  with_telemetry ~trace ~metrics @@ fun () ->
   match Encore.Chaosrun.run ~n ~fraction ~max_retries ~app ~seed () with
   | Error d ->
       prerr_endline
         ("chaos run failed: " ^ Encore_util.Resilience.diagnostic_to_string d);
-      exit 1
-  | Ok o -> print_string (Encore.Chaosrun.outcome_to_string o)
+      1
+  | Ok o ->
+      print_string (Encore.Chaosrun.outcome_to_string o);
+      0
 
 let chaos_cmd =
   let doc =
@@ -176,11 +233,12 @@ let chaos_cmd =
           $ Arg.(value & opt float 0.3
                  & info [ "fraction" ] ~docv:"FRAC"
                      ~doc:"Fraction of the population to damage.")
-          $ max_retries_arg)
+          $ max_retries_arg $ trace_arg $ metrics_arg)
 
 (* --- check ---------------------------------------------------------------- *)
 
-let check seed profile app n custom threshold =
+let check seed profile app n custom threshold trace metrics =
+  with_telemetry ~trace ~metrics @@ fun () ->
   let model, trained = learn_model ?custom ~seed ~profile app n in
   Printf.printf "model: %d rules from %d images\n" (List.length model.Detector.rules) trained;
   let rng = Encore_util.Prng.create (seed + 10_000) in
@@ -196,7 +254,8 @@ let check seed profile app n custom threshold =
       (Detector.check model campaign.Conferr.image)
   in
   print_endline "\nranked warnings:";
-  print_string (Report.to_string warnings)
+  print_string (Report.to_string warnings);
+  0
 
 let threshold_arg =
   Arg.(value & opt float 0.45
@@ -206,7 +265,7 @@ let check_cmd =
   let doc = "Misconfigure a held-out image and run the detector against it." in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const check $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg
-          $ threshold_arg)
+          $ threshold_arg $ trace_arg $ metrics_arg)
 
 (* --- inject ---------------------------------------------------------------- *)
 
@@ -456,6 +515,30 @@ let export_cmd =
           $ Arg.(value & opt (some string) None
                  & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (stdout if absent)."))
 
+(* --- trace ------------------------------------------------------------------- *)
+
+let trace_summarize file top =
+  match Encore_obs.Summary.of_file ~top file with
+  | Ok summary -> print_string (Encore_obs.Summary.to_string summary)
+  | Error msg ->
+      prerr_endline ("trace summarize: " ^ msg);
+      exit 1
+
+let trace_summarize_cmd =
+  let doc = "Summarize a JSONL trace: per-stage time breakdown, slowest spans, \
+             event counts." in
+  Cmd.v (Cmd.info "summarize" ~doc)
+    Term.(const trace_summarize
+          $ Arg.(required & pos 0 (some string) None
+                 & info [] ~docv:"FILE" ~doc:"JSONL trace written by --trace.")
+          $ Arg.(value & opt int 10
+                 & info [ "top" ] ~docv:"N"
+                     ~doc:"How many of the slowest spans to list."))
+
+let trace_cmd =
+  let doc = "Inspect JSONL traces exported with --trace." in
+  Cmd.group (Cmd.info "trace" ~doc) [ trace_summarize_cmd ]
+
 let () =
   let doc = "EnCore misconfiguration detection (ASPLOS 2014 reproduction)" in
   let info = Cmd.info "encore-cli" ~version:"1.0.0" ~doc in
@@ -464,4 +547,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; learn_cmd; check_cmd; inject_cmd; experiment_cmd;
             study_cmd; export_cmd; save_cmd; load_cmd; testgen_cmd; case_cmd;
-            ablation_cmd; chaos_cmd ]))
+            ablation_cmd; chaos_cmd; trace_cmd ]))

@@ -14,11 +14,50 @@ type outcome = {
   victims : string list;
   report : Pipeline.ingest_report;
   quarantine_exact : bool;
+  telemetry_consistent : bool;
+  telemetry_notes : string list;
   injected : int;
   clean_detected : int;
   chaos_detected : int;
   notes : string list;
 }
+
+(* Every diagnostic the resilient path counts into
+   [ingest_report.histogram] is also emitted as one [diag] event, and
+   every probe retry as one [retry] event.  Capture the event log of
+   the learning run and check both tallies reconcile exactly — the
+   telemetry layer must not drop or double-count anything. *)
+let reconcile_telemetry (summary : Encore_obs.Summary.t)
+    (report : Pipeline.ingest_report) =
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  List.iter
+    (fun (kind, expected) ->
+      let key = Encore_util.Resilience.kind_to_string kind in
+      let got =
+        Option.value ~default:0
+          (List.assoc_opt key summary.Encore_obs.Summary.diag_kinds)
+      in
+      if got <> expected then
+        note "diag events for %s: %d logged, %d in histogram" key got expected)
+    report.Pipeline.histogram;
+  List.iter
+    (fun (key, _) ->
+      if
+        not
+          (List.exists
+             (fun (kind, _) -> Encore_util.Resilience.kind_to_string kind = key)
+             report.Pipeline.histogram)
+      then note "diag events of unknown kind %s" key)
+    summary.Encore_obs.Summary.diag_kinds;
+  let retry_events =
+    Option.value ~default:0
+      (List.assoc_opt "retry" summary.Encore_obs.Summary.event_kinds)
+  in
+  if retry_events <> report.Pipeline.retried then
+    note "retry events: %d logged, %d in report" retry_events
+      report.Pipeline.retried;
+  (!notes = [], List.rev !notes)
 
 (* Same detection criterion as the Table 8/10 experiments: a strong
    warning naming the faulted attribute. *)
@@ -51,12 +90,32 @@ let run ?(config = Config.default) ?(n = 50) ?(fraction = 0.3) ?faults
   let victims =
     List.map (fun (v : Chaos.victim) -> v.Chaos.image_id) stormed.Chaos.victims
   in
-  match
-    Pipeline.learn_resilient ~config ?max_retries ~mode:Pipeline.Keep_going
-      stormed.Chaos.images
-  with
+  (* Capture the learning run's event log for reconciliation, then
+     replay it into whatever sink the caller had installed (e.g. a
+     --trace file), so capturing is invisible from the outside. *)
+  let outer_sink = Encore_obs.Events.sink () in
+  let captured = Buffer.create 4096 in
+  Encore_obs.Events.set_sink (Encore_obs.Events.Buffer captured);
+  let learned =
+    Fun.protect
+      ~finally:(fun () ->
+        Encore_obs.Events.set_sink outer_sink;
+        List.iter
+          (fun line -> if line <> "" then Encore_obs.Events.write_line line)
+          (String.split_on_char '\n' (Buffer.contents captured)))
+      (fun () ->
+        Pipeline.learn_resilient ~config ?max_retries
+          ~mode:Pipeline.Keep_going stormed.Chaos.images)
+  in
+  match learned with
   | Error d -> Error d
   | Ok (chaos_model, report) ->
+      let telemetry_consistent, telemetry_notes =
+        reconcile_telemetry
+          (Encore_obs.Summary.of_lines
+             (String.split_on_char '\n' (Buffer.contents captured)))
+          report
+      in
       let clean_model = Pipeline.learn ~config images in
       let quarantine_exact =
         let ids = List.map fst report.Pipeline.quarantined in
@@ -88,6 +147,8 @@ let run ?(config = Config.default) ?(n = 50) ?(fraction = 0.3) ?faults
           victims;
           report;
           quarantine_exact;
+          telemetry_consistent;
+          telemetry_notes;
           injected = List.length injections;
           clean_detected;
           chaos_detected;
@@ -102,6 +163,13 @@ let outcome_to_string o =
        o.population (List.length o.victims)
        (if o.quarantine_exact then "exact" else "INEXACT"));
   Buffer.add_string buf (Pipeline.report_to_string o.report);
+  Buffer.add_string buf
+    (if o.telemetry_consistent then
+       "telemetry: event log reconciles with the ingest report\n"
+     else "telemetry: INCONSISTENT with the ingest report\n");
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "telemetry: %s\n" n))
+    o.telemetry_notes;
   Buffer.add_string buf
     (Printf.sprintf
        "detection on injected target: clean-trained %d/%d, chaos-trained \

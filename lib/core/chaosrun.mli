@@ -17,6 +17,12 @@ type outcome = {
   report : Pipeline.ingest_report;
   quarantine_exact : bool;
       (** quarantined ids = victim ids (set equality) *)
+  telemetry_consistent : bool;
+      (** the learning run's {!Encore_obs.Events} log reconciles exactly
+          with [report]: one [diag] event per histogram entry and one
+          [retry] event per counted retry *)
+  telemetry_notes : string list;
+      (** discrepancies found when reconciling (empty when consistent) *)
   injected : int;        (** ground-truth faults in the check target *)
   clean_detected : int;  (** faults found by the model trained undamaged *)
   chaos_detected : int;  (** faults found by the chaos-trained model *)

@@ -1,5 +1,9 @@
 module Res = Encore_util.Resilience
 module Prng = Encore_util.Prng
+module Otrace = Encore_obs.Trace
+module Ometrics = Encore_obs.Metrics
+module Oevents = Encore_obs.Events
+module Json = Encore_obs.Jsonenc
 module Image = Encore_sysenv.Image
 module Flaky = Encore_sysenv.Flaky
 module Registry = Encore_confparse.Registry
@@ -67,7 +71,10 @@ let default_mining_cap = 100_000
    miner against the assembled table so the model can carry the
    degraded-mode bit. *)
 let mining_probe ~config ~mining_cap table =
-  let transactions, _dict = Encore_dataset.Discretize.transactions table in
+  let transactions, _dict =
+    Otrace.with_span "discretize" (fun () ->
+        Encore_dataset.Discretize.transactions table)
+  in
   let n_tx = Array.length transactions in
   if n_tx = 0 then false
   else
@@ -77,13 +84,46 @@ let mining_probe ~config ~mining_cap table =
            (ceil (config.Config.min_support_frac *. float_of_int n_tx)))
     in
     let _count, overflowed =
-      Encore_mining.Fpgrowth.count_only ~max_itemsets:mining_cap ~min_support
-        transactions
+      Otrace.with_span "fpgrowth"
+        ~attrs:[ ("transactions", Json.Int n_tx) ]
+        (fun () ->
+          Encore_mining.Fpgrowth.count_only ~max_itemsets:mining_cap
+            ~min_support transactions)
     in
     overflowed
 
+(* --- ingestion telemetry -------------------------------------------------- *)
+
+let m_images_total = Ometrics.counter "ingest.images_total"
+let m_images_ok = Ometrics.counter "ingest.images_ok"
+let m_images_quarantined = Ometrics.counter "ingest.images_quarantined"
+let m_retries = Ometrics.counter "ingest.retries"
+let m_backoff_ms = Ometrics.counter "ingest.backoff_ms"
+let m_warnings = Ometrics.counter "ingest.warnings"
+
+let emit_report_telemetry report =
+  List.iter
+    (fun (d : Res.diagnostic) ->
+      Oevents.emit_diag
+        ~kind:(Res.kind_to_string d.Res.kind)
+        ~subject:d.Res.subject ~detail:d.Res.detail)
+    (List.concat_map snd report.quarantined @ report.warnings);
+  Oevents.emit "ingest_report"
+    ~fields:
+      [
+        ("total", Json.Int report.total);
+        ("ok", Json.Int report.ok);
+        ("quarantined", Json.Int (List.length report.quarantined));
+        ("retried", Json.Int report.retried);
+        ("backoff_ms", Json.Int report.total_backoff_ms);
+        ("mining_overflowed", Json.Bool report.mining_overflowed);
+      ]
+
 let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
     ?max_retries ?flaky ?(mining_cap = default_mining_cap) images =
+  Otrace.with_span "learn"
+    ~attrs:[ ("images", Json.Int (List.length images)) ]
+  @@ fun () ->
   let ( let* ) = Result.bind in
   let* templates = templates_result custom in
   let flaky =
@@ -99,7 +139,10 @@ let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
     | [] -> Ok (List.rev acc)
     | img :: rest -> (
         let id = img.Image.image_id in
-        let att = Flaky.collect_with_retries ?max_retries flaky img in
+        let att =
+          Otrace.with_span "probe" ~attrs:[ ("image", Json.Str id) ] (fun () ->
+              Flaky.collect_with_retries ?max_retries flaky img)
+        in
         retried := !retried + att.Res.retries;
         backoff := !backoff + att.Res.backoff_ms;
         match att.Res.outcome with
@@ -108,7 +151,10 @@ let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
             if mode = Fail_fast then Error d else ingest acc rest
         | Ok (_records, probe_diags) -> (
             warnings := !warnings @ probe_diags;
-            let parsed = Registry.parse_image_diag img in
+            let parsed =
+              Otrace.with_span "parse" ~attrs:[ ("image", Json.Str id) ]
+                (fun () -> Registry.parse_image_diag img)
+            in
             match parsed.Registry.fatal with
             | first :: _ as fatal ->
                 List.iter
@@ -120,15 +166,22 @@ let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
                 Res.record_success breaker ~subject:id;
                 ingest (img :: acc) rest))
   in
-  let* survivors = ingest [] images in
+  let* survivors = Otrace.with_span "ingest" (fun () -> ingest [] images) in
+  Ometrics.incr ~by:(List.length images) m_images_total;
+  Ometrics.incr ~by:!retried m_retries;
+  Ometrics.incr ~by:!backoff m_backoff_ms;
   match survivors with
   | [] ->
+      Ometrics.incr ~by:(List.length images) m_images_quarantined;
       Error
         (Res.diag Res.Corrupt_image ~subject:"training population"
            (Printf.sprintf "all %d image(s) quarantined; nothing to learn from"
               (List.length images)))
   | _ ->
-      let assembled = Assemble.assemble_training survivors in
+      let assembled =
+        Otrace.with_span "assemble" (fun () ->
+            Assemble.assemble_training survivors)
+      in
       let rows = Encore_dataset.Table.rows assembled.Assemble.table in
       let training = List.map2 (fun img (_, row) -> (img, row)) survivors rows in
       let model =
@@ -139,7 +192,8 @@ let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
           ~types:assembled.Assemble.types training
       in
       let mining_overflowed =
-        mining_probe ~config ~mining_cap assembled.Assemble.table
+        Otrace.with_span "mining-probe" (fun () ->
+            mining_probe ~config ~mining_cap assembled.Assemble.table)
       in
       let model = { model with Detector.overflowed = mining_overflowed } in
       if mining_overflowed then
@@ -161,6 +215,11 @@ let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
           mining_overflowed;
         }
       in
+      Ometrics.incr ~by:report.ok m_images_ok;
+      Ometrics.incr ~by:(List.length quarantined) m_images_quarantined;
+      Ometrics.incr ~by:(List.length !warnings) m_warnings;
+      Otrace.with_span "report" (fun () -> emit_report_telemetry report);
+      if Oevents.enabled () then Oevents.emit_metrics ();
       Ok (model, report)
 
 let report_to_string r =

@@ -11,6 +11,8 @@ module Filters = Encore_rules.Filters
 module Relation = Encore_rules.Relation
 module Stats = Encore_util.Stats
 module Strutil = Encore_util.Strutil
+module Otrace = Encore_obs.Trace
+module Ometrics = Encore_obs.Metrics
 
 type model = {
   types : Tinfer.env;
@@ -21,30 +23,50 @@ type model = {
   overflowed : bool;
 }
 
+let m_filtered_redundant = Ometrics.counter "rules.filtered_redundant"
+let m_filtered_entropy = Ometrics.counter "rules.filtered_entropy"
+
 let model_of_training ?(params = Rinfer.default_params) ?templates
     ?entropy_threshold ~types training =
-  let rules = Rinfer.infer ~params ?templates ~types training in
-  let rules = Filters.reduce_redundant rules in
-  let kept, _dropped = Filters.entropy_filter ?threshold:entropy_threshold training rules in
-  let attr_order = ref [] in
-  let seen = Hashtbl.create 256 in
-  let values = Hashtbl.create 256 in
-  List.iter
-    (fun (_, row) ->
-      List.iter
-        (fun (attr, v) ->
-          if not (Hashtbl.mem seen attr) then begin
-            Hashtbl.add seen attr ();
-            attr_order := attr :: !attr_order
-          end;
-          Hashtbl.add values attr v)
-        (Row.to_list row))
-    training;
-  let known_attrs = List.rev !attr_order in
-  let value_stats =
-    List.map
-      (fun attr -> (attr, Stats.distinct (Hashtbl.find_all values attr)))
-      known_attrs
+  let inferred =
+    Otrace.with_span "rule-infer" (fun () ->
+        Rinfer.infer ~params ?templates ~types training)
+  in
+  let kept =
+    Otrace.with_span "rule-filter" (fun () ->
+        let reduced = Filters.reduce_redundant inferred in
+        Ometrics.incr
+          ~by:(List.length inferred - List.length reduced)
+          m_filtered_redundant;
+        let kept, dropped =
+          Filters.entropy_filter ?threshold:entropy_threshold training reduced
+        in
+        Ometrics.incr ~by:(List.length dropped) m_filtered_entropy;
+        kept)
+  in
+  let known_attrs, value_stats =
+    Otrace.with_span "value-stats" (fun () ->
+        let attr_order = ref [] in
+        let seen = Hashtbl.create 256 in
+        let values = Hashtbl.create 256 in
+        List.iter
+          (fun (_, row) ->
+            List.iter
+              (fun (attr, v) ->
+                if not (Hashtbl.mem seen attr) then begin
+                  Hashtbl.add seen attr ();
+                  attr_order := attr :: !attr_order
+                end;
+                Hashtbl.add values attr v)
+              (Row.to_list row))
+          training;
+        let known_attrs = List.rev !attr_order in
+        let value_stats =
+          List.map
+            (fun attr -> (attr, Stats.distinct (Hashtbl.find_all values attr)))
+            known_attrs
+        in
+        (known_attrs, value_stats))
   in
   {
     types;
@@ -56,13 +78,17 @@ let model_of_training ?(params = Rinfer.default_params) ?templates
   }
 
 let learn ?params ?templates ?entropy_threshold images =
-  let assembled = Assemble.assemble_training images in
-  let rows = Encore_dataset.Table.rows assembled.Assemble.table in
-  let training =
-    List.map2 (fun img (_, row) -> (img, row)) images rows
-  in
-  model_of_training ?params ?templates ?entropy_threshold
-    ~types:assembled.Assemble.types training
+  Otrace.with_span "learn" (fun () ->
+      let assembled =
+        Otrace.with_span "assemble" (fun () ->
+            Assemble.assemble_training images)
+      in
+      let rows = Encore_dataset.Table.rows assembled.Assemble.table in
+      let training =
+        List.map2 (fun img (_, row) -> (img, row)) images rows
+      in
+      model_of_training ?params ?templates ?entropy_threshold
+        ~types:assembled.Assemble.types training)
 
 type checks = {
   check_names : bool;
@@ -204,13 +230,43 @@ let value_warnings model row =
               })
     (Row.to_list row)
 
+let m_warn_name = Ometrics.counter "detect.warnings.entry_name"
+let m_warn_rule = Ometrics.counter "detect.warnings.correlation"
+let m_warn_type = Ometrics.counter "detect.warnings.type"
+let m_warn_value = Ometrics.counter "detect.warnings.value"
+let m_checks = Ometrics.counter "detect.checks"
+
+let counted counter ws =
+  Ometrics.incr ~by:(List.length ws) counter;
+  ws
+
 let check ?(checks = all_checks) model img =
-  let row = Assemble.assemble_target ~types:model.types img in
-  let ctx = { Relation.image = img; row } in
-  let warnings =
-    (if checks.check_names then name_warnings model row else [])
-    @ (if checks.check_rules then rule_warnings model ctx else [])
-    @ (if checks.check_types then type_warnings model row img else [])
-    @ (if checks.check_values then value_warnings model row else [])
-  in
-  List.sort Warning.compare_rank warnings
+  Otrace.with_span "check"
+    ~attrs:[ ("image", Encore_obs.Jsonenc.Str img.Encore_sysenv.Image.image_id) ]
+    (fun () ->
+      Ometrics.incr m_checks;
+      let row =
+        Otrace.with_span "assemble-target" (fun () ->
+            Assemble.assemble_target ~types:model.types img)
+      in
+      let ctx = { Relation.image = img; row } in
+      let stage name f = Otrace.with_span name f in
+      let warnings =
+        (if checks.check_names then
+           stage "check-names" (fun () ->
+               counted m_warn_name (name_warnings model row))
+         else [])
+        @ (if checks.check_rules then
+             stage "check-rules" (fun () ->
+                 counted m_warn_rule (rule_warnings model ctx))
+           else [])
+        @ (if checks.check_types then
+             stage "check-types" (fun () ->
+                 counted m_warn_type (type_warnings model row img))
+           else [])
+        @ (if checks.check_values then
+             stage "check-values" (fun () ->
+                 counted m_warn_value (value_warnings model row))
+           else [])
+      in
+      List.sort Warning.compare_rank warnings)

@@ -42,11 +42,24 @@ let candidates frequent_k =
         sets)
     sets
 
+let m_itemsets = Encore_obs.Metrics.counter "mining.apriori.itemsets"
+let g_levels = Encore_obs.Metrics.gauge "mining.apriori.levels"
+let g_headroom = Encore_obs.Metrics.gauge "mining.apriori.cap_headroom"
+
+let record_run r ~max_itemsets =
+  Encore_obs.Metrics.incr ~by:(List.length r.frequent) m_itemsets;
+  Encore_obs.Metrics.set_max g_levels (float_of_int r.levels);
+  Encore_obs.Metrics.set g_headroom
+    (float_of_int (max 0 (max_itemsets - List.length r.frequent)));
+  r
+
 let mine ?(max_itemsets = 2_000_000) ~min_support transactions =
   let rec level k acc current =
-    if current = [] then { frequent = acc; overflowed = false; levels = k - 1 }
+    if current = [] then
+      record_run ~max_itemsets
+        { frequent = acc; overflowed = false; levels = k - 1 }
     else if List.length acc > max_itemsets then
-      { frequent = acc; overflowed = true; levels = k }
+      record_run ~max_itemsets { frequent = acc; overflowed = true; levels = k }
     else
       let cands = candidates current in
       let next =

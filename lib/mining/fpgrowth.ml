@@ -85,16 +85,40 @@ let prefix_path node =
   in
   go [] node
 
+(* --- telemetry ----------------------------------------------------------- *)
+
+let m_itemsets = Encore_obs.Metrics.counter "mining.fpgrowth.itemsets"
+let g_tree_nodes = Encore_obs.Metrics.gauge "mining.fpgrowth.tree_nodes"
+let g_max_depth = Encore_obs.Metrics.gauge "mining.fpgrowth.max_depth"
+let g_headroom = Encore_obs.Metrics.gauge "mining.fpgrowth.cap_headroom"
+
+let rec node_count n =
+  List.fold_left (fun acc (_, c) -> acc + node_count c) 1 n.children
+
+(* Record the shape of one mining run: size of the initial FP-tree,
+   deepest conditional-tree recursion, and how much of the itemset cap
+   was left unused (0 on overflow). *)
+let record_run ~tree ~max_depth ~emitted ~max_itemsets =
+  Encore_obs.Metrics.set g_tree_nodes (float_of_int (node_count tree.root - 1));
+  Encore_obs.Metrics.set_max g_max_depth (float_of_int max_depth);
+  Encore_obs.Metrics.incr ~by:emitted m_itemsets;
+  Encore_obs.Metrics.set g_headroom
+    (float_of_int (max 0 (max_itemsets - emitted)))
+
 let mine ?(max_itemsets = 2_000_000) ~min_support transactions =
   let out = ref [] in
   let n_out = ref 0 in
+  let max_depth = ref 0 in
+  let root_tree = ref None in
   let emit itemset count =
     incr n_out;
     if !n_out > max_itemsets then raise Overflow;
     out := (Itemset.of_list itemset, count) :: !out
   in
-  let rec grow weighted suffix =
+  let rec grow weighted suffix depth =
+    if depth > !max_depth then max_depth := depth;
     let tree, frequent = build_tree ~min_support weighted in
+    if depth = 0 then root_tree := Some tree;
     List.iter
       (fun (item, support) ->
         let itemset = item :: suffix in
@@ -111,20 +135,31 @@ let mine ?(max_itemsets = 2_000_000) ~min_support transactions =
                   | path -> Some (path, node.count))
                 !chain
             in
-            if base <> [] then grow base itemset)
+            if base <> [] then grow base itemset (depth + 1))
       frequent
   in
   let weighted =
     Array.to_list (Array.map (fun tx -> (Array.to_list tx, 1)) transactions)
   in
-  match grow weighted [] with
-  | () -> { frequent = List.rev !out; overflowed = false }
-  | exception Overflow -> { frequent = List.rev !out; overflowed = true }
+  let finish overflowed =
+    (match !root_tree with
+     | Some tree ->
+         record_run ~tree ~max_depth:!max_depth ~emitted:!n_out ~max_itemsets
+     | None -> ());
+    { frequent = List.rev !out; overflowed }
+  in
+  match grow weighted [] 0 with
+  | () -> finish false
+  | exception Overflow -> finish true
 
 let count_only ?(max_itemsets = 2_000_000) ~min_support transactions =
   let n = ref 0 in
+  let max_depth = ref 0 in
+  let root_tree = ref None in
   let rec grow weighted depth =
+    if depth > !max_depth then max_depth := depth;
     let tree, frequent = build_tree ~min_support weighted in
+    if depth = 0 then root_tree := Some tree;
     List.iter
       (fun (item, _) ->
         incr n;
@@ -146,6 +181,13 @@ let count_only ?(max_itemsets = 2_000_000) ~min_support transactions =
   let weighted =
     Array.to_list (Array.map (fun tx -> (Array.to_list tx, 1)) transactions)
   in
+  let finish overflowed =
+    (match !root_tree with
+     | Some tree ->
+         record_run ~tree ~max_depth:!max_depth ~emitted:!n ~max_itemsets
+     | None -> ());
+    (!n, overflowed)
+  in
   match grow weighted 0 with
-  | () -> (!n, false)
-  | exception Overflow -> (!n, true)
+  | () -> finish false
+  | exception Overflow -> finish true

@@ -1,0 +1,35 @@
+type source = unit -> int64
+
+let default : source = fun () -> Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let source = ref default
+
+(* Unix.gettimeofday is a wall clock and may step backwards (NTP); the
+   clamp below makes the stream the rest of the library sees
+   non-decreasing, which span arithmetic relies on. *)
+let floor_ns = ref Int64.min_int
+
+let set_source s =
+  source := s;
+  floor_ns := Int64.min_int
+
+let now_ns () =
+  let t = !source () in
+  let t = if Int64.compare t !floor_ns < 0 then !floor_ns else t in
+  floor_ns := t;
+  t
+
+let counter ?(start = 0L) ~step_ns () : source =
+  let t = ref (Int64.sub start step_ns) in
+  fun () ->
+    t := Int64.add !t step_ns;
+    !t
+
+let with_source s f =
+  let prev_source = !source and prev_floor = !floor_ns in
+  set_source s;
+  Fun.protect
+    ~finally:(fun () ->
+      source := prev_source;
+      floor_ns := prev_floor)
+    f

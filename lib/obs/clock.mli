@@ -1,0 +1,28 @@
+(** Time source for the telemetry layer.
+
+    Every timestamp in spans and events flows through {!now_ns} so tests
+    can install a deterministic source.  The default source is the
+    system wall clock at nanosecond resolution, clamped to be
+    non-decreasing (a virtual monotonic clock): a backwards step of the
+    underlying clock can stall the stream but never rewind it. *)
+
+type source = unit -> int64
+(** Nanosecond timestamps. *)
+
+val default : source
+(** Wall clock ([Unix.gettimeofday]) scaled to nanoseconds. *)
+
+val set_source : source -> unit
+(** Replace the global source and reset the monotonic floor. *)
+
+val now_ns : unit -> int64
+(** Current time from the installed source, never less than any
+    previously returned value. *)
+
+val counter : ?start:int64 -> step_ns:int64 -> unit -> source
+(** Deterministic source advancing by [step_ns] per call; the first
+    call returns [start]. *)
+
+val with_source : source -> (unit -> 'a) -> 'a
+(** Run with a temporary source, restoring the previous one (and its
+    monotonic floor) afterwards, also on exceptions. *)

@@ -1,0 +1,46 @@
+type sink = Nil | Channel of out_channel | Buffer of Buffer.t
+
+let sink_ref = ref Nil
+
+let set_sink s = sink_ref := s
+
+let sink () = !sink_ref
+
+let enabled () = match !sink_ref with Nil -> false | Channel _ | Buffer _ -> true
+
+let write_line line =
+  match !sink_ref with
+  | Nil -> ()
+  | Channel oc ->
+      output_string oc line;
+      output_char oc '\n'
+  | Buffer b ->
+      Buffer.add_string b line;
+      Buffer.add_char b '\n'
+
+let emit ?(fields = []) kind =
+  if enabled () then
+    write_line
+      (Jsonenc.to_string
+         (Jsonenc.Obj
+            (("ts_ns", Jsonenc.Int (Int64.to_int (Clock.now_ns ())))
+             :: ("ev", Jsonenc.Str kind)
+             :: fields)))
+
+let emit_span sp = emit ~fields:(Trace.to_fields sp) "span"
+
+let stream_spans () = Trace.set_sink (Trace.Stream emit_span)
+
+let emit_diag ~kind ~subject ~detail =
+  emit "diag"
+    ~fields:
+      [
+        ("diag_kind", Jsonenc.Str kind);
+        ("subject", Jsonenc.Str subject);
+        ("detail", Jsonenc.Str detail);
+      ]
+
+let emit_metrics () =
+  if enabled () then
+    emit "metric_snapshot"
+      ~fields:[ ("metrics", Metrics.snapshot_to_json (Metrics.snapshot ())) ]

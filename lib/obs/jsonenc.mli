@@ -1,0 +1,31 @@
+(** Hand-rolled JSON encoder/decoder for the structured event log.
+
+    One JSON value per JSONL line; no external dependencies.  Strings
+    are treated as UTF-8: bytes at or above [0x80] pass through the
+    encoder unchanged, control characters are escaped as [\uNNNN] (with
+    the usual short forms for newline, tab and carriage return), and
+    the decoder expands [\uNNNN] escapes — including surrogate pairs —
+    back to UTF-8 bytes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering.  NaN and infinities, which JSON
+    cannot represent, encode as [null]. *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value; trailing garbage is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option

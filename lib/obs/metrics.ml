@@ -1,0 +1,207 @@
+type counter = { cname : string; mutable count : int }
+
+type gauge = { gname : string; mutable gvalue : float; mutable gset : bool }
+
+let n_buckets = 64
+
+type histogram = {
+  hname : string;
+  buckets : int array;
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let clash name =
+  invalid_arg
+    (Printf.sprintf "Encore_obs.Metrics: %S already registered as another kind"
+       name)
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (C c) -> c
+  | Some _ -> clash name
+  | None ->
+      let c = { cname = name; count = 0 } in
+      Hashtbl.replace registry name (C c);
+      c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+
+let count c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (G g) -> g
+  | Some _ -> clash name
+  | None ->
+      let g = { gname = name; gvalue = 0.0; gset = false } in
+      Hashtbl.replace registry name (G g);
+      g
+
+let set g v =
+  g.gvalue <- v;
+  g.gset <- true
+
+let set_max g v = if (not g.gset) || v > g.gvalue then set g v
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (H h) -> h
+  | Some _ -> clash name
+  | None ->
+      let h =
+        {
+          hname = name;
+          buckets = Array.make n_buckets 0;
+          hcount = 0;
+          hsum = 0.0;
+          hmin = 0.0;
+          hmax = 0.0;
+        }
+      in
+      Hashtbl.replace registry name (H h);
+      h
+
+(* Log-scale (base 2) buckets: bucket [b] with 0 < b < 63 counts values
+   in [2^(b-1), 2^b); bucket 0 absorbs everything below 1 (and NaN);
+   bucket 63 absorbs everything at or above 2^62. *)
+let bucket_of_value v =
+  match Float.classify_float v with
+  | Float.FP_nan -> 0
+  | Float.FP_infinite -> if v > 0.0 then n_buckets - 1 else 0
+  | _ ->
+      if v < 1.0 then 0
+      else
+        let _, e = Float.frexp v in
+        if e > n_buckets - 2 then n_buckets - 1 else e
+
+let bucket_bounds b =
+  if b <= 0 then (neg_infinity, 1.0)
+  else if b >= n_buckets - 1 then (Float.ldexp 1.0 (n_buckets - 2), infinity)
+  else (Float.ldexp 1.0 (b - 1), Float.ldexp 1.0 b)
+
+let observe h v =
+  let b = bucket_of_value v in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  if h.hcount = 0 then begin
+    h.hmin <- v;
+    h.hmax <- v
+  end
+  else begin
+    if v < h.hmin then h.hmin <- v;
+    if v > h.hmax then h.hmax <- v
+  end;
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum +. v
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+type hist_view = {
+  hv_count : int;
+  hv_sum : float;
+  hv_min : float;
+  hv_max : float;
+  hv_buckets : (int * int) list;  (* non-empty buckets, ascending index *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_view) list;
+}
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun name -> function
+      | C c -> if c.count <> 0 then counters := (name, c.count) :: !counters
+      | G g -> if g.gset then gauges := (name, g.gvalue) :: !gauges
+      | H h ->
+          if h.hcount > 0 then begin
+            let nonzero = ref [] in
+            for b = n_buckets - 1 downto 0 do
+              if h.buckets.(b) > 0 then nonzero := (b, h.buckets.(b)) :: !nonzero
+            done;
+            histograms :=
+              ( name,
+                {
+                  hv_count = h.hcount;
+                  hv_sum = h.hsum;
+                  hv_min = h.hmin;
+                  hv_max = h.hmax;
+                  hv_buckets = !nonzero;
+                } )
+              :: !histograms
+          end)
+    registry;
+  {
+    counters = List.sort by_name !counters;
+    gauges = List.sort by_name !gauges;
+    histograms = List.sort by_name !histograms;
+  }
+
+let reset () =
+  Hashtbl.iter
+    (fun _ -> function
+      | C c -> c.count <- 0
+      | G g ->
+          g.gvalue <- 0.0;
+          g.gset <- false
+      | H h ->
+          Array.fill h.buckets 0 n_buckets 0;
+          h.hcount <- 0;
+          h.hsum <- 0.0;
+          h.hmin <- 0.0;
+          h.hmax <- 0.0)
+    registry
+
+let snapshot_to_json s =
+  Jsonenc.Obj
+    [
+      ("counters", Jsonenc.Obj (List.map (fun (k, v) -> (k, Jsonenc.Int v)) s.counters));
+      ("gauges", Jsonenc.Obj (List.map (fun (k, v) -> (k, Jsonenc.Float v)) s.gauges));
+      ( "histograms",
+        Jsonenc.Obj
+          (List.map
+             (fun (k, hv) ->
+               ( k,
+                 Jsonenc.Obj
+                   [
+                     ("count", Jsonenc.Int hv.hv_count);
+                     ("sum", Jsonenc.Float hv.hv_sum);
+                     ("min", Jsonenc.Float hv.hv_min);
+                     ("max", Jsonenc.Float hv.hv_max);
+                     ( "buckets",
+                       Jsonenc.Arr
+                         (List.map
+                            (fun (b, n) ->
+                              Jsonenc.Arr [ Jsonenc.Int b; Jsonenc.Int n ])
+                            hv.hv_buckets) );
+                   ] ))
+             s.histograms) );
+    ]
+
+let rows s =
+  List.map
+    (fun (name, v) -> [ name; "counter"; string_of_int v ])
+    s.counters
+  @ List.map
+      (fun (name, v) -> [ name; "gauge"; Printf.sprintf "%g" v ])
+      s.gauges
+  @ List.map
+      (fun (name, hv) ->
+        [
+          name;
+          "histogram";
+          Printf.sprintf "n=%d sum=%g min=%g max=%g" hv.hv_count hv.hv_sum
+            hv.hv_min hv.hv_max;
+        ])
+      s.histograms

@@ -1,0 +1,62 @@
+(** Process-wide metric registry: named counters, gauges and log-scale
+    histograms.
+
+    Instruments are created on first use and live for the whole
+    process; {!reset} zeroes them in place (existing handles stay
+    valid), and {!snapshot} returns a deterministic, name-sorted view
+    that omits untouched instruments.  All operations are cheap enough
+    for hot paths: a handle increment is one mutable write. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get or create.  @raise Invalid_argument if the name is already
+    registered as a different instrument kind. *)
+
+val incr : ?by:int -> counter -> unit
+val count : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val set_max : gauge -> float -> unit
+(** Keep the maximum of all values set so far. *)
+
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+
+val bucket_of_value : float -> int
+(** Base-2 log-scale bucket index: bucket [b] (0 < b < 63) covers
+    [\[2^(b-1), 2^b)]; bucket 0 everything below 1; bucket 63
+    everything at or above [2^62]. *)
+
+val bucket_bounds : int -> float * float
+(** Inclusive-lower / exclusive-upper bounds of a bucket. *)
+
+type hist_view = {
+  hv_count : int;
+  hv_sum : float;
+  hv_min : float;
+  hv_max : float;
+  hv_buckets : (int * int) list;  (** non-empty (bucket, count), ascending *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_view) list;
+}
+
+val snapshot : unit -> snapshot
+(** Name-sorted view of every instrument touched since the last
+    {!reset}; deterministic for a deterministic workload. *)
+
+val reset : unit -> unit
+(** Zero every instrument in place. *)
+
+val snapshot_to_json : snapshot -> Jsonenc.t
+
+val rows : snapshot -> string list list
+(** [[name; kind; value]] rows for table rendering. *)

@@ -1,0 +1,36 @@
+(** Trace analysis: turn a JSONL event log (or in-memory span trees)
+    into a per-stage wall-time breakdown.
+
+    Wall time is the duration sum of the outermost (lowest-depth)
+    spans; a "stage" is a span one level below that, grouped by name.
+    The coverage percentage says how much of the wall time the stage
+    spans account for — an instrumentation-completeness check. *)
+
+type stage = {
+  stage_name : string;
+  total_ns : int;
+  calls : int;
+  pct : float;  (** of wall time *)
+}
+
+type t = {
+  wall_ns : int;
+  span_count : int;
+  event_count : int;
+  bad_lines : int;       (** unparseable or incomplete JSONL lines *)
+  stages : stage list;   (** descending by total time *)
+  coverage_pct : float;
+  slowest : (string * int * int) list;  (** (name, dur_ns, depth), top-k *)
+  event_kinds : (string * int) list;    (** [ev] value -> count *)
+  diag_kinds : (string * int) list;     (** [diag] events by [diag_kind] *)
+}
+
+val of_lines : ?top:int -> string list -> t
+(** [top] bounds the slowest-span list (default 10). *)
+
+val of_file : ?top:int -> string -> (t, string) result
+
+val of_spans : ?top:int -> Trace.span list -> t
+(** Summarize {!Trace.roots} collected by the memory sink. *)
+
+val to_string : t -> string

@@ -1,0 +1,102 @@
+type status = Ok_span | Error_span of string
+
+type span = {
+  name : string;
+  mutable attrs : (string * Jsonenc.t) list;
+  depth : int;
+  parent : string option;
+  start_ns : int64;
+  mutable dur_ns : int64;
+  mutable status : status;
+  mutable children : span list;  (* reverse completion order *)
+}
+
+type sink = Nil | Memory | Stream of (span -> unit)
+
+let sink_ref = ref Nil
+let current : span option ref = ref None
+let finished_roots : span list ref = ref []
+
+let set_sink s = sink_ref := s
+
+let sink () = !sink_ref
+
+let enabled () = match !sink_ref with Nil -> false | Memory | Stream _ -> true
+
+let clear () =
+  current := None;
+  finished_roots := []
+
+let roots () = List.rev !finished_roots
+
+let set_attr key v =
+  match !current with
+  | None -> ()
+  | Some sp -> sp.attrs <- (key, v) :: List.remove_assoc key sp.attrs
+
+let observe_duration sp =
+  Metrics.observe
+    (Metrics.histogram ("span_us." ^ sp.name))
+    (Int64.to_float sp.dur_ns /. 1e3)
+
+let with_span ?(attrs = []) name f =
+  match !sink_ref with
+  | Nil -> f ()
+  | mode ->
+      let parent = !current in
+      let sp =
+        {
+          name;
+          attrs;
+          depth = (match parent with Some p -> p.depth + 1 | None -> 0);
+          parent = (match parent with Some p -> Some p.name | None -> None);
+          start_ns = Clock.now_ns ();
+          dur_ns = 0L;
+          status = Ok_span;
+          children = [];
+        }
+      in
+      current := Some sp;
+      let finish status =
+        sp.dur_ns <- Int64.sub (Clock.now_ns ()) sp.start_ns;
+        sp.status <- status;
+        current := parent;
+        observe_duration sp;
+        (match parent with
+         | Some p -> p.children <- sp :: p.children
+         | None -> ());
+        match mode with
+        | Nil -> ()
+        | Memory ->
+            if parent = None then finished_roots := sp :: !finished_roots
+        | Stream emit -> emit sp
+      in
+      (match f () with
+       | v ->
+           finish Ok_span;
+           v
+       | exception e ->
+           finish (Error_span (Printexc.to_string e));
+           raise e)
+
+let children_in_order sp = List.rev sp.children
+
+let rec iter_tree f sp =
+  f sp;
+  List.iter (iter_tree f) (children_in_order sp)
+
+let status_to_string = function
+  | Ok_span -> "ok"
+  | Error_span msg -> "error: " ^ msg
+
+let to_fields sp =
+  [
+    ("name", Jsonenc.Str sp.name);
+    ("parent",
+     match sp.parent with Some p -> Jsonenc.Str p | None -> Jsonenc.Null);
+    ("depth", Jsonenc.Int sp.depth);
+    ("start_ns", Jsonenc.Int (Int64.to_int sp.start_ns));
+    ("dur_ns", Jsonenc.Int (Int64.to_int sp.dur_ns));
+    ("status", Jsonenc.Str (status_to_string sp.status));
+    ("attrs", Jsonenc.Obj (List.rev sp.attrs));
+  ]

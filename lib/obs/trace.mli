@@ -1,0 +1,58 @@
+(** Span tracing over the {!Clock} time source.
+
+    A span covers one pipeline stage (or one unit of work inside a
+    stage); spans nest by dynamic scope and form a tree.  The global
+    sink decides the cost: with {!Nil} (the default) {!with_span} is a
+    single branch around the wrapped function — no clock reads, no
+    allocation; with {!Memory} finished root spans accumulate for
+    in-process inspection; with {!Stream} every finished span is handed
+    to a callback (children before parents, in completion order).
+
+    Whenever the sink is not nil, each finished span also feeds the
+    [span_us.<name>] duration histogram in {!Metrics}. *)
+
+type status = Ok_span | Error_span of string
+
+type span = {
+  name : string;
+  mutable attrs : (string * Jsonenc.t) list;
+  depth : int;                (** 0 for roots *)
+  parent : string option;     (** name of the enclosing span *)
+  start_ns : int64;
+  mutable dur_ns : int64;
+  mutable status : status;
+  mutable children : span list;  (** reverse completion order *)
+}
+
+type sink = Nil | Memory | Stream of (span -> unit)
+
+val set_sink : sink -> unit
+val sink : unit -> sink
+val enabled : unit -> bool
+
+val with_span :
+  ?attrs:(string * Jsonenc.t) list -> string -> (unit -> 'a) -> 'a
+(** Run a function inside a named span.  Exceptions are recorded as
+    [Error_span] and re-raised; the previous span is always restored. *)
+
+val set_attr : string -> Jsonenc.t -> unit
+(** Attach (or replace) an attribute on the innermost open span; no-op
+    outside any span. *)
+
+val roots : unit -> span list
+(** Finished root spans collected by the {!Memory} sink, in completion
+    order. *)
+
+val clear : unit -> unit
+(** Drop collected roots and any dangling current span. *)
+
+val children_in_order : span -> span list
+(** Children in completion order. *)
+
+val iter_tree : (span -> unit) -> span -> unit
+(** Pre-order traversal. *)
+
+val status_to_string : status -> string
+
+val to_fields : span -> (string * Jsonenc.t) list
+(** Flat field list for one JSONL span record (see DESIGN.md §7). *)

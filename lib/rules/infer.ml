@@ -144,34 +144,57 @@ let consequent_base_rate relation training ~b =
 
 let min_lift_margin = 0.05
 
+(* One chunk's outcome, with the rejection tally the telemetry layer
+   reports.  The tallies are accumulated per chunk and summed by the
+   caller so parallel evaluation never shares mutable state. *)
+type eval_result = {
+  kept_rules : Template.rule list;
+  rejected_support : int;     (* applicable too rarely, or vacuous *)
+  rejected_confidence : int;  (* confident too rarely, or no lift *)
+}
+
 (* Evaluate a list of (template, a, b) candidates into rules. *)
 let evaluate_candidates ~params ~min_support training candidates =
-  List.filter_map
-    (fun (template, a, b) ->
-      let applicable, valid = evaluate_instantiation template training ~a ~b in
-      let vacuous =
-        match antecedent_support template.Template.relation training ~a with
-        | Some s -> s < min_support
-        | None -> false
-      in
-      if applicable < min_support || vacuous then None
-      else
-        let min_conf =
-          Option.value ~default:params.min_confidence
-            template.Template.min_confidence
+  let rej_support = ref 0 and rej_confidence = ref 0 in
+  let kept =
+    List.filter_map
+      (fun (template, a, b) ->
+        let applicable, valid = evaluate_instantiation template training ~a ~b in
+        let vacuous =
+          match antecedent_support template.Template.relation training ~a with
+          | Some s -> s < min_support
+          | None -> false
         in
-        let confidence = float_of_int valid /. float_of_int applicable in
-        let lifts =
-          match consequent_base_rate template.Template.relation training ~b with
-          | Some base -> confidence >= base +. min_lift_margin
-          | None -> true
-        in
-        if confidence >= min_conf && lifts then
-          Some
-            { Template.template; attr_a = a; attr_b = b;
-              support = applicable; confidence }
-        else None)
-    candidates
+        if applicable < min_support || vacuous then begin
+          incr rej_support;
+          None
+        end
+        else
+          let min_conf =
+            Option.value ~default:params.min_confidence
+              template.Template.min_confidence
+          in
+          let confidence = float_of_int valid /. float_of_int applicable in
+          let lifts =
+            match consequent_base_rate template.Template.relation training ~b with
+            | Some base -> confidence >= base +. min_lift_margin
+            | None -> true
+          in
+          if confidence >= min_conf && lifts then
+            Some
+              { Template.template; attr_a = a; attr_b = b;
+                support = applicable; confidence }
+          else begin
+            incr rej_confidence;
+            None
+          end)
+      candidates
+  in
+  {
+    kept_rules = kept;
+    rejected_support = !rej_support;
+    rejected_confidence = !rej_confidence;
+  }
 
 (* Split [xs] into [n] chunks of near-equal length, preserving order. *)
 let chunks n xs =
@@ -216,8 +239,9 @@ let infer ?(params = default_params) ?(templates = Template.predefined)
           (instantiations ~types template attrs))
       templates
   in
-  let rules =
-    if jobs <= 1 then evaluate_candidates ~params ~min_support training candidates
+  let results =
+    if jobs <= 1 then
+      [ evaluate_candidates ~params ~min_support training candidates ]
     else
       (* zero state sharing between candidate evaluations: fan the
          chunks out over domains and keep chunk order for determinism *)
@@ -225,8 +249,20 @@ let infer ?(params = default_params) ?(templates = Template.predefined)
       |> List.map (fun chunk ->
              Domain.spawn (fun () ->
                  evaluate_candidates ~params ~min_support training chunk))
-      |> List.concat_map Domain.join
+      |> List.map Domain.join
   in
+  let rules = List.concat_map (fun r -> r.kept_rules) results in
+  Encore_obs.Metrics.incr
+    ~by:(List.length candidates)
+    (Encore_obs.Metrics.counter "rules.candidates");
+  Encore_obs.Metrics.incr
+    ~by:(List.fold_left (fun acc r -> acc + r.rejected_support) 0 results)
+    (Encore_obs.Metrics.counter "rules.rejected_support");
+  Encore_obs.Metrics.incr
+    ~by:(List.fold_left (fun acc r -> acc + r.rejected_confidence) 0 results)
+    (Encore_obs.Metrics.counter "rules.rejected_confidence");
+  Encore_obs.Metrics.incr ~by:(List.length rules)
+    (Encore_obs.Metrics.counter "rules.kept");
   List.sort
     (fun (a : Template.rule) b ->
       match compare b.confidence a.confidence with

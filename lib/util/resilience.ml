@@ -68,6 +68,8 @@ type 'a attempt = {
   backoff_ms : int;
 }
 
+let m_retries = Encore_obs.Metrics.counter "resilience.retries"
+
 let with_retries ?(max_retries = 3) ?(base_delay_ms = 10)
     ?(retry_on = [ Probe_failure ]) ~rng f =
   let rec go attempt backoff =
@@ -79,6 +81,15 @@ let with_retries ?(max_retries = 3) ?(base_delay_ms = 10)
         let delay =
           (base_delay_ms * (1 lsl attempt)) + Prng.int rng (max 1 base_delay_ms)
         in
+        Encore_obs.Metrics.incr m_retries;
+        Encore_obs.Events.emit "retry"
+          ~fields:
+            [
+              ("subject", Encore_obs.Jsonenc.Str d.subject);
+              ("diag_kind", Encore_obs.Jsonenc.Str (kind_to_string d.kind));
+              ("attempt", Encore_obs.Jsonenc.Int attempt);
+              ("delay_ms", Encore_obs.Jsonenc.Int delay);
+            ];
         go (attempt + 1) (backoff + delay)
     | Error d -> { outcome = Error d; retries = attempt; backoff_ms = backoff }
   in
@@ -95,11 +106,23 @@ type breaker = {
 let breaker ?(threshold = 3) () =
   { threshold; failures = Hashtbl.create 16; trip_order = [] }
 
+let m_breaker_trips = Encore_obs.Metrics.counter "resilience.breaker_trips"
+
 let record_failure b ~subject d =
   let prev = Option.value ~default:[] (Hashtbl.find_opt b.failures subject) in
   let now = d :: prev in
   Hashtbl.replace b.failures subject now;
-  if List.length now = b.threshold then b.trip_order <- subject :: b.trip_order
+  if List.length now = b.threshold then begin
+    b.trip_order <- subject :: b.trip_order;
+    Encore_obs.Metrics.incr m_breaker_trips;
+    Encore_obs.Events.emit "breaker_trip"
+      ~fields:
+        [
+          ("subject", Encore_obs.Jsonenc.Str subject);
+          ("failures", Encore_obs.Jsonenc.Int (List.length now));
+          ("diag_kind", Encore_obs.Jsonenc.Str (kind_to_string d.kind));
+        ]
+  end
 
 let record_success b ~subject = Hashtbl.remove b.failures subject
 

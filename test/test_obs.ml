@@ -1,0 +1,395 @@
+(* Tests for the observability layer (lib/obs): span nesting and
+   ordering — including under exceptions — histogram bucket
+   boundaries, the JSONL encoder's escaping, nil-sink no-op cost
+   paths, event-log emission, trace summarization and snapshot
+   determinism of the metric registry under a seeded workload. *)
+
+module Clock = Encore_obs.Clock
+module Jsonenc = Encore_obs.Jsonenc
+module Metrics = Encore_obs.Metrics
+module Trace = Encore_obs.Trace
+module Events = Encore_obs.Events
+module Summary = Encore_obs.Summary
+module Image = Encore_sysenv.Image
+module Profile = Encore_workloads.Profile
+module Population = Encore_workloads.Population
+
+let check = Alcotest.check
+
+(* Every test that touches the global sinks/registry restores a clean
+   slate so suites stay order-independent. *)
+let pristine f () =
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_sink Trace.Nil;
+      Trace.clear ();
+      Events.set_sink Events.Nil;
+      Metrics.reset ();
+      Clock.set_source Clock.default)
+    f
+
+(* --- clock ---------------------------------------------------------------- *)
+
+let test_clock_counter () =
+  let src = Clock.counter ~start:100L ~step_ns:10L () in
+  check Alcotest.int64 "first" 100L (src ());
+  check Alcotest.int64 "second" 110L (src ());
+  Clock.with_source (Clock.counter ~step_ns:5L ()) (fun () ->
+      check Alcotest.int64 "installed source" 0L (Clock.now_ns ());
+      check Alcotest.int64 "advances" 5L (Clock.now_ns ()))
+
+let test_clock_monotonic_clamp () =
+  let values = ref [ 50L; 30L; 70L ] in
+  let src () =
+    match !values with
+    | v :: rest ->
+        values := rest;
+        v
+    | [] -> 99L
+  in
+  Clock.with_source src (fun () ->
+      check Alcotest.int64 "initial" 50L (Clock.now_ns ());
+      check Alcotest.int64 "backwards step clamped" 50L (Clock.now_ns ());
+      check Alcotest.int64 "resumes" 70L (Clock.now_ns ()))
+
+(* --- json encoder --------------------------------------------------------- *)
+
+let roundtrip v =
+  match Jsonenc.of_string (Jsonenc.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+
+let test_json_escaping () =
+  check Alcotest.string "quotes and backslash" {|"a\"b\\c"|}
+    (Jsonenc.to_string (Jsonenc.Str {|a"b\c|}));
+  check Alcotest.string "newline tab cr" {|"a\nb\tc\rd"|}
+    (Jsonenc.to_string (Jsonenc.Str "a\nb\tc\rd"));
+  check Alcotest.string "control char" {|"x\u0001y"|}
+    (Jsonenc.to_string (Jsonenc.Str "x\x01y"));
+  (* UTF-8 bytes above 0x7f pass through unescaped *)
+  check Alcotest.string "non-ascii passthrough" "\"caf\xc3\xa9\""
+    (Jsonenc.to_string (Jsonenc.Str "caf\xc3\xa9"))
+
+let test_json_roundtrip () =
+  let v =
+    Jsonenc.Obj
+      [
+        ("s", Jsonenc.Str "he said \"hi\"\n\x02\xe2\x82\xac");
+        ("n", Jsonenc.Int (-42));
+        ("f", Jsonenc.Float 1.5);
+        ("b", Jsonenc.Bool true);
+        ("z", Jsonenc.Null);
+        ("a", Jsonenc.Arr [ Jsonenc.Int 1; Jsonenc.Str "x" ]);
+      ]
+  in
+  check Alcotest.bool "object round-trips" true (roundtrip v = v);
+  (* decoder expands \uXXXX — including surrogate pairs — to UTF-8 *)
+  (match Jsonenc.of_string {|"€😀"|} with
+  | Ok (Jsonenc.Str s) ->
+      check Alcotest.string "unicode escapes decode to UTF-8"
+        "\xe2\x82\xac\xf0\x9f\x98\x80" s
+  | Ok _ | Error _ -> Alcotest.fail "unicode escape decode failed");
+  match Jsonenc.of_string "{\"a\":1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage must be rejected"
+
+let test_json_nonfinite () =
+  check Alcotest.string "nan is null" "null"
+    (Jsonenc.to_string (Jsonenc.Float Float.nan));
+  check Alcotest.string "inf is null" "null"
+    (Jsonenc.to_string (Jsonenc.Float Float.infinity))
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  check Alcotest.int "0.5 -> bucket 0" 0 (Metrics.bucket_of_value 0.5);
+  check Alcotest.int "1.0 -> bucket 1" 1 (Metrics.bucket_of_value 1.0);
+  check Alcotest.int "1.99 -> bucket 1" 1 (Metrics.bucket_of_value 1.99);
+  check Alcotest.int "2.0 -> bucket 2" 2 (Metrics.bucket_of_value 2.0);
+  check Alcotest.int "4.0 -> bucket 3" 3 (Metrics.bucket_of_value 4.0);
+  check Alcotest.int "huge -> bucket 63" 63 (Metrics.bucket_of_value 1e300);
+  let lo, hi = Metrics.bucket_bounds 3 in
+  check (Alcotest.float 0.0) "bucket 3 lower" 4.0 lo;
+  check (Alcotest.float 0.0) "bucket 3 upper" 8.0 hi;
+  (* boundaries land in the bucket whose inclusive lower bound they are *)
+  List.iter
+    (fun b ->
+      let lo, _ = Metrics.bucket_bounds b in
+      check Alcotest.int
+        (Printf.sprintf "lower bound of bucket %d" b)
+        b
+        (Metrics.bucket_of_value lo))
+    [ 1; 2; 3; 10; 30; 62 ]
+
+let test_metrics_registry () =
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check Alcotest.int "counter" 5 (Metrics.count c);
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set g 2.0;
+  Metrics.set_max g 1.0;
+  Metrics.set_max g 7.0;
+  let h = Metrics.histogram "test.hist" in
+  Metrics.observe h 3.0;
+  Metrics.observe h 3.5;
+  let s = Metrics.snapshot () in
+  check
+    Alcotest.(list (pair string int))
+    "counters" [ ("test.counter", 5) ] s.Metrics.counters;
+  check
+    Alcotest.(list (pair string (float 0.0)))
+    "gauges keeps max" [ ("test.gauge", 7.0) ] s.Metrics.gauges;
+  (match s.Metrics.histograms with
+  | [ ("test.hist", hv) ] ->
+      check Alcotest.int "hist count" 2 hv.Metrics.hv_count;
+      check (Alcotest.float 1e-9) "hist sum" 6.5 hv.Metrics.hv_sum;
+      check
+        Alcotest.(list (pair int int))
+        "hist buckets" [ (2, 2) ] hv.Metrics.hv_buckets
+  | _ -> Alcotest.fail "expected exactly test.hist");
+  (match
+     try
+       ignore (Metrics.gauge "test.counter");
+       None
+     with Invalid_argument m -> Some m
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "kind clash must raise");
+  Metrics.reset ();
+  check Alcotest.int "reset zeroes handles in place" 0 (Metrics.count c);
+  let s = Metrics.snapshot () in
+  check Alcotest.int "snapshot omits untouched instruments" 0
+    (List.length s.Metrics.counters + List.length s.Metrics.gauges
+   + List.length s.Metrics.histograms)
+
+(* --- trace ---------------------------------------------------------------- *)
+
+let span_names spans = List.map (fun (s : Trace.span) -> s.Trace.name) spans
+
+let test_nil_sink_noop () =
+  let ran = ref false in
+  let out = Trace.with_span "outer" (fun () -> ran := true; 41 + 1) in
+  check Alcotest.bool "function ran" true !ran;
+  check Alcotest.int "result returned" 42 out;
+  check Alcotest.int "no roots collected" 0 (List.length (Trace.roots ()));
+  let s = Metrics.snapshot () in
+  check Alcotest.bool "no span histograms under nil sink" true
+    (not
+       (List.exists
+          (fun (n, _) -> String.length n >= 8 && String.sub n 0 8 = "span_us.")
+          s.Metrics.histograms))
+
+let test_span_nesting () =
+  Trace.set_sink Trace.Memory;
+  Clock.with_source (Clock.counter ~step_ns:100L ()) (fun () ->
+      Trace.with_span "root" (fun () ->
+          Trace.with_span "a" (fun () -> Trace.with_span "a1" ignore);
+          Trace.with_span "b" ignore));
+  match Trace.roots () with
+  | [ root ] ->
+      check Alcotest.string "root name" "root" root.Trace.name;
+      check Alcotest.int "root depth" 0 root.Trace.depth;
+      check
+        Alcotest.(list string)
+        "children in completion order" [ "a"; "b" ]
+        (span_names (Trace.children_in_order root));
+      let a = List.hd (Trace.children_in_order root) in
+      check
+        Alcotest.(list string)
+        "grandchild" [ "a1" ]
+        (span_names (Trace.children_in_order a));
+      check (Alcotest.option Alcotest.string) "parent link" (Some "root")
+        a.Trace.parent;
+      check Alcotest.int "a1 depth" 2
+        (List.hd (Trace.children_in_order a)).Trace.depth;
+      check Alcotest.bool "durations from the deterministic clock" true
+        (root.Trace.dur_ns > a.Trace.dur_ns)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_span_exception () =
+  Trace.set_sink Trace.Memory;
+  (try
+     Trace.with_span "boom-root" (fun () ->
+         Trace.with_span "child-ok" ignore;
+         Trace.with_span "child-bad" (fun () -> failwith "kaboom"))
+   with Failure _ -> ());
+  match Trace.roots () with
+  | [ root ] ->
+      check Alcotest.string "exception recorded on root"
+        "error: Failure(\"kaboom\")"
+        (Trace.status_to_string root.Trace.status);
+      let children = Trace.children_in_order root in
+      check
+        Alcotest.(list string)
+        "both children finished" [ "child-ok"; "child-bad" ]
+        (span_names children);
+      check Alcotest.string "ok child stays ok" "ok"
+        (Trace.status_to_string (List.hd children).Trace.status);
+      (* a fresh span can be opened after the failure: current was restored *)
+      Trace.with_span "after" ignore;
+      check Alcotest.int "tracing still works" 2 (List.length (Trace.roots ()))
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_stream_sink_order () =
+  let seen = ref [] in
+  Trace.set_sink (Trace.Stream (fun s -> seen := s.Trace.name :: !seen));
+  Trace.with_span "outer" (fun () -> Trace.with_span "inner" ignore);
+  check
+    Alcotest.(list string)
+    "children stream before parents" [ "inner"; "outer" ]
+    (List.rev !seen)
+
+(* --- events --------------------------------------------------------------- *)
+
+let test_events_buffer () =
+  let buf = Buffer.create 256 in
+  Events.set_sink (Events.Buffer buf);
+  check Alcotest.bool "enabled" true (Events.enabled ());
+  Clock.with_source (Clock.counter ~start:5L ~step_ns:1L ()) (fun () ->
+      Events.emit "ping" ~fields:[ ("x", Jsonenc.Int 1) ];
+      Events.emit_diag ~kind:"parse-error" ~subject:"img-1" ~detail:"d");
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  check Alcotest.int "two lines" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Jsonenc.of_string line with
+      | Error e -> Alcotest.failf "unparseable event line %S: %s" line e
+      | Ok v ->
+          check Alcotest.bool "has ts_ns" true
+            (Option.is_some
+               (Option.bind (Jsonenc.member "ts_ns" v) Jsonenc.to_int_opt)))
+    lines;
+  match Jsonenc.of_string (List.nth lines 1) with
+  | Ok v ->
+      check
+        (Alcotest.option Alcotest.string)
+        "diag kind field" (Some "parse-error")
+        (Option.bind (Jsonenc.member "diag_kind" v) Jsonenc.to_string_opt)
+  | Error e -> Alcotest.failf "diag line: %s" e
+
+(* --- summary -------------------------------------------------------------- *)
+
+let test_summary_of_lines () =
+  let span name parent depth start dur =
+    Jsonenc.to_string
+      (Jsonenc.Obj
+         [
+           ("ts_ns", Jsonenc.Int (start + dur));
+           ("ev", Jsonenc.Str "span");
+           ("name", Jsonenc.Str name);
+           ( "parent",
+             match parent with Some p -> Jsonenc.Str p | None -> Jsonenc.Null );
+           ("depth", Jsonenc.Int depth);
+           ("start_ns", Jsonenc.Int start);
+           ("dur_ns", Jsonenc.Int dur);
+           ("status", Jsonenc.Str "ok");
+         ])
+  in
+  let lines =
+    [
+      span "ingest" (Some "learn") 1 0 300;
+      span "mine" (Some "learn") 1 300 600;
+      span "learn" None 0 0 1000;
+      {|{"ts_ns":1,"ev":"diag","diag_kind":"parse-error","subject":"i","detail":"d"}|};
+      {|{"ts_ns":2,"ev":"diag","diag_kind":"parse-error","subject":"j","detail":"d"}|};
+      "this is not json";
+      "";
+    ]
+  in
+  let s = Summary.of_lines ~top:2 lines in
+  check Alcotest.int "wall from root span" 1000 s.Summary.wall_ns;
+  check Alcotest.int "span count" 3 s.Summary.span_count;
+  check Alcotest.int "bad lines counted" 1 s.Summary.bad_lines;
+  check Alcotest.int "top-k respected" 2 (List.length s.Summary.slowest);
+  (match s.Summary.stages with
+  | [ m; i ] ->
+      check Alcotest.string "stages sorted by time" "mine" m.Summary.stage_name;
+      check (Alcotest.float 0.01) "mine pct" 60.0 m.Summary.pct;
+      check Alcotest.string "second stage" "ingest" i.Summary.stage_name
+  | st -> Alcotest.failf "expected 2 stages, got %d" (List.length st));
+  check (Alcotest.float 0.01) "coverage" 90.0 s.Summary.coverage_pct;
+  check
+    Alcotest.(list (pair string int))
+    "diag kinds" [ ("parse-error", 2) ] s.Summary.diag_kinds;
+  check Alcotest.int "event kinds include spans" 3
+    (Option.value ~default:0 (List.assoc_opt "span" s.Summary.event_kinds))
+
+let test_summary_of_spans_matches_of_lines () =
+  Trace.set_sink Trace.Memory;
+  Clock.with_source (Clock.counter ~step_ns:50L ()) (fun () ->
+      Trace.with_span "learn" (fun () ->
+          Trace.with_span "ingest" ignore;
+          Trace.with_span "assemble" ignore));
+  let s = Summary.of_spans (Trace.roots ()) in
+  check Alcotest.int "three spans" 3 s.Summary.span_count;
+  check
+    Alcotest.(list string)
+    "stage names"
+    [ "assemble"; "ingest" ]
+    (List.sort compare
+       (List.map (fun st -> st.Summary.stage_name) s.Summary.stages)
+    |> List.sort compare);
+  check Alcotest.bool "full coverage of synthetic tree" true
+    (s.Summary.coverage_pct > 0.0)
+
+(* --- determinism under a seeded workload ----------------------------------- *)
+
+let seeded_snapshot () =
+  Metrics.reset ();
+  let profile = { Profile.ec2 with Profile.latent_error_rate = 0.0 } in
+  let images =
+    Population.images (Population.generate ~profile ~seed:11 Image.Mysql ~n:12)
+  in
+  match Encore.Pipeline.learn_resilient images with
+  | Ok _ -> Jsonenc.to_string (Metrics.snapshot_to_json (Metrics.snapshot ()))
+  | Error d ->
+      Alcotest.failf "learn failed: %s"
+        (Encore_util.Resilience.diagnostic_to_string d)
+
+let test_snapshot_determinism () =
+  (* trace sink stays Nil, so no timing histograms leak into the
+     snapshot; everything left is a function of the seeded workload *)
+  let a = seeded_snapshot () in
+  let b = seeded_snapshot () in
+  check Alcotest.string "identical snapshots for identical seeded runs" a b
+
+let () =
+  let t name f = Alcotest.test_case name `Quick (pristine f) in
+  Alcotest.run "encore_obs"
+    [
+      ( "clock",
+        [
+          t "deterministic counter source" test_clock_counter;
+          t "monotonic clamp" test_clock_monotonic_clamp;
+        ] );
+      ( "jsonenc",
+        [
+          t "escaping" test_json_escaping;
+          t "roundtrip" test_json_roundtrip;
+          t "non-finite floats" test_json_nonfinite;
+        ] );
+      ( "metrics",
+        [
+          t "log-scale bucket boundaries" test_histogram_buckets;
+          t "registry operations" test_metrics_registry;
+        ] );
+      ( "trace",
+        [
+          t "nil sink is a no-op" test_nil_sink_noop;
+          t "nesting and ordering" test_span_nesting;
+          t "exception safety" test_span_exception;
+          t "stream sink ordering" test_stream_sink_order;
+        ] );
+      ( "events",
+        [ t "buffer sink emits parseable JSONL" test_events_buffer ] );
+      ( "summary",
+        [
+          t "of_lines" test_summary_of_lines;
+          t "of_spans" test_summary_of_spans_matches_of_lines;
+        ] );
+      ( "determinism",
+        [ t "seeded metric snapshots are identical" test_snapshot_determinism ] );
+    ]

@@ -371,7 +371,13 @@ let test_chaos_harness_acceptance () =
       check Alcotest.bool "chaos-trained model keeps its detection power" true
         (o.Chaosrun.chaos_detected >= o.Chaosrun.clean_detected);
       check Alcotest.bool "degraded-mode notes emitted" true
-        (o.Chaosrun.notes <> [])
+        (o.Chaosrun.notes <> []);
+      check
+        Alcotest.(list string)
+        "telemetry reconciles with the ingest report" []
+        o.Chaosrun.telemetry_notes;
+      check Alcotest.bool "telemetry consistent" true
+        o.Chaosrun.telemetry_consistent
 
 let () =
   Alcotest.run "encore_resilience"

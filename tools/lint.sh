@@ -23,4 +23,14 @@ if grep -rn 'exit [0-9]' lib --include='*.ml'; then
   bad=1
 fi
 
+# Telemetry discipline: wall-clock reads and ad-hoc stderr chatter in
+# library code bypass the observability layer.  lib/obs owns the clock
+# (monotonic, test-pluggable) and the event log; everything else must
+# go through Encore_obs.
+if grep -rn 'Unix\.gettimeofday\|Printf\.eprintf' lib --include='*.ml' \
+   | grep -v '^lib/obs/'; then
+  echo 'lint: time and diagnostics in lib/ must route through Encore_obs (lib/obs)' >&2
+  bad=1
+fi
+
 exit "$bad"
