@@ -13,7 +13,9 @@
    Run with: dune exec bench/main.exe
    Skip timing with: dune exec bench/main.exe -- --tables-only
    Per-stage wall-time of one paper-scale learn/check run:
-   dune exec bench/main.exe -- --stage-times *)
+   dune exec bench/main.exe -- --stage-times [--jobs N]
+   Machine-readable jobs=1 vs jobs=N comparison (regression gate):
+   dune exec bench/main.exe -- --json FILE [--jobs N] *)
 
 open Bechamel
 open Toolkit
@@ -155,40 +157,127 @@ let run_benchmarks () =
 
 (* --- per-stage wall time of one paper-scale run ---------------------------- *)
 
-let print_stage_times () =
-  let module Trace = Encore_obs.Trace in
-  let module Summary = Encore_obs.Summary in
-  let n =
-    match List.assoc_opt Image.Mysql Population.paper_training_sizes with
-    | Some n -> n
-    | None -> 100
+module Trace = Encore_obs.Trace
+module Summary = Encore_obs.Summary
+module Json = Encore_obs.Jsonenc
+
+let paper_n =
+  match List.assoc_opt Image.Mysql Population.paper_training_sizes with
+  | Some n -> n
+  | None -> 100
+
+(* One paper-scale learn (resilient path) + check with [jobs] worker
+   domains, traced into the memory sink; returns the per-stage wall-time
+   summary.  Trace and metric state is reset afterwards so back-to-back
+   runs at different job counts don't contaminate each other. *)
+let run_summary ~jobs =
+  let images =
+    Population.clean (Population.generate ~seed:7 Image.Mysql ~n:paper_n)
   in
-  Printf.printf
-    "=== Per-stage wall time: learn + check, mysql, n=%d (paper scale) ===\n\n"
-    n;
-  let images = Population.clean (Population.generate ~seed:7 Image.Mysql ~n) in
   let target =
     Population.generator_for Image.Mysql Profile.ec2
       (Encore_util.Prng.create 4242) ~id:"bench-target"
   in
+  let config = { Encore.Config.default with Encore.Config.jobs } in
   Trace.set_sink Trace.Memory;
   Fun.protect
     ~finally:(fun () ->
       Trace.set_sink Trace.Nil;
-      Trace.clear ())
+      Trace.clear ();
+      Encore_obs.Metrics.reset ())
     (fun () ->
-      (match Encore.Pipeline.learn_resilient images with
+      (match Encore.Pipeline.learn_resilient ~config images with
        | Ok (model, _report) -> ignore (Detector.check model target)
        | Error d ->
            prerr_endline
              ("learn failed: " ^ Encore_util.Resilience.diagnostic_to_string d);
            exit 1);
-      print_string (Summary.to_string (Summary.of_spans (Trace.roots ()))))
+      Summary.of_spans (Trace.roots ()))
+
+let print_stage_times ~jobs =
+  Printf.printf
+    "=== Per-stage wall time: learn + check, mysql, n=%d (paper scale), \
+     jobs=%d ===\n\n"
+    paper_n jobs;
+  print_string (Summary.to_string (run_summary ~jobs))
+
+(* --- machine-readable regression gate: bench --json FILE ------------------- *)
+
+let stage_ns (s : Summary.t) name =
+  match
+    List.find_opt (fun st -> st.Summary.stage_name = name) s.Summary.stages
+  with
+  | Some st -> st.Summary.total_ns
+  | None -> 0
+
+let speedup base par = if par <= 0 then 0.0 else float_of_int base /. float_of_int par
+
+(* Time the same paper-scale run sequentially and with [jobs] worker
+   domains and emit one JSON document comparing them, stage by stage.
+   CI can diff the speedup fields against a committed baseline. *)
+let write_json ~jobs path =
+  let base = run_summary ~jobs:1 in
+  let par = run_summary ~jobs in
+  let stage_names =
+    List.sort_uniq compare
+      (List.map (fun st -> st.Summary.stage_name)
+         (base.Summary.stages @ par.Summary.stages))
+  in
+  let stages =
+    List.map
+      (fun name ->
+        let b = stage_ns base name and p = stage_ns par name in
+        Json.Obj
+          [ ("name", Json.Str name);
+            ("jobs1_ns", Json.Int b);
+            ("jobsN_ns", Json.Int p);
+            ("speedup", Json.Float (speedup b p)) ])
+      stage_names
+  in
+  let json =
+    Json.Obj
+      [ ("schema", Json.Str "encore-bench/1");
+        ("app", Json.Str "mysql");
+        ("images", Json.Int paper_n);
+        ("jobs_baseline", Json.Int 1);
+        ("jobs_parallel", Json.Int jobs);
+        ("wall_ns",
+         Json.Obj
+           [ ("jobs1", Json.Int base.Summary.wall_ns);
+             ("jobsN", Json.Int par.Summary.wall_ns);
+             ("speedup",
+              Json.Float (speedup base.Summary.wall_ns par.Summary.wall_ns)) ]);
+        ("stages", Json.Arr stages) ]
+  in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "bench json written to %s (jobs=1 vs jobs=%d: %.2fx wall)\n"
+    path jobs
+    (speedup base.Summary.wall_ns par.Summary.wall_ns)
 
 let () =
-  let has flag = Array.exists (fun a -> a = flag) Sys.argv in
-  if has "--stage-times" then print_stage_times ()
-  else begin
-    print_tables ();
-    if not (has "--tables-only") then run_benchmarks ()
-  end
+  let argv = Sys.argv in
+  let has flag = Array.exists (fun a -> a = flag) argv in
+  let value_of flag =
+    let v = ref None in
+    Array.iteri
+      (fun i a -> if a = flag && i + 1 < Array.length argv then v := Some argv.(i + 1))
+      argv;
+    !v
+  in
+  let jobs =
+    match value_of "--jobs" with
+    | Some s -> (try max 1 (int_of_string s) with Failure _ -> 1)
+    | None -> Domain.recommended_domain_count ()
+  in
+  match value_of "--json" with
+  | Some path -> write_json ~jobs path
+  | None ->
+      if has "--stage-times" then print_stage_times ~jobs
+      else begin
+        print_tables ();
+        if not (has "--tables-only") then run_benchmarks ()
+      end

@@ -67,15 +67,23 @@ let custom_arg =
   Arg.(value & opt (some file) None
        & info [ "custom" ] ~docv:"FILE" ~doc:"Customization file (Figure 6 format).")
 
+let jobs_arg =
+  Arg.(value & opt int (Domain.recommended_domain_count ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the learning pipeline (default: the \
+                 machine's recommended domain count; 1 = sequential). \
+                 Learned models are identical for every value.")
+
 let read_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let learn_model ?custom ~seed ~profile app n =
+let learn_model ?custom ~seed ~profile ~jobs app n =
   let images = Population.clean (Population.generate ~profile ~seed app ~n) in
   let custom = Option.map read_file custom in
-  (Encore.Pipeline.learn ?custom images, List.length images)
+  let config = { Encore.Config.default with Encore.Config.seed; jobs } in
+  (Encore.Pipeline.learn ~config ?custom images, List.length images)
 
 (* --- telemetry plumbing -------------------------------------------------- *)
 
@@ -174,9 +182,9 @@ let chaos_frac_arg =
                  pipeline faults (truncation, garbage bytes, probe flaps) \
                  before learning.")
 
-let learn seed profile app n custom mode max_retries chaos_frac trace metrics =
+let learn seed profile app n custom mode max_retries chaos_frac jobs trace metrics =
   with_telemetry ~trace ~metrics @@ fun () ->
-  let config = { Encore.Config.default with Encore.Config.seed = seed } in
+  let config = { Encore.Config.default with Encore.Config.seed; jobs } in
   let images = Population.clean (Population.generate ~profile ~seed app ~n) in
   let images, stormed =
     if chaos_frac > 0.0 then begin
@@ -208,13 +216,15 @@ let learn_cmd =
   let doc = "Learn configuration rules from a generated population." in
   Cmd.v (Cmd.info "learn" ~doc)
     Term.(const learn $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg
-          $ mode_arg $ max_retries_arg $ chaos_frac_arg $ trace_arg $ metrics_arg)
+          $ mode_arg $ max_retries_arg $ chaos_frac_arg $ jobs_arg
+          $ trace_arg $ metrics_arg)
 
 (* --- chaos ----------------------------------------------------------------- *)
 
-let chaos seed app n fraction max_retries trace metrics =
+let chaos seed app n fraction max_retries jobs trace metrics =
   with_telemetry ~trace ~metrics @@ fun () ->
-  match Encore.Chaosrun.run ~n ~fraction ~max_retries ~app ~seed () with
+  let config = { Encore.Config.default with Encore.Config.jobs = jobs } in
+  match Encore.Chaosrun.run ~config ~n ~fraction ~max_retries ~app ~seed () with
   | Error d ->
       prerr_endline
         ("chaos run failed: " ^ Encore_util.Resilience.diagnostic_to_string d);
@@ -233,13 +243,13 @@ let chaos_cmd =
           $ Arg.(value & opt float 0.3
                  & info [ "fraction" ] ~docv:"FRAC"
                      ~doc:"Fraction of the population to damage.")
-          $ max_retries_arg $ trace_arg $ metrics_arg)
+          $ max_retries_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- check ---------------------------------------------------------------- *)
 
-let check seed profile app n custom threshold trace metrics =
+let check seed profile app n custom threshold jobs trace metrics =
   with_telemetry ~trace ~metrics @@ fun () ->
-  let model, trained = learn_model ?custom ~seed ~profile app n in
+  let model, trained = learn_model ?custom ~seed ~profile ~jobs app n in
   Printf.printf "model: %d rules from %d images\n" (List.length model.Detector.rules) trained;
   let rng = Encore_util.Prng.create (seed + 10_000) in
   let target = Population.generator_for app profile rng ~id:"held-out" in
@@ -265,7 +275,7 @@ let check_cmd =
   let doc = "Misconfigure a held-out image and run the detector against it." in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const check $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg
-          $ threshold_arg $ trace_arg $ metrics_arg)
+          $ threshold_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- inject ---------------------------------------------------------------- *)
 
@@ -328,8 +338,8 @@ let experiment_cmd =
 
 (* --- save / load-check -------------------------------------------------------- *)
 
-let save seed profile app n custom output =
-  let model, trained = learn_model ?custom ~seed ~profile app n in
+let save seed profile app n custom jobs output =
+  let model, trained = learn_model ?custom ~seed ~profile ~jobs app n in
   Encore_detect.Model_io.save output model;
   Printf.printf "saved a model learned from %d images (%d rules, %d typed columns) to %s\n"
     trained (List.length model.Detector.rules) (List.length model.Detector.types)
@@ -339,6 +349,7 @@ let save_cmd =
   let doc = "Learn a model and serialize it to a file." in
   Cmd.v (Cmd.info "save" ~doc)
     Term.(const save $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg
+          $ jobs_arg
           $ Arg.(required & opt (some string) None
                  & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Model output path."))
 
@@ -379,8 +390,8 @@ let load_cmd =
 
 (* --- testgen -------------------------------------------------------------------- *)
 
-let testgen seed profile app n =
-  let model, _ = learn_model ~seed ~profile app n in
+let testgen seed profile app n jobs =
+  let model, _ = learn_model ~seed ~profile ~jobs app n in
   let rng = Encore_util.Prng.create (seed + 30_000) in
   let img = Population.generator_for app profile rng ~id:"seed-image" in
   let cases = Encore.Testgen.generate model img in
@@ -402,7 +413,7 @@ let testgen seed profile app n =
 let testgen_cmd =
   let doc = "Generate rule-violating configuration test cases (paper section 8)." in
   Cmd.v (Cmd.info "testgen" ~doc)
-    Term.(const testgen $ seed_arg $ profile_arg $ app_arg $ count_arg 100)
+    Term.(const testgen $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ jobs_arg)
 
 (* --- ablation --------------------------------------------------------------------- *)
 
@@ -439,7 +450,7 @@ let ablation_cmd =
 
 (* --- case ----------------------------------------------------------------- *)
 
-let run_case case_id seed =
+let run_case case_id seed jobs =
   let cases = Encore_workloads.Cases.all ~seed:(seed + 900) in
   match List.find_opt (fun c -> c.Encore_workloads.Cases.case_id = case_id) cases with
   | None ->
@@ -454,7 +465,10 @@ let run_case case_id seed =
         Option.value ~default:100
           (List.assoc_opt case.Encore_workloads.Cases.app Population.paper_training_sizes)
       in
-      let model, _ = learn_model ~seed ~profile:Profile.ec2 case.Encore_workloads.Cases.app n in
+      let model, _ =
+        learn_model ~seed ~profile:Profile.ec2 ~jobs
+          case.Encore_workloads.Cases.app n
+      in
       let warnings =
         List.filter
           (fun w -> w.Encore_detect.Warning.score >= 0.55)
@@ -481,7 +495,7 @@ let case_cmd =
   Cmd.v (Cmd.info "case" ~doc)
     Term.(const run_case
           $ Arg.(value & pos 0 int 3 & info [] ~docv:"ID")
-          $ seed_arg)
+          $ seed_arg $ jobs_arg)
 
 (* --- study ------------------------------------------------------------------ *)
 

@@ -4,6 +4,7 @@ type t = {
   entropy_threshold : float;
   detection_score : float;
   seed : int;
+  jobs : int;
 }
 
 let default =
@@ -13,6 +14,7 @@ let default =
     entropy_threshold = Encore_util.Stats.entropy_threshold_90_10;
     detection_score = 0.55;
     seed = 42;
+    jobs = 1;
   }
 
 let rule_params t =

@@ -11,6 +11,11 @@ type t = {
   detection_score : float;
       (** a warning counts as a detection when its score reaches this *)
   seed : int;  (** master seed for the deterministic experiments *)
+  jobs : int;
+      (** worker domains for the learning pipeline (default 1 =
+          sequential; the CLI defaults its [-j] flag to
+          [Domain.recommended_domain_count]).  Learned models are
+          identical for every value. *)
 }
 
 val default : t

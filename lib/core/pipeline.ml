@@ -26,18 +26,29 @@ let templates_result custom =
                (Printf.sprintf "line %d: %s" e.Encore_rules.Customfile.line
                   e.Encore_rules.Customfile.message)))
 
-let learn_result ?(config = Config.default) ?custom images =
+(* Run [f] with the caller's pool, a transient pool of [config.jobs]
+   workers, or none (sequential) — the learned artifacts are identical
+   in all three cases. *)
+let with_configured_pool ~config pool f =
+  match pool with
+  | Some _ -> f pool
+  | None when config.Config.jobs > 1 ->
+      Encore_util.Pool.with_pool ~jobs:config.Config.jobs (fun p -> f (Some p))
+  | None -> f None
+
+let learn_result ?(config = Config.default) ?custom ?pool images =
   match templates_result custom with
   | Error d -> Error d
   | Ok templates ->
       Ok
-        (Detector.learn
-           ~params:(Config.rule_params config)
-           ~templates
-           ~entropy_threshold:config.Config.entropy_threshold images)
+        (with_configured_pool ~config pool (fun pool ->
+             Detector.learn
+               ~params:(Config.rule_params config)
+               ~templates
+               ~entropy_threshold:config.Config.entropy_threshold ?pool images))
 
-let learn ?config ?custom images =
-  match learn_result ?config ?custom images with
+let learn ?config ?custom ?pool images =
+  match learn_result ?config ?custom ?pool images with
   | Ok model -> model
   | Error d -> invalid_arg (d.Res.subject ^ ", " ^ d.Res.detail)
 
@@ -120,7 +131,9 @@ let emit_report_telemetry report =
       ]
 
 let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
-    ?max_retries ?flaky ?(mining_cap = default_mining_cap) images =
+    ?max_retries ?flaky ?(mining_cap = default_mining_cap) ?pool images =
+  with_configured_pool ~config pool
+  @@ fun pool ->
   Otrace.with_span "learn"
     ~attrs:[ ("images", Json.Int (List.length images)) ]
   @@ fun () ->
@@ -135,38 +148,96 @@ let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
   let breaker = Res.breaker ~threshold:1 () in
   let retried = ref 0 and backoff = ref 0 in
   let warnings = ref [] in
-  let rec ingest acc = function
+  let probe img =
+    let att =
+      Otrace.with_span "probe"
+        ~attrs:[ ("image", Json.Str img.Image.image_id) ]
+        (fun () -> Flaky.collect_with_retries ?max_retries flaky img)
+    in
+    retried := !retried + att.Res.retries;
+    backoff := !backoff + att.Res.backoff_ms;
+    att.Res.outcome
+  in
+  let parse img =
+    Otrace.with_span "parse"
+      ~attrs:[ ("image", Json.Str img.Image.image_id) ]
+      (fun () -> Registry.parse_image_diag img)
+  in
+  (* Fail-fast path: probe and parse strictly interleaved, aborting on
+     the first fatal diagnostic, exactly as a sequential run would —
+     the flaky simulator's PRNG must not be drawn for images past the
+     failure point. *)
+  let rec ingest_fail_fast acc = function
     | [] -> Ok (List.rev acc)
     | img :: rest -> (
         let id = img.Image.image_id in
-        let att =
-          Otrace.with_span "probe" ~attrs:[ ("image", Json.Str id) ] (fun () ->
-              Flaky.collect_with_retries ?max_retries flaky img)
-        in
-        retried := !retried + att.Res.retries;
-        backoff := !backoff + att.Res.backoff_ms;
-        match att.Res.outcome with
+        match probe img with
         | Error d ->
             Res.record_failure breaker ~subject:id d;
-            if mode = Fail_fast then Error d else ingest acc rest
+            Error d
         | Ok (_records, probe_diags) -> (
             warnings := !warnings @ probe_diags;
-            let parsed =
-              Otrace.with_span "parse" ~attrs:[ ("image", Json.Str id) ]
-                (fun () -> Registry.parse_image_diag img)
-            in
+            let parsed = parse img in
             match parsed.Registry.fatal with
-            | first :: _ as fatal ->
-                List.iter
-                  (fun d -> Res.record_failure breaker ~subject:id d)
-                  fatal;
-                if mode = Fail_fast then Error first else ingest acc rest
+            | first :: _ -> Error first
             | [] ->
                 warnings := !warnings @ parsed.Registry.warnings;
                 Res.record_success breaker ~subject:id;
-                ingest (img :: acc) rest))
+                ingest_fail_fast (img :: acc) rest))
   in
-  let* survivors = Otrace.with_span "ingest" (fun () -> ingest [] images) in
+  (* Keep-going path, in three phases.  Probing stays sequential: the
+     flaky simulator owns one PRNG stream whose draw order defines
+     reproducibility (and chaos tests feed stateful simulators).
+     Parsing — the expensive phase — fans out over the pool.  The
+     final merge walks images in order, so the breaker's quarantine
+     list, the warning order and the ingest report are byte-identical
+     to a sequential run. *)
+  let ingest_keep_going () =
+    let probed = List.map (fun img -> (img, probe img)) images in
+    let to_parse =
+      List.filter_map
+        (fun (img, outcome) ->
+          match outcome with Ok _ -> Some img | Error _ -> None)
+        probed
+    in
+    let parsed =
+      match pool with
+      | Some p -> Encore_util.Pool.map p (fun img -> (img, parse img)) to_parse
+      | None -> List.map (fun img -> (img, parse img)) to_parse
+    in
+    let survivors =
+      List.filter_map
+        (fun (img, outcome) ->
+          let id = img.Image.image_id in
+          match outcome with
+          | Error d ->
+              Res.record_failure breaker ~subject:id d;
+              None
+          | Ok (_records, probe_diags) -> (
+              warnings := !warnings @ probe_diags;
+              match List.assq img parsed with
+              | exception Not_found -> None
+              | parsed -> (
+                  match parsed.Registry.fatal with
+                  | _ :: _ as fatal ->
+                      List.iter
+                        (fun d -> Res.record_failure breaker ~subject:id d)
+                        fatal;
+                      None
+                  | [] ->
+                      warnings := !warnings @ parsed.Registry.warnings;
+                      Res.record_success breaker ~subject:id;
+                      Some img)))
+        probed
+    in
+    Ok survivors
+  in
+  let* survivors =
+    Otrace.with_span "ingest" (fun () ->
+        match mode with
+        | Fail_fast -> ingest_fail_fast [] images
+        | Keep_going -> ingest_keep_going ())
+  in
   Ometrics.incr ~by:(List.length images) m_images_total;
   Ometrics.incr ~by:!retried m_retries;
   Ometrics.incr ~by:!backoff m_backoff_ms;
@@ -180,7 +251,7 @@ let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
   | _ ->
       let assembled =
         Otrace.with_span "assemble" (fun () ->
-            Assemble.assemble_training survivors)
+            Assemble.assemble_training ?pool survivors)
       in
       let rows = Encore_dataset.Table.rows assembled.Assemble.table in
       let training = List.map2 (fun img (_, row) -> (img, row)) survivors rows in
@@ -188,7 +259,7 @@ let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
         Detector.model_of_training
           ~params:(Config.rule_params config)
           ~templates
-          ~entropy_threshold:config.Config.entropy_threshold
+          ~entropy_threshold:config.Config.entropy_threshold ?pool
           ~types:assembled.Assemble.types training
       in
       let mining_overflowed =

@@ -13,15 +13,23 @@
 type model = Encore_detect.Detector.model
 
 val learn_result :
-  ?config:Config.t -> ?custom:string -> Encore_sysenv.Image.t list ->
+  ?config:Config.t -> ?custom:string -> ?pool:Encore_util.Pool.t ->
+  Encore_sysenv.Image.t list ->
   (model, Encore_util.Resilience.diagnostic) result
 (** Learn a model from training images.  [custom] is the text of a
     customization file (paper Figure 6): its types are registered and
     its templates used in addition to the predefined ones.  A malformed
-    customization file yields [Error] with kind [Custom_rule_error]. *)
+    customization file yields [Error] with kind [Custom_rule_error].
+
+    Parallelism: with [pool], assembly and candidate-rule evaluation run
+    on its worker domains.  Without [pool], a transient pool of
+    [config.jobs] workers is used when [config.jobs > 1]; otherwise the
+    pipeline is sequential.  The learned model is byte-identical in all
+    cases. *)
 
 val learn :
-  ?config:Config.t -> ?custom:string -> Encore_sysenv.Image.t list -> model
+  ?config:Config.t -> ?custom:string -> ?pool:Encore_util.Pool.t ->
+  Encore_sysenv.Image.t list -> model
 (** Raising wrapper over {!learn_result}, kept for API compatibility.
     @raise Invalid_argument when the customization file is malformed. *)
 
@@ -66,6 +74,7 @@ val learn_resilient :
   ?max_retries:int ->
   ?flaky:Encore_sysenv.Flaky.t ->
   ?mining_cap:int ->
+  ?pool:Encore_util.Pool.t ->
   Encore_sysenv.Image.t list ->
   (model * ingest_report, Encore_util.Resilience.diagnostic) result
 (** Total learning path.  Each image is probed through [flaky] (default:
@@ -78,7 +87,14 @@ val learn_resilient :
     [mining_cap], default {!default_mining_cap}) sets the model's
     [overflowed] bit.  [Error] in keep-going mode only for a malformed
     customization file or a fully-quarantined population.  Never
-    raises. *)
+    raises.
+
+    Parallelism follows the same rule as {!learn_result}: an explicit
+    [pool], else a transient pool of [config.jobs] workers.  Probing
+    stays sequential (the flaky simulator's PRNG draw order defines
+    reproducibility); parsing, assembly and rule inference fan out.
+    The model and ingest report are byte-identical for any pool
+    size. *)
 
 val report_to_string : ingest_report -> string
 

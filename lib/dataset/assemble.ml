@@ -21,24 +21,32 @@ let augment_row ~types img base_row =
   in
   Row.of_list (Row.to_list base_row @ augmented @ Augment.globals img)
 
-let assemble_training images =
+let pmap pool f xs =
+  match pool with
+  | Some p -> Encore_util.Pool.map p f xs
+  | None -> List.map f xs
+
+let assemble_training ?pool images =
   (* pass 1: parse every image and infer column types on the raw data *)
-  let parsed = List.map (fun img -> (img, parse_only img)) images in
+  let parsed = pmap pool (fun img -> (img, parse_only img)) images in
   let config_types =
     Infer.infer
       (List.map (fun (img, row) -> (img, Row.to_list row)) parsed)
   in
   (* pass 2: augment according to the types *)
   let rows =
-    List.map
+    pmap pool
       (fun (img, row) ->
         (img.Image.image_id, augment_row ~types:config_types img row))
       parsed
   in
   (* infer types for the augmented columns too, so rules can reference
      them; augmentation-derived columns have canonical suffix types *)
+  let table = Table.of_rows rows in
+  let img_rows =
+    List.map2 (fun (img, _) (_, row) -> (img, row)) parsed rows
+  in
   let aug_types =
-    let tbl = Table.of_rows rows in
     List.filter_map
       (fun col ->
         if Infer.find config_types col <> None then None
@@ -47,7 +55,7 @@ let assemble_training images =
             ( col,
               { Infer.ctype = Augment.augmented_type col;
                 agreement = 1.0;
-                samples = Table.column_support tbl col } )
+                samples = Table.column_support table col } )
         else
           (* global attributes: infer from their values *)
           let samples =
@@ -56,14 +64,12 @@ let assemble_training images =
                 match Row.get row col with
                 | Some v -> Some (img, v)
                 | None -> None)
-              (List.map2
-                 (fun (img, _) (_, row) -> (img, row))
-                 parsed rows)
+              img_rows
           in
           Some (col, Infer.infer_column samples))
-      (Table.columns (Table.of_rows rows))
+      (Table.columns table)
   in
-  { table = Table.of_rows rows; types = config_types @ aug_types }
+  { table; types = config_types @ aug_types }
 
 let assemble_target ~types img =
   augment_row ~types img (parse_only img)

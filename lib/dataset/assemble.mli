@@ -17,8 +17,11 @@ val parse_only : Encore_sysenv.Image.t -> Row.t
 (** Configuration entries alone (no augmentation): the "Original"
     attribute view of paper Table 2. *)
 
-val assemble_training : Encore_sysenv.Image.t list -> assembled
-(** Full pipeline over a training set. *)
+val assemble_training :
+  ?pool:Encore_util.Pool.t -> Encore_sysenv.Image.t list -> assembled
+(** Full pipeline over a training set.  With [pool], the per-image
+    parse and augmentation passes run on its worker domains; the result
+    is identical for any pool size. *)
 
 val assemble_target :
   types:Encore_typing.Infer.env -> Encore_sysenv.Image.t -> Row.t

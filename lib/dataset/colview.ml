@@ -1,0 +1,32 @@
+module Symtab = Encore_util.Symtab
+
+type t = {
+  tab : Symtab.t;
+  columns : string list array array;  (* [attr_id].(row) *)
+  rows : int;
+}
+
+let of_rows rows =
+  let n = List.length rows in
+  let tab = Symtab.create ~size:256 () in
+  (* pass 1: fix the id order without materializing columns *)
+  List.iter
+    (fun row -> List.iter (fun a -> ignore (Symtab.intern tab a)) (Row.attrs row))
+    rows;
+  let columns =
+    Array.init (Symtab.size tab) (fun _ -> Array.make n [])
+  in
+  List.iteri
+    (fun i row ->
+      List.iter
+        (fun a -> columns.(Symtab.intern tab a).(i) <- Row.get_all row a)
+        (Row.attrs row))
+    rows;
+  { tab; columns; rows = n }
+
+let n_rows t = t.rows
+let n_attrs t = Symtab.size t.tab
+let attrs t = Array.to_list (Symtab.to_array t.tab)
+let id t a = Symtab.find t.tab a
+let column t i = t.columns.(i)
+let values t ~attr ~row = t.columns.(attr).(row)

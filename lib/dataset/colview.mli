@@ -1,0 +1,32 @@
+(** Columnar (int-indexed) view of an assembled training set.
+
+    Candidate-rule evaluation touches every (attribute, row) pair once
+    per candidate; going through {!Row.get_all} costs a string hash and
+    a hashtable probe per touch.  This view pays the hashing once —
+    attribute names are interned into a {!Encore_util.Symtab} — and
+    stores each column as a row-indexed array of instance lists, so the
+    per-candidate inner loop is two array loads per row.
+
+    The view is immutable after construction and safe to share across
+    pool worker domains. *)
+
+type t
+
+val of_rows : Row.t list -> t
+(** Column order is first-appearance order across the rows, matching
+    {!Table.columns}. *)
+
+val n_rows : t -> int
+val n_attrs : t -> int
+
+val attrs : t -> string list
+(** Attribute names in id order (= first-appearance order). *)
+
+val id : t -> string -> int option
+(** The column id of an attribute, if present in any row. *)
+
+val column : t -> int -> string list array
+(** Row-indexed instances of one attribute; [[]] where absent.  The
+    returned array is the view's own — do not mutate. *)
+
+val values : t -> attr:int -> row:int -> string list

@@ -10,10 +10,21 @@ let is_numeric_column values =
 
 let bin_label attr lo hi = Printf.sprintf "%s in [%g,%g)" attr lo hi
 
-let numeric_item attr values v =
-  let floats = List.filter_map Encore_util.Strutil.parse_number values in
-  let lo = List.fold_left min infinity floats in
-  let hi = List.fold_left max neg_infinity floats in
+(* Per-column rendering decision, fixed once per column instead of
+   re-scanning the column's values for every cell. *)
+type column_kind =
+  | Text
+  | Numeric of float * float  (* lo, hi over the column *)
+
+let column_kind ~numeric values =
+  if numeric && is_numeric_column values then
+    let floats = List.filter_map Encore_util.Strutil.parse_number values in
+    let lo = List.fold_left min infinity floats in
+    let hi = List.fold_left max neg_infinity floats in
+    Numeric (lo, hi)
+  else Text
+
+let numeric_item attr lo hi v =
   let x = Option.value ~default:lo (Encore_util.Strutil.parse_number v) in
   if hi <= lo then bin_label attr lo (lo +. 1.0)
   else
@@ -25,14 +36,16 @@ let numeric_item attr values v =
     bin_label attr blo (blo +. width)
 
 let items_of_table ?(numeric = true) table =
-  let columns = Table.columns table in
-  let column_vals =
-    List.map (fun c -> (c, Table.column_values table c)) columns
-  in
+  let kinds = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace kinds c
+        (column_kind ~numeric (Table.column_values table c)))
+    (Table.columns table);
   let item_of attr v =
-    let values = List.assoc attr column_vals in
-    if numeric && is_numeric_column values then numeric_item attr values v
-    else attr ^ "=" ^ v
+    match Hashtbl.find_opt kinds attr with
+    | Some (Numeric (lo, hi)) -> numeric_item attr lo hi v
+    | Some Text | None -> attr ^ "=" ^ v
   in
   let row_items =
     Array.of_list
@@ -49,16 +62,17 @@ let items_of_table ?(numeric = true) table =
 
 let transactions table =
   let universe, row_items = items_of_table table in
-  let dict = Array.of_list universe in
-  let index = Hashtbl.create (Array.length dict) in
-  Array.iteri (fun i item -> Hashtbl.add index item i) dict;
+  (* interning in sorted-universe order keeps ids identical to the
+     historical dictionary layout *)
+  let tab = Encore_util.Symtab.create ~size:(List.length universe) () in
+  List.iter (fun item -> ignore (Encore_util.Symtab.intern tab item)) universe;
   let encode items =
     items
-    |> List.map (fun item -> Hashtbl.find index item)
+    |> List.map (Encore_util.Symtab.intern tab)
     |> List.sort_uniq compare
     |> Array.of_list
   in
-  (Array.map encode row_items, dict)
+  (Array.map encode row_items, Encore_util.Symtab.to_array tab)
 
 let binomial_count table =
   let universe, _ = items_of_table table in

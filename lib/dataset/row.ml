@@ -1,22 +1,47 @@
-(* Representation: reversed list of pairs, plus an index for lookups. *)
-type t = { rev_pairs : (string * string) list; index : (string, string list) Hashtbl.t }
+(* Representation: reversed list of pairs, an attribute index for
+   lookups, and the distinct attribute names in reverse first-seen
+   order.  The index buckets hold instances in source order; they are
+   built by prepending (reversed) and flipped once per bucket, so
+   constructing a row from n pairs is O(n) instead of the quadratic
+   [existing @ [ value ]] append-per-pair. *)
+type t = {
+  rev_pairs : (string * string) list;
+  index : (string, string list) Hashtbl.t;
+  rev_attrs : string list;
+}
 
-let empty = { rev_pairs = []; index = Hashtbl.create 4 }
+let empty = { rev_pairs = []; index = Hashtbl.create 4; rev_attrs = [] }
+
+let rev_attrs_of index pairs =
+  List.fold_left
+    (fun acc (attr, _) ->
+      match Hashtbl.find_opt index attr with
+      | Some _ -> acc
+      | None ->
+          Hashtbl.add index attr [];
+          attr :: acc)
+    [] pairs
+
+let of_list pairs =
+  let index = Hashtbl.create (max 4 (List.length pairs)) in
+  let rev_attrs = rev_attrs_of index pairs in
+  List.iter
+    (fun (attr, value) -> Hashtbl.replace index attr (value :: Hashtbl.find index attr))
+    pairs;
+  (* each bucket was accumulated newest-first: reverse once *)
+  Hashtbl.filter_map_inplace (fun _ values -> Some (List.rev values)) index;
+  { rev_pairs = List.rev pairs; index; rev_attrs }
 
 let add t attr value =
   let index = Hashtbl.copy t.index in
   let existing = Option.value ~default:[] (Hashtbl.find_opt index attr) in
   Hashtbl.replace index attr (existing @ [ value ]);
-  { rev_pairs = (attr, value) :: t.rev_pairs; index }
-
-let of_list pairs =
-  let index = Hashtbl.create (List.length pairs) in
-  List.iter
-    (fun (attr, value) ->
-      let existing = Option.value ~default:[] (Hashtbl.find_opt index attr) in
-      Hashtbl.replace index attr (existing @ [ value ]))
-    pairs;
-  { rev_pairs = List.rev pairs; index }
+  {
+    rev_pairs = (attr, value) :: t.rev_pairs;
+    index;
+    rev_attrs =
+      (if Hashtbl.mem t.index attr then t.rev_attrs else attr :: t.rev_attrs);
+  }
 
 let to_list t = List.rev t.rev_pairs
 
@@ -27,18 +52,12 @@ let get t attr =
 
 let get_all t attr = Option.value ~default:[] (Hashtbl.find_opt t.index attr)
 
-let mem t attr = Hashtbl.mem t.index attr
+let mem t attr =
+  match Hashtbl.find_opt t.index attr with
+  | Some (_ :: _) -> true
+  | Some [] | None -> false
 
-let attrs t =
-  let seen = Hashtbl.create 16 in
-  List.filter_map
-    (fun (attr, _) ->
-      if Hashtbl.mem seen attr then None
-      else begin
-        Hashtbl.add seen attr ();
-        Some attr
-      end)
-    (to_list t)
+let attrs t = List.rev t.rev_attrs
 
 let cardinal t = List.length t.rev_pairs
 

@@ -27,10 +27,10 @@ let m_filtered_redundant = Ometrics.counter "rules.filtered_redundant"
 let m_filtered_entropy = Ometrics.counter "rules.filtered_entropy"
 
 let model_of_training ?(params = Rinfer.default_params) ?templates
-    ?entropy_threshold ~types training =
+    ?entropy_threshold ?pool ~types training =
   let inferred =
     Otrace.with_span "rule-infer" (fun () ->
-        Rinfer.infer ~params ?templates ~types training)
+        Rinfer.infer ~params ?templates ?pool ~types training)
   in
   let kept =
     Otrace.with_span "rule-filter" (fun () ->
@@ -77,17 +77,17 @@ let model_of_training ?(params = Rinfer.default_params) ?templates
     overflowed = false;
   }
 
-let learn ?params ?templates ?entropy_threshold images =
+let learn ?params ?templates ?entropy_threshold ?pool images =
   Otrace.with_span "learn" (fun () ->
       let assembled =
         Otrace.with_span "assemble" (fun () ->
-            Assemble.assemble_training images)
+            Assemble.assemble_training ?pool images)
       in
       let rows = Encore_dataset.Table.rows assembled.Assemble.table in
       let training =
         List.map2 (fun img (_, row) -> (img, row)) images rows
       in
-      model_of_training ?params ?templates ?entropy_threshold
+      model_of_training ?params ?templates ?entropy_threshold ?pool
         ~types:assembled.Assemble.types training)
 
 type checks = {

@@ -34,14 +34,18 @@ val learn :
   ?params:Encore_rules.Infer.params ->
   ?templates:Encore_rules.Template.t list ->
   ?entropy_threshold:float ->
+  ?pool:Encore_util.Pool.t ->
   Encore_sysenv.Image.t list -> model
 (** Full learning pipeline: assemble the training set, infer rules from
-    the templates, apply support/confidence plus the entropy filter. *)
+    the templates, apply support/confidence plus the entropy filter.
+    With [pool], assembly and candidate evaluation run on its worker
+    domains; the model is identical for any pool size. *)
 
 val model_of_training :
   ?params:Encore_rules.Infer.params ->
   ?templates:Encore_rules.Template.t list ->
   ?entropy_threshold:float ->
+  ?pool:Encore_util.Pool.t ->
   types:Encore_typing.Infer.env ->
   (Encore_sysenv.Image.t * Encore_dataset.Row.t) list -> model
 (** Same, from an already-assembled training set. *)

@@ -1,34 +1,38 @@
 type result = { frequent : (Itemset.t * int) list; overflowed : bool }
 
+(* Children and header chains are hashtable-backed: tree insertion and
+   conditional-base extraction are the miner's hot path, and the assoc
+   lists they replace made every child lookup linear in the fanout. *)
 type node = {
   item : int;
   mutable count : int;
   parent : node option;
-  mutable children : (int * node) list;
+  children : (int, node) Hashtbl.t;
 }
 
 type tree = {
   root : node;
-  mutable header : (int * node list ref) list;  (** item -> node chain *)
+  header : (int, node list ref) Hashtbl.t;  (** item -> node chain *)
 }
 
 exception Overflow
 
-let new_node ?parent item = { item; count = 0; parent; children = [] }
+let new_node ?parent item =
+  { item; count = 0; parent; children = Hashtbl.create 4 }
 
 let tree_insert tree sorted_items count =
   let rec go node = function
     | [] -> ()
     | item :: rest ->
         let child =
-          match List.assoc_opt item node.children with
+          match Hashtbl.find_opt node.children item with
           | Some c -> c
           | None ->
               let c = new_node ~parent:node item in
-              node.children <- (item, c) :: node.children;
-              (match List.assoc_opt item tree.header with
+              Hashtbl.add node.children item c;
+              (match Hashtbl.find_opt tree.header item with
                | Some chain -> chain := c :: !chain
-               | None -> tree.header <- (item, ref [ c ]) :: tree.header);
+               | None -> Hashtbl.add tree.header item (ref [ c ]));
               c
         in
         child.count <- child.count + count;
@@ -64,7 +68,7 @@ let order_items ~min_support weighted_transactions =
 
 let build_tree ~min_support weighted_transactions =
   let rank, frequent = order_items ~min_support weighted_transactions in
-  let tree = { root = new_node (-1); header = [] } in
+  let tree = { root = new_node (-1); header = Hashtbl.create 64 } in
   List.iter
     (fun (items, w) ->
       let kept =
@@ -93,7 +97,7 @@ let g_max_depth = Encore_obs.Metrics.gauge "mining.fpgrowth.max_depth"
 let g_headroom = Encore_obs.Metrics.gauge "mining.fpgrowth.cap_headroom"
 
 let rec node_count n =
-  List.fold_left (fun acc (_, c) -> acc + node_count c) 1 n.children
+  Hashtbl.fold (fun _ c acc -> acc + node_count c) n.children 1
 
 (* Record the shape of one mining run: size of the initial FP-tree,
    deepest conditional-tree recursion, and how much of the itemset cap
@@ -104,6 +108,17 @@ let record_run ~tree ~max_depth ~emitted ~max_itemsets =
   Encore_obs.Metrics.incr ~by:emitted m_itemsets;
   Encore_obs.Metrics.set g_headroom
     (float_of_int (max 0 (max_itemsets - emitted)))
+
+let conditional_base tree item =
+  match Hashtbl.find_opt tree.header item with
+  | None -> []
+  | Some chain ->
+      List.filter_map
+        (fun node ->
+          match prefix_path node with
+          | [] -> None
+          | path -> Some (path, node.count))
+        !chain
 
 let mine ?(max_itemsets = 2_000_000) ~min_support transactions =
   let out = ref [] in
@@ -124,18 +139,9 @@ let mine ?(max_itemsets = 2_000_000) ~min_support transactions =
         let itemset = item :: suffix in
         emit itemset support;
         (* conditional pattern base of [item] *)
-        match List.assoc_opt item tree.header with
-        | None -> ()
-        | Some chain ->
-            let base =
-              List.filter_map
-                (fun node ->
-                  match prefix_path node with
-                  | [] -> None
-                  | path -> Some (path, node.count))
-                !chain
-            in
-            if base <> [] then grow base itemset (depth + 1))
+        match conditional_base tree item with
+        | [] -> ()
+        | base -> grow base itemset (depth + 1))
       frequent
   in
   let weighted =
@@ -164,18 +170,9 @@ let count_only ?(max_itemsets = 2_000_000) ~min_support transactions =
       (fun (item, _) ->
         incr n;
         if !n > max_itemsets then raise Overflow;
-        match List.assoc_opt item tree.header with
-        | None -> ()
-        | Some chain ->
-            let base =
-              List.filter_map
-                (fun node ->
-                  match prefix_path node with
-                  | [] -> None
-                  | path -> Some (path, node.count))
-                !chain
-            in
-            if base <> [] then grow base (depth + 1))
+        match conditional_base tree item with
+        | [] -> ()
+        | base -> grow base (depth + 1))
       frequent
   in
   let weighted =

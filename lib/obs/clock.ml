@@ -6,18 +6,25 @@ let source = ref default
 
 (* Unix.gettimeofday is a wall clock and may step backwards (NTP); the
    clamp below makes the stream the rest of the library sees
-   non-decreasing, which span arithmetic relies on. *)
+   non-decreasing, which span arithmetic relies on.  The floor is
+   shared across domains, so reads are serialized. *)
 let floor_ns = ref Int64.min_int
+
+let mu = Mutex.create ()
 
 let set_source s =
   source := s;
   floor_ns := Int64.min_int
 
 let now_ns () =
-  let t = !source () in
-  let t = if Int64.compare t !floor_ns < 0 then !floor_ns else t in
-  floor_ns := t;
-  t
+  Mutex.lock mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mu)
+    (fun () ->
+      let t = !source () in
+      let t = if Int64.compare t !floor_ns < 0 then !floor_ns else t in
+      floor_ns := t;
+      t)
 
 let counter ?(start = 0L) ~step_ns () : source =
   let t = ref (Int64.sub start step_ns) in

@@ -8,15 +8,24 @@ let sink () = !sink_ref
 
 let enabled () = match !sink_ref with Nil -> false | Channel _ | Buffer _ -> true
 
+(* JSONL lines may be emitted from pool worker domains (a span stream
+   sink finishing spans concurrently); serialize writes so lines never
+   interleave mid-record. *)
+let mu = Mutex.create ()
+
 let write_line line =
-  match !sink_ref with
-  | Nil -> ()
-  | Channel oc ->
-      output_string oc line;
-      output_char oc '\n'
-  | Buffer b ->
-      Buffer.add_string b line;
-      Buffer.add_char b '\n'
+  Mutex.lock mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mu)
+    (fun () ->
+      match !sink_ref with
+      | Nil -> ()
+      | Channel oc ->
+          output_string oc line;
+          output_char oc '\n'
+      | Buffer b ->
+          Buffer.add_string b line;
+          Buffer.add_char b '\n')
 
 let emit ?(fields = []) kind =
   if enabled () then

@@ -17,12 +17,23 @@ type instrument = C of counter | G of gauge | H of histogram
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 
+(* One registry-wide mutex: instruments are updated from pool worker
+   domains as well as the main one, and a lost increment would make the
+   snapshots nondeterministic.  Every operation is a few machine
+   instructions, so one uncontended lock per operation is cheap. *)
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
 let clash name =
   invalid_arg
     (Printf.sprintf "Encore_obs.Metrics: %S already registered as another kind"
        name)
 
 let counter name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (C c) -> c
   | Some _ -> clash name
@@ -31,11 +42,12 @@ let counter name =
       Hashtbl.replace registry name (C c);
       c
 
-let incr ?(by = 1) c = c.count <- c.count + by
+let incr ?(by = 1) c = locked (fun () -> c.count <- c.count + by)
 
-let count c = c.count
+let count c = locked (fun () -> c.count)
 
 let gauge name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (G g) -> g
   | Some _ -> clash name
@@ -44,13 +56,17 @@ let gauge name =
       Hashtbl.replace registry name (G g);
       g
 
-let set g v =
+let set_unlocked g v =
   g.gvalue <- v;
   g.gset <- true
 
-let set_max g v = if (not g.gset) || v > g.gvalue then set g v
+let set g v = locked (fun () -> set_unlocked g v)
+
+let set_max g v =
+  locked (fun () -> if (not g.gset) || v > g.gvalue then set_unlocked g v)
 
 let histogram name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (H h) -> h
   | Some _ -> clash name
@@ -87,6 +103,7 @@ let bucket_bounds b =
   else (Float.ldexp 1.0 (b - 1), Float.ldexp 1.0 b)
 
 let observe h v =
+  locked @@ fun () ->
   let b = bucket_of_value v in
   h.buckets.(b) <- h.buckets.(b) + 1;
   if h.hcount = 0 then begin
@@ -119,6 +136,7 @@ type snapshot = {
 let by_name (a, _) (b, _) = compare (a : string) b
 
 let snapshot () =
+  locked @@ fun () ->
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
   Hashtbl.iter
     (fun name -> function
@@ -149,6 +167,7 @@ let snapshot () =
   }
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ -> function
       | C c -> c.count <- 0

@@ -14,7 +14,24 @@ type span = {
 type sink = Nil | Memory | Stream of (span -> unit)
 
 let sink_ref = ref Nil
-let current : span option ref = ref None
+
+(* The open-span stack is per domain: each worker of a
+   [Encore_util.Pool] traces independently, inheriting the submitting
+   domain's innermost span through {!capture}/{!with_context}.  Shared
+   structures — the finished-root list, a parent's child list (the
+   parent may live on another domain), the stream callback — are
+   serialized by [mu]. *)
+let current_key : span option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = Domain.DLS.get current_key
+
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
 let finished_roots : span list ref = ref []
 
 let set_sink s = sink_ref := s
@@ -24,13 +41,23 @@ let sink () = !sink_ref
 let enabled () = match !sink_ref with Nil -> false | Memory | Stream _ -> true
 
 let clear () =
-  current := None;
-  finished_roots := []
+  current () := None;
+  locked (fun () -> finished_roots := [])
 
-let roots () = List.rev !finished_roots
+let roots () = locked (fun () -> List.rev !finished_roots)
+
+type context = span option
+
+let capture () = !(current ())
+
+let with_context ctx f =
+  let cur = current () in
+  let saved = !cur in
+  cur := ctx;
+  Fun.protect ~finally:(fun () -> cur := saved) f
 
 let set_attr key v =
-  match !current with
+  match !(current ()) with
   | None -> ()
   | Some sp -> sp.attrs <- (key, v) :: List.remove_assoc key sp.attrs
 
@@ -43,7 +70,8 @@ let with_span ?(attrs = []) name f =
   match !sink_ref with
   | Nil -> f ()
   | mode ->
-      let parent = !current in
+      let cur = current () in
+      let parent = !cur in
       let sp =
         {
           name;
@@ -56,20 +84,21 @@ let with_span ?(attrs = []) name f =
           children = [];
         }
       in
-      current := Some sp;
+      cur := Some sp;
       let finish status =
         sp.dur_ns <- Int64.sub (Clock.now_ns ()) sp.start_ns;
         sp.status <- status;
-        current := parent;
+        cur := parent;
         observe_duration sp;
-        (match parent with
-         | Some p -> p.children <- sp :: p.children
-         | None -> ());
-        match mode with
-        | Nil -> ()
-        | Memory ->
-            if parent = None then finished_roots := sp :: !finished_roots
-        | Stream emit -> emit sp
+        locked (fun () ->
+            (match parent with
+             | Some p -> p.children <- sp :: p.children
+             | None -> ());
+            match mode with
+            | Nil -> ()
+            | Memory ->
+                if parent = None then finished_roots := sp :: !finished_roots
+            | Stream emit -> emit sp)
       in
       (match f () with
        | v ->

@@ -9,7 +9,13 @@
     to a callback (children before parents, in completion order).
 
     Whenever the sink is not nil, each finished span also feeds the
-    [span_us.<name>] duration histogram in {!Metrics}. *)
+    [span_us.<name>] duration histogram in {!Metrics}.
+
+    The open-span stack is domain-local; shared state (finished roots,
+    a parent's child list, the stream callback) is mutex-protected, so
+    spans may be opened concurrently from several domains.  A worker
+    domain joins the submitting domain's span tree by running under a
+    {!capture}d {!context}. *)
 
 type status = Ok_span | Error_span of string
 
@@ -38,6 +44,18 @@ val with_span :
 val set_attr : string -> Jsonenc.t -> unit
 (** Attach (or replace) an attribute on the innermost open span; no-op
     outside any span. *)
+
+type context
+(** The innermost open span of some domain at capture time. *)
+
+val capture : unit -> context
+(** Snapshot this domain's current span, to be adopted by another
+    domain (or restored later on this one) via {!with_context}. *)
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** Run [f] with the captured span as the innermost open span of the
+    calling domain, so spans opened inside nest under it.  The previous
+    stack is always restored. *)
 
 val roots : unit -> span list
 (** Finished root spans collected by the {!Memory} sink, in completion

@@ -106,131 +106,127 @@ let truthy v =
   | "off" | "false" | "no" | "0" | "disabled" -> Some false
   | _ -> None
 
-let antecedent_support relation training ~a =
+let min_lift_margin = 0.05
+
+(* One candidate's fate; tallied by the caller in candidate order so
+   parallel evaluation never shares mutable state. *)
+type verdict =
+  | Kept of Template.rule
+  | Rejected_support     (* applicable too rarely, or vacuous *)
+  | Rejected_confidence  (* confident too rarely, or no lift *)
+
+(* Columnar training set: [columns.(attr_id).(row)] is the instance
+   list, [ctxs.(row)] the per-image evaluation context.  Candidate
+   evaluation touches every (attribute, row) cell once per candidate;
+   interning the attribute once per candidate and indexing arrays per
+   row replaces a string hash + hashtable probe per cell. *)
+type columnar = {
+  cols : Encore_dataset.Colview.t;
+  ctxs : Relation.ctx array;
+}
+
+let columnar_of_training training =
+  {
+    cols = Encore_dataset.Colview.of_rows (List.map snd training);
+    ctxs =
+      Array.of_list
+        (List.map (fun (image, row) -> { Relation.image; row }) training);
+  }
+
+let empty_column = [||]
+
+let column c attr =
+  match Encore_dataset.Colview.id c.cols attr with
+  | Some id -> Encore_dataset.Colview.column c.cols id
+  | None -> empty_column
+
+let evaluate_instantiation_cols template c ~ca ~cb =
+  let applicable = ref 0 and valid = ref 0 in
+  let n = Array.length c.ctxs in
+  if Array.length ca = n && Array.length cb = n then
+    for i = 0 to n - 1 do
+      let va = ca.(i) and vb = cb.(i) in
+      if va <> [] && vb <> [] then
+        match
+          Relation.eval template.Template.relation c.ctxs.(i) ~a:va ~b:vb
+        with
+        | None -> ()
+        | Some true ->
+            incr applicable;
+            incr valid
+        | Some false -> incr applicable
+    done;
+  (!applicable, !valid)
+
+let antecedent_support_cols relation ~ca =
   match relation with
   | Relation.Bool_implies (pa, _) ->
       Some
-        (List.fold_left
-           (fun acc (_, row) ->
-             let holds =
-               List.exists
-                 (fun v -> truthy v = Some pa)
-                 (Row.get_all row a)
-             in
-             if holds then acc + 1 else acc)
-           0 training)
+        (Array.fold_left
+           (fun acc values ->
+             if List.exists (fun v -> truthy v = Some pa) values then acc + 1
+             else acc)
+           0 ca)
   | _ -> None
 
 (* The consequent's base rate: fraction of images carrying B whose value
    already equals the implied polarity.  An implication whose confidence
    does not beat this base rate carries no information (lift ≈ 1) — the
    dominant source of binomial association noise. *)
-let consequent_base_rate relation training ~b =
+let consequent_base_rate_cols relation ~cb =
   match relation with
   | Relation.Bool_implies (_, pb) ->
-      let present, matching =
-        List.fold_left
-          (fun (present, matching) (_, row) ->
-            match Row.get_all row b with
-            | [] -> (present, matching)
-            | values ->
-                let all_pb = List.for_all (fun v -> truthy v = Some pb) values in
-                (present + 1, if all_pb then matching + 1 else matching))
-          (0, 0) training
-      in
-      if present = 0 then None
-      else Some (float_of_int matching /. float_of_int present)
+      let present = ref 0 and matching = ref 0 in
+      Array.iter
+        (fun values ->
+          if values <> [] then begin
+            incr present;
+            if List.for_all (fun v -> truthy v = Some pb) values then
+              incr matching
+          end)
+        cb;
+      if !present = 0 then None
+      else Some (float_of_int !matching /. float_of_int !present)
   | _ -> None
 
-let min_lift_margin = 0.05
-
-(* One chunk's outcome, with the rejection tally the telemetry layer
-   reports.  The tallies are accumulated per chunk and summed by the
-   caller so parallel evaluation never shares mutable state. *)
-type eval_result = {
-  kept_rules : Template.rule list;
-  rejected_support : int;     (* applicable too rarely, or vacuous *)
-  rejected_confidence : int;  (* confident too rarely, or no lift *)
-}
-
-(* Evaluate a list of (template, a, b) candidates into rules. *)
-let evaluate_candidates ~params ~min_support training candidates =
-  let rej_support = ref 0 and rej_confidence = ref 0 in
-  let kept =
-    List.filter_map
-      (fun (template, a, b) ->
-        let applicable, valid = evaluate_instantiation template training ~a ~b in
-        let vacuous =
-          match antecedent_support template.Template.relation training ~a with
-          | Some s -> s < min_support
-          | None -> false
-        in
-        if applicable < min_support || vacuous then begin
-          incr rej_support;
-          None
-        end
-        else
-          let min_conf =
-            Option.value ~default:params.min_confidence
-              template.Template.min_confidence
-          in
-          let confidence = float_of_int valid /. float_of_int applicable in
-          let lifts =
-            match consequent_base_rate template.Template.relation training ~b with
-            | Some base -> confidence >= base +. min_lift_margin
-            | None -> true
-          in
-          if confidence >= min_conf && lifts then
-            Some
-              { Template.template; attr_a = a; attr_b = b;
-                support = applicable; confidence }
-          else begin
-            incr rej_confidence;
-            None
-          end)
-      candidates
+(* Judge one (template, a, b) candidate against the columnar view. *)
+let evaluate_candidate ~params ~min_support c (template, a, b) =
+  let ca = column c a and cb = column c b in
+  let applicable, valid = evaluate_instantiation_cols template c ~ca ~cb in
+  let vacuous =
+    match antecedent_support_cols template.Template.relation ~ca with
+    | Some s -> s < min_support
+    | None -> false
   in
-  {
-    kept_rules = kept;
-    rejected_support = !rej_support;
-    rejected_confidence = !rej_confidence;
-  }
-
-(* Split [xs] into [n] chunks of near-equal length, preserving order. *)
-let chunks n xs =
-  let len = List.length xs in
-  let size = max 1 ((len + n - 1) / n) in
-  let rec go acc current count = function
-    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
-    | x :: rest ->
-        if count = size then go (List.rev current :: acc) [ x ] 1 rest
-        else go acc (x :: current) (count + 1) rest
-  in
-  go [] [] 0 xs
+  if applicable < min_support || vacuous then Rejected_support
+  else
+    let min_conf =
+      Option.value ~default:params.min_confidence
+        template.Template.min_confidence
+    in
+    let confidence = float_of_int valid /. float_of_int applicable in
+    let lifts =
+      match consequent_base_rate_cols template.Template.relation ~cb with
+      | Some base -> confidence >= base +. min_lift_margin
+      | None -> true
+    in
+    if confidence >= min_conf && lifts then
+      Kept
+        { Template.template; attr_a = a; attr_b = b;
+          support = applicable; confidence }
+    else Rejected_confidence
 
 let infer ?(params = default_params) ?(templates = Template.predefined)
-    ?(jobs = 1) ~types training =
+    ?jobs ?pool ~types training =
   let templates = expand_polarities templates in
   let n = List.length training in
   let min_support =
     max 2 (int_of_float (ceil (params.min_support_frac *. float_of_int n)))
   in
-  (* all attributes seen anywhere in the training rows *)
-  let attrs =
-    let seen = Hashtbl.create 256 in
-    let order = ref [] in
-    List.iter
-      (fun (_, row) ->
-        List.iter
-          (fun attr ->
-            if not (Hashtbl.mem seen attr) then begin
-              Hashtbl.add seen attr ();
-              order := attr :: !order
-            end)
-          (Row.attrs row))
-      training;
-    List.rev !order
-  in
+  let columnar = columnar_of_training training in
+  (* all attributes seen anywhere in the training rows, in
+     first-appearance order (the interning order of the view) *)
+  let attrs = Encore_dataset.Colview.attrs columnar.cols in
   let candidates =
     List.concat_map
       (fun template ->
@@ -239,27 +235,38 @@ let infer ?(params = default_params) ?(templates = Template.predefined)
           (instantiations ~types template attrs))
       templates
   in
-  let results =
-    if jobs <= 1 then
-      [ evaluate_candidates ~params ~min_support training candidates ]
-    else
-      (* zero state sharing between candidate evaluations: fan the
-         chunks out over domains and keep chunk order for determinism *)
-      chunks jobs candidates
-      |> List.map (fun chunk ->
-             Domain.spawn (fun () ->
-                 evaluate_candidates ~params ~min_support training chunk))
-      |> List.map Domain.join
+  let judge = evaluate_candidate ~params ~min_support columnar in
+  let verdicts =
+    (* zero state sharing between candidate evaluations: fan them out
+       over the pool's domains; [Pool.map] keeps candidate order *)
+    match pool with
+    | Some p -> Encore_util.Pool.map p judge candidates
+    | None -> (
+        match jobs with
+        | Some j when j > 1 ->
+            Encore_util.Pool.with_pool ~jobs:j (fun p ->
+                Encore_util.Pool.map p judge candidates)
+        | Some _ | None -> List.map judge candidates)
   in
-  let rules = List.concat_map (fun r -> r.kept_rules) results in
+  let rej_support = ref 0 and rej_confidence = ref 0 in
+  let rules =
+    List.filter_map
+      (function
+        | Kept rule -> Some rule
+        | Rejected_support ->
+            incr rej_support;
+            None
+        | Rejected_confidence ->
+            incr rej_confidence;
+            None)
+      verdicts
+  in
   Encore_obs.Metrics.incr
     ~by:(List.length candidates)
     (Encore_obs.Metrics.counter "rules.candidates");
-  Encore_obs.Metrics.incr
-    ~by:(List.fold_left (fun acc r -> acc + r.rejected_support) 0 results)
+  Encore_obs.Metrics.incr ~by:!rej_support
     (Encore_obs.Metrics.counter "rules.rejected_support");
-  Encore_obs.Metrics.incr
-    ~by:(List.fold_left (fun acc r -> acc + r.rejected_confidence) 0 results)
+  Encore_obs.Metrics.incr ~by:!rej_confidence
     (Encore_obs.Metrics.counter "rules.rejected_confidence");
   Encore_obs.Metrics.incr ~by:(List.length rules)
     (Encore_obs.Metrics.counter "rules.kept");

@@ -33,16 +33,22 @@ val expand_polarities : Template.t list -> Template.t list
 
 val infer :
   ?params:params -> ?templates:Template.t list -> ?jobs:int ->
+  ?pool:Encore_util.Pool.t ->
   types:Encore_typing.Infer.env -> training -> Template.rule list
 (** Learn concrete rules; [templates] defaults to
     {!Template.predefined}.  Rules are sorted by decreasing confidence,
     then support.
 
-    [jobs] (default 1) spreads candidate evaluation over that many
-    domains — the paper notes the instantiation loop "is highly
-    parallelizable because there is zero state sharing" (section 5.1)
-    and runs EnCore as a multi-process program.  The result is
-    identical for every [jobs] value. *)
+    The training set is first lowered to a columnar interned view
+    ({!Encore_dataset.Colview}); each candidate then indexes two column
+    arrays per row instead of hashing attribute strings.
+
+    Candidate evaluation fans out over [pool]'s worker domains — the
+    paper notes the instantiation loop "is highly parallelizable
+    because there is zero state sharing" (section 5.1) and runs EnCore
+    as a multi-process program.  Without [pool], [jobs] (default 1)
+    spins up a transient pool of that many domains.  The result is
+    byte-identical for every pool size and [jobs] value. *)
 
 val evaluate_instantiation :
   Template.t -> training -> a:string -> b:string -> int * int

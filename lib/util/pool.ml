@@ -1,0 +1,171 @@
+let m_tasks = Encore_obs.Metrics.counter "pool.tasks"
+let g_busy = Encore_obs.Metrics.gauge "pool.domains_busy"
+
+type t = {
+  n_jobs : int;
+  queue : (unit -> unit) Queue.t;  (* tasks never raise: wrappers catch *)
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  busy : int Atomic.t;
+  high_water : int Atomic.t;
+}
+
+let jobs t = t.n_jobs
+
+let rec record_high_water t busy_now =
+  let hw = Atomic.get t.high_water in
+  if busy_now > hw && not (Atomic.compare_and_set t.high_water hw busy_now)
+  then record_high_water t busy_now
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    match Queue.take_opt t.queue with
+    | Some task -> Some task
+    | None ->
+        if t.stopping then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          next ()
+        end
+  in
+  let task = next () in
+  Mutex.unlock t.mutex;
+  match task with
+  | None -> ()
+  | Some run ->
+      record_high_water t (1 + Atomic.fetch_and_add t.busy 1);
+      run ();
+      ignore (Atomic.fetch_and_add t.busy (-1));
+      worker_loop t
+
+let create ~jobs =
+  let t =
+    {
+      n_jobs = max 1 jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      stopping = false;
+      workers = [];
+      busy = Atomic.make 0;
+      high_water = Atomic.make 0;
+    }
+  in
+  if t.n_jobs > 1 then
+    t.workers <-
+      List.init t.n_jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  let workers =
+    Mutex.lock t.mutex;
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    let ws = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.mutex;
+    ws
+  in
+  List.iter Domain.join workers
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* A few chunks per worker balances the load when item costs are
+   skewed, without paying queue synchronization per item. *)
+let chunk_factor = 4
+
+(* Boundaries of [n_chunks] near-equal slices of [0, n). *)
+let chunk_bounds n n_chunks =
+  List.init n_chunks (fun i -> (i * n / n_chunks, (i + 1) * n / n_chunks))
+
+(* Run every closure on the pool and wait for all of them.  Closures
+   must not raise; worker spans nest under the caller's current span
+   via the captured trace context. *)
+let submit_and_wait t closures =
+  let n = List.length closures in
+  let done_mutex = Mutex.create () in
+  let done_cond = Condition.create () in
+  let remaining = ref n in
+  let ctx = Encore_obs.Trace.capture () in
+  let wrap body () =
+    Encore_obs.Trace.with_context ctx body;
+    Mutex.lock done_mutex;
+    decr remaining;
+    if !remaining = 0 then Condition.signal done_cond;
+    Mutex.unlock done_mutex
+  in
+  Mutex.lock t.mutex;
+  List.iter (fun body -> Queue.add (wrap body) t.queue) closures;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  Mutex.lock done_mutex;
+  while !remaining > 0 do
+    Condition.wait done_cond done_mutex
+  done;
+  Mutex.unlock done_mutex;
+  Encore_obs.Metrics.incr ~by:n m_tasks;
+  Encore_obs.Metrics.set_max g_busy (float_of_int (Atomic.get t.high_water))
+
+let inline t = t.n_jobs <= 1 || t.stopping
+
+let map t f xs =
+  if inline t || (match xs with [] | [ _ ] -> true | _ -> false) then
+    List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    let results = Array.make n None in
+    let chunk (lo, hi) () =
+      for i = lo to hi - 1 do
+        results.(i) <-
+          Some
+            (match f items.(i) with
+             | v -> Ok v
+             | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+      done
+    in
+    let bounds = chunk_bounds n (min n (t.n_jobs * chunk_factor)) in
+    submit_and_wait t (List.map chunk bounds);
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
+
+let map_reduce t ~map:fm ~reduce ~init xs =
+  if inline t || (match xs with [] | [ _ ] -> true | _ -> false) then
+    List.fold_left (fun acc x -> reduce acc (fm x)) init xs
+  else begin
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    let n_chunks = min n (t.n_jobs * chunk_factor) in
+    let accs = Array.make n_chunks None in
+    let chunk idx (lo, hi) () =
+      accs.(idx) <-
+        Some
+          (match
+             let acc = ref init in
+             for i = lo to hi - 1 do
+               acc := reduce !acc (fm items.(i))
+             done;
+             !acc
+           with
+           | acc -> Ok acc
+           | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+    in
+    let bounds = chunk_bounds n n_chunks in
+    submit_and_wait t (List.mapi chunk bounds);
+    Array.fold_left
+      (fun acc slot ->
+        match slot with
+        | Some (Ok chunk_acc) -> reduce acc chunk_acc
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      init accs
+  end

@@ -1,0 +1,51 @@
+(** Fixed domain pool with a chunked task queue.
+
+    One pool owns [jobs] worker domains for its whole lifetime, so
+    consecutive parallel stages (ingest parse, dataset augmentation,
+    candidate-rule evaluation) reuse the same domains instead of paying
+    a spawn/join per stage — the ad-hoc [Domain.spawn] fan-out this
+    module replaces.  [Domain.spawn] elsewhere in [lib/] is banned by
+    the lint gate.
+
+    Determinism contract: {!map} and {!map_reduce} return results in
+    input order regardless of which worker ran which chunk, and an
+    exception raised by [f] is re-raised in the caller for the
+    {e lowest} input index that failed.  A pool created with
+    [jobs <= 1] spawns no domains and runs everything inline in the
+    caller, making [jobs = 1] exactly the sequential path.
+
+    Work is queued as chunks (several items per task) to amortize queue
+    synchronization; chunk boundaries are invisible in the results.
+
+    Telemetry: every submitted chunk increments the [pool.tasks]
+    counter, and [pool.domains_busy] records the high-water mark of
+    concurrently busy workers.
+
+    Pools are not reentrant: calling {!map} on a pool from inside one
+    of its own tasks would deadlock with every worker waiting.  Submit
+    only from outside the pool. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn the workers.  [jobs <= 1] spawns none (inline execution). *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Drain and join the workers.  Idempotent; the pool runs inline
+    afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then {!shutdown} — even on exceptions. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Like [List.map f], with [f] applied by the workers. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> reduce:('b -> 'b -> 'b) -> init:'b -> 'a list -> 'b
+(** [List.fold_left (fun acc x -> reduce acc (map x)) init xs], with
+    the [map] calls parallelized.  Each chunk folds from [init] and the
+    chunk accumulators are reduced in chunk order, so the result equals
+    the sequential fold whenever [reduce] is associative with [init] as
+    a neutral element. *)

@@ -1,0 +1,34 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;  (* id -> string, capacity >= count *)
+  mutable count : int;
+}
+
+let create ?(size = 64) () =
+  { ids = Hashtbl.create size; names = Array.make (max 1 size) ""; count = 0 }
+
+let size t = t.count
+
+let find t s = Hashtbl.find_opt t.ids s
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      if id = Array.length t.names then begin
+        let grown = Array.make (2 * id) "" in
+        Array.blit t.names 0 grown 0 id;
+        t.names <- grown
+      end;
+      t.names.(id) <- s;
+      t.count <- id + 1;
+      Hashtbl.add t.ids s id;
+      id
+
+let name t id =
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "Symtab.name: unassigned id %d" id)
+  else t.names.(id)
+
+let to_array t = Array.sub t.names 0 t.count

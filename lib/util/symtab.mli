@@ -1,0 +1,27 @@
+(** String-interning symbol table: a bijection between strings and
+    dense non-negative ids, assigned in interning order.
+
+    Interning hashes a string once; afterwards the id stands in for the
+    string in hot loops (array indexing instead of per-row hashtable
+    probes).  Ids are stable for the table's lifetime and deterministic
+    for a deterministic interning sequence. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [size] is a capacity hint (default 64). *)
+
+val intern : t -> string -> int
+(** The id of the string, assigning the next dense id on first sight. *)
+
+val find : t -> string -> int option
+(** The id if already interned, without assigning one. *)
+
+val name : t -> int -> string
+(** Inverse lookup.  @raise Invalid_argument on an unassigned id. *)
+
+val size : t -> int
+(** Number of interned strings; valid ids are [0 .. size - 1]. *)
+
+val to_array : t -> string array
+(** Fresh id-indexed array of all interned strings. *)

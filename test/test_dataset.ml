@@ -47,6 +47,57 @@ let prop_row_roundtrip =
     (QCheck.make QCheck.Gen.(list_size (int_range 0 12) pair_gen))
     (fun pairs -> Row.to_list (Row.of_list pairs) = pairs)
 
+(* --- Colview ----------------------------------------------------------------- *)
+
+module Colview = Encore_dataset.Colview
+
+let test_colview_shape_and_order () =
+  let rows =
+    [ Row.of_list [ ("a", "1"); ("b", "2") ];
+      Row.of_list [ ("b", "3"); ("c", "4") ] ]
+  in
+  let v = Colview.of_rows rows in
+  check Alcotest.int "rows" 2 (Colview.n_rows v);
+  check Alcotest.int "attrs" 3 (Colview.n_attrs v);
+  check (Alcotest.list Alcotest.string) "first-appearance order"
+    [ "a"; "b"; "c" ] (Colview.attrs v)
+
+let test_colview_cells () =
+  let rows =
+    [ Row.of_list [ ("listen", "80"); ("listen", "443") ];
+      Row.of_list [ ("port", "22") ] ]
+  in
+  let v = Colview.of_rows rows in
+  let listen = Option.get (Colview.id v "listen") in
+  let port = Option.get (Colview.id v "port") in
+  check (Alcotest.list Alcotest.string) "multi-instance cell"
+    [ "80"; "443" ] (Colview.values v ~attr:listen ~row:0);
+  check (Alcotest.list Alcotest.string) "absent cell is empty" []
+    (Colview.values v ~attr:listen ~row:1);
+  check (Alcotest.list Alcotest.string) "column array"
+    [ "22" ] (Colview.column v port).(1);
+  check (Alcotest.option Alcotest.int) "unknown attr" None
+    (Colview.id v "nope")
+
+let prop_colview_matches_rows =
+  let pair_gen =
+    QCheck.Gen.(pair (string_size ~gen:(char_range 'a' 'e') (return 1))
+                  (string_size ~gen:(char_range '0' '9') (return 1)))
+  in
+  QCheck.Test.make ~name:"colview cells = Row.get_all" ~count:200
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 6)
+                     (list_size (int_range 0 10) pair_gen)))
+    (fun rows_pairs ->
+      let rows = List.map Row.of_list rows_pairs in
+      let v = Colview.of_rows rows in
+      List.for_all
+        (fun attr ->
+          let id = Option.get (Colview.id v attr) in
+          List.mapi (fun _ r -> Row.get_all r attr) rows
+          = Array.to_list (Colview.column v id))
+        (Colview.attrs v))
+
 (* --- Table ------------------------------------------------------------------ *)
 
 let sample_table () =
@@ -274,6 +325,12 @@ let () =
           Alcotest.test_case "add appends" `Quick test_row_add_appends;
           Alcotest.test_case "union" `Quick test_row_union;
           qtest prop_row_roundtrip;
+        ] );
+      ( "colview",
+        [
+          Alcotest.test_case "shape and order" `Quick test_colview_shape_and_order;
+          Alcotest.test_case "cells" `Quick test_colview_cells;
+          qtest prop_colview_matches_rows;
         ] );
       ( "table",
         [

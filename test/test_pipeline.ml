@@ -57,6 +57,44 @@ let test_check_clean_target_quiet () =
   check Alcotest.bool "few strong warnings on a clean image" true
     (List.length detections <= 2)
 
+(* Determinism contract of the parallel engine: the learned model must
+   be byte-identical for every job count, through both the strict and
+   the resilient entry points. *)
+let test_jobs_model_identical () =
+  let images = training Image.Mysql 25 in
+  let model_at jobs =
+    let config = { Config.default with Config.jobs } in
+    Encore_detect.Model_io.to_string (Pipeline.learn ~config images)
+  in
+  let baseline = model_at 1 in
+  List.iter
+    (fun jobs ->
+      check Alcotest.string
+        (Printf.sprintf "jobs=%d model = sequential model" jobs)
+        baseline (model_at jobs))
+    [ 2; 4 ]
+
+let test_jobs_resilient_identical () =
+  let images = training Image.Sshd 20 in
+  let run jobs =
+    let config = { Config.default with Config.jobs } in
+    match Pipeline.learn_resilient ~config images with
+    | Ok (model, report) -> (Encore_detect.Model_io.to_string model, report)
+    | Error d ->
+        Alcotest.failf "resilient learn failed: %s"
+          (Encore_util.Resilience.diagnostic_to_string d)
+  in
+  let model1, report1 = run 1 in
+  let model4, report4 = run 4 in
+  check Alcotest.string "models identical" model1 model4;
+  check Alcotest.int "same survivors" report1.Pipeline.ok report4.Pipeline.ok;
+  check Alcotest.int "same retries" report1.Pipeline.retried
+    report4.Pipeline.retried;
+  check Alcotest.bool "same quarantine" true
+    (report1.Pipeline.quarantined = report4.Pipeline.quarantined);
+  check Alcotest.bool "same warnings" true
+    (report1.Pipeline.warnings = report4.Pipeline.warnings)
+
 let test_end_to_end_injection_detected () =
   let model = Pipeline.learn (training Image.Mysql 30) in
   let target =
@@ -235,6 +273,8 @@ let () =
           Alcotest.test_case "flagship rules" `Quick test_learn_finds_flagship_rules;
           Alcotest.test_case "clean target quiet" `Quick test_check_clean_target_quiet;
           Alcotest.test_case "injection detected" `Quick test_end_to_end_injection_detected;
+          Alcotest.test_case "jobs: model identical" `Quick test_jobs_model_identical;
+          Alcotest.test_case "jobs: resilient identical" `Quick test_jobs_resilient_identical;
           Alcotest.test_case "custom template" `Quick test_custom_template_used;
           Alcotest.test_case "training soundness bound" `Quick test_training_soundness;
           Alcotest.test_case "custom file error" `Quick test_custom_file_error_raised;

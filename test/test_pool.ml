@@ -1,0 +1,130 @@
+(* Tests for Encore_util.Pool: deterministic ordering, exception
+   propagation, worker reuse across calls, map_reduce, and the
+   map = List.map property at every pool size. *)
+
+module Pool = Encore_util.Pool
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+exception Boom of int
+
+let ints = Alcotest.list Alcotest.int
+
+(* --- ordering ------------------------------------------------------------ *)
+
+let test_map_ordering () =
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let xs = List.init 1000 Fun.id in
+  check ints "results in input order"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map p (fun x -> x * x) xs)
+
+let test_map_inline_when_sequential () =
+  Pool.with_pool ~jobs:1 @@ fun p ->
+  (* jobs=1 must run in the calling domain: domain-local state is
+     visible to the closures *)
+  let acc = ref [] in
+  let _ = Pool.map p (fun x -> acc := x :: !acc) [ 1; 2; 3 ] in
+  check ints "ran inline, in order" [ 3; 2; 1 ] !acc
+
+let test_map_empty_and_singleton () =
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  check ints "empty" [] (Pool.map p succ []);
+  check ints "singleton" [ 8 ] (Pool.map p succ [ 7 ])
+
+let test_map_more_workers_than_items () =
+  Pool.with_pool ~jobs:8 @@ fun p ->
+  check ints "short list" [ 2; 3; 4 ] (Pool.map p succ [ 1; 2; 3 ])
+
+(* --- exception propagation ----------------------------------------------- *)
+
+let test_exception_lowest_index () =
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let xs = List.init 200 Fun.id in
+  let f x = if x = 57 || x = 12 || x = 199 then raise (Boom x) else x in
+  Alcotest.check_raises "lowest failing index wins" (Boom 12) (fun () ->
+      ignore (Pool.map p f xs))
+
+let test_pool_survives_exception () =
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  (try ignore (Pool.map p (fun _ -> raise (Boom 0)) [ 1; 2; 3 ])
+   with Boom _ -> ());
+  check ints "usable after a failed call" [ 2; 4; 6 ]
+    (Pool.map p (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_with_pool_propagates () =
+  Alcotest.check_raises "with_pool re-raises" (Boom 1) (fun () ->
+      Pool.with_pool ~jobs:2 (fun _ -> raise (Boom 1)))
+
+(* --- reuse across calls --------------------------------------------------- *)
+
+let test_reuse_across_calls () =
+  Pool.with_pool ~jobs:3 @@ fun p ->
+  for i = 1 to 20 do
+    let xs = List.init (17 * i) (fun j -> i + j) in
+    check ints (Printf.sprintf "call %d" i) (List.map succ xs)
+      (Pool.map p succ xs)
+  done
+
+let test_shutdown_idempotent_then_inline () =
+  let p = Pool.create ~jobs:4 in
+  check ints "before shutdown" [ 1; 2 ] (Pool.map p succ [ 0; 1 ]);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  check ints "inline after shutdown" [ 1; 2 ] (Pool.map p succ [ 0; 1 ])
+
+(* --- map_reduce ----------------------------------------------------------- *)
+
+let test_map_reduce_sum () =
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let xs = List.init 1001 Fun.id in
+  check Alcotest.int "sum" 500_500
+    (Pool.map_reduce p ~map:Fun.id ~reduce:( + ) ~init:0 xs)
+
+let test_map_reduce_order_sensitive () =
+  (* list concatenation is associative with [] neutral, so the result
+     must equal the sequential fold even though it is order-sensitive *)
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let xs = List.init 300 Fun.id in
+  check ints "concat in order" xs
+    (Pool.map_reduce p ~map:(fun x -> [ x ]) ~reduce:( @ ) ~init:[] xs)
+
+(* --- map = List.map at every pool size ------------------------------------ *)
+
+let prop_map_matches_list_map =
+  QCheck.Test.make ~name:"Pool.map = List.map for any jobs" ~count:60
+    QCheck.(pair (int_range 1 6) (small_list int))
+    (fun (jobs, xs) ->
+      Pool.with_pool ~jobs (fun p ->
+          Pool.map p (fun x -> (2 * x) - 1) xs
+          = List.map (fun x -> (2 * x) - 1) xs))
+
+let () =
+  Alcotest.run "encore_pool"
+    [
+      ( "ordering",
+        [
+          Alcotest.test_case "map preserves input order" `Quick test_map_ordering;
+          Alcotest.test_case "jobs=1 runs inline" `Quick test_map_inline_when_sequential;
+          Alcotest.test_case "empty and singleton" `Quick test_map_empty_and_singleton;
+          Alcotest.test_case "more workers than items" `Quick test_map_more_workers_than_items;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "lowest index re-raised" `Quick test_exception_lowest_index;
+          Alcotest.test_case "pool survives a failure" `Quick test_pool_survives_exception;
+          Alcotest.test_case "with_pool propagates" `Quick test_with_pool_propagates;
+        ] );
+      ( "reuse",
+        [
+          Alcotest.test_case "many calls, one pool" `Quick test_reuse_across_calls;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent_then_inline;
+        ] );
+      ( "map_reduce",
+        [
+          Alcotest.test_case "sum" `Quick test_map_reduce_sum;
+          Alcotest.test_case "order-sensitive reduce" `Quick test_map_reduce_order_sensitive;
+        ] );
+      ("properties", [ qtest prop_map_matches_list_map ]);
+    ]

@@ -5,6 +5,7 @@ module Stats = Encore_util.Stats
 module Strutil = Encore_util.Strutil
 module Csvio = Encore_util.Csvio
 module Texttab = Encore_util.Texttab
+module Symtab = Encore_util.Symtab
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -257,6 +258,40 @@ let prop_csv_roundtrip =
       let header = List.init width string_of_int in
       Csvio.parse (Csvio.to_string ~header rows) = header :: rows)
 
+(* --- Symtab ------------------------------------------------------------- *)
+
+let test_symtab_dense_ids () =
+  let t = Symtab.create () in
+  check Alcotest.int "first" 0 (Symtab.intern t "a");
+  check Alcotest.int "second" 1 (Symtab.intern t "b");
+  check Alcotest.int "re-intern stable" 0 (Symtab.intern t "a");
+  check Alcotest.int "size" 2 (Symtab.size t)
+
+let test_symtab_find_and_name () =
+  let t = Symtab.create ~size:1 () in
+  ignore (Symtab.intern t "x");
+  check (Alcotest.option Alcotest.int) "found" (Some 0) (Symtab.find t "x");
+  check (Alcotest.option Alcotest.int) "absent" None (Symtab.find t "y");
+  check Alcotest.string "inverse" "x" (Symtab.name t 0);
+  check Alcotest.bool "bad id raises" true
+    (try ignore (Symtab.name t 1); false with Invalid_argument _ -> true)
+
+let test_symtab_to_array_order () =
+  let t = Symtab.create ~size:2 () in
+  let names = List.init 100 (fun i -> "s" ^ string_of_int i) in
+  List.iter (fun s -> ignore (Symtab.intern t s)) names;
+  check (Alcotest.list Alcotest.string) "interning order" names
+    (Array.to_list (Symtab.to_array t))
+
+let prop_symtab_bijection =
+  QCheck.Test.make ~name:"symtab id/name bijection" ~count:200
+    QCheck.(small_list (string_of_size (Gen.int_range 0 6)))
+    (fun names ->
+      let t = Symtab.create () in
+      List.for_all
+        (fun s -> Symtab.name t (Symtab.intern t s) = s)
+        names)
+
 (* --- Texttab ------------------------------------------------------------ *)
 
 let test_texttab_contains_cells () =
@@ -329,6 +364,13 @@ let () =
           Alcotest.test_case "roundtrip simple" `Quick test_csv_roundtrip_simple;
           Alcotest.test_case "roundtrip quoted" `Quick test_csv_quoted_content;
           qtest prop_csv_roundtrip;
+        ] );
+      ( "symtab",
+        [
+          Alcotest.test_case "dense ids" `Quick test_symtab_dense_ids;
+          Alcotest.test_case "find and name" `Quick test_symtab_find_and_name;
+          Alcotest.test_case "to_array order" `Quick test_symtab_to_array_order;
+          qtest prop_symtab_bijection;
         ] );
       ( "texttab",
         [

@@ -23,6 +23,16 @@ if grep -rn 'exit [0-9]' lib --include='*.ml'; then
   bad=1
 fi
 
+# Parallelism discipline: worker domains are owned by the shared pool
+# (lib/util/pool.ml), which guarantees deterministic result ordering,
+# exception propagation and span-context inheritance.  Ad-hoc
+# Domain.spawn elsewhere in lib/ escapes all three.
+if grep -rn 'Domain\.spawn' lib --include='*.ml' \
+   | grep -v '^lib/util/pool\.ml'; then
+  echo 'lint: Domain.spawn in lib/ is banned outside lib/util/pool.ml — use Encore_util.Pool' >&2
+  bad=1
+fi
+
 # Telemetry discipline: wall-clock reads and ad-hoc stderr chatter in
 # library code bypass the observability layer.  lib/obs owns the clock
 # (monotonic, test-pluggable) and the event log; everything else must
