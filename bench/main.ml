@@ -14,7 +14,10 @@
    Skip timing with: dune exec bench/main.exe -- --tables-only
    Per-stage wall-time of one paper-scale learn/check run:
    dune exec bench/main.exe -- --stage-times [--jobs N]
-   Machine-readable jobs=1 vs jobs=N comparison (regression gate):
+   Checkpoint snapshot save/load cost at paper scale:
+   dune exec bench/main.exe -- --stage checkpoint
+   Machine-readable jobs=1 vs jobs=N comparison (regression gate),
+   including the checkpoint measurement:
    dune exec bench/main.exe -- --json FILE [--jobs N] *)
 
 open Bechamel
@@ -201,6 +204,75 @@ let print_stage_times ~jobs =
     paper_n jobs;
   print_string (Summary.to_string (run_summary ~jobs))
 
+(* --- checkpoint / snapshot-store timing ------------------------------------ *)
+
+module Clock = Encore_obs.Clock
+module Model_io = Encore_detect.Model_io
+
+let time_ns f =
+  let t0 = Clock.now_ns () in
+  let r = f () in
+  (r, Int64.to_int (Int64.sub (Clock.now_ns ()) t0))
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+type checkpoint_measurement = {
+  payload_bytes : int;
+  rounds : int;
+  save_ns : int;      (* avg atomic Store.save: temp + fsync + rename + prune *)
+  load_ns : int;      (* avg Store.load_latest: verify checksum + parse *)
+}
+
+(* Cost of durability at paper scale: serialize the mysql model into a
+   snapshot store (atomic write path) and load it back through the
+   verifying reader, averaged over a few rounds.  This is the overhead a
+   --checkpoint learn run pays per completed stage. *)
+let measure_checkpoint () =
+  let images =
+    Population.clean (Population.generate ~seed:7 Image.Mysql ~n:paper_n)
+  in
+  let model = Detector.learn images in
+  let payload_bytes = String.length (Model_io.to_string model) in
+  let dir = Filename.temp_file "encore-bench" ".store" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let store = Model_io.Store.create ~keep:3 ~dir () in
+      let rounds = 5 in
+      let total_save = ref 0 and total_load = ref 0 in
+      for _ = 1 to rounds do
+        let _path, ns = time_ns (fun () -> Model_io.Store.save store model) in
+        total_save := !total_save + ns;
+        let loaded, ns = time_ns (fun () -> Model_io.Store.load_latest store) in
+        (match loaded with
+         | Ok _ -> ()
+         | Error e ->
+             prerr_endline
+               ("bench: store load failed: " ^ Model_io.load_error_to_string e);
+             exit 1);
+        total_load := !total_load + ns
+      done;
+      { payload_bytes; rounds;
+        save_ns = !total_save / rounds;
+        load_ns = !total_load / rounds })
+
+let print_checkpoint_times () =
+  let m = measure_checkpoint () in
+  Printf.printf
+    "=== Checkpoint snapshot timing: mysql model, n=%d (paper scale) ===\n\n"
+    paper_n;
+  Printf.printf "  snapshot payload                 %12d bytes\n" m.payload_bytes;
+  Printf.printf "  store save (atomic write+prune)  %12d ns  (%8.3f ms)\n"
+    m.save_ns (float_of_int m.save_ns /. 1e6);
+  Printf.printf "  store load (verify + parse)      %12d ns  (%8.3f ms)\n"
+    m.load_ns (float_of_int m.load_ns /. 1e6);
+  Printf.printf "  (average of %d rounds)\n" m.rounds
+
 (* --- machine-readable regression gate: bench --json FILE ------------------- *)
 
 let stage_ns (s : Summary.t) name =
@@ -218,6 +290,7 @@ let speedup base par = if par <= 0 then 0.0 else float_of_int base /. float_of_i
 let write_json ~jobs path =
   let base = run_summary ~jobs:1 in
   let par = run_summary ~jobs in
+  let ckpt = measure_checkpoint () in
   let stage_names =
     List.sort_uniq compare
       (List.map (fun st -> st.Summary.stage_name)
@@ -247,6 +320,12 @@ let write_json ~jobs path =
              ("jobsN", Json.Int par.Summary.wall_ns);
              ("speedup",
               Json.Float (speedup base.Summary.wall_ns par.Summary.wall_ns)) ]);
+        ("checkpoint",
+         Json.Obj
+           [ ("payload_bytes", Json.Int ckpt.payload_bytes);
+             ("rounds", Json.Int ckpt.rounds);
+             ("save_ns", Json.Int ckpt.save_ns);
+             ("load_ns", Json.Int ckpt.load_ns) ]);
         ("stages", Json.Arr stages) ]
   in
   let oc = open_out path in
@@ -275,9 +354,15 @@ let () =
   in
   match value_of "--json" with
   | Some path -> write_json ~jobs path
-  | None ->
-      if has "--stage-times" then print_stage_times ~jobs
-      else begin
-        print_tables ();
-        if not (has "--tables-only") then run_benchmarks ()
-      end
+  | None -> (
+      match value_of "--stage" with
+      | Some "checkpoint" -> print_checkpoint_times ()
+      | Some other ->
+          prerr_endline ("bench: unknown --stage " ^ other ^ " (try: checkpoint)");
+          exit 2
+      | None ->
+          if has "--stage-times" then print_stage_times ~jobs
+          else begin
+            print_tables ();
+            if not (has "--tables-only") then run_benchmarks ()
+          end)

@@ -101,9 +101,9 @@ let metrics_arg =
 
 (* Wire the global telemetry sinks around [f].  With --trace, spans and
    events stream to a JSONL file; with --metrics alone, spans are still
-   timed (into the span_us.* histograms) but discarded.  [f] returns an
-   exit code so teardown — closing the trace file — happens before any
-   [exit]. *)
+   timed (into the span_us.* histograms) but discarded.  [f] returns the
+   exit code, passed through so teardown — closing the trace file —
+   happens before the process exits. *)
 let with_telemetry ~trace ~metrics f =
   let oc = Option.map open_out trace in
   (match oc with
@@ -131,7 +131,7 @@ let with_telemetry ~trace ~metrics f =
   (match trace with
    | Some path -> Printf.printf "trace written to %s\n" path
    | None -> ());
-  if code <> 0 then exit code
+  code
 
 (* --- generate ------------------------------------------------------------ *)
 
@@ -149,8 +149,9 @@ let generate seed profile app n =
        | None -> ());
       List.iter
         (fun inj -> Printf.printf "\nlatent fault: %s\n" (Fault.injection_to_string inj))
-        latent
-  | [] -> ()
+        latent;
+      0
+  | [] -> 0
 
 let generate_cmd =
   let doc = "Synthesize a deterministic image population and print one configuration." in
@@ -182,7 +183,30 @@ let chaos_frac_arg =
                  pipeline faults (truncation, garbage bytes, probe flaps) \
                  before learning.")
 
-let learn seed profile app n custom mode max_retries chaos_frac jobs trace metrics =
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"DIR"
+           ~doc:"Persist a checkpoint under $(docv) after each completed \
+                 pipeline stage (ingest, assemble, model), through the \
+                 atomic snapshot writer.")
+
+let resume_arg =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ] ~docv:"DIR"
+           ~doc:"Resume from checkpoints under $(docv): stages whose \
+                 checkpoint verifies and matches this run's population and \
+                 parameters are restored instead of recomputed.  The final \
+                 model is byte-identical to an uninterrupted run.")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SECS"
+           ~doc:"Execution budget in seconds.  On expiry the run stops at a \
+                 clean boundary, keeps the checkpoints it has written, \
+                 reports its status as timed-out and exits with code 3.")
+
+let learn seed profile app n custom mode max_retries chaos_frac jobs
+    checkpoint_dir resume_dir deadline_s trace metrics =
   with_telemetry ~trace ~metrics @@ fun () ->
   let config = { Encore.Config.default with Encore.Config.seed; jobs } in
   let images = Population.clean (Population.generate ~profile ~seed app ~n) in
@@ -196,54 +220,106 @@ let learn seed profile app n custom mode max_retries chaos_frac jobs trace metri
     else (images, 0)
   in
   let custom = Option.map read_file custom in
-  match Encore.Pipeline.learn_resilient ~config ?custom ~mode ~max_retries images with
-  | Error d ->
-      prerr_endline
-        ("learning failed: " ^ Encore_util.Resilience.diagnostic_to_string d);
-      1
-  | Ok (model, report) ->
-      if stormed > 0 then Printf.printf "chaos: stormed %d image(s)\n" stormed;
-      print_string (Encore.Pipeline.report_to_string report);
-      Printf.printf "\nlearned from %d image(s): %d types, %d rules\n\n"
-        report.Encore.Pipeline.ok
-        (List.length model.Detector.types) (List.length model.Detector.rules);
-      List.iter
-        (fun r -> print_endline (Encore_rules.Template.rule_to_string r))
-        model.Detector.rules;
-      0
+  let checkpoint =
+    Option.map (fun dir -> Encore.Checkpoint.create ~dir) checkpoint_dir
+  in
+  let resume =
+    Option.map (fun dir -> Encore.Checkpoint.create ~dir) resume_dir
+  in
+  let deadline = Option.map Encore_util.Deadline.of_budget_s deadline_s in
+  let result =
+    Encore.Pipeline.learn_durable ~config ?custom ~mode ~max_retries
+      ?checkpoint ?resume ?deadline images
+  in
+  (match result with
+   | Error d ->
+       prerr_endline
+         ("learning failed: " ^ Encore_util.Resilience.diagnostic_to_string d)
+   | Ok o ->
+       if stormed > 0 then Printf.printf "chaos: stormed %d image(s)\n" stormed;
+       (match o.Encore.Pipeline.resumed with
+        | [] -> ()
+        | stages ->
+            Printf.printf "resumed from checkpoint: %s\n"
+              (String.concat ", "
+                 (List.map Encore.Checkpoint.stage_to_string stages)));
+       let report = o.Encore.Pipeline.report in
+       print_string (Encore.Pipeline.report_to_string report);
+       (match o.Encore.Pipeline.model with
+        | Some model ->
+            Printf.printf "\nlearned from %d image(s): %d types, %d rules\n\n"
+              report.Encore.Pipeline.ok
+              (List.length model.Detector.types)
+              (List.length model.Detector.rules);
+            List.iter
+              (fun r -> print_endline (Encore_rules.Template.rule_to_string r))
+              model.Detector.rules
+        | None -> ()));
+  Encore.Pipeline.exit_code result
 
 let learn_cmd =
   let doc = "Learn configuration rules from a generated population." in
   Cmd.v (Cmd.info "learn" ~doc)
     Term.(const learn $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg
           $ mode_arg $ max_retries_arg $ chaos_frac_arg $ jobs_arg
+          $ checkpoint_arg $ resume_arg $ deadline_arg
           $ trace_arg $ metrics_arg)
 
 (* --- chaos ----------------------------------------------------------------- *)
 
-let chaos seed app n fraction max_retries jobs trace metrics =
+let chaos seed app n fraction max_retries jobs durability dir trace metrics =
   with_telemetry ~trace ~metrics @@ fun () ->
   let config = { Encore.Config.default with Encore.Config.jobs = jobs } in
-  match Encore.Chaosrun.run ~config ~n ~fraction ~max_retries ~app ~seed () with
-  | Error d ->
-      prerr_endline
-        ("chaos run failed: " ^ Encore_util.Resilience.diagnostic_to_string d);
-      1
-  | Ok o ->
-      print_string (Encore.Chaosrun.outcome_to_string o);
-      0
+  if durability then
+    match Encore.Chaosrun.durability ~config ~fraction ~app ~dir ~seed () with
+    | Error d ->
+        prerr_endline
+          ("durability drill failed: "
+           ^ Encore_util.Resilience.diagnostic_to_string d);
+        1
+    | Ok o ->
+        print_string (Encore.Chaosrun.durability_outcome_to_string o);
+        if
+          o.Encore.Chaosrun.durability_notes = []
+          && List.for_all snd o.Encore.Chaosrun.kill_stages
+          && o.Encore.Chaosrun.truncate_detected
+          && o.Encore.Chaosrun.bitflip_detected
+          && o.Encore.Chaosrun.rollback_ok
+        then 0
+        else 1
+  else
+    match Encore.Chaosrun.run ~config ~n ~fraction ~max_retries ~app ~seed () with
+    | Error d ->
+        prerr_endline
+          ("chaos run failed: " ^ Encore_util.Resilience.diagnostic_to_string d);
+        1
+    | Ok o ->
+        print_string (Encore.Chaosrun.outcome_to_string o);
+        0
 
 let chaos_cmd =
   let doc =
     "Storm a training population with pipeline faults, learn through the \
-     resilient path and compare detection against an undamaged model."
+     resilient path and compare detection against an undamaged model.  With \
+     $(b,--durability): kill-and-resume at each checkpoint, tear and \
+     bit-flip snapshots, and prove the store detects the damage."
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const chaos $ seed_arg $ app_arg $ count_arg 50
           $ Arg.(value & opt float 0.3
                  & info [ "fraction" ] ~docv:"FRAC"
                      ~doc:"Fraction of the population to damage.")
-          $ max_retries_arg $ jobs_arg $ trace_arg $ metrics_arg)
+          $ max_retries_arg $ jobs_arg
+          $ Arg.(value & flag
+                 & info [ "durability" ]
+                     ~doc:"Run the durability drill (kill-at-checkpoint, \
+                           truncate-snapshot, bitflip-snapshot) instead of \
+                           the ingestion storm.")
+          $ Arg.(value & opt string "_chaos-durability"
+                 & info [ "dir" ] ~docv:"DIR"
+                     ~doc:"Working directory for the durability drill's \
+                           checkpoints and snapshot store.")
+          $ trace_arg $ metrics_arg)
 
 (* --- check ---------------------------------------------------------------- *)
 
@@ -288,9 +364,10 @@ let inject seed app n_faults =
   List.iter
     (fun inj -> Printf.printf "  %s\n" (Fault.injection_to_string inj))
     campaign.Conferr.injections;
-  match Image.config_for campaign.Conferr.image app with
-  | Some cf -> Printf.printf "\nresulting configuration:\n%s" cf.Image.text
-  | None -> ()
+  (match Image.config_for campaign.Conferr.image app with
+   | Some cf -> Printf.printf "\nresulting configuration:\n%s" cf.Image.text
+   | None -> ());
+  0
 
 let inject_cmd =
   let doc = "Run a ConfErr-style fault-injection campaign and show the result." in
@@ -309,23 +386,25 @@ let experiment which scale_name seed =
   in
   let tables =
     match which with
-    | "all" -> Encore.Experiments.all ~config ~scale ()
-    | id -> (
-        let pick = function
-          | "table1" -> Encore.Experiments.table1 ()
-          | "table2" -> Encore.Experiments.table2 ~config ~scale ()
-          | "table3" -> Encore.Experiments.table3 ~config ~scale ()
-          | "table8" -> Encore.Experiments.table8 ~config ~scale ()
-          | "table9" -> Encore.Experiments.table9 ~config ~scale ()
-          | "table10" -> Encore.Experiments.table10 ~config ~scale ()
-          | "table11" -> Encore.Experiments.table11 ~config ~scale ()
-          | "table12" -> Encore.Experiments.table12 ~config ~scale ()
-          | "table13" -> Encore.Experiments.table13 ~config ~scale ()
-          | other -> failwith ("unknown experiment: " ^ other)
-        in
-        [ pick id ])
+    | "all" -> Some (Encore.Experiments.all ~config ~scale ())
+    | "table1" -> Some [ Encore.Experiments.table1 () ]
+    | "table2" -> Some [ Encore.Experiments.table2 ~config ~scale () ]
+    | "table3" -> Some [ Encore.Experiments.table3 ~config ~scale () ]
+    | "table8" -> Some [ Encore.Experiments.table8 ~config ~scale () ]
+    | "table9" -> Some [ Encore.Experiments.table9 ~config ~scale () ]
+    | "table10" -> Some [ Encore.Experiments.table10 ~config ~scale () ]
+    | "table11" -> Some [ Encore.Experiments.table11 ~config ~scale () ]
+    | "table12" -> Some [ Encore.Experiments.table12 ~config ~scale () ]
+    | "table13" -> Some [ Encore.Experiments.table13 ~config ~scale () ]
+    | _ -> None
   in
-  List.iter (fun t -> print_endline (Encore.Experiments.render t)) tables
+  match tables with
+  | None ->
+      prerr_endline ("unknown experiment: " ^ which);
+      2
+  | Some tables ->
+      List.iter (fun t -> print_endline (Encore.Experiments.render t)) tables;
+      0
 
 let experiment_cmd =
   let doc = "Regenerate one of the paper's evaluation tables (or 'all')." in
@@ -338,24 +417,57 @@ let experiment_cmd =
 
 (* --- save / load-check -------------------------------------------------------- *)
 
-let save seed profile app n custom jobs output =
-  let model, trained = learn_model ?custom ~seed ~profile ~jobs app n in
-  Encore_detect.Model_io.save output model;
-  Printf.printf "saved a model learned from %d images (%d rules, %d typed columns) to %s\n"
-    trained (List.length model.Detector.rules) (List.length model.Detector.types)
-    output
+let save seed profile app n custom jobs output store_dir keep =
+  match (output, store_dir) with
+  | None, None ->
+      prerr_endline "save: pass --output FILE and/or --store DIR";
+      2
+  | _ ->
+      let model, trained = learn_model ?custom ~seed ~profile ~jobs app n in
+      let describe dest =
+        Printf.printf
+          "saved a model learned from %d images (%d rules, %d typed columns) \
+           to %s\n"
+          trained
+          (List.length model.Detector.rules)
+          (List.length model.Detector.types)
+          dest
+      in
+      Option.iter
+        (fun path ->
+          Encore_detect.Model_io.save path model;
+          describe path)
+        output;
+      Option.iter
+        (fun dir ->
+          let store = Encore_detect.Model_io.Store.create ~keep ~dir () in
+          let path = Encore_detect.Model_io.Store.save store model in
+          describe path)
+        store_dir;
+      0
 
 let save_cmd =
-  let doc = "Learn a model and serialize it to a file." in
+  let doc = "Learn a model and serialize it to a file or a snapshot store." in
   Cmd.v (Cmd.info "save" ~doc)
     Term.(const save $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg
           $ jobs_arg
-          $ Arg.(required & opt (some string) None
-                 & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Model output path."))
+          $ Arg.(value & opt (some string) None
+                 & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Model output path.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "store" ] ~docv:"DIR"
+                     ~doc:"Save into a versioned snapshot store under $(docv) \
+                           (atomic write, latest pointer, keeps the last \
+                           $(b,--keep) snapshots).")
+          $ Arg.(value & opt int 5
+                 & info [ "keep" ] ~docv:"K"
+                     ~doc:"Snapshots to retain in the store (default 5)."))
 
 let load_check model_path seed app threshold advise =
   match Encore_detect.Model_io.load model_path with
-  | Error e -> prerr_endline ("cannot load model: " ^ e); exit 1
+  | Error e ->
+      prerr_endline
+        ("cannot load model: " ^ Encore_detect.Model_io.load_error_to_string e);
+      1
   | Ok model ->
       Printf.printf "loaded model: %d rules, trained on %d images\n"
         (List.length model.Detector.rules) model.Detector.training_count;
@@ -378,13 +490,14 @@ let load_check model_path seed app threshold advise =
         print_string
           (Encore_detect.Advisor.to_string
              (Encore_detect.Advisor.advise model campaign.Conferr.image warnings))
-      end
+      end;
+      0
 
 let load_cmd =
   let doc = "Load a serialized model and check a faulted image against it." in
   Cmd.v (Cmd.info "load-check" ~doc)
     Term.(const load_check
-          $ Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL")
+          $ Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL")
           $ seed_arg $ app_arg $ threshold_arg
           $ Arg.(value & flag & info [ "advise" ] ~doc:"Also print remediation advice."))
 
@@ -408,7 +521,8 @@ let testgen seed profile app n jobs =
         (Encore_rules.Template.rule_to_string c.Encore.Testgen.rule))
     cases;
   Printf.printf "\n%d/%d cases re-detected by the checker\n" !verified
-    (List.length cases)
+    (List.length cases);
+  0
 
 let testgen_cmd =
   let doc = "Generate rule-violating configuration test cases (paper section 8)." in
@@ -426,15 +540,21 @@ let ablation which scale_name seed =
   in
   let tables =
     match which with
-    | "all" -> Encore.Ablation.all ~config ~scale ()
-    | "training-size" -> [ Encore.Ablation.training_size ~config () ]
-    | "confidence" -> [ Encore.Ablation.confidence_sweep ~config ~scale () ]
-    | "type-selection" -> [ Encore.Ablation.type_selection ~config ~scale () ]
-    | "checks" -> [ Encore.Ablation.check_breakdown ~config ~scale () ]
-    | "miners" -> [ Encore.Ablation.miners ~config ~scale () ]
-    | other -> failwith ("unknown ablation: " ^ other)
+    | "all" -> Some (Encore.Ablation.all ~config ~scale ())
+    | "training-size" -> Some [ Encore.Ablation.training_size ~config () ]
+    | "confidence" -> Some [ Encore.Ablation.confidence_sweep ~config ~scale () ]
+    | "type-selection" -> Some [ Encore.Ablation.type_selection ~config ~scale () ]
+    | "checks" -> Some [ Encore.Ablation.check_breakdown ~config ~scale () ]
+    | "miners" -> Some [ Encore.Ablation.miners ~config ~scale () ]
+    | _ -> None
   in
-  List.iter (fun t -> print_endline (Encore.Experiments.render t)) tables
+  match tables with
+  | None ->
+      prerr_endline ("unknown ablation: " ^ which);
+      2
+  | Some tables ->
+      List.iter (fun t -> print_endline (Encore.Experiments.render t)) tables;
+      0
 
 let ablation_cmd =
   let doc =
@@ -455,7 +575,7 @@ let run_case case_id seed jobs =
   match List.find_opt (fun c -> c.Encore_workloads.Cases.case_id = case_id) cases with
   | None ->
       prerr_endline "case id must be between 1 and 10";
-      exit 1
+      2
   | Some case ->
       Printf.printf "case %d (%s, needs %s):\n  %s\n\n" case.Encore_workloads.Cases.case_id
         (Image.app_to_string case.Encore_workloads.Cases.app)
@@ -474,21 +594,22 @@ let run_case case_id seed jobs =
           (fun w -> w.Encore_detect.Warning.score >= 0.55)
           (Detector.check model case.Encore_workloads.Cases.target)
       in
-      if warnings = [] then
-        print_endline
-          (if case.Encore_workloads.Cases.expect_miss then
-             "no warnings - the paper misses this case too (no hardware data \
-              in EC2-style training)"
-           else "no warnings")
-      else begin
-        print_endline "ranked warnings:";
-        print_string (Report.to_string (Report.merge_by_attr warnings));
-        print_endline "\nsuggested remediations:";
-        print_string
-          (Encore_detect.Advisor.to_string
-             (Encore_detect.Advisor.advise model case.Encore_workloads.Cases.target
-                (Report.merge_by_attr warnings)))
-      end
+      (if warnings = [] then
+         print_endline
+           (if case.Encore_workloads.Cases.expect_miss then
+              "no warnings - the paper misses this case too (no hardware data \
+               in EC2-style training)"
+            else "no warnings")
+       else begin
+         print_endline "ranked warnings:";
+         print_string (Report.to_string (Report.merge_by_attr warnings));
+         print_endline "\nsuggested remediations:";
+         print_string
+           (Encore_detect.Advisor.to_string
+              (Encore_detect.Advisor.advise model case.Encore_workloads.Cases.target
+                 (Report.merge_by_attr warnings)))
+       end);
+      0
 
 let case_cmd =
   let doc = "Reproduce one of the ten real-world cases of paper Table 9." in
@@ -500,7 +621,8 @@ let case_cmd =
 (* --- study ------------------------------------------------------------------ *)
 
 let study () =
-  print_endline (Encore.Experiments.render (Encore.Experiments.table1 ()))
+  print_endline (Encore.Experiments.render (Encore.Experiments.table1 ()));
+  0
 
 let study_cmd =
   let doc = "Print the configuration-parameter study (Table 1)." in
@@ -520,7 +642,8 @@ let export seed profile app n output =
          (Encore_dataset.Table.row_count assembled.Encore_dataset.Assemble.table)
          (Encore_dataset.Table.column_count assembled.Encore_dataset.Assemble.table)
          path
-   | None -> print_string csv)
+   | None -> print_string csv);
+  0
 
 let export_cmd =
   let doc = "Assemble a population and export the attribute table as CSV." in
@@ -533,10 +656,12 @@ let export_cmd =
 
 let trace_summarize file top =
   match Encore_obs.Summary.of_file ~top file with
-  | Ok summary -> print_string (Encore_obs.Summary.to_string summary)
+  | Ok summary ->
+      print_string (Encore_obs.Summary.to_string summary);
+      0
   | Error msg ->
       prerr_endline ("trace summarize: " ^ msg);
-      exit 1
+      1
 
 let trace_summarize_cmd =
   let doc = "Summarize a JSONL trace: per-stage time breakdown, slowest spans, \
@@ -553,11 +678,14 @@ let trace_cmd =
   let doc = "Inspect JSONL traces exported with --trace." in
   Cmd.group (Cmd.info "trace" ~doc) [ trace_summarize_cmd ]
 
+(* Exit-code contract (documented in README): 0 = success, 1 = failure,
+   2 = usage error (cmdliner's term_err), 3 = degraded or timed-out run.
+   Each command term evaluates to its exit code. *)
 let () =
   let doc = "EnCore misconfiguration detection (ASPLOS 2014 reproduction)" in
   let info = Cmd.info "encore-cli" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval
+    (Cmd.eval' ~term_err:2
        (Cmd.group info
           [ generate_cmd; learn_cmd; check_cmd; inject_cmd; experiment_cmd;
             study_cmd; export_cmd; save_cmd; load_cmd; testgen_cmd; case_cmd;

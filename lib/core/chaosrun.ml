@@ -155,6 +155,143 @@ let run ?(config = Config.default) ?(n = 50) ?(fraction = 0.3) ?faults
           notes = degraded.Pipeline.notes;
         }
 
+(* --- durability drill ------------------------------------------------------ *)
+
+module Model_io = Encore_detect.Model_io
+
+type durability_outcome = {
+  kill_stages : (string * bool) list;
+  truncate_detected : bool;
+  bitflip_detected : bool;
+  rollback_ok : bool;
+  durability_notes : string list;
+}
+
+let durability ?(config = Config.default) ?(n = 12) ?(fraction = 0.25)
+    ?(app = Image.Mysql) ~dir ~seed () =
+  let profile = { Profile.ec2 with Profile.latent_error_rate = 0.0 } in
+  let images = Population.images (Population.generate ~profile ~seed app ~n) in
+  let rng = Prng.create (seed + 31) in
+  (* drill on a stormed population so the resumed ingest state carries a
+     real quarantine, not just the happy path *)
+  let stormed = Chaos.storm ~fraction ~rng images in
+  let images = stormed.Chaos.images in
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := !notes @ [ s ]) fmt in
+  match Pipeline.learn_durable ~config images with
+  | Error d -> Error d
+  | Ok { Pipeline.model = None; _ } ->
+      Error
+        (Res.diag Res.Timed_out ~subject:"durability drill"
+           "reference run timed out without a deadline")
+  | Ok { Pipeline.model = Some reference; _ } ->
+      let reference_text = Model_io.to_string reference in
+      (* 1. kill right after each stage checkpoint, resume, compare *)
+      let kill_stages =
+        List.map
+          (fun stage ->
+            let name = Checkpoint.stage_to_string stage in
+            let ck =
+              Checkpoint.create ~dir:(Filename.concat dir ("kill-" ^ name))
+            in
+            let crashed =
+              match
+                Pipeline.learn_durable ~config ~checkpoint:ck ~kill_after:stage
+                  images
+              with
+              | exception Checkpoint.Simulated_crash s -> s = stage
+              | Ok _ | Error _ -> false
+            in
+            if not crashed then note "kill hook did not fire at %s" name;
+            let converged =
+              match
+                Pipeline.learn_durable ~config ~checkpoint:ck ~resume:ck images
+              with
+              | Ok { Pipeline.model = Some m; resumed; _ } ->
+                  let identical = Model_io.to_string m = reference_text in
+                  if not identical then
+                    note "resume after kill at %s diverged from reference" name;
+                  if not (List.mem stage resumed) then
+                    note "stage %s recomputed instead of resumed" name;
+                  identical && List.mem stage resumed
+              | Ok { Pipeline.model = None; _ } ->
+                  note "resume after kill at %s timed out" name;
+                  false
+              | Error d ->
+                  note "resume after kill at %s failed: %s" name
+                    (Res.diagnostic_to_string d);
+                  false
+            in
+            (name, crashed && converged))
+          Checkpoint.all_stages
+      in
+      (* 2. snapshot store: torn write detected, rollback to the last
+         good snapshot; bitflip at rest detected *)
+      let store =
+        Model_io.Store.create ~keep:3 ~dir:(Filename.concat dir "store") ()
+      in
+      let _first = Model_io.Store.save store reference in
+      let head = Model_io.Store.save store reference in
+      let frng = Prng.create (seed + 97) in
+      Chaos.truncate_file ~rng:frng head;
+      let truncate_detected =
+        match Model_io.load head with
+        | Error _ -> true
+        | Ok _ ->
+            note "torn snapshot %s loaded as valid" head;
+            false
+      in
+      let rollback_ok =
+        match Model_io.Store.load_latest store with
+        | Ok (m, path) ->
+            let ok = path <> head && Model_io.to_string m = reference_text in
+            if not ok then note "store rollback returned the torn head";
+            ok
+        | Error e ->
+            note "store failed to roll back: %s"
+              (Model_io.load_error_to_string e);
+            false
+      in
+      let flipped = Model_io.Store.save store reference in
+      Chaos.bitflip_file ~rng:frng flipped;
+      let bitflip_detected =
+        match Model_io.load flipped with
+        | Error _ -> true
+        | Ok _ ->
+            note "bit-flipped snapshot %s loaded as valid" flipped;
+            false
+      in
+      Ok
+        {
+          kill_stages;
+          truncate_detected;
+          bitflip_detected;
+          rollback_ok;
+          durability_notes = !notes;
+        }
+
+let durability_outcome_to_string o =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (stage, ok) ->
+      Buffer.add_string buf
+        (Printf.sprintf "kill after %s checkpoint: %s\n" stage
+           (if ok then "resume converged byte-identical" else "FAILED")))
+    o.kill_stages;
+  Buffer.add_string buf
+    (Printf.sprintf "torn snapshot detected: %s\n"
+       (if o.truncate_detected then "yes" else "NO"));
+  Buffer.add_string buf
+    (Printf.sprintf "bit-flip detected: %s\n"
+       (if o.bitflip_detected then "yes" else "NO"));
+  Buffer.add_string buf
+    (Printf.sprintf "store rollback to last good snapshot: %s\n"
+       (if o.rollback_ok then "ok" else "FAILED"));
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n))
+    o.durability_notes;
+  Buffer.contents buf
+
 let outcome_to_string o =
   let buf = Buffer.create 512 in
   Buffer.add_string buf

@@ -345,6 +345,7 @@ let category_of_fault = function
   | Fault.Config_fault Fault.Value_swap ->
       "ValueCompare"
   | Fault.Pipeline_fault _ -> "Ingestion"
+  | Fault.Durability_fault _ -> "Durability"
 
 let scan_population ~config ~scale ~profile ~seed_offset ~total =
   (* split the target population evenly across the three apps *)

@@ -63,6 +63,16 @@ let detections ?(config = Config.default) model img =
 
 type mode = Keep_going | Fail_fast
 
+let mode_to_string = function
+  | Keep_going -> "keep-going"
+  | Fail_fast -> "fail-fast"
+
+type run_status = Completed | Timed_out_at of Checkpoint.stage
+
+let run_status_to_string = function
+  | Completed -> "completed"
+  | Timed_out_at stage -> "timed-out:" ^ Checkpoint.stage_to_string stage
+
 type ingest_report = {
   total : int;
   ok : int;
@@ -72,6 +82,14 @@ type ingest_report = {
   warnings : Res.diagnostic list;
   histogram : (Res.error_kind * int) list;
   mining_overflowed : bool;
+  status : run_status;
+}
+
+type outcome = {
+  model : Detector.model option;
+  report : ingest_report;
+  resumed : Checkpoint.stage list;
+  checkpointed : Checkpoint.stage list;
 }
 
 let default_mining_cap = 100_000
@@ -128,10 +146,12 @@ let emit_report_telemetry report =
         ("retried", Json.Int report.retried);
         ("backoff_ms", Json.Int report.total_backoff_ms);
         ("mining_overflowed", Json.Bool report.mining_overflowed);
+        ("status", Json.Str (run_status_to_string report.status));
       ]
 
-let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
-    ?max_retries ?flaky ?(mining_cap = default_mining_cap) ?pool images =
+let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
+    ?max_retries ?flaky ?(mining_cap = default_mining_cap) ?pool ?checkpoint
+    ?resume ?(deadline = Encore_util.Deadline.none) ?kill_after images =
   with_configured_pool ~config pool
   @@ fun pool ->
   Otrace.with_span "learn"
@@ -139,6 +159,32 @@ let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
   @@ fun () ->
   let ( let* ) = Result.bind in
   let* templates = templates_result custom in
+  let fp =
+    Checkpoint.fingerprint ~config ~custom ~mode:(mode_to_string mode)
+      ~max_retries ~mining_cap images
+  in
+  let resumed = ref [] and checkpointed = ref [] in
+  (* Persist runs after a stage completes; the kill-at-checkpoint hook
+     fires right after the write, so a "crashed" run always left a
+     loadable checkpoint behind. *)
+  let persist stage save =
+    match checkpoint with
+    | None -> ()
+    | Some ck ->
+        save ck;
+        checkpointed := !checkpointed @ [ stage ];
+        if kill_after = Some stage then raise (Checkpoint.Simulated_crash stage)
+  in
+  let restore stage load =
+    match resume with
+    | None -> None
+    | Some ck -> (
+        match load ck with
+        | Some v ->
+            resumed := !resumed @ [ stage ];
+            Some v
+        | None -> None)
+  in
   let flaky =
     match flaky with
     | Some f -> f
@@ -149,6 +195,7 @@ let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
   let retried = ref 0 and backoff = ref 0 in
   let warnings = ref [] in
   let probe img =
+    Encore_util.Deadline.raise_if_expired deadline;
     let att =
       Otrace.with_span "probe"
         ~attrs:[ ("image", Json.Str img.Image.image_id) ]
@@ -232,66 +279,221 @@ let learn_resilient ?(config = Config.default) ?custom ?(mode = Keep_going)
     in
     Ok survivors
   in
-  let* survivors =
-    Otrace.with_span "ingest" (fun () ->
-        match mode with
-        | Fail_fast -> ingest_fail_fast [] images
-        | Keep_going -> ingest_keep_going ())
+  let current = ref Checkpoint.Ingest in
+  let ingest_state : Checkpoint.ingest_state option ref = ref None in
+  (* One report builder for every way a run can end, so the histogram
+     and the metric counters always reconcile with the diagnostics. *)
+  let build_report ~status ~mining_overflowed ~extra_warnings () =
+    let quarantined, base_warnings, ret, back, ok =
+      match !ingest_state with
+      | Some st ->
+          ( st.Checkpoint.quarantined, st.Checkpoint.warnings,
+            st.Checkpoint.retried, st.Checkpoint.total_backoff_ms,
+            List.length st.Checkpoint.survivor_ids )
+      | None -> ([], !warnings, !retried, !backoff, 0)
+    in
+    let warnings = base_warnings @ extra_warnings in
+    let all_diags = List.concat_map snd quarantined @ warnings in
+    {
+      total = List.length images;
+      ok;
+      quarantined;
+      retried = ret;
+      total_backoff_ms = back;
+      warnings;
+      histogram = Res.histogram all_diags;
+      mining_overflowed;
+      status;
+    }
   in
-  Ometrics.incr ~by:(List.length images) m_images_total;
-  Ometrics.incr ~by:!retried m_retries;
-  Ometrics.incr ~by:!backoff m_backoff_ms;
-  match survivors with
-  | [] ->
-      Ometrics.incr ~by:(List.length images) m_images_quarantined;
-      Error
-        (Res.diag Res.Corrupt_image ~subject:"training population"
-           (Printf.sprintf "all %d image(s) quarantined; nothing to learn from"
-              (List.length images)))
-  | _ ->
-      let assembled =
-        Otrace.with_span "assemble" (fun () ->
-            Assemble.assemble_training ?pool survivors)
+  let finalize report =
+    Ometrics.incr ~by:report.total m_images_total;
+    Ometrics.incr ~by:report.retried m_retries;
+    Ometrics.incr ~by:report.total_backoff_ms m_backoff_ms;
+    Ometrics.incr ~by:report.ok m_images_ok;
+    Ometrics.incr ~by:(List.length report.quarantined) m_images_quarantined;
+    Ometrics.incr ~by:(List.length report.warnings) m_warnings;
+    Otrace.with_span "report" (fun () -> emit_report_telemetry report);
+    if Oevents.enabled () then Oevents.emit_metrics ();
+    report
+  in
+  let run () =
+    (* --- stage 1: ingest -------------------------------------------- *)
+    current := Checkpoint.Ingest;
+    Encore_util.Deadline.raise_if_expired deadline;
+    let* st =
+      match
+        restore Checkpoint.Ingest (fun ck ->
+            Checkpoint.load_ingest ck ~fingerprint:fp)
+      with
+      | Some st -> Ok st
+      | None ->
+          let* survivors =
+            Otrace.with_span "ingest" (fun () ->
+                match mode with
+                | Fail_fast -> ingest_fail_fast [] images
+                | Keep_going -> ingest_keep_going ())
+          in
+          let st =
+            {
+              Checkpoint.survivor_ids =
+                List.map (fun img -> img.Image.image_id) survivors;
+              quarantined = Res.quarantined breaker;
+              warnings = !warnings;
+              retried = !retried;
+              total_backoff_ms = !backoff;
+            }
+          in
+          persist Checkpoint.Ingest (fun ck ->
+              Checkpoint.save_ingest ck ~fingerprint:fp st);
+          Ok st
+    in
+    ingest_state := Some st;
+    let survivors =
+      List.filter
+        (fun img -> List.mem img.Image.image_id st.Checkpoint.survivor_ids)
+        images
+    in
+    match survivors with
+    | [] ->
+        ignore
+          (finalize
+             (build_report ~status:Completed ~mining_overflowed:false
+                ~extra_warnings:[] ()));
+        Error
+          (Res.diag Res.Corrupt_image ~subject:"training population"
+             (Printf.sprintf
+                "all %d image(s) quarantined; nothing to learn from"
+                (List.length images)))
+    | _ ->
+        (* --- stage 2: assemble -------------------------------------- *)
+        current := Checkpoint.Assemble;
+        Encore_util.Deadline.raise_if_expired deadline;
+        let assembled =
+          match
+            restore Checkpoint.Assemble (fun ck ->
+                Checkpoint.load_assemble ck ~fingerprint:fp)
+          with
+          | Some a -> a
+          | None ->
+              let a =
+                Otrace.with_span "assemble" (fun () ->
+                    Assemble.assemble_training ?pool survivors)
+              in
+              persist Checkpoint.Assemble (fun ck ->
+                  Checkpoint.save_assemble ck ~fingerprint:fp a);
+              a
+        in
+        (* --- stage 3: model + mining probe -------------------------- *)
+        current := Checkpoint.Model;
+        Encore_util.Deadline.raise_if_expired deadline;
+        let model =
+          match
+            restore Checkpoint.Model (fun ck ->
+                Checkpoint.load_model ck ~fingerprint:fp)
+          with
+          | Some m -> m
+          | None ->
+              let rows = Encore_dataset.Table.rows assembled.Assemble.table in
+              let training =
+                List.map2 (fun img (_, row) -> (img, row)) survivors rows
+              in
+              let model =
+                Detector.model_of_training
+                  ~params:(Config.rule_params config)
+                  ~templates
+                  ~entropy_threshold:config.Config.entropy_threshold ?pool
+                  ~types:assembled.Assemble.types training
+              in
+              let mining_overflowed =
+                Otrace.with_span "mining-probe" (fun () ->
+                    mining_probe ~config ~mining_cap assembled.Assemble.table)
+              in
+              let model =
+                { model with Detector.overflowed = mining_overflowed }
+              in
+              persist Checkpoint.Model (fun ck ->
+                  Checkpoint.save_model ck ~fingerprint:fp model);
+              model
+        in
+        let extra_warnings =
+          if model.Detector.overflowed then
+            [
+              Res.diag Res.Overflow ~subject:"fp-growth"
+                (Printf.sprintf "frequent itemsets exceeded cap %d" mining_cap);
+            ]
+          else []
+        in
+        let report =
+          finalize
+            (build_report ~status:Completed
+               ~mining_overflowed:model.Detector.overflowed ~extra_warnings ())
+        in
+        Ok
+          {
+            model = Some model;
+            report;
+            resumed = !resumed;
+            checkpointed = !checkpointed;
+          }
+  in
+  let with_pool_deadline f =
+    match pool with
+    | Some p -> Encore_util.Pool.with_deadline p deadline f
+    | None -> f ()
+  in
+  match with_pool_deadline run with
+  | result -> result
+  | exception Encore_util.Deadline.Expired reason ->
+      (* graceful degradation: every completed stage already has its
+         checkpoint on disk; report how far the run got *)
+      let stage = !current in
+      Oevents.emit_deadline
+        ~stage:(Checkpoint.stage_to_string stage)
+        ~reason:(Encore_util.Deadline.reason_to_string reason);
+      let timeout_warning =
+        Res.diag Res.Timed_out
+          ~subject:(Checkpoint.stage_to_string stage)
+          (Printf.sprintf "deadline expired (%s) during the %s stage"
+             (Encore_util.Deadline.reason_to_string reason)
+             (Checkpoint.stage_to_string stage))
       in
-      let rows = Encore_dataset.Table.rows assembled.Assemble.table in
-      let training = List.map2 (fun img (_, row) -> (img, row)) survivors rows in
-      let model =
-        Detector.model_of_training
-          ~params:(Config.rule_params config)
-          ~templates
-          ~entropy_threshold:config.Config.entropy_threshold ?pool
-          ~types:assembled.Assemble.types training
-      in
-      let mining_overflowed =
-        Otrace.with_span "mining-probe" (fun () ->
-            mining_probe ~config ~mining_cap assembled.Assemble.table)
-      in
-      let model = { model with Detector.overflowed = mining_overflowed } in
-      if mining_overflowed then
-        warnings :=
-          !warnings
-          @ [ Res.diag Res.Overflow ~subject:"fp-growth"
-                (Printf.sprintf "frequent itemsets exceeded cap %d" mining_cap) ];
-      let quarantined = Res.quarantined breaker in
-      let all_diags = List.concat_map snd quarantined @ !warnings in
       let report =
-        {
-          total = List.length images;
-          ok = List.length survivors;
-          quarantined;
-          retried = !retried;
-          total_backoff_ms = !backoff;
-          warnings = !warnings;
-          histogram = Res.histogram all_diags;
-          mining_overflowed;
-        }
+        finalize
+          (build_report ~status:(Timed_out_at stage) ~mining_overflowed:false
+             ~extra_warnings:[ timeout_warning ] ())
       in
-      Ometrics.incr ~by:report.ok m_images_ok;
-      Ometrics.incr ~by:(List.length quarantined) m_images_quarantined;
-      Ometrics.incr ~by:(List.length !warnings) m_warnings;
-      Otrace.with_span "report" (fun () -> emit_report_telemetry report);
-      if Oevents.enabled () then Oevents.emit_metrics ();
-      Ok (model, report)
+      Ok
+        {
+          model = None;
+          report;
+          resumed = !resumed;
+          checkpointed = !checkpointed;
+        }
+
+let learn_resilient ?config ?custom ?mode ?max_retries ?flaky ?mining_cap ?pool
+    images =
+  match
+    learn_durable ?config ?custom ?mode ?max_retries ?flaky ?mining_cap ?pool
+      images
+  with
+  | Error d -> Error d
+  | Ok { model = Some model; report; _ } -> Ok (model, report)
+  | Ok { model = None; _ } ->
+      (* unreachable: without a deadline the pipeline cannot time out *)
+      Error
+        (Res.diag Res.Timed_out ~subject:"pipeline"
+           "pipeline timed out without a deadline")
+
+let exit_code = function
+  | Error _ -> 1
+  | Ok { report; _ } ->
+      if
+        report.status <> Completed
+        || report.quarantined <> []
+        || report.mining_overflowed
+      then 3
+      else 0
 
 let report_to_string r =
   let buf = Buffer.create 512 in
@@ -323,6 +525,14 @@ let report_to_string r =
     Buffer.add_string buf
       "degraded: itemset mining overflowed; correlation rules may be \
        incomplete\n";
+  (match r.status with
+   | Completed -> ()
+   | Timed_out_at stage ->
+       Buffer.add_string buf
+         (Printf.sprintf
+            "degraded: deadline expired during the %s stage; completed \
+             stages were checkpointed\n"
+            (Checkpoint.stage_to_string stage)));
   Buffer.contents buf
 
 (* --- degraded-mode checking ---------------------------------------------- *)

@@ -49,6 +49,15 @@ type mode =
   | Keep_going  (** quarantine damaged images, train on the survivors *)
   | Fail_fast   (** surface the first fatal diagnostic as [Error] *)
 
+type run_status =
+  | Completed
+  | Timed_out_at of Checkpoint.stage
+      (** the deadline expired while this stage was running; stages
+          before it completed (and were checkpointed when a checkpoint
+          directory was given) *)
+
+val run_status_to_string : run_status -> string
+
 type ingest_report = {
   total : int;            (** images offered for training *)
   ok : int;               (** images that survived probing and parsing *)
@@ -63,9 +72,63 @@ type ingest_report = {
       (** every diagnostic of the run (fatal and recoverable) counted
           by kind; total = quarantine diagnostics + warnings *)
   mining_overflowed : bool;
+  status : run_status;
 }
 
 val default_mining_cap : int
+
+type outcome = {
+  model : model option;
+      (** [None] only when the run timed out before the model stage
+          finished *)
+  report : ingest_report;
+  resumed : Checkpoint.stage list;
+      (** stages restored from checkpoints instead of recomputed *)
+  checkpointed : Checkpoint.stage list;
+      (** stages persisted by this run *)
+}
+
+val learn_durable :
+  ?config:Config.t ->
+  ?custom:string ->
+  ?mode:mode ->
+  ?max_retries:int ->
+  ?flaky:Encore_sysenv.Flaky.t ->
+  ?mining_cap:int ->
+  ?pool:Encore_util.Pool.t ->
+  ?checkpoint:Checkpoint.t ->
+  ?resume:Checkpoint.t ->
+  ?deadline:Encore_util.Deadline.t ->
+  ?kill_after:Checkpoint.stage ->
+  Encore_sysenv.Image.t list ->
+  (outcome, Encore_util.Resilience.diagnostic) result
+(** {!learn_resilient} with durability.  The run proceeds in three
+    stages — ingest, assemble, model — and:
+
+    - with [checkpoint], persists each completed stage's artifact
+      through the atomic snapshot writer;
+    - with [resume], restores any stage whose checkpoint verifies and
+      matches the run's fingerprint (population + parameters), skipping
+      its computation.  Stale or damaged checkpoints are recomputed, so
+      an interrupted-then-resumed run always produces a model
+      byte-identical to an uninterrupted one;
+    - with [deadline], polls the token at every stage boundary, before
+      every probe, and (via {!Encore_util.Pool.with_deadline}) at every
+      pooled work item.  Expiry is graceful: completed stages keep
+      their checkpoints and the result is [Ok] with [model = None] and
+      [report.status = Timed_out_at stage], plus a [Timed_out] warning
+      diagnostic and a [deadline] event.
+
+    [kill_after] is the chaos hook: it raises
+    [Checkpoint.Simulated_crash] immediately after the given stage's
+    checkpoint is written — the only exception this function lets
+    escape. *)
+
+val exit_code : (outcome, Encore_util.Resilience.diagnostic) result -> int
+(** Process exit code for a durable run: [0] for a clean completed run,
+    [3] for a degraded one (timed out, quarantined images or mining
+    overflow), [1] for a failed one.  [2] is reserved for usage errors
+    (set by the CLI's argument parser). *)
 
 val learn_resilient :
   ?config:Config.t ->

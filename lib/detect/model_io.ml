@@ -1,4 +1,5 @@
 module Csvio = Encore_util.Csvio
+module Snapshot = Encore_util.Snapshot
 module Ctype = Encore_typing.Ctype
 module Tinfer = Encore_typing.Infer
 module Template = Encore_rules.Template
@@ -74,6 +75,26 @@ let to_string (m : Detector.model) =
 
 let ( let* ) = Result.bind
 
+type parse_error = { offset : int; message : string }
+
+(* Non-empty lines paired with the byte offset where each starts, so
+   every parse failure can name the exact file position. *)
+let offset_lines text =
+  let n = String.length text in
+  let rec go acc off =
+    if off >= n then List.rev acc
+    else
+      let nl =
+        match String.index_from_opt text off '\n' with
+        | Some i -> i
+        | None -> n
+      in
+      let line = String.sub text off (nl - off) in
+      let acc = if line = "" then acc else (off, line) :: acc in
+      go acc (nl + 1)
+  in
+  go [] 0
+
 let parse_type_row = function
   | [ attr; ctype; agreement; samples ] -> (
       match (Ctype.of_string ctype, float_of_string_opt agreement, int_of_string_opt samples) with
@@ -115,54 +136,50 @@ let parse_rule_row = function
         }
   | row -> Error ("malformed rule row: " ^ String.concat "," row)
 
+let fail ~offset message = Error { offset; message }
+
 let rec collect_section parse acc = function
   | [] -> Ok (List.rev acc, [])
-  | line :: rest when String.length line > 0 && line.[0] = '@' ->
-      Ok (List.rev acc, line :: rest)
-  | line :: rest ->
+  | ((_, line) :: _ : (int * string) list) as rest when line.[0] = '@' ->
+      Ok (List.rev acc, rest)
+  | (off, line) :: rest ->
       let* row =
         match Csvio.parse (line ^ "\n") with
         | [ row ] -> Ok row
-        | _ -> Error ("unparsable line: " ^ line)
+        | _ -> fail ~offset:off ("unparsable line: " ^ line)
       in
-      let* item = parse row in
+      let* item = Result.map_error (fun m -> { offset = off; message = m }) (parse row) in
       collect_section parse (item :: acc) rest
 
-let of_string text =
-  let lines =
-    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
-  in
-  match lines with
-  | header :: rest when header = magic ^ " " ^ version ->
+let section_header name = function
+  | ((off, line) : int * string) :: rest when line = section name -> Ok (off, rest)
+  | (off, _) :: _ -> fail ~offset:off (Printf.sprintf "missing @%s section" name)
+  | [] ->
+      fail ~offset:0 (Printf.sprintf "missing @%s section (input exhausted)" name)
+
+(* Parse a bare model payload (no snapshot envelope), reporting the
+   byte offset of the first line that fails. *)
+let parse_payload text =
+  match offset_lines text with
+  | (_, header) :: rest when header = magic ^ " " ^ version ->
+      let* moff, rest = section_header "meta" rest in
       let* (meta, overflowed), rest =
         match rest with
-        | "@meta" :: count :: rest -> (
+        | (coff, count) :: rest -> (
             match int_of_string_opt count with
             | Some n -> (
                 (* "overflowed" marker is optional for older model files *)
                 match rest with
-                | "overflowed" :: rest -> Ok ((n, true), rest)
+                | (_, "overflowed") :: rest -> Ok ((n, true), rest)
                 | rest -> Ok ((n, false), rest))
-            | None -> Error ("bad training count: " ^ count))
-        | _ -> Error "missing @meta section"
+            | None -> fail ~offset:coff ("bad training count: " ^ count))
+        | [] -> fail ~offset:moff "truncated @meta section"
       in
-      let* rest =
-        match rest with
-        | "@types" :: rest -> Ok rest
-        | _ -> Error "missing @types section"
-      in
+      let* _, rest = section_header "types" rest in
       let* types, rest = collect_section parse_type_row [] rest in
-      let* rest =
-        match rest with
-        | "@rules" :: rest -> Ok rest
-        | _ -> Error "missing @rules section"
-      in
+      let* _, rest = section_header "rules" rest in
       let* rules, rest = collect_section parse_rule_row [] rest in
-      let* rest =
-        match rest with
-        | "@values" :: rest -> Ok rest
-        | _ -> Error "missing @values section"
-      in
+      let* _, rest = section_header "values" rest in
       let* value_stats, rest =
         collect_section
           (function
@@ -170,11 +187,7 @@ let of_string text =
             | [] -> Error "empty values row")
           [] rest
       in
-      let* rest =
-        match rest with
-        | "@attrs" :: rest -> Ok rest
-        | _ -> Error "missing @attrs section"
-      in
+      let* _, rest = section_header "attrs" rest in
       let* attrs, leftover =
         collect_section
           (function
@@ -182,26 +195,93 @@ let of_string text =
             | row -> Error ("malformed attr row: " ^ String.concat "," row))
           [] rest
       in
-      if leftover <> [] then Error "trailing content after @attrs"
-      else
-        Ok
-          {
-            Detector.types; rules; value_stats; known_attrs = attrs;
-            training_count = meta; overflowed;
-          }
-  | header :: _ -> Error ("unsupported model header: " ^ header)
-  | [] -> Error "empty model file"
+      (match leftover with
+       | (off, _) :: _ -> fail ~offset:off "trailing content after @attrs"
+       | [] ->
+           Ok
+             {
+               Detector.types; rules; value_stats; known_attrs = attrs;
+               training_count = meta; overflowed;
+             })
+  | (off, header) :: _ -> fail ~offset:off ("unsupported model header: " ^ header)
+  | [] -> fail ~offset:0 "empty model file"
 
-let save path model =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string model))
+let of_string text =
+  Result.map_error
+    (fun { offset; message } -> Printf.sprintf "byte %d: %s" offset message)
+    (parse_payload text)
+
+(* --- durable persistence -------------------------------------------------- *)
+
+type load_error = Snapshot.error
+
+let load_error_to_string = Snapshot.error_to_string
+
+let snapshot_kind = "model"
+
+let save path model = Snapshot.write_atomic ~kind:snapshot_kind path (to_string model)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error (Snapshot.Io_error { path; detail = e })
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | text -> Ok text
+      | exception e ->
+          Error (Snapshot.Io_error { path; detail = Printexc.to_string e }))
+
+let parse_verified ~path payload =
+  match parse_payload payload with
+  | Ok model -> Ok model
+  | Error { offset; message } ->
+      Error (Snapshot.Malformed { path; offset; detail = message })
 
 let load path =
-  match open_in path with
-  | exception Sys_error e -> Error e
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  let* text = read_file path in
+  if starts_with ~prefix:(Snapshot.magic ^ " ") text then
+    (* current format: verified envelope, then the typed payload *)
+    let* payload = Snapshot.read ~kind:snapshot_kind path in
+    parse_verified ~path payload
+  else if starts_with ~prefix:(magic ^ " " ^ version) text then
+    (* legacy bare payload (pre-snapshot saves): no checksum to verify,
+       but parse failures still carry their file offset *)
+    parse_verified ~path text
+  else
+    Error
+      (Snapshot.Version_mismatch
+         {
+           path;
+           found =
+             (match offset_lines text with
+              | (_, first) :: _ -> String.sub first 0 (min 40 (String.length first))
+              | [] -> "(empty file)");
+           expected =
+             Printf.sprintf "%s %s ... or legacy %s %s" Snapshot.magic
+               Snapshot.version magic version;
+         })
+
+(* --- versioned model store ------------------------------------------------ *)
+
+module Store = struct
+  type t = Snapshot.Store.t
+
+  let create ?keep ~dir () = Snapshot.Store.create ?keep ~kind:snapshot_kind ~dir ()
+  let dir = Snapshot.Store.dir
+  let snapshots = Snapshot.Store.snapshots
+  let latest_path = Snapshot.Store.latest_path
+
+  let save store model = Snapshot.Store.save store (to_string model)
+
+  let load_latest store =
+    let* payload, path = Snapshot.Store.load_latest store in
+    let* model = parse_verified ~path payload in
+    Ok (model, path)
+end

@@ -9,15 +9,68 @@
     Format: a versioned header followed by CSV sections
     ([types], [rules], [values], [attrs]); everything the checker needs,
     nothing else.  Custom-type *registrations* are not embedded — load
-    the same customization file on both sides. *)
+    the same customization file on both sides.
+
+    Durability: {!save} wraps the payload in an
+    {!Encore_util.Snapshot} envelope (schema version, checksum) and
+    writes it atomically; {!load} verifies the envelope and returns
+    typed errors instead of raising.  Legacy bare payloads written
+    before the envelope existed still load. *)
 
 val to_string : Detector.model -> string
 
+type parse_error = { offset : int; message : string }
+(** A payload parse failure, anchored at the byte offset (within the
+    payload) of the offending line. *)
+
+val parse_payload : string -> (Detector.model, parse_error) result
+(** Parse a bare model payload (no snapshot envelope). *)
+
 val of_string : string -> (Detector.model, string) result
-(** Parse a serialized model.  Fails with a descriptive message on
-    version mismatch or malformed sections. *)
+(** {!parse_payload} with the error rendered as ["byte N: ..."]. *)
+
+type load_error = Encore_util.Snapshot.error
+
+val load_error_to_string : load_error -> string
+(** Variant name, file, byte offset where detection failed, detail. *)
+
+val snapshot_kind : string
+(** The snapshot [kind] tag for model artifacts: ["model"]. *)
 
 val save : string -> Detector.model -> unit
-(** Write to a file. *)
+(** Atomic write (temp file + fsync + rename) of the enveloped model. *)
 
-val load : string -> (Detector.model, string) result
+val load : string -> (Detector.model, load_error) result
+(** Verify the snapshot envelope and parse the payload.  Never raises:
+    unreadable files are [Io_error], short payloads [Truncated],
+    checksum failures [Corrupt], foreign or future formats
+    [Version_mismatch], and payloads that verify but do not parse
+    [Malformed] with the offset of the failing line.  Legacy files
+    beginning with [ENCORE-MODEL 1] (pre-envelope saves) are parsed
+    directly. *)
+
+(** Versioned model store: numbered snapshots under one directory, a
+    [latest] pointer, pruning to the last [keep] models, and rollback
+    to the newest snapshot whose envelope still verifies. *)
+module Store : sig
+  type t
+
+  val create : ?keep:int -> dir:string -> unit -> t
+  (** Open (creating the directory if needed) a model store.  [keep]
+      defaults to 5. *)
+
+  val dir : t -> string
+
+  val snapshots : t -> string list
+  (** Snapshot paths, newest first (verifiable or not). *)
+
+  val latest_path : t -> string option
+
+  val save : t -> Detector.model -> string
+  (** Serialize, write as the next numbered snapshot, repoint [latest],
+      prune; returns the snapshot path. *)
+
+  val load_latest : t -> (Detector.model * string, load_error) result
+  (** [(model, path)] of the newest snapshot that verifies; a corrupt
+      head rolls back to an older verifiable snapshot. *)
+end

@@ -61,6 +61,34 @@ let corrupt_one rng kind (img : Image.t) =
                 after = Printf.sprintf "%d control bytes at offset %d"
                     (String.length garbage) pos } ))
 
+(* --- on-disk snapshot corruption ----------------------------------------- *)
+
+let read_raw path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_raw path bytes =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc bytes)
+
+let truncate_file ~rng path =
+  let text = read_raw path in
+  let len = String.length text in
+  if len > 0 then write_raw path (String.sub text 0 (Prng.int_in rng 0 (len - 1)))
+
+let bitflip_file ~rng path =
+  let text = read_raw path in
+  let len = String.length text in
+  if len > 0 then begin
+    let pos = Prng.int rng len in
+    let bit = Prng.int rng 8 in
+    let bytes = Bytes.of_string text in
+    Bytes.set bytes pos (Char.chr (Char.code text.[pos] lxor (1 lsl bit)));
+    write_raw path (Bytes.to_string bytes)
+  end
+
 let storm ?(fraction = 0.3) ?(faults = Fault.all_pipeline_faults) ~rng images =
   let n = List.length images in
   let k =

@@ -36,6 +36,15 @@ val corrupt_one :
     Returns [None] when the fault cannot apply (image carries no config
     files, or the chosen file is too short to truncate). *)
 
+val truncate_file : rng:Encore_util.Prng.t -> string -> unit
+(** Simulate a torn write: rewrite the file at [path] as a strict
+    prefix of itself (possibly empty), cut at a PRNG-chosen offset.
+    For durability drills against real snapshot files. *)
+
+val bitflip_file : rng:Encore_util.Prng.t -> string -> unit
+(** Simulate at-rest corruption: flip one PRNG-chosen bit of the file.
+    No-op on an empty file. *)
+
 val storm :
   ?fraction:float ->
   ?faults:Fault.pipeline_fault list ->

@@ -214,9 +214,10 @@ let inject_one rng app img fault =
       match fault with
       | Fault.Config_fault kind -> inject_config rng app img kind kvs
       | Fault.Env_fault kind -> inject_env rng app img kind kvs
-      (* pipeline faults damage the ingestion channel, not the config
-         semantics; they belong to Chaos.storm, not ConfErr *)
-      | Fault.Pipeline_fault _ -> None)
+      (* pipeline and durability faults damage the ingestion channel or
+         the persistence layer, not the config semantics; they belong
+         to Chaos.storm and the Chaosrun durability drill, not ConfErr *)
+      | Fault.Pipeline_fault _ | Fault.Durability_fault _ -> None)
 
 let inject ?(env_fault_fraction = 0.0) rng app img ~n =
   let rec go img acc used k attempts =

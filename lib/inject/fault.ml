@@ -11,10 +11,13 @@ type env_fault = Chown_flip | Perm_flip | Symlink_inject
 
 type pipeline_fault = Truncated_file | Garbage_bytes | Probe_flap
 
+type durability_fault = Kill_at_checkpoint | Truncate_snapshot | Bitflip_snapshot
+
 type fault =
   | Config_fault of config_fault
   | Env_fault of env_fault
   | Pipeline_fault of pipeline_fault
+  | Durability_fault of durability_fault
 
 let fault_to_string = function
   | Config_fault Key_typo -> "key-typo"
@@ -30,6 +33,9 @@ let fault_to_string = function
   | Pipeline_fault Truncated_file -> "truncated-file"
   | Pipeline_fault Garbage_bytes -> "garbage-bytes"
   | Pipeline_fault Probe_flap -> "probe-flap"
+  | Durability_fault Kill_at_checkpoint -> "kill-at-checkpoint"
+  | Durability_fault Truncate_snapshot -> "truncate-snapshot"
+  | Durability_fault Bitflip_snapshot -> "bitflip-snapshot"
 
 let all_config_faults =
   [ Key_typo; Value_typo; Wrong_path; Path_to_file; Wrong_user; Value_swap;
@@ -37,6 +43,9 @@ let all_config_faults =
 
 let all_env_faults = [ Chown_flip; Perm_flip; Symlink_inject ]
 let all_pipeline_faults = [ Truncated_file; Garbage_bytes; Probe_flap ]
+
+let all_durability_faults =
+  [ Kill_at_checkpoint; Truncate_snapshot; Bitflip_snapshot ]
 
 type injection = {
   fault : fault;

@@ -27,6 +27,11 @@ type pipeline_fault =
   | Garbage_bytes    (** splice raw control bytes into a config file *)
   | Probe_flap       (** make every environment probe against the image fail *)
 
+type durability_fault =
+  | Kill_at_checkpoint  (** crash the run right after a stage checkpoint *)
+  | Truncate_snapshot   (** chop a snapshot file as a torn write would *)
+  | Bitflip_snapshot    (** flip one bit of a snapshot at rest *)
+
 type fault =
   | Config_fault of config_fault
   | Env_fault of env_fault
@@ -36,11 +41,17 @@ type fault =
           transport.  They never produce a plausible-but-wrong config,
           only an unreadable one, so the resilient pipeline must
           quarantine (not mis-learn from) their victims. *)
+  | Durability_fault of durability_fault
+      (** *Durability faults* attack the persistence layer: the process
+          lifetime and the model artifacts on disk.  A durable store
+          must detect the damage (typed load errors, rollback) and a
+          killed run must resume to a byte-identical model. *)
 
 val fault_to_string : fault -> string
 val all_config_faults : config_fault list
 val all_env_faults : env_fault list
 val all_pipeline_faults : pipeline_fault list
+val all_durability_faults : durability_fault list
 
 type injection = {
   fault : fault;

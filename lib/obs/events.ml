@@ -49,6 +49,29 @@ let emit_diag ~kind ~subject ~detail =
         ("detail", Jsonenc.Str detail);
       ]
 
+let emit_checkpoint ~stage ~path ~bytes ~action =
+  emit "checkpoint"
+    ~fields:
+      [
+        ("stage", Jsonenc.Str stage);
+        ("path", Jsonenc.Str path);
+        ("bytes", Jsonenc.Int bytes);
+        ("action", Jsonenc.Str action);
+      ]
+
+let emit_rollback ~from_path ~to_path ~error =
+  emit "snapshot_rollback"
+    ~fields:
+      [
+        ("from", Jsonenc.Str from_path);
+        ("to", Jsonenc.Str to_path);
+        ("error", Jsonenc.Str error);
+      ]
+
+let emit_deadline ~stage ~reason =
+  emit "deadline"
+    ~fields:[ ("stage", Jsonenc.Str stage); ("reason", Jsonenc.Str reason) ]
+
 let emit_metrics () =
   if enabled () then
     emit "metric_snapshot"

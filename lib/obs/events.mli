@@ -29,5 +29,19 @@ val stream_spans : unit -> unit
 val emit_diag : kind:string -> subject:string -> detail:string -> unit
 (** One [diag] event; [kind] is a resilience error-kind string. *)
 
+val emit_checkpoint :
+  stage:string -> path:string -> bytes:int -> action:string -> unit
+(** One [checkpoint] event; [action] is ["saved"], ["resumed"] or
+    ["stale"]. *)
+
+val emit_rollback : from_path:string -> to_path:string -> error:string -> unit
+(** One [snapshot_rollback] event: the store abandoned [from_path]
+    (which failed verification with [error]) for [to_path]. *)
+
+val emit_deadline : stage:string -> reason:string -> unit
+(** One [deadline] event: the pipeline stopped at [stage] because the
+    execution budget expired ([reason] from
+    [Deadline.reason_to_string]). *)
+
 val emit_metrics : unit -> unit
 (** One [metric_snapshot] event carrying {!Metrics.snapshot}. *)

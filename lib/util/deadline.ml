@@ -1,0 +1,59 @@
+type reason = Timed_out | Cancelled
+
+let reason_to_string = function
+  | Timed_out -> "timed-out"
+  | Cancelled -> "cancelled"
+
+exception Expired of reason
+
+type trigger =
+  | Never
+  | At_ns of int64
+  | After_polls of int Atomic.t  (* polls left; <= 0 means expired *)
+
+type t = { trigger : trigger; cancelled : bool Atomic.t }
+
+let make trigger = { trigger; cancelled = Atomic.make false }
+
+let none = make Never
+
+let at_ns ns = make (At_ns ns)
+
+let of_budget_s s =
+  let budget_ns = Int64.of_float (s *. 1e9) in
+  at_ns (Int64.add (Encore_obs.Clock.now_ns ()) budget_ns)
+
+let after_polls n = make (After_polls (Atomic.make n))
+
+let cancel t = Atomic.set t.cancelled true
+
+(* Polling the trigger must be sticky: once a token has been observed
+   expired it stays expired, so racing pool workers and the
+   coordinating domain always agree. [At_ns] is sticky because the
+   clock is monotonic; [After_polls] because the counter only ever
+   decreases. *)
+let timed_out t =
+  match t.trigger with
+  | Never -> false
+  | At_ns deadline -> Encore_obs.Clock.now_ns () >= deadline
+  | After_polls left -> Atomic.fetch_and_add left (-1) <= 0
+
+let status t =
+  if Atomic.get t.cancelled then Some Cancelled
+  else if timed_out t then Some Timed_out
+  else None
+
+let expired t = status t <> None
+
+let raise_if_expired t =
+  match status t with None -> () | Some r -> raise (Expired r)
+
+let guard t = match status t with None -> Ok () | Some r -> Error r
+
+let remaining_ns t =
+  match t.trigger with
+  | Never | After_polls _ -> None
+  | At_ns deadline ->
+      Some (Int64.max 0L (Int64.sub deadline (Encore_obs.Clock.now_ns ())))
+
+let is_unlimited t = match t.trigger with Never -> true | _ -> false

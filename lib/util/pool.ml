@@ -10,6 +10,7 @@ type t = {
   mutable workers : unit Domain.t list;
   busy : int Atomic.t;
   high_water : int Atomic.t;
+  deadline : Deadline.t option Atomic.t;
 }
 
 let jobs t = t.n_jobs
@@ -52,6 +53,7 @@ let create ~jobs =
       workers = [];
       busy = Atomic.make 0;
       high_water = Atomic.make 0;
+      deadline = Atomic.make None;
     }
   in
   if t.n_jobs > 1 then
@@ -74,6 +76,24 @@ let shutdown t =
 let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Cooperative cancellation: while [f] runs, every item processed by
+   {!map} / {!map_reduce} polls [d] first and aborts the whole call
+   with [Deadline.Expired] (re-raised in the caller through the usual
+   lowest-index propagation) once the budget is gone.  Unlimited
+   tokens are not installed at all, keeping the common path free of
+   per-item clock reads. *)
+let with_deadline t d f =
+  if Deadline.is_unlimited d then f ()
+  else begin
+    Atomic.set t.deadline (Some d);
+    Fun.protect ~finally:(fun () -> Atomic.set t.deadline None) f
+  end
+
+let poll_deadline t =
+  match Atomic.get t.deadline with
+  | None -> ()
+  | Some d -> Deadline.raise_if_expired d
 
 (* A few chunks per worker balances the load when item costs are
    skewed, without paying queue synchronization per item. *)
@@ -115,7 +135,11 @@ let inline t = t.n_jobs <= 1 || t.stopping
 
 let map t f xs =
   if inline t || (match xs with [] | [ _ ] -> true | _ -> false) then
-    List.map f xs
+    List.map
+      (fun x ->
+        poll_deadline t;
+        f x)
+      xs
   else begin
     let items = Array.of_list xs in
     let n = Array.length items in
@@ -124,7 +148,10 @@ let map t f xs =
       for i = lo to hi - 1 do
         results.(i) <-
           Some
-            (match f items.(i) with
+            (match
+               poll_deadline t;
+               f items.(i)
+             with
              | v -> Ok v
              | exception e -> Error (e, Printexc.get_raw_backtrace ()))
       done
@@ -140,7 +167,11 @@ let map t f xs =
 
 let map_reduce t ~map:fm ~reduce ~init xs =
   if inline t || (match xs with [] | [ _ ] -> true | _ -> false) then
-    List.fold_left (fun acc x -> reduce acc (fm x)) init xs
+    List.fold_left
+      (fun acc x ->
+        poll_deadline t;
+        reduce acc (fm x))
+      init xs
   else begin
     let items = Array.of_list xs in
     let n = Array.length items in
@@ -152,6 +183,7 @@ let map_reduce t ~map:fm ~reduce ~init xs =
           (match
              let acc = ref init in
              for i = lo to hi - 1 do
+               poll_deadline t;
                acc := reduce !acc (fm items.(i))
              done;
              !acc

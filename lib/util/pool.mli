@@ -39,6 +39,14 @@ val shutdown : t -> unit
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [create], run, then {!shutdown} — even on exceptions. *)
 
+val with_deadline : t -> Deadline.t -> (unit -> 'a) -> 'a
+(** Install a cooperative deadline for the duration of the callback:
+    every item processed by {!map} / {!map_reduce} (chunked or inline)
+    polls the token first, and an expired token aborts the whole call
+    with [Deadline.Expired] re-raised in the caller.  Results computed
+    before the abort are discarded — a deadline-aborted map yields no
+    partial output.  An unlimited token installs nothing. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Like [List.map f], with [f] applied by the workers. *)
 

@@ -4,9 +4,13 @@ type error_kind =
   | Corrupt_image
   | Overflow
   | Custom_rule_error
+  | Timed_out
 
 let all_kinds =
-  [ Parse_error; Probe_failure; Corrupt_image; Overflow; Custom_rule_error ]
+  [
+    Parse_error; Probe_failure; Corrupt_image; Overflow; Custom_rule_error;
+    Timed_out;
+  ]
 
 let kind_to_string = function
   | Parse_error -> "parse-error"
@@ -14,6 +18,7 @@ let kind_to_string = function
   | Corrupt_image -> "corrupt-image"
   | Overflow -> "overflow"
   | Custom_rule_error -> "custom-rule-error"
+  | Timed_out -> "timed-out"
 
 let kind_of_string = function
   | "parse-error" -> Some Parse_error
@@ -21,6 +26,7 @@ let kind_of_string = function
   | "corrupt-image" -> Some Corrupt_image
   | "overflow" -> Some Overflow
   | "custom-rule-error" -> Some Custom_rule_error
+  | "timed-out" -> Some Timed_out
   | _ -> None
 
 type diagnostic = { kind : error_kind; subject : string; detail : string }
@@ -97,43 +103,102 @@ let with_retries ?(max_retries = 3) ?(base_delay_ms = 10)
 
 (* --- circuit breaker ---------------------------------------------------- *)
 
+type breaker_state = Closed | Open | Half_open
+
+let breaker_state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type circuit = {
+  mutable diags : diagnostic list;  (* newest first *)
+  mutable circuit_state : breaker_state;
+  mutable denied : int;  (* probes denied since the circuit opened *)
+}
+
 type breaker = {
   threshold : int;
-  failures : (string, diagnostic list) Hashtbl.t;
+  cooldown : int;
+  circuits : (string, circuit) Hashtbl.t;
   mutable trip_order : string list;  (* reverse order of first trip *)
 }
 
-let breaker ?(threshold = 3) () =
-  { threshold; failures = Hashtbl.create 16; trip_order = [] }
+let breaker ?(threshold = 3) ?(cooldown = 3) () =
+  {
+    threshold;
+    cooldown = max 1 cooldown;
+    circuits = Hashtbl.create 16;
+    trip_order = [];
+  }
+
+let circuit b subject =
+  match Hashtbl.find_opt b.circuits subject with
+  | Some c -> c
+  | None ->
+      let c = { diags = []; circuit_state = Closed; denied = 0 } in
+      Hashtbl.add b.circuits subject c;
+      c
 
 let m_breaker_trips = Encore_obs.Metrics.counter "resilience.breaker_trips"
 
 let record_failure b ~subject d =
-  let prev = Option.value ~default:[] (Hashtbl.find_opt b.failures subject) in
-  let now = d :: prev in
-  Hashtbl.replace b.failures subject now;
-  if List.length now = b.threshold then begin
-    b.trip_order <- subject :: b.trip_order;
+  let c = circuit b subject in
+  c.diags <- d :: c.diags;
+  let opening =
+    match c.circuit_state with
+    | Half_open -> true  (* the trial probe failed: straight back to open *)
+    | Open -> false
+    | Closed -> List.length c.diags >= b.threshold
+  in
+  if opening then begin
+    c.circuit_state <- Open;
+    c.denied <- 0;
+    if not (List.mem subject b.trip_order) then
+      b.trip_order <- subject :: b.trip_order;
     Encore_obs.Metrics.incr m_breaker_trips;
     Encore_obs.Events.emit "breaker_trip"
       ~fields:
         [
           ("subject", Encore_obs.Jsonenc.Str subject);
-          ("failures", Encore_obs.Jsonenc.Int (List.length now));
+          ("failures", Encore_obs.Jsonenc.Int (List.length c.diags));
           ("diag_kind", Encore_obs.Jsonenc.Str (kind_to_string d.kind));
         ]
   end
 
-let record_success b ~subject = Hashtbl.remove b.failures subject
+let record_success b ~subject =
+  match Hashtbl.find_opt b.circuits subject with
+  | None -> ()
+  | Some c ->
+      c.diags <- [];
+      c.circuit_state <- Closed;
+      c.denied <- 0
 
-let tripped b ~subject =
-  match Hashtbl.find_opt b.failures subject with
-  | Some ds -> List.length ds >= b.threshold
-  | None -> false
+let state b ~subject =
+  match Hashtbl.find_opt b.circuits subject with
+  | Some c -> c.circuit_state
+  | None -> Closed
+
+let tripped b ~subject = state b ~subject <> Closed
+
+let allow b ~subject =
+  match Hashtbl.find_opt b.circuits subject with
+  | None -> true
+  | Some c -> (
+      match c.circuit_state with
+      | Closed | Half_open -> true
+      | Open ->
+          c.denied <- c.denied + 1;
+          if c.denied >= b.cooldown then begin
+            c.circuit_state <- Half_open;
+            true
+          end
+          else false)
 
 let quarantined b =
-  List.rev_map
+  List.filter_map
     (fun subject ->
-      (subject,
-       List.rev (Option.value ~default:[] (Hashtbl.find_opt b.failures subject))))
-    b.trip_order
+      match Hashtbl.find_opt b.circuits subject with
+      | Some c when c.circuit_state <> Closed ->
+          Some (subject, List.rev c.diags)
+      | Some _ | None -> None)
+    (List.rev b.trip_order)

@@ -17,6 +17,7 @@ type error_kind =
   | Corrupt_image      (** content damaged beyond recovery (garbage bytes) *)
   | Overflow           (** a bounded computation hit its cap and truncated *)
   | Custom_rule_error  (** user customization file rejected *)
+  | Timed_out          (** a deadline expired before the work finished *)
 
 val all_kinds : error_kind list
 val kind_to_string : error_kind -> string
@@ -70,18 +71,37 @@ val with_retries :
 (* --- circuit breaker ---------------------------------------------------- *)
 
 type breaker
-(** Per-subject failure counter: after [threshold] recorded failures a
-    subject's circuit trips and it is quarantined — callers should stop
-    spending retries on it. *)
+(** Per-subject circuit breaker.  A subject's circuit is [Closed] until
+    [threshold] failures accumulate, then [Open]: callers should stop
+    spending retries on it.  After [cooldown] denied probes ({!allow}
+    returning [false]) the circuit moves to [Half_open] and admits one
+    trial — a success closes it again, a failure re-opens it. *)
 
-val breaker : ?threshold:int -> unit -> breaker
-(** [threshold] defaults to 3. *)
+type breaker_state = Closed | Open | Half_open
+
+val breaker_state_to_string : breaker_state -> string
+
+val breaker : ?threshold:int -> ?cooldown:int -> unit -> breaker
+(** [threshold] defaults to 3; [cooldown] (minimum 1) defaults to 3. *)
 
 val record_failure : breaker -> subject:string -> diagnostic -> unit
+(** Count a failure.  Opens the circuit at [threshold] failures, and
+    re-opens a half-open circuit immediately (the trial failed). *)
+
 val record_success : breaker -> subject:string -> unit
 (** A success closes the circuit and clears the failure count. *)
 
+val state : breaker -> subject:string -> breaker_state
+
+val allow : breaker -> subject:string -> bool
+(** Should the caller probe this subject?  [Closed] and [Half_open]
+    always admit; [Open] denies until [cooldown] denials have
+    accumulated, then flips to [Half_open] and admits the trial. *)
+
 val tripped : breaker -> subject:string -> bool
+(** The circuit is not [Closed]. *)
 
 val quarantined : breaker -> (string * diagnostic list) list
-(** Tripped subjects with their recorded diagnostics, in trip order. *)
+(** Subjects whose circuit is currently open or half-open, with their
+    recorded diagnostics, in first-trip order.  Subjects whose circuit
+    closed again after tripping are excluded. *)

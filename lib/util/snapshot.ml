@@ -1,0 +1,274 @@
+let version = "1"
+let magic = "ENCORE-SNAP"
+
+type error =
+  | Io_error of { path : string; detail : string }
+  | Truncated of { path : string; offset : int; expected : int; actual : int }
+  | Corrupt of { path : string; offset : int; detail : string }
+  | Version_mismatch of { path : string; found : string; expected : string }
+  | Malformed of { path : string; offset : int; detail : string }
+
+let error_to_string = function
+  | Io_error { path; detail } -> Printf.sprintf "Io_error %s: %s" path detail
+  | Truncated { path; offset; expected; actual } ->
+      Printf.sprintf
+        "Truncated %s at byte %d: payload is %d byte(s), header promised %d"
+        path offset actual expected
+  | Corrupt { path; offset; detail } ->
+      Printf.sprintf "Corrupt %s at byte %d: %s" path offset detail
+  | Version_mismatch { path; found; expected } ->
+      Printf.sprintf "Version_mismatch %s: found %s, expected %s" path found
+        expected
+  | Malformed { path; offset; detail } ->
+      Printf.sprintf "Malformed %s at byte %d: %s" path offset detail
+
+let error_offset = function
+  | Io_error _ | Version_mismatch _ -> None
+  | Truncated { offset; _ } | Corrupt { offset; _ } | Malformed { offset; _ } ->
+      Some offset
+
+let m_writes = Encore_obs.Metrics.counter "snapshot.writes"
+let m_bytes = Encore_obs.Metrics.counter "snapshot.bytes_written"
+let m_rollbacks = Encore_obs.Metrics.counter "snapshot.rollbacks"
+
+let header ~kind payload =
+  Printf.sprintf "%s %s %s %d %s\n" magic version kind (String.length payload)
+    (Digest.to_hex (Digest.string payload))
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* Temp file + fsync + rename, all within the destination directory so
+   the rename cannot cross filesystems.  The temp name embeds the pid:
+   two processes snapshotting the same path stage separately and the
+   last rename wins whole. *)
+let write_atomic ~kind path payload =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+  in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (header ~kind payload);
+         output_string oc payload;
+         flush oc;
+         Unix.fsync (Unix.descr_of_out_channel oc))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  Encore_obs.Metrics.incr m_writes;
+  Encore_obs.Metrics.incr ~by:(String.length payload) m_bytes;
+  Encore_obs.Events.emit "snapshot"
+    ~fields:
+      [
+        ("path", Encore_obs.Jsonenc.Str path);
+        ("kind", Encore_obs.Jsonenc.Str kind);
+        ("bytes", Encore_obs.Jsonenc.Int (String.length payload));
+      ]
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error (Io_error { path; detail = e })
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | text -> Ok text
+      | exception e ->
+          Error (Io_error { path; detail = Printexc.to_string e }))
+
+let read ~kind path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok text -> (
+      let expected_tag = Printf.sprintf "%s %s %s" magic version kind in
+      match String.index_opt text '\n' with
+      | None ->
+          (* no header line at all: either an empty/foreign file or a
+             snapshot truncated inside its own header *)
+          Error
+            (Version_mismatch
+               { path;
+                 found =
+                   (if text = "" then "(empty file)"
+                    else String.sub text 0 (min 40 (String.length text)));
+                 expected = expected_tag })
+      | Some nl -> (
+          let hdr = String.sub text 0 nl in
+          match String.split_on_char ' ' hdr with
+          | [ m; v; k; len; sum ] when m = magic ->
+              if v <> version || k <> kind then
+                Error
+                  (Version_mismatch
+                     { path;
+                       found = Printf.sprintf "%s %s %s" m v k;
+                       expected = expected_tag })
+              else (
+                match int_of_string_opt len with
+                | None ->
+                    Error
+                      (Corrupt
+                         { path; offset = 0;
+                           detail = "unreadable payload length in header" })
+                | Some expected ->
+                    let actual = String.length text - nl - 1 in
+                    if actual < expected then
+                      Error
+                        (Truncated
+                           { path; offset = String.length text; expected;
+                             actual })
+                    else if actual > expected then
+                      Error
+                        (Corrupt
+                           { path; offset = nl + 1 + expected;
+                             detail =
+                               Printf.sprintf "%d trailing byte(s) after payload"
+                                 (actual - expected) })
+                    else
+                      let payload = String.sub text (nl + 1) expected in
+                      let got = Digest.to_hex (Digest.string payload) in
+                      if got <> sum then
+                        Error
+                          (Corrupt
+                             { path; offset = nl + 1;
+                               detail =
+                                 Printf.sprintf
+                                   "checksum mismatch: payload digests to %s, \
+                                    header says %s"
+                                   got sum })
+                      else Ok payload)
+          | first :: _ when first <> magic ->
+              Error (Version_mismatch { path; found = hdr; expected = expected_tag })
+          | _ ->
+              Error
+                (Corrupt
+                   { path; offset = 0;
+                     detail = "malformed snapshot header line" })))
+
+(* --- versioned store ----------------------------------------------------- *)
+
+module Store = struct
+  type t = { store_dir : string; store_kind : string; store_keep : int }
+
+  let snap_re_prefix = "snap-"
+  let snap_suffix = ".snap"
+
+  let create ?(keep = 5) ~kind ~dir () =
+    mkdir_p dir;
+    { store_dir = dir; store_kind = kind; store_keep = max 1 keep }
+
+  let dir t = t.store_dir
+  let keep t = t.store_keep
+
+  let latest_file t = Filename.concat t.store_dir "latest"
+
+  let seq_of_name name =
+    if
+      String.length name
+      > String.length snap_re_prefix + String.length snap_suffix
+      && String.sub name 0 (String.length snap_re_prefix) = snap_re_prefix
+      && Filename.check_suffix name snap_suffix
+    then
+      int_of_string_opt
+        (String.sub name
+           (String.length snap_re_prefix)
+           (String.length name - String.length snap_re_prefix
+          - String.length snap_suffix))
+    else None
+
+  let snapshot_names t =
+    let entries = try Sys.readdir t.store_dir with Sys_error _ -> [||] in
+    Array.to_list entries
+    |> List.filter_map (fun n ->
+           match seq_of_name n with Some s -> Some (s, n) | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+  let snapshots t =
+    List.map (fun (_, n) -> Filename.concat t.store_dir n) (snapshot_names t)
+
+  let name_of_seq seq = Printf.sprintf "%s%06d%s" snap_re_prefix seq snap_suffix
+
+  (* The pointer itself is written through the atomic writer too: a
+     torn [latest] would otherwise defeat the whole layout.  Dangling
+     or missing pointers fall back to the newest numbered snapshot. *)
+  let read_latest_pointer t =
+    match read ~kind:(t.store_kind ^ "-latest") (latest_file t) with
+    | Ok name when String.length name > 0 -> Some (String.trim name)
+    | Ok _ | Error _ -> None
+
+  let write_latest_pointer t name =
+    write_atomic ~kind:(t.store_kind ^ "-latest") (latest_file t) name
+
+  let latest_path t =
+    match read_latest_pointer t with
+    | Some name when Sys.file_exists (Filename.concat t.store_dir name) ->
+        Some (Filename.concat t.store_dir name)
+    | Some _ | None -> (
+        match snapshots t with p :: _ -> Some p | [] -> None)
+
+  let prune t =
+    let rec drop n = function
+      | [] -> []
+      | l when n > 0 -> drop (n - 1) (List.tl l)
+      | l -> l
+    in
+    List.iter
+      (fun (_, name) ->
+        try Sys.remove (Filename.concat t.store_dir name) with Sys_error _ -> ())
+      (drop t.store_keep (snapshot_names t))
+
+  let save t payload =
+    let next_seq =
+      match snapshot_names t with (s, _) :: _ -> s + 1 | [] -> 1
+    in
+    let name = name_of_seq next_seq in
+    let path = Filename.concat t.store_dir name in
+    write_atomic ~kind:t.store_kind path payload;
+    write_latest_pointer t name;
+    prune t;
+    path
+
+  let load_latest t =
+    let candidates =
+      match latest_path t with
+      | None -> []
+      | Some head ->
+          (* head first, then every older snapshot not equal to it *)
+          head :: List.filter (fun p -> p <> head) (snapshots t)
+    in
+    match candidates with
+    | [] ->
+        Error
+          (Io_error { path = t.store_dir; detail = "store holds no snapshots" })
+    | head :: _ -> (
+        let rec walk first_error = function
+          | [] -> Error first_error
+          | p :: rest -> (
+              match read ~kind:t.store_kind p with
+              | Ok payload ->
+                  if p <> head then begin
+                    (* rollback: repoint latest at the newest snapshot
+                       that still verifies *)
+                    Encore_obs.Metrics.incr m_rollbacks;
+                    Encore_obs.Events.emit_rollback ~from_path:head ~to_path:p
+                      ~error:(error_to_string first_error);
+                    write_latest_pointer t (Filename.basename p)
+                  end;
+                  Ok (payload, p)
+              | Error e ->
+                  walk (if p = head then e else first_error) rest)
+        in
+        match read ~kind:t.store_kind head with
+        | Ok payload -> Ok (payload, head)
+        | Error head_error -> walk head_error (List.tl candidates))
+end

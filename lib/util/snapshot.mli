@@ -1,0 +1,89 @@
+(** Durable snapshot I/O: the atomic writer behind every model artifact.
+
+    A crash mid-write, a torn rename or a bit flipped at rest must never
+    be loadable as a valid artifact — a silently corrupt model poisons
+    every downstream detection run.  This module is the only place in
+    the library allowed to open an output channel for a model artifact
+    (enforced by [tools/lint.sh]); everything durable goes through it.
+
+    On-disk format (schema version {!version}):
+    {v
+    ENCORE-SNAP <version> <kind> <payload-bytes> <md5-hex>\n
+    <payload>
+    v}
+    The writer stages the bytes in a temp file in the target directory,
+    flushes and fsyncs it, then renames over the destination — readers
+    see either the old artifact or the complete new one, never a tear.
+
+    {!Store} adds a versioned directory layout: numbered snapshots, a
+    [latest] pointer, pruning to the last [keep] snapshots, and
+    rollback — loading walks back to the newest snapshot that still
+    verifies. *)
+
+val version : string
+val magic : string
+
+type error =
+  | Io_error of { path : string; detail : string }
+      (** the file cannot be opened or read at all *)
+  | Truncated of { path : string; offset : int; expected : int; actual : int }
+      (** payload shorter than the header promised; [offset] is the
+          file length where the data stops *)
+  | Corrupt of { path : string; offset : int; detail : string }
+      (** checksum mismatch or trailing bytes; [offset] is where
+          verification failed *)
+  | Version_mismatch of { path : string; found : string; expected : string }
+      (** wrong magic, schema version or artifact kind *)
+  | Malformed of { path : string; offset : int; detail : string }
+      (** the payload verified but does not parse; [offset] is the byte
+          offset of the offending content (used by typed payload
+          decoders such as [Model_io]) *)
+
+val error_to_string : error -> string
+(** Variant name, file, byte offset where detection failed, detail. *)
+
+val error_offset : error -> int option
+
+val mkdir_p : string -> unit
+(** [mkdir -p]: create the directory and any missing parents. *)
+
+val write_atomic : kind:string -> string -> string -> unit
+(** [write_atomic ~kind path payload]: temp file + fsync + rename.
+    Counted in the [snapshot.writes] / [snapshot.bytes_written]
+    metrics and emitted as a [snapshot] event. *)
+
+val read : kind:string -> string -> (string, error) result
+(** Verify header, length and checksum; return the payload.  Never
+    raises. *)
+
+module Store : sig
+  type t
+
+  val create : ?keep:int -> kind:string -> dir:string -> unit -> t
+  (** Open (creating the directory if needed) a snapshot store.  [keep]
+      (default 5, minimum 1) bounds how many snapshots survive
+      pruning. *)
+
+  val dir : t -> string
+  val keep : t -> int
+
+  val save : t -> string -> string
+  (** Write the payload as the next numbered snapshot, atomically
+      repoint [latest] at it, prune the oldest beyond [keep]; returns
+      the snapshot path. *)
+
+  val snapshots : t -> string list
+  (** Verifiable or not, newest first. *)
+
+  val latest_path : t -> string option
+  (** Target of the [latest] pointer, falling back to the newest
+      numbered snapshot when the pointer is missing or dangling. *)
+
+  val load_latest : t -> (string * string, error) result
+  (** [(payload, path)] of the newest snapshot that verifies.  A
+      corrupt / truncated head is skipped — the store walks back
+      through older snapshots, repoints [latest] at the first one that
+      verifies (emitting a [snapshot_rollback] event and counting
+      [snapshot.rollbacks]) and returns it.  Only when no snapshot
+      verifies does the head's error surface. *)
+end

@@ -84,7 +84,7 @@ let test_model_io_file_roundtrip () =
       | Ok m2 ->
           check Alcotest.int "rules over file" (List.length m.Detector.rules)
             (List.length m2.Detector.rules)
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Model_io.load_error_to_string e))
 
 (* --- Advisor -------------------------------------------------------------- *)
 

@@ -165,6 +165,72 @@ let test_training_soundness () =
         (v /. n <= (1.0 -. r.Encore_rules.Template.confidence) +. 0.001))
     model.Detector.rules
 
+(* --- exit codes ---------------------------------------------------------- *)
+
+(* The CLI's contract (README): 0 = success, 1 = failure, 3 = degraded
+   or timed-out (2 is reserved for usage errors and never produced by
+   [exit_code]).  Drive [learn_durable] into each terminal state and
+   assert the mapping. *)
+
+(* Generated app populations legitimately overflow the mining cap —
+   dozens of fully-correlated columns make the frequent-itemset count
+   exponential, which is exactly Table 3's failure mode — so a
+   non-degraded exit-0 run needs a small synthetic population with a
+   bounded attribute surface. *)
+let tiny_image i =
+  let text =
+    Printf.sprintf "Port 22\nListenAddress 10.0.0.%d\nPermitRootLogin no\n"
+      (i + 1)
+  in
+  Image.make
+    ~id:(Printf.sprintf "tiny-%d" i)
+    [ { Image.app = Image.Sshd; path = "/etc/ssh/sshd_config"; text } ]
+
+let test_exit_code_ok () =
+  let result =
+    Pipeline.learn_durable ~mining_cap:10_000_000 (List.init 4 tiny_image)
+  in
+  (match result with
+   | Ok o ->
+       check Alcotest.bool "model produced" true (o.Pipeline.model <> None);
+       check Alcotest.bool "completed" true
+         (o.Pipeline.report.Pipeline.status = Pipeline.Completed)
+   | Error d ->
+       Alcotest.failf "clean run failed: %s"
+         (Encore_util.Resilience.diagnostic_to_string d));
+  check Alcotest.int "clean completed run is 0" 0 (Pipeline.exit_code result)
+
+let test_exit_code_degraded () =
+  (* a mining cap of 1 always overflows: degraded but still Ok *)
+  let result = Pipeline.learn_durable ~mining_cap:1 (training Image.Mysql 10) in
+  (match result with
+   | Ok o ->
+       check Alcotest.bool "still yields a model" true (o.Pipeline.model <> None);
+       check Alcotest.bool "overflow recorded" true
+         o.Pipeline.report.Pipeline.mining_overflowed
+   | Error d ->
+       Alcotest.failf "degraded run failed: %s"
+         (Encore_util.Resilience.diagnostic_to_string d));
+  check Alcotest.int "degraded run is 3" 3 (Pipeline.exit_code result)
+
+let test_exit_code_timed_out () =
+  let deadline = Encore_util.Deadline.after_polls 0 in
+  let result = Pipeline.learn_durable ~deadline (training Image.Mysql 10) in
+  (match result with
+   | Ok o ->
+       check Alcotest.bool "no model" true (o.Pipeline.model = None);
+       check Alcotest.bool "timed out" true
+         (o.Pipeline.report.Pipeline.status <> Pipeline.Completed)
+   | Error d ->
+       Alcotest.failf "timed-out run must be Ok, got: %s"
+         (Encore_util.Resilience.diagnostic_to_string d));
+  check Alcotest.int "timed-out run is 3" 3 (Pipeline.exit_code result)
+
+let test_exit_code_failed () =
+  let result = Pipeline.learn_durable [] in
+  check Alcotest.bool "empty population is Error" true (Result.is_error result);
+  check Alcotest.int "failed run is 1" 1 (Pipeline.exit_code result)
+
 let test_custom_file_error_raised () =
   Alcotest.check_raises "invalid custom file"
     (Invalid_argument "customization file, line 2: unknown operator: %%")
@@ -278,6 +344,13 @@ let () =
           Alcotest.test_case "custom template" `Quick test_custom_template_used;
           Alcotest.test_case "training soundness bound" `Quick test_training_soundness;
           Alcotest.test_case "custom file error" `Quick test_custom_file_error_raised;
+        ] );
+      ( "exit codes",
+        [
+          Alcotest.test_case "ok is 0" `Quick test_exit_code_ok;
+          Alcotest.test_case "degraded is 3" `Quick test_exit_code_degraded;
+          Alcotest.test_case "timed-out is 3" `Quick test_exit_code_timed_out;
+          Alcotest.test_case "failed is 1" `Quick test_exit_code_failed;
         ] );
       ( "experiments",
         [

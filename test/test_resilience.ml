@@ -73,6 +73,26 @@ let test_backoff_grows_exponentially () =
   check Alcotest.bool "at least the exponential floor" true
     (att.Res.backoff_ms >= 10 + 20 + 40)
 
+let test_backoff_jitter_bounded () =
+  (* attempt n costs base*2^n plus jitter drawn from [0, base), so the
+     whole schedule is bounded by [sum base*2^n, sum (base*2^n + base)).
+     Check the bound across many seeds, not just one. *)
+  let base = 10 and retries = 3 in
+  let floor_ms = base * ((1 lsl retries) - 1) in
+  let ceil_ms = floor_ms + (retries * base) in
+  for seed = 0 to 49 do
+    let att =
+      Res.with_retries ~max_retries:retries ~base_delay_ms:base
+        ~rng:(Prng.create seed) (flaky_fn 10)
+    in
+    check Alcotest.int "exhausted every retry" retries att.Res.retries;
+    check Alcotest.bool
+      (Printf.sprintf "backoff %d within [%d, %d) for seed %d"
+         att.Res.backoff_ms floor_ms ceil_ms seed)
+      true
+      (att.Res.backoff_ms >= floor_ms && att.Res.backoff_ms < ceil_ms)
+  done
+
 (* --- circuit breaker ----------------------------------------------------- *)
 
 let test_breaker_trips_at_threshold () =
@@ -92,6 +112,62 @@ let test_breaker_success_closes_circuit () =
   Res.record_success b ~subject:"img-1";
   Res.record_failure b ~subject:"img-1" d;
   check Alcotest.bool "count was reset" false (Res.tripped b ~subject:"img-1")
+
+let breaker_state_t =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Res.breaker_state_to_string s))
+    ( = )
+
+(* drive an open circuit through its cooldown: [allow] denies
+   [cooldown - 1] probes, then the [cooldown]-th call flips the
+   circuit to half-open and admits that probe as the trial *)
+let drain_cooldown b ~subject ~cooldown =
+  for i = 1 to cooldown - 1 do
+    check Alcotest.bool
+      (Printf.sprintf "denial %d/%d while open" i (cooldown - 1))
+      false (Res.allow b ~subject)
+  done;
+  check Alcotest.bool "trial probe admitted" true (Res.allow b ~subject);
+  check breaker_state_t "half-open for the trial" Res.Half_open
+    (Res.state b ~subject)
+
+let test_breaker_half_open_success_closes () =
+  let b = Res.breaker ~threshold:2 ~cooldown:3 () in
+  let d = Res.diag Res.Probe_failure ~subject:"img-1" "flap" in
+  Res.record_failure b ~subject:"img-1" d;
+  Res.record_failure b ~subject:"img-1" d;
+  check breaker_state_t "open at threshold" Res.Open (Res.state b ~subject:"img-1");
+  drain_cooldown b ~subject:"img-1" ~cooldown:3;
+  Res.record_success b ~subject:"img-1";
+  check breaker_state_t "trial success closes" Res.Closed
+    (Res.state b ~subject:"img-1");
+  check Alcotest.bool "closed circuit admits" true (Res.allow b ~subject:"img-1")
+
+let test_breaker_half_open_failure_reopens () =
+  let b = Res.breaker ~threshold:2 ~cooldown:2 () in
+  let d = Res.diag Res.Probe_failure ~subject:"img-1" "flap" in
+  Res.record_failure b ~subject:"img-1" d;
+  Res.record_failure b ~subject:"img-1" d;
+  drain_cooldown b ~subject:"img-1" ~cooldown:2;
+  Res.record_failure b ~subject:"img-1" d;
+  check breaker_state_t "trial failure re-opens" Res.Open
+    (Res.state b ~subject:"img-1");
+  (* the re-opened circuit starts a fresh cooldown *)
+  check Alcotest.bool "denied again after re-open" false
+    (Res.allow b ~subject:"img-1")
+
+let test_breaker_quarantine_excludes_reclosed () =
+  let b = Res.breaker ~threshold:1 ~cooldown:1 () in
+  let d subject = Res.diag Res.Probe_failure ~subject "flap" in
+  Res.record_failure b ~subject:"img-1" (d "img-1");
+  Res.record_failure b ~subject:"img-2" (d "img-2");
+  check Alcotest.(list string) "both quarantined" [ "img-1"; "img-2" ]
+    (List.map fst (Res.quarantined b));
+  (* img-1 recovers through its half-open trial; img-2 stays open *)
+  drain_cooldown b ~subject:"img-1" ~cooldown:1;
+  Res.record_success b ~subject:"img-1";
+  check Alcotest.(list string) "recovered circuit excluded" [ "img-2" ]
+    (List.map fst (Res.quarantined b))
 
 (* --- integrity scanning --------------------------------------------------- *)
 
@@ -389,11 +465,15 @@ let () =
           Alcotest.test_case "exhaustion" `Quick test_retry_exhaustion;
           Alcotest.test_case "retry_on filters kinds" `Quick test_retry_on_filters_kinds;
           Alcotest.test_case "exponential backoff" `Quick test_backoff_grows_exponentially;
+          Alcotest.test_case "jitter bounded" `Quick test_backoff_jitter_bounded;
         ] );
       ( "breaker",
         [
           Alcotest.test_case "trips at threshold" `Quick test_breaker_trips_at_threshold;
           Alcotest.test_case "success closes circuit" `Quick test_breaker_success_closes_circuit;
+          Alcotest.test_case "half-open trial success closes" `Quick test_breaker_half_open_success_closes;
+          Alcotest.test_case "half-open trial failure re-opens" `Quick test_breaker_half_open_failure_reopens;
+          Alcotest.test_case "quarantine excludes re-closed" `Quick test_breaker_quarantine_excludes_reclosed;
         ] );
       ( "scan",
         [

@@ -33,6 +33,20 @@ if grep -rn 'Domain\.spawn' lib --include='*.ml' \
   bad=1
 fi
 
+# Durability discipline: model artifacts and checkpoints must be
+# written through the atomic snapshot writer (lib/util/snapshot.ml:
+# temp file + fsync + rename), never with a bare output channel a
+# crash can tear.  csvio (report/table exports, not load-bearing
+# state) and lib/inject (whose whole job is writing damaged files)
+# are exempt.
+if grep -rn 'open_out\|Out_channel' lib --include='*.ml' \
+   | grep -v '^lib/util/snapshot\.ml' \
+   | grep -v '^lib/util/csvio\.ml' \
+   | grep -v '^lib/inject/'; then
+  echo 'lint: direct file writes in lib/ are banned outside lib/util/snapshot.ml — use Encore_util.Snapshot.write_atomic' >&2
+  bad=1
+fi
+
 # Telemetry discipline: wall-clock reads and ad-hoc stderr chatter in
 # library code bypass the observability layer.  lib/obs owns the clock
 # (monotonic, test-pluggable) and the event log; everything else must
