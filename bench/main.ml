@@ -16,8 +16,11 @@
    dune exec bench/main.exe -- --stage-times [--jobs N]
    Checkpoint snapshot save/load cost at paper scale:
    dune exec bench/main.exe -- --stage checkpoint
+   Fleet-checking throughput (compile-once engine vs a single-image
+   loop that recompiles per check) at paper scale:
+   dune exec bench/main.exe -- --stage check [--jobs N]
    Machine-readable jobs=1 vs jobs=N comparison (regression gate),
-   including the checkpoint measurement:
+   including the checkpoint and fleet-check measurements:
    dune exec bench/main.exe -- --json FILE [--jobs N] *)
 
 open Bechamel
@@ -273,6 +276,77 @@ let print_checkpoint_times () =
     m.load_ns (float_of_int m.load_ns /. 1e6);
   Printf.printf "  (average of %d rounds)\n" m.rounds
 
+(* --- fleet-checking throughput --------------------------------------------- *)
+
+type check_measurement = {
+  fleet_size : int;
+  check_jobs : int;
+  single_loop_ns : int;  (* Pipeline.check per image: compile every call *)
+  fleet_ns : int;        (* Pipeline.check_fleet: compile once, pooled *)
+}
+
+let images_per_s ~fleet_size ns =
+  if ns <= 0 then 0.0 else float_of_int fleet_size /. (float_of_int ns /. 1e9)
+
+let check_speedup m =
+  if m.fleet_ns <= 0 then 0.0
+  else float_of_int m.single_loop_ns /. float_of_int m.fleet_ns
+
+(* Serving-path cost at paper scale: check [fleet_size] held-out images
+   against a paper-scale mysql model, once through the naive
+   single-image loop (Pipeline.check compiles the engine on every
+   call) and once through Pipeline.check_fleet (one Engine.compile,
+   worker pool).  Both paths produce identical warnings; only the
+   throughput differs. *)
+let measure_check ~jobs =
+  let images =
+    Population.clean (Population.generate ~seed:7 Image.Mysql ~n:paper_n)
+  in
+  let model = Detector.learn images in
+  let fleet_size = 100 in
+  let fleet =
+    List.init fleet_size (fun i ->
+        Population.generator_for Image.Mysql Profile.ec2
+          (Encore_util.Prng.create (5000 + i))
+          ~id:(Printf.sprintf "fleet-%03d" i))
+  in
+  let config = { Encore.Config.default with Encore.Config.jobs = jobs } in
+  (* warm both paths outside the timed region *)
+  List.iter (fun img -> ignore (Encore.Pipeline.check model img)) fleet;
+  ignore (Encore.Pipeline.check_fleet ~config model fleet);
+  (* best of N rounds per path: throughput is a property of the code,
+     not of whatever else the host scheduler ran during one pass *)
+  let best f =
+    let rounds = 3 in
+    let m = ref max_int in
+    for _ = 1 to rounds do
+      let _, ns = time_ns f in
+      if ns < !m then m := ns
+    done;
+    !m
+  in
+  let single_loop_ns =
+    best (fun () ->
+        List.iter (fun img -> ignore (Encore.Pipeline.check model img)) fleet)
+  in
+  let fleet_ns =
+    best (fun () -> ignore (Encore.Pipeline.check_fleet ~config model fleet))
+  in
+  { fleet_size; check_jobs = jobs; single_loop_ns; fleet_ns }
+
+let print_check_times ~jobs =
+  let m = measure_check ~jobs in
+  Printf.printf
+    "=== Fleet checking: %d targets against a mysql model, n=%d (paper \
+     scale) ===\n\n"
+    m.fleet_size paper_n;
+  Printf.printf "  single-image loop (compile per check)  %12d ns  (%8.1f images/s)\n"
+    m.single_loop_ns (images_per_s ~fleet_size:m.fleet_size m.single_loop_ns);
+  Printf.printf "  check_fleet, jobs=%-2d (compile once)    %12d ns  (%8.1f images/s)\n"
+    m.check_jobs m.fleet_ns
+    (images_per_s ~fleet_size:m.fleet_size m.fleet_ns);
+  Printf.printf "  fleet speedup                          %12.2fx\n" (check_speedup m)
+
 (* --- machine-readable regression gate: bench --json FILE ------------------- *)
 
 let stage_ns (s : Summary.t) name =
@@ -291,6 +365,7 @@ let write_json ~jobs path =
   let base = run_summary ~jobs:1 in
   let par = run_summary ~jobs in
   let ckpt = measure_checkpoint () in
+  let chk = measure_check ~jobs in
   let stage_names =
     List.sort_uniq compare
       (List.map (fun st -> st.Summary.stage_name)
@@ -326,6 +401,18 @@ let write_json ~jobs path =
              ("rounds", Json.Int ckpt.rounds);
              ("save_ns", Json.Int ckpt.save_ns);
              ("load_ns", Json.Int ckpt.load_ns) ]);
+        ("check",
+         Json.Obj
+           [ ("fleet_images", Json.Int chk.fleet_size);
+             ("jobs", Json.Int chk.check_jobs);
+             ("single_loop_ns", Json.Int chk.single_loop_ns);
+             ("fleet_ns", Json.Int chk.fleet_ns);
+             ("single_images_per_s",
+              Json.Float
+                (images_per_s ~fleet_size:chk.fleet_size chk.single_loop_ns));
+             ("fleet_images_per_s",
+              Json.Float (images_per_s ~fleet_size:chk.fleet_size chk.fleet_ns));
+             ("fleet_speedup", Json.Float (check_speedup chk)) ]);
         ("stages", Json.Arr stages) ]
   in
   let oc = open_out path in
@@ -357,8 +444,10 @@ let () =
   | None -> (
       match value_of "--stage" with
       | Some "checkpoint" -> print_checkpoint_times ()
+      | Some "check" -> print_check_times ~jobs
       | Some other ->
-          prerr_endline ("bench: unknown --stage " ^ other ^ " (try: checkpoint)");
+          prerr_endline
+            ("bench: unknown --stage " ^ other ^ " (try: checkpoint, check)");
           exit 2
       | None ->
           if has "--stage-times" then print_stage_times ~jobs

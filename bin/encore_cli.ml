@@ -2,10 +2,14 @@
 
    Subcommands:
      generate     synthesize an image population and dump one config
+                  (--out DIR: write per-image dumps for fleet checking)
      learn        learn a model from a population and print its rules
      check        learn, misconfigure a held-out image, and report
+                  (--fleet DIR / --targets FILE: batch-check image dumps
+                  through the compiled engine, streaming a JSONL report)
      inject       run a ConfErr-style campaign and show the ground truth
      chaos        storm a population with pipeline faults, learn resiliently
+                  (--durability: kill-and-resume + snapshot-damage drill)
      experiment   regenerate one (or all) of the paper's tables
      ablation     run a design-choice ablation study
      case         reproduce one of the ten Table 9 real-world cases
@@ -135,12 +139,26 @@ let with_telemetry ~trace ~metrics f =
 
 (* --- generate ------------------------------------------------------------ *)
 
-let generate seed profile app n =
+let generate seed profile app n out =
   let pop = Population.generate ~profile ~seed app ~n in
   let clean = Population.clean pop in
   Printf.printf "generated %d %s images under profile %s (%d clean, %d with a latent fault)\n\n"
     n (Image.app_to_string app) profile.Profile.label (List.length clean)
     (n - List.length clean);
+  (match out with
+   | None -> ()
+   | Some dir ->
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       List.iter
+         (fun { Population.image; _ } ->
+           let path = Filename.concat dir (image.Image.image_id ^ ".img") in
+           let oc = open_out path in
+           Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+               output_string oc (Encore_sysenv.Collector.image_to_text image)))
+         pop;
+       Printf.printf "wrote %d image dump(s) under %s (check them with \
+                      'check --fleet %s')\n\n"
+         (List.length pop) dir dir);
   match pop with
   | { Population.image; latent } :: _ ->
       (match Image.config_for image app with
@@ -156,7 +174,12 @@ let generate seed profile app n =
 let generate_cmd =
   let doc = "Synthesize a deterministic image population and print one configuration." in
   Cmd.v (Cmd.info "generate" ~doc)
-    Term.(const generate $ seed_arg $ profile_arg $ app_arg $ count_arg 10)
+    Term.(const generate $ seed_arg $ profile_arg $ app_arg $ count_arg 10
+          $ Arg.(value & opt (some string) None
+                 & info [ "out" ] ~docv:"DIR"
+                     ~doc:"Also write every generated image (clean and \
+                           faulted) as a collector dump $(docv)/<id>.img — \
+                           the on-disk targets of 'check --fleet'."))
 
 (* --- learn ---------------------------------------------------------------- *)
 
@@ -312,9 +335,13 @@ let chaos_cmd =
           $ max_retries_arg $ jobs_arg
           $ Arg.(value & flag
                  & info [ "durability" ]
-                     ~doc:"Run the durability drill (kill-at-checkpoint, \
-                           truncate-snapshot, bitflip-snapshot) instead of \
-                           the ingestion storm.")
+                     ~doc:"Run the durability drill (kill-at-checkpoint \
+                           then resume, truncate-snapshot, bitflip-snapshot, \
+                           rollback-to-latest-good) instead of the ingestion \
+                           storm.  Exit code 0 only when every kill point \
+                           resumed and every damaged snapshot was detected. \
+                           $(b,-n) and $(b,--max-retries) apply to the storm \
+                           only and are ignored here.")
           $ Arg.(value & opt string "_chaos-durability"
                  & info [ "dir" ] ~docv:"DIR"
                      ~doc:"Working directory for the durability drill's \
@@ -323,35 +350,143 @@ let chaos_cmd =
 
 (* --- check ---------------------------------------------------------------- *)
 
-let check seed profile app n custom threshold jobs trace metrics =
-  with_telemetry ~trace ~metrics @@ fun () ->
-  let model, trained = learn_model ?custom ~seed ~profile ~jobs app n in
-  Printf.printf "model: %d rules from %d images\n" (List.length model.Detector.rules) trained;
-  let rng = Encore_util.Prng.create (seed + 10_000) in
-  let target = Population.generator_for app profile rng ~id:"held-out" in
-  let campaign = Conferr.inject ~env_fault_fraction:0.4 rng app target ~n:3 in
-  print_endline "\ninjected ground truth:";
-  List.iter
-    (fun inj -> Printf.printf "  %s\n" (Fault.injection_to_string inj))
-    campaign.Conferr.injections;
-  let warnings =
-    List.filter
-      (fun w -> w.Encore_detect.Warning.score >= threshold)
-      (Detector.check model campaign.Conferr.image)
+(* Load every fleet target: *.img dumps under --fleet DIR (sorted by
+   file name) plus the dump paths listed in --targets FILE, in file
+   order.  Total: a bad dump is reported, not raised. *)
+let load_fleet_targets ~fleet ~targets =
+  match
+    ( (match fleet with
+       | Some dir when not (Sys.file_exists dir && Sys.is_directory dir) ->
+           Error (dir ^ ": not a directory")
+       | _ -> Ok ()),
+      match targets with
+      | Some file when not (Sys.file_exists file) ->
+          Error (file ^ ": no such file")
+      | _ -> Ok () )
+  with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (), Ok () ->
+  let dump_paths =
+    (match fleet with
+     | None -> []
+     | Some dir ->
+         Sys.readdir dir |> Array.to_list
+         |> List.filter (fun f -> Filename.check_suffix f ".img")
+         |> List.sort compare
+         |> List.map (Filename.concat dir))
+    @
+    match targets with
+    | None -> []
+    | Some file -> Encore_util.Strutil.trim_lines (read_file file)
   in
-  print_endline "\nranked warnings:";
-  print_string (Report.to_string warnings);
-  0
+  let rec load acc = function
+    | [] -> Ok (List.rev acc)
+    | path :: rest -> (
+        match
+          if Sys.file_exists path then
+            Encore_sysenv.Collector.image_of_text (read_file path)
+          else Error "no such file"
+        with
+        | Ok img -> load ((path, img) :: acc) rest
+        | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  in
+  load [] dump_paths
+
+let check_fleet_mode ~seed ~profile ~app ~n ~custom ~threshold ~jobs ~fleet
+    ~targets ~report_path ~deadline_s =
+  match load_fleet_targets ~fleet ~targets with
+  | Error e ->
+      prerr_endline ("cannot load fleet target " ^ e);
+      1
+  | Ok [] ->
+      prerr_endline "fleet check: no *.img dumps found";
+      1
+  | Ok loaded ->
+      let model, trained = learn_model ?custom ~seed ~profile ~jobs app n in
+      Printf.printf "model: %d rules from %d images; checking %d target(s)\n"
+        (List.length model.Detector.rules) trained (List.length loaded);
+      let config =
+        { Encore.Config.default with
+          Encore.Config.seed; jobs; detection_score = threshold }
+      in
+      let deadline = Option.map Encore_util.Deadline.of_budget_s deadline_s in
+      let report_oc = Option.map open_out report_path in
+      let stream =
+        Option.map
+          (fun oc line ->
+            output_string oc line;
+            output_char oc '\n')
+          report_oc
+      in
+      let fleet_report =
+        Fun.protect
+          ~finally:(fun () -> Option.iter close_out report_oc)
+          (fun () ->
+            Encore.Pipeline.check_fleet ~config ?deadline ?stream model
+              (List.map snd loaded))
+      in
+      print_string (Encore.Pipeline.fleet_report_to_string fleet_report);
+      (match report_path with
+       | Some path -> Printf.printf "JSONL report written to %s\n" path
+       | None -> ());
+      Encore.Pipeline.fleet_exit_code fleet_report
+
+let check seed profile app n custom threshold jobs fleet targets report_path
+    deadline_s trace metrics =
+  with_telemetry ~trace ~metrics @@ fun () ->
+  if fleet <> None || targets <> None then
+    check_fleet_mode ~seed ~profile ~app ~n ~custom ~threshold ~jobs ~fleet
+      ~targets ~report_path ~deadline_s
+  else begin
+    let model, trained = learn_model ?custom ~seed ~profile ~jobs app n in
+    Printf.printf "model: %d rules from %d images\n" (List.length model.Detector.rules) trained;
+    let rng = Encore_util.Prng.create (seed + 10_000) in
+    let target = Population.generator_for app profile rng ~id:"held-out" in
+    let campaign = Conferr.inject ~env_fault_fraction:0.4 rng app target ~n:3 in
+    print_endline "\ninjected ground truth:";
+    List.iter
+      (fun inj -> Printf.printf "  %s\n" (Fault.injection_to_string inj))
+      campaign.Conferr.injections;
+    let warnings =
+      List.filter
+        (fun w -> w.Encore_detect.Warning.score >= threshold)
+        (Detector.check model campaign.Conferr.image)
+    in
+    print_endline "\nranked warnings:";
+    print_string (Report.to_string warnings);
+    0
+  end
 
 let threshold_arg =
   Arg.(value & opt float 0.45
        & info [ "threshold" ] ~docv:"S" ~doc:"Minimum warning score to report.")
 
 let check_cmd =
-  let doc = "Misconfigure a held-out image and run the detector against it." in
+  let doc =
+    "Misconfigure a held-out image and run the detector against it; or, \
+     with $(b,--fleet) / $(b,--targets), batch-check collector image dumps \
+     through the compiled engine."
+  in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const check $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg
-          $ threshold_arg $ jobs_arg $ trace_arg $ metrics_arg)
+          $ threshold_arg $ jobs_arg
+          $ Arg.(value & opt (some string) None
+                 & info [ "fleet" ] ~docv:"DIR"
+                     ~doc:"Check every *.img collector dump under $(docv) \
+                           (written by 'generate --out'), in file-name \
+                           order.  The model is compiled once and shared by \
+                           $(b,--jobs) workers; exit code 3 when \
+                           $(b,--deadline) expires mid-fleet.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "targets" ] ~docv:"FILE"
+                     ~doc:"Check the image dumps listed in $(docv) (one path \
+                           per line), after any $(b,--fleet) dumps.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "report" ] ~docv:"FILE"
+                     ~doc:"Stream one JSON line per checked image to $(docv), \
+                           in target order.")
+          $ deadline_arg
+          $ trace_arg $ metrics_arg)
 
 (* --- inject ---------------------------------------------------------------- *)
 

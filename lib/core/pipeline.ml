@@ -542,6 +542,174 @@ type degraded_check = {
   notes : string list;  (** degradations that limit detection coverage *)
 }
 
+(* --- fleet checking (the serving path) ----------------------------------- *)
+
+type fleet_image_report = {
+  fi_image : string;
+  fi_warnings : Encore_detect.Warning.t list;
+  fi_detections : int;
+}
+
+type fleet_status = Fleet_completed | Fleet_timed_out
+
+let fleet_status_to_string = function
+  | Fleet_completed -> "completed"
+  | Fleet_timed_out -> "timed-out"
+
+type fleet_report = {
+  fleet_total : int;
+  fleet_checked : int;
+  fleet_warning_count : int;
+  fleet_detection_count : int;
+  fleet_images : fleet_image_report list;
+  fleet_status : fleet_status;
+}
+
+let m_fleet_images = Ometrics.counter "fleet.images_checked"
+let m_fleet_warnings = Ometrics.counter "fleet.warnings"
+
+let fleet_image_line r =
+  Json.to_string
+    (Json.Obj
+       [
+         ("image", Json.Str r.fi_image);
+         ("warnings", Json.Int (List.length r.fi_warnings));
+         ("detections", Json.Int r.fi_detections);
+         ( "items",
+           Json.Arr
+             (List.map
+                (fun (w : Encore_detect.Warning.t) ->
+                  Json.Obj
+                    [
+                      ("kind", Json.Str (Encore_detect.Warning.kind_label w));
+                      ("score", Json.Float w.Encore_detect.Warning.score);
+                      ( "attrs",
+                        Json.Arr
+                          (List.map
+                             (fun a -> Json.Str a)
+                             w.Encore_detect.Warning.attrs) );
+                      ("message", Json.Str w.Encore_detect.Warning.message);
+                    ])
+                r.fi_warnings) );
+       ])
+
+let check_fleet ?(config = Config.default) ?pool
+    ?(deadline = Encore_util.Deadline.none) ?stream model targets =
+  with_configured_pool ~config pool
+  @@ fun pool ->
+  Otrace.with_span "check-fleet"
+    ~attrs:[ ("images", Json.Int (List.length targets)) ]
+  @@ fun () ->
+  (* compile once; the engine is immutable, so the worker domains share
+     it without copies *)
+  let engine = Encore_detect.Engine.compile model in
+  let check_one img =
+    let ws = Encore_detect.Engine.check engine img in
+    {
+      fi_image = img.Image.image_id;
+      fi_warnings = ws;
+      fi_detections =
+        List.length
+          (List.filter
+             (fun (w : Encore_detect.Warning.t) ->
+               w.Encore_detect.Warning.score >= config.Config.detection_score)
+             ws);
+    }
+  in
+  let emit_batch rs =
+    match stream with
+    | None -> ()
+    | Some out -> List.iter (fun r -> out (fleet_image_line r)) rs
+  in
+  let result =
+    match pool with
+    | Some p ->
+        Encore_util.Pool.map_batched p ~deadline ~yield:emit_batch check_one
+          targets
+    | None ->
+        (* sequential serving: the deadline stops between images, so the
+           partial report covers a prefix of the targets — the same
+           shape the pooled path produces at batch granularity *)
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | img :: rest -> (
+              match
+                Encore_util.Deadline.raise_if_expired deadline;
+                check_one img
+              with
+              | r ->
+                  emit_batch [ r ];
+                  go (r :: acc) rest
+              | exception Encore_util.Deadline.Expired _ ->
+                  Error (List.rev acc))
+        in
+        go [] targets
+  in
+  let images, status =
+    match result with
+    | Ok rs -> (rs, Fleet_completed)
+    | Error rs -> (rs, Fleet_timed_out)
+  in
+  let warning_count =
+    List.fold_left (fun n r -> n + List.length r.fi_warnings) 0 images
+  in
+  let detection_count =
+    List.fold_left (fun n r -> n + r.fi_detections) 0 images
+  in
+  Ometrics.incr ~by:(List.length images) m_fleet_images;
+  Ometrics.incr ~by:warning_count m_fleet_warnings;
+  (match status with
+  | Fleet_completed -> ()
+  | Fleet_timed_out ->
+      let reason =
+        match Encore_util.Deadline.status deadline with
+        | Some r -> Encore_util.Deadline.reason_to_string r
+        | None -> "timed-out"
+      in
+      Oevents.emit_deadline ~stage:"check-fleet" ~reason);
+  Oevents.emit_fleet
+    ~images_total:(List.length targets)
+    ~images_checked:(List.length images)
+    ~warnings:warning_count
+    ~status:(fleet_status_to_string status);
+  {
+    fleet_total = List.length targets;
+    fleet_checked = List.length images;
+    fleet_warning_count = warning_count;
+    fleet_detection_count = detection_count;
+    fleet_images = images;
+    fleet_status = status;
+  }
+
+let fleet_exit_code r =
+  match r.fleet_status with Fleet_completed -> 0 | Fleet_timed_out -> 3
+
+let fleet_report_to_string r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "checked %d/%d image(s): %d warning(s), %d detection(s)\n"
+       r.fleet_checked r.fleet_total r.fleet_warning_count
+       r.fleet_detection_count);
+  List.iter
+    (fun i ->
+      match i.fi_warnings with
+      | [] -> ()
+      | top :: _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s: %d warning(s), top: %s\n" i.fi_image
+               (List.length i.fi_warnings)
+               top.Encore_detect.Warning.message))
+    r.fleet_images;
+  (match r.fleet_status with
+  | Fleet_completed -> ()
+  | Fleet_timed_out ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "degraded: deadline expired after %d of %d image(s); partial \
+            report above\n"
+           r.fleet_checked r.fleet_total));
+  Buffer.contents buf
+
 let check_degraded ?config ?report model img =
   let result =
     match config with

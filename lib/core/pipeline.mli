@@ -161,6 +161,71 @@ val learn_resilient :
 
 val report_to_string : ingest_report -> string
 
+(** {1 Fleet checking (the serving path)} *)
+
+type fleet_image_report = {
+  fi_image : string;                              (** image id *)
+  fi_warnings : Encore_detect.Warning.t list;     (** ranked, best first *)
+  fi_detections : int;
+      (** warnings at or above the configured detection score *)
+}
+
+type fleet_status =
+  | Fleet_completed
+  | Fleet_timed_out
+      (** the deadline expired; the report covers the prefix of the
+          targets checked before expiry *)
+
+val fleet_status_to_string : fleet_status -> string
+
+type fleet_report = {
+  fleet_total : int;            (** targets offered *)
+  fleet_checked : int;          (** targets actually checked *)
+  fleet_warning_count : int;
+  fleet_detection_count : int;
+  fleet_images : fleet_image_report list;  (** in target order *)
+  fleet_status : fleet_status;
+}
+
+val fleet_image_line : fleet_image_report -> string
+(** One image's report as a single JSON line:
+    [{"image":…,"warnings":n,"detections":n,"items":[…]}] with each
+    item's kind label, score, implicated attributes and message. *)
+
+val check_fleet :
+  ?config:Config.t ->
+  ?pool:Encore_util.Pool.t ->
+  ?deadline:Encore_util.Deadline.t ->
+  ?stream:(string -> unit) ->
+  model ->
+  Encore_sysenv.Image.t list ->
+  fleet_report
+(** Check many target images against one model.  The model is compiled
+    once ({!Encore_detect.Engine.compile}) and the compiled engine —
+    immutable — is shared by every worker; each image is checked under
+    its own [check] span.  Pool selection follows {!learn_result}: an
+    explicit [pool], else a transient pool of [config.jobs] workers,
+    else sequential.  Per-image reports come back in target order and
+    the rendered output is byte-identical for any pool size.
+
+    [stream] receives each completed image's {!fleet_image_line} in
+    target order, as soon as its batch completes — a JSONL sink for
+    fleets too large to hold a report in memory.
+
+    With [deadline], expiry is graceful: checking stops at a batch
+    boundary (per image when sequential), the report covers the
+    completed prefix with [fleet_status = Fleet_timed_out], and a
+    [deadline] event is emitted.  A [fleet_report] event plus the
+    [fleet.images_checked] / [fleet.warnings] counters account for
+    every run. *)
+
+val fleet_exit_code : fleet_report -> int
+(** [0] for a completed run, [3] for a timed-out (degraded) one —
+    the same contract as {!exit_code}; [1]/[2] remain load-failure and
+    usage errors, set by the CLI. *)
+
+val fleet_report_to_string : fleet_report -> string
+
 type degraded_check = {
   result : Encore_detect.Warning.t list;
   notes : string list;  (** degradations that limit detection coverage *)

@@ -71,8 +71,33 @@ let assemble_training ?pool images =
   in
   { table; types = config_types @ aug_types }
 
-let assemble_target ~types img =
-  augment_row ~types img (parse_only img)
+(* The serving-path variant of [augment_row]: the type environment is
+   hashed once (first binding wins, like [Infer.find]) instead of being
+   scanned per attribute on every call. *)
+let target_assembler ~types =
+  let tbl = Hashtbl.create (2 * List.length types + 1) in
+  List.iter
+    (fun (attr, (d : Infer.decision)) ->
+      if not (Hashtbl.mem tbl attr) then Hashtbl.add tbl attr d)
+    types;
+  fun img ->
+    (* the parsed pairs feed augmentation and the final row directly:
+       Row.to_list (Row.of_list pairs) = pairs, so skipping the
+       intermediate [parse_only] row changes nothing observable *)
+    let pairs =
+      List.map (fun (kv : Kv.t) -> (kv.key, kv.value)) (Registry.parse_image img)
+    in
+    let augmented =
+      List.concat_map
+        (fun (attr, value) ->
+          match Hashtbl.find_opt tbl attr with
+          | None -> []
+          | Some decision -> Augment.entry img attr decision.Infer.ctype value)
+        pairs
+    in
+    Row.of_list (pairs @ augmented @ Augment.globals img)
+
+let assemble_target ~types img = target_assembler ~types img
 
 let type_of types attr =
   match Infer.find types attr with

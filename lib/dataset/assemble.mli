@@ -23,6 +23,12 @@ val assemble_training :
     parse and augmentation passes run on its worker domains; the result
     is identical for any pool size. *)
 
+val target_assembler :
+  types:Encore_typing.Infer.env -> Encore_sysenv.Image.t -> Row.t
+(** Partially applied to [~types], returns an assembler with the type
+    environment hashed once — the check-many path.  For every image,
+    [target_assembler ~types img = assemble_target ~types img]. *)
+
 val assemble_target :
   types:Encore_typing.Infer.env -> Encore_sysenv.Image.t -> Row.t
 (** Assemble one target image using the training type environment. *)

@@ -12,23 +12,22 @@ type t = {
 
 let empty = { rev_pairs = []; index = Hashtbl.create 4; rev_attrs = [] }
 
-let rev_attrs_of index pairs =
-  List.fold_left
-    (fun acc (attr, _) ->
-      match Hashtbl.find_opt index attr with
-      | Some _ -> acc
-      | None ->
-          Hashtbl.add index attr [];
-          attr :: acc)
-    [] pairs
-
 let of_list pairs =
   let index = Hashtbl.create (max 4 (List.length pairs)) in
-  let rev_attrs = rev_attrs_of index pairs in
-  List.iter
-    (fun (attr, value) -> Hashtbl.replace index attr (value :: Hashtbl.find index attr))
-    pairs;
-  (* each bucket was accumulated newest-first: reverse once *)
+  (* one index probe per pair; buckets accumulate newest-first and are
+     flipped once at the end *)
+  let rev_attrs =
+    List.fold_left
+      (fun acc (attr, value) ->
+        match Hashtbl.find_opt index attr with
+        | Some values ->
+            Hashtbl.replace index attr (value :: values);
+            acc
+        | None ->
+            Hashtbl.add index attr [ value ];
+            attr :: acc)
+      [] pairs
+  in
   Hashtbl.filter_map_inplace (fun _ values -> Some (List.rev values)) index;
   { rev_pairs = List.rev pairs; index; rev_attrs }
 

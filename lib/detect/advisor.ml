@@ -10,8 +10,18 @@ type suggestion = {
   rationale : string;
 }
 
-let top_training_values model attr =
-  match List.assoc_opt attr model.Detector.value_stats with
+(* attr -> distinct training values, hashed once per advise call (the
+   assoc-list walk is banned from the check path by the lint gate) *)
+let value_stats_index model =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (attr, values) ->
+      if not (Hashtbl.mem tbl attr) then Hashtbl.add tbl attr values)
+    model.Detector.value_stats;
+  tbl
+
+let top_training_values stats attr =
+  match Hashtbl.find_opt stats attr with
   | Some (_ :: _ as values) ->
       let top = List.filteri (fun i _ -> i < 3) values in
       Some (String.concat ", " top)
@@ -60,6 +70,7 @@ let advise model img warnings =
   let row =
     Encore_dataset.Assemble.assemble_target ~types:model.Detector.types img
   in
+  let stats = value_stats_index model in
   List.map
     (fun (w : Warning.t) ->
       let action, rationale =
@@ -87,7 +98,7 @@ let advise model img warnings =
               Printf.sprintf "the entry is a %s in every training image"
                 (Ctype.to_string expected) )
         | Warning.Suspicious_value { attr; value; _ } -> (
-            match top_training_values model attr with
+            match top_training_values stats attr with
             | Some common ->
                 ( Printf.sprintf "review %s='%s'; training uses: %s" attr value common,
                   "the value was never observed during training" )

@@ -1,20 +1,14 @@
 module Row = Encore_dataset.Row
 module Assemble = Encore_dataset.Assemble
-module Augment = Encore_dataset.Augment
 module Tinfer = Encore_typing.Infer
-module Ctype = Encore_typing.Ctype
-module Syntactic = Encore_typing.Syntactic
-module Semantic = Encore_typing.Semantic
 module Template = Encore_rules.Template
 module Rinfer = Encore_rules.Infer
 module Filters = Encore_rules.Filters
-module Relation = Encore_rules.Relation
 module Stats = Encore_util.Stats
-module Strutil = Encore_util.Strutil
 module Otrace = Encore_obs.Trace
 module Ometrics = Encore_obs.Metrics
 
-type model = {
+type model = Engine.model = {
   types : Tinfer.env;
   rules : Template.rule list;
   value_stats : (string * string list) list;
@@ -90,183 +84,17 @@ let learn ?params ?templates ?entropy_threshold ?pool images =
       model_of_training ?params ?templates ?entropy_threshold ?pool
         ~types:assembled.Assemble.types training)
 
-type checks = {
+type checks = Engine.checks = {
   check_names : bool;
   check_rules : bool;
   check_types : bool;
   check_values : bool;
 }
 
-let all_checks =
-  { check_names = true; check_rules = true; check_types = true; check_values = true }
+let all_checks = Engine.all_checks
 
-(* --- check 1: entry names ---------------------------------------------- *)
-
-let config_attrs row =
-  (* only original configuration entries (not augmented, not globals) *)
-  List.filter
-    (fun attr ->
-      (not (Augment.is_augmented attr))
-      && Strutil.contains_char attr '/')
-    (Row.attrs row)
-
-let name_warnings model row =
-  let known = Hashtbl.create 256 in
-  List.iter (fun a -> Hashtbl.add known a ()) model.known_attrs;
-  List.filter_map
-    (fun attr ->
-      if Hashtbl.mem known attr then None
-      else
-        (* likely misspelling: close to some trained attribute *)
-        let base = Encore_confparse.Kv.key_basename attr in
-        let nearest =
-          List.fold_left
-            (fun best candidate ->
-              let cbase = Encore_confparse.Kv.key_basename candidate in
-              let d = Strutil.damerau_levenshtein base cbase in
-              match best with
-              | Some (_, bd) when bd <= d -> best
-              | _ -> Some (candidate, d))
-            None model.known_attrs
-        in
-        let nearest_name, distance =
-          match nearest with
-          | Some (n, d) -> (Some n, d)
-          | None -> (None, max_int)
-        in
-        let score =
-          (* a 1-2 edit misspelling of a known entry is near-certain *)
-          if distance <= 2 then 0.9 -. (0.1 *. float_of_int distance)
-          else 0.3
-        in
-        let message =
-          match nearest_name with
-          | Some n when distance <= 2 ->
-              Printf.sprintf
-                "unknown entry '%s': possible misspelling of '%s'" attr n
-          | Some _ | None ->
-              Printf.sprintf "unknown entry '%s': never seen in training" attr
-        in
-        Some
-          {
-            Warning.kind = Warning.Entry_name_violation { unseen = attr; nearest = nearest_name };
-            attrs = [ attr ];
-            message;
-            score;
-          })
-    (config_attrs row)
-
-(* --- check 2: correlation rules ---------------------------------------- *)
-
-let rule_warnings model ctx =
-  List.filter_map
-    (fun rule ->
-      match Template.rule_holds rule ctx with
-      | Some false ->
-          Some
-            {
-              Warning.kind = Warning.Correlation_violation rule;
-              attrs = [ rule.Template.attr_a; rule.Template.attr_b ];
-              message =
-                Printf.sprintf "correlation violated: %s"
-                  (Template.rule_to_string rule);
-              score = 0.5 +. (0.5 *. rule.Template.confidence);
-            }
-      | Some true | None -> None)
-    model.rules
-
-(* --- check 3: data types ------------------------------------------------ *)
-
-let type_warnings model row img =
-  List.concat_map
-    (fun (attr, value) ->
-      match Tinfer.find model.types attr with
-      | None -> []
-      | Some decision ->
-          let t = decision.Tinfer.ctype in
-          (* String matches anything; every other type, including the
-             trivial Number, carries a checkable shape *)
-          if Ctype.equal t Ctype.String_t then []
-          else if Syntactic.matches t value && Semantic.verify img t value then []
-          else
-            [
-              {
-                Warning.kind = Warning.Type_violation { attr; expected = t; value };
-                attrs = [ attr ];
-                message =
-                  Printf.sprintf "type violation: %s='%s' fails %s check" attr
-                    value (Ctype.to_string t);
-                score = 0.4 +. (0.5 *. decision.Tinfer.agreement);
-              };
-            ])
-    (Row.to_list row)
-
-(* --- check 4: suspicious values ----------------------------------------- *)
-
-let value_warnings model row =
-  List.filter_map
-    (fun (attr, value) ->
-      match List.assoc_opt attr model.value_stats with
-      | None -> None
-      | Some seen ->
-          if List.mem value seen then None
-          else
-            let cardinality = List.length seen in
-            (* Inverse Change Frequency: unseen values of stable
-               attributes are the most suspicious *)
-            let icf = 1.0 /. float_of_int (max 1 cardinality) in
-            Some
-              {
-                Warning.kind =
-                  Warning.Suspicious_value
-                    { attr; value; training_cardinality = cardinality };
-                attrs = [ attr ];
-                message =
-                  Printf.sprintf
-                    "suspicious value: %s='%s' unseen in training (%d distinct \
-                     values seen)"
-                    attr value cardinality;
-                score = 0.2 +. (0.6 *. icf);
-              })
-    (Row.to_list row)
-
-let m_warn_name = Ometrics.counter "detect.warnings.entry_name"
-let m_warn_rule = Ometrics.counter "detect.warnings.correlation"
-let m_warn_type = Ometrics.counter "detect.warnings.type"
-let m_warn_value = Ometrics.counter "detect.warnings.value"
-let m_checks = Ometrics.counter "detect.checks"
-
-let counted counter ws =
-  Ometrics.incr ~by:(List.length ws) counter;
-  ws
-
-let check ?(checks = all_checks) model img =
-  Otrace.with_span "check"
-    ~attrs:[ ("image", Encore_obs.Jsonenc.Str img.Encore_sysenv.Image.image_id) ]
-    (fun () ->
-      Ometrics.incr m_checks;
-      let row =
-        Otrace.with_span "assemble-target" (fun () ->
-            Assemble.assemble_target ~types:model.types img)
-      in
-      let ctx = { Relation.image = img; row } in
-      let stage name f = Otrace.with_span name f in
-      let warnings =
-        (if checks.check_names then
-           stage "check-names" (fun () ->
-               counted m_warn_name (name_warnings model row))
-         else [])
-        @ (if checks.check_rules then
-             stage "check-rules" (fun () ->
-                 counted m_warn_rule (rule_warnings model ctx))
-           else [])
-        @ (if checks.check_types then
-             stage "check-types" (fun () ->
-                 counted m_warn_type (type_warnings model row img))
-           else [])
-        @ (if checks.check_values then
-             stage "check-values" (fun () ->
-                 counted m_warn_value (value_warnings model row))
-           else [])
-      in
-      List.sort Warning.compare_rank warnings)
+(* The one evaluation path: compile, then check.  Callers holding a
+   model and checking many images should {!Engine.compile} once
+   themselves (or go through [Pipeline.check_fleet]); this wrapper
+   exists for the one-shot callers. *)
+let check ?checks model img = Engine.check ?checks (Engine.compile model) img

@@ -14,9 +14,15 @@
        semantic verification of its column's learned type;
     4. suspicious value: a value never observed in training, ranked by
        Inverse Change Frequency — unseen values of low-diversity
-       columns rank highest. *)
+       columns rank highest.
 
-type model = {
+    Evaluation happens in {!Engine}: {!check} compiles the model and
+    runs the compiled engine, so single-shot checking and fleet
+    checking share exactly one evaluation path.  To check many images
+    against one model, compile once with {!Engine.compile} (or use
+    [Pipeline.check_fleet]). *)
+
+type model = Engine.model = {
   types : Encore_typing.Infer.env;
   rules : Encore_rules.Template.rule list;
   value_stats : (string * string list) list;
@@ -50,7 +56,7 @@ val model_of_training :
   (Encore_sysenv.Image.t * Encore_dataset.Row.t) list -> model
 (** Same, from an already-assembled training set. *)
 
-type checks = {
+type checks = Engine.checks = {
   check_names : bool;
   check_rules : bool;
   check_types : bool;
@@ -61,4 +67,5 @@ val all_checks : checks
 
 val check :
   ?checks:checks -> model -> Encore_sysenv.Image.t -> Warning.t list
-(** Ranked warnings (best first) for a target image. *)
+(** Ranked warnings (best first) for a target image: [Engine.check]
+    over a freshly compiled engine. *)

@@ -1,0 +1,70 @@
+(** Compiled detection engine: the compile-once / check-many serving
+    path.
+
+    A learned {!model} is an exchange format — assoc lists and plain
+    rule lists, easy to serialize and diff — but walking it per checked
+    image makes every check a linear re-scan of the whole model.
+    {!compile} builds, once per model, the hashed indices the four
+    detector checks actually need:
+
+    - a known-attribute set and a near-miss index (attribute basenames
+      precomputed, length-pruned scan) for the misspelling check;
+    - a target assembler with the type environment hashed once
+      ({!Encore_dataset.Assemble.target_assembler});
+    - the correlation rules as an array in learned order (evaluating a
+      rule whose attributes the image lacks is a single failed hash
+      probe, cheaper at paper scale than per-attribute bucketing);
+    - one merged per-attribute column table: the type decision with its
+      syntactic matcher resolved to a closure at compile time
+      ({!Encore_typing.Syntactic.matcher}), and the training-value hash
+      set — with each seen value's syntactic verdict precomputed — plus
+      its cardinality for the Inverse-Change-Frequency score.  The type
+      and value checks run as one fused walk, a single probe per row
+      pair.
+
+    {!check} over the compiled form is byte-identical in output to the
+    interpreted walk it replaces ({!Detector.check} is now a thin
+    compile-then-check wrapper, and an equivalence property test in
+    [test/test_engine.ml] pins the contract against a reference
+    interpreted implementation).  A compiled engine is immutable after
+    {!compile} and safe to share across pool worker domains —
+    {!Pipeline.check_fleet} compiles once and fans the image list
+    out. *)
+
+type model = {
+  types : Encore_typing.Infer.env;
+  rules : Encore_rules.Template.rule list;
+  value_stats : (string * string list) list;
+      (** attribute -> distinct training values *)
+  known_attrs : string list;
+  training_count : int;
+  overflowed : bool;
+      (** true when itemset mining hit its capacity cap during learning,
+          so the rule set may be incomplete (degraded mode). *)
+}
+
+type checks = {
+  check_names : bool;
+  check_rules : bool;
+  check_types : bool;
+  check_values : bool;
+}
+
+val all_checks : checks
+
+type t
+(** A compiled engine.  Read-only after {!compile}; share freely across
+    domains. *)
+
+val compile : model -> t
+(** Build the hashed indices.  O(model size); every subsequent
+    {!check} touches only the buckets the target image hits. *)
+
+val model : t -> model
+(** The model the engine was compiled from. *)
+
+val check :
+  ?checks:checks -> t -> Encore_sysenv.Image.t -> Warning.t list
+(** Ranked warnings (best first) for a target image — the paper's four
+    checks over the compiled indices.  Identical output to the
+    historical interpreted [Detector.check]. *)

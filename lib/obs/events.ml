@@ -72,6 +72,16 @@ let emit_deadline ~stage ~reason =
   emit "deadline"
     ~fields:[ ("stage", Jsonenc.Str stage); ("reason", Jsonenc.Str reason) ]
 
+let emit_fleet ~images_total ~images_checked ~warnings ~status =
+  emit "fleet_report"
+    ~fields:
+      [
+        ("images_total", Jsonenc.Int images_total);
+        ("images_checked", Jsonenc.Int images_checked);
+        ("warnings", Jsonenc.Int warnings);
+        ("status", Jsonenc.Str status);
+      ]
+
 let emit_metrics () =
   if enabled () then
     emit "metric_snapshot"

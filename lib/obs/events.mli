@@ -43,5 +43,12 @@ val emit_deadline : stage:string -> reason:string -> unit
     execution budget expired ([reason] from
     [Deadline.reason_to_string]). *)
 
+val emit_fleet :
+  images_total:int -> images_checked:int -> warnings:int -> status:string ->
+  unit
+(** One [fleet_report] event summarizing a fleet check: images offered
+    and actually checked, total warnings, and the run status
+    (["completed"] or ["timed-out"]). *)
+
 val emit_metrics : unit -> unit
 (** One [metric_snapshot] event carrying {!Metrics.snapshot}. *)

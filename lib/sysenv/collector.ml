@@ -207,3 +207,114 @@ let restore ~id ~configs records =
   in
   Image.make ~hostname ~ip_address ~fs_type ~fs ~accounts ~services ~env_vars
     ~hardware ~os ~id configs
+
+(* --- single-image dumps (the fleet serving format) ------------------------ *)
+
+let image_magic = "ENCORE-IMAGE 1 "
+
+let image_to_text (img : Image.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf image_magic;
+  Buffer.add_string buf img.Image.image_id;
+  Buffer.add_char buf '\n';
+  if img.Image.flakiness <> 0.0 then
+    Buffer.add_string buf
+      (Printf.sprintf "@flakiness %.17g\n" img.Image.flakiness);
+  List.iter
+    (fun (c : Image.config_file) ->
+      (* byte-count framing: config text is stored verbatim, so lines
+         that look like our own headers cannot confuse the reader *)
+      Buffer.add_string buf
+        (Printf.sprintf "@config %s %d %s\n"
+           (Image.app_to_string c.Image.app)
+           (String.length c.Image.text) c.Image.path);
+      Buffer.add_string buf c.Image.text;
+      Buffer.add_char buf '\n')
+    img.Image.configs;
+  Buffer.add_string buf "@env\n";
+  Buffer.add_string buf (to_text (collect img));
+  Buffer.contents buf
+
+(* "<word> <word> <rest>"; the rest may contain spaces. *)
+let split3 s =
+  match String.index_opt s ' ' with
+  | None -> None
+  | Some i -> (
+      let first = String.sub s 0 i in
+      let tail = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.index_opt tail ' ' with
+      | None -> None
+      | Some j ->
+          let second = String.sub tail 0 j in
+          let rest = String.sub tail (j + 1) (String.length tail - j - 1) in
+          Some (first, second, rest))
+
+let image_of_text text =
+  let len = String.length text in
+  let pos = ref 0 in
+  let next_line () =
+    if !pos >= len then None
+    else begin
+      let nl =
+        match String.index_from_opt text !pos '\n' with
+        | Some i -> i
+        | None -> len
+      in
+      let line = String.sub text !pos (nl - !pos) in
+      pos := nl + 1;
+      Some line
+    end
+  in
+  let strip_prefix p s =
+    let pl = String.length p in
+    if String.length s >= pl && String.sub s 0 pl = p then
+      Some (String.sub s pl (String.length s - pl))
+    else None
+  in
+  match next_line () with
+  | None -> Error "empty image dump"
+  | Some header -> (
+      match strip_prefix image_magic header with
+      | None -> Error "not an ENCORE-IMAGE dump (bad magic line)"
+      | Some id ->
+          let configs = ref [] in
+          let flakiness = ref 0.0 in
+          let rec headers () =
+            match next_line () with
+            | None -> Error "image dump truncated before @env"
+            | Some "@env" -> Ok ()
+            | Some line -> (
+                match strip_prefix "@flakiness " line with
+                | Some f -> (
+                    match float_of_string_opt f with
+                    | Some f ->
+                        flakiness := f;
+                        headers ()
+                    | None -> Error ("bad @flakiness value: " ^ f))
+                | None -> (
+                    match strip_prefix "@config " line with
+                    | None -> Error ("unrecognized header line: " ^ line)
+                    | Some spec -> (
+                        match split3 spec with
+                        | None -> Error ("malformed @config line: " ^ line)
+                        | Some (app, bytes, path) -> (
+                            match
+                              (Image.app_of_string app, int_of_string_opt bytes)
+                            with
+                            | Some app, Some n when n >= 0 && !pos + n <= len ->
+                                let body = String.sub text !pos n in
+                                pos := !pos + n;
+                                (* the framing newline after the payload *)
+                                if !pos < len && text.[!pos] = '\n' then
+                                  incr pos;
+                                configs :=
+                                  { Image.app; path; text = body } :: !configs;
+                                headers ()
+                            | _ -> Error ("malformed @config line: " ^ line)))))
+          in
+          (match headers () with
+          | Error _ as e -> e
+          | Ok () ->
+              let records = of_text (String.sub text !pos (len - !pos)) in
+              let img = restore ~id ~configs:(List.rev !configs) records in
+              Ok (Image.with_flakiness img !flakiness)))

@@ -20,6 +20,19 @@ val of_text : string -> record list
 
 val find : record list -> section:string -> key:string -> string list option
 
+val image_to_text : Image.t -> string
+(** Whole-image dump: the on-disk unit of the fleet serving path.  An
+    [ENCORE-IMAGE 1 <id>] magic line, optional [@flakiness] header,
+    one [@config <app> <bytes> <path>] header per configuration file
+    followed by exactly [bytes] bytes of verbatim config text, then
+    [@env] and the {!to_text} rendering of {!collect}. *)
+
+val image_of_text : string -> (Image.t, string) result
+(** Inverse of {!image_to_text}: [image_of_text (image_to_text i)]
+    rebuilds [i]'s id, configs, flakiness and environment.  Total —
+    a malformed dump yields [Error] with a one-line reason, never an
+    exception. *)
+
 val restore :
   id:string -> configs:Image.config_file list -> record list -> Image.t
 (** Rebuild a system image from collected records plus its configuration

@@ -24,8 +24,33 @@ let empty = Smap.add "/" root_meta Smap.empty
    prefixes, trailing or doubled slashes, "." and ".." components.
    Canonicalization absorbs what is unambiguous and reports the rest as
    a typed error instead of raising. *)
+(* Fast acceptance test: absolute, no trailing slash (except "/"), and
+   no "", "." or ".." component.  Such a path is its own canonical
+   form, so the slow rebuild below can be skipped. *)
+let is_canonical p =
+  let n = String.length p in
+  n > 0 && p.[0] = '/'
+  && (n = 1
+      || p.[n - 1] <> '/'
+         &&
+         let ok = ref true and i = ref 1 and start = ref 1 in
+         while !ok && !i <= n do
+           (if !i = n || p.[!i] = '/' then begin
+              let len = !i - !start in
+              if
+                len = 0
+                || (len = 1 && p.[!start] = '.')
+                || (len = 2 && p.[!start] = '.' && p.[!start + 1] = '.')
+              then ok := false;
+              start := !i + 1
+            end);
+           incr i
+         done;
+         !ok)
+
 let canonicalize path =
-  if path = "" then Error "empty path"
+  if is_canonical path then Ok path
+  else if path = "" then Error "empty path"
   else
     (* a leading "./" before an absolute remainder is droppable noise *)
     let rec strip_dot p =
@@ -118,34 +143,49 @@ let is_file fs path =
   | Some { kind = Regular; _ } -> true
   | Some _ | None -> false
 
-let children fs path =
+(* Walk only the subtree under [path]: map keys are ordered, so the
+   descendants of "/a/b" are exactly the contiguous key range that
+   starts with "/a/b/" — [to_seq_from] positions there in O(log n) and
+   the walk stops at the first key outside the prefix.  [f] receives
+   the path suffix after the prefix and the entry's metadata; a [true]
+   return short-circuits the walk. *)
+let subtree_exists fs path f =
   match canonicalize path with
-  | Error _ -> []
+  | Error _ -> false
   | Ok p ->
       let prefix = if p = "/" then "/" else p ^ "/" in
-      Smap.fold
-        (fun q _ acc ->
-          if q <> "/" && Encore_util.Strutil.starts_with ~prefix q then
-            let rest = String.sub q (String.length prefix)
-                         (String.length q - String.length prefix) in
-            if Encore_util.Strutil.contains_char rest '/' then acc
-            else rest :: acc
-          else acc)
-        fs []
-      |> List.sort compare
+      let rec walk seq =
+        match Seq.uncons seq with
+        | Some ((q, m), rest)
+          when q = "/" || Encore_util.Strutil.starts_with ~prefix q ->
+            (q <> "/"
+             && f
+                  (String.sub q (String.length prefix)
+                     (String.length q - String.length prefix))
+                  m)
+            || walk rest
+        | Some _ | None -> false
+      in
+      walk (Smap.to_seq_from prefix fs)
 
-let child_metas fs path =
-  List.filter_map
-    (fun c -> lookup fs (Encore_util.Strutil.path_join path c))
-    (children fs path)
+let children fs path =
+  let acc = ref [] in
+  ignore
+    (subtree_exists fs path (fun rest _ ->
+         if not (Encore_util.Strutil.contains_char rest '/') then
+           acc := rest :: !acc;
+         false));
+  List.sort compare !acc
 
-let has_subdir fs path =
-  List.exists (fun m -> m.kind = Directory) (child_metas fs path)
+let direct_child_exists fs path pred =
+  subtree_exists fs path (fun rest m ->
+      (not (Encore_util.Strutil.contains_char rest '/')) && pred m)
+
+let has_subdir fs path = direct_child_exists fs path (fun m -> m.kind = Directory)
 
 let has_symlink fs path =
-  List.exists
-    (fun m -> match m.kind with Symlink _ -> true | Regular | Directory -> false)
-    (child_metas fs path)
+  direct_child_exists fs path (fun m ->
+      match m.kind with Symlink _ -> true | Regular | Directory -> false)
 
 let all_paths fs =
   Smap.fold (fun p _ acc -> if p = "/" then acc else p :: acc) fs []

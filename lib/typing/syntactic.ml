@@ -31,34 +31,42 @@ let ipv4_in_range s =
       | None -> false)
     (String.split_on_char '.' s)
 
-let matches (t : Ctype.t) value =
-  let v = String.trim value in
-  if v = "" then t = Ctype.String_t
-  else
+(* The dispatch is resolved once per type; [matcher] partially applied
+   to a column's type is the column's compiled matcher. *)
+let matcher (t : Ctype.t) =
+  let hint =
     match t with
-    | Ctype.File_path -> exec file_path_re v
-    | Ctype.Partial_file_path -> exec partial_path_re v
+    | Ctype.File_path -> exec file_path_re
+    | Ctype.Partial_file_path -> exec partial_path_re
     | Ctype.File_name ->
-        exec file_name_re v && not (Encore_util.Strutil.contains_char v '/')
-    | Ctype.User_name | Ctype.Group_name -> exec user_re v
+        fun v ->
+          exec file_name_re v && not (Encore_util.Strutil.contains_char v '/')
+    | Ctype.User_name | Ctype.Group_name -> exec user_re
     | Ctype.Ip_address ->
-        (exec ipv4_re v && ipv4_in_range v) || exec ipv6_re v
+        fun v -> (exec ipv4_re v && ipv4_in_range v) || exec ipv6_re v
     | Ctype.Port_number -> (
-        exec port_re v
-        && match int_of_string_opt v with
-           | Some p -> p >= 0 && p <= 65535
-           | None -> false)
-    | Ctype.Url -> exec url_re v
-    | Ctype.Mime_type -> exec mime_re v && not (exec file_path_re v)
-    | Ctype.Charset -> exec charset_re v
-    | Ctype.Language -> exec language_re v
-    | Ctype.Size -> exec size_re v
+        fun v ->
+          exec port_re v
+          && match int_of_string_opt v with
+             | Some p -> p >= 0 && p <= 65535
+             | None -> false)
+    | Ctype.Url -> exec url_re
+    | Ctype.Mime_type -> fun v -> exec mime_re v && not (exec file_path_re v)
+    | Ctype.Charset -> exec charset_re
+    | Ctype.Language -> exec language_re
+    | Ctype.Size -> exec size_re
     | Ctype.Bool_t ->
-        List.mem (Encore_util.Strutil.lowercase_ascii v) bool_words
-    | Ctype.Permission -> exec perm_re v
-    | Ctype.Number -> exec number_re v
-    | Ctype.Custom name -> Custom_registry.matches name v
-    | Ctype.Enum _ | Ctype.String_t -> true
+        fun v -> List.mem (Encore_util.Strutil.lowercase_ascii v) bool_words
+    | Ctype.Permission -> exec perm_re
+    | Ctype.Number -> exec number_re
+    | Ctype.Custom name -> Custom_registry.matches name
+    | Ctype.Enum _ | Ctype.String_t -> fun _ -> true
+  in
+  fun value ->
+    let v = String.trim value in
+    if v = "" then t = Ctype.String_t else hint v
+
+let matches (t : Ctype.t) value = matcher t value
 
 (* Most specific first.  E.g. "/usr/lib/php.so" matches File_path before
    File_name; "3306" matches Port_number before Size/Number. *)

@@ -11,6 +11,12 @@ val matches : Ctype.t -> string -> bool
     [Enum] and [String_t] match everything; [Permission] requires an
     octal string. *)
 
+val matcher : Ctype.t -> string -> bool
+(** [matcher t] resolves the type dispatch once and returns a closure
+    over the precompiled pattern: partially applying it compiles the
+    matcher for a column, so a hot check path pays no per-value
+    dispatch.  [matcher t v] and [matches t v] always agree. *)
+
 val candidate_order : Ctype.t list
 (** The non-trivial types in decreasing specificity; the order used to
     resolve multi-candidate values. *)

@@ -43,9 +43,14 @@ let rec worker_loop t =
       worker_loop t
 
 let create ~jobs =
+  (* Never run more worker domains than the hardware can schedule:
+     OCaml domains are heavyweight, and oversubscribing cores makes
+     every pool operation slower than running inline.  A request for
+     more workers than cores is capped, which on a single-core host
+     degrades to (fast) inline execution. *)
   let t =
     {
-      n_jobs = max 1 jobs;
+      n_jobs = max 1 (min jobs (Domain.recommended_domain_count ()));
       queue = Queue.create ();
       mutex = Mutex.create ();
       nonempty = Condition.create ();
@@ -164,6 +169,38 @@ let map t f xs =
          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
          | None -> assert false)
   end
+
+(* First [n] items of [xs] (all of them when fewer), plus the rest.
+   Batches are a few dozen items, so plain recursion is fine. *)
+let rec take n xs =
+  if n = 0 then ([], xs)
+  else
+    match xs with
+    | [] -> ([], [])
+    | x :: rest ->
+        let batch, rest = take (n - 1) rest in
+        (x :: batch, rest)
+
+let map_batched t ~deadline ?batch ?yield f xs =
+  let batch_size =
+    match batch with Some b -> max 1 b | None -> max 1 (t.n_jobs * chunk_factor)
+  in
+  let emit rs = match yield with None -> () | Some y -> y rs in
+  let rec go acc xs =
+    match xs with
+    | [] -> Ok (List.concat (List.rev acc))
+    | _ -> (
+        let b, rest = take batch_size xs in
+        match
+          Deadline.raise_if_expired deadline;
+          with_deadline t deadline (fun () -> map t f b)
+        with
+        | rs ->
+            emit rs;
+            go (rs :: acc) rest
+        | exception Deadline.Expired _ -> Error (List.concat (List.rev acc)))
+  in
+  go [] xs
 
 let map_reduce t ~map:fm ~reduce ~init xs =
   if inline t || (match xs with [] | [ _ ] -> true | _ -> false) then

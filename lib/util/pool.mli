@@ -28,7 +28,12 @@
 type t
 
 val create : jobs:int -> t
-(** Spawn the workers.  [jobs <= 1] spawns none (inline execution). *)
+(** Spawn the workers.  [jobs <= 1] spawns none (inline execution).
+    The worker count is capped at [Domain.recommended_domain_count ()]:
+    oversubscribing cores only adds contention, so a request for more
+    workers than the hardware can schedule degrades gracefully — down
+    to inline execution on a single-core host.  Results never depend
+    on the effective worker count. *)
 
 val jobs : t -> int
 
@@ -49,6 +54,27 @@ val with_deadline : t -> Deadline.t -> (unit -> 'a) -> 'a
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Like [List.map f], with [f] applied by the workers. *)
+
+val map_batched :
+  t ->
+  deadline:Deadline.t ->
+  ?batch:int ->
+  ?yield:('b list -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b list, 'b list) result
+(** Deadline-aware {!map} that survives expiry with a partial result.
+    The input is processed in batches of [batch] items (default: a full
+    round of chunks, [jobs * chunk factor]); the deadline is polled
+    before each batch and, via {!with_deadline}, at every item within
+    it.  [Ok results] when every item completed; [Error prefix] when
+    the deadline expired, where [prefix] holds the results of the
+    batches completed before expiry (the interrupted batch is
+    discarded whole, so the prefix length is a multiple of the batch
+    size).  Either way, results are in input order.  [yield] is called
+    in the caller's domain with each completed batch's results, in
+    input order — a streaming hook that sees exactly the items the
+    final result will contain. *)
 
 val map_reduce :
   t -> map:('a -> 'b) -> reduce:('b -> 'b -> 'b) -> init:'b -> 'a list -> 'b

@@ -47,6 +47,16 @@ if grep -rn 'open_out\|Out_channel' lib --include='*.ml' \
   bad=1
 fi
 
+# Serving-path discipline: the detection engine compiles its model
+# into hashed indices exactly once (lib/detect/engine.ml); linear
+# assoc-list scans anywhere else in lib/detect would reintroduce the
+# interpreted per-check walks the engine exists to replace.
+if grep -rn 'List\.assoc\|List\.mem_assoc' lib/detect --include='*.ml' \
+   | grep -v '^lib/detect/engine\.ml'; then
+  echo 'lint: List.assoc/List.mem_assoc in lib/detect/ are banned outside engine.ml — probe a compiled Engine index instead' >&2
+  bad=1
+fi
+
 # Telemetry discipline: wall-clock reads and ad-hoc stderr chatter in
 # library code bypass the observability layer.  lib/obs owns the clock
 # (monotonic, test-pluggable) and the event log; everything else must
