@@ -19,8 +19,10 @@
    Fleet-checking throughput (compile-once engine vs a single-image
    loop that recompiles per check) at paper scale:
    dune exec bench/main.exe -- --stage check [--jobs N]
+   Serve-daemon throughput and latency under a watch change storm:
+   dune exec bench/main.exe -- --stage serve
    Machine-readable jobs=1 vs jobs=N comparison (regression gate),
-   including the checkpoint and fleet-check measurements:
+   including the checkpoint, fleet-check and serve measurements:
    dune exec bench/main.exe -- --json FILE [--jobs N] *)
 
 open Bechamel
@@ -347,6 +349,126 @@ let print_check_times ~jobs =
     (images_per_s ~fleet_size:m.fleet_size m.fleet_ns);
   Printf.printf "  fleet speedup                          %12.2fx\n" (check_speedup m)
 
+(* --- serve daemon throughput + latency -------------------------------------- *)
+
+type serve_measurement = {
+  serve_requests : int;
+  serve_images : int;
+  serve_wall_ns : int;
+  serve_p50_us : float;
+  serve_p99_us : float;
+  serve_images_per_s : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* The resident daemon under a change storm: [serve_images] mysql
+   targets each open a watch session, then replay ConfErr-mutated
+   config deltas (the incremental path) with a full inline check mixed
+   in every few requests (the full path).  The driver offers one line
+   and steps until its response appears, so per-request latency is the
+   daemon's processing cost — parse, delta re-check, encode — and
+   throughput counts one re-checked image per request. *)
+let measure_serve () =
+  let images =
+    Population.clean (Population.generate ~seed:7 Image.Mysql ~n:paper_n)
+  in
+  let model = Detector.learn images in
+  let srv =
+    Encore_serve.Server.create
+      (Encore_serve.Cache.create ~provider:(fun ~app:_ -> Ok model))
+  in
+  let serve_images = 24 in
+  let targets =
+    Array.init serve_images (fun i ->
+        ref
+          (Population.generator_for Image.Mysql Profile.ec2
+             (Encore_util.Prng.create (9000 + i))
+             ~id:(Printf.sprintf "serve-%03d" i)))
+  in
+  let config_of img =
+    match Image.config_for img Image.Mysql with
+    | Some cf -> cf.Image.text
+    | None -> ""
+  in
+  let line fields = Json.to_string (Json.Obj fields) in
+  let watch_line ~id img =
+    line
+      [ ("op", Json.Str "watch");
+        ("id", Json.Str id);
+        ("image", Json.Str img.Image.image_id);
+        ("app", Json.Str "mysql");
+        ("config", Json.Str (config_of img)) ]
+  in
+  let check_line ~id img =
+    line
+      [ ("op", Json.Str "check");
+        ("id", Json.Str id);
+        ("image", Json.Str (Encore_sysenv.Collector.image_to_text img)) ]
+  in
+  let rng = Encore_util.Prng.create 77 in
+  let serve_requests = 2000 in
+  (* the storm is built up front so request encoding (client-side work)
+     stays outside the timed region *)
+  let lines =
+    List.init serve_requests (fun i ->
+        let k = i mod serve_images in
+        let id = Printf.sprintf "r%04d" i in
+        if i < serve_images then watch_line ~id !(targets.(k))
+        else if i mod 7 = 0 then check_line ~id !(targets.(k))
+        else begin
+          let campaign =
+            Encore_inject.Conferr.inject rng Image.Mysql !(targets.(k)) ~n:1
+          in
+          targets.(k) := campaign.Encore_inject.Conferr.image;
+          watch_line ~id !(targets.(k))
+        end)
+  in
+  (* warm-up: first contact compiles and caches the engine *)
+  ignore (Encore_serve.Server.offer srv (check_line ~id:"warm" !(targets.(0))));
+  ignore (Encore_serve.Server.step srv);
+  let lat = Array.make serve_requests 0.0 in
+  let (), serve_wall_ns =
+    time_ns (fun () ->
+        List.iteri
+          (fun i l ->
+            let rs, ns =
+              time_ns (fun () ->
+                  match Encore_serve.Server.offer srv l with
+                  | [] -> Encore_serve.Server.step srv
+                  | rs -> rs)
+            in
+            assert (rs <> []);
+            lat.(i) <- float_of_int ns /. 1e3)
+          lines)
+  in
+  Encore_serve.Server.request_shutdown srv;
+  ignore (Encore_serve.Server.drain_flush srv);
+  Array.sort compare lat;
+  {
+    serve_requests;
+    serve_images;
+    serve_wall_ns;
+    serve_p50_us = percentile lat 0.50;
+    serve_p99_us = percentile lat 0.99;
+    serve_images_per_s = images_per_s ~fleet_size:serve_requests serve_wall_ns;
+  }
+
+let print_serve_times () =
+  let m = measure_serve () in
+  Printf.printf
+    "=== Serve daemon: %d-request change storm over %d watched mysql \
+     targets, model n=%d (paper scale) ===\n\n"
+    m.serve_requests m.serve_images paper_n;
+  Printf.printf "  sustained throughput  %12.1f images/s\n" m.serve_images_per_s;
+  Printf.printf "  request latency p50   %12.1f us\n" m.serve_p50_us;
+  Printf.printf "  request latency p99   %12.1f us\n" m.serve_p99_us;
+  Printf.printf "  wall time             %12d ns  (%8.3f ms)\n" m.serve_wall_ns
+    (float_of_int m.serve_wall_ns /. 1e6)
+
 (* --- machine-readable regression gate: bench --json FILE ------------------- *)
 
 let stage_ns (s : Summary.t) name =
@@ -366,6 +488,7 @@ let write_json ~jobs path =
   let par = run_summary ~jobs in
   let ckpt = measure_checkpoint () in
   let chk = measure_check ~jobs in
+  let srv = measure_serve () in
   let stage_names =
     List.sort_uniq compare
       (List.map (fun st -> st.Summary.stage_name)
@@ -413,6 +536,14 @@ let write_json ~jobs path =
              ("fleet_images_per_s",
               Json.Float (images_per_s ~fleet_size:chk.fleet_size chk.fleet_ns));
              ("fleet_speedup", Json.Float (check_speedup chk)) ]);
+        ("serve",
+         Json.Obj
+           [ ("requests", Json.Int srv.serve_requests);
+             ("watched_images", Json.Int srv.serve_images);
+             ("wall_ns", Json.Int srv.serve_wall_ns);
+             ("images_per_s", Json.Float srv.serve_images_per_s);
+             ("p50_us", Json.Float srv.serve_p50_us);
+             ("p99_us", Json.Float srv.serve_p99_us) ]);
         ("stages", Json.Arr stages) ]
   in
   let oc = open_out path in
@@ -445,9 +576,11 @@ let () =
       match value_of "--stage" with
       | Some "checkpoint" -> print_checkpoint_times ()
       | Some "check" -> print_check_times ~jobs
+      | Some "serve" -> print_serve_times ()
       | Some other ->
           prerr_endline
-            ("bench: unknown --stage " ^ other ^ " (try: checkpoint, check)");
+            ("bench: unknown --stage " ^ other
+             ^ " (try: checkpoint, check, serve)");
           exit 2
       | None ->
           if has "--stage-times" then print_stage_times ~jobs

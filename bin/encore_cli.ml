@@ -9,7 +9,10 @@
                   through the compiled engine, streaming a JSONL report)
      inject       run a ConfErr-style campaign and show the ground truth
      chaos        storm a population with pipeline faults, learn resiliently
-                  (--durability: kill-and-resume + snapshot-damage drill)
+                  (--durability: kill-and-resume + snapshot-damage drill;
+                  --serve-storm: request-storm replay against the daemon)
+     serve        resident check daemon: JSONL requests (check, watch,
+                  reload, status, shutdown) over stdio or a Unix socket
      experiment   regenerate one (or all) of the paper's tables
      ablation     run a design-choice ablation study
      case         reproduce one of the ten Table 9 real-world cases
@@ -290,11 +293,31 @@ let learn_cmd =
 
 (* --- chaos ----------------------------------------------------------------- *)
 
-let chaos seed app n fraction max_retries jobs durability dir trace metrics =
+let chaos seed app n fraction max_retries jobs durability serve_storm requests
+    dir trace metrics =
   with_telemetry ~trace ~metrics @@ fun () ->
   let config = { Encore.Config.default with Encore.Config.jobs = jobs } in
-  if durability then
-    match Encore.Chaosrun.durability ~config ~fraction ~app ~dir ~seed () with
+  if serve_storm then
+    begin match
+      Encore.Chaosrun.serve_storm ~config ~requests ~n ~app ~seed ()
+    with
+    | Error d ->
+        prerr_endline
+          ("serve storm failed: " ^ Encore_util.Resilience.diagnostic_to_string d);
+        1
+    | Ok o ->
+        print_string (Encore.Chaosrun.serve_outcome_to_string o);
+        if
+          o.Encore.Chaosrun.serve_notes = []
+          && o.Encore.Chaosrun.serve_all_answered
+          && o.Encore.Chaosrun.serve_ring_bound_ok
+          && o.Encore.Chaosrun.serve_watch_identical
+          && o.Encore.Chaosrun.serve_drained
+        then 0
+        else 1
+    end
+  else if durability then
+    begin match Encore.Chaosrun.durability ~config ~fraction ~app ~dir ~seed () with
     | Error d ->
         prerr_endline
           ("durability drill failed: "
@@ -310,6 +333,7 @@ let chaos seed app n fraction max_retries jobs durability dir trace metrics =
           && o.Encore.Chaosrun.rollback_ok
         then 0
         else 1
+    end
   else
     match Encore.Chaosrun.run ~config ~n ~fraction ~max_retries ~app ~seed () with
     | Error d ->
@@ -322,10 +346,14 @@ let chaos seed app n fraction max_retries jobs durability dir trace metrics =
 
 let chaos_cmd =
   let doc =
-    "Storm a training population with pipeline faults, learn through the \
+    "Storm a training population with the pipeline fault set — truncated \
+     files, garbage bytes, permanently flapping probes — learn through the \
      resilient path and compare detection against an undamaged model.  With \
-     $(b,--durability): kill-and-resume at each checkpoint, tear and \
-     bit-flip snapshots, and prove the store detects the damage."
+     $(b,--durability): the crash-safety drill (kill-at-checkpoint then \
+     resume, truncate-snapshot, bitflip-snapshot, rollback to the newest \
+     good snapshot).  With $(b,--serve-storm): replay a request storm — \
+     queue-overflow bursts, malformed and oversized lines, crash-injection \
+     ops, a mid-storm reload — against the resident serve daemon."
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const chaos $ seed_arg $ app_arg $ count_arg 50
@@ -342,10 +370,228 @@ let chaos_cmd =
                            resumed and every damaged snapshot was detected. \
                            $(b,-n) and $(b,--max-retries) apply to the storm \
                            only and are ignored here.")
+          $ Arg.(value & flag
+                 & info [ "serve-storm" ]
+                     ~doc:"Replay $(b,--requests) request lines (>= 5% \
+                           malformed, >= 5% oversized, crash-injection ops, \
+                           a mid-storm reload) against the serve daemon and \
+                           check its contract: load is shed but nothing \
+                           crashes, every queued request is answered, the \
+                           alert ring stays inside its bound, incremental \
+                           watch verdicts match full checks byte-for-byte, \
+                           and shutdown drains cleanly.  Exit code 0 only \
+                           when every invariant holds.")
+          $ Arg.(value & opt int 10_000
+                 & info [ "requests" ] ~docv:"N"
+                     ~doc:"Request lines to replay with $(b,--serve-storm).")
           $ Arg.(value & opt string "_chaos-durability"
                  & info [ "dir" ] ~docv:"DIR"
                      ~doc:"Working directory for the durability drill's \
                            checkpoints and snapshot store.")
+          $ trace_arg $ metrics_arg)
+
+(* --- serve ----------------------------------------------------------------- *)
+
+(* Line source over a file descriptor for [Server.run]'s [recv]: polls
+   with select so a signal-initiated drain is noticed within [tick],
+   splits reads into lines, and delivers a trailing unterminated line
+   before EOF. *)
+let fd_line_reader ?(tick = 0.25) fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let lines = Queue.create () in
+  let eof = ref false in
+  let split_lines () =
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    let rec feed = function
+      | [] -> ()
+      | [ tail ] -> Buffer.add_string buf tail
+      | line :: rest ->
+          Queue.push line lines;
+          feed rest
+    in
+    feed (String.split_on_char '\n' s)
+  in
+  let pull ~wait =
+    match Unix.select [ fd ] [] [] (if wait then tick else 0.0) with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> eof := true
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            split_lines ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  fun ~wait ->
+    if Queue.is_empty lines && not !eof then pull ~wait;
+    match Queue.take_opt lines with
+    | Some line -> `Line line
+    | None ->
+        if !eof then
+          if Buffer.length buf > 0 then begin
+            let line = Buffer.contents buf in
+            Buffer.clear buf;
+            `Line line
+          end
+          else `Eof
+        else `Idle
+
+let response_line resp = Encore_obs.Jsonenc.to_string resp ^ "\n"
+
+(* Unix-socket transport: connections are served one at a time and the
+   daemon stays resident between them — only a shutdown request or a
+   signal ends the loop.  Responses produced while no client is
+   attached (the drain summary after a disconnect) go to stdout. *)
+let serve_socket srv path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sfd (Unix.ADDR_UNIX path);
+  Unix.listen sfd 8;
+  let client = ref None in
+  let close_client () =
+    match !client with
+    | Some (fd, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        client := None
+    | None -> ()
+  in
+  let recv ~wait =
+    match !client with
+    | Some (_, reader) -> (
+        match reader ~wait with
+        | `Eof ->
+            close_client ();
+            `Idle
+        | r -> r)
+    | None -> (
+        match Unix.select [ sfd ] [] [] (if wait then 0.25 else 0.0) with
+        | [], _, _ -> `Idle
+        | _ ->
+            let fd, _ = Unix.accept sfd in
+            client := Some (fd, fd_line_reader fd);
+            `Idle
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Idle)
+  in
+  let send resp =
+    let line = response_line resp in
+    match !client with
+    | Some (fd, _) -> (
+        try ignore (Unix.write_substring fd line 0 (String.length line))
+        with Unix.Unix_error _ -> close_client ())
+    | None -> print_string line
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      close_client ();
+      (try Unix.close sfd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> Encore_serve.Server.run srv ~recv ~send)
+
+let serve model_path store_dir socket_path seed profile n jobs queue_capacity
+    max_request_bytes ring_capacity deadline_s alert_score trace metrics =
+  with_telemetry ~trace ~metrics @@ fun () ->
+  let provider ~app:name =
+    match (model_path, store_dir) with
+    | Some path, _ -> (
+        match Encore_detect.Model_io.load path with
+        | Ok m -> Ok m
+        | Error e -> Error (Encore_detect.Model_io.load_error_to_string e))
+    | None, Some dir -> (
+        let store = Encore_detect.Model_io.Store.create ~dir () in
+        match Encore_detect.Model_io.Store.load_latest store with
+        | Ok (m, _) -> Ok m
+        | Error e -> Error (Encore_detect.Model_io.load_error_to_string e))
+    | None, None -> (
+        match Image.app_of_string name with
+        | None -> Error (Printf.sprintf "unknown application %S" name)
+        | Some app -> Ok (fst (learn_model ~seed ~profile ~jobs app n)))
+  in
+  let dc = Encore_serve.Server.default_config in
+  let config =
+    { dc with
+      Encore_serve.Server.queue_capacity =
+        Option.value ~default:dc.Encore_serve.Server.queue_capacity
+          queue_capacity;
+      max_request_bytes =
+        Option.value ~default:dc.Encore_serve.Server.max_request_bytes
+          max_request_bytes;
+      ring_capacity =
+        Option.value ~default:dc.Encore_serve.Server.ring_capacity
+          ring_capacity;
+      deadline_s =
+        (match deadline_s with
+         | None -> dc.Encore_serve.Server.deadline_s
+         | some -> some);
+      alert_score =
+        Option.value ~default:dc.Encore_serve.Server.alert_score alert_score;
+    }
+  in
+  let srv =
+    Encore_serve.Server.create ~config (Encore_serve.Cache.create ~provider)
+  in
+  let drain _ = Encore_serve.Server.request_shutdown srv in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match socket_path with
+  | Some path -> serve_socket srv path
+  | None ->
+      let recv = fd_line_reader Unix.stdin in
+      let send resp =
+        print_string (response_line resp);
+        flush stdout
+      in
+      Encore_serve.Server.run srv ~recv ~send
+
+let serve_cmd =
+  let doc =
+    "Run the resident check daemon: JSONL requests ($(b,check), $(b,watch), \
+     $(b,reload), $(b,status), $(b,shutdown)) over stdio or a Unix socket.  \
+     Oversized lines are rejected before queueing, a full queue sheds with \
+     an $(i,overloaded) response, malformed requests get typed errors, \
+     detections land in a bounded drop-oldest alert ring, and SIGTERM (or a \
+     shutdown request) drains gracefully: in-flight requests finish, the \
+     ring is flushed, and the exit code follows the 0/1/2/3 contract (3 \
+     when load was shed, the worker restarted, or alerts were dropped)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const serve
+          $ Arg.(value & opt (some file) None
+                 & info [ "model" ] ~docv:"FILE"
+                     ~doc:"Serve the model snapshot at $(docv) for every \
+                           application; $(b,reload) re-reads it.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "store" ] ~docv:"DIR"
+                     ~doc:"Serve the newest verifiable snapshot of the model \
+                           store under $(docv) (written by 'save --store'); \
+                           $(b,reload) picks up new snapshots.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "socket" ] ~docv:"PATH"
+                     ~doc:"Listen on a Unix socket at $(docv) instead of \
+                           stdio.")
+          $ seed_arg $ profile_arg $ count_arg 100 $ jobs_arg
+          $ Arg.(value & opt (some int) None
+                 & info [ "queue-capacity" ] ~docv:"N"
+                     ~doc:"Pending requests before the daemon sheds load.")
+          $ Arg.(value & opt (some int) None
+                 & info [ "max-request-bytes" ] ~docv:"N"
+                     ~doc:"Longer request lines are rejected unqueued, so \
+                           queue memory stays bounded.")
+          $ Arg.(value & opt (some int) None
+                 & info [ "ring-capacity" ] ~docv:"N"
+                     ~doc:"Alert ring bound (drop-oldest beyond it).")
+          $ Arg.(value & opt (some float) None
+                 & info [ "request-deadline" ] ~docv:"SECS"
+                     ~doc:"Per-request budget; on expiry the response \
+                           carries the ranked partial verdict and \
+                           $(i,partial: true).")
+          $ Arg.(value & opt (some float) None
+                 & info [ "alert-score" ] ~docv:"S"
+                     ~doc:"Warnings at or above $(docv) count as detections \
+                           and enter the alert ring.")
           $ trace_arg $ metrics_arg)
 
 (* --- check ---------------------------------------------------------------- *)
@@ -824,4 +1070,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; learn_cmd; check_cmd; inject_cmd; experiment_cmd;
             study_cmd; export_cmd; save_cmd; load_cmd; testgen_cmd; case_cmd;
-            ablation_cmd; chaos_cmd; trace_cmd ]))
+            ablation_cmd; chaos_cmd; serve_cmd; trace_cmd ]))

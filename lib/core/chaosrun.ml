@@ -292,6 +292,329 @@ let durability_outcome_to_string o =
     o.durability_notes;
   Buffer.contents buf
 
+(* --- serve storm ----------------------------------------------------------- *)
+
+module Serve_server = Encore_serve.Server
+module Serve_cache = Encore_serve.Cache
+module Serve_proto = Encore_serve.Proto
+module Json = Encore_obs.Jsonenc
+module Collector = Encore_sysenv.Collector
+module Engine = Encore_detect.Engine
+
+type serve_outcome = {
+  serve_requests : int;
+  serve_malformed : int;
+  serve_oversized : int;
+  serve_crash_ops : int;
+  serve_queued : int;
+  serve_answered : int;
+  serve_shed : int;
+  serve_restarts : int;
+  serve_ring_dropped : int;
+  serve_all_answered : bool;
+  serve_ring_bound_ok : bool;
+  serve_drained : bool;
+  serve_watch_verified : int;
+  serve_watch_identical : bool;
+  serve_exit : int;
+  serve_notes : string list;
+}
+
+let serve_storm ?(config = Config.default) ?(requests = 10_000) ?(n = 16)
+    ?(app = Image.Mysql) ~seed () =
+  let profile = { Profile.ec2 with Profile.latent_error_rate = 0.0 } in
+  let images = Population.images (Population.generate ~profile ~seed app ~n) in
+  let model = Pipeline.learn ~config images in
+  (* independent compile of the same model: the oracle for watch-mode
+     byte-identity *)
+  let reference = Engine.compile model in
+  let cache = Serve_cache.create ~provider:(fun ~app:_ -> Ok model) in
+  let sconfig =
+    {
+      Serve_server.default_config with
+      Serve_server.queue_capacity = 32;
+      ring_capacity = 64;
+      max_request_bytes = 1 lsl 18;
+    }
+  in
+  let server = Serve_server.create ~config:sconfig cache in
+  let rng = Prng.create (seed + 4242) in
+  let arr = Array.of_list images in
+  let npop = Array.length arr in
+  let dumps = Array.map Collector.image_to_text arr in
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := !notes @ [ s ]) fmt in
+  let originals = Hashtbl.create 32 in
+  (* the server seeds sessions from the parsed dump, and the dump
+     round-trip canonicalizes the environment (implied primary groups
+     etc.) — the verification shadow must mirror the parsed image, not
+     the pre-serialization one, or reference checks drift *)
+  Array.iteri
+    (fun k (img : Image.t) ->
+      let canonical =
+        match Collector.image_of_text dumps.(k) with
+        | Ok restored -> restored
+        | Error _ -> img
+      in
+      Hashtbl.replace originals img.Image.image_id canonical)
+    arr;
+  (* mirror of the server's session images, advanced only by ok
+     responses, in response order — the base for reference checks *)
+  let shadow : (string, Image.t) Hashtbl.t = Hashtbl.create 32 in
+  let pending :
+      (string, [ `Check of Image.t | `Watch of string * Image.app * string ])
+      Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let queued = ref 0 and stepped = ref 0 in
+  let malformed = ref 0 and oversized = ref 0 and crashes = ref 0 in
+  let watch_verified = ref 0 and watch_mismatch = ref 0 in
+  let ring_max = ref 0 in
+  let bye_seen = ref false in
+  let handle_response j =
+    (match
+       Option.bind
+         (Option.bind (Json.member "ring" j) (Json.member "length"))
+         Json.to_int_opt
+     with
+    | Some len -> ring_max := max !ring_max len
+    | None -> ());
+    (match Json.member "op" j with
+    | Some (Json.Str "bye") -> bye_seen := true
+    | _ -> ());
+    let ok =
+      match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> false
+    in
+    match Option.bind (Json.member "id" j) Json.to_string_opt with
+    | None -> ()
+    | Some id -> (
+        match Hashtbl.find_opt pending id with
+        | None -> ()
+        | Some action -> (
+            Hashtbl.remove pending id;
+            if ok then
+              match action with
+              | `Check img ->
+                  (* a fresh check reseeds the session from the parsed
+                     dump — mirror exactly that image *)
+                  Hashtbl.replace shadow img.Image.image_id img
+              | `Watch (iid, wapp, cfg) -> (
+                  match Hashtbl.find_opt shadow iid with
+                  | None ->
+                      (* unverifiable: an id-corrupted mangled request
+                         reset this image at an unknown position *)
+                      ()
+                  | Some img ->
+                      let img' = Image.set_config img wapp cfg in
+                      Hashtbl.replace shadow iid img';
+                      incr watch_verified;
+                      let expect =
+                        Json.to_string
+                          (Json.Arr
+                             (List.map Report.warning_json
+                                (Engine.check reference img')))
+                      in
+                      let got =
+                        match Json.member "items" j with
+                        | Some items -> Json.to_string items
+                        | None -> ""
+                      in
+                      if got <> expect then begin
+                        incr watch_mismatch;
+                        note "watch %s: incremental verdict diverged from \
+                              full check" iid
+                      end)))
+  in
+  let offer line =
+    match Serve_server.offer server line with
+    | [] -> incr queued
+    | resps -> List.iter handle_response resps
+  in
+  let step () =
+    match Serve_server.step server with
+    | [] -> ()
+    | resps ->
+        stepped := !stepped + List.length resps;
+        List.iter handle_response resps
+  in
+  let req_id i = Printf.sprintf "r%06d" i in
+  let mk_check i k =
+    Hashtbl.replace pending (req_id i)
+      (`Check (Hashtbl.find originals arr.(k).Image.image_id));
+    Json.to_string
+      (Json.Obj
+         [
+           ("op", Json.Str "check");
+           ("id", Json.Str (req_id i));
+           ("image", Json.Str dumps.(k));
+         ])
+  in
+  let mk_watch i =
+    let ids = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) shadow []) in
+    match ids with
+    | [] -> None
+    | ids ->
+        let iid = List.nth ids (Prng.int rng (List.length ids)) in
+        let img = Hashtbl.find shadow iid in
+        (* a realistic drift: ConfErr-mutate the current config, ship
+           the new text as the delta *)
+        let campaign = Conferr.inject rng app img ~n:1 in
+        let cfg =
+          match Image.config_for campaign.Conferr.image app with
+          | Some c -> c.Image.text
+          | None -> ""
+        in
+        Hashtbl.replace pending (req_id i) (`Watch (iid, app, cfg));
+        Some
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("op", Json.Str "watch");
+                  ("id", Json.Str (req_id i));
+                  ("image", Json.Str iid);
+                  ("app", Json.Str (Image.app_to_string app));
+                  ("config", Json.Str cfg);
+                ]))
+  in
+  (* A mangled line is usually rejected, but a control-byte splice can
+     land inside a JSON string operand and still parse — and when the
+     payload also survives the server's integrity scan (e.g. the splice
+     only corrupted the correlation id), the daemon serves it.  Mirror
+     the server's semantics for whatever the damaged line actually says,
+     so the shadow tracks the session state exactly. *)
+  let scan_image_clean (img : Image.t) =
+    List.for_all
+      (fun (c : Image.config_file) ->
+        Res.scan_text ~subject:c.Image.path c.Image.text = [])
+      img.Image.configs
+  in
+  let register_mangled line =
+    match Serve_proto.parse line with
+    | Error _ -> ()
+    | Ok (Serve_proto.Check { id; source = Serve_proto.Inline text }) -> (
+        match (Collector.image_of_text text, id) with
+        | Ok img, Some id when scan_image_clean img ->
+            Hashtbl.replace pending id (`Check img)
+        | Ok img, None when scan_image_clean img ->
+            (* the splice ate the correlation id but left a servable
+               request: the session will reset at an unknowable queue
+               position, so stop verifying this image until a
+               correlated check re-seeds the shadow *)
+            Hashtbl.remove shadow img.Image.image_id
+        | (Ok _ | Error _), _ -> ())
+    | Ok (Serve_proto.Watch { id; image_id; app; config }) -> (
+        match (Image.app_of_string app, id) with
+        | Some wapp, Some id when Res.scan_text ~subject:image_id config = [] ->
+            Hashtbl.replace pending id (`Watch (image_id, wapp, config))
+        | Some _, None when Res.scan_text ~subject:image_id config = [] ->
+            Hashtbl.remove shadow image_id
+        | _ -> ())
+    | Ok _ -> ()
+  in
+  for i = 0 to requests - 1 do
+    let line =
+      if i = requests / 2 then
+        (* mid-storm reload: every session re-seeds under the fresh
+           engine on its next delta *)
+        Json.to_string
+          (Json.Obj [ ("op", Json.Str "reload"); ("id", Json.Str (req_id i)) ])
+      else if i mod 20 = 3 then begin
+        incr malformed;
+        let base = mk_check i (Prng.int rng npop) in
+        Hashtbl.remove pending (req_id i);
+        let mangled = Chaos.mangle_request ~rng base in
+        register_mangled mangled;
+        mangled
+      end
+      else if i mod 20 = 7 then begin
+        incr oversized;
+        String.make (sconfig.Serve_server.max_request_bytes + 1) 'x'
+      end
+      else if i mod 503 = 251 then begin
+        incr crashes;
+        Json.to_string
+          (Json.Obj [ ("op", Json.Str "crash"); ("id", Json.Str (req_id i)) ])
+      end
+      else if i mod 101 = 50 then
+        Json.to_string
+          (Json.Obj [ ("op", Json.Str "status"); ("id", Json.Str (req_id i)) ])
+      else if i mod 5 = 1 then
+        match mk_watch i with
+        | Some line -> line
+        | None -> mk_check i (Prng.int rng npop)
+      else mk_check i (Prng.int rng npop)
+    in
+    offer line;
+    (* pacing: hold processing back for a stretch every ~1k requests so
+       the burst piles onto the bounded queue and sheds; elsewhere
+       process faster than arrival *)
+    if i mod 997 >= 40 then begin
+      step ();
+      step ()
+    end
+  done;
+  offer
+    (Json.to_string
+       (Json.Obj [ ("op", Json.Str "shutdown"); ("id", Json.Str "bye") ]));
+  while Serve_server.pending server > 0 do
+    step ()
+  done;
+  (match Serve_server.state server with
+  | `Draining -> List.iter handle_response (Serve_server.drain_flush server)
+  | `Running -> note "shutdown request did not start the drain"
+  | `Stopped -> ());
+  if !malformed * 20 < requests then note "malformed mix below 5%%";
+  if !oversized * 20 < requests then note "oversized mix below 5%%";
+  Ok
+    {
+      serve_requests = requests;
+      serve_malformed = !malformed;
+      serve_oversized = !oversized;
+      serve_crash_ops = !crashes;
+      serve_queued = !queued;
+      serve_answered = !stepped;
+      serve_shed = Serve_server.shed_count server;
+      serve_restarts = Serve_server.restart_count server;
+      serve_ring_dropped = Serve_server.ring_dropped server;
+      serve_all_answered = !stepped = !queued;
+      serve_ring_bound_ok = !ring_max <= sconfig.Serve_server.ring_capacity;
+      serve_drained = !bye_seen && Serve_server.state server = `Stopped;
+      serve_watch_verified = !watch_verified;
+      serve_watch_identical = !watch_mismatch = 0;
+      serve_exit = Serve_server.exit_code server;
+      serve_notes = !notes;
+    }
+
+let serve_outcome_to_string o =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "serve storm: %d request(s) (%d malformed, %d oversized, %d crash \
+        op(s))\n"
+       o.serve_requests o.serve_malformed o.serve_oversized o.serve_crash_ops);
+  Buffer.add_string buf
+    (Printf.sprintf "queued %d, answered %d%s; shed %d; worker restarts %d\n"
+       o.serve_queued o.serve_answered
+       (if o.serve_all_answered then "" else " (UNANSWERED REQUESTS)")
+       o.serve_shed o.serve_restarts);
+  Buffer.add_string buf
+    (Printf.sprintf "alert ring: bound %s, %d dropped\n"
+       (if o.serve_ring_bound_ok then "held" else "EXCEEDED")
+       o.serve_ring_dropped);
+  Buffer.add_string buf
+    (Printf.sprintf "watch deltas: %d verified %s full checks\n"
+       o.serve_watch_verified
+       (if o.serve_watch_identical then "byte-identical to"
+        else "DIVERGED from"));
+  Buffer.add_string buf
+    (Printf.sprintf "drain: %s; exit code %d\n"
+       (if o.serve_drained then "clean" else "INCOMPLETE")
+       o.serve_exit);
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n))
+    o.serve_notes;
+  Buffer.contents buf
+
 let outcome_to_string o =
   let buf = Buffer.create 512 in
   Buffer.add_string buf

@@ -85,3 +85,51 @@ val durability :
     itself cannot learn. *)
 
 val durability_outcome_to_string : durability_outcome -> string
+
+(** {1 Serve storm}
+
+    The robustness drill for the resident daemon: replay a large
+    request storm — bursts that overflow the bounded queue, malformed
+    and oversized lines, crash-injection ops, a mid-storm reload —
+    against an {!Encore_serve.Server} driven directly through
+    [offer]/[step], and check the daemon's contract: it sheds load but
+    never crashes, answers every request it queued, keeps the alert
+    ring inside its bound, keeps incremental watch verdicts
+    byte-identical to full checks of the mutated image, and drains
+    cleanly on shutdown. *)
+
+type serve_outcome = {
+  serve_requests : int;   (** request lines replayed *)
+  serve_malformed : int;  (** mangled lines in the mix (>= 5%) *)
+  serve_oversized : int;  (** over-limit lines in the mix (>= 5%) *)
+  serve_crash_ops : int;  (** crash-injection ops in the mix *)
+  serve_queued : int;     (** lines the server accepted onto its queue *)
+  serve_answered : int;   (** responses produced for queued lines *)
+  serve_shed : int;       (** requests answered [overloaded] at the door *)
+  serve_restarts : int;   (** supervised worker crashes *)
+  serve_ring_dropped : int;
+  serve_all_answered : bool;  (** answered = queued (nothing lost) *)
+  serve_ring_bound_ok : bool;
+      (** the ring length never exceeded its capacity (sampled at every
+          status response) *)
+  serve_drained : bool;   (** bye emitted, daemon stopped *)
+  serve_watch_verified : int;
+      (** watch verdicts compared against an independent full check *)
+  serve_watch_identical : bool;  (** every comparison was byte-identical *)
+  serve_exit : int;       (** the daemon's exit code (0 or 3) *)
+  serve_notes : string list;  (** discrepancies (empty on success) *)
+}
+
+val serve_storm :
+  ?config:Config.t ->
+  ?requests:int ->
+  ?n:int ->
+  ?app:Encore_sysenv.Image.app ->
+  seed:int ->
+  unit ->
+  (serve_outcome, Encore_util.Resilience.diagnostic) result
+(** Replay [requests] lines (default 10000) against a daemon serving a
+    model learned from [n] (default 16) generated [app] images.
+    Deterministic in [seed]. *)
+
+val serve_outcome_to_string : serve_outcome -> string

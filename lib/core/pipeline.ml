@@ -576,21 +576,8 @@ let fleet_image_line r =
          ("warnings", Json.Int (List.length r.fi_warnings));
          ("detections", Json.Int r.fi_detections);
          ( "items",
-           Json.Arr
-             (List.map
-                (fun (w : Encore_detect.Warning.t) ->
-                  Json.Obj
-                    [
-                      ("kind", Json.Str (Encore_detect.Warning.kind_label w));
-                      ("score", Json.Float w.Encore_detect.Warning.score);
-                      ( "attrs",
-                        Json.Arr
-                          (List.map
-                             (fun a -> Json.Str a)
-                             w.Encore_detect.Warning.attrs) );
-                      ("message", Json.Str w.Encore_detect.Warning.message);
-                    ])
-                r.fi_warnings) );
+           Json.Arr (List.map Encore_detect.Report.warning_json r.fi_warnings)
+         );
        ])
 
 let check_fleet ?(config = Config.default) ?pool

@@ -73,10 +73,16 @@ type t = {
      no-op when the slot-A attribute is absent) beats selecting
      per-attribute buckets and re-sorting them *)
   rules : Template.rule array;
+  (* attribute -> indices into [rules] of every rule that names it in
+     either slot, ascending: the delta-scoped re-check (serve watch
+     mode) walks only these instead of the whole array *)
+  rules_by_attr : (string, int list) Hashtbl.t;
   columns : (string, column) Hashtbl.t;
 }
 
 let model t = t.source
+
+let assemble_row t img = t.assemble img
 
 let m_compiles = Ometrics.counter "detect.compiles"
 
@@ -96,6 +102,24 @@ let compile source =
          source.known_attrs)
   in
   let rules = Array.of_list source.rules in
+  let rules_by_attr = Hashtbl.create (2 * Array.length rules + 1) in
+  Array.iteri
+    (fun i (r : Template.rule) ->
+      let note attr =
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt rules_by_attr attr)
+        in
+        (* indices arrive ascending; avoid the duplicate when a rule
+           relates an attribute to itself *)
+        if prev = [] || List.hd prev <> i then
+          Hashtbl.replace rules_by_attr attr (i :: prev)
+      in
+      note r.Template.attr_a;
+      note r.Template.attr_b)
+    rules;
+  Hashtbl.iter
+    (fun attr idxs -> Hashtbl.replace rules_by_attr attr (List.rev idxs))
+    (Hashtbl.copy rules_by_attr);
   let columns = Hashtbl.create 256 in
   List.iter
     (fun (attr, (d : Tinfer.decision)) ->
@@ -148,6 +172,7 @@ let compile source =
     known;
     near_index;
     rules;
+    rules_by_attr;
     columns;
   }
 
@@ -180,128 +205,167 @@ let nearest_known t base =
     t.near_index;
   (!best_name, !best_d)
 
-let name_warnings t row =
-  List.filter_map
-    (fun attr ->
-      if Hashtbl.mem t.known attr || not (is_config_attr attr) then None
-      else
-        (* likely misspelling: close to some trained attribute *)
-        let base = Encore_confparse.Kv.key_basename attr in
-        let nearest_name, distance = nearest_known t base in
-        let score =
-          (* a 1-2 edit misspelling of a known entry is near-certain *)
-          if distance <= 2 then 0.9 -. (0.1 *. float_of_int distance)
-          else 0.3
-        in
-        let message =
-          match nearest_name with
-          | Some n when distance <= 2 ->
-              Printf.sprintf
-                "unknown entry '%s': possible misspelling of '%s'" attr n
-          | Some _ | None ->
-              Printf.sprintf "unknown entry '%s': never seen in training" attr
-        in
-        Some
-          {
-            Warning.kind =
-              Warning.Entry_name_violation { unseen = attr; nearest = nearest_name };
-            attrs = [ attr ];
-            message;
-            score;
-          })
-    (Row.attrs row)
+(* One attribute's name verdict: [None] when the attribute is known (or
+   not an original config entry), the misspelling/unknown warning
+   otherwise.  Depends only on the attribute string, so a cached verdict
+   stays valid until the attribute itself changes. *)
+let name_warning t attr =
+  if Hashtbl.mem t.known attr || not (is_config_attr attr) then None
+  else
+    (* likely misspelling: close to some trained attribute *)
+    let base = Encore_confparse.Kv.key_basename attr in
+    let nearest_name, distance = nearest_known t base in
+    let score =
+      (* a 1-2 edit misspelling of a known entry is near-certain *)
+      if distance <= 2 then 0.9 -. (0.1 *. float_of_int distance) else 0.3
+    in
+    let message =
+      match nearest_name with
+      | Some n when distance <= 2 ->
+          Printf.sprintf "unknown entry '%s': possible misspelling of '%s'"
+            attr n
+      | Some _ | None ->
+          Printf.sprintf "unknown entry '%s': never seen in training" attr
+    in
+    Some
+      {
+        Warning.kind =
+          Warning.Entry_name_violation { unseen = attr; nearest = nearest_name };
+        attrs = [ attr ];
+        message;
+        score;
+      }
+
+let name_warnings t row = List.filter_map (name_warning t) (Row.attrs row)
 
 (* --- check 2: correlation rules ------------------------------------------ *)
+
+let rule_count t = Array.length t.rules
+
+(* Ascending, duplicate-free indices of every rule that names one of the
+   attributes: the columns a config-change delta touches select exactly
+   the rules that must be re-evaluated. *)
+let rules_touching t attrs =
+  let hit = Hashtbl.create 16 in
+  List.iter
+    (fun attr ->
+      List.iter
+        (fun i -> Hashtbl.replace hit i ())
+        (Option.value ~default:[] (Hashtbl.find_opt t.rules_by_attr attr)))
+    attrs;
+  List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) hit [])
+
+(* One rule's verdict in a target context: [None] when the rule holds or
+   its slot attributes are absent there. *)
+let rule_warning t ctx i =
+  let rule = t.rules.(i) in
+  match Template.rule_holds rule ctx with
+  | Some false ->
+      Some
+        {
+          Warning.kind = Warning.Correlation_violation rule;
+          attrs = [ rule.Template.attr_a; rule.Template.attr_b ];
+          message =
+            Printf.sprintf "correlation violated: %s"
+              (Template.rule_to_string rule);
+          score = 0.5 +. (0.5 *. rule.Template.confidence);
+        }
+  | Some true | None -> None
 
 let rule_warnings t ctx =
   (* one pass in learned order: rule_holds yields None for rules whose
      slot attributes the image does not carry *)
   let rev = ref [] in
-  Array.iter
-    (fun (rule : Template.rule) ->
-      match Template.rule_holds rule ctx with
-      | Some false ->
-          rev :=
-            {
-              Warning.kind = Warning.Correlation_violation rule;
-              attrs = [ rule.Template.attr_a; rule.Template.attr_b ];
-              message =
-                Printf.sprintf "correlation violated: %s"
-                  (Template.rule_to_string rule);
-              score = 0.5 +. (0.5 *. rule.Template.confidence);
-            }
-            :: !rev
-      | Some true | None -> ())
-    t.rules;
+  for i = 0 to Array.length t.rules - 1 do
+    match rule_warning t ctx i with
+    | Some w -> rev := w :: !rev
+    | None -> ()
+  done;
   List.rev !rev
 
 (* --- checks 3 and 4: data types + suspicious values ----------------------- *)
 
-(* One fused walk over the row's pairs: a single [columns] probe per
-   pair serves both the type check and the value check.  The two
-   warning lists come back separately, each in pair order, so the
-   caller concatenates them exactly as the unfused checks did. *)
+(* One pair's column verdicts, accumulated onto the two reverse lists: a
+   single [columns] probe serves both the type check and the value
+   check.  Shared by the fused full-row walk below and the delta-scoped
+   [column_warnings_for]. *)
+let column_pair t ~types ~values img rev_types rev_values (attr, value) =
+  match Hashtbl.find_opt t.columns attr with
+  | None -> ()
+  | Some c ->
+      (* one membership probe serves the value check and, through
+         the cached verdict, the type check's syntactic matcher *)
+      let cached =
+        match c.col_values with
+        | Some vc -> Hashtbl.find_opt vc.vc_seen value
+        | None -> None
+      in
+      (if types then
+         match c.col_typed with
+         | Some tc when not (Ctype.equal tc.tc_type Ctype.String_t) ->
+             let syn_ok =
+               match cached with
+               | Some b -> b
+               | None -> tc.tc_syntactic value
+             in
+             if syn_ok && Semantic.verify img tc.tc_type value then ()
+             else
+               rev_types :=
+                 {
+                   Warning.kind =
+                     Warning.Type_violation
+                       { attr; expected = tc.tc_type; value };
+                   attrs = [ attr ];
+                   message =
+                     Printf.sprintf "type violation: %s='%s' fails %s check"
+                       attr value tc.tc_type_name;
+                   score = 0.4 +. (0.5 *. tc.tc_agreement);
+                 }
+                 :: !rev_types
+         | Some _ | None -> ());
+      if values then
+        match c.col_values with
+        | None -> ()
+        | Some vc ->
+            if cached <> None then ()
+            else
+              (* Inverse Change Frequency: unseen values of stable
+                 attributes are the most suspicious *)
+              let icf = 1.0 /. float_of_int (max 1 vc.vc_cardinality) in
+              rev_values :=
+                {
+                  Warning.kind =
+                    Warning.Suspicious_value
+                      { attr; value; training_cardinality = vc.vc_cardinality };
+                  attrs = [ attr ];
+                  message =
+                    Printf.sprintf
+                      "suspicious value: %s='%s' unseen in training (%d \
+                       distinct values seen)"
+                      attr value vc.vc_cardinality;
+                  score = 0.2 +. (0.6 *. icf);
+                }
+                :: !rev_values
+
+(* One fused walk over the row's pairs.  The two warning lists come back
+   separately, each in pair order, so the caller concatenates them
+   exactly as the unfused checks did. *)
 let column_warnings t ~types ~values row img =
   let rev_types = ref [] and rev_values = ref [] in
   List.iter
-    (fun (attr, value) ->
-      match Hashtbl.find_opt t.columns attr with
-      | None -> ()
-      | Some c ->
-          (* one membership probe serves the value check and, through
-             the cached verdict, the type check's syntactic matcher *)
-          let cached =
-            match c.col_values with
-            | Some vc -> Hashtbl.find_opt vc.vc_seen value
-            | None -> None
-          in
-          (if types then
-             match c.col_typed with
-             | Some tc when not (Ctype.equal tc.tc_type Ctype.String_t) ->
-                 let syn_ok =
-                   match cached with
-                   | Some b -> b
-                   | None -> tc.tc_syntactic value
-                 in
-                 if syn_ok && Semantic.verify img tc.tc_type value then ()
-                 else
-                   rev_types :=
-                     {
-                       Warning.kind =
-                         Warning.Type_violation
-                           { attr; expected = tc.tc_type; value };
-                       attrs = [ attr ];
-                       message =
-                         Printf.sprintf "type violation: %s='%s' fails %s check"
-                           attr value tc.tc_type_name;
-                       score = 0.4 +. (0.5 *. tc.tc_agreement);
-                     }
-                     :: !rev_types
-             | Some _ | None -> ());
-          if values then
-            match c.col_values with
-            | None -> ()
-            | Some vc ->
-                if cached <> None then ()
-                else
-                  (* Inverse Change Frequency: unseen values of stable
-                     attributes are the most suspicious *)
-                  let icf = 1.0 /. float_of_int (max 1 vc.vc_cardinality) in
-                  rev_values :=
-                    {
-                      Warning.kind =
-                        Warning.Suspicious_value
-                          { attr; value; training_cardinality = vc.vc_cardinality };
-                      attrs = [ attr ];
-                      message =
-                        Printf.sprintf
-                          "suspicious value: %s='%s' unseen in training (%d \
-                           distinct values seen)"
-                          attr value vc.vc_cardinality;
-                      score = 0.2 +. (0.6 *. icf);
-                    }
-                    :: !rev_values)
+    (column_pair t ~types ~values img rev_types rev_values)
     (Row.to_list row);
+  (List.rev !rev_types, List.rev !rev_values)
+
+(* Column verdicts for one attribute's instances, in instance order —
+   the delta path re-checks only the attributes a config change
+   touched. *)
+let column_warnings_for t img ~attr ~values:vs =
+  let rev_types = ref [] and rev_values = ref [] in
+  List.iter
+    (fun v -> column_pair t ~types:true ~values:true img rev_types rev_values
+        (attr, v))
+    vs;
   (List.rev !rev_types, List.rev !rev_values)
 
 (* --- the check entry point ------------------------------------------------ *)

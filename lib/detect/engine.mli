@@ -68,3 +68,47 @@ val check :
 (** Ranked warnings (best first) for a target image — the paper's four
     checks over the compiled indices.  Identical output to the
     historical interpreted [Detector.check]. *)
+
+(** {2 Delta-scoped checking}
+
+    The granular entry points below expose the per-attribute / per-rule
+    units {!check} is built from, so an incremental caller (the serve
+    watch path) can re-evaluate only the units a config-change delta
+    touches and splice the results into a cached verdict.  Each unit is
+    independent of every other: a unit's output depends only on the
+    engine, the image's environment, and the named attribute's (or
+    rule's slot attributes') row instances — so re-running the touched
+    units over the mutated image and keeping the rest cached is
+    warning-for-warning identical to a full {!check}. *)
+
+val assemble_row : t -> Encore_sysenv.Image.t -> Encore_dataset.Row.t
+(** The compiled target assembler: config entries plus augmented and
+    environment attributes, exactly the row {!check} builds
+    internally. *)
+
+val name_warning : t -> string -> Warning.t option
+(** One attribute's entry-name verdict.  [None] when the attribute is
+    known or not an original config entry. *)
+
+val rule_count : t -> int
+(** Number of compiled correlation rules; valid indices for
+    {!rule_warning} are [0 .. rule_count - 1], in learned order. *)
+
+val rules_touching : t -> string list -> int list
+(** Ascending, duplicate-free indices of every rule naming one of the
+    attributes in either slot — the rules a delta over those columns
+    can affect. *)
+
+val rule_warning : t -> Encore_rules.Relation.ctx -> int -> Warning.t option
+(** One rule's verdict in a target context.  [None] when the rule holds
+    or its slot attributes are absent. *)
+
+val column_warnings_for :
+  t ->
+  Encore_sysenv.Image.t ->
+  attr:string ->
+  values:string list ->
+  Warning.t list * Warning.t list
+(** Type and suspicious-value verdicts for one attribute's row
+    instances, in instance order — [(type_warnings, value_warnings)],
+    the same pairs the fused full-row walk emits for that attribute. *)

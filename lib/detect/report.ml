@@ -1,3 +1,17 @@
+module Json = Encore_obs.Jsonenc
+
+(* The one JSON shape for a warning on the wire: fleet streaming and the
+   serve daemon must render identically so downstream consumers parse
+   one schema. *)
+let warning_json (w : Warning.t) =
+  Json.Obj
+    [
+      ("kind", Json.Str (Warning.kind_label w));
+      ("score", Json.Float w.Warning.score);
+      ("attrs", Json.Arr (List.map (fun a -> Json.Str a) w.Warning.attrs));
+      ("message", Json.Str w.Warning.message);
+    ]
+
 let to_string warnings =
   let buf = Buffer.create 512 in
   List.iteri

@@ -3,6 +3,11 @@
 val to_string : Warning.t list -> string
 (** Numbered, ranked listing. *)
 
+val warning_json : Warning.t -> Encore_obs.Jsonenc.t
+(** Canonical wire shape of one warning
+    ([{kind, score, attrs, message}]) — shared by fleet streaming
+    output and the serve daemon so both speak one schema. *)
+
 val merge_by_attr : Warning.t list -> Warning.t list
 (** Collapse warnings sharing a primary (base) attribute into the
     highest-scored one, preserving rank order.  An environment problem

@@ -61,6 +61,25 @@ let corrupt_one rng kind (img : Image.t) =
                 after = Printf.sprintf "%d control bytes at offset %d"
                     (String.length garbage) pos } ))
 
+(* --- request mangling (serve storm) --------------------------------------- *)
+
+let mangle_request ~rng line =
+  let len = String.length line in
+  match Prng.int rng 4 with
+  | 0 ->
+      (* torn mid-write: a strict prefix, never the whole line *)
+      if len < 2 then "{" else String.sub line 0 (Prng.int_in rng 1 (len - 1))
+  | 1 ->
+      (* control-byte splice inside the payload *)
+      let pos = Prng.int rng (max 1 len) in
+      String.sub line 0 pos ^ garbage ^ String.sub line pos (len - pos)
+  | 2 ->
+      (* structurally broken JSON *)
+      "{\"op\":\"check\",\"image\":"
+  | _ ->
+      (* parses, but the op is not in the protocol *)
+      "{\"op\":\"zorch\"}"
+
 (* --- on-disk snapshot corruption ----------------------------------------- *)
 
 let read_raw path =

@@ -36,6 +36,14 @@ val corrupt_one :
     Returns [None] when the fault cannot apply (image carries no config
     files, or the chosen file is too short to truncate). *)
 
+val mangle_request : rng:Encore_util.Prng.t -> string -> string
+(** Damage one JSONL request line for the serve storm: a torn prefix,
+    a control-byte splice, structurally broken JSON, or an unknown op.
+    The result is rejected at request parse time or, when the splice
+    lands inside a string operand, fails the payload decode — either
+    way a resilient daemon must answer a typed error, never die.
+    Deterministic in [rng]. *)
+
 val truncate_file : rng:Encore_util.Prng.t -> string -> unit
 (** Simulate a torn write: rewrite the file at [path] as a strict
     prefix of itself (possibly empty), cut at a PRNG-chosen offset.

@@ -7,6 +7,7 @@ type t = {
   span_count : int;
   event_count : int;
   bad_lines : int;
+  truncated : bool;
   stages : stage list;
   coverage_pct : float;
   slowest : (string * int * int) list;  (* name, dur_ns, depth *)
@@ -25,7 +26,8 @@ let sorted_counts table =
 let pct_of ~wall ns =
   if wall <= 0 then 0.0 else 100.0 *. float_of_int ns /. float_of_int wall
 
-let of_records ?(top = 10) ~event_kinds ~diag_kinds ~bad_lines ~event_count spans =
+let of_records ?(top = 10) ?(truncated = false) ~event_kinds ~diag_kinds
+    ~bad_lines ~event_count spans =
   let root_depth =
     List.fold_left (fun acc s -> min acc s.fdepth) max_int spans
   in
@@ -75,6 +77,7 @@ let of_records ?(top = 10) ~event_kinds ~diag_kinds ~bad_lines ~event_count span
     span_count = List.length spans;
     event_count;
     bad_lines;
+    truncated;
     stages;
     coverage_pct;
     slowest;
@@ -82,7 +85,7 @@ let of_records ?(top = 10) ~event_kinds ~diag_kinds ~bad_lines ~event_count span
     diag_kinds;
   }
 
-let of_lines ?top lines =
+let of_lines ?top ?truncated lines =
   let spans = ref [] in
   let event_kinds = Hashtbl.create 16 in
   let diag_kinds = Hashtbl.create 16 in
@@ -113,25 +116,39 @@ let of_lines ?top lines =
                      | None -> incr bad)
                  | _ -> ())))
     lines;
-  of_records ?top
+  of_records ?top ?truncated
     ~event_kinds:(sorted_counts event_kinds)
     ~diag_kinds:(sorted_counts diag_kinds)
     ~bad_lines:!bad ~event_count:!events (List.rev !spans)
 
+(* A writer killed mid-record (daemon crash, SIGKILL during flush)
+   leaves a final line with no terminating newline.  That torn tail is
+   not a malformed record — it is an incomplete one — so it is dropped
+   rather than counted against [bad_lines], and the summary carries a
+   [truncated] note instead. *)
+let split_torn content =
+  let n = String.length content in
+  let truncated = n > 0 && content.[n - 1] <> '\n' in
+  let lines = String.split_on_char '\n' content in
+  let lines =
+    if truncated then
+      (* every element but the last is newline-terminated in the file *)
+      List.filteri (fun i _ -> i < List.length lines - 1) lines
+    else lines
+  in
+  (lines, truncated)
+
 let of_file ?top path =
-  match open_in path with
+  match open_in_bin path with
   | exception Sys_error msg -> Error msg
   | ic ->
-      let lines = ref [] in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          try
-            while true do
-              lines := input_line ic :: !lines
-            done
-          with End_of_file -> ());
-      Ok (of_lines ?top (List.rev !lines))
+      let content =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let lines, truncated = split_torn content in
+      Ok (of_lines ?top ~truncated lines)
 
 let of_spans ?top roots =
   let spans = ref [] in
@@ -155,9 +172,12 @@ let to_string t =
   Buffer.add_string buf
     (Printf.sprintf "trace: %d span(s), %d event(s), wall %.3f ms%s\n"
        t.span_count t.event_count (ms t.wall_ns)
-       (if t.bad_lines > 0 then
-          Printf.sprintf " (%d unparseable line(s))" t.bad_lines
-        else ""));
+       ((if t.bad_lines > 0 then
+           Printf.sprintf " (%d unparseable line(s))" t.bad_lines
+         else "")
+       ^
+       if t.truncated then " (truncated: true — torn final line skipped)"
+       else ""));
   if t.stages <> [] then begin
     Buffer.add_string buf "stage breakdown (% of wall time):\n";
     List.iter

@@ -18,6 +18,9 @@ type t = {
   span_count : int;
   event_count : int;
   bad_lines : int;       (** unparseable or incomplete JSONL lines *)
+  truncated : bool;
+      (** the source file ended mid-line (writer killed mid-record);
+          the torn final line was skipped, not counted in [bad_lines] *)
   stages : stage list;   (** descending by total time *)
   coverage_pct : float;
   slowest : (string * int * int) list;  (** (name, dur_ns, depth), top-k *)
@@ -25,10 +28,14 @@ type t = {
   diag_kinds : (string * int) list;     (** [diag] events by [diag_kind] *)
 }
 
-val of_lines : ?top:int -> string list -> t
-(** [top] bounds the slowest-span list (default 10). *)
+val of_lines : ?top:int -> ?truncated:bool -> string list -> t
+(** [top] bounds the slowest-span list (default 10); [truncated]
+    (default false) marks the summary as built from a torn log. *)
 
 val of_file : ?top:int -> string -> (t, string) result
+(** Tolerates a file ending mid-line: the torn final line is dropped
+    and the summary's [truncated] flag set, so a log from a daemon
+    killed mid-write still summarizes. *)
 
 val of_spans : ?top:int -> Trace.span list -> t
 (** Summarize {!Trace.roots} collected by the memory sink. *)

@@ -1,0 +1,51 @@
+(** Per-app compiled-engine cache keyed by model fingerprint.
+
+    The daemon compiles each model once ({!Encore_detect.Engine.compile}
+    is O(model size)) and serves every request from the compiled form.
+    The cache maps an application name to its engine plus the MD5
+    fingerprint of the model's serialized payload; [reload] drops every
+    entry, bumps the {!generation} counter (watch sessions pinned to an
+    old fingerprint detect staleness through it) and eagerly re-reads
+    the provider so a broken model surfaces on the reload response.
+
+    Telemetry: [serve.cache_compiles], [serve.cache_hits],
+    [serve.cache_invalidations]. *)
+
+type t
+
+type provider =
+  app:string -> (Encore_detect.Engine.model, string) result
+(** Fetch the current model for an application — from a file, a
+    {!Encore_detect.Model_io.Store}, or a just-learned model.  Called
+    lazily on first use per app and eagerly on {!reload}. *)
+
+val create : provider:provider -> t
+
+val engine_for :
+  t ->
+  app:string ->
+  ( Encore_detect.Engine.t * string,
+    Encore_util.Resilience.diagnostic )
+  result
+(** The compiled engine and model fingerprint for [app]; compiles and
+    caches on miss.  Provider failure is a [Probe_failure]
+    diagnostic. *)
+
+val fingerprint : t -> app:string -> string option
+(** Fingerprint of the cached entry, if one exists (no compile). *)
+
+val generation : t -> int
+(** Incremented by every {!reload}: cheap staleness check for state
+    derived from a cached engine. *)
+
+val reload :
+  t -> (bool, Encore_util.Resilience.diagnostic) result
+(** Invalidate everything and re-read the provider for every app that
+    was cached.  [Ok changed] — [changed] is true when any fingerprint
+    differs from before. *)
+
+val cached_apps : t -> string list
+(** Sorted names of the apps currently cached. *)
+
+val fingerprint_of : Encore_detect.Engine.model -> string
+(** MD5 hex digest of the model's serialized payload. *)

@@ -1,0 +1,125 @@
+module Json = Encore_obs.Jsonenc
+module Res = Encore_util.Resilience
+
+(* --- requests ------------------------------------------------------------- *)
+
+type check_source = Inline of string | Path of string
+
+type request =
+  | Check of { id : string option; source : check_source }
+  | Watch of {
+      id : string option;
+      image_id : string;
+      app : string;
+      config : string;
+    }
+  | Reload of { id : string option }
+  | Status of { id : string option }
+  | Shutdown of { id : string option }
+  | Crash of { id : string option }
+
+let request_op = function
+  | Check _ -> "check"
+  | Watch _ -> "watch"
+  | Reload _ -> "reload"
+  | Status _ -> "status"
+  | Shutdown _ -> "shutdown"
+  | Crash _ -> "crash"
+
+let request_id = function
+  | Check { id; _ }
+  | Watch { id; _ }
+  | Reload { id }
+  | Status { id }
+  | Shutdown { id }
+  | Crash { id } ->
+      id
+
+let ops = [ "check"; "watch"; "reload"; "status"; "shutdown"; "crash" ]
+
+let subject = "serve"
+
+let bad detail = Error (Res.diag Res.Parse_error ~subject detail)
+
+let parse line =
+  match Json.of_string line with
+  | Error msg -> bad (Printf.sprintf "malformed request: %s" msg)
+  | Ok json -> (
+      let str key = Option.bind (Json.member key json) Json.to_string_opt in
+      let id = str "id" in
+      match str "op" with
+      | None -> bad "malformed request: missing 'op' field"
+      | Some "check" -> (
+          match (str "image", str "path") with
+          | Some text, None -> Ok (Check { id; source = Inline text })
+          | None, Some path -> Ok (Check { id; source = Path path })
+          | Some _, Some _ -> bad "check: give 'image' or 'path', not both"
+          | None, None -> bad "check: missing 'image' (inline dump) or 'path'")
+      | Some "watch" -> (
+          match (str "image", str "app", str "config") with
+          | Some image_id, Some app, Some config ->
+              Ok (Watch { id; image_id; app; config })
+          | _ -> bad "watch: needs 'image' (id), 'app' and 'config' fields")
+      | Some "reload" -> Ok (Reload { id })
+      | Some "status" -> Ok (Status { id })
+      | Some "shutdown" -> Ok (Shutdown { id })
+      | Some "crash" -> Ok (Crash { id })
+      | Some op ->
+          bad
+            (Printf.sprintf "unknown op '%s' (expected one of: %s)" op
+               (String.concat ", " ops)))
+
+(* --- responses ------------------------------------------------------------ *)
+
+(* Every response is one JSON object per line.  [id] echoes the
+   request's correlation id when it carried one; [ok] separates
+   verdicts from errors so a consumer can route on one boolean. *)
+
+let with_id id fields =
+  match id with Some i -> ("id", Json.Str i) :: fields | None -> fields
+
+let ok_response ?id ~op fields =
+  Json.Obj
+    (("ok", Json.Bool true) :: with_id id (("op", Json.Str op) :: fields))
+
+let error_response ?id ?op ?(overloaded = false) (d : Res.diagnostic) =
+  let op_field = match op with Some o -> [ ("op", Json.Str o) ] | None -> [] in
+  Json.Obj
+    (("ok", Json.Bool false)
+    :: with_id id
+         (op_field
+         @ [
+             ("error", Json.Str (Res.kind_to_string d.Res.kind));
+             ("detail", Json.Str d.Res.detail);
+           ]
+         @ if overloaded then [ ("overloaded", Json.Bool true) ] else []))
+
+let verdict_response ?id ~op ~image ~partial ~detections ?delta warnings =
+  let delta_fields =
+    match delta with
+    | None -> []
+    | Some (mode, changed_attrs, rules_rechecked) ->
+        [
+          ("mode", Json.Str mode);
+          ("changed_attrs", Json.Int changed_attrs);
+          ("rules_rechecked", Json.Int rules_rechecked);
+        ]
+  in
+  ok_response ?id ~op
+    ([
+       ("image", Json.Str image);
+       ("warnings", Json.Int (List.length warnings));
+       ("detections", Json.Int detections);
+       ("partial", Json.Bool partial);
+     ]
+    @ delta_fields
+    @ [
+        ( "items",
+          Json.Arr (List.map Encore_detect.Report.warning_json warnings) );
+      ])
+
+let alert_json ~image (w : Encore_detect.Warning.t) =
+  match Encore_detect.Report.warning_json w with
+  | Json.Obj fields ->
+      Json.Obj (("ev", Json.Str "alert") :: ("image", Json.Str image) :: fields)
+  | other -> other

@@ -1,0 +1,78 @@
+(** The serve daemon's wire protocol: JSONL request/response.
+
+    One JSON object per line in both directions.  Requests carry an
+    [op] field and an optional correlation [id] (echoed back);
+    responses carry [ok] plus either a verdict or a typed error whose
+    [error] field is an {!Encore_util.Resilience.error_kind} string.
+
+    Request shapes:
+    - [{"op":"check","image":<dump>}] or [{"op":"check","path":<file>}]
+      — check one collector image dump, inline or on disk;
+    - [{"op":"watch","image":<id>,"app":<app>,"config":<text>}] —
+      replace one app's config text on a previously checked image and
+      re-check incrementally;
+    - [{"op":"reload"}] — re-read the model from the provider and
+      invalidate stale engines;
+    - [{"op":"status"}] — counters, ring and breaker state;
+    - [{"op":"shutdown"}] — drain the queue, flush the alert ring, exit;
+    - [{"op":"crash"}] — fault injection: the worker raises mid-request
+      (chaos drills exercise the supervisor with it). *)
+
+type check_source = Inline of string | Path of string
+
+type request =
+  | Check of { id : string option; source : check_source }
+  | Watch of {
+      id : string option;
+      image_id : string;
+      app : string;
+      config : string;
+    }
+  | Reload of { id : string option }
+  | Status of { id : string option }
+  | Shutdown of { id : string option }
+  | Crash of { id : string option }
+
+val request_op : request -> string
+val request_id : request -> string option
+
+val ops : string list
+(** Every accepted [op] value, for help/error text. *)
+
+val parse : string -> (request, Encore_util.Resilience.diagnostic) result
+(** Parse one request line.  Never raises: malformed JSON, a missing
+    or unknown [op], and missing operands all yield a [Parse_error]
+    diagnostic (the server answers with {!error_response}). *)
+
+val ok_response :
+  ?id:string -> op:string -> (string * Encore_obs.Jsonenc.t) list ->
+  Encore_obs.Jsonenc.t
+(** [{"ok":true,"id":..,"op":..,<fields>}]. *)
+
+val error_response :
+  ?id:string ->
+  ?op:string ->
+  ?overloaded:bool ->
+  Encore_util.Resilience.diagnostic ->
+  Encore_obs.Jsonenc.t
+(** [{"ok":false,...,"error":<kind>,"detail":..}]; [overloaded:true]
+    marks a load-shed rejection. *)
+
+val verdict_response :
+  ?id:string ->
+  op:string ->
+  image:string ->
+  partial:bool ->
+  detections:int ->
+  ?delta:string * int * int ->
+  Encore_detect.Warning.t list ->
+  Encore_obs.Jsonenc.t
+(** A check/watch verdict: warning count, detection count, ranked
+    [items] (each rendered by {!Encore_detect.Report.warning_json}),
+    [partial:true] when a deadline cut the check short.  [delta] is
+    [(mode, changed_attrs, rules_rechecked)] for watch responses. *)
+
+val alert_json :
+  image:string -> Encore_detect.Warning.t -> Encore_obs.Jsonenc.t
+(** One ring entry: the warning's wire shape plus [ev:"alert"] and the
+    image id — the line format of the shutdown flush. *)

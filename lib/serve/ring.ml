@@ -1,0 +1,44 @@
+type 'a t = {
+  cap : int;
+  buf : 'a option array;
+  mutable start : int;  (* index of the oldest element *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  let cap = max 1 capacity in
+  { cap; buf = Array.make cap None; start = 0; len = 0; dropped = 0 }
+
+let capacity t = t.cap
+
+let length t = t.len
+
+let dropped t = t.dropped
+
+let push t x =
+  if t.len < t.cap then begin
+    t.buf.((t.start + t.len) mod t.cap) <- Some x;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* full: the slot at [start] holds the oldest element; overwrite it
+       and advance — the bound is the invariant, the oldest alert the
+       casualty *)
+    t.buf.(t.start) <- Some x;
+    t.start <- (t.start + 1) mod t.cap;
+    t.dropped <- t.dropped + 1
+  end
+
+let to_list t =
+  List.init t.len (fun i ->
+      match t.buf.((t.start + i) mod t.cap) with
+      | Some x -> x
+      | None -> assert false (* slots below [len] are always filled *))
+
+let drain t =
+  let xs = to_list t in
+  Array.fill t.buf 0 t.cap None;
+  t.start <- 0;
+  t.len <- 0;
+  xs

@@ -1,0 +1,30 @@
+(** Bounded drop-oldest ring buffer: the daemon's alert store.
+
+    The serve loop appends every detection here instead of an unbounded
+    list, so a long-running daemon under alert storm holds at most
+    [capacity] alerts — newest win, and the number of casualties is
+    carried in {!dropped} (exported as the [serve.ring_dropped]
+    metric by the server). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently held; never exceeds [capacity]. *)
+
+val dropped : 'a t -> int
+(** Total elements evicted (oldest-first) since creation.  {!drain}
+    does not reset it: the count is a lifetime loss metric. *)
+
+val push : 'a t -> 'a -> unit
+(** Append; evicts the oldest element when full. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first, non-destructive. *)
+
+val drain : 'a t -> 'a list
+(** Oldest first; empties the ring (the shutdown flush). *)

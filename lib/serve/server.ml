@@ -1,0 +1,518 @@
+module Json = Encore_obs.Jsonenc
+module Res = Encore_util.Resilience
+module Deadline = Encore_util.Deadline
+module Ometrics = Encore_obs.Metrics
+module Otrace = Encore_obs.Trace
+module Image = Encore_sysenv.Image
+module Collector = Encore_sysenv.Collector
+module Engine = Encore_detect.Engine
+module Warning = Encore_detect.Warning
+
+exception Injected_crash
+
+type config = {
+  queue_capacity : int;
+  max_request_bytes : int;
+  deadline_polls : int option;
+  deadline_s : float option;
+  ring_capacity : int;
+  alert_score : float;
+  max_sessions : int;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+}
+
+let default_config =
+  {
+    queue_capacity = 64;
+    max_request_bytes = 1 lsl 20;
+    deadline_polls = None;
+    deadline_s = None;
+    ring_capacity = 256;
+    alert_score = 0.7;
+    max_sessions = 128;
+    breaker_threshold = 3;
+    breaker_cooldown = 4;
+  }
+
+type state = Running | Draining | Stopped
+
+type t = {
+  config : config;
+  cache : Cache.t;
+  queue : string Queue.t;
+  ring : Json.t Ring.t;
+  sessions : (string, Watch.session * int) Hashtbl.t;
+      (* image id -> (session, cache generation the session was built
+         under); a generation mismatch means a reload happened and the
+         session's cached verdicts belong to a stale model *)
+  mutable session_order : string list;  (* insertion order, oldest first *)
+  breaker : Res.breaker;
+  mutable state : state;
+  mutable requests : int;
+  mutable answered : int;
+  mutable shed : int;
+  mutable errors : int;
+  mutable restarts : int;
+  mutable denied : int;
+  mutable reloads : int;
+}
+
+let worker_subject = "serve.worker"
+
+let m_requests = Ometrics.counter "serve.requests"
+let m_shed = Ometrics.counter "serve.shed"
+let m_errors = Ometrics.counter "serve.errors"
+let m_restarts = Ometrics.counter "serve.restarts"
+let m_denied = Ometrics.counter "serve.breaker_denied"
+let m_ring_dropped = Ometrics.counter "serve.ring_dropped"
+let m_partial = Ometrics.counter "serve.partial"
+let m_watch_delta = Ometrics.counter "serve.watch_delta"
+let m_watch_full = Ometrics.counter "serve.watch_full"
+let m_reloads = Ometrics.counter "serve.reloads"
+let m_queue_depth = Ometrics.gauge "serve.queue_depth"
+let h_request_us = Ometrics.histogram "serve.request_us"
+
+let create ?(config = default_config) cache =
+  {
+    config;
+    cache;
+    queue = Queue.create ();
+    ring = Ring.create ~capacity:config.ring_capacity;
+    sessions = Hashtbl.create 64;
+    session_order = [];
+    breaker =
+      Res.breaker ~threshold:config.breaker_threshold
+        ~cooldown:config.breaker_cooldown ();
+    state = Running;
+    requests = 0;
+    answered = 0;
+    shed = 0;
+    errors = 0;
+    restarts = 0;
+    denied = 0;
+    reloads = 0;
+  }
+
+let pending t = Queue.length t.queue
+
+let state t = match t.state with
+  | Running -> `Running
+  | Draining -> `Draining
+  | Stopped -> `Stopped
+
+let request_shutdown t = if t.state = Running then t.state <- Draining
+
+let shed_count t = t.shed
+let restart_count t = t.restarts
+let ring_dropped t = Ring.dropped t.ring
+
+(* Degraded when robustness machinery had to engage: load was shed,
+   the worker crashed, or alerts fell off the ring.  Answered typed
+   errors (malformed requests) are normal service, not degradation. *)
+let exit_code t =
+  if t.shed > 0 || t.restarts > 0 || Ring.dropped t.ring > 0 then 3 else 0
+
+let subject = "serve"
+
+let make_deadline c =
+  match (c.deadline_polls, c.deadline_s) with
+  | Some n, _ -> Deadline.after_polls n
+  | None, Some s -> Deadline.of_budget_s s
+  | None, None -> Deadline.none
+
+(* --- sessions ------------------------------------------------------------- *)
+
+let drop_session t id =
+  if Hashtbl.mem t.sessions id then begin
+    Hashtbl.remove t.sessions id;
+    t.session_order <- List.filter (fun i -> i <> id) t.session_order
+  end
+
+let put_session t id sess =
+  let fresh = not (Hashtbl.mem t.sessions id) in
+  Hashtbl.replace t.sessions id (sess, Cache.generation t.cache);
+  if fresh then t.session_order <- t.session_order @ [ id ];
+  if List.length t.session_order > t.config.max_sessions then
+    match t.session_order with
+    | oldest :: rest ->
+        Hashtbl.remove t.sessions oldest;
+        t.session_order <- rest
+    | [] -> ()
+
+(* --- the worker ----------------------------------------------------------- *)
+
+let app_key (img : Image.t) =
+  match img.Image.configs with
+  | { Image.app; _ } :: _ -> Image.app_to_string app
+  | [] -> "default"
+
+let push_alerts t ~image warnings =
+  let before = Ring.dropped t.ring in
+  List.iter
+    (fun (w : Warning.t) ->
+      if w.Warning.score >= t.config.alert_score then
+        Ring.push t.ring (Proto.alert_json ~image w))
+    warnings;
+  Ometrics.incr ~by:(Ring.dropped t.ring - before) m_ring_dropped
+
+let detections t warnings =
+  List.length
+    (List.filter
+       (fun (w : Warning.t) -> w.Warning.score >= t.config.alert_score)
+       warnings)
+
+let read_dump t path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Res.diag Res.Probe_failure ~subject msg)
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let n = in_channel_length ic in
+            if n > t.config.max_request_bytes then Error n
+            else Ok (really_input_string ic n))
+      with
+      | Ok text -> Ok text
+      | Error n ->
+          Error
+            (Res.diag Res.Overflow ~subject
+               (Printf.sprintf "dump %s is %d bytes (limit %d)" path n
+                  t.config.max_request_bytes))
+      | exception Sys_error msg ->
+          Error (Res.diag Res.Probe_failure ~subject msg))
+
+let verdict_to_response t ?id ~op ~image ?delta verdict =
+  let warnings = Watch.warnings_of verdict in
+  let partial = match verdict with Watch.Partial _ -> true | _ -> false in
+  if partial then Ometrics.incr m_partial;
+  push_alerts t ~image warnings;
+  Proto.verdict_response ?id ~op ~image ~partial
+    ~detections:(detections t warnings) ?delta warnings
+
+let do_check t ?id source =
+  let text =
+    match source with
+    | Proto.Inline text -> Ok text
+    | Proto.Path path -> read_dump t path
+  in
+  match text with
+  | Error d -> Proto.error_response ?id ~op:"check" d
+  | Ok text -> (
+      match Collector.image_of_text text with
+      | Error msg ->
+          Proto.error_response ?id ~op:"check"
+            (Res.diag Res.Parse_error ~subject ("bad image dump: " ^ msg))
+      | Ok img -> (
+          (* integrity gate: a dump whose config payload carries control
+             bytes or a torn final line was damaged in transit — answer
+             a typed error rather than checking garbage *)
+          match
+            List.concat_map
+              (fun (c : Image.config_file) ->
+                Res.scan_text ~subject:c.Image.path c.Image.text)
+              img.Image.configs
+          with
+          | d :: _ -> Proto.error_response ?id ~op:"check" d
+          | [] -> (
+          match Cache.engine_for t.cache ~app:(app_key img) with
+          | Error d -> Proto.error_response ?id ~op:"check" d
+          | Ok (eng, fingerprint) ->
+              let deadline = make_deadline t.config in
+              let session, verdict =
+                Watch.start ~deadline eng ~fingerprint img
+              in
+              (match session with
+              | Some s -> put_session t img.Image.image_id s
+              | None -> ());
+              verdict_to_response t ?id ~op:"check"
+                ~image:img.Image.image_id verdict)))
+
+let do_watch t ?id ~image_id ~app ~config_text () =
+  match Image.app_of_string app with
+  | None ->
+      Proto.error_response ?id ~op:"watch"
+        (Res.diag Res.Parse_error ~subject
+           (Printf.sprintf "unknown app '%s'" app))
+  | Some _ when Res.scan_text ~subject:image_id config_text <> [] ->
+      (* same integrity gate as check: a corrupted delta must not
+         replace a session's config *)
+      Proto.error_response ?id ~op:"watch"
+        (List.hd (Res.scan_text ~subject:image_id config_text))
+  | Some app -> (
+      match Hashtbl.find_opt t.sessions image_id with
+      | None ->
+          Proto.error_response ?id ~op:"watch"
+            (Res.diag Res.Parse_error ~subject
+               (Printf.sprintf
+                  "unknown image '%s': check it before watching" image_id))
+      | Some (sess, gen) -> (
+          let img = Watch.image sess in
+          match Cache.engine_for t.cache ~app:(app_key img) with
+          | Error d -> Proto.error_response ?id ~op:"watch" d
+          | Ok (eng, fingerprint) ->
+              let deadline = make_deadline t.config in
+              let stale =
+                gen <> Cache.generation t.cache
+                || Watch.fingerprint sess <> fingerprint
+              in
+              if stale then begin
+                (* the cached verdicts describe an old model: apply the
+                   delta to the session's image and re-seed with a full
+                   check under the fresh engine *)
+                match Image.config_for img app with
+                | None ->
+                    drop_session t image_id;
+                    Proto.error_response ?id ~op:"watch"
+                      (Res.diag Res.Parse_error ~subject
+                         (Printf.sprintf "image '%s' carries no %s config"
+                            image_id (Image.app_to_string app)))
+                | Some _ ->
+                    Ometrics.incr m_watch_full;
+                    let img' = Image.set_config img app config_text in
+                    let session, verdict =
+                      Watch.start ~deadline eng ~fingerprint img'
+                    in
+                    (match session with
+                    | Some s -> put_session t image_id s
+                    | None -> drop_session t image_id);
+                    verdict_to_response t ?id ~op:"watch" ~image:image_id
+                      ~delta:("full", 0, Engine.rule_count eng)
+                      verdict
+              end
+              else
+                match
+                  Watch.update ~deadline sess eng ~app ~config:config_text
+                with
+                | Error msg ->
+                    Proto.error_response ?id ~op:"watch"
+                      (Res.diag Res.Parse_error ~subject msg)
+                | Ok (verdict, stats) ->
+                    Ometrics.incr m_watch_delta;
+                    (match verdict with
+                    | Watch.Partial _ ->
+                        (* uncommitted update: the session no longer
+                           matches the delivered config *)
+                        drop_session t image_id
+                    | Watch.Complete _ -> ());
+                    verdict_to_response t ?id ~op:"watch" ~image:image_id
+                      ~delta:
+                        ( "delta",
+                          stats.Watch.changed_attrs,
+                          stats.Watch.rules_rechecked )
+                      verdict))
+
+let do_reload t ?id () =
+  match Cache.reload t.cache with
+  | Error d -> Proto.error_response ?id ~op:"reload" d
+  | Ok changed ->
+      t.reloads <- t.reloads + 1;
+      Ometrics.incr m_reloads;
+      Proto.ok_response ?id ~op:"reload"
+        [
+          ("changed", Json.Bool changed);
+          ("generation", Json.Int (Cache.generation t.cache));
+          ( "apps",
+            Json.Arr
+              (List.map (fun a -> Json.Str a) (Cache.cached_apps t.cache)) );
+        ]
+
+let do_status t ?id () =
+  Proto.ok_response ?id ~op:"status"
+    [
+      ("requests", Json.Int t.requests);
+      ("answered", Json.Int t.answered);
+      ("pending", Json.Int (Queue.length t.queue));
+      ("shed", Json.Int t.shed);
+      ("errors", Json.Int t.errors);
+      ("restarts", Json.Int t.restarts);
+      ("denied", Json.Int t.denied);
+      ("reloads", Json.Int t.reloads);
+      ("sessions", Json.Int (Hashtbl.length t.sessions));
+      ("generation", Json.Int (Cache.generation t.cache));
+      ( "breaker",
+        Json.Str
+          (Res.breaker_state_to_string
+             (Res.state t.breaker ~subject:worker_subject)) );
+      ( "ring",
+        Json.Obj
+          [
+            ("length", Json.Int (Ring.length t.ring));
+            ("capacity", Json.Int (Ring.capacity t.ring));
+            ("dropped", Json.Int (Ring.dropped t.ring));
+          ] );
+      ("draining", Json.Bool (t.state <> Running));
+    ]
+
+(* Dispatch one parsed request.  Check/watch/crash go through the
+   supervised worker; control ops (status, reload, shutdown) bypass the
+   breaker so the daemon stays steerable while the worker is
+   quarantined. *)
+let dispatch t req =
+  let id = Proto.request_id req in
+  match req with
+  | Proto.Status { id } -> do_status t ?id ()
+  | Proto.Reload { id } -> do_reload t ?id ()
+  | Proto.Shutdown { id } ->
+      request_shutdown t;
+      Proto.ok_response ?id ~op:"shutdown" [ ("draining", Json.Bool true) ]
+  | Proto.Check _ | Proto.Watch _ | Proto.Crash _ ->
+      let op = Proto.request_op req in
+      if not (Res.allow t.breaker ~subject:worker_subject) then begin
+        t.denied <- t.denied + 1;
+        Ometrics.incr m_denied;
+        Proto.error_response ?id ~op
+          (Res.diag Res.Probe_failure ~subject
+             "worker circuit open: request denied during restart backoff")
+      end
+      else begin
+        let t0 = Encore_obs.Clock.now_ns () in
+        let finish resp =
+          Ometrics.observe h_request_us
+            (Int64.to_float (Int64.sub (Encore_obs.Clock.now_ns ()) t0)
+            /. 1e3);
+          resp
+        in
+        match
+          Otrace.with_span "serve-request"
+            ~attrs:[ ("op", Json.Str op) ]
+            (fun () ->
+              match req with
+              | Proto.Check { id; source } -> do_check t ?id source
+              | Proto.Watch { id; image_id; app; config } ->
+                  do_watch t ?id ~image_id ~app ~config_text:config ()
+              | Proto.Crash _ -> raise Injected_crash
+              | Proto.Status _ | Proto.Reload _ | Proto.Shutdown _ ->
+                  assert false)
+        with
+        | resp ->
+            Res.record_success t.breaker ~subject:worker_subject;
+            finish resp
+        | exception exn ->
+            (* the supervisor: the worker "restarts" — its crash is
+               contained to this request, persistent state is still
+               consistent (watch commits atomically), and the breaker
+               gates how fast we let the next request at it *)
+            t.restarts <- t.restarts + 1;
+            Ometrics.incr m_restarts;
+            let detail = Printexc.to_string exn in
+            Res.record_failure t.breaker ~subject:worker_subject
+              (Res.diag Res.Custom_rule_error ~subject:worker_subject detail);
+            finish
+              (Proto.error_response ?id ~op
+                 (Res.diag Res.Custom_rule_error ~subject
+                    ("worker crashed (restarted): " ^ detail)))
+      end
+
+(* --- the reactor ---------------------------------------------------------- *)
+
+let offer t line =
+  if t.state <> Running then []
+  else if String.trim line = "" then []
+  else begin
+    t.requests <- t.requests + 1;
+    Ometrics.incr m_requests;
+    if String.length line > t.config.max_request_bytes then begin
+      (* reject before queueing: queue memory stays bounded by
+         capacity * max_request_bytes *)
+      t.errors <- t.errors + 1;
+      Ometrics.incr m_errors;
+      [
+        Proto.error_response
+          (Res.diag Res.Overflow ~subject
+             (Printf.sprintf "request is %d bytes (limit %d)"
+                (String.length line) t.config.max_request_bytes));
+      ]
+    end
+    else if Queue.length t.queue >= t.config.queue_capacity then begin
+      t.shed <- t.shed + 1;
+      Ometrics.incr m_shed;
+      (* a shed is still an answer: echo the correlation id and op when
+         the line parses so the client can retry the right request *)
+      let id, op =
+        match Proto.parse line with
+        | Ok req -> (Proto.request_id req, Some (Proto.request_op req))
+        | Error _ -> (None, None)
+      in
+      [
+        Proto.error_response ?id ?op ~overloaded:true
+          (Res.diag Res.Overflow ~subject
+             (Printf.sprintf "queue full (%d pending): request shed"
+                (Queue.length t.queue)));
+      ]
+    end
+    else begin
+      Queue.push line t.queue;
+      Ometrics.set_max m_queue_depth (float_of_int (Queue.length t.queue));
+      []
+    end
+  end
+
+let step t =
+  match Queue.take_opt t.queue with
+  | None -> []
+  | Some line -> (
+      match Proto.parse line with
+      | Error d ->
+          t.errors <- t.errors + 1;
+          Ometrics.incr m_errors;
+          t.answered <- t.answered + 1;
+          [ Proto.error_response d ]
+      | Ok req ->
+          let resp = dispatch t req in
+          t.answered <- t.answered + 1;
+          [ resp ])
+
+let drain_flush t =
+  let alerts = Ring.drain t.ring in
+  let bye =
+    Proto.ok_response ~op:"bye"
+      [
+        ("requests", Json.Int t.requests);
+        ("answered", Json.Int t.answered);
+        ("shed", Json.Int t.shed);
+        ("errors", Json.Int t.errors);
+        ("restarts", Json.Int t.restarts);
+        ("alerts_flushed", Json.Int (List.length alerts));
+        ("ring_dropped", Json.Int (Ring.dropped t.ring));
+      ]
+  in
+  t.state <- Stopped;
+  alerts @ [ bye ]
+
+let run t ~recv ~send =
+  let emit = List.iter send in
+  let rec ingest () =
+    match t.state with
+    | Draining | Stopped -> ()
+    | Running -> (
+        (* block only when there is nothing queued to work on; once a
+           line arrives, drain the transport greedily so a burst lands
+           on the bounded queue (and sheds) instead of lingering in the
+           kernel buffer *)
+        match recv ~wait:(Queue.is_empty t.queue) with
+        | `Line line ->
+            emit (offer t line);
+            ingest ()
+        | `Eof -> request_shutdown t
+        | `Idle -> ())
+  in
+  let rec loop () =
+    match t.state with
+    | Stopped -> exit_code t
+    | Draining ->
+        if Queue.is_empty t.queue then begin
+          emit (drain_flush t);
+          loop ()
+        end
+        else begin
+          emit (step t);
+          loop ()
+        end
+    | Running ->
+        ingest ();
+        emit (step t);
+        loop ()
+  in
+  loop ()

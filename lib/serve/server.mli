@@ -1,0 +1,104 @@
+(** The serve reactor: a transport-free request loop with bounded
+    queueing, load shedding, supervised request processing and graceful
+    drain.
+
+    The daemon core is deliberately free of I/O: {!offer} hands it a
+    raw request line, {!step} processes one queued request, and both
+    return the responses to write.  {!run} wires them to a transport
+    through two closures — the CLI provides stdio or a Unix-socket
+    implementation, tests and the chaos storm drive {!offer}/{!step}
+    directly.
+
+    Robustness properties, in request order:
+    - oversized lines are rejected {e before} queueing, so queue memory
+      is bounded by [queue_capacity * max_request_bytes];
+    - a full queue sheds the request with an [overloaded] error
+      response — the daemon never buffers unboundedly;
+    - malformed requests are answered with typed
+      {!Encore_util.Resilience} errors, never a crash;
+    - check/watch processing runs under a per-request deadline and
+      yields ranked partial verdicts on expiry;
+    - a crash inside the worker is contained to its request: the
+      supervisor answers the request with a typed error, counts a
+      restart, and gates subsequent work through a circuit breaker
+      (open circuit → requests denied during backoff, half-open trial
+      after the cooldown);
+    - detections land in a bounded drop-oldest {!Ring}; the drain path
+      flushes surviving alerts and reports the drop count;
+    - shutdown (request, EOF, or {!request_shutdown} from a signal
+      handler) finishes the queued requests, flushes the ring, emits a
+      final [bye] summary and stops.
+
+    Metrics: [serve.requests], [serve.shed], [serve.errors],
+    [serve.restarts], [serve.breaker_denied], [serve.ring_dropped],
+    [serve.partial], [serve.watch_delta], [serve.watch_full],
+    [serve.reloads], [serve.queue_depth] (high-water), and the
+    [serve.request_us] latency histogram (p99 source for bench). *)
+
+exception Injected_crash
+(** Raised by the [crash] fault-injection op; chaos drills use it to
+    exercise the supervisor. *)
+
+type config = {
+  queue_capacity : int;  (** pending requests before shedding *)
+  max_request_bytes : int;  (** larger lines are rejected unqueued *)
+  deadline_polls : int option;
+      (** per-request unit-poll budget (deterministic; wins over
+          [deadline_s]) *)
+  deadline_s : float option;  (** per-request wall-clock budget *)
+  ring_capacity : int;  (** alert ring bound *)
+  alert_score : float;  (** warnings at or above it count as detections
+                            and enter the ring *)
+  max_sessions : int;  (** watch sessions kept (oldest evicted) *)
+  breaker_threshold : int;  (** worker crashes before the circuit opens *)
+  breaker_cooldown : int;  (** denied requests before a half-open trial *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Cache.t -> t
+
+val offer : t -> string -> Encore_obs.Jsonenc.t list
+(** Admit one raw request line.  [[]] when queued (or ignored: blank
+    line, draining daemon); immediate error responses when the line is
+    oversized or the queue sheds it. *)
+
+val step : t -> Encore_obs.Jsonenc.t list
+(** Parse and process one queued request; [[]] when the queue is
+    empty. *)
+
+val pending : t -> int
+
+val state : t -> [ `Running | `Draining | `Stopped ]
+
+val request_shutdown : t -> unit
+(** Begin graceful drain (idempotent).  Safe to call from a signal
+    handler: it writes one field. *)
+
+val drain_flush : t -> Encore_obs.Jsonenc.t list
+(** Flush the alert ring and produce the final [bye] summary; moves the
+    daemon to [`Stopped].  {!run} calls this once the queue is empty
+    after shutdown — call it directly only when driving
+    {!offer}/{!step} by hand. *)
+
+val run :
+  t ->
+  recv:(wait:bool -> [ `Line of string | `Eof | `Idle ]) ->
+  send:(Encore_obs.Jsonenc.t -> unit) ->
+  int
+(** Reactor loop: greedily ingest available lines (blocking only when
+    nothing is queued), process one request per iteration, drain on
+    EOF/shutdown, and return the {!exit_code}.  [recv ~wait:false] must
+    poll without blocking ([`Idle] when no line is ready); [recv] may
+    return [`Idle] spuriously (e.g. on [EINTR] after a signal). *)
+
+val exit_code : t -> int
+(** [0] clean; [3] degraded — load was shed, the worker restarted, or
+    the ring dropped alerts.  (Malformed requests answered with typed
+    errors are normal service, not degradation.) *)
+
+val shed_count : t -> int
+val restart_count : t -> int
+val ring_dropped : t -> int

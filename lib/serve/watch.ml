@@ -1,0 +1,158 @@
+module Engine = Encore_detect.Engine
+module Warning = Encore_detect.Warning
+module Row = Encore_dataset.Row
+module Relation = Encore_rules.Relation
+module Image = Encore_sysenv.Image
+module Deadline = Encore_util.Deadline
+
+(* The session caches one verdict per detection unit, keyed the same
+   way {!Engine}'s granular API is keyed:
+
+   - [names] and [cols] by attribute (an attribute's name verdict and
+     its column type/value warnings depend only on that attribute's row
+     instances and the unchanged environment);
+   - [rules] by rule index.
+
+   A delta recomputes exactly the units whose key a changed column
+   touches and splices the rest from cache.  Reassembling the verdict
+   groups warnings per unit rather than in [Row.to_list] pair order,
+   which is safe: the final [List.sort Warning.compare_rank] fully
+   orders distinct warnings, and warnings that compare equal are
+   byte-identical (the tie-break is the message, which embeds the
+   attribute and value), so any input permutation sorts to the same
+   list — the byte-identity property test pins this. *)
+type session = {
+  fingerprint : string;
+  mutable image : Image.t;
+  mutable row : Row.t;
+  mutable names : (string, Warning.t) Hashtbl.t;
+  mutable rules : Warning.t option array;
+  mutable cols : (string, Warning.t list * Warning.t list) Hashtbl.t;
+}
+
+type verdict = Complete of Warning.t list | Partial of Warning.t list
+
+type delta_stats = { changed_attrs : int; rules_rechecked : int }
+
+let warnings_of = function Complete ws | Partial ws -> ws
+
+let fingerprint s = s.fingerprint
+
+let image s = s.image
+
+let image_id s = s.image.Image.image_id
+
+(* Reassemble the full verdict from the unit caches, in stage order
+   (names, rules, types, values) like [Engine.check], then rank. *)
+let assemble_verdict ~row ~names ~rules ~cols =
+  let attrs = Row.attrs row in
+  let name_ws = List.filter_map (Hashtbl.find_opt names) attrs in
+  let rule_ws =
+    Array.to_list rules |> List.filter_map (fun w -> w)
+  in
+  let col_of attr = Option.value ~default:([], []) (Hashtbl.find_opt cols attr) in
+  let type_ws = List.concat_map (fun a -> fst (col_of a)) attrs in
+  let value_ws = List.concat_map (fun a -> snd (col_of a)) attrs in
+  List.sort Warning.compare_rank (name_ws @ rule_ws @ type_ws @ value_ws)
+
+(* Compute one attribute's units into the tables. *)
+let compute_attr eng img row names cols attr =
+  (match Engine.name_warning eng attr with
+  | Some w -> Hashtbl.replace names attr w
+  | None -> Hashtbl.remove names attr);
+  Hashtbl.replace cols attr
+    (Engine.column_warnings_for eng img ~attr ~values:(Row.get_all row attr))
+
+let start ?(deadline = Deadline.none) eng ~fingerprint img =
+  let row = Engine.assemble_row eng img in
+  let ctx = { Relation.image = img; row } in
+  let names = Hashtbl.create 64 in
+  let cols = Hashtbl.create 64 in
+  let rules = Array.make (Engine.rule_count eng) None in
+  match
+    List.iter
+      (fun attr ->
+        Deadline.raise_if_expired deadline;
+        compute_attr eng img row names cols attr)
+      (Row.attrs row);
+    for i = 0 to Array.length rules - 1 do
+      Deadline.raise_if_expired deadline;
+      rules.(i) <- Engine.rule_warning eng ctx i
+    done
+  with
+  | () ->
+      let s = { fingerprint; image = img; row; names; rules; cols } in
+      (Some s, Complete (assemble_verdict ~row ~names ~rules ~cols))
+  | exception Deadline.Expired _ ->
+      (* whatever units completed, ranked: a usable prefix of the
+         verdict, but no session — incremental updates need the full
+         baseline *)
+      (None, Partial (assemble_verdict ~row ~names ~rules ~cols))
+
+(* Distinct attributes whose instance lists differ between the rows,
+   old-row order first, then attributes new to [row']. *)
+let changed_columns row row' =
+  let seen = Hashtbl.create 64 in
+  let note acc attr =
+    if Hashtbl.mem seen attr then acc
+    else begin
+      Hashtbl.add seen attr ();
+      if Row.get_all row attr <> Row.get_all row' attr then attr :: acc
+      else acc
+    end
+  in
+  let acc = List.fold_left note [] (Row.attrs row) in
+  List.rev (List.fold_left note acc (Row.attrs row'))
+
+let update ?(deadline = Deadline.none) s eng ~app ~config =
+  match Image.config_for s.image app with
+  | None ->
+      Error
+        (Printf.sprintf "image '%s' carries no %s config" (image_id s)
+           (Image.app_to_string app))
+  | Some _ ->
+      let image' = Image.set_config s.image app config in
+      let row' = Engine.assemble_row eng image' in
+      let changed = changed_columns s.row row' in
+      let touched = Engine.rules_touching eng changed in
+      let stats =
+        { changed_attrs = List.length changed;
+          rules_rechecked = List.length touched }
+      in
+      (* work on copies: the session stays at its last complete verdict
+         unless every touched unit recomputes before the deadline *)
+      let names = Hashtbl.copy s.names in
+      let cols = Hashtbl.copy s.cols in
+      let rules = Array.copy s.rules in
+      let present = Hashtbl.create 64 in
+      List.iter (fun a -> Hashtbl.replace present a ()) (Row.attrs row');
+      let ctx' = { Relation.image = image'; row = row' } in
+      match
+        List.iter
+          (fun attr ->
+            Deadline.raise_if_expired deadline;
+            if Hashtbl.mem present attr then
+              compute_attr eng image' row' names cols attr
+            else begin
+              (* column vanished from the row *)
+              Hashtbl.remove names attr;
+              Hashtbl.remove cols attr
+            end)
+          changed;
+        List.iter
+          (fun i ->
+            Deadline.raise_if_expired deadline;
+            rules.(i) <- Engine.rule_warning eng ctx' i)
+          touched
+      with
+      | () ->
+          s.image <- image';
+          s.row <- row';
+          s.names <- names;
+          s.cols <- cols;
+          s.rules <- rules;
+          Ok (Complete (assemble_verdict ~row:row' ~names ~rules ~cols), stats)
+      | exception Deadline.Expired _ ->
+          (* uncommitted: the caller must drop the session (its cache
+             still describes the pre-delta config) *)
+          Ok (Partial (assemble_verdict ~row:row' ~names ~rules ~cols), stats)

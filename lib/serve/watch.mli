@@ -1,0 +1,62 @@
+(** Incremental re-checking for watch mode: config-change deltas
+    re-evaluate only the detection units the delta touches.
+
+    A {!session} caches the per-unit verdicts of one image's last full
+    check — entry-name and column (type/value) verdicts per attribute,
+    correlation verdicts per rule index.  {!update} replaces one app's
+    config text, diffs the re-assembled row column-by-column, recomputes
+    the units keyed by a changed column (plus the rules
+    {!Encore_detect.Engine.rules_touching} selects) and splices the
+    rest from cache.  The result is byte-identical to a full
+    [Engine.check] of the mutated image: every unit's output depends
+    only on its own key's row instances and the (unchanged)
+    environment, and the final rank sort orders distinct warnings
+    totally.
+
+    Deadlines: both {!start} and {!update} poll a
+    {!Encore_util.Deadline} token per unit.  Expiry yields a ranked
+    {!Partial} verdict from the units that completed — and, for
+    {!update}, leaves the session at its previous state, so the caller
+    must discard it (the cache no longer matches the delivered
+    config). *)
+
+type session
+
+type verdict =
+  | Complete of Encore_detect.Warning.t list
+  | Partial of Encore_detect.Warning.t list
+      (** deadline expired mid-check; ranked prefix of the units that
+          finished *)
+
+type delta_stats = {
+  changed_attrs : int;  (** columns whose instance lists changed *)
+  rules_rechecked : int;  (** rules re-evaluated for those columns *)
+}
+
+val warnings_of : verdict -> Encore_detect.Warning.t list
+
+val start :
+  ?deadline:Encore_util.Deadline.t ->
+  Encore_detect.Engine.t ->
+  fingerprint:string ->
+  Encore_sysenv.Image.t ->
+  session option * verdict
+(** Full check that seeds the unit caches.  [fingerprint] pins the
+    model the verdicts belong to ({!Cache.fingerprint_of}); the serve
+    loop compares it against the current cache entry and re-seeds after
+    a reload.  No session is returned for a {!Partial} verdict. *)
+
+val update :
+  ?deadline:Encore_util.Deadline.t ->
+  session ->
+  Encore_detect.Engine.t ->
+  app:Encore_sysenv.Image.app ->
+  config:string ->
+  (verdict * delta_stats, string) result
+(** Apply a config replacement and re-check incrementally.  [Error]
+    when the image carries no config for [app].  A {!Partial} verdict
+    leaves the session unchanged — discard it. *)
+
+val fingerprint : session -> string
+val image : session -> Encore_sysenv.Image.t
+val image_id : session -> string

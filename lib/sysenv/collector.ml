@@ -314,7 +314,12 @@ let image_of_text text =
           in
           (match headers () with
           | Error _ as e -> e
-          | Ok () ->
+          | Ok () -> (
               let records = of_text (String.sub text !pos (len - !pos)) in
-              let img = restore ~id ~configs:(List.rev !configs) records in
-              Ok (Image.with_flakiness img !flakiness)))
+              (* stay total on damaged dumps: a corrupted environment
+                 record (e.g. control bytes spliced into a path) must
+                 surface as a parse error, not an exception *)
+              match restore ~id ~configs:(List.rev !configs) records with
+              | img -> Ok (Image.with_flakiness img !flakiness)
+              | exception Invalid_argument msg ->
+                  Error ("corrupt image dump: " ^ msg))))

@@ -141,6 +141,19 @@ let circuit b subject =
 
 let m_breaker_trips = Encore_obs.Metrics.counter "resilience.breaker_trips"
 
+(* State-transition counters: the serve supervisor's breaker-gated
+   backoff is driven by these edges, so export each one.  The target
+   state names the counter; the source state is implied (the machine
+   has one edge into each state apart from re-opening from half-open,
+   which still lands in [to_open]). *)
+let m_breaker_to_open = Encore_obs.Metrics.counter "resilience.breaker_to_open"
+
+let m_breaker_to_half_open =
+  Encore_obs.Metrics.counter "resilience.breaker_to_half_open"
+
+let m_breaker_to_closed =
+  Encore_obs.Metrics.counter "resilience.breaker_to_closed"
+
 let record_failure b ~subject d =
   let c = circuit b subject in
   c.diags <- d :: c.diags;
@@ -156,6 +169,7 @@ let record_failure b ~subject d =
     if not (List.mem subject b.trip_order) then
       b.trip_order <- subject :: b.trip_order;
     Encore_obs.Metrics.incr m_breaker_trips;
+    Encore_obs.Metrics.incr m_breaker_to_open;
     Encore_obs.Events.emit "breaker_trip"
       ~fields:
         [
@@ -169,6 +183,8 @@ let record_success b ~subject =
   match Hashtbl.find_opt b.circuits subject with
   | None -> ()
   | Some c ->
+      if c.circuit_state <> Closed then
+        Encore_obs.Metrics.incr m_breaker_to_closed;
       c.diags <- [];
       c.circuit_state <- Closed;
       c.denied <- 0
@@ -190,6 +206,7 @@ let allow b ~subject =
           c.denied <- c.denied + 1;
           if c.denied >= b.cooldown then begin
             c.circuit_state <- Half_open;
+            Encore_obs.Metrics.incr m_breaker_to_half_open;
             true
           end
           else false)

@@ -317,6 +317,50 @@ let test_summary_of_lines () =
   check Alcotest.int "event kinds include spans" 3
     (Option.value ~default:0 (List.assoc_opt "span" s.Summary.event_kinds))
 
+let test_summary_of_file_tolerates_torn_final_line () =
+  (* a kill mid-append leaves the log's last line incomplete: summarize
+     must skip the torn record, flag the trace, and keep every whole
+     line *)
+  let whole =
+    [
+      {|{"ts_ns":1,"ev":"diag","diag_kind":"parse-error","subject":"i","detail":"d"}|};
+      "not json at all";
+    ]
+  in
+  let torn = {|{"ts_ns":2,"ev":"diag","diag_kind":"probe-fa|} in
+  let path = Filename.temp_file "encore-test-trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc (String.concat "\n" whole ^ "\n" ^ torn);
+      close_out oc;
+      (match Summary.of_file path with
+      | Error e -> Alcotest.failf "of_file failed: %s" e
+      | Ok s ->
+          check Alcotest.bool "flagged truncated" true s.Summary.truncated;
+          check Alcotest.int "torn line skipped, not counted bad" 1
+            s.Summary.bad_lines;
+          check Alcotest.int "whole events kept" 1
+            (Option.value ~default:0
+               (List.assoc_opt "diag" s.Summary.event_kinds));
+          let rendered = Summary.to_string s in
+          check Alcotest.bool "rendering notes the truncation" true
+            (let needle = "truncated" in
+             let n = String.length needle and l = String.length rendered in
+             let rec scan i =
+               i + n <= l && (String.sub rendered i n = needle || scan (i + 1))
+             in
+             scan 0));
+      (* the same log with a clean final newline is not truncated *)
+      let oc = open_out_bin path in
+      output_string oc (String.concat "\n" whole ^ "\n");
+      close_out oc;
+      match Summary.of_file path with
+      | Error e -> Alcotest.failf "clean of_file failed: %s" e
+      | Ok s ->
+          check Alcotest.bool "clean file not flagged" false s.Summary.truncated)
+
 let test_summary_of_spans_matches_of_lines () =
   Trace.set_sink Trace.Memory;
   Clock.with_source (Clock.counter ~step_ns:50L ()) (fun () ->
@@ -388,6 +432,8 @@ let () =
       ( "summary",
         [
           t "of_lines" test_summary_of_lines;
+          t "of_file tolerates torn final line"
+            test_summary_of_file_tolerates_torn_final_line;
           t "of_spans" test_summary_of_spans_matches_of_lines;
         ] );
       ( "determinism",

@@ -1,8 +1,10 @@
 (* Tests for Encore_util.Pool: deterministic ordering, exception
-   propagation, worker reuse across calls, map_reduce, and the
-   map = List.map property at every pool size. *)
+   propagation, worker reuse across calls, map_reduce, deadline
+   cancellation firing inside worker domains, and the map = List.map
+   property at every pool size. *)
 
 module Pool = Encore_util.Pool
+module Deadline = Encore_util.Deadline
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -90,6 +92,76 @@ let test_map_reduce_order_sensitive () =
   check ints "concat in order" xs
     (Pool.map_reduce p ~map:(fun x -> [ x ]) ~reduce:( @ ) ~init:[] xs)
 
+(* --- deadlines firing inside worker domains -------------------------------- *)
+
+let test_with_deadline_aborts_whole_map () =
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let xs = List.init 400 Fun.id in
+  (* the poll budget runs out while worker domains are mid-chunk: the
+     abort must re-raise in the caller and discard every result *)
+  (match
+     Pool.with_deadline p (Deadline.after_polls 10) (fun () ->
+         Pool.map p (fun x -> x * x) xs)
+   with
+  | _ -> Alcotest.fail "expected the map to abort"
+  | exception Deadline.Expired Deadline.Timed_out -> ());
+  check ints "pool survives the abort" [ 2; 3 ] (Pool.map p succ [ 1; 2 ])
+
+let test_map_batched_partial_prefix () =
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let xs = List.init 500 Fun.id in
+  let f x = (3 * x) + 1 in
+  let full = List.map f xs in
+  match Pool.map_batched p ~deadline:(Deadline.after_polls 150) ~batch:32 f xs with
+  | Ok _ -> Alcotest.fail "a 150-poll budget cannot cover 500 items"
+  | Error prefix ->
+      let n = List.length prefix in
+      check Alcotest.bool "strict prefix" true (n > 0 && n < 500);
+      check Alcotest.int "whole batches only" 0 (n mod 32);
+      check ints "prefix of the full result"
+        (List.filteri (fun i _ -> i < n) full)
+        prefix
+
+let test_map_batched_prefix_deterministic_across_jobs () =
+  (* [after_polls] counts polls globally, so expiry lands at the same
+     batch boundary no matter how many domains race on it: the partial
+     result is a deterministic function of the budget, not of worker
+     scheduling *)
+  let xs = List.init 500 Fun.id in
+  let f x = (2 * x) - 5 in
+  let run jobs =
+    Pool.with_pool ~jobs (fun p ->
+        Pool.map_batched p ~deadline:(Deadline.after_polls 200) ~batch:25 f xs)
+  in
+  let prefix = function
+    | Ok _ -> Alcotest.fail "expected expiry"
+    | Error prefix -> prefix
+  in
+  let p1 = prefix (run 1) in
+  check ints "jobs=4 = jobs=1" p1 (prefix (run 4));
+  check ints "jobs=8 = jobs=1" p1 (prefix (run 8));
+  check ints "repeat run identical" p1 (prefix (run 4))
+
+let test_map_batched_completes_under_generous_budget () =
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let xs = List.init 200 Fun.id in
+  match Pool.map_batched p ~deadline:Deadline.none Fun.id xs with
+  | Ok ys -> check ints "all items" xs ys
+  | Error _ -> Alcotest.fail "unlimited deadline expired"
+
+let test_map_batched_yield_streams_final_prefix () =
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let xs = List.init 300 Fun.id in
+  let streamed = ref [] in
+  let yield batch = streamed := !streamed @ batch in
+  match
+    Pool.map_batched p ~deadline:(Deadline.after_polls 120) ~batch:20
+      ~yield succ xs
+  with
+  | Ok _ -> Alcotest.fail "expected expiry"
+  | Error prefix ->
+      check ints "yield saw exactly the surviving prefix" prefix !streamed
+
 (* --- map = List.map at every pool size ------------------------------------ *)
 
 let prop_map_matches_list_map =
@@ -125,6 +197,19 @@ let () =
         [
           Alcotest.test_case "sum" `Quick test_map_reduce_sum;
           Alcotest.test_case "order-sensitive reduce" `Quick test_map_reduce_order_sensitive;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "with_deadline aborts whole map" `Quick
+            test_with_deadline_aborts_whole_map;
+          Alcotest.test_case "map_batched partial prefix" `Quick
+            test_map_batched_partial_prefix;
+          Alcotest.test_case "prefix deterministic across jobs" `Quick
+            test_map_batched_prefix_deterministic_across_jobs;
+          Alcotest.test_case "completes under unlimited budget" `Quick
+            test_map_batched_completes_under_generous_budget;
+          Alcotest.test_case "yield streams the final prefix" `Quick
+            test_map_batched_yield_streams_final_prefix;
         ] );
       ("properties", [ qtest prop_map_matches_list_map ]);
     ]

@@ -156,6 +156,38 @@ let test_breaker_half_open_failure_reopens () =
   check Alcotest.bool "denied again after re-open" false
     (Res.allow b ~subject:"img-1")
 
+let test_breaker_transitions_counted_as_metrics () =
+  (* every state transition lands on its own counter, so a dashboard
+     can see circuits opening and recovering without scraping logs *)
+  let count name =
+    Encore_obs.Metrics.count (Encore_obs.Metrics.counter name)
+  in
+  let opened0 = count "resilience.breaker_to_open" in
+  let half0 = count "resilience.breaker_to_half_open" in
+  let closed0 = count "resilience.breaker_to_closed" in
+  let b = Res.breaker ~threshold:2 ~cooldown:2 () in
+  let d = Res.diag Res.Probe_failure ~subject:"img-1" "flap" in
+  Res.record_failure b ~subject:"img-1" d;
+  check Alcotest.int "no transition below threshold" opened0
+    (count "resilience.breaker_to_open");
+  Res.record_failure b ~subject:"img-1" d;
+  check Alcotest.int "closed -> open counted" (opened0 + 1)
+    (count "resilience.breaker_to_open");
+  drain_cooldown b ~subject:"img-1" ~cooldown:2;
+  check Alcotest.int "open -> half-open counted" (half0 + 1)
+    (count "resilience.breaker_to_half_open");
+  Res.record_failure b ~subject:"img-1" d;
+  check Alcotest.int "trial failure re-opens and counts" (opened0 + 2)
+    (count "resilience.breaker_to_open");
+  drain_cooldown b ~subject:"img-1" ~cooldown:2;
+  Res.record_success b ~subject:"img-1";
+  check Alcotest.int "half-open -> closed counted" (closed0 + 1)
+    (count "resilience.breaker_to_closed");
+  (* a success on an already-closed circuit is not a transition *)
+  Res.record_success b ~subject:"img-1";
+  check Alcotest.int "steady closed state not re-counted" (closed0 + 1)
+    (count "resilience.breaker_to_closed")
+
 let test_breaker_quarantine_excludes_reclosed () =
   let b = Res.breaker ~threshold:1 ~cooldown:1 () in
   let d subject = Res.diag Res.Probe_failure ~subject "flap" in
@@ -474,6 +506,7 @@ let () =
           Alcotest.test_case "half-open trial success closes" `Quick test_breaker_half_open_success_closes;
           Alcotest.test_case "half-open trial failure re-opens" `Quick test_breaker_half_open_failure_reopens;
           Alcotest.test_case "quarantine excludes re-closed" `Quick test_breaker_quarantine_excludes_reclosed;
+          Alcotest.test_case "transitions counted as metrics" `Quick test_breaker_transitions_counted_as_metrics;
         ] );
       ( "scan",
         [

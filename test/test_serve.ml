@@ -1,0 +1,681 @@
+(* Tests for the resident check daemon: the bounded alert ring, the
+   JSONL protocol, the engine cache, incremental watch re-checking
+   (byte-identity against a full engine check), the serve reactor's
+   robustness contract (shedding, oversize rejection, typed errors,
+   supervised crashes with breaker backoff, graceful drain, partial
+   verdicts under deadline) and the 10k-request chaos soak. *)
+
+module Detector = Encore_detect.Detector
+module Engine = Encore_detect.Engine
+module Warning = Encore_detect.Warning
+module Image = Encore_sysenv.Image
+module Collector = Encore_sysenv.Collector
+module Population = Encore_workloads.Population
+module Profile = Encore_workloads.Profile
+module Prng = Encore_util.Prng
+module Deadline = Encore_util.Deadline
+module Res = Encore_util.Resilience
+module Json = Encore_obs.Jsonenc
+module Ring = Encore_serve.Ring
+module Proto = Encore_serve.Proto
+module Cache = Encore_serve.Cache
+module Watch = Encore_serve.Watch
+module Server = Encore_serve.Server
+module Conferr = Encore_inject.Conferr
+module Chaosrun = Encore.Chaosrun
+
+let check = Alcotest.check
+
+(* --- fixtures -------------------------------------------------------------- *)
+
+let model =
+  lazy
+    (Detector.learn
+       (Population.clean (Population.generate ~seed:11 Image.Mysql ~n:40)))
+
+let target seed id =
+  Population.generator_for Image.Mysql Profile.ec2 (Prng.create seed) ~id
+
+let warning_str (w : Warning.t) =
+  Printf.sprintf "%s score=%.9f attrs=[%s] %s" (Warning.kind_label w)
+    w.Warning.score
+    (String.concat "," w.Warning.attrs)
+    w.Warning.message
+
+let mutate_config rng img =
+  let campaign = Conferr.inject rng Image.Mysql img ~n:1 in
+  match Image.config_for campaign.Conferr.image Image.Mysql with
+  | Some c -> c.Image.text
+  | None -> Alcotest.fail "mutant lost its mysql config"
+
+(* --- response introspection ------------------------------------------------ *)
+
+let str_field name j = Option.bind (Json.member name j) Json.to_string_opt
+
+let bool_field name j =
+  match Json.member name j with Some (Json.Bool b) -> Some b | _ -> None
+
+let int_field name j = Option.bind (Json.member name j) Json.to_int_opt
+
+let is_ok j = bool_field "ok" j = Some true
+
+let items_str j =
+  match Json.member "items" j with
+  | Some items -> Json.to_string items
+  | None -> "<no items>"
+
+let expect_items ws =
+  Json.to_string (Json.Arr (List.map Encore_detect.Report.warning_json ws))
+
+let one = function
+  | [ j ] -> j
+  | l -> Alcotest.failf "expected one response, got %d" (List.length l)
+
+let none ctx = function
+  | [] -> ()
+  | l -> Alcotest.failf "%s: expected no responses, got %d" ctx (List.length l)
+
+(* --- request lines --------------------------------------------------------- *)
+
+let line fields = Json.to_string (Json.Obj fields)
+
+let check_line ?id img =
+  let id = match id with Some i -> [ ("id", Json.Str i) ] | None -> [] in
+  line
+    (("op", Json.Str "check")
+    :: id
+    @ [ ("image", Json.Str (Collector.image_to_text img)) ])
+
+let watch_line ~id ~image_id ~config =
+  line
+    [
+      ("op", Json.Str "watch");
+      ("id", Json.Str id);
+      ("image", Json.Str image_id);
+      ("app", Json.Str (Image.app_to_string Image.Mysql));
+      ("config", Json.Str config);
+    ]
+
+let op_line ?id op =
+  let id = match id with Some i -> [ ("id", Json.Str i) ] | None -> [] in
+  line (("op", Json.Str op) :: id)
+
+let make_server ?(config = Server.default_config) () =
+  Server.create ~config
+    (Cache.create ~provider:(fun ~app:_ -> Ok (Lazy.force model)))
+
+(* a queued request answered in one step *)
+let ask srv l =
+  none "ask: should queue" (Server.offer srv l);
+  one (Server.step srv)
+
+(* --- ring ------------------------------------------------------------------- *)
+
+let test_ring_drop_oldest () =
+  let r = Ring.create ~capacity:3 in
+  List.iter (Ring.push r) [ 1; 2; 3; 4; 5 ];
+  check Alcotest.(list int) "newest survive" [ 3; 4; 5 ] (Ring.to_list r);
+  check Alcotest.int "length capped" 3 (Ring.length r);
+  check Alcotest.int "two casualties" 2 (Ring.dropped r);
+  check Alcotest.(list int) "drain oldest-first" [ 3; 4; 5 ] (Ring.drain r);
+  check Alcotest.int "empty after drain" 0 (Ring.length r);
+  check Alcotest.int "dropped is lifetime" 2 (Ring.dropped r);
+  Ring.push r 9;
+  check Alcotest.(list int) "usable after drain" [ 9 ] (Ring.to_list r)
+
+let test_ring_clamps_capacity () =
+  let r = Ring.create ~capacity:0 in
+  check Alcotest.int "clamped to 1" 1 (Ring.capacity r);
+  Ring.push r "a";
+  Ring.push r "b";
+  check Alcotest.(list string) "holds the newest" [ "b" ] (Ring.to_list r)
+
+(* --- protocol --------------------------------------------------------------- *)
+
+let test_proto_parse_ok () =
+  let img = target 300 "proto-a" in
+  (match Proto.parse (check_line ~id:"c1" img) with
+  | Ok (Proto.Check { id = Some "c1"; source = Proto.Inline text }) ->
+      check Alcotest.string "inline dump intact" (Collector.image_to_text img)
+        text
+  | _ -> Alcotest.fail "check line did not parse");
+  (match Proto.parse {|{"op":"check","path":"/tmp/dump"}|} with
+  | Ok (Proto.Check { id = None; source = Proto.Path "/tmp/dump" }) -> ()
+  | _ -> Alcotest.fail "path check did not parse");
+  (match Proto.parse (watch_line ~id:"w1" ~image_id:"img-7" ~config:"a = 1\n") with
+  | Ok (Proto.Watch { id = Some "w1"; image_id = "img-7"; app; config }) ->
+      check Alcotest.string "app" "mysql" app;
+      check Alcotest.string "config" "a = 1\n" config
+  | _ -> Alcotest.fail "watch line did not parse");
+  List.iter
+    (fun op ->
+      match Proto.parse (op_line ~id:"x" op) with
+      | Ok req ->
+          check Alcotest.string "op echoed" op (Proto.request_op req);
+          check Alcotest.(option string) "id echoed" (Some "x")
+            (Proto.request_id req)
+      | Error d -> Alcotest.failf "%s rejected: %s" op d.Res.detail)
+    [ "reload"; "status"; "shutdown"; "crash" ]
+
+let test_proto_parse_errors () =
+  List.iter
+    (fun (ctx, l) ->
+      match Proto.parse l with
+      | Ok _ -> Alcotest.failf "%s: accepted %S" ctx l
+      | Error d ->
+          check Alcotest.string (ctx ^ " is a parse error") "parse-error"
+            (Res.kind_to_string d.Res.kind))
+    [
+      ("torn json", "{\"op\":\"check\",\"image\":");
+      ("no op", {|{"id":"x"}|});
+      ("non-object", "[1,2,3]");
+      ("unknown op", {|{"op":"zorch"}|});
+      ("watch missing config", {|{"op":"watch","image":"i","app":"mysql"}|});
+      ("check missing operand", {|{"op":"check","id":"c"}|});
+      ("check with both operands", {|{"op":"check","image":"a","path":"b"}|});
+    ]
+
+let test_proto_error_response_shape () =
+  let d = Res.diag Res.Overflow ~subject:"serve" "queue full" in
+  let j = Proto.error_response ~id:"r1" ~overloaded:true d in
+  check Alcotest.(option bool) "not ok" (Some false) (bool_field "ok" j);
+  check Alcotest.(option string) "id echoed" (Some "r1") (str_field "id" j);
+  check Alcotest.(option string) "typed kind" (Some "overflow")
+    (str_field "error" j);
+  check Alcotest.(option bool) "overloaded marker" (Some true)
+    (bool_field "overloaded" j)
+
+(* --- engine cache ----------------------------------------------------------- *)
+
+let test_cache_memoize_and_reload () =
+  let calls = ref 0 in
+  let provider ~app:_ =
+    incr calls;
+    Ok (Lazy.force model)
+  in
+  let c = Cache.create ~provider in
+  let fp1 =
+    match Cache.engine_for c ~app:"mysql" with
+    | Ok (_, fp) -> fp
+    | Error d -> Alcotest.failf "first engine_for failed: %s" d.Res.detail
+  in
+  ignore (Cache.engine_for c ~app:"mysql");
+  check Alcotest.int "compiled once" 1 !calls;
+  check Alcotest.string "fingerprint is the model digest"
+    (Cache.fingerprint_of (Lazy.force model))
+    fp1;
+  let g0 = Cache.generation c in
+  (match Cache.reload c with
+  | Ok changed -> check Alcotest.bool "same model, unchanged" false changed
+  | Error d -> Alcotest.failf "reload failed: %s" d.Res.detail);
+  check Alcotest.bool "generation bumped" true (Cache.generation c > g0);
+  check Alcotest.int "provider re-read eagerly" 2 !calls;
+  check
+    Alcotest.(option string)
+    "fingerprint survives reload" (Some fp1)
+    (Cache.fingerprint c ~app:"mysql")
+
+let test_cache_provider_failure_is_typed () =
+  let c = Cache.create ~provider:(fun ~app:_ -> Error "store unreachable") in
+  match Cache.engine_for c ~app:"mysql" with
+  | Ok _ -> Alcotest.fail "provider failure went unnoticed"
+  | Error d ->
+      check Alcotest.string "probe failure" "probe-failure"
+        (Res.kind_to_string d.Res.kind)
+
+(* --- incremental watch ------------------------------------------------------ *)
+
+let test_watch_start_seeds_full_check () =
+  let m = Lazy.force model in
+  let eng = Engine.compile m in
+  let img = target 901 "watch-seed" in
+  let session, verdict =
+    Watch.start eng ~fingerprint:(Cache.fingerprint_of m) img
+  in
+  check Alcotest.bool "session created" true (session <> None);
+  match verdict with
+  | Watch.Partial _ -> Alcotest.fail "unexpected partial"
+  | Watch.Complete ws ->
+      check
+        Alcotest.(list string)
+        "seed verdict = full check"
+        (List.map warning_str (Engine.check eng img))
+        (List.map warning_str ws)
+
+let test_watch_delta_byte_identical () =
+  (* the acceptance property: a chain of config replacements re-checked
+     incrementally must stay byte-identical to a full Engine.check of
+     each mutated image *)
+  let m = Lazy.force model in
+  let eng = Engine.compile m in
+  let img = target 902 "watch-delta" in
+  let session, _ = Watch.start eng ~fingerprint:(Cache.fingerprint_of m) img in
+  let s = Option.get session in
+  let rng = Prng.create 77 in
+  let cur = ref img in
+  for i = 0 to 5 do
+    let cfg = mutate_config rng !cur in
+    let mutated = Image.set_config !cur Image.Mysql cfg in
+    match Watch.update s eng ~app:Image.Mysql ~config:cfg with
+    | Error e -> Alcotest.failf "update %d failed: %s" i e
+    | Ok (Watch.Partial _, _) -> Alcotest.failf "update %d partial" i
+    | Ok (Watch.Complete ws, _) ->
+        let full = Engine.check eng mutated in
+        check
+          Alcotest.(list string)
+          (Printf.sprintf "delta %d byte-identical to full check" i)
+          (List.map warning_str full)
+          (List.map warning_str ws);
+        check Alcotest.bool
+          (Printf.sprintf "delta %d structurally equal" i)
+          true (ws = full);
+        cur := mutated
+  done
+
+let test_watch_unchanged_config_is_empty_delta () =
+  let m = Lazy.force model in
+  let eng = Engine.compile m in
+  let img = target 903 "watch-same" in
+  let session, _ = Watch.start eng ~fingerprint:(Cache.fingerprint_of m) img in
+  let s = Option.get session in
+  let cfg =
+    match Image.config_for img Image.Mysql with
+    | Some c -> c.Image.text
+    | None -> Alcotest.fail "fixture has no mysql config"
+  in
+  match Watch.update s eng ~app:Image.Mysql ~config:cfg with
+  | Error e -> Alcotest.failf "no-op update failed: %s" e
+  | Ok (Watch.Partial _, _) -> Alcotest.fail "no-op update partial"
+  | Ok (Watch.Complete ws, stats) ->
+      check Alcotest.int "no columns changed" 0 stats.Watch.changed_attrs;
+      check Alcotest.int "no rules re-run" 0 stats.Watch.rules_rechecked;
+      check Alcotest.bool "verdict identical" true (ws = Engine.check eng img)
+
+let test_watch_missing_app_is_error () =
+  let m = Lazy.force model in
+  let eng = Engine.compile m in
+  let img = target 904 "watch-noapp" in
+  let absent =
+    match
+      List.find_opt (fun a -> Image.config_for img a = None) Image.all_apps
+    with
+    | Some a -> a
+    | None -> Alcotest.fail "fixture carries every app"
+  in
+  let session, _ = Watch.start eng ~fingerprint:(Cache.fingerprint_of m) img in
+  match Watch.update (Option.get session) eng ~app:absent ~config:"x = 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "update for an absent app succeeded"
+
+let test_watch_deadline_partial_leaves_session_intact () =
+  let m = Lazy.force model in
+  let eng = Engine.compile m in
+  let img = target 905 "watch-partial" in
+  (* an immediate deadline on the seeding check yields no session *)
+  let no_session, verdict =
+    Watch.start ~deadline:(Deadline.after_polls 1) eng
+      ~fingerprint:(Cache.fingerprint_of m) img
+  in
+  check Alcotest.bool "partial start yields no session" true (no_session = None);
+  (match verdict with
+  | Watch.Partial _ -> ()
+  | Watch.Complete _ -> Alcotest.fail "expected a partial seed verdict");
+  (* a partial update must not half-commit: the next complete update
+     from the same session matches a full check of its config *)
+  let session, _ = Watch.start eng ~fingerprint:(Cache.fingerprint_of m) img in
+  let s = Option.get session in
+  let cfg = mutate_config (Prng.create 9) img in
+  (match Watch.update ~deadline:(Deadline.after_polls 1) s eng ~app:Image.Mysql
+           ~config:cfg
+   with
+  | Ok (Watch.Partial _, _) -> ()
+  | Ok (Watch.Complete _, _) -> Alcotest.fail "expected a partial update"
+  | Error e -> Alcotest.failf "partial update errored: %s" e);
+  match Watch.update s eng ~app:Image.Mysql ~config:cfg with
+  | Error e -> Alcotest.failf "retry after partial failed: %s" e
+  | Ok (Watch.Partial _, _) -> Alcotest.fail "retry unexpectedly partial"
+  | Ok (Watch.Complete ws, _) ->
+      check Alcotest.bool "session was not half-committed" true
+        (ws = Engine.check eng (Image.set_config img Image.Mysql cfg))
+
+(* --- server: request handling ---------------------------------------------- *)
+
+let test_server_check_roundtrip () =
+  let srv = make_server () in
+  let img = target 910 "srv-check" in
+  let r = ask srv (check_line ~id:"c1" img) in
+  check Alcotest.bool "ok" true (is_ok r);
+  check Alcotest.(option string) "op" (Some "check") (str_field "op" r);
+  check Alcotest.(option string) "id" (Some "c1") (str_field "id" r);
+  check Alcotest.(option string) "image id" (Some "srv-check")
+    (str_field "image" r);
+  check Alcotest.(option bool) "complete" (Some false) (bool_field "partial" r);
+  let eng = Engine.compile (Lazy.force model) in
+  check Alcotest.string "items = full engine check"
+    (expect_items (Engine.check eng img))
+    (items_str r)
+
+let test_server_malformed_gets_typed_error () =
+  let srv = make_server () in
+  let r = ask srv "{\"op\":\"check\",\"image\":" in
+  check Alcotest.bool "not ok" true (not (is_ok r));
+  check Alcotest.(option string) "typed parse error" (Some "parse-error")
+    (str_field "error" r);
+  (* the daemon survives and keeps serving *)
+  let r2 = ask srv (check_line ~id:"after" (target 911 "after-garbage")) in
+  check Alcotest.bool "still serving" true (is_ok r2)
+
+let test_server_oversize_rejected_unqueued () =
+  let srv =
+    make_server
+      ~config:{ Server.default_config with Server.max_request_bytes = 128 }
+      ()
+  in
+  let r = one (Server.offer srv (String.make 129 'x')) in
+  check Alcotest.bool "rejected" true (not (is_ok r));
+  check Alcotest.(option string) "typed overflow" (Some "overflow")
+    (str_field "error" r);
+  check Alcotest.int "never queued" 0 (Server.pending srv);
+  check Alcotest.int "oversize is not shedding" 0 (Server.shed_count srv)
+
+let test_server_sheds_at_capacity () =
+  let srv =
+    make_server ~config:{ Server.default_config with Server.queue_capacity = 2 }
+      ()
+  in
+  let img = target 912 "srv-shed" in
+  none "first fits" (Server.offer srv (check_line ~id:"a" img));
+  none "second fits" (Server.offer srv (check_line ~id:"b" img));
+  let r = one (Server.offer srv (check_line ~id:"c" img)) in
+  check Alcotest.bool "shed response" true (not (is_ok r));
+  check Alcotest.(option bool) "marked overloaded" (Some true)
+    (bool_field "overloaded" r);
+  check Alcotest.(option string) "shed echoes its id" (Some "c")
+    (str_field "id" r);
+  check Alcotest.int "one shed" 1 (Server.shed_count srv);
+  check Alcotest.int "queue bounded" 2 (Server.pending srv);
+  (* the queued pair still completes, and shedding marks degradation *)
+  check Alcotest.bool "queued requests answered" true
+    (is_ok (one (Server.step srv)) && is_ok (one (Server.step srv)));
+  check Alcotest.int "degraded exit" 3 (Server.exit_code srv)
+
+let test_server_crash_supervision_and_breaker () =
+  let srv =
+    make_server
+      ~config:
+        {
+          Server.default_config with
+          Server.breaker_threshold = 2;
+          breaker_cooldown = 2;
+        }
+      ()
+  in
+  let img = target 913 "srv-crash" in
+  (* two injected crashes: both answered with typed errors, circuit opens *)
+  List.iter
+    (fun id ->
+      let r = ask srv (op_line ~id "crash") in
+      check Alcotest.bool (id ^ " answered") true (not (is_ok r)))
+    [ "k1"; "k2" ];
+  check Alcotest.int "two supervised restarts" 2 (Server.restart_count srv);
+  (* open circuit: checks are denied (typed, still answered) during backoff *)
+  let denied = ask srv (check_line ~id:"d1" img) in
+  check Alcotest.bool "denied while open" true (not (is_ok denied));
+  check Alcotest.(option string) "denial is typed" (Some "probe-failure")
+    (str_field "error" denied);
+  ignore (ask srv (check_line ~id:"d2" img));
+  (* cooldown spent: the half-open trial admits work and recloses *)
+  let r = ask srv (check_line ~id:"trial" img) in
+  check Alcotest.bool "half-open trial served" true (is_ok r);
+  let r2 = ask srv (check_line ~id:"steady" img) in
+  check Alcotest.bool "circuit closed again" true (is_ok r2);
+  (* control ops bypass the breaker throughout *)
+  check Alcotest.bool "status always served" true
+    (is_ok (ask srv (op_line ~id:"s" "status")));
+  check Alcotest.int "crashes degrade the exit code" 3 (Server.exit_code srv)
+
+let test_server_status_and_reload () =
+  let srv = make_server () in
+  ignore (ask srv (check_line ~id:"c" (target 914 "srv-status")));
+  let s = ask srv (op_line ~id:"s1" "status") in
+  check Alcotest.bool "status ok" true (is_ok s);
+  check Alcotest.bool "reports requests" true
+    (match int_field "requests" s with Some n -> n >= 1 | None -> false);
+  check Alcotest.bool "reports ring state" true
+    (Json.member "ring" s <> None);
+  check Alcotest.bool "reports breaker state" true
+    (str_field "breaker" s <> None);
+  let r = ask srv (op_line ~id:"r1" "reload") in
+  check Alcotest.bool "reload ok" true (is_ok r);
+  check Alcotest.bool "clean run exits 0" true (Server.exit_code srv = 0)
+
+let test_server_watch_delta_and_reload_fallback () =
+  let srv = make_server () in
+  let img = target 915 "srv-watch" in
+  ignore (ask srv (check_line ~id:"c" img));
+  let eng = Engine.compile (Lazy.force model) in
+  let rng = Prng.create 21 in
+  let cfg = mutate_config rng img in
+  let mutated = Image.set_config img Image.Mysql cfg in
+  let w = ask srv (watch_line ~id:"w1" ~image_id:"srv-watch" ~config:cfg) in
+  check Alcotest.bool "watch ok" true (is_ok w);
+  check Alcotest.(option string) "incremental path" (Some "delta")
+    (str_field "mode" w);
+  check Alcotest.string "delta = full check of the mutant"
+    (expect_items (Engine.check eng mutated))
+    (items_str w);
+  (* a reload staled the session: the next delta falls back to a full
+     re-seed and still answers identically *)
+  ignore (ask srv (op_line ~id:"r" "reload"));
+  let cfg2 = mutate_config rng mutated in
+  let mutated2 = Image.set_config mutated Image.Mysql cfg2 in
+  let w2 = ask srv (watch_line ~id:"w2" ~image_id:"srv-watch" ~config:cfg2) in
+  check Alcotest.bool "watch after reload ok" true (is_ok w2);
+  check Alcotest.(option string) "stale session re-seeds" (Some "full")
+    (str_field "mode" w2);
+  check Alcotest.string "full fallback identical"
+    (expect_items (Engine.check eng mutated2))
+    (items_str w2);
+  (* back on the incremental path after the re-seed *)
+  let cfg3 = mutate_config rng mutated2 in
+  let w3 = ask srv (watch_line ~id:"w3" ~image_id:"srv-watch" ~config:cfg3) in
+  check Alcotest.(option string) "delta again" (Some "delta")
+    (str_field "mode" w3)
+
+let test_server_watch_unknown_image () =
+  let srv = make_server () in
+  let r = ask srv (watch_line ~id:"w" ~image_id:"never-seen" ~config:"a=1\n") in
+  check Alcotest.bool "typed error" true (not (is_ok r));
+  check Alcotest.(option string) "parse-error kind" (Some "parse-error")
+    (str_field "error" r)
+
+let test_server_partial_verdict_under_deadline () =
+  let srv =
+    make_server
+      ~config:{ Server.default_config with Server.deadline_polls = Some 1 } ()
+  in
+  let img = target 916 "srv-deadline" in
+  let r = ask srv (check_line ~id:"c" img) in
+  check Alcotest.bool "partial verdict still ok" true (is_ok r);
+  check Alcotest.(option bool) "marked partial" (Some true)
+    (bool_field "partial" r);
+  (* a partial check seeds no session, so watch refuses the image *)
+  let w = ask srv (watch_line ~id:"w" ~image_id:"srv-deadline" ~config:"a=1\n") in
+  check Alcotest.bool "no session from a partial check" true (not (is_ok w))
+
+let test_server_graceful_drain () =
+  let srv = make_server () in
+  let img = target 917 "srv-drain" in
+  none "queued 1" (Server.offer srv (check_line ~id:"c1" img));
+  none "queued 2" (Server.offer srv (check_line ~id:"c2" img));
+  none "shutdown accepted" (Server.offer srv (op_line ~id:"bye" "shutdown"));
+  check Alcotest.bool "still running until the shutdown op runs" true
+    (Server.state srv = `Running);
+  (* in-flight requests finish during the drain *)
+  check Alcotest.bool "c1 served" true (is_ok (one (Server.step srv)));
+  check Alcotest.bool "c2 served" true (is_ok (one (Server.step srv)));
+  let bye_ack = one (Server.step srv) in
+  check Alcotest.bool "shutdown acknowledged" true (is_ok bye_ack);
+  check Alcotest.bool "draining" true (Server.state srv = `Draining);
+  (* new arrivals are ignored once draining *)
+  none "post-shutdown offer ignored" (Server.offer srv (check_line img));
+  let final = Server.drain_flush srv in
+  check Alcotest.bool "bye emitted" true
+    (List.exists (fun j -> str_field "op" j = Some "bye") final);
+  check Alcotest.bool "stopped" true (Server.state srv = `Stopped);
+  check Alcotest.int "clean exit" 0 (Server.exit_code srv)
+
+let test_server_run_loop_over_fake_transport () =
+  let srv = make_server () in
+  let img = target 918 "srv-run" in
+  let inbox =
+    ref [ check_line ~id:"c1" img; op_line ~id:"bye" "shutdown" ]
+  in
+  let sent = ref [] in
+  let recv ~wait:_ =
+    match !inbox with
+    | [] -> `Eof
+    | l :: rest ->
+        inbox := rest;
+        `Line l
+  in
+  let send j = sent := j :: !sent in
+  let code = Server.run srv ~recv ~send in
+  let sent = List.rev !sent in
+  check Alcotest.int "clean exit from the loop" 0 code;
+  check Alcotest.bool "check answered" true
+    (List.exists (fun j -> str_field "id" j = Some "c1" && is_ok j) sent);
+  check Alcotest.bool "bye emitted last" true
+    (match List.rev sent with
+    | last :: _ -> str_field "op" last = Some "bye"
+    | [] -> false);
+  check Alcotest.bool "stopped" true (Server.state srv = `Stopped)
+
+(* --- alert ring under storm ------------------------------------------------- *)
+
+let test_server_ring_bounds_alerts () =
+  let srv =
+    make_server
+      ~config:
+        { Server.default_config with Server.ring_capacity = 4; alert_score = 0.0 }
+      ()
+  in
+  (* every warning is an alert at threshold 0.0: checks on drifted
+     images overflow a 4-slot ring without growing it *)
+  let rng = Prng.create 33 in
+  for i = 0 to 7 do
+    let img = target (920 + i) (Printf.sprintf "ring-%d" i) in
+    let drifted =
+      Image.set_config img Image.Mysql (mutate_config rng img)
+    in
+    ignore (ask srv (check_line ~id:(Printf.sprintf "c%d" i) drifted))
+  done;
+  let s = ask srv (op_line ~id:"s" "status") in
+  let ring_len =
+    Option.bind (Json.member "ring" s) (int_field "length")
+  in
+  check Alcotest.bool "ring stayed inside its bound" true
+    (match ring_len with Some n -> n <= 4 | None -> false);
+  check Alcotest.bool "overflow recorded as drops" true
+    (Server.ring_dropped srv > 0);
+  let final = Server.drain_flush srv in
+  let flushed =
+    List.filter (fun j -> str_field "ev" j = Some "alert") final
+  in
+  check Alcotest.bool "drain flushes at most capacity alerts" true
+    (List.length flushed <= 4)
+
+(* --- the chaos soak ---------------------------------------------------------- *)
+
+let test_serve_storm_soak () =
+  match Chaosrun.serve_storm ~requests:10_000 ~n:12 ~seed:5 () with
+  | Error d -> Alcotest.failf "storm failed to launch: %s" d.Res.detail
+  | Ok o ->
+      check Alcotest.int "10k requests replayed" 10_000 o.Chaosrun.serve_requests;
+      check Alcotest.bool ">=5% malformed" true
+        (o.Chaosrun.serve_malformed * 20 >= o.Chaosrun.serve_requests);
+      check Alcotest.bool ">=5% oversized" true
+        (o.Chaosrun.serve_oversized * 20 >= o.Chaosrun.serve_requests);
+      check Alcotest.bool "crash ops in the mix" true
+        (o.Chaosrun.serve_crash_ops > 0);
+      check Alcotest.bool "storm forced shedding" true (o.Chaosrun.serve_shed > 0);
+      check Alcotest.bool "supervisor restarted the worker" true
+        (o.Chaosrun.serve_restarts > 0);
+      check Alcotest.bool "every queued request answered" true
+        o.Chaosrun.serve_all_answered;
+      check Alcotest.bool "ring bound held" true o.Chaosrun.serve_ring_bound_ok;
+      check Alcotest.bool "watch deltas compared" true
+        (o.Chaosrun.serve_watch_verified > 0);
+      check Alcotest.bool "watch deltas byte-identical" true
+        o.Chaosrun.serve_watch_identical;
+      check Alcotest.bool "drained cleanly" true o.Chaosrun.serve_drained;
+      check Alcotest.int "degraded-but-alive exit" 3 o.Chaosrun.serve_exit;
+      check Alcotest.(list string) "no contract violations" []
+        o.Chaosrun.serve_notes
+
+let () =
+  Alcotest.run "encore_serve"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "drop-oldest bound" `Quick test_ring_drop_oldest;
+          Alcotest.test_case "capacity clamp" `Quick test_ring_clamps_capacity;
+        ] );
+      ( "proto",
+        [
+          Alcotest.test_case "parses every op" `Quick test_proto_parse_ok;
+          Alcotest.test_case "typed parse errors" `Quick test_proto_parse_errors;
+          Alcotest.test_case "error response shape" `Quick
+            test_proto_error_response_shape;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "memoize and reload" `Quick
+            test_cache_memoize_and_reload;
+          Alcotest.test_case "typed provider failure" `Quick
+            test_cache_provider_failure_is_typed;
+        ] );
+      ( "watch",
+        [
+          Alcotest.test_case "start seeds full check" `Quick
+            test_watch_start_seeds_full_check;
+          Alcotest.test_case "delta byte-identical to full check" `Quick
+            test_watch_delta_byte_identical;
+          Alcotest.test_case "unchanged config empty delta" `Quick
+            test_watch_unchanged_config_is_empty_delta;
+          Alcotest.test_case "missing app is an error" `Quick
+            test_watch_missing_app_is_error;
+          Alcotest.test_case "partial leaves session intact" `Quick
+            test_watch_deadline_partial_leaves_session_intact;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "check roundtrip" `Quick test_server_check_roundtrip;
+          Alcotest.test_case "malformed typed error" `Quick
+            test_server_malformed_gets_typed_error;
+          Alcotest.test_case "oversize rejected unqueued" `Quick
+            test_server_oversize_rejected_unqueued;
+          Alcotest.test_case "sheds at capacity" `Quick
+            test_server_sheds_at_capacity;
+          Alcotest.test_case "crash supervision and breaker" `Quick
+            test_server_crash_supervision_and_breaker;
+          Alcotest.test_case "status and reload" `Quick
+            test_server_status_and_reload;
+          Alcotest.test_case "watch delta and reload fallback" `Quick
+            test_server_watch_delta_and_reload_fallback;
+          Alcotest.test_case "watch unknown image" `Quick
+            test_server_watch_unknown_image;
+          Alcotest.test_case "partial verdict under deadline" `Quick
+            test_server_partial_verdict_under_deadline;
+          Alcotest.test_case "graceful drain" `Quick test_server_graceful_drain;
+          Alcotest.test_case "run loop over fake transport" `Quick
+            test_server_run_loop_over_fake_transport;
+          Alcotest.test_case "ring bounds alerts" `Quick
+            test_server_ring_bounds_alerts;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "10k-request chaos storm" `Quick
+            test_serve_storm_soak;
+        ] );
+    ]
