@@ -357,6 +357,8 @@ type serve_measurement = {
   serve_wall_ns : int;
   serve_p50_us : float;
   serve_p99_us : float;
+  serve_daemon_p50_us : float;  (* the daemon's own rolling-window view *)
+  serve_daemon_p99_us : float;
   serve_images_per_s : float;
 }
 
@@ -445,6 +447,12 @@ let measure_serve () =
             lat.(i) <- float_of_int ns /. 1e3)
           lines)
   in
+  (* the daemon's own rolling-window estimate of the same replay,
+     read before shutdown: recorded next to the bench-side measurement
+     so the two percentile paths can be cross-checked (the window
+     estimate interpolates log-scale buckets, so agreement within ~2x
+     is the contract, not equality) *)
+  let wv = Encore_serve.Server.latency_window srv in
   Encore_serve.Server.request_shutdown srv;
   ignore (Encore_serve.Server.drain_flush srv);
   Array.sort compare lat;
@@ -454,6 +462,8 @@ let measure_serve () =
     serve_wall_ns;
     serve_p50_us = percentile lat 0.50;
     serve_p99_us = percentile lat 0.99;
+    serve_daemon_p50_us = wv.Encore_obs.Window.w_p50;
+    serve_daemon_p99_us = wv.Encore_obs.Window.w_p99;
     serve_images_per_s = images_per_s ~fleet_size:serve_requests serve_wall_ns;
   }
 
@@ -466,6 +476,8 @@ let print_serve_times () =
   Printf.printf "  sustained throughput  %12.1f images/s\n" m.serve_images_per_s;
   Printf.printf "  request latency p50   %12.1f us\n" m.serve_p50_us;
   Printf.printf "  request latency p99   %12.1f us\n" m.serve_p99_us;
+  Printf.printf "  daemon window p50     %12.1f us\n" m.serve_daemon_p50_us;
+  Printf.printf "  daemon window p99     %12.1f us\n" m.serve_daemon_p99_us;
   Printf.printf "  wall time             %12d ns  (%8.3f ms)\n" m.serve_wall_ns
     (float_of_int m.serve_wall_ns /. 1e6)
 
@@ -543,7 +555,9 @@ let write_json ~jobs path =
              ("wall_ns", Json.Int srv.serve_wall_ns);
              ("images_per_s", Json.Float srv.serve_images_per_s);
              ("p50_us", Json.Float srv.serve_p50_us);
-             ("p99_us", Json.Float srv.serve_p99_us) ]);
+             ("p99_us", Json.Float srv.serve_p99_us);
+             ("daemon_p50_us", Json.Float srv.serve_daemon_p50_us);
+             ("daemon_p99_us", Json.Float srv.serve_daemon_p99_us) ]);
         ("stages", Json.Arr stages) ]
   in
   let oc = open_out path in

@@ -128,16 +128,21 @@ let with_telemetry ~trace ~metrics f =
         Option.iter close_out oc)
       f
   in
-  if metrics then begin
-    print_newline ();
-    print_string
-      (Encore_util.Texttab.render ~title:"telemetry metrics"
-         ~header:[ "metric"; "kind"; "value" ]
-         (Encore_obs.Metrics.rows (Encore_obs.Metrics.snapshot ())))
-  end;
-  (match trace with
-   | Some path -> Printf.printf "trace written to %s\n" path
-   | None -> ());
+  (* stdout may be a pipe whose reader already went away (a scraper
+     disconnecting from `serve`); the epilogue is best-effort *)
+  (try
+     if metrics then begin
+       print_newline ();
+       print_string
+         (Encore_util.Texttab.render ~title:"telemetry metrics"
+            ~header:[ "metric"; "kind"; "value" ]
+            (Encore_obs.Metrics.rows (Encore_obs.Metrics.snapshot ())))
+     end;
+     (match trace with
+      | Some path -> Printf.printf "trace written to %s\n" path
+      | None -> ());
+     flush stdout
+   with Sys_error _ -> close_out_noerr stdout);
   code
 
 (* --- generate ------------------------------------------------------------ *)
@@ -540,16 +545,29 @@ let serve model_path store_dir socket_path seed profile n jobs queue_capacity
   | Some path -> serve_socket srv path
   | None ->
       let recv = fd_line_reader Unix.stdin in
+      (* a scraper spliced onto our pipes (e.g. `encore-cli top`) may
+         disconnect while the drain is still flushing; dropping the
+         remaining responses beats dying on the closed pipe *)
+      let peer_gone = ref false in
       let send resp =
-        print_string (response_line resp);
-        flush stdout
+        if not !peer_gone then
+          try
+            print_string (response_line resp);
+            flush stdout
+          with Sys_error _ ->
+            peer_gone := true;
+            (* leave nothing buffered: the at-exit flush of the standard
+               formatters would re-raise on the dead pipe (flush on a
+               closed channel is defined as a no-op) *)
+            close_out_noerr stdout
       in
       Encore_serve.Server.run srv ~recv ~send
 
 let serve_cmd =
   let doc =
     "Run the resident check daemon: JSONL requests ($(b,check), $(b,watch), \
-     $(b,reload), $(b,status), $(b,shutdown)) over stdio or a Unix socket.  \
+     $(b,reload), $(b,status), $(b,metrics), $(b,health), $(b,shutdown)) \
+     over stdio or a Unix socket.  \
      Oversized lines are rejected before queueing, a full queue sheds with \
      an $(i,overloaded) response, malformed requests get typed errors, \
      detections land in a bounded drop-oldest alert ring, and SIGTERM (or a \
@@ -593,6 +611,190 @@ let serve_cmd =
                      ~doc:"Warnings at or above $(docv) count as detections \
                            and enter the alert ring.")
           $ trace_arg $ metrics_arg)
+
+(* --- top ------------------------------------------------------------------ *)
+
+module Jx = Encore_obs.Jsonenc
+
+(* Counters named detect.rule_fired{rule="..."} from the metrics JSON,
+   as (rule label, count) descending — the "top-firing rules" panel. *)
+let top_firing_rules counters =
+  let prefix = "detect.rule_fired{rule=\"" in
+  let plen = String.length prefix in
+  List.filter_map
+    (fun (name, v) ->
+      if String.length name > plen + 2 && String.sub name 0 plen = prefix then
+        match Jx.to_int_opt v with
+        | Some n -> Some (String.sub name plen (String.length name - plen - 2), n)
+        | None -> None
+      else None)
+    counters
+  |> List.sort (fun (a, va) (b, vb) ->
+         match compare (vb : int) va with 0 -> compare (a : string) b | c -> c)
+
+let obj_fields = function Jx.Obj fields -> fields | _ -> []
+
+let render_frame ~frame health metrics =
+  let buf = Buffer.create 2048 in
+  let str j k = Option.bind (Jx.member k j) Jx.to_string_opt in
+  let num j k = Option.bind (Jx.member k j) Jx.to_float_opt in
+  let verdict = Option.value ~default:"?" (str health "health") in
+  let reasons =
+    match Jx.member "reasons" health with
+    | Some (Jx.Arr rs) -> List.filter_map Jx.to_string_opt rs
+    | _ -> []
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "encore top — frame %d — health: %s\n" frame verdict);
+  List.iter
+    (fun r -> Buffer.add_string buf (Printf.sprintf "  reason: %s\n" r))
+    reasons;
+  (match Jx.member "window" metrics with
+   | Some w ->
+       let f k = Option.value ~default:0.0 (num w k) in
+       Buffer.add_string buf
+         (Printf.sprintf
+            "window %.0fs: %d req (%.1f/s)  p50 %.0fus  p90 %.0fus  p99 \
+             %.0fus  max %.0fus\n"
+            (f "window_s")
+            (int_of_float (f "count"))
+            (f "rate") (f "p50") (f "p90") (f "p99") (f "max"))
+   | None -> ());
+  let registry = Option.value ~default:Jx.Null (Jx.member "metrics" metrics) in
+  let gauges = obj_fields (Option.value ~default:Jx.Null (Jx.member "gauges" registry)) in
+  let counters =
+    obj_fields (Option.value ~default:Jx.Null (Jx.member "counters" registry))
+  in
+  let gauge name =
+    match List.assoc_opt name gauges with
+    | Some v -> Option.value ~default:0.0 (Jx.to_float_opt v)
+    | None -> 0.0
+  in
+  let counter name =
+    match List.assoc_opt name counters with
+    | Some v -> Option.value ~default:0 (Jx.to_int_opt v)
+    | None -> 0
+  in
+  Buffer.add_string buf
+    (Encore_util.Texttab.render ~title:"daemon"
+       ~header:[ "signal"; "value" ]
+       [
+         [ "requests"; string_of_int (counter "serve.requests") ];
+         [ "shed"; string_of_int (counter "serve.shed") ];
+         [ "errors"; string_of_int (counter "serve.errors") ];
+         [ "restarts"; string_of_int (counter "serve.restarts") ];
+         [ "breaker denied"; string_of_int (counter "serve.breaker_denied") ];
+         [ "queue depth"; Printf.sprintf "%.0f" (gauge "serve.sampled.queue_depth") ];
+         [ "queue occupancy"; Printf.sprintf "%.0f%%" (100.0 *. gauge "serve.sampled.queue_occupancy") ];
+         [ "breaker state"; Option.value ~default:"?" (str health "breaker") ];
+         [ "sessions"; Printf.sprintf "%.0f" (gauge "serve.sampled.sessions") ];
+         [ "ring dropped"; Printf.sprintf "%.0f" (gauge "serve.sampled.ring_dropped") ];
+         [ "gc major heap words"; Printf.sprintf "%.0f" (gauge "runtime.gc.heap_words") ];
+       ]);
+  (match top_firing_rules counters with
+   | [] -> ()
+   | rules ->
+       Buffer.add_string buf
+         (Encore_util.Texttab.render ~title:"top-firing rules"
+            ~header:[ "rule"; "fired" ]
+            (List.filteri (fun i _ -> i < 10) rules
+            |> List.map (fun (r, n) -> [ r; string_of_int n ]))));
+  Buffer.contents buf
+
+(* Poll a running daemon: send a metrics (json) and a health request,
+   collect the two responses (skipping unrelated lines, e.g. drained
+   alerts), render one frame.  Transport is a connected Unix socket, or
+   stdio — requests on stdout, responses on stdin, frames on stderr —
+   so a harness can splice [top] onto a daemon's pipes. *)
+let top socket_path interval frames raw =
+  let cleanup = ref (fun () -> ()) in
+  match
+    (match socket_path with
+     | Some path ->
+         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         (try
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            cleanup := (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+            let send line =
+              ignore (Unix.write_substring fd line 0 (String.length line))
+            in
+            Ok (send, fd_line_reader fd, print_string)
+          with Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Error (Printf.sprintf "top: cannot connect to %s: %s" path
+                     (Unix.error_message e)))
+     | None ->
+         let send line = print_string line; flush stdout in
+         Ok (send, fd_line_reader Unix.stdin, prerr_string))
+  with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok (send, recv, render) ->
+      Fun.protect ~finally:(fun () -> !cleanup ()) @@ fun () ->
+      let rec collect ~idle_budget acc =
+        if idle_budget <= 0 then acc
+        else
+          match recv ~wait:true with
+          | `Eof -> acc
+          | `Idle -> collect ~idle_budget:(idle_budget - 1) acc
+          | `Line line -> (
+              match Jx.of_string line with
+              | Error _ -> collect ~idle_budget acc
+              | Ok json ->
+                  let acc =
+                    match Option.bind (Jx.member "op" json) Jx.to_string_opt with
+                    | Some "metrics" -> (Some json, snd acc)
+                    | Some "health" -> (fst acc, Some json)
+                    | _ -> acc
+                  in
+                  if fst acc <> None && snd acc <> None then acc
+                  else collect ~idle_budget acc)
+      in
+      let rec loop frame =
+        send "{\"op\":\"metrics\",\"format\":\"json\",\"id\":\"top-m\"}\n";
+        send "{\"op\":\"health\",\"id\":\"top-h\"}\n";
+        (* ~10s of idle ticks before giving up on the daemon *)
+        match collect ~idle_budget:40 (None, None) with
+        | Some metrics, Some health ->
+            if not raw then render "\027[2J\027[H";
+            render (render_frame ~frame health metrics);
+            if frames > 0 && frame >= frames then 0
+            else begin
+              Unix.sleepf interval;
+              loop (frame + 1)
+            end
+        | _ ->
+            prerr_endline "top: daemon did not answer metrics/health probes";
+            1
+      in
+      loop 1
+
+let top_cmd =
+  let doc =
+    "Live terminal view over a running serve daemon: rolling latency \
+     windows (p50/p90/p99, rate), the health verdict with its reasons, \
+     saturation gauges and the top-firing detection rules, polled via \
+     $(b,metrics)/$(b,health) requests.  Connects to $(b,--socket), or \
+     speaks the protocol over stdio (requests on stdout, responses on \
+     stdin, frames on stderr) so it can be spliced onto a daemon's pipes."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const top
+          $ Arg.(value & opt (some string) None
+                 & info [ "socket" ] ~docv:"PATH"
+                     ~doc:"Unix socket of the daemon (see 'serve --socket').")
+          $ Arg.(value & opt float 2.0
+                 & info [ "interval" ] ~docv:"SECS"
+                     ~doc:"Seconds between polls.")
+          $ Arg.(value & opt int 0
+                 & info [ "frames" ] ~docv:"N"
+                     ~doc:"Render $(docv) frames and exit (0 = poll until \
+                           the daemon goes away).")
+          $ Arg.(value & flag
+                 & info [ "raw" ]
+                     ~doc:"Do not clear the screen between frames (append \
+                           them instead)."))
 
 (* --- check ---------------------------------------------------------------- *)
 
@@ -1070,4 +1272,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; learn_cmd; check_cmd; inject_cmd; experiment_cmd;
             study_cmd; export_cmd; save_cmd; load_cmd; testgen_cmd; case_cmd;
-            ablation_cmd; chaos_cmd; serve_cmd; trace_cmd ]))
+            ablation_cmd; chaos_cmd; serve_cmd; top_cmd; trace_cmd ]))

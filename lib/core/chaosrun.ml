@@ -316,9 +316,55 @@ type serve_outcome = {
   serve_drained : bool;
   serve_watch_verified : int;
   serve_watch_identical : bool;
+  serve_metrics_served : int;
+  serve_metrics_valid : bool;
+  serve_rule_counters_seen : bool;
+  serve_health_served : int;
+  serve_health_degraded_seen : bool;
+  serve_health_final : string;
+  serve_traced : bool;
   serve_exit : int;
   serve_notes : string list;
 }
+
+(* Shallow validity check over a Prometheus exposition body: every line
+   is a [# TYPE] header or a sample whose last token is a number, and
+   all three instrument kinds appear.  Catches a garbled exposition
+   without re-implementing a full parser. *)
+let prom_valid body =
+  let kinds = Hashtbl.create 4 in
+  body <> String.empty
+  && List.for_all
+       (fun line ->
+         line = ""
+         ||
+         if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+           (match String.rindex_opt line ' ' with
+           | Some sp ->
+               Hashtbl.replace kinds
+                 (String.sub line (sp + 1) (String.length line - sp - 1))
+                 ()
+           | None -> ());
+           true
+         end
+         else
+           match String.rindex_opt line ' ' with
+           | None -> false
+           | Some sp ->
+               let v =
+                 String.sub line (sp + 1) (String.length line - sp - 1)
+               in
+               v = "+Inf" || v = "-Inf" || v = "NaN"
+               || float_of_string_opt v <> None)
+       (String.split_on_char '\n' body)
+  && Hashtbl.mem kinds "counter"
+  && Hashtbl.mem kinds "gauge"
+  && Hashtbl.mem kinds "histogram"
+
+let string_contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
 
 let serve_storm ?(config = Config.default) ?(requests = 10_000) ?(n = 16)
     ?(app = Image.Mysql) ~seed () =
@@ -371,6 +417,11 @@ let serve_storm ?(config = Config.default) ?(requests = 10_000) ?(n = 16)
   let watch_verified = ref 0 and watch_mismatch = ref 0 in
   let ring_max = ref 0 in
   let bye_seen = ref false in
+  let metrics_served = ref 0 and metrics_valid = ref true in
+  let rule_counters_seen = ref false in
+  let health_served = ref 0 and health_nonok_seen = ref false in
+  let last_health = ref "" in
+  let traced = ref true in
   let handle_response j =
     (match
        Option.bind
@@ -385,6 +436,44 @@ let serve_storm ?(config = Config.default) ?(requests = 10_000) ?(n = 16)
     let ok =
       match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> false
     in
+    (* telemetry contract: check/watch responses must carry the trace
+       id assigned at admission; metrics/health must stay serviceable
+       (breaker-bypassing) and structurally sound under the storm *)
+    (match Json.member "op" j with
+    | Some (Json.Str ("check" | "watch")) ->
+        if Json.member "trace" j = None && !traced then begin
+          traced := false;
+          note "check/watch response without a trace id"
+        end
+    | Some (Json.Str "metrics") when ok ->
+        incr metrics_served;
+        (match Json.member "body" j with
+        | Some (Json.Str body) ->
+            if not (prom_valid body) && !metrics_valid then begin
+              metrics_valid := false;
+              note "metrics body is not valid Prometheus text"
+            end;
+            if string_contains body "detect_rule_fired" then
+              rule_counters_seen := true
+        | _ ->
+            if !metrics_valid then begin
+              metrics_valid := false;
+              note "metrics response without a body"
+            end)
+    | Some (Json.Str "health") when ok -> (
+        incr health_served;
+        match
+          Option.bind (Json.member "health" j) Json.to_string_opt
+        with
+        | Some verdict ->
+            last_health := verdict;
+            if verdict <> "ok" then health_nonok_seen := true
+        | None ->
+            if !metrics_valid then begin
+              metrics_valid := false;
+              note "health response without a verdict"
+            end)
+    | _ -> ());
     match Option.bind (Json.member "id" j) Json.to_string_opt with
     | None -> ()
     | Some id -> (
@@ -530,11 +619,28 @@ let serve_storm ?(config = Config.default) ?(requests = 10_000) ?(n = 16)
         incr oversized;
         String.make (sconfig.Serve_server.max_request_bytes + 1) 'x'
       end
-      else if i mod 503 = 251 then begin
+      else if i mod 503 >= 251 && i mod 503 < 254 then begin
+        (* a burst of consecutive crashes, long enough to trip the
+           breaker (threshold 3), so the health verdict visibly
+           degrades and then recovers *)
         incr crashes;
         Json.to_string
           (Json.Obj [ ("op", Json.Str "crash"); ("id", Json.Str (req_id i)) ])
       end
+      else if i mod 503 = 254 then
+        (* probe health right behind the crash burst: the breaker just
+           opened, so this must answer (breaker-bypassing) and report a
+           degraded verdict *)
+        Json.to_string
+          (Json.Obj [ ("op", Json.Str "health"); ("id", Json.Str (req_id i)) ])
+      else if i mod 101 = 25 then
+        Json.to_string
+          (Json.Obj
+             [
+               ("op", Json.Str "metrics");
+               ("format", Json.Str "prometheus");
+               ("id", Json.Str (req_id i));
+             ])
       else if i mod 101 = 50 then
         Json.to_string
           (Json.Obj [ ("op", Json.Str "status"); ("id", Json.Str (req_id i)) ])
@@ -552,6 +658,17 @@ let serve_storm ?(config = Config.default) ?(requests = 10_000) ?(n = 16)
       step ();
       step ()
     end
+  done;
+  (* settle the backlog, then take a final health reading: the breaker
+     must have recovered (half-open trial succeeded) by now *)
+  while Serve_server.pending server > 0 do
+    step ()
+  done;
+  offer
+    (Json.to_string
+       (Json.Obj [ ("op", Json.Str "health"); ("id", Json.Str "h-final") ]));
+  while Serve_server.pending server > 0 do
+    step ()
   done;
   offer
     (Json.to_string
@@ -581,6 +698,13 @@ let serve_storm ?(config = Config.default) ?(requests = 10_000) ?(n = 16)
       serve_drained = !bye_seen && Serve_server.state server = `Stopped;
       serve_watch_verified = !watch_verified;
       serve_watch_identical = !watch_mismatch = 0;
+      serve_metrics_served = !metrics_served;
+      serve_metrics_valid = !metrics_valid;
+      serve_rule_counters_seen = !rule_counters_seen;
+      serve_health_served = !health_served;
+      serve_health_degraded_seen = !health_nonok_seen;
+      serve_health_final = !last_health;
+      serve_traced = !traced;
       serve_exit = Serve_server.exit_code server;
       serve_notes = !notes;
     }
@@ -606,6 +730,17 @@ let serve_outcome_to_string o =
        o.serve_watch_verified
        (if o.serve_watch_identical then "byte-identical to"
         else "DIVERGED from"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "telemetry: %d metrics scrape(s) (%s%s), %d health probe(s) \
+        (degraded %s, final '%s'), trace ids %s\n"
+       o.serve_metrics_served
+       (if o.serve_metrics_valid then "valid prometheus" else "INVALID")
+       (if o.serve_rule_counters_seen then ", rule counters present" else "")
+       o.serve_health_served
+       (if o.serve_health_degraded_seen then "observed" else "NOT OBSERVED")
+       o.serve_health_final
+       (if o.serve_traced then "present" else "MISSING"));
   Buffer.add_string buf
     (Printf.sprintf "drain: %s; exit code %d\n"
        (if o.serve_drained then "clean" else "INCOMPLETE")

@@ -96,7 +96,15 @@ val durability_outcome_to_string : durability_outcome -> string
     never crashes, answers every request it queued, keeps the alert
     ring inside its bound, keeps incremental watch verdicts
     byte-identical to full checks of the mutated image, and drains
-    cleanly on shutdown. *)
+    cleanly on shutdown.
+
+    The storm also exercises the telemetry verbs: [metrics] scrapes and
+    [health] probes ride in the mix (including one right behind each
+    crash burst, while the breaker is open), so it checks that both
+    stay serviceable under overload, that the exposition body is valid
+    Prometheus text, that the health verdict degrades when the breaker
+    opens and recovers to [ok] by the end, and that every check/watch
+    response carries a trace id. *)
 
 type serve_outcome = {
   serve_requests : int;   (** request lines replayed *)
@@ -116,6 +124,19 @@ type serve_outcome = {
   serve_watch_verified : int;
       (** watch verdicts compared against an independent full check *)
   serve_watch_identical : bool;  (** every comparison was byte-identical *)
+  serve_metrics_served : int;  (** ok metrics scrapes answered *)
+  serve_metrics_valid : bool;
+      (** every scrape body was well-formed Prometheus text with
+          counter, gauge and histogram families *)
+  serve_rule_counters_seen : bool;
+      (** a [detect_rule_fired] per-rule counter appeared in a scrape *)
+  serve_health_served : int;  (** ok health probes answered *)
+  serve_health_degraded_seen : bool;
+      (** a non-[ok] verdict was observed (breaker open after a crash
+          burst) *)
+  serve_health_final : string;  (** verdict of the last probe ("ok") *)
+  serve_traced : bool;
+      (** every check/watch response carried a trace id *)
   serve_exit : int;       (** the daemon's exit code (0 or 3) *)
   serve_notes : string list;  (** discrepancies (empty on success) *)
 }

@@ -255,12 +255,24 @@ let rules_touching t attrs =
     attrs;
   List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) hit [])
 
+(* Labelled series for the fleet exposition: which rules fire, and how
+   often each app trips the name / suspicious-value checks.  Counted at
+   the granular units (rule) or the check entry point (app), so both
+   the full-check and the delta-scoped serve paths feed them. *)
+let m_rule_fired rule =
+  Ometrics.counter
+    (Ometrics.labeled "detect.rule_fired"
+       [ ("rule", rule.Template.attr_a ^ "->" ^ rule.Template.attr_b) ])
+
+let by_app name app = Ometrics.counter (Ometrics.labeled name [ ("app", app) ])
+
 (* One rule's verdict in a target context: [None] when the rule holds or
    its slot attributes are absent there. *)
 let rule_warning t ctx i =
   let rule = t.rules.(i) in
   match Template.rule_holds rule ctx with
   | Some false ->
+      Ometrics.incr (m_rule_fired rule);
       Some
         {
           Warning.kind = Warning.Correlation_violation rule;
@@ -410,4 +422,20 @@ let check ?(checks = all_checks) t img =
            else [])
         @ type_ws @ value_ws
       in
+      let app =
+        match img.Encore_sysenv.Image.configs with
+        | { Encore_sysenv.Image.app; _ } :: _ ->
+            Encore_sysenv.Image.app_to_string app
+        | [] -> "default"
+      in
+      List.iter
+        (fun (w : Warning.t) ->
+          match w.Warning.kind with
+          | Warning.Entry_name_violation { nearest = Some _; _ } ->
+              (* the near index produced a candidate: a name hit *)
+              Ometrics.incr (by_app "detect.near_miss" app)
+          | Warning.Suspicious_value _ ->
+              Ometrics.incr (by_app "detect.suspicious" app)
+          | _ -> ())
+        warnings;
       List.sort Warning.compare_rank warnings)

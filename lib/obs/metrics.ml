@@ -85,14 +85,19 @@ let histogram name =
       h
 
 (* Log-scale (base 2) buckets: bucket [b] with 0 < b < 63 counts values
-   in [2^(b-1), 2^b); bucket 0 absorbs everything below 1 (and NaN);
-   bucket 63 absorbs everything at or above 2^62. *)
+   in [2^(b-1), 2^b); bucket 0 absorbs everything below 1 (zero,
+   negatives, -inf, NaN, subnormals); bucket 63 absorbs everything at
+   or above 2^62.  Zero and negative observations must land in bucket 0
+   deterministically — [frexp] is never consulted for them, so no
+   exponent underflow can smear them across buckets. *)
 let bucket_of_value v =
   match Float.classify_float v with
   | Float.FP_nan -> 0
   | Float.FP_infinite -> if v > 0.0 then n_buckets - 1 else 0
-  | _ ->
-      if v < 1.0 then 0
+  | Float.FP_zero -> 0
+  | Float.FP_subnormal -> 0
+  | Float.FP_normal ->
+      if v < 1.0 then 0 (* covers every negative and (0, 1) *)
       else
         let _, e = Float.frexp v in
         if e > n_buckets - 2 then n_buckets - 1 else e
@@ -207,6 +212,120 @@ let snapshot_to_json s =
                    ] ))
              s.histograms) );
     ]
+
+(* --- Prometheus text exposition ------------------------------------------ *)
+
+(* Label values may carry arbitrary attribute names; the exposition
+   format reserves backslash, double quote and newline. *)
+let prom_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let labeled name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+      let labels =
+        List.sort (fun (a, _) (b, _) -> compare (a : string) b) labels
+      in
+      Printf.sprintf "%s{%s}" name
+        (String.concat ","
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v))
+              labels))
+
+(* Family name and the raw label block (sans braces) of a registry
+   name.  Names without a '{' are their own family with no labels. *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, "")
+  | Some i ->
+      let fam = String.sub name 0 i in
+      let n = String.length name in
+      if n > i + 1 && name.[n - 1] = '}' then
+        (fam, String.sub name (i + 1) (n - i - 2))
+      else (fam, "")
+
+let prom_family fam =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    fam
+
+let prom_num v =
+  match Float.classify_float v with
+  | Float.FP_nan -> "NaN"
+  | Float.FP_infinite -> if v > 0.0 then "+Inf" else "-Inf"
+  | _ ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Printf.sprintf "%.0f" v
+      else Printf.sprintf "%g" v
+
+let snapshot_to_prom s =
+  let buf = Buffer.create 4096 in
+  let last_family = ref "" in
+  let type_line fam kind =
+    if fam <> !last_family then begin
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam kind);
+      last_family := fam
+    end
+  in
+  let series fam labels value =
+    Buffer.add_string buf
+      (if labels = "" then Printf.sprintf "%s %s\n" fam value
+       else Printf.sprintf "%s{%s} %s\n" fam labels value)
+  in
+  List.iter
+    (fun (name, v) ->
+      let fam, labels = split_labels name in
+      let fam = prom_family fam in
+      type_line fam "counter";
+      series fam labels (string_of_int v))
+    s.counters;
+  last_family := "";
+  List.iter
+    (fun (name, v) ->
+      let fam, labels = split_labels name in
+      let fam = prom_family fam in
+      type_line fam "gauge";
+      series fam labels (prom_num v))
+    s.gauges;
+  last_family := "";
+  List.iter
+    (fun (name, hv) ->
+      let fam, labels = split_labels name in
+      let fam = prom_family fam in
+      type_line fam "histogram";
+      let with_le le =
+        if labels = "" then Printf.sprintf "le=\"%s\"" le
+        else Printf.sprintf "%s,le=\"%s\"" labels le
+      in
+      let cum = ref 0 in
+      List.iter
+        (fun (b, n) ->
+          cum := !cum + n;
+          let _, ub = bucket_bounds b in
+          (* the top bucket's finite edge is +Inf, which the final
+             catch-all series below already reports *)
+          if ub < infinity then
+            series (fam ^ "_bucket") (with_le (prom_num ub))
+              (string_of_int !cum))
+        hv.hv_buckets;
+      series (fam ^ "_bucket") (with_le "+Inf") (string_of_int hv.hv_count);
+      series (fam ^ "_sum") labels (prom_num hv.hv_sum);
+      series (fam ^ "_count") labels (string_of_int hv.hv_count))
+    s.histograms;
+  Buffer.contents buf
 
 let rows s =
   List.map

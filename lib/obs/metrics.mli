@@ -25,12 +25,23 @@ val set_max : gauge -> float -> unit
 
 val histogram : string -> histogram
 
+val n_buckets : int
+(** Bucket count of every histogram (64). *)
+
 val observe : histogram -> float -> unit
 
 val bucket_of_value : float -> int
 (** Base-2 log-scale bucket index: bucket [b] (0 < b < 63) covers
-    [\[2^(b-1), 2^b)]; bucket 0 everything below 1; bucket 63
-    everything at or above [2^62]. *)
+    [\[2^(b-1), 2^b)]; bucket 0 everything below 1 — zero, negatives,
+    [-inf], NaN and subnormals all land there deterministically;
+    bucket 63 everything at or above [2^62]. *)
+
+val labeled : string -> (string * string) list -> string
+(** [labeled name [(k, v); ...]] is the canonical registry name of a
+    labelled series: [name{k="v",...}] with keys sorted and values
+    escaped, so the same label set always yields the same name.
+    {!snapshot_to_prom} splits it back into a Prometheus family plus
+    label block; the JSON encoder keeps the flat name. *)
 
 val bucket_bounds : int -> float * float
 (** Inclusive-lower / exclusive-upper bounds of a bucket. *)
@@ -57,6 +68,13 @@ val reset : unit -> unit
 (** Zero every instrument in place. *)
 
 val snapshot_to_json : snapshot -> Jsonenc.t
+
+val snapshot_to_prom : snapshot -> string
+(** Prometheus text exposition (format 0.0.4): one [# TYPE] header per
+    family, counter/gauge/histogram sections, labels recovered from
+    {!labeled} names.  Histograms render cumulative [_bucket] series
+    over the non-empty log-scale buckets (upper edges as [le]), plus
+    [_sum] and [_count].  Deterministic for a deterministic snapshot. *)
 
 val rows : snapshot -> string list list
 (** [[name; kind; value]] rows for table rendering. *)

@@ -1,0 +1,37 @@
+(* Runtime sampler: the one sanctioned Gc.quick_stat call site (the
+   lint gate bans it elsewhere under lib/), so every GC reading in the
+   registry comes from a single poll cadence instead of ad-hoc probes
+   scattered through hot paths. *)
+
+type t = {
+  interval_ns : int64;
+  gauges : unit -> (string * float) list;
+  mutable last_ns : int64;  (* -1 = never sampled *)
+  mutable samples : int;
+}
+
+let create ?(interval_ns = 1_000_000_000L) ?(gauges = fun () -> []) () =
+  { interval_ns = Int64.max 1L interval_ns; gauges; last_ns = -1L; samples = 0 }
+
+let set name v = Metrics.set (Metrics.gauge name) v
+
+let sample t =
+  let st = Gc.quick_stat () in
+  set "runtime.gc.minor_collections" (float_of_int st.Gc.minor_collections);
+  set "runtime.gc.major_collections" (float_of_int st.Gc.major_collections);
+  set "runtime.gc.compactions" (float_of_int st.Gc.compactions);
+  set "runtime.gc.heap_words" (float_of_int st.Gc.heap_words);
+  set "runtime.gc.minor_words" st.Gc.minor_words;
+  List.iter (fun (name, v) -> set name v) (t.gauges ());
+  t.samples <- t.samples + 1;
+  t.last_ns <- Clock.now_ns ()
+
+let poll t =
+  let now = Clock.now_ns () in
+  if t.last_ns < 0L || Int64.sub now t.last_ns >= t.interval_ns then begin
+    sample t;
+    true
+  end
+  else false
+
+let samples t = t.samples

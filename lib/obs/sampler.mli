@@ -1,0 +1,30 @@
+(** Runtime sampler: periodic capture of GC statistics plus
+    caller-supplied gauges into the {!Metrics} registry.
+
+    This module is the only place in [lib/] allowed to call
+    [Gc.quick_stat] (enforced by the lint gate), keeping runtime-stat
+    collection on one cadence.  A sampler has no thread of its own: the
+    owning event loop calls {!poll} on its ticks, and the sampler
+    decides — against {!Clock.now_ns} — whether the cadence elapsed. *)
+
+type t
+
+val create :
+  ?interval_ns:int64 -> ?gauges:(unit -> (string * float) list) -> unit -> t
+(** A sampler firing at most every [interval_ns] (default 1s).
+    [gauges] supplies extra (name, value) pairs captured on the same
+    cadence — queue depth, breaker state, ring drops; names may be
+    {!Metrics.labeled}. *)
+
+val sample : t -> unit
+(** Capture now, unconditionally: [Gc.quick_stat] into
+    [runtime.gc.minor_collections], [runtime.gc.major_collections],
+    [runtime.gc.compactions], [runtime.gc.heap_words] and
+    [runtime.gc.minor_words] gauges, then the caller's [gauges]. *)
+
+val poll : t -> bool
+(** {!sample} if the interval elapsed since the last capture (or none
+    happened yet); returns whether it sampled. *)
+
+val samples : t -> int
+(** Captures so far. *)

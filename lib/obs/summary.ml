@@ -150,7 +150,7 @@ let of_file ?top path =
       let lines, truncated = split_torn content in
       Ok (of_lines ?top ~truncated lines)
 
-let of_spans ?top roots =
+let of_spans ?top ?truncated roots =
   let spans = ref [] in
   List.iter
     (Trace.iter_tree (fun (sp : Trace.span) ->
@@ -162,7 +162,7 @@ let of_spans ?top roots =
            }
            :: !spans))
     roots;
-  of_records ?top ~event_kinds:[] ~diag_kinds:[] ~bad_lines:0
+  of_records ?top ?truncated ~event_kinds:[] ~diag_kinds:[] ~bad_lines:0
     ~event_count:0 (List.rev !spans)
 
 let ms ns = float_of_int ns /. 1e6

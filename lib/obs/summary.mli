@@ -37,7 +37,10 @@ val of_file : ?top:int -> string -> (t, string) result
     and the summary's [truncated] flag set, so a log from a daemon
     killed mid-write still summarizes. *)
 
-val of_spans : ?top:int -> Trace.span list -> t
-(** Summarize {!Trace.roots} collected by the memory sink. *)
+val of_spans : ?top:int -> ?truncated:bool -> Trace.span list -> t
+(** Summarize {!Trace.roots} collected by the memory sink.
+    [truncated] (default false) marks the summary as built from a torn
+    source — same semantics as {!of_lines}, so in-memory and replayed
+    summaries agree on the flag. *)
 
 val to_string : t -> string

@@ -1,0 +1,167 @@
+(* Sliding-window latency aggregation: a ring of fixed-interval
+   sub-histograms over the Metrics bucket scheme.  Each observation
+   lands in the sub-histogram of its wall-clock interval; a view merges
+   the intervals still inside the window and estimates quantiles by a
+   cumulative bucket walk, so rolling p50/p90/p99 cost O(intervals *
+   n_buckets) at read time and one array increment at write time. *)
+
+type slot = {
+  mutable epoch : int64;  (* interval index the slot holds; -1 = empty *)
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable max : float;
+}
+
+type t = {
+  intervals : int;
+  interval_ns : int64;
+  slots : slot array;
+  mu : Mutex.t;
+}
+
+type view = {
+  w_count : int;
+  w_sum : float;
+  w_max : float;
+  w_rate : float;
+  w_p50 : float;
+  w_p90 : float;
+  w_p99 : float;
+  w_window_s : float;
+}
+
+let create ?(intervals = 10) ?(interval_ns = 1_000_000_000L) () =
+  let intervals = max 1 intervals in
+  let interval_ns = Int64.max 1L interval_ns in
+  {
+    intervals;
+    interval_ns;
+    slots =
+      Array.init intervals (fun _ ->
+          {
+            epoch = -1L;
+            buckets = Array.make Metrics.n_buckets 0;
+            count = 0;
+            sum = 0.0;
+            max = neg_infinity;
+          });
+    mu = Mutex.create ();
+  }
+
+let window_s t =
+  Int64.to_float t.interval_ns *. float_of_int t.intervals /. 1e9
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let epoch_of t now_ns = Int64.div now_ns t.interval_ns
+
+let slot_for t epoch =
+  t.slots.(Int64.to_int (Int64.rem epoch (Int64.of_int t.intervals)))
+
+let observe t v =
+  let now = Clock.now_ns () in
+  locked t @@ fun () ->
+  let e = epoch_of t now in
+  let s = slot_for t e in
+  if s.epoch <> e then begin
+    (* the slot still holds an interval that aged out of the window:
+       recycle it for the current one *)
+    s.epoch <- e;
+    Array.fill s.buckets 0 Metrics.n_buckets 0;
+    s.count <- 0;
+    s.sum <- 0.0;
+    s.max <- neg_infinity
+  end;
+  let b = Metrics.bucket_of_value v in
+  s.buckets.(b) <- s.buckets.(b) + 1;
+  s.count <- s.count + 1;
+  s.sum <- s.sum +. v;
+  if v > s.max then s.max <- v
+
+(* Quantile estimate from merged buckets: find the bucket holding the
+   rank, interpolate linearly inside it.  Bucket 0's lower edge is
+   taken as 0 (its true lower bound is -inf) and the top bucket's upper
+   edge as the observed maximum, so estimates never exceed max. *)
+let quantile ~buckets ~count ~vmax q =
+  if count <= 0 then 0.0
+  else begin
+    let rank = Float.max 1.0 (Float.of_int count *. q) in
+    let est = ref vmax in
+    let cum = ref 0 in
+    (try
+       for b = 0 to Metrics.n_buckets - 1 do
+         let n = buckets.(b) in
+         if n > 0 then begin
+           let prev = float_of_int !cum in
+           cum := !cum + n;
+           if float_of_int !cum >= rank then begin
+             let lo, hi = Metrics.bucket_bounds b in
+             let lo = if b = 0 then 0.0 else lo in
+             let hi = if hi = infinity then Float.max lo vmax else hi in
+             let frac = (rank -. prev) /. float_of_int n in
+             est := lo +. ((hi -. lo) *. frac);
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    Float.min !est vmax
+  end
+
+let view t =
+  let now = Clock.now_ns () in
+  locked t @@ fun () ->
+  let e = epoch_of t now in
+  let floor_epoch = Int64.sub e (Int64.of_int (t.intervals - 1)) in
+  let merged = Array.make Metrics.n_buckets 0 in
+  let count = ref 0 and sum = ref 0.0 and vmax = ref neg_infinity in
+  Array.iter
+    (fun s ->
+      if s.epoch >= floor_epoch && s.epoch <= e && s.count > 0 then begin
+        Array.iteri (fun b n -> merged.(b) <- merged.(b) + n) s.buckets;
+        count := !count + s.count;
+        sum := !sum +. s.sum;
+        if s.max > !vmax then vmax := s.max
+      end)
+    t.slots;
+  let count = !count in
+  let vmax = if count = 0 then 0.0 else !vmax in
+  let q = quantile ~buckets:merged ~count ~vmax in
+  {
+    w_count = count;
+    w_sum = !sum;
+    w_max = vmax;
+    w_rate = float_of_int count /. window_s t;
+    w_p50 = q 0.50;
+    w_p90 = q 0.90;
+    w_p99 = q 0.99;
+    w_window_s = window_s t;
+  }
+
+let view_json v =
+  Jsonenc.Obj
+    [
+      ("count", Jsonenc.Int v.w_count);
+      ("sum", Jsonenc.Float v.w_sum);
+      ("max", Jsonenc.Float v.w_max);
+      ("rate", Jsonenc.Float v.w_rate);
+      ("p50", Jsonenc.Float v.w_p50);
+      ("p90", Jsonenc.Float v.w_p90);
+      ("p99", Jsonenc.Float v.w_p99);
+      ("window_s", Jsonenc.Float v.w_window_s);
+    ]
+
+(* Mirror a view into registry gauges so one exposition pass (JSON or
+   Prometheus) carries the rolling stats alongside the lifetime
+   instruments. *)
+let export v ~prefix =
+  let g name value = Metrics.set (Metrics.gauge (prefix ^ "." ^ name)) value in
+  g "count" (float_of_int v.w_count);
+  g "rate" v.w_rate;
+  g "p50" v.w_p50;
+  g "p90" v.w_p90;
+  g "p99" v.w_p99;
+  g "max" v.w_max

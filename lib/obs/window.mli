@@ -1,0 +1,49 @@
+(** Rolling (sliding-window) aggregation over the {!Metrics} bucket
+    scheme.
+
+    A window keeps a ring of fixed-interval sub-histograms; an
+    observation is one array increment into the sub-histogram of the
+    current {!Clock} interval, and intervals older than the window are
+    recycled in place.  {!view} merges the live intervals and estimates
+    quantiles by a cumulative bucket walk with linear interpolation
+    inside the winning bucket — the same log-scale buckets as
+    {!Metrics.histogram}, so a rolling p99 and the lifetime histogram
+    always agree on bucketing.
+
+    Windows are standalone values (not registry instruments): each
+    server owns its own, and tests drive them with a deterministic
+    {!Clock} source. *)
+
+type t
+
+val create : ?intervals:int -> ?interval_ns:int64 -> unit -> t
+(** A window of [intervals] (default 10) sub-histograms of
+    [interval_ns] (default 1s) each — a 10-second rolling window by
+    default.  Values are clamped to at least one interval of 1ns. *)
+
+val observe : t -> float -> unit
+(** Record one observation at the current {!Clock.now_ns} interval.
+    Thread-safe. *)
+
+type view = {
+  w_count : int;     (** observations inside the window *)
+  w_sum : float;
+  w_max : float;     (** 0 when the window is empty *)
+  w_rate : float;    (** observations per second over the full window *)
+  w_p50 : float;
+  w_p90 : float;
+  w_p99 : float;
+  w_window_s : float;  (** window span in seconds *)
+}
+
+val view : t -> view
+(** Merge the intervals still inside the window as of now.  Quantile
+    estimates interpolate within a bucket, never exceed [w_max], and
+    are 0 for an empty window. *)
+
+val view_json : view -> Jsonenc.t
+
+val export : view -> prefix:string -> unit
+(** Mirror the view into registry gauges [prefix.count], [prefix.rate],
+    [prefix.p50/p90/p99] and [prefix.max], so a single metrics
+    exposition carries the rolling stats. *)

@@ -5,6 +5,8 @@ module Res = Encore_util.Resilience
 
 type check_source = Inline of string | Path of string
 
+type metrics_format = Prometheus | Json_body
+
 type request =
   | Check of { id : string option; source : check_source }
   | Watch of {
@@ -15,6 +17,8 @@ type request =
     }
   | Reload of { id : string option }
   | Status of { id : string option }
+  | Metrics of { id : string option; format : metrics_format }
+  | Health of { id : string option }
   | Shutdown of { id : string option }
   | Crash of { id : string option }
 
@@ -23,6 +27,8 @@ let request_op = function
   | Watch _ -> "watch"
   | Reload _ -> "reload"
   | Status _ -> "status"
+  | Metrics _ -> "metrics"
+  | Health _ -> "health"
   | Shutdown _ -> "shutdown"
   | Crash _ -> "crash"
 
@@ -31,11 +37,17 @@ let request_id = function
   | Watch { id; _ }
   | Reload { id }
   | Status { id }
+  | Metrics { id; _ }
+  | Health { id }
   | Shutdown { id }
   | Crash { id } ->
       id
 
-let ops = [ "check"; "watch"; "reload"; "status"; "shutdown"; "crash" ]
+let ops =
+  [
+    "check"; "watch"; "reload"; "status"; "metrics"; "health"; "shutdown";
+    "crash";
+  ]
 
 let subject = "serve"
 
@@ -62,6 +74,18 @@ let parse line =
           | _ -> bad "watch: needs 'image' (id), 'app' and 'config' fields")
       | Some "reload" -> Ok (Reload { id })
       | Some "status" -> Ok (Status { id })
+      | Some "metrics" -> (
+          match str "format" with
+          | None | Some "prometheus" | Some "prom" ->
+              Ok (Metrics { id; format = Prometheus })
+          | Some "json" -> Ok (Metrics { id; format = Json_body })
+          | Some other ->
+              bad
+                (Printf.sprintf
+                   "metrics: unknown format '%s' (expected 'prometheus' or \
+                    'json')"
+                   other))
+      | Some "health" -> Ok (Health { id })
       | Some "shutdown" -> Ok (Shutdown { id })
       | Some "crash" -> Ok (Crash { id })
       | Some op ->
@@ -117,6 +141,14 @@ let verdict_response ?id ~op ~image ~partial ~detections ?delta warnings =
         ( "items",
           Json.Arr (List.map Encore_detect.Report.warning_json warnings) );
       ])
+
+(* Trace ids are assigned by the server at admission, after the
+   response builders ran, so they are stamped onto the finished object;
+   appended last to keep ok/id/op leading the line. *)
+let with_trace trace json =
+  match (trace, json) with
+  | Some tid, Json.Obj fields -> Json.Obj (fields @ [ ("trace", Json.Str tid) ])
+  | _ -> json
 
 let alert_json ~image (w : Encore_detect.Warning.t) =
   match Encore_detect.Report.warning_json w with

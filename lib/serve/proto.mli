@@ -14,11 +14,23 @@
     - [{"op":"reload"}] — re-read the model from the provider and
       invalidate stale engines;
     - [{"op":"status"}] — counters, ring and breaker state;
+    - [{"op":"metrics","format":"prometheus"|"json"}] — a metrics
+      scrape: Prometheus exposition text in a [body] field (default),
+      or the JSON snapshot plus the rolling window view;
+    - [{"op":"health"}] — rolling health verdict (ok / degraded /
+      unhealthy) with the reasons listed;
     - [{"op":"shutdown"}] — drain the queue, flush the alert ring, exit;
     - [{"op":"crash"}] — fault injection: the worker raises mid-request
-      (chaos drills exercise the supervisor with it). *)
+      (chaos drills exercise the supervisor with it).
+
+    Every response to an admitted request additionally carries a
+    [trace] field — the per-request trace id the server assigned at
+    {!Server.offer} — joining the response to the [serve-request] span
+    in the JSONL event log. *)
 
 type check_source = Inline of string | Path of string
+
+type metrics_format = Prometheus | Json_body
 
 type request =
   | Check of { id : string option; source : check_source }
@@ -30,6 +42,8 @@ type request =
     }
   | Reload of { id : string option }
   | Status of { id : string option }
+  | Metrics of { id : string option; format : metrics_format }
+  | Health of { id : string option }
   | Shutdown of { id : string option }
   | Crash of { id : string option }
 
@@ -71,6 +85,10 @@ val verdict_response :
     [items] (each rendered by {!Encore_detect.Report.warning_json}),
     [partial:true] when a deadline cut the check short.  [delta] is
     [(mode, changed_attrs, rules_rechecked)] for watch responses. *)
+
+val with_trace : string option -> Encore_obs.Jsonenc.t -> Encore_obs.Jsonenc.t
+(** Stamp a trace id onto a finished response object (appended last);
+    identity on [None] or a non-object. *)
 
 val alert_json :
   image:string -> Encore_detect.Warning.t -> Encore_obs.Jsonenc.t

@@ -3,6 +3,8 @@ module Res = Encore_util.Resilience
 module Deadline = Encore_util.Deadline
 module Ometrics = Encore_obs.Metrics
 module Otrace = Encore_obs.Trace
+module Owindow = Encore_obs.Window
+module Osampler = Encore_obs.Sampler
 module Image = Encore_sysenv.Image
 module Collector = Encore_sysenv.Collector
 module Engine = Encore_detect.Engine
@@ -20,6 +22,10 @@ type config = {
   max_sessions : int;
   breaker_threshold : int;
   breaker_cooldown : int;
+  window_intervals : int;
+  window_interval_ns : int64;
+  sampler_interval_ns : int64;
+  health_p99_us : float;
 }
 
 let default_config =
@@ -33,6 +39,10 @@ let default_config =
     max_sessions = 128;
     breaker_threshold = 3;
     breaker_cooldown = 4;
+    window_intervals = 10;
+    window_interval_ns = 1_000_000_000L;
+    sampler_interval_ns = 1_000_000_000L;
+    health_p99_us = 250_000.0;
   }
 
 type state = Running | Draining | Stopped
@@ -40,7 +50,7 @@ type state = Running | Draining | Stopped
 type t = {
   config : config;
   cache : Cache.t;
-  queue : string Queue.t;
+  queue : (string * string) Queue.t;  (* (trace id, raw line) *)
   ring : Json.t Ring.t;
   sessions : (string, Watch.session * int) Hashtbl.t;
       (* image id -> (session, cache generation the session was built
@@ -56,6 +66,9 @@ type t = {
   mutable restarts : int;
   mutable denied : int;
   mutable reloads : int;
+  mutable trace_seq : int;
+  lat : Owindow.t;  (* rolling request-latency window (µs) *)
+  sampler : Osampler.t;
 }
 
 let worker_subject = "serve.worker"
@@ -73,26 +86,60 @@ let m_reloads = Ometrics.counter "serve.reloads"
 let m_queue_depth = Ometrics.gauge "serve.queue_depth"
 let h_request_us = Ometrics.histogram "serve.request_us"
 
+let breaker_level = function
+  | Res.Closed -> 0.0
+  | Res.Half_open -> 1.0
+  | Res.Open -> 2.0
+
+(* Saturation and robustness state the sampler mirrors into gauges on
+   its cadence, so a scrape sees recent values even between requests. *)
+let sampled_gauges t () =
+  [
+    ("serve.sampled.queue_depth", float_of_int (Queue.length t.queue));
+    ( "serve.sampled.queue_occupancy",
+      float_of_int (Queue.length t.queue)
+      /. float_of_int (max 1 t.config.queue_capacity) );
+    ( "serve.sampled.breaker",
+      breaker_level (Res.state t.breaker ~subject:worker_subject) );
+    ("serve.sampled.ring_dropped", float_of_int (Ring.dropped t.ring));
+    ("serve.sampled.sessions", float_of_int (Hashtbl.length t.sessions));
+  ]
+
 let create ?(config = default_config) cache =
-  {
-    config;
-    cache;
-    queue = Queue.create ();
-    ring = Ring.create ~capacity:config.ring_capacity;
-    sessions = Hashtbl.create 64;
-    session_order = [];
-    breaker =
-      Res.breaker ~threshold:config.breaker_threshold
-        ~cooldown:config.breaker_cooldown ();
-    state = Running;
-    requests = 0;
-    answered = 0;
-    shed = 0;
-    errors = 0;
-    restarts = 0;
-    denied = 0;
-    reloads = 0;
-  }
+  (* the sampler's gauge provider needs the server it belongs to; tie
+     the knot through a cell instead of a mutable field *)
+  let gauges_src = ref (fun () -> []) in
+  let t =
+    {
+      config;
+      cache;
+      queue = Queue.create ();
+      ring = Ring.create ~capacity:config.ring_capacity;
+      sessions = Hashtbl.create 64;
+      session_order = [];
+      breaker =
+        Res.breaker ~threshold:config.breaker_threshold
+          ~cooldown:config.breaker_cooldown ();
+      state = Running;
+      requests = 0;
+      answered = 0;
+      shed = 0;
+      errors = 0;
+      restarts = 0;
+      denied = 0;
+      reloads = 0;
+      trace_seq = 0;
+      lat =
+        Owindow.create ~intervals:config.window_intervals
+          ~interval_ns:config.window_interval_ns ();
+      sampler =
+        Osampler.create ~interval_ns:config.sampler_interval_ns
+          ~gauges:(fun () -> !gauges_src ())
+          ();
+    }
+  in
+  gauges_src := sampled_gauges t;
+  t
 
 let pending t = Queue.length t.queue
 
@@ -106,6 +153,7 @@ let request_shutdown t = if t.state = Running then t.state <- Draining
 let shed_count t = t.shed
 let restart_count t = t.restarts
 let ring_dropped t = Ring.dropped t.ring
+let latency_window t = Owindow.view t.lat
 
 (* Degraded when robustness machinery had to engage: load was shed,
    the worker crashed, or alerts fell off the ring.  Answered typed
@@ -345,14 +393,97 @@ let do_status t ?id () =
       ("draining", Json.Bool (t.state <> Running));
     ]
 
+(* --- telemetry verbs ------------------------------------------------------- *)
+
+let do_metrics t ?id format =
+  ignore (Osampler.poll t.sampler);
+  let wv = Owindow.view t.lat in
+  (* mirror the rolling stats into gauges so one exposition pass (and
+     `encore-cli top` reading either format) carries them *)
+  Owindow.export wv ~prefix:"serve.window";
+  let snap = Ometrics.snapshot () in
+  match format with
+  | Proto.Prometheus ->
+      Proto.ok_response ?id ~op:"metrics"
+        [
+          ("format", Json.Str "prometheus");
+          ("body", Json.Str (Ometrics.snapshot_to_prom snap));
+        ]
+  | Proto.Json_body ->
+      Proto.ok_response ?id ~op:"metrics"
+        [
+          ("format", Json.Str "json");
+          ("window", Owindow.view_json wv);
+          ("metrics", Ometrics.snapshot_to_json snap);
+        ]
+
+(* The health verdict: worst of the individual signals, each of which
+   contributes a human-readable reason.  Degraded means the daemon is
+   answering but robustness machinery engaged or latency drifted;
+   unhealthy means new work is effectively not being served. *)
+let health t =
+  let wv = Owindow.view t.lat in
+  let occupancy =
+    float_of_int (Queue.length t.queue)
+    /. float_of_int (max 1 t.config.queue_capacity)
+  in
+  let breaker = Res.state t.breaker ~subject:worker_subject in
+  let level = ref 0 and reasons = ref [] in
+  let flag lvl reason =
+    if lvl > !level then level := lvl;
+    reasons := reason :: !reasons
+  in
+  (match breaker with
+  | Res.Open ->
+      flag 1 "worker breaker open: check/watch denied during backoff"
+  | Res.Half_open -> flag 1 "worker breaker half-open: probing with one trial"
+  | Res.Closed -> ());
+  if wv.Owindow.w_count > 0 && wv.Owindow.w_p99 > t.config.health_p99_us then
+    flag 1
+      (Printf.sprintf "rolling p99 %.0fus exceeds threshold %.0fus"
+         wv.Owindow.w_p99 t.config.health_p99_us);
+  if occupancy >= 1.0 then flag 2 "queue full: requests are being shed"
+  else if occupancy >= 0.75 then
+    flag 1 (Printf.sprintf "queue %.0f%% occupied" (occupancy *. 100.0));
+  if breaker = Res.Open && occupancy >= 1.0 then
+    flag 2 "worker quarantined with a full queue: not serving";
+  (match t.state with
+  | Running -> ()
+  | Draining -> flag 1 "draining: no new requests admitted"
+  | Stopped -> flag 2 "stopped");
+  let verdict =
+    match !level with 0 -> "ok" | 1 -> "degraded" | _ -> "unhealthy"
+  in
+  (verdict, List.rev !reasons, wv, occupancy, breaker)
+
+let health_verdict t =
+  let verdict, reasons, _, _, _ = health t in
+  (verdict, reasons)
+
+let do_health t ?id () =
+  ignore (Osampler.poll t.sampler);
+  let verdict, reasons, wv, occupancy, breaker = health t in
+  Proto.ok_response ?id ~op:"health"
+    [
+      ("health", Json.Str verdict);
+      ("reasons", Json.Arr (List.map (fun r -> Json.Str r) reasons));
+      ("window", Owindow.view_json wv);
+      ("queue_occupancy", Json.Float occupancy);
+      ("breaker", Json.Str (Res.breaker_state_to_string breaker));
+      ("restarts", Json.Int t.restarts);
+      ("sessions", Json.Int (Hashtbl.length t.sessions));
+    ]
+
 (* Dispatch one parsed request.  Check/watch/crash go through the
-   supervised worker; control ops (status, reload, shutdown) bypass the
-   breaker so the daemon stays steerable while the worker is
-   quarantined. *)
-let dispatch t req =
+   supervised worker; control ops (status, reload, metrics, health,
+   shutdown) bypass the breaker so the daemon stays steerable — and
+   observable — while the worker is quarantined. *)
+let dispatch t ~trace req =
   let id = Proto.request_id req in
   match req with
   | Proto.Status { id } -> do_status t ?id ()
+  | Proto.Metrics { id; format } -> do_metrics t ?id format
+  | Proto.Health { id } -> do_health t ?id ()
   | Proto.Reload { id } -> do_reload t ?id ()
   | Proto.Shutdown { id } ->
       request_shutdown t;
@@ -369,21 +500,24 @@ let dispatch t req =
       else begin
         let t0 = Encore_obs.Clock.now_ns () in
         let finish resp =
-          Ometrics.observe h_request_us
-            (Int64.to_float (Int64.sub (Encore_obs.Clock.now_ns ()) t0)
-            /. 1e3);
+          let us =
+            Int64.to_float (Int64.sub (Encore_obs.Clock.now_ns ()) t0) /. 1e3
+          in
+          Ometrics.observe h_request_us us;
+          Owindow.observe t.lat us;
           resp
         in
         match
           Otrace.with_span "serve-request"
-            ~attrs:[ ("op", Json.Str op) ]
+            ~attrs:[ ("op", Json.Str op); ("trace", Json.Str trace) ]
             (fun () ->
               match req with
               | Proto.Check { id; source } -> do_check t ?id source
               | Proto.Watch { id; image_id; app; config } ->
                   do_watch t ?id ~image_id ~app ~config_text:config ()
               | Proto.Crash _ -> raise Injected_crash
-              | Proto.Status _ | Proto.Reload _ | Proto.Shutdown _ ->
+              | Proto.Status _ | Proto.Reload _ | Proto.Metrics _
+              | Proto.Health _ | Proto.Shutdown _ ->
                   assert false)
         with
         | resp ->
@@ -413,16 +547,23 @@ let offer t line =
   else begin
     t.requests <- t.requests + 1;
     Ometrics.incr m_requests;
+    (* every admitted request gets a trace id here, before any outcome
+       is known, so even an immediate rejection is joinable against the
+       event log *)
+    t.trace_seq <- t.trace_seq + 1;
+    let trace = Printf.sprintf "t-%06d" t.trace_seq in
+    let traced resp = Proto.with_trace (Some trace) resp in
     if String.length line > t.config.max_request_bytes then begin
       (* reject before queueing: queue memory stays bounded by
          capacity * max_request_bytes *)
       t.errors <- t.errors + 1;
       Ometrics.incr m_errors;
       [
-        Proto.error_response
-          (Res.diag Res.Overflow ~subject
-             (Printf.sprintf "request is %d bytes (limit %d)"
-                (String.length line) t.config.max_request_bytes));
+        traced
+          (Proto.error_response
+             (Res.diag Res.Overflow ~subject
+                (Printf.sprintf "request is %d bytes (limit %d)"
+                   (String.length line) t.config.max_request_bytes)));
       ]
     end
     else if Queue.length t.queue >= t.config.queue_capacity then begin
@@ -436,33 +577,36 @@ let offer t line =
         | Error _ -> (None, None)
       in
       [
-        Proto.error_response ?id ?op ~overloaded:true
-          (Res.diag Res.Overflow ~subject
-             (Printf.sprintf "queue full (%d pending): request shed"
-                (Queue.length t.queue)));
+        traced
+          (Proto.error_response ?id ?op ~overloaded:true
+             (Res.diag Res.Overflow ~subject
+                (Printf.sprintf "queue full (%d pending): request shed"
+                   (Queue.length t.queue))));
       ]
     end
     else begin
-      Queue.push line t.queue;
+      Queue.push (trace, line) t.queue;
       Ometrics.set_max m_queue_depth (float_of_int (Queue.length t.queue));
       []
     end
   end
 
 let step t =
+  ignore (Osampler.poll t.sampler);
   match Queue.take_opt t.queue with
   | None -> []
-  | Some line -> (
+  | Some (trace, line) -> (
+      let traced resp = Proto.with_trace (Some trace) resp in
       match Proto.parse line with
       | Error d ->
           t.errors <- t.errors + 1;
           Ometrics.incr m_errors;
           t.answered <- t.answered + 1;
-          [ Proto.error_response d ]
+          [ traced (Proto.error_response d) ]
       | Ok req ->
-          let resp = dispatch t req in
+          let resp = dispatch t ~trace req in
           t.answered <- t.answered + 1;
-          [ resp ])
+          [ traced resp ])
 
 let drain_flush t =
   let alerts = Ring.drain t.ring in

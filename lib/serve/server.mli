@@ -33,7 +33,24 @@
     [serve.restarts], [serve.breaker_denied], [serve.ring_dropped],
     [serve.partial], [serve.watch_delta], [serve.watch_full],
     [serve.reloads], [serve.queue_depth] (high-water), and the
-    [serve.request_us] latency histogram (p99 source for bench). *)
+    [serve.request_us] latency histogram (p99 source for bench).
+
+    Telemetry (PR 7): every admitted request is assigned a trace id at
+    {!offer} ([t-NNNNNN], monotonic per server) that is echoed in a
+    [trace] field of each response and stamped onto the
+    [serve-request] span, joining responses to the JSONL event log.
+    Worker latency additionally feeds a rolling
+    {!Encore_obs.Window} (p50/p90/p99 over the last
+    [window_intervals * window_interval_ns]); a runtime
+    {!Encore_obs.Sampler} polled on {!step} mirrors GC stats plus
+    [serve.sampled.queue_depth] / [.queue_occupancy] / [.breaker] /
+    [.ring_dropped] / [.sessions] gauges on its cadence.  The
+    [metrics] verb exposes the registry as Prometheus text (or JSON
+    with the window view); the [health] verb derives an ok / degraded
+    / unhealthy verdict from rolling p99 vs. [health_p99_us], breaker
+    state, queue occupancy and lifecycle, with the reasons listed —
+    both bypass the breaker so the daemon stays observable while
+    degraded. *)
 
 exception Injected_crash
 (** Raised by the [crash] fault-injection op; chaos drills use it to
@@ -52,6 +69,11 @@ type config = {
   max_sessions : int;  (** watch sessions kept (oldest evicted) *)
   breaker_threshold : int;  (** worker crashes before the circuit opens *)
   breaker_cooldown : int;  (** denied requests before a half-open trial *)
+  window_intervals : int;  (** rolling-window ring size (default 10) *)
+  window_interval_ns : int64;  (** width of one window interval (1s) *)
+  sampler_interval_ns : int64;  (** runtime-sampler cadence (1s) *)
+  health_p99_us : float;
+      (** rolling p99 above this flags the health verdict degraded *)
 }
 
 val default_config : config
@@ -102,3 +124,13 @@ val exit_code : t -> int
 val shed_count : t -> int
 val restart_count : t -> int
 val ring_dropped : t -> int
+
+val latency_window : t -> Encore_obs.Window.view
+(** The rolling request-latency view (µs) as of now — what the
+    [metrics] and [health] verbs report; bench records its p50/p99
+    alongside its own measurements. *)
+
+val health_verdict : t -> string * string list
+(** The current health verdict (["ok"] / ["degraded"] /
+    ["unhealthy"]) and its reasons — the [health] verb's core,
+    exposed for direct drivers (tests, chaos storm). *)

@@ -7,6 +7,8 @@
 module Clock = Encore_obs.Clock
 module Jsonenc = Encore_obs.Jsonenc
 module Metrics = Encore_obs.Metrics
+module Window = Encore_obs.Window
+module Sampler = Encore_obs.Sampler
 module Trace = Encore_obs.Trace
 module Events = Encore_obs.Events
 module Summary = Encore_obs.Summary
@@ -162,6 +164,183 @@ let test_metrics_registry () =
   check Alcotest.int "snapshot omits untouched instruments" 0
     (List.length s.Metrics.counters + List.length s.Metrics.gauges
    + List.length s.Metrics.histograms)
+
+let test_bucket_edge_cases () =
+  check Alcotest.int "zero" 0 (Metrics.bucket_of_value 0.0);
+  check Alcotest.int "negative zero" 0 (Metrics.bucket_of_value (-0.0));
+  check Alcotest.int "negative" 0 (Metrics.bucket_of_value (-1.0));
+  check Alcotest.int "very negative" 0 (Metrics.bucket_of_value (-1e300));
+  check Alcotest.int "neg infinity" 0 (Metrics.bucket_of_value neg_infinity);
+  check Alcotest.int "nan" 0 (Metrics.bucket_of_value Float.nan);
+  check Alcotest.int "subnormal" 0
+    (Metrics.bucket_of_value (Float.min_float /. 2.0));
+  check Alcotest.int "infinity" (Metrics.n_buckets - 1)
+    (Metrics.bucket_of_value infinity);
+  check Alcotest.int "2^62" (Metrics.n_buckets - 1)
+    (Metrics.bucket_of_value (Float.ldexp 1.0 62));
+  check Alcotest.int "max float" (Metrics.n_buckets - 1)
+    (Metrics.bucket_of_value Float.max_float)
+
+(* property: any value inside [bucket_bounds b) maps back to bucket b.
+   For 1 <= b <= 62 the bounds are [2^(b-1), 2^b), so lo *. (1 +. f)
+   with f in [0, 1) covers the whole bucket without ever rounding onto
+   the upper edge (lo is a power of two: the scaling is exact). *)
+let prop_bucket_bounds_roundtrip =
+  QCheck.Test.make ~name:"bucket_bounds/bucket_of_value roundtrip" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 1 (Metrics.n_buckets - 2))
+           (float_bound_exclusive 1.0)))
+    (fun (b, f) ->
+      let lo, hi = Metrics.bucket_bounds b in
+      let v = lo *. (1.0 +. f) in
+      v >= lo && v < hi && Metrics.bucket_of_value v = b)
+
+let prop_bucket_zero_absorbs =
+  QCheck.Test.make ~name:"bucket 0 absorbs everything below 1" ~count:500
+    (QCheck.make QCheck.Gen.(float_range (-1e9) 1.0))
+    (fun v -> v >= 1.0 || Metrics.bucket_of_value v = 0)
+
+let test_snapshot_to_prom () =
+  let c = Metrics.counter (Metrics.labeled "detect.rule_fired" [ ("rule", "a->b") ]) in
+  Metrics.incr ~by:3 c;
+  let c2 =
+    Metrics.counter (Metrics.labeled "detect.rule_fired" [ ("rule", "x\"y") ])
+  in
+  Metrics.incr c2;
+  let g = Metrics.gauge "serve.sampled.breaker" in
+  Metrics.set g 2.0;
+  let h = Metrics.histogram "serve.request_us" in
+  Metrics.observe h 3.0;
+  Metrics.observe h 5.0;
+  Metrics.observe h 5.0;
+  check Alcotest.string "prometheus text"
+    "# TYPE detect_rule_fired counter\n\
+     detect_rule_fired{rule=\"a->b\"} 3\n\
+     detect_rule_fired{rule=\"x\\\"y\"} 1\n\
+     # TYPE serve_sampled_breaker gauge\n\
+     serve_sampled_breaker 2\n\
+     # TYPE serve_request_us histogram\n\
+     serve_request_us_bucket{le=\"4\"} 1\n\
+     serve_request_us_bucket{le=\"8\"} 3\n\
+     serve_request_us_bucket{le=\"+Inf\"} 3\n\
+     serve_request_us_sum 13\n\
+     serve_request_us_count 3\n"
+    (Metrics.snapshot_to_prom (Metrics.snapshot ()))
+
+let test_labeled_names () =
+  (* keys are sorted so the same label set always yields the same
+     registry name, and values are escaped at construction *)
+  check Alcotest.string "sorted keys" "m{a=\"1\",b=\"2\"}"
+    (Metrics.labeled "m" [ ("b", "2"); ("a", "1") ]);
+  check Alcotest.string "no labels" "m" (Metrics.labeled "m" []);
+  check Alcotest.string "escaped value" "m{k=\"a\\\\b\\n\"}"
+    (Metrics.labeled "m" [ ("k", "a\\b\n") ])
+
+(* --- window --------------------------------------------------------------- *)
+
+let test_window_quantiles () =
+  let now = ref 0L in
+  Clock.with_source (fun () -> !now) @@ fun () ->
+  let w = Window.create ~intervals:4 ~interval_ns:1_000L () in
+  for v = 1 to 100 do
+    Window.observe w (float_of_int v)
+  done;
+  let v = Window.view w in
+  check Alcotest.int "count" 100 v.Window.w_count;
+  check (Alcotest.float 1e-9) "sum" 5050.0 v.Window.w_sum;
+  check (Alcotest.float 1e-9) "max" 100.0 v.Window.w_max;
+  (* values 1..100: rank 50 lands in bucket [32, 64) after 31 smaller
+     observations -> 32 + (50-31)/32 * 32 = 51 exactly *)
+  check (Alcotest.float 1e-9) "interpolated p50" 51.0 v.Window.w_p50;
+  check Alcotest.bool "quantiles ordered" true
+    (v.Window.w_p50 <= v.Window.w_p90 && v.Window.w_p90 <= v.Window.w_p99);
+  check Alcotest.bool "estimates clamped to observed max" true
+    (v.Window.w_p99 <= v.Window.w_max);
+  check (Alcotest.float 1e-3) "rate = count / window span"
+    (float_of_int v.Window.w_count /. v.Window.w_window_s)
+    v.Window.w_rate
+
+let test_window_expiry () =
+  let now = ref 0L in
+  Clock.with_source (fun () -> !now) @@ fun () ->
+  let w = Window.create ~intervals:3 ~interval_ns:100L () in
+  Window.observe w 10.0 (* interval 0 *);
+  now := 150L;
+  Window.observe w 20.0 (* interval 1 *);
+  now := 250L;
+  Window.observe w 30.0 (* interval 2 *);
+  let v = Window.view w in
+  check Alcotest.int "all three inside the window" 3 v.Window.w_count;
+  check (Alcotest.float 1e-9) "merged max" 30.0 v.Window.w_max;
+  now := 350L;
+  let v = Window.view w in
+  check Alcotest.int "oldest interval aged out" 2 v.Window.w_count;
+  check (Alcotest.float 1e-9) "expired value gone from sum" 50.0 v.Window.w_sum;
+  now := 10_000L;
+  let v = Window.view w in
+  check Alcotest.int "fully idle window is empty" 0 v.Window.w_count;
+  check (Alcotest.float 1e-9) "empty window p99 is 0" 0.0 v.Window.w_p99;
+  (* a stale slot is recycled in place by the next observation *)
+  Window.observe w 5.0;
+  let v = Window.view w in
+  check Alcotest.int "recycled slot counts once" 1 v.Window.w_count;
+  check (Alcotest.float 1e-9) "single value p99 clamps to it" 5.0
+    v.Window.w_p99
+
+let test_window_export () =
+  let now = ref 0L in
+  Clock.with_source (fun () -> !now) @@ fun () ->
+  let w = Window.create ~intervals:2 ~interval_ns:1_000L () in
+  Window.observe w 7.0;
+  Window.export (Window.view w) ~prefix:"test.win";
+  let s = Metrics.snapshot () in
+  check
+    (Alcotest.option (Alcotest.float 1e-9))
+    "count gauge" (Some 1.0)
+    (List.assoc_opt "test.win.count" s.Metrics.gauges);
+  check
+    (Alcotest.option (Alcotest.float 1e-9))
+    "max gauge" (Some 7.0)
+    (List.assoc_opt "test.win.max" s.Metrics.gauges);
+  check Alcotest.bool "p99 gauge exported" true
+    (List.mem_assoc "test.win.p99" s.Metrics.gauges)
+
+(* --- sampler -------------------------------------------------------------- *)
+
+let test_sampler_poll_cadence () =
+  let now = ref 0L in
+  Clock.with_source (fun () -> !now) @@ fun () ->
+  let depth = ref 4.0 in
+  let s =
+    Sampler.create ~interval_ns:100L
+      ~gauges:(fun () -> [ ("test.sampled.depth", !depth) ])
+      ()
+  in
+  check Alcotest.bool "first poll always samples" true (Sampler.poll s);
+  check Alcotest.bool "cadence not yet elapsed" false (Sampler.poll s);
+  now := 99L;
+  check Alcotest.bool "one ns short" false (Sampler.poll s);
+  now := 100L;
+  depth := 9.0;
+  check Alcotest.bool "cadence elapsed" true (Sampler.poll s);
+  check Alcotest.int "two captures" 2 (Sampler.samples s);
+  let snap = Metrics.snapshot () in
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " gauge present") true
+        (List.mem_assoc name snap.Metrics.gauges))
+    [
+      "runtime.gc.minor_collections";
+      "runtime.gc.major_collections";
+      "runtime.gc.compactions";
+      "runtime.gc.heap_words";
+      "runtime.gc.minor_words";
+    ];
+  check
+    (Alcotest.option (Alcotest.float 1e-9))
+    "caller gauge tracks the latest capture" (Some 9.0)
+    (List.assoc_opt "test.sampled.depth" snap.Metrics.gauges)
 
 (* --- trace ---------------------------------------------------------------- *)
 
@@ -379,6 +558,44 @@ let test_summary_of_spans_matches_of_lines () =
   check Alcotest.bool "full coverage of synthetic tree" true
     (s.Summary.coverage_pct > 0.0)
 
+let test_summary_of_spans_truncated () =
+  Trace.set_sink Trace.Memory;
+  Trace.with_span "learn" ignore;
+  let s = Summary.of_spans ~truncated:true (Trace.roots ()) in
+  check Alcotest.bool "truncated flag forwarded" true s.Summary.truncated;
+  let s = Summary.of_spans (Trace.roots ()) in
+  check Alcotest.bool "defaults to not truncated" false s.Summary.truncated
+
+let test_summary_of_file_empty_and_blank () =
+  let path = Filename.temp_file "encore-test-blank" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* a zero-byte log: no spans, no bad lines, not truncated *)
+      (match Summary.of_file path with
+      | Error e -> Alcotest.failf "empty of_file failed: %s" e
+      | Ok s ->
+          check Alcotest.int "empty file has no spans" 0 s.Summary.span_count;
+          check Alcotest.int "empty file has no events" 0 s.Summary.event_count;
+          check Alcotest.int "empty file has no bad lines" 0
+            s.Summary.bad_lines;
+          check Alcotest.bool "empty file not truncated" false
+            s.Summary.truncated;
+          check Alcotest.int "empty file wall" 0 s.Summary.wall_ns);
+      (* whitespace-only lines are skipped, not counted bad *)
+      let oc = open_out_bin path in
+      output_string oc "   \n\t\n \n";
+      close_out oc;
+      match Summary.of_file path with
+      | Error e -> Alcotest.failf "blank of_file failed: %s" e
+      | Ok s ->
+          check Alcotest.int "blank lines yield no events" 0
+            s.Summary.event_count;
+          check Alcotest.int "blank lines are not bad lines" 0
+            s.Summary.bad_lines;
+          check Alcotest.bool "newline-terminated blanks not truncated" false
+            s.Summary.truncated)
+
 (* --- determinism under a seeded workload ----------------------------------- *)
 
 let seeded_snapshot () =
@@ -419,7 +636,20 @@ let () =
         [
           t "log-scale bucket boundaries" test_histogram_buckets;
           t "registry operations" test_metrics_registry;
+          t "bucket edge cases" test_bucket_edge_cases;
+          QCheck_alcotest.to_alcotest prop_bucket_bounds_roundtrip;
+          QCheck_alcotest.to_alcotest prop_bucket_zero_absorbs;
+          t "prometheus exposition" test_snapshot_to_prom;
+          t "labeled series names" test_labeled_names;
         ] );
+      ( "window",
+        [
+          t "interpolated quantiles" test_window_quantiles;
+          t "interval expiry and recycling" test_window_expiry;
+          t "export mirrors into gauges" test_window_export;
+        ] );
+      ( "sampler",
+        [ t "poll cadence and gauges" test_sampler_poll_cadence ] );
       ( "trace",
         [
           t "nil sink is a no-op" test_nil_sink_noop;
@@ -435,6 +665,9 @@ let () =
           t "of_file tolerates torn final line"
             test_summary_of_file_tolerates_torn_final_line;
           t "of_spans" test_summary_of_spans_matches_of_lines;
+          t "of_spans truncated passthrough" test_summary_of_spans_truncated;
+          t "of_file on empty and blank files"
+            test_summary_of_file_empty_and_blank;
         ] );
       ( "determinism",
         [ t "seeded metric snapshots are identical" test_snapshot_determinism ] );

@@ -67,6 +67,11 @@ let items_str j =
 let expect_items ws =
   Json.to_string (Json.Arr (List.map Encore_detect.Report.warning_json ws))
 
+let contains hay needle =
+  let n = String.length needle and l = String.length hay in
+  let rec scan i = i + n <= l && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
 let one = function
   | [ j ] -> j
   | l -> Alcotest.failf "expected one response, got %d" (List.length l)
@@ -123,6 +128,39 @@ let test_ring_drop_oldest () =
   Ring.push r 9;
   check Alcotest.(list int) "usable after drain" [ 9 ] (Ring.to_list r)
 
+let test_ring_wraparound () =
+  (* multiple full wraps: the drop counter never regresses and the
+     surviving window is always the newest [capacity] items oldest-first *)
+  let r = Ring.create ~capacity:3 in
+  let last_dropped = ref 0 in
+  for i = 1 to 11 do
+    Ring.push r i;
+    let d = Ring.dropped r in
+    check Alcotest.bool
+      (Printf.sprintf "dropped monotone at push %d" i)
+      true (d >= !last_dropped);
+    last_dropped := d;
+    let expect_len = min i 3 in
+    let expect =
+      List.init expect_len (fun k -> i - expect_len + 1 + k)
+    in
+    check
+      Alcotest.(list int)
+      (Printf.sprintf "newest window oldest-first at push %d" i)
+      expect (Ring.to_list r)
+  done;
+  check Alcotest.int "dropped = pushed - capacity" 8 (Ring.dropped r);
+  (* drain resets contents but not the lifetime counter; wrapping again
+     keeps both properties *)
+  check Alcotest.(list int) "drain oldest-first" [ 9; 10; 11 ] (Ring.drain r);
+  for i = 20 to 27 do
+    Ring.push r i
+  done;
+  check Alcotest.(list int) "oldest-first after drain and rewrap"
+    [ 25; 26; 27 ] (Ring.drain r);
+  check Alcotest.int "lifetime drops accumulate across wraps" 13
+    (Ring.dropped r)
+
 let test_ring_clamps_capacity () =
   let r = Ring.create ~capacity:0 in
   check Alcotest.int "clamped to 1" 1 (Ring.capacity r);
@@ -155,7 +193,7 @@ let test_proto_parse_ok () =
           check Alcotest.(option string) "id echoed" (Some "x")
             (Proto.request_id req)
       | Error d -> Alcotest.failf "%s rejected: %s" op d.Res.detail)
-    [ "reload"; "status"; "shutdown"; "crash" ]
+    [ "reload"; "status"; "shutdown"; "crash"; "metrics"; "health" ]
 
 let test_proto_parse_errors () =
   List.iter
@@ -551,6 +589,134 @@ let test_server_run_loop_over_fake_transport () =
     | [] -> false);
   check Alcotest.bool "stopped" true (Server.state srv = `Stopped)
 
+(* --- telemetry verbs -------------------------------------------------------- *)
+
+let test_server_metrics_verb () =
+  let srv = make_server () in
+  ignore (ask srv (check_line ~id:"c" (target 930 "srv-metrics")));
+  (* default format is the Prometheus exposition *)
+  let m = ask srv (op_line ~id:"m1" "metrics") in
+  check Alcotest.bool "metrics ok" true (is_ok m);
+  check Alcotest.(option string) "op" (Some "metrics") (str_field "op" m);
+  check Alcotest.(option string) "format" (Some "prometheus")
+    (str_field "format" m);
+  (match str_field "body" m with
+  | None -> Alcotest.fail "prometheus body missing"
+  | Some body ->
+      check Alcotest.bool "TYPE headers present" true
+        (contains body "# TYPE ");
+      check Alcotest.bool "request counter family" true
+        (contains body "serve_requests");
+      check Alcotest.bool "latency histogram series" true
+        (contains body "serve_request_us_bucket");
+      check Alcotest.bool "rolling-window gauges exported" true
+        (contains body "serve_window_p99"));
+  (* json format carries the window view and the structured registry *)
+  let mj =
+    ask srv
+      (line
+         [
+           ("op", Json.Str "metrics");
+           ("id", Json.Str "m2");
+           ("format", Json.Str "json");
+         ])
+  in
+  check Alcotest.bool "json metrics ok" true (is_ok mj);
+  check Alcotest.bool "window view present" true
+    (Json.member "window" mj <> None);
+  check Alcotest.bool "registry present" true (Json.member "metrics" mj <> None);
+  (* an unknown format is a typed parse error, not a crash *)
+  let mb =
+    ask srv (line [ ("op", Json.Str "metrics"); ("format", Json.Str "xml") ])
+  in
+  check Alcotest.bool "unknown format rejected" true (not (is_ok mb));
+  check Alcotest.(option string) "rejection is typed" (Some "parse-error")
+    (str_field "error" mb)
+
+let test_server_health_verb_and_breaker () =
+  let srv =
+    make_server
+      ~config:
+        {
+          Server.default_config with
+          Server.breaker_threshold = 2;
+          breaker_cooldown = 2;
+        }
+      ()
+  in
+  let h = ask srv (op_line ~id:"h0" "health") in
+  check Alcotest.bool "health ok" true (is_ok h);
+  check Alcotest.(option string) "verdict ok" (Some "ok") (str_field "health" h);
+  (match Json.member "reasons" h with
+  | Some (Json.Arr []) -> ()
+  | _ -> Alcotest.fail "an ok verdict must carry no reasons");
+  (* two crashes open the breaker: the verdict degrades but the probe
+     is still served (control ops bypass the breaker) *)
+  ignore (ask srv (op_line ~id:"k1" "crash"));
+  ignore (ask srv (op_line ~id:"k2" "crash"));
+  let h1 = ask srv (op_line ~id:"h1" "health") in
+  check Alcotest.bool "served while breaker open" true (is_ok h1);
+  check Alcotest.(option string) "degraded verdict" (Some "degraded")
+    (str_field "health" h1);
+  check Alcotest.(option string) "breaker reported open" (Some "open")
+    (str_field "breaker" h1);
+  (match Json.member "reasons" h1 with
+  | Some (Json.Arr (_ :: _)) -> ()
+  | _ -> Alcotest.fail "a degraded verdict must list its reasons");
+  (* burn the cooldown with denied checks, serve the half-open trial,
+     and the verdict recovers *)
+  let img = target 931 "srv-health" in
+  ignore (ask srv (check_line ~id:"d1" img));
+  ignore (ask srv (check_line ~id:"d2" img));
+  let trial = ask srv (check_line ~id:"trial" img) in
+  check Alcotest.bool "half-open trial served" true (is_ok trial);
+  let h2 = ask srv (op_line ~id:"h2" "health") in
+  check Alcotest.(option string) "verdict recovered" (Some "ok")
+    (str_field "health" h2)
+
+let test_server_trace_ids () =
+  let spans = ref [] in
+  Encore_obs.Trace.set_sink
+    (Encore_obs.Trace.Stream (fun s -> spans := s :: !spans));
+  Fun.protect
+    ~finally:(fun () -> Encore_obs.Trace.set_sink Encore_obs.Trace.Nil)
+    (fun () ->
+      let srv = make_server () in
+      let img = target 932 "srv-trace" in
+      let r1 = ask srv (check_line ~id:"c1" img) in
+      let r2 = ask srv (check_line ~id:"c2" img) in
+      let t1 = str_field "trace" r1 and t2 = str_field "trace" r2 in
+      check Alcotest.bool "every response carries a trace id" true
+        (t1 <> None && t2 <> None);
+      check Alcotest.bool "trace ids are distinct" true (t1 <> t2);
+      (* responses produced before any processing are traced too *)
+      let bad = ask srv "{\"op\":" in
+      check Alcotest.bool "parse-error response traced" true
+        (str_field "trace" bad <> None);
+      let small =
+        make_server
+          ~config:{ Server.default_config with Server.max_request_bytes = 64 }
+          ()
+      in
+      let rej = one (Server.offer small (String.make 65 'x')) in
+      check Alcotest.bool "oversize rejection traced" true
+        (str_field "trace" rej <> None);
+      (* the echoed id joins the response to its serve-request span *)
+      let span_traces =
+        List.filter_map
+          (fun (s : Encore_obs.Trace.span) ->
+            if s.Encore_obs.Trace.name = "serve-request" then
+              Option.bind
+                (List.assoc_opt "trace" s.Encore_obs.Trace.attrs)
+                Json.to_string_opt
+            else None)
+          !spans
+      in
+      check Alcotest.bool "trace id resolves to a span" true
+        (match t1 with
+        | Some tid -> List.mem tid span_traces
+        | None -> false))
+
 (* --- alert ring under storm ------------------------------------------------- *)
 
 let test_server_ring_bounds_alerts () =
@@ -610,6 +776,20 @@ let test_serve_storm_soak () =
         o.Chaosrun.serve_watch_identical;
       check Alcotest.bool "drained cleanly" true o.Chaosrun.serve_drained;
       check Alcotest.int "degraded-but-alive exit" 3 o.Chaosrun.serve_exit;
+      check Alcotest.bool "metrics scrapes served under load" true
+        (o.Chaosrun.serve_metrics_served > 0);
+      check Alcotest.bool "every scrape was valid Prometheus text" true
+        o.Chaosrun.serve_metrics_valid;
+      check Alcotest.bool "per-rule counters appeared in a scrape" true
+        o.Chaosrun.serve_rule_counters_seen;
+      check Alcotest.bool "health probes served under load" true
+        (o.Chaosrun.serve_health_served > 0);
+      check Alcotest.bool "health degraded behind a crash burst" true
+        o.Chaosrun.serve_health_degraded_seen;
+      check Alcotest.string "health recovered to ok by the end" "ok"
+        o.Chaosrun.serve_health_final;
+      check Alcotest.bool "every check/watch response traced" true
+        o.Chaosrun.serve_traced;
       check Alcotest.(list string) "no contract violations" []
         o.Chaosrun.serve_notes
 
@@ -619,6 +799,8 @@ let () =
       ( "ring",
         [
           Alcotest.test_case "drop-oldest bound" `Quick test_ring_drop_oldest;
+          Alcotest.test_case "wraparound order and drop monotonicity" `Quick
+            test_ring_wraparound;
           Alcotest.test_case "capacity clamp" `Quick test_ring_clamps_capacity;
         ] );
       ( "proto",
@@ -672,6 +854,14 @@ let () =
             test_server_run_loop_over_fake_transport;
           Alcotest.test_case "ring bounds alerts" `Quick
             test_server_ring_bounds_alerts;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "metrics verb" `Quick test_server_metrics_verb;
+          Alcotest.test_case "health verb and breaker transitions" `Quick
+            test_server_health_verb_and_breaker;
+          Alcotest.test_case "trace ids join responses to spans" `Quick
+            test_server_trace_ids;
         ] );
       ( "soak",
         [

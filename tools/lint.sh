@@ -67,4 +67,15 @@ if grep -rn 'Unix\.gettimeofday\|Printf\.eprintf' lib --include='*.ml' \
   bad=1
 fi
 
+# Runtime-stat discipline: GC statistics are captured on one cadence
+# by the runtime sampler (lib/obs/sampler.ml) so every consumer reads
+# the same snapshot through the metrics registry.  Scattered Gc.stat /
+# Gc.quick_stat calls in lib/ would fork that cadence (and Gc.stat
+# forces a full heap traversal on the serving path).
+if grep -rn 'Gc\.stat\|Gc\.quick_stat' lib --include='*.ml' \
+   | grep -v '^lib/obs/sampler\.ml'; then
+  echo 'lint: Gc.stat/Gc.quick_stat in lib/ are banned outside lib/obs/sampler.ml — read runtime.gc.* gauges from the sampler instead' >&2
+  bad=1
+fi
+
 exit "$bad"
