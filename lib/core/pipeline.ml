@@ -99,7 +99,7 @@ let default_mining_cap = 100_000
    miner's cap — is what degrades real deployments.  Run the counting
    miner against the assembled table so the model can carry the
    degraded-mode bit. *)
-let mining_probe ~config ~mining_cap table =
+let mining_probe ~config ~mining_cap ?pool table =
   let transactions, _dict =
     Otrace.with_span "discretize" (fun () ->
         Encore_dataset.Discretize.transactions table)
@@ -116,7 +116,7 @@ let mining_probe ~config ~mining_cap table =
       Otrace.with_span "fpgrowth"
         ~attrs:[ ("transactions", Json.Int n_tx) ]
         (fun () ->
-          Encore_mining.Fpgrowth.count_only ~max_itemsets:mining_cap
+          Encore_mining.Fpgrowth.count_only ~max_itemsets:mining_cap ?pool
             ~min_support transactions)
     in
     overflowed
@@ -193,14 +193,21 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
   (* one fatal diagnostic is enough to distrust an image for training *)
   let breaker = Res.breaker ~threshold:1 () in
   let retried = ref 0 and backoff = ref 0 in
-  let warnings = ref [] in
-  let probe img =
+  (* newest-first; read through [warnings ()] — appending per image
+     made warning accumulation quadratic in the fleet size *)
+  let warnings_rev = ref [] in
+  let add_warnings ds =
+    List.iter (fun d -> warnings_rev := d :: !warnings_rev) ds
+  in
+  let warnings () = List.rev !warnings_rev in
+  let probe_with sim img =
     Encore_util.Deadline.raise_if_expired deadline;
-    let att =
-      Otrace.with_span "probe"
-        ~attrs:[ ("image", Json.Str img.Image.image_id) ]
-        (fun () -> Flaky.collect_with_retries ?max_retries flaky img)
-    in
+    Otrace.with_span "probe"
+      ~attrs:[ ("image", Json.Str img.Image.image_id) ]
+      (fun () -> Flaky.collect_with_retries ?max_retries sim img)
+  in
+  let probe img =
+    let att = probe_with flaky img in
     retried := !retried + att.Res.retries;
     backoff := !backoff + att.Res.backoff_ms;
     att.Res.outcome
@@ -223,24 +230,41 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
             Res.record_failure breaker ~subject:id d;
             Error d
         | Ok (_records, probe_diags) -> (
-            warnings := !warnings @ probe_diags;
+            add_warnings probe_diags;
             let parsed = parse img in
             match parsed.Registry.fatal with
             | first :: _ -> Error first
             | [] ->
-                warnings := !warnings @ parsed.Registry.warnings;
+                add_warnings parsed.Registry.warnings;
                 Res.record_success breaker ~subject:id;
                 ingest_fail_fast (img :: acc) rest))
   in
-  (* Keep-going path, in three phases.  Probing stays sequential: the
-     flaky simulator owns one PRNG stream whose draw order defines
-     reproducibility (and chaos tests feed stateful simulators).
-     Parsing — the expensive phase — fans out over the pool.  The
-     final merge walks images in order, so the breaker's quarantine
-     list, the warning order and the ingest report are byte-identical
-     to a sequential run. *)
+  (* Keep-going path, in three phases, all pool-parallel.  Probing used
+     to stay sequential because the flaky simulator owned one PRNG
+     stream whose draw order defined reproducibility; instead each
+     image now probes against its own fork of that stream, taken in
+     image order before fan-out — a stable (seed, image-index) stream —
+     so draws are identical no matter which domain runs the probe or
+     how the pool interleaves tasks.  The final merge walks images in
+     order, so the breaker's quarantine list, the warning order, the
+     retry/backoff totals and the ingest report are byte-identical to a
+     sequential run at any [--jobs]. *)
   let ingest_keep_going () =
-    let probed = List.map (fun img -> (img, probe img)) images in
+    let with_sims = List.map (fun img -> (img, Flaky.fork flaky)) images in
+    let probe_task (img, sim) = (img, probe_with sim img) in
+    let attempts =
+      match pool with
+      | Some p -> Encore_util.Pool.map p probe_task with_sims
+      | None -> List.map probe_task with_sims
+    in
+    let probed =
+      List.map
+        (fun (img, (att : _ Res.attempt)) ->
+          retried := !retried + att.Res.retries;
+          backoff := !backoff + att.Res.backoff_ms;
+          (img, att.Res.outcome))
+        attempts
+    in
     let to_parse =
       List.filter_map
         (fun (img, outcome) ->
@@ -252,6 +276,17 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
       | Some p -> Encore_util.Pool.map p (fun img -> (img, parse img)) to_parse
       | None -> List.map (fun img -> (img, parse img)) to_parse
     in
+    (* [parsed] is the Ok-subsequence of [probed] in the same order, so
+       the merge consumes it head-first — the [List.assq] it replaces
+       rescanned the list per image. *)
+    let remaining = ref parsed in
+    let next_parsed img =
+      match !remaining with
+      | (img', p) :: tl when img' == img ->
+          remaining := tl;
+          Some p
+      | _ -> None
+    in
     let survivors =
       List.filter_map
         (fun (img, outcome) ->
@@ -261,10 +296,10 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
               Res.record_failure breaker ~subject:id d;
               None
           | Ok (_records, probe_diags) -> (
-              warnings := !warnings @ probe_diags;
-              match List.assq img parsed with
-              | exception Not_found -> None
-              | parsed -> (
+              add_warnings probe_diags;
+              match next_parsed img with
+              | None -> None
+              | Some parsed -> (
                   match parsed.Registry.fatal with
                   | _ :: _ as fatal ->
                       List.iter
@@ -272,7 +307,7 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
                         fatal;
                       None
                   | [] ->
-                      warnings := !warnings @ parsed.Registry.warnings;
+                      add_warnings parsed.Registry.warnings;
                       Res.record_success breaker ~subject:id;
                       Some img)))
         probed
@@ -290,7 +325,7 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
           ( st.Checkpoint.quarantined, st.Checkpoint.warnings,
             st.Checkpoint.retried, st.Checkpoint.total_backoff_ms,
             List.length st.Checkpoint.survivor_ids )
-      | None -> ([], !warnings, !retried, !backoff, 0)
+      | None -> ([], warnings (), !retried, !backoff, 0)
     in
     let warnings = base_warnings @ extra_warnings in
     let all_diags = List.concat_map snd quarantined @ warnings in
@@ -339,7 +374,7 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
               Checkpoint.survivor_ids =
                 List.map (fun img -> img.Image.image_id) survivors;
               quarantined = Res.quarantined breaker;
-              warnings = !warnings;
+              warnings = warnings ();
               retried = !retried;
               total_backoff_ms = !backoff;
             }
@@ -350,9 +385,13 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
     in
     ingest_state := Some st;
     let survivors =
-      List.filter
-        (fun img -> List.mem img.Image.image_id st.Checkpoint.survivor_ids)
-        images
+      (* hashed membership: the [List.mem] filter it replaces was
+         quadratic in the fleet size *)
+      let ids = Hashtbl.create (List.length st.Checkpoint.survivor_ids) in
+      List.iter
+        (fun id -> Hashtbl.replace ids id ())
+        st.Checkpoint.survivor_ids;
+      List.filter (fun img -> Hashtbl.mem ids img.Image.image_id) images
     in
     match survivors with
     | [] ->
@@ -407,7 +446,8 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
               in
               let mining_overflowed =
                 Otrace.with_span "mining-probe" (fun () ->
-                    mining_probe ~config ~mining_cap assembled.Assemble.table)
+                    mining_probe ~config ~mining_cap ?pool
+                      assembled.Assemble.table)
               in
               let model =
                 { model with Detector.overflowed = mining_overflowed }

@@ -1,0 +1,138 @@
+module Bitset = struct
+  (* 62 payload bits per word: every mask stays a positive OCaml int
+     (max_int is 2^62 - 1), so the word arithmetic below never touches
+     the sign bit. *)
+  let word_bits = 62
+
+  type t = { words : int array; len : int }
+
+  let create len =
+    if len < 0 then invalid_arg "Bitset.create: negative length";
+    { words = Array.make ((len + word_bits - 1) / word_bits) 0; len }
+
+  let length t = t.len
+
+  let check t i op =
+    if i < 0 || i >= t.len then
+      invalid_arg (Printf.sprintf "Bitset.%s: index %d out of [0,%d)" op i t.len)
+
+  let set t i =
+    check t i "set";
+    let w = i / word_bits in
+    t.words.(w) <- t.words.(w) lor (1 lsl (i mod word_bits))
+
+  let mem t i =
+    check t i "mem";
+    t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+  (* Byte-table popcount: 8 lookups cover the 62 payload bits. *)
+  let pop8 =
+    Array.init 256 (fun i ->
+        let rec go n i = if i = 0 then n else go (n + (i land 1)) (i lsr 1) in
+        go 0 i)
+
+  let popcount w =
+    pop8.(w land 0xff)
+    + pop8.((w lsr 8) land 0xff)
+    + pop8.((w lsr 16) land 0xff)
+    + pop8.((w lsr 24) land 0xff)
+    + pop8.((w lsr 32) land 0xff)
+    + pop8.((w lsr 40) land 0xff)
+    + pop8.((w lsr 48) land 0xff)
+    + pop8.((w lsr 56) land 0xff)
+
+  let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+  let check_pair a b op =
+    if a.len <> b.len then
+      invalid_arg
+        (Printf.sprintf "Bitset.%s: length mismatch (%d vs %d)" op a.len b.len)
+
+  let inter_count a b =
+    check_pair a b "inter_count";
+    let acc = ref 0 in
+    for k = 0 to Array.length a.words - 1 do
+      acc := !acc + popcount (a.words.(k) land b.words.(k))
+    done;
+    !acc
+
+  let union a b =
+    check_pair a b "union";
+    {
+      words = Array.init (Array.length a.words) (fun k -> a.words.(k) lor b.words.(k));
+      len = a.len;
+    }
+
+  (* Number of trailing zeros of a one-bit word [w]: popcount (w - 1). *)
+  let ntz_of_bit bit = popcount (bit - 1)
+
+  let iter_inter a b f =
+    check_pair a b "iter_inter";
+    for k = 0 to Array.length a.words - 1 do
+      let w = ref (a.words.(k) land b.words.(k)) in
+      while !w <> 0 do
+        let bit = !w land - !w in
+        f ((k * word_bits) + ntz_of_bit bit);
+        w := !w lxor bit
+      done
+    done
+
+  let fold_inter a b ~init f =
+    let acc = ref init in
+    iter_inter a b (fun i -> acc := f !acc i);
+    !acc
+end
+
+type t = {
+  rows : int;
+  presence : Bitset.t array;
+  index : int array array;
+  single : int array option array;
+}
+
+let of_colview view =
+  let rows = Colview.n_rows view in
+  let n_attrs = Colview.n_attrs view in
+  (* value ids shared across every column: one symtab for the overlay *)
+  let values = Encore_util.Symtab.create ~size:(max 16 (4 * n_attrs)) () in
+  let presence = Array.init n_attrs (fun _ -> Bitset.create rows) in
+  let cols = Array.init n_attrs (Colview.column view) in
+  (* pass 1: size each dense index exactly, so the build allocates no
+     intermediate lists (at fleet scale the cons garbage alone was
+     enough to trigger major collections mid-benchmark) *)
+  let counts = Array.make n_attrs 0 in
+  for i = 0 to rows - 1 do
+    for a = 0 to n_attrs - 1 do
+      if cols.(a).(i) <> [] then counts.(a) <- counts.(a) + 1
+    done
+  done;
+  let index = Array.init n_attrs (fun a -> Array.make counts.(a) 0) in
+  let ids = Array.init n_attrs (fun _ -> Array.make rows (-1)) in
+  let all_single = Array.make n_attrs true in
+  let filled = Array.make n_attrs 0 in
+  (* pass 2, row-major like pass 1: cells were allocated row by row
+     during assembly, so walking them in row order keeps the traversal
+     close to sequential in the heap — column-major order here went
+     quadratic-looking at 10k rows from cache misses alone *)
+  for i = 0 to rows - 1 do
+    for a = 0 to n_attrs - 1 do
+      match cols.(a).(i) with
+      | [] -> ()
+      | cell ->
+          Bitset.set presence.(a) i;
+          index.(a).(filled.(a)) <- i;
+          filled.(a) <- filled.(a) + 1;
+          (match cell with
+           | [ v ] -> ids.(a).(i) <- Encore_util.Symtab.intern values v
+           | _ -> all_single.(a) <- false)
+    done
+  done;
+  let single =
+    Array.init n_attrs (fun a -> if all_single.(a) then Some ids.(a) else None)
+  in
+  { rows; presence; index; single }
+
+let n_rows t = t.rows
+let presence t a = t.presence.(a)
+let index t a = t.index.(a)
+let single_ids t a = t.single.(a)

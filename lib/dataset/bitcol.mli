@@ -1,0 +1,72 @@
+(** Bitset / index-array overlay on the columnar view.
+
+    Candidate-rule evaluation is dominated by two questions asked for
+    every (template, a, b) candidate: {e on how many rows are both
+    attributes present?} and {e on those rows, does the relation hold?}
+    Answering them through {!Colview.column} costs a list test per row
+    per candidate.  This overlay precomputes, once per training set:
+
+    - a {e presence bitset} per attribute, so the co-presence upper
+      bound on a candidate's support is a word-parallel popcount of an
+      AND — candidates that cannot reach minimum support are rejected
+      without evaluating their relation on a single row;
+    - a {e dense index array} per attribute (ascending row ids where
+      the attribute is present), so sparse-attribute scans touch only
+      the rows that matter;
+    - an {e interned value-id array} per single-instance attribute, so
+      equality relations compare ints instead of string lists.
+
+    Like {!Colview}, the overlay is immutable after construction and
+    safe to share across pool worker domains. *)
+
+module Bitset : sig
+  type t
+  (** A fixed-length bitset over row ids [0 .. length-1]. *)
+
+  val create : int -> t
+  (** All-zeros bitset of the given length. *)
+
+  val set : t -> int -> unit
+  (** Build-time mutation; out-of-range indices are rejected with
+      [Invalid_argument]. *)
+
+  val mem : t -> int -> bool
+  val length : t -> int
+
+  val count : t -> int
+  (** Popcount of the whole set. *)
+
+  val inter_count : t -> t -> int
+  (** [count (a AND b)] without materializing the intersection.  The
+      sets must have equal length. *)
+
+  val union : t -> t -> t
+  (** Freshly allocated [a OR b]. *)
+
+  val iter_inter : t -> t -> (int -> unit) -> unit
+  (** Visit the rows of [a AND b] in ascending order, skipping zero
+      words. *)
+
+  val fold_inter : t -> t -> init:'a -> ('a -> int -> 'a) -> 'a
+end
+
+type t
+
+val of_colview : Colview.t -> t
+(** One pass over every (attribute, row) cell of the view. *)
+
+val n_rows : t -> int
+
+val presence : t -> int -> Bitset.t
+(** Rows where attribute [id] has at least one instance. *)
+
+val index : t -> int -> int array
+(** Ascending rows where attribute [id] is present — the set bits of
+    {!presence}, densely. *)
+
+val single_ids : t -> int -> int array option
+(** [Some ids] when every present cell of the attribute holds exactly
+    one instance: [ids.(row)] is the interned value id, [-1] where the
+    attribute is absent.  Ids are shared across attributes, so equal
+    ids mean equal strings anywhere in the overlay.  [None] when some
+    cell holds several instances (multi-valued configuration keys). *)

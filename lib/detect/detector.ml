@@ -22,9 +22,14 @@ let m_filtered_entropy = Ometrics.counter "rules.filtered_entropy"
 
 let model_of_training ?(params = Rinfer.default_params) ?templates
     ?entropy_threshold ?pool ~types training =
+  (* one columnar view shared by inference and the entropy filter *)
+  let view =
+    Otrace.with_span "columnar" (fun () ->
+        Encore_dataset.Colview.of_rows (List.map snd training))
+  in
   let inferred =
     Otrace.with_span "rule-infer" (fun () ->
-        Rinfer.infer ~params ?templates ?pool ~types training)
+        Rinfer.infer ~params ?templates ?pool ~view ~types training)
   in
   let kept =
     Otrace.with_span "rule-filter" (fun () ->
@@ -33,7 +38,8 @@ let model_of_training ?(params = Rinfer.default_params) ?templates
           ~by:(List.length inferred - List.length reduced)
           m_filtered_redundant;
         let kept, dropped =
-          Filters.entropy_filter ?threshold:entropy_threshold training reduced
+          Filters.entropy_filter ?threshold:entropy_threshold ~view training
+            reduced
         in
         Ometrics.incr ~by:(List.length dropped) m_filtered_entropy;
         kept)

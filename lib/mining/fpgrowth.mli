@@ -14,11 +14,22 @@ type result = {
 }
 
 val mine :
-  ?max_itemsets:int -> min_support:int -> Itemset.t array -> result
-(** [max_itemsets] defaults to 2_000_000. *)
+  ?max_itemsets:int -> ?pool:Encore_util.Pool.t -> min_support:int ->
+  Itemset.t array -> result
+(** [max_itemsets] defaults to 2_000_000.
+
+    With [pool], each top-level frequent item's conditional subtree is
+    mined as an independent shard on a worker domain; shard outputs are
+    concatenated in the top tree's frequent order, which equals the
+    sequential depth-first emission order, so the result is
+    byte-identical at any pool size.  On overflow the concatenation is
+    truncated to the sequential miner's stopping point (each shard
+    bounds its own work at [max_itemsets]). *)
 
 val count_only :
-  ?max_itemsets:int -> min_support:int -> Itemset.t array -> int * bool
+  ?max_itemsets:int -> ?pool:Encore_util.Pool.t -> min_support:int ->
+  Itemset.t array -> int * bool
 (** Mine but only count the frequent itemsets — the Table 3 measurement
     ("size of the intermediate frequent item set") without materializing
-    the sets. *)
+    the sets.  Parallelizes like {!mine}; the overflow count clamps to
+    [max_itemsets + 1] exactly as the sequential counter does. *)

@@ -4,6 +4,16 @@ let attribute_entropy training attr =
   let values = List.concat_map (fun (_, row) -> Row.get_all row attr) training in
   Encore_util.Stats.entropy values
 
+(* Same value sequence as {!attribute_entropy} — the column's cells are
+   the rows' instance lists in row order — so the entropy is bit-equal,
+   without a per-row hashtable probe. *)
+let attribute_entropy_view view attr =
+  match Encore_dataset.Colview.id view attr with
+  | None -> Encore_util.Stats.entropy []
+  | Some id ->
+      let col = Encore_dataset.Colview.column view id in
+      Encore_util.Stats.entropy (Array.fold_right ( @ ) col [])
+
 let pair_key (r : Template.rule) =
   if r.attr_a <= r.attr_b then (r.attr_a, r.attr_b) else (r.attr_b, r.attr_a)
 
@@ -81,14 +91,19 @@ let reduce_redundant rules =
      @ order_reduce size_less @ others)
 
 let entropy_filter ?(threshold = Encore_util.Stats.entropy_threshold_90_10)
-    training rules =
+    ?view training rules =
+  let attr_entropy =
+    match view with
+    | Some v -> attribute_entropy_view v
+    | None -> attribute_entropy training
+  in
   (* memoize per-attribute entropy: many rules share attributes *)
   let cache = Hashtbl.create 64 in
   let entropy attr =
     match Hashtbl.find_opt cache attr with
     | Some h -> h
     | None ->
-        let h = attribute_entropy training attr in
+        let h = attr_entropy attr in
         Hashtbl.add cache attr h;
         h
   in

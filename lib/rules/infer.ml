@@ -1,6 +1,8 @@
 module Row = Encore_dataset.Row
 module Tinfer = Encore_typing.Infer
 module Augment = Encore_dataset.Augment
+module Bitcol = Encore_dataset.Bitcol
+module Bitset = Bitcol.Bitset
 
 type training = (Encore_sysenv.Image.t * Row.t) list
 
@@ -125,9 +127,12 @@ type columnar = {
   ctxs : Relation.ctx array;
 }
 
-let columnar_of_training training =
+let columnar_of_training ?view training =
   {
-    cols = Encore_dataset.Colview.of_rows (List.map snd training);
+    cols =
+      (match view with
+       | Some v -> v
+       | None -> Encore_dataset.Colview.of_rows (List.map snd training));
     ctxs =
       Array.of_list
         (List.map (fun (image, row) -> { Relation.image; row }) training);
@@ -216,29 +221,435 @@ let evaluate_candidate ~params ~min_support c (template, a, b) =
           support = applicable; confidence }
     else Rejected_confidence
 
+(* --- bitset evaluation (the fast path) ------------------------------------ *)
+
+(* Per-attribute metadata interned once per inference run: everything
+   the pair filters of {!instantiations} ask per candidate
+   ([Augment.base_attr] allocates a fresh string per call — quadratic
+   noise when asked per pair) becomes an array lookup. *)
+type meta = {
+  names : string array;  (* id -> attribute, in view interning order *)
+  ctypes : Encore_typing.Ctype.t array;
+  augmented : bool array;
+  bases : string array;  (* Augment.base_attr, precomputed *)
+}
+
+let meta_of ~types view =
+  let names = Array.of_list (Encore_dataset.Colview.attrs view) in
+  {
+    names;
+    ctypes = Array.map (type_of types) names;
+    augmented = Array.map Augment.is_augmented names;
+    bases = Array.map Augment.base_attr names;
+  }
+
+(* Id-based candidate generation: same filters, same order as
+   {!instantiations} over the view's attribute list (ids are interning
+   order), but every per-pair question is an array access. *)
+let instantiations_idx meta template =
+  let n = Array.length meta.names in
+  let slot_ok i = augmented_slots_allowed template || not meta.augmented.(i) in
+  let ea = ref [] and eb = ref [] in
+  for i = n - 1 downto 0 do
+    if slot_ok i then begin
+      if Template.eligible_a template meta.ctypes.(i) then ea := i :: !ea;
+      if Template.eligible_b template meta.ctypes.(i) then eb := i :: !eb
+    end
+  done;
+  let canonical_only =
+    Relation.symmetric template.Template.relation
+    ||
+    match template.Template.relation with
+    | Relation.Bool_implies _ -> true
+    | _ -> false
+  in
+  let same_type = Relation.same_type_required template.Template.relation in
+  List.concat_map
+    (fun ia ->
+      List.filter_map
+        (fun ib ->
+          if ia = ib then None
+          else if canonical_only && meta.names.(ia) > meta.names.(ib) then None
+          else if meta.bases.(ia) = meta.bases.(ib) then None
+          else if
+            same_type
+            && not (Encore_typing.Ctype.equal meta.ctypes.(ia) meta.ctypes.(ib))
+          then None
+          else Some (template, ia, ib))
+        !eb)
+    !ea
+
+(* Per-attribute derived bitsets and parse caches, built once per
+   training set before candidates fan out.  Every structure here is
+   immutable afterwards, so pool worker domains share them freely.
+
+   [tru]/[fls] are only built for single-instance Bool-typed columns
+   (boolean-implication slots); [numv]/[sizv] for Number-/Size-typed
+   ones.  Attributes with multi-instance cells fall back to the generic
+   per-row evaluator.  [ante_cnt] and [base_rate] pre-answer the
+   vacuity and lift questions per attribute, so per-candidate they cost
+   one array read instead of a popcount. *)
+type fast = {
+  c : columnar;
+  meta : meta;
+  bits : Bitcol.t;
+  tru : Bitset.t option array;   (* single value truthy-true, per attr id *)
+  fls : Bitset.t option array;   (* single value truthy-false *)
+  tany : Bitset.t option array;  (* tru OR fls *)
+  ante_cnt : (int * int) option array;      (* (|tru|, |fls|) *)
+  base_rate : (float * float) option array; (* consequent base rate, pb=(t,f) *)
+  numv : (float array * Bitset.t) option array;  (* parsed Strutil numbers *)
+  sizv : (int array * Bitset.t) option array;    (* parsed Strutil sizes *)
+}
+
+let build_value_cache bits view a ~zero parse =
+  match Bitcol.single_ids bits a with
+  | None -> None
+  | Some _ ->
+      let col = Encore_dataset.Colview.column view a in
+      let n = Array.length col in
+      let vals = Array.make n zero in
+      let ok = Bitset.create n in
+      Array.iter
+        (fun i ->
+          match col.(i) with
+          | [ v ] -> (
+              match parse v with
+              | Some f ->
+                  vals.(i) <- f;
+                  Bitset.set ok i
+              | None -> ())
+          | _ -> ())
+        (Bitcol.index bits a);
+      Some (vals, ok)
+
+let build_fast ~meta c =
+  let view = c.cols in
+  let bits = Bitcol.of_colview view in
+  let n_attrs = Encore_dataset.Colview.n_attrs view in
+  let tru = Array.make n_attrs None
+  and fls = Array.make n_attrs None
+  and tany = Array.make n_attrs None
+  and ante_cnt = Array.make n_attrs None
+  and base_rate = Array.make n_attrs None
+  and numv = Array.make n_attrs None
+  and sizv = Array.make n_attrs None in
+  Array.iteri
+    (fun a (ctype : Encore_typing.Ctype.t) ->
+      match ctype with
+      | Encore_typing.Ctype.Bool_t -> (
+          match Bitcol.single_ids bits a with
+          | None -> ()
+          | Some _ ->
+              let col = Encore_dataset.Colview.column view a in
+              let t = Bitset.create (Bitcol.n_rows bits)
+              and f = Bitset.create (Bitcol.n_rows bits) in
+              Array.iter
+                (fun i ->
+                  match col.(i) with
+                  | [ v ] -> (
+                      match truthy v with
+                      | Some true -> Bitset.set t i
+                      | Some false -> Bitset.set f i
+                      | None -> ())
+                  | _ -> ())
+                (Bitcol.index bits a);
+              tru.(a) <- Some t;
+              fls.(a) <- Some f;
+              tany.(a) <- Some (Bitset.union t f);
+              let ct = Bitset.count t and cf = Bitset.count f in
+              ante_cnt.(a) <- Some (ct, cf);
+              let present = Bitset.count (Bitcol.presence bits a) in
+              if present > 0 then
+                base_rate.(a) <-
+                  Some
+                    ( float_of_int ct /. float_of_int present,
+                      float_of_int cf /. float_of_int present ))
+      | Encore_typing.Ctype.Number | Encore_typing.Ctype.Port_number ->
+          numv.(a) <-
+            build_value_cache bits view a ~zero:0.0
+              Encore_util.Strutil.parse_number
+      | Encore_typing.Ctype.Size ->
+          sizv.(a) <-
+            build_value_cache bits view a ~zero:0
+              Encore_util.Strutil.parse_size
+      | _ -> ())
+    meta.ctypes;
+  { c; meta; bits; tru; fls; tany; ante_cnt; base_rate; numv; sizv }
+
+(* Generic per-row fallback, restricted to the co-presence intersection:
+   walk the sparser attribute's dense index and test membership in the
+   other's presence bitset, so absent rows are never touched. *)
+let eval_generic_inter fast template ia ib =
+  let ca = Encore_dataset.Colview.column fast.c.cols ia
+  and cb = Encore_dataset.Colview.column fast.c.cols ib in
+  let pa = Bitcol.presence fast.bits ia
+  and pb = Bitcol.presence fast.bits ib in
+  let ixa = Bitcol.index fast.bits ia and ixb = Bitcol.index fast.bits ib in
+  let applicable = ref 0 and valid = ref 0 in
+  let visit i =
+    match
+      Relation.eval template.Template.relation fast.c.ctxs.(i) ~a:ca.(i)
+        ~b:cb.(i)
+    with
+    | None -> ()
+    | Some true ->
+        incr applicable;
+        incr valid
+    | Some false -> incr applicable
+  in
+  if Array.length ixa <= Array.length ixb then
+    Array.iter (fun i -> if Bitset.mem pb i then visit i) ixa
+  else Array.iter (fun i -> if Bitset.mem pa i then visit i) ixb;
+  (!applicable, !valid)
+
+(* (applicable, valid) for one candidate, via popcounts and typed value
+   arrays where the columns allow it, the generic evaluator otherwise.
+   Must agree exactly with {!evaluate_instantiation_cols}. *)
+let counts_fast fast template ia ib ~co_present =
+  match template.Template.relation with
+  | Relation.Eq_all | Relation.Eq_exists -> (
+      match (Bitcol.single_ids fast.bits ia, Bitcol.single_ids fast.bits ib) with
+      | Some va, Some vb ->
+          (* single-instance cells: both equality flavours degenerate to
+             one interned-id comparison per co-present row *)
+          let valid =
+            Bitset.fold_inter
+              (Bitcol.presence fast.bits ia)
+              (Bitcol.presence fast.bits ib)
+              ~init:0
+              (fun acc i -> if va.(i) = vb.(i) then acc + 1 else acc)
+          in
+          (co_present, valid)
+      | _ -> eval_generic_inter fast template ia ib)
+  | Relation.Bool_implies (pa, pb) -> (
+      match (fast.tany.(ia), fast.tany.(ib)) with
+      | Some ta, Some tb ->
+          let applicable = Bitset.inter_count ta tb in
+          let ante =
+            match (if pa then fast.tru.(ia) else fast.fls.(ia)) with
+            | Some s -> s
+            | None -> assert false
+          and not_cons =
+            match (if pb then fast.fls.(ib) else fast.tru.(ib)) with
+            | Some s -> s
+            | None -> assert false
+          in
+          (applicable, applicable - Bitset.inter_count ante not_cons)
+      | _ -> eval_generic_inter fast template ia ib)
+  | Relation.Num_less -> (
+      match (fast.numv.(ia), fast.numv.(ib)) with
+      | Some (va, oka), Some (vb, okb) ->
+          let applicable = Bitset.inter_count oka okb in
+          let valid =
+            Bitset.fold_inter oka okb ~init:0 (fun acc i ->
+                if va.(i) < vb.(i) then acc + 1 else acc)
+          in
+          (applicable, valid)
+      | _ -> eval_generic_inter fast template ia ib)
+  | Relation.Size_less -> (
+      match (fast.sizv.(ia), fast.sizv.(ib)) with
+      | Some (va, oka), Some (vb, okb) ->
+          let applicable = Bitset.inter_count oka okb in
+          let valid =
+            Bitset.fold_inter oka okb ~init:0 (fun acc i ->
+                if va.(i) < vb.(i) then acc + 1 else acc)
+          in
+          (applicable, valid)
+      | _ -> eval_generic_inter fast template ia ib)
+  | Relation.Subnet | Relation.Concat_path | Relation.Substring
+  | Relation.User_in_group | Relation.Not_accessible | Relation.Ownership ->
+      eval_generic_inter fast template ia ib
+
+let antecedent_support_fast fast relation ia =
+  match relation with
+  | Relation.Bool_implies (pa, _) ->
+      Some
+        (match fast.ante_cnt.(ia) with
+         | Some (t, f) -> if pa then t else f
+         | None ->
+             (* multi-instance boolean column: count per row *)
+             let col = Encore_dataset.Colview.column fast.c.cols ia in
+             Array.fold_left
+               (fun acc i ->
+                 if List.exists (fun v -> truthy v = Some pa) col.(i) then
+                   acc + 1
+                 else acc)
+               0 (Bitcol.index fast.bits ia))
+  | _ -> None
+
+let consequent_base_rate_fast fast relation ib =
+  match relation with
+  | Relation.Bool_implies (_, pb) -> (
+      match fast.base_rate.(ib) with
+      | Some (t, f) -> Some (if pb then t else f)
+      | None ->
+          let present = Bitset.count (Bitcol.presence fast.bits ib) in
+          if present = 0 then None
+          else
+            let col = Encore_dataset.Colview.column fast.c.cols ib in
+            let matching =
+              Array.fold_left
+                (fun acc i ->
+                  if List.for_all (fun v -> truthy v = Some pb) col.(i) then
+                    acc + 1
+                  else acc)
+                0 (Bitcol.index fast.bits ib)
+            in
+            Some (float_of_int matching /. float_of_int present))
+  | _ -> None
+
+let evaluate_candidate_fast ~params ~min_support fast (template, ia, ib) =
+  let relation = template.Template.relation in
+  let vacuous =
+    match antecedent_support_fast fast relation ia with
+    | Some s -> s < min_support
+    | None -> false
+  in
+  if vacuous then Rejected_support
+  else
+    let co_present =
+      Bitset.inter_count
+        (Bitcol.presence fast.bits ia)
+        (Bitcol.presence fast.bits ib)
+    in
+    (* applicable <= co-presence: the popcount alone disposes of
+       candidates that cannot reach minimum support *)
+    if co_present < min_support then Rejected_support
+    else
+      let applicable, valid = counts_fast fast template ia ib ~co_present in
+      if applicable < min_support then Rejected_support
+      else
+        let min_conf =
+          Option.value ~default:params.min_confidence
+            template.Template.min_confidence
+        in
+        let confidence = float_of_int valid /. float_of_int applicable in
+        let lifts =
+          match consequent_base_rate_fast fast relation ib with
+          | Some base -> confidence >= base +. min_lift_margin
+          | None -> true
+        in
+        if confidence >= min_conf && lifts then
+          Kept
+            { Template.template;
+              attr_a = fast.meta.names.(ia);
+              attr_b = fast.meta.names.(ib);
+              support = applicable; confidence }
+        else Rejected_confidence
+
+(* --- sharded evaluation --------------------------------------------------- *)
+
+(* Candidates are judged in fixed-size shards, each folding into a
+   domain-local accumulator; shard boundaries depend only on the
+   candidate list, never on the job count, and the merge walks shards
+   in order — so the rule list and the rejection counters are
+   byte-identical at any [--jobs]. *)
+type shard_acc = {
+  kept_rev : Template.rule list;
+  rej_support : int;
+  rej_confidence : int;
+}
+
+let shard_size = 256
+
+let shard_candidates candidates =
+  let arr = Array.of_list candidates in
+  let n = Array.length arr in
+  let n_shards = (n + shard_size - 1) / shard_size in
+  List.init n_shards (fun s ->
+      Array.sub arr (s * shard_size) (min shard_size (n - (s * shard_size))))
+
+let evaluate_shard judge shard =
+  Array.fold_left
+    (fun acc cand ->
+      match judge cand with
+      | Kept rule -> { acc with kept_rev = rule :: acc.kept_rev }
+      | Rejected_support -> { acc with rej_support = acc.rej_support + 1 }
+      | Rejected_confidence ->
+          { acc with rej_confidence = acc.rej_confidence + 1 })
+    { kept_rev = []; rej_support = 0; rej_confidence = 0 }
+    shard
+
+let sort_rules rules =
+  List.sort
+    (fun (a : Template.rule) b ->
+      match compare b.confidence a.confidence with
+      | 0 -> compare b.support a.support
+      | c -> c)
+    rules
+
+let emit_metrics ~candidates ~rej_support ~rej_confidence ~kept =
+  Encore_obs.Metrics.incr ~by:candidates
+    (Encore_obs.Metrics.counter "rules.candidates");
+  Encore_obs.Metrics.incr ~by:rej_support
+    (Encore_obs.Metrics.counter "rules.rejected_support");
+  Encore_obs.Metrics.incr ~by:rej_confidence
+    (Encore_obs.Metrics.counter "rules.rejected_confidence");
+  Encore_obs.Metrics.incr ~by:kept (Encore_obs.Metrics.counter "rules.kept")
+
+let candidates_of ~types ~templates attrs =
+  List.concat_map
+    (fun template ->
+      List.map
+        (fun (a, b) -> (template, a, b))
+        (instantiations ~types template attrs))
+    templates
+
+let min_support_of ~params n =
+  max 2 (int_of_float (ceil (params.min_support_frac *. float_of_int n)))
+
 let infer ?(params = default_params) ?(templates = Template.predefined)
-    ?jobs ?pool ~types training =
+    ?jobs ?pool ?view ~types training =
   let templates = expand_polarities templates in
-  let n = List.length training in
-  let min_support =
-    max 2 (int_of_float (ceil (params.min_support_frac *. float_of_int n)))
-  in
-  let columnar = columnar_of_training training in
-  (* all attributes seen anywhere in the training rows, in
-     first-appearance order (the interning order of the view) *)
-  let attrs = Encore_dataset.Colview.attrs columnar.cols in
+  let min_support = min_support_of ~params (List.length training) in
+  let columnar = columnar_of_training ?view training in
+  let meta = meta_of ~types columnar.cols in
+  let fast = build_fast ~meta columnar in
+  (* candidates are generated over interned column ids (the view's
+     first-appearance order), so the judging loop never touches an
+     attribute name until a rule is actually kept *)
   let candidates =
-    List.concat_map
-      (fun template ->
-        List.map
-          (fun (a, b) -> (template, a, b))
-          (instantiations ~types template attrs))
-      templates
+    List.concat_map (fun t -> instantiations_idx meta t) templates
   in
+  let judge = evaluate_candidate_fast ~params ~min_support fast in
+  let shards = shard_candidates candidates in
+  let accs =
+    (* zero state sharing between shard evaluations: each shard folds
+       into its own accumulator on whichever domain runs it; [Pool.map]
+       keeps shard order for the merge below *)
+    match pool with
+    | Some p -> Encore_util.Pool.map p (evaluate_shard judge) shards
+    | None -> (
+        match jobs with
+        | Some j when j > 1 ->
+            Encore_util.Pool.with_pool ~jobs:j (fun p ->
+                Encore_util.Pool.map p (evaluate_shard judge) shards)
+        | Some _ | None -> List.map (evaluate_shard judge) shards)
+  in
+  let rej_support =
+    List.fold_left (fun n s -> n + s.rej_support) 0 accs
+  and rej_confidence =
+    List.fold_left (fun n s -> n + s.rej_confidence) 0 accs
+  in
+  let rules = List.concat_map (fun s -> List.rev s.kept_rev) accs in
+  emit_metrics ~candidates:(List.length candidates) ~rej_support
+    ~rej_confidence ~kept:(List.length rules);
+  sort_rules rules
+
+(* The pre-bitset evaluator, retained verbatim as the semantic
+   reference: every candidate walks the full columnar row range through
+   {!Relation.eval}.  Equivalence tests pin the fast path to it, and
+   the bench's learn stage reports the speedup against it. *)
+let infer_reference ?(params = default_params)
+    ?(templates = Template.predefined) ?jobs ?pool ?view ~types training =
+  let templates = expand_polarities templates in
+  let min_support = min_support_of ~params (List.length training) in
+  let columnar = columnar_of_training ?view training in
+  let attrs = Encore_dataset.Colview.attrs columnar.cols in
+  let candidates = candidates_of ~types ~templates attrs in
   let judge = evaluate_candidate ~params ~min_support columnar in
   let verdicts =
-    (* zero state sharing between candidate evaluations: fan them out
-       over the pool's domains; [Pool.map] keeps candidate order *)
     match pool with
     | Some p -> Encore_util.Pool.map p judge candidates
     | None -> (
@@ -261,18 +672,6 @@ let infer ?(params = default_params) ?(templates = Template.predefined)
             None)
       verdicts
   in
-  Encore_obs.Metrics.incr
-    ~by:(List.length candidates)
-    (Encore_obs.Metrics.counter "rules.candidates");
-  Encore_obs.Metrics.incr ~by:!rej_support
-    (Encore_obs.Metrics.counter "rules.rejected_support");
-  Encore_obs.Metrics.incr ~by:!rej_confidence
-    (Encore_obs.Metrics.counter "rules.rejected_confidence");
-  Encore_obs.Metrics.incr ~by:(List.length rules)
-    (Encore_obs.Metrics.counter "rules.kept");
-  List.sort
-    (fun (a : Template.rule) b ->
-      match compare b.confidence a.confidence with
-      | 0 -> compare b.support a.support
-      | c -> c)
-    rules
+  emit_metrics ~candidates:(List.length candidates) ~rej_support:!rej_support
+    ~rej_confidence:!rej_confidence ~kept:(List.length rules);
+  sort_rules rules

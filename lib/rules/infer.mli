@@ -33,22 +33,43 @@ val expand_polarities : Template.t list -> Template.t list
 
 val infer :
   ?params:params -> ?templates:Template.t list -> ?jobs:int ->
-  ?pool:Encore_util.Pool.t ->
+  ?pool:Encore_util.Pool.t -> ?view:Encore_dataset.Colview.t ->
   types:Encore_typing.Infer.env -> training -> Template.rule list
 (** Learn concrete rules; [templates] defaults to
     {!Template.predefined}.  Rules are sorted by decreasing confidence,
     then support.
 
-    The training set is first lowered to a columnar interned view
-    ({!Encore_dataset.Colview}); each candidate then indexes two column
-    arrays per row instead of hashing attribute strings.
+    The training set is lowered to a columnar interned view
+    ({!Encore_dataset.Colview}, or [view] when the caller already built
+    one over the same rows) plus a bitset/index overlay
+    ({!Encore_dataset.Bitcol}): per-attribute presence bitsets, dense
+    index arrays, interned single-value ids, truthy bitsets for boolean
+    columns and pre-parsed numeric/size arrays.  A candidate whose
+    co-presence popcount cannot reach minimum support is rejected
+    without evaluating its relation on any row; the equality, boolean
+    implication and numeric/size order relations then count support and
+    violations with popcounts and flat array scans, and only
+    environment-dependent relations (paths, accounts, subnets) fall
+    back to per-row {!Relation.eval} over the co-presence intersection.
 
-    Candidate evaluation fans out over [pool]'s worker domains — the
-    paper notes the instantiation loop "is highly parallelizable
-    because there is zero state sharing" (section 5.1) and runs EnCore
-    as a multi-process program.  Without [pool], [jobs] (default 1)
-    spins up a transient pool of that many domains.  The result is
-    byte-identical for every pool size and [jobs] value. *)
+    Candidates fan out to the pool in fixed-size shards, each folding
+    into a domain-local accumulator (kept rules + rejection counters);
+    shard boundaries are independent of the job count and the merge
+    preserves shard order, so the result is byte-identical for every
+    pool size and [jobs] value — the paper notes the instantiation loop
+    "is highly parallelizable because there is zero state sharing"
+    (section 5.1).  Without [pool], [jobs] (default 1) spins up a
+    transient pool of that many domains. *)
+
+val infer_reference :
+  ?params:params -> ?templates:Template.t list -> ?jobs:int ->
+  ?pool:Encore_util.Pool.t -> ?view:Encore_dataset.Colview.t ->
+  types:Encore_typing.Infer.env -> training -> Template.rule list
+(** The pre-bitset evaluator: one task per candidate, each walking the
+    full columnar row range through {!Relation.eval}.  Kept as the
+    semantic reference — tests pin {!infer} to it, and the bench's
+    learn stage reports the bitset path's speedup against it.  Produces
+    the same rules as {!infer} on any training set. *)
 
 val evaluate_instantiation :
   Template.t -> training -> a:string -> b:string -> int * int

@@ -13,6 +13,12 @@ let make ?(flap = 0.0) ?(drop_record = 0.0) ?(truncate_record = 0.0) ~rng () =
 
 let reliable ~rng = make ~rng ()
 
+(* Forking draws one value from the parent, so the k-th fork is a pure
+   function of (root seed, k): fork per work item in a fixed order and
+   the items can then be probed in any order — or concurrently — with
+   every item seeing the same draws. *)
+let fork t = { t with rng = Prng.split t.rng }
+
 (* A flap is transient unless the image itself is permanently broken:
    combine the simulator's rate with the image's own flakiness as
    independent failure sources. *)

@@ -30,6 +30,14 @@ val reliable : rng:Encore_util.Prng.t -> t
 (** No simulator-injected faults; only the image's own [flakiness]
     still applies. *)
 
+val fork : t -> t
+(** An independent child simulator: same fault rates, PRNG stream split
+    off the parent ({!Encore_util.Prng.split}).  The k-th fork of a
+    simulator is a stable function of the root seed and [k] alone, so
+    forking once per work item in a fixed order makes each item's draw
+    sequence independent of processing order — the basis for
+    deterministic parallel probing. *)
+
 val collect :
   t -> Image.t ->
   (Collector.record list * Encore_util.Resilience.diagnostic list,

@@ -1,0 +1,164 @@
+module Prng = Encore_util.Prng
+module Strutil = Encore_util.Strutil
+module Image = Encore_sysenv.Image
+module Kv = Encore_confparse.Kv
+module Ini = Encore_confparse.Ini
+
+(* The fleet piggybacks on the MySQL lens: any INI-shaped config under
+   [Image.Mysql] parses generically into [mysql/<section>/<key>]
+   attributes, so the learner sees a corpus whose shape (sparsity,
+   value diversity, correlation structure) we control without teaching
+   the parser a new application. *)
+let app = Image.Mysql
+
+let bench_sizes = [ 1_000; 3_000; 10_000 ]
+let full_size = 10_000
+
+let size_str = Strutil.format_size
+
+(* Rare tuning knobs, each present on ~15% of images: the attribute
+   universe is wide but each column is sparse — the regime the presence
+   bitsets are built for.  The universe grows with the fleet: a larger
+   corpus surfaces more long-tail options, so candidate pairs over
+   sparse attributes grow quadratically while almost none of them can
+   reach fleet-fraction support — exactly the population a support
+   popcount disposes of in O(rows/62) words where the reference
+   evaluator walks every row. *)
+let knob_universe n = 8 + (n / 250)
+
+let generate_one rng ~knobs ~id =
+  let b = Imagebase.create rng in
+  let vary d alts =
+    if Prng.chance rng 0.35 then Prng.pick rng alts else d
+  in
+  let opt p = Prng.chance rng p in
+
+  (* core identity: service user owns the state directory; every other
+     path hangs off one of a few roots *)
+  let user = vary "fleetd" [ "svcuser"; "appd" ] in
+  Imagebase.add_service_user b user;
+  let state_dir =
+    vary "/var/lib/fleet" [ "/srv/fleet"; "/data/fleet"; "/opt/fleet/state" ]
+  in
+  Imagebase.mkdir ~owner:user ~group:user b state_dir;
+  let log_dir = vary "/var/log/fleet" [ "/var/log" ] in
+  Imagebase.mkdir ~owner:"root" ~group:"root" b log_dir;
+  let log_file = Strutil.path_join log_dir (vary "fleet.log" [ "daemon.log" ]) in
+  Imagebase.mkfile ~owner:user ~group:"adm" ~perm:0o640 b log_file;
+  let port = vary "7400" [ "7401"; "17400" ] in
+  (match int_of_string_opt port with
+   | Some p -> Imagebase.register_port b p "fleet"
+   | None -> ());
+  let sock = Strutil.path_join state_dir "fleet.sock" in
+  Imagebase.mkfile ~owner:user ~group:user ~perm:0o777 b sock ~size:0;
+
+  let kvs = ref [] in
+  let add section key value =
+    kvs := Kv.make (Kv.qualify ~app:"mysql" [ section; key ]) value :: !kvs
+  in
+  (* correlated core — always present so rules reach support *)
+  add "svc" "user" user;
+  add "svc" "state_dir" state_dir;
+  add "svc" "log_file" log_file;
+  add "svc" "socket" sock;
+  add "net" "port" port;
+  add "client" "port" port;  (* equality correlation *)
+  if opt 0.9 then
+    add "net" "bind"
+      (vary "127.0.0.1" [ "0.0.0.0"; Imagebase.random_ip rng ]);
+
+  (* numeric orderings: soft < hard, connect < idle *)
+  let soft_fd = 1024 * (1 lsl Prng.int rng 3) in
+  add "limits" "soft_fd" (string_of_int soft_fd);
+  add "limits" "hard_fd" (string_of_int (soft_fd * (2 + Prng.int rng 3)));
+  if opt 0.8 then begin
+    let connect = 5 * (1 + Prng.int rng 4) in
+    add "net" "connect_timeout" (string_of_int connect);
+    add "net" "idle_timeout" (string_of_int (connect * (4 + Prng.int rng 8)))
+  end;
+
+  (* size orderings: per-op buffer < pool *)
+  let read_exp = Prng.int_in rng 17 20 in
+  add "buffers" "read_buffer" (size_str (1 lsl read_exp));
+  add "buffers" "pool_size" (size_str (1 lsl (read_exp + 4 + Prng.int rng 3)));
+  if opt 0.7 then
+    add "buffers" "journal_size" (size_str ((1 lsl Prng.int_in rng 22 26)));
+
+  (* dense worker/queue/timeout knobs — every image carries them, the
+     orderings hold by construction.  Real fleet configs are wide in
+     exactly this kind of always-set numeric tuning, and it is the
+     regime where columnar evaluation pays: one parse per column, then
+     tight array scans per candidate. *)
+  let worker_min = 2 * (1 + Prng.int rng 4) in
+  add "pool" "worker_min" (string_of_int worker_min);
+  add "pool" "worker_max" (string_of_int (worker_min * (2 + Prng.int rng 4)));
+  let queue_low = 64 * (1 + Prng.int rng 4) in
+  add "pool" "queue_low" (string_of_int queue_low);
+  add "pool" "queue_high" (string_of_int (queue_low * (3 + Prng.int rng 4)));
+  let batch = 16 * (1 + Prng.int rng 8) in
+  add "pool" "batch_size" (string_of_int batch);
+  add "pool" "batch_cap" (string_of_int (batch * (2 + Prng.int rng 6)));
+  let retry_base = 1 + Prng.int rng 5 in
+  add "retry" "base_delay" (string_of_int retry_base);
+  add "retry" "max_delay" (string_of_int (retry_base * (8 + Prng.int rng 16)));
+  let heartbeat = 2 * (1 + Prng.int rng 5) in
+  add "cluster" "heartbeat" (string_of_int heartbeat);
+  add "cluster" "session_ttl" (string_of_int (heartbeat * (3 + Prng.int rng 5)));
+
+  (* dense size pairs *)
+  let wal_exp = Prng.int_in rng 23 26 in
+  add "wal" "segment_size" (size_str (1 lsl wal_exp));
+  add "wal" "max_size" (size_str (1 lsl (wal_exp + 3 + Prng.int rng 3)));
+  let cache_exp = Prng.int_in rng 20 24 in
+  add "cache" "entry_max" (size_str (1 lsl cache_exp));
+  add "cache" "total_max" (size_str (1 lsl (cache_exp + 4 + Prng.int rng 3)));
+
+  (* dense equality correlations: the same drawn identity repeated in
+     two sections, the classic copy-paste coupling checkers look for *)
+  let cluster = vary "prod-east" [ "prod-west"; "staging"; "dev" ] in
+  add "cluster" "name" cluster;
+  add "replication" "cluster_name" cluster;
+  let region = vary "us-east-1" [ "us-west-2"; "eu-central-1" ] in
+  add "svc" "region" region;
+  add "backup" "region" region;
+
+  (* dense boolean block with implications *)
+  let metrics = opt 0.8 in
+  add "features" "metrics" (if metrics then "on" else "off");
+  add "features" "metrics_export" (if metrics && opt 0.9 then "on" else "off");
+  let fsync = opt 0.75 in
+  add "durability" "fsync" (if fsync then vary "on" [ "true" ] else "off");
+  add "durability" "group_commit" (if fsync && opt 0.85 then "on" else "off");
+  add "features" "autosave" (if opt 0.6 then "on" else "off");
+  add "features" "readonly" (if opt 0.1 then "on" else "off");
+
+  (* boolean implication: warmup only makes sense with the cache on *)
+  let cache = opt 0.7 in
+  add "features" "cache" (if cache then vary "on" [ "true"; "yes" ] else vary "off" [ "false"; "no" ]);
+  if opt 0.8 then
+    add "features" "cache_warmup" (if cache && opt 0.8 then "on" else "off");
+  if opt 0.6 then add "features" "telemetry" (vary "on" [ "off" ]);
+  if opt 0.5 then add "features" "compression" (vary "off" [ "on" ]);
+
+  (* near-constant entry: entropy-filter fodder *)
+  if opt 0.9 then add "svc" "schema_version" "3";
+
+  (* sparse long tail: each knob present on ~15% of the fleet *)
+  for k = 0 to knobs - 1 do
+    if opt 0.15 then
+      add "tuning" (Printf.sprintf "knob_%02d" k)
+        (string_of_int (Prng.int rng 100))
+  done;
+
+  let text = Ini.render ~app:"mysql" (List.rev !kvs) in
+  let path = "/etc/fleet/fleet.conf" in
+  Imagebase.mkdir b "/etc/fleet";
+  Imagebase.mkfile b path ~size:(String.length text);
+  Imagebase.build b ~id [ { Image.app; path; text } ]
+
+let generate ?(seed = 42) ~n () =
+  let rng = Prng.create seed in
+  let knobs = knob_universe n in
+  List.init n (fun i ->
+      let sub = Prng.split rng in
+      generate_one sub ~knobs ~id:(Printf.sprintf "fleet-%05d" i))

@@ -1,0 +1,31 @@
+(** Synthetic heterogeneous fleet: a ConfEx-scale image corpus for
+    fleet-scale learning benchmarks and determinism tests.
+
+    Unlike the per-application study populations ({!Population}), this
+    generator optimizes for corpus {e shape} at scale — thousands of
+    images, a wide but sparse attribute universe (rare tuning knobs on
+    a minority of images), diverse identity values, and built-in
+    correlations of every template family the learner handles:
+    equalities (server/client port), boolean implications (cache
+    warmup requires the cache), numeric orderings (soft < hard fd
+    limits), size orderings (per-op buffer < pool) and
+    environment-coupled paths (state directory owned by the service
+    user).  Images are kept lean (one INI config, a handful of
+    filesystem nodes) so a 10k-image fleet assembles in seconds. *)
+
+val app : Encore_sysenv.Image.app
+(** The lens the fleet parses under ({!Encore_sysenv.Image.Mysql} —
+    generic INI). *)
+
+val bench_sizes : int list
+(** Fleet sizes the scaling benchmark sweeps: 1k, 3k, 10k. *)
+
+val full_size : int
+(** The headline fleet size (10_000). *)
+
+val generate : ?seed:int -> n:int -> unit -> Encore_sysenv.Image.t list
+(** Deterministic fleet of [n] clean images; [seed] defaults to 42.
+    Each image draws from its own split of the root PRNG stream.  The
+    sparse-knob universe scales with [n] (a larger fleet surfaces more
+    long-tail options), so images are not prefix-stable across
+    different [n]. *)

@@ -98,6 +98,114 @@ let prop_colview_matches_rows =
           = Array.to_list (Colview.column v id))
         (Colview.attrs v))
 
+(* --- Bitcol ----------------------------------------------------------------- *)
+
+module Bitcol = Encore_dataset.Bitcol
+module Bitset = Bitcol.Bitset
+
+let test_bitset_word_edges () =
+  (* 62 payload bits per word: indices 61 / 62 / 63 / 123 / 124 straddle
+     the first two word boundaries *)
+  List.iter
+    (fun len ->
+      let s = Bitset.create len in
+      List.iter
+        (fun i -> if i < len then Bitset.set s i)
+        [ 0; 61; 62; 63; 123; 124 ];
+      let expect = List.filter (fun i -> i < len) [ 0; 61; 62; 63; 123; 124 ] in
+      check Alcotest.int
+        (Printf.sprintf "count len=%d" len)
+        (List.length expect) (Bitset.count s);
+      List.iter
+        (fun i ->
+          check Alcotest.bool
+            (Printf.sprintf "mem %d (len=%d)" i len)
+            (List.mem i expect)
+            (i < len && Bitset.mem s i))
+        [ 0; 1; 60; 61; 62; 63; 122; 123; 124 ])
+    [ 62; 63; 124; 125; 200 ]
+
+let test_bitset_inter_iter () =
+  let a = Bitset.create 130 and b = Bitset.create 130 in
+  List.iter (Bitset.set a) [ 0; 5; 61; 62; 100; 124; 129 ];
+  List.iter (Bitset.set b) [ 5; 61; 63; 124; 129 ];
+  check Alcotest.int "inter_count" 4 (Bitset.inter_count a b);
+  let seen = ref [] in
+  Bitset.iter_inter a b (fun i -> seen := i :: !seen);
+  check (Alcotest.list Alcotest.int) "iter_inter ascending" [ 5; 61; 124; 129 ]
+    (List.rev !seen);
+  check Alcotest.int "fold_inter" (5 + 61 + 124 + 129)
+    (Bitset.fold_inter a b ~init:0 ( + ))
+
+let test_bitset_empty () =
+  let s = Bitset.create 0 in
+  check Alcotest.int "empty count" 0 (Bitset.count s);
+  check Alcotest.int "empty length" 0 (Bitset.length s);
+  let a = Bitset.create 70 and b = Bitset.create 70 in
+  check Alcotest.int "disjoint inter" 0 (Bitset.inter_count a b);
+  Bitset.iter_inter a b (fun _ -> Alcotest.fail "no bits expected")
+
+let test_bitcol_empty_and_absent () =
+  (* attribute "gone" appears in the view (mentioned by a row) but with
+     no instances anywhere after filtering: simulate with an attribute
+     present in only one row, and one view with zero rows *)
+  let v0 = Colview.of_rows [] in
+  let b0 = Bitcol.of_colview v0 in
+  check Alcotest.int "no rows" 0 (Bitcol.n_rows b0);
+  let rows =
+    [ Row.of_list [ ("a", "1") ];
+      Row.of_list [ ("a", "2"); ("multi", "x"); ("multi", "y") ];
+      Row.of_list [ ("b", "3") ] ]
+  in
+  let v = Colview.of_rows rows in
+  let b = Bitcol.of_colview v in
+  let ia = Option.get (Colview.id v "a") in
+  let ib = Option.get (Colview.id v "b") in
+  let im = Option.get (Colview.id v "multi") in
+  check Alcotest.int "presence a" 2 (Bitset.count (Bitcol.presence b ia));
+  check (Alcotest.list Alcotest.int) "index a" [ 0; 1 ]
+    (Array.to_list (Bitcol.index b ia));
+  check (Alcotest.list Alcotest.int) "index b" [ 2 ]
+    (Array.to_list (Bitcol.index b ib));
+  (* single-instance columns intern ids; multi-instance columns do not *)
+  check Alcotest.bool "a single" true (Bitcol.single_ids b ia <> None);
+  check Alcotest.bool "multi not single" true (Bitcol.single_ids b im = None);
+  (match Bitcol.single_ids b ia with
+   | Some ids ->
+       check Alcotest.bool "absent row id is -1" true (ids.(2) = -1);
+       check Alcotest.bool "present rows have ids" true
+         (ids.(0) >= 0 && ids.(1) >= 0 && ids.(0) <> ids.(1))
+   | None -> Alcotest.fail "expected single ids for a")
+
+let test_bitcol_shared_value_ids () =
+  (* equal values intern to the same id even across attributes *)
+  let rows =
+    [ Row.of_list [ ("x", "same"); ("y", "same") ];
+      Row.of_list [ ("x", "other") ] ]
+  in
+  let v = Colview.of_rows rows in
+  let b = Bitcol.of_colview v in
+  let ix = Option.get (Colview.id v "x") in
+  let iy = Option.get (Colview.id v "y") in
+  match (Bitcol.single_ids b ix, Bitcol.single_ids b iy) with
+  | Some xs, Some ys ->
+      check Alcotest.bool "cross-column equality" true (xs.(0) = ys.(0));
+      check Alcotest.bool "distinct values differ" true (xs.(1) <> xs.(0))
+  | _ -> Alcotest.fail "expected single-instance columns"
+
+let prop_bitset_count_matches_mem =
+  QCheck.Test.make ~name:"bitset count = |set bits|" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 1 200) (list_size (int_range 0 50) (int_range 0 199))))
+    (fun (len, bits) ->
+      let s = Bitset.create len in
+      let bits = List.filter (fun i -> i < len) bits in
+      List.iter (Bitset.set s) bits;
+      let distinct = List.sort_uniq compare bits in
+      Bitset.count s = List.length distinct
+      && List.for_all (Bitset.mem s) distinct)
+
 (* --- Table ------------------------------------------------------------------ *)
 
 let sample_table () =
@@ -331,6 +439,17 @@ let () =
           Alcotest.test_case "shape and order" `Quick test_colview_shape_and_order;
           Alcotest.test_case "cells" `Quick test_colview_cells;
           qtest prop_colview_matches_rows;
+        ] );
+      ( "bitcol",
+        [
+          Alcotest.test_case "word edges" `Quick test_bitset_word_edges;
+          Alcotest.test_case "intersection ops" `Quick test_bitset_inter_iter;
+          Alcotest.test_case "empty sets" `Quick test_bitset_empty;
+          Alcotest.test_case "empty and absent columns" `Quick
+            test_bitcol_empty_and_absent;
+          Alcotest.test_case "shared value ids" `Quick
+            test_bitcol_shared_value_ids;
+          qtest prop_bitset_count_matches_mem;
         ] );
       ( "table",
         [

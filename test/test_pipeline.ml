@@ -95,6 +95,33 @@ let test_jobs_resilient_identical () =
   check Alcotest.bool "same warnings" true
     (report1.Pipeline.warnings = report4.Pipeline.warnings)
 
+(* Randomized extension of the fixed-corpus determinism tests above:
+   any workload (study population or reduced-scale synthetic fleet),
+   any seed, the learned model must be byte-identical at jobs 1/2/8 —
+   sharded rule inference, the parallel mining probe and the forked
+   per-image PRNG streams may not let the job count leak into output. *)
+let prop_jobs_identical_random =
+  let gen =
+    QCheck.Gen.(
+      triple (oneofl [ `Mysql; `Sshd; `Fleet ]) (int_range 12 36)
+        (int_range 0 10_000))
+  in
+  QCheck.Test.make ~name:"model byte-identical at jobs 1/2/8" ~count:6
+    (QCheck.make gen)
+    (fun (kind, n, seed) ->
+      let images =
+        match kind with
+        | `Mysql -> Population.clean (Population.generate ~seed Image.Mysql ~n)
+        | `Sshd -> Population.clean (Population.generate ~seed Image.Sshd ~n)
+        | `Fleet -> Encore_workloads.Synthfleet.generate ~seed ~n ()
+      in
+      let model_at jobs =
+        let config = { Config.default with Config.jobs } in
+        Encore_detect.Model_io.to_string (Pipeline.learn ~config images)
+      in
+      let m1 = model_at 1 in
+      String.equal m1 (model_at 2) && String.equal m1 (model_at 8))
+
 let test_end_to_end_injection_detected () =
   let model = Pipeline.learn (training Image.Mysql 30) in
   let target =
@@ -341,6 +368,7 @@ let () =
           Alcotest.test_case "injection detected" `Quick test_end_to_end_injection_detected;
           Alcotest.test_case "jobs: model identical" `Quick test_jobs_model_identical;
           Alcotest.test_case "jobs: resilient identical" `Quick test_jobs_resilient_identical;
+          QCheck_alcotest.to_alcotest prop_jobs_identical_random;
           Alcotest.test_case "custom template" `Quick test_custom_template_used;
           Alcotest.test_case "training soundness bound" `Quick test_training_soundness;
           Alcotest.test_case "custom file error" `Quick test_custom_file_error_raised;

@@ -57,6 +57,17 @@ if grep -rn 'List\.assoc\|List\.mem_assoc' lib/detect --include='*.ml' \
   bad=1
 fi
 
+# Learning-path discipline: rule inference is columnar — attribute ids
+# from Colview, presence/index/value overlays from Bitcol.  A per-row
+# List.assoc walk or a raising per-row Hashtbl.find inside lib/rules/
+# would reintroduce the per-(candidate, row) hashing the bitset overlay
+# exists to remove.  Per-attribute memo caches (Hashtbl.find_opt, one
+# probe per attribute, not per row) are the sanctioned exception.
+if grep -rnE 'List\.assoc|List\.mem_assoc|Hashtbl\.find($|[^_])' lib/rules --include='*.ml'; then
+  echo 'lint: List.assoc/Hashtbl.find in lib/rules/ are banned — go through the Colview/Bitcol columnar accessors (Hashtbl.find_opt memo caches keyed per attribute are fine)' >&2
+  bad=1
+fi
+
 # Telemetry discipline: wall-clock reads and ad-hoc stderr chatter in
 # library code bypass the observability layer.  lib/obs owns the clock
 # (monotonic, test-pluggable) and the event log; everything else must
