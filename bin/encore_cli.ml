@@ -298,11 +298,23 @@ let learn_cmd =
 
 (* --- chaos ----------------------------------------------------------------- *)
 
-let chaos seed app n fraction max_retries jobs durability serve_storm requests
-    dir trace metrics =
+let chaos seed app n fraction max_retries jobs durability serve_storm
+    transport_storm clients requests dir trace metrics =
   with_telemetry ~trace ~metrics @@ fun () ->
   let config = { Encore.Config.default with Encore.Config.jobs = jobs } in
-  if serve_storm then
+  if transport_storm then
+    begin match
+      Encore.Chaosrun.transport_storm ~config ~requests ~clients ~n ~app ~dir
+        ~seed ()
+    with
+    | Error msg ->
+        prerr_endline ("transport storm failed: " ^ msg);
+        1
+    | Ok o ->
+        print_string (Encore.Chaosrun.transport_outcome_to_string o);
+        if Encore.Chaosrun.transport_ok o then 0 else 1
+    end
+  else if serve_storm then
     begin match
       Encore.Chaosrun.serve_storm ~config ~requests ~n ~app ~seed ()
     with
@@ -386,13 +398,35 @@ let chaos_cmd =
                            watch verdicts match full checks byte-for-byte, \
                            and shutdown drains cleanly.  Exit code 0 only \
                            when every invariant holds.")
+          $ Arg.(value & flag
+                 & info [ "transport-storm" ]
+                     ~doc:"Drive the multiplexed transport with \
+                           $(b,--clients) concurrent clients injecting \
+                           transport faults (torn frames with mid-write \
+                           disconnects, unterminated floods, \
+                           one-byte-per-poll slow writers), then the \
+                           crash-replay drill: journal a request storm, \
+                           kill the daemon mid-processing, tear the journal \
+                           tail, restart and replay.  Exit code 0 only when \
+                           no committed response is lost or misrouted, \
+                           health verdicts stay truthful, every client gets \
+                           its bye, the torn tail is truncated, and the \
+                           replayed responses and alert ring are \
+                           byte-identical to an uninterrupted reference \
+                           run.")
+          $ Arg.(value & opt int 6
+                 & info [ "clients" ] ~docv:"N"
+                     ~doc:"Concurrent clients for $(b,--transport-storm) \
+                           (minimum 2).")
           $ Arg.(value & opt int 10_000
                  & info [ "requests" ] ~docv:"N"
-                     ~doc:"Request lines to replay with $(b,--serve-storm).")
+                     ~doc:"Request lines to replay with $(b,--serve-storm) \
+                           or to journal with $(b,--transport-storm).")
           $ Arg.(value & opt string "_chaos-durability"
                  & info [ "dir" ] ~docv:"DIR"
                      ~doc:"Working directory for the durability drill's \
-                           checkpoints and snapshot store.")
+                           checkpoints and snapshot store, and the \
+                           transport storm's journals.")
           $ trace_arg $ metrics_arg)
 
 (* --- serve ----------------------------------------------------------------- *)
@@ -446,57 +480,58 @@ let fd_line_reader ?(tick = 0.25) fd =
 
 let response_line resp = Encore_obs.Jsonenc.to_string resp ^ "\n"
 
-(* Unix-socket transport: connections are served one at a time and the
-   daemon stays resident between them — only a shutdown request or a
-   signal ends the loop.  Responses produced while no client is
-   attached (the drain summary after a disconnect) go to stdout. *)
-let serve_socket srv path =
+(* Unix-socket transport: the select-driven multiplexer serves every
+   connected client concurrently — per-connection line readers, write
+   buffers that survive short writes, round-robin admission into the
+   bounded queue, slowloris/flood eviction — and the daemon stays
+   resident until a shutdown request or a signal drains it.  Responses
+   with no live origin (a SIGHUP reload, filesystem-watcher deltas, the
+   bye of a clientless daemon) go to stdout. *)
+let serve_socket ?watch srv path max_connections =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sfd (Unix.ADDR_UNIX path);
-  Unix.listen sfd 8;
-  let client = ref None in
-  let close_client () =
-    match !client with
-    | Some (fd, _) ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        client := None
-    | None -> ()
+  Unix.listen sfd 16;
+  let orphan resp =
+    print_string (response_line resp);
+    flush stdout
   in
-  let recv ~wait =
-    match !client with
-    | Some (_, reader) -> (
-        match reader ~wait with
-        | `Eof ->
-            close_client ();
-            `Idle
-        | r -> r)
-    | None -> (
-        match Unix.select [ sfd ] [] [] (if wait then 0.25 else 0.0) with
-        | [], _, _ -> `Idle
-        | _ ->
-            let fd, _ = Unix.accept sfd in
-            client := Some (fd, fd_line_reader fd);
-            `Idle
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Idle)
+  let mconfig =
+    {
+      Encore_serve.Mux.default_config with
+      Encore_serve.Mux.max_connections =
+        Option.value
+          ~default:Encore_serve.Mux.default_config
+                     .Encore_serve.Mux.max_connections max_connections;
+    }
   in
-  let send resp =
-    let line = response_line resp in
-    match !client with
-    | Some (fd, _) -> (
-        try ignore (Unix.write_substring fd line 0 (String.length line))
-        with Unix.Unix_error _ -> close_client ())
-    | None -> print_string line
-  in
+  let mux = Encore_serve.Mux.create ~config:mconfig ~listen_fd:sfd ~orphan srv in
   Fun.protect
     ~finally:(fun () ->
-      close_client ();
-      (try Unix.close sfd with Unix.Unix_error _ -> ());
+      Encore_serve.Mux.shutdown_fds mux;
       try Unix.unlink path with Unix.Unix_error _ -> ())
-    (fun () -> Encore_serve.Server.run srv ~recv ~send)
+    (fun () ->
+      let rec loop () =
+        if Encore_serve.Mux.stopped mux then Encore_serve.Server.exit_code srv
+        else begin
+          (match watch with
+          | Some w ->
+              List.iter
+                (fun d ->
+                  List.iter orphan
+                    (Encore_serve.Server.offer srv
+                       (Encore_serve.Fswatch.watch_request d)))
+                (Encore_serve.Fswatch.poll w)
+          | None -> ());
+          Encore_serve.Mux.step mux;
+          loop ()
+        end
+      in
+      loop ())
 
-let serve model_path store_dir socket_path seed profile n jobs queue_capacity
-    max_request_bytes ring_capacity deadline_s alert_score trace metrics =
+let serve model_path store_dir socket_path journal_path watch_dir
+    max_connections seed profile n jobs queue_capacity max_request_bytes
+    ring_capacity deadline_s alert_score trace metrics =
   with_telemetry ~trace ~metrics @@ fun () ->
   let provider ~app:name =
     match (model_path, store_dir) with
@@ -534,46 +569,107 @@ let serve model_path store_dir socket_path seed profile n jobs queue_capacity
         Option.value ~default:dc.Encore_serve.Server.alert_score alert_score;
     }
   in
-  let srv =
-    Encore_serve.Server.create ~config (Encore_serve.Cache.create ~provider)
-  in
-  let drain _ = Encore_serve.Server.request_shutdown srv in
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
-  Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  match socket_path with
-  | Some path -> serve_socket srv path
-  | None ->
-      let recv = fd_line_reader Unix.stdin in
-      (* a scraper spliced onto our pipes (e.g. `encore-cli top`) may
-         disconnect while the drain is still flushing; dropping the
-         remaining responses beats dying on the closed pipe *)
-      let peer_gone = ref false in
-      let send resp =
-        if not !peer_gone then
-          try
-            print_string (response_line resp);
-            flush stdout
-          with Sys_error _ ->
-            peer_gone := true;
-            (* leave nothing buffered: the at-exit flush of the standard
-               formatters would re-raise on the dead pipe (flush on a
-               closed channel is defined as a no-op) *)
-            close_out_noerr stdout
+  match
+    match journal_path with
+    | None -> Ok None
+    | Some path -> (
+        match Encore_serve.Journal.open_ ~path with
+        | Ok (j, recovery) -> Ok (Some (j, recovery))
+        | Error e -> Error e)
+  with
+  | Error e ->
+      prerr_endline ("serve: cannot open journal: " ^ e);
+      1
+  | Ok journal ->
+      let srv =
+        Encore_serve.Server.create ~config
+          ?journal:(Option.map fst journal)
+          (Encore_serve.Cache.create ~provider)
       in
-      Encore_serve.Server.run srv ~recv ~send
+      (* crash recovery before the transport opens: rebuild committed
+         state from the journal and re-emit the responses the crash
+         swallowed (to stdout — the clients that asked are gone) *)
+      (match journal with
+      | Some (_, recovery)
+        when recovery.Encore_serve.Journal.entries <> [] ->
+          let replayed =
+            Encore_serve.Server.replay srv
+              ~entries:recovery.Encore_serve.Journal.entries
+              ~emit:(fun (e : Encore_serve.Journal.entry) resps ->
+                if not e.completed then
+                  List.iter
+                    (fun resp -> print_string (response_line resp))
+                    resps)
+          in
+          flush stdout;
+          Printf.eprintf "serve: replayed %d journaled request(s)%s\n%!"
+            replayed
+            (match recovery.Encore_serve.Journal.truncated_at with
+            | Some off -> Printf.sprintf " (torn tail cut at byte %d)" off
+            | None -> "")
+      | _ -> ());
+      let watch = Option.map (fun dir -> Encore_serve.Fswatch.create ~dir) watch_dir in
+      let drain _ = Encore_serve.Server.request_shutdown srv in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+      Sys.set_signal Sys.sighup
+        (Sys.Signal_handle (fun _ -> Encore_serve.Server.request_reload srv));
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      (match socket_path with
+      | Some path -> serve_socket ?watch srv path max_connections
+      | None ->
+          let stdin_recv = fd_line_reader Unix.stdin in
+          (* the watcher feeds synthesized watch requests between client
+             lines; polled only on waiting reads so a request storm is
+             never stalled behind directory stats *)
+          let pending_watch = Queue.create () in
+          let recv ~wait =
+            (match watch with
+            | Some w when wait && Queue.is_empty pending_watch ->
+                List.iter
+                  (fun d ->
+                    Queue.push (Encore_serve.Fswatch.watch_request d)
+                      pending_watch)
+                  (Encore_serve.Fswatch.poll w)
+            | _ -> ());
+            match Queue.take_opt pending_watch with
+            | Some line -> `Line line
+            | None -> stdin_recv ~wait
+          in
+          (* a scraper spliced onto our pipes (e.g. `encore-cli top`) may
+             disconnect while the drain is still flushing; dropping the
+             remaining responses beats dying on the closed pipe *)
+          let peer_gone = ref false in
+          let send resp =
+            if not !peer_gone then
+              try
+                print_string (response_line resp);
+                flush stdout
+              with Sys_error _ ->
+                peer_gone := true;
+                (* leave nothing buffered: the at-exit flush of the
+                   standard formatters would re-raise on the dead pipe
+                   (flush on a closed channel is defined as a no-op) *)
+                close_out_noerr stdout
+          in
+          Encore_serve.Server.run srv ~recv ~send)
 
 let serve_cmd =
   let doc =
     "Run the resident check daemon: JSONL requests ($(b,check), $(b,watch), \
      $(b,reload), $(b,status), $(b,metrics), $(b,health), $(b,shutdown)) \
-     over stdio or a Unix socket.  \
+     over stdio or a Unix socket (concurrent clients via a select \
+     multiplexer).  \
      Oversized lines are rejected before queueing, a full queue sheds with \
      an $(i,overloaded) response, malformed requests get typed errors, \
      detections land in a bounded drop-oldest alert ring, and SIGTERM (or a \
      shutdown request) drains gracefully: in-flight requests finish, the \
-     ring is flushed, and the exit code follows the 0/1/2/3 contract (3 \
-     when load was shed, the worker restarted, or alerts were dropped)."
+     ring is flushed, every client gets the bye summary, and the exit code \
+     follows the 0/1/2/3 contract (3 when load was shed, the worker \
+     restarted, or alerts were dropped).  SIGHUP (or $(b,reload)) swaps the \
+     model only after shadow-validating the candidate against recent \
+     checks; with $(b,--journal) admitted requests survive kill -9 and are \
+     replayed on restart."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const serve
@@ -589,7 +685,26 @@ let serve_cmd =
           $ Arg.(value & opt (some string) None
                  & info [ "socket" ] ~docv:"PATH"
                      ~doc:"Listen on a Unix socket at $(docv) instead of \
-                           stdio.")
+                           stdio; connected clients are served \
+                           concurrently.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "journal" ] ~docv:"FILE"
+                     ~doc:"Write-ahead request journal: every admitted \
+                           check/watch request is fsynced to $(docv) before \
+                           it is queued, and on restart the journal is \
+                           replayed — committed state is rebuilt and \
+                           unanswered responses re-emitted — so a kill -9 \
+                           mid-storm loses nothing that was accepted.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "watch-dir" ] ~docv:"DIR"
+                     ~doc:"Poll $(docv) for config files named \
+                           $(i,<image-id>@<app>.conf) and feed each change \
+                           as an incremental watch request against that \
+                           image's session.")
+          $ Arg.(value & opt (some int) None
+                 & info [ "max-connections" ] ~docv:"N"
+                     ~doc:"Concurrent socket clients served; further \
+                           connections wait in the listen backlog.")
           $ seed_arg $ profile_arg $ count_arg 100 $ jobs_arg
           $ Arg.(value & opt (some int) None
                  & info [ "queue-capacity" ] ~docv:"N"
@@ -701,64 +816,80 @@ let render_frame ~frame health metrics =
             |> List.map (fun (r, n) -> [ r; string_of_int n ]))));
   Buffer.contents buf
 
+(* Connect to a daemon socket with capped exponential backoff — a
+   restarting daemon (journal replay, supervisor respawn) comes back
+   within a few seconds, so a resident top should outwait it rather
+   than die on the first ECONNREFUSED. *)
+let connect_with_backoff ?(attempts = 8) path =
+  let rec go k delay last_err =
+    if k >= attempts then
+      Error
+        (Printf.sprintf "top: cannot connect to %s after %d attempt(s): %s"
+           path attempts (Unix.error_message last_err))
+    else begin
+      if k > 0 then Unix.sleepf delay;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          go (k + 1) (Float.min 4.0 (delay *. 2.0)) e
+    end
+  in
+  go 0 0.25 Unix.ECONNREFUSED
+
 (* Poll a running daemon: send a metrics (json) and a health request,
    collect the two responses (skipping unrelated lines, e.g. drained
-   alerts), render one frame.  Transport is a connected Unix socket, or
-   stdio — requests on stdout, responses on stdin, frames on stderr —
+   alerts), render one frame.  Transport is a Unix socket — connected
+   with backoff, reconnected if the daemon goes away between frames —
+   or stdio: requests on stdout, responses on stdin, frames on stderr,
    so a harness can splice [top] onto a daemon's pipes. *)
 let top socket_path interval frames raw =
-  let cleanup = ref (fun () -> ()) in
-  match
-    (match socket_path with
-     | Some path ->
-         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-         (try
-            Unix.connect fd (Unix.ADDR_UNIX path);
-            cleanup := (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
-            let send line =
-              ignore (Unix.write_substring fd line 0 (String.length line))
-            in
-            Ok (send, fd_line_reader fd, print_string)
-          with Unix.Unix_error (e, _, _) ->
-            (try Unix.close fd with Unix.Unix_error _ -> ());
-            Error (Printf.sprintf "top: cannot connect to %s: %s" path
-                     (Unix.error_message e)))
-     | None ->
-         let send line = print_string line; flush stdout in
-         Ok (send, fd_line_reader Unix.stdin, prerr_string))
-  with
-  | Error msg ->
-      prerr_endline msg;
-      1
-  | Ok (send, recv, render) ->
-      Fun.protect ~finally:(fun () -> !cleanup ()) @@ fun () ->
-      let rec collect ~idle_budget acc =
-        if idle_budget <= 0 then acc
-        else
-          match recv ~wait:true with
-          | `Eof -> acc
-          | `Idle -> collect ~idle_budget:(idle_budget - 1) acc
-          | `Line line -> (
-              match Jx.of_string line with
-              | Error _ -> collect ~idle_budget acc
-              | Ok json ->
-                  let acc =
-                    match Option.bind (Jx.member "op" json) Jx.to_string_opt with
-                    | Some "metrics" -> (Some json, snd acc)
-                    | Some "health" -> (fst acc, Some json)
-                    | _ -> acc
-                  in
-                  if fst acc <> None && snd acc <> None then acc
-                  else collect ~idle_budget acc)
+  let collect recv =
+    let rec go ~idle_budget acc =
+      if idle_budget <= 0 then acc
+      else
+        match recv ~wait:true with
+        | `Eof -> acc
+        | `Idle -> go ~idle_budget:(idle_budget - 1) acc
+        | `Line line -> (
+            match Jx.of_string line with
+            | Error _ -> go ~idle_budget acc
+            | Ok json ->
+                let acc =
+                  match Option.bind (Jx.member "op" json) Jx.to_string_opt with
+                  | Some "metrics" -> (Some json, snd acc)
+                  | Some "health" -> (fst acc, Some json)
+                  | _ -> acc
+                in
+                if fst acc <> None && snd acc <> None then acc
+                else go ~idle_budget acc)
+    in
+    (* ~10s of idle ticks before giving up on the daemon *)
+    go ~idle_budget:40 (None, None)
+  in
+  let probes =
+    [
+      "{\"op\":\"metrics\",\"format\":\"json\",\"id\":\"top-m\"}\n";
+      "{\"op\":\"health\",\"id\":\"top-h\"}\n";
+    ]
+  in
+  match socket_path with
+  | None ->
+      (* stdio splice: the pipes cannot be re-established, so an
+         unanswered probe is fatal, as before *)
+      let send line =
+        print_string line;
+        flush stdout
       in
+      let recv = fd_line_reader Unix.stdin in
       let rec loop frame =
-        send "{\"op\":\"metrics\",\"format\":\"json\",\"id\":\"top-m\"}\n";
-        send "{\"op\":\"health\",\"id\":\"top-h\"}\n";
-        (* ~10s of idle ticks before giving up on the daemon *)
-        match collect ~idle_budget:40 (None, None) with
+        List.iter send probes;
+        match collect recv with
         | Some metrics, Some health ->
-            if not raw then render "\027[2J\027[H";
-            render (render_frame ~frame health metrics);
+            prerr_string
+              ((if raw then "" else "\027[2J\027[H")
+              ^ render_frame ~frame health metrics);
             if frames > 0 && frame >= frames then 0
             else begin
               Unix.sleepf interval;
@@ -769,6 +900,73 @@ let top socket_path interval frames raw =
             1
       in
       loop 1
+  | Some path ->
+      let conn = ref None in
+      let close_conn () =
+        match !conn with
+        | Some (fd, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            conn := None
+        | None -> ()
+      in
+      Fun.protect ~finally:close_conn @@ fun () ->
+      let rec loop frame ~retried =
+        match
+          match !conn with
+          | Some c -> Ok c
+          | None -> (
+              match connect_with_backoff path with
+              | Ok fd ->
+                  let c = (fd, fd_line_reader fd) in
+                  conn := Some c;
+                  Ok c
+              | Error msg -> Error msg)
+        with
+        | Error msg ->
+            prerr_endline msg;
+            1
+        | Ok (fd, reader) -> (
+            let sent =
+              try
+                List.iter
+                  (fun line ->
+                    let rec put off =
+                      if off < String.length line then
+                        put
+                          (off
+                          + Unix.write_substring fd line off
+                              (String.length line - off))
+                    in
+                    put 0)
+                  probes;
+                true
+              with Unix.Unix_error _ -> false
+            in
+            match (if sent then collect reader else (None, None)) with
+            | Some metrics, Some health ->
+                if not raw then print_string "\027[2J\027[H";
+                print_string (render_frame ~frame health metrics);
+                flush stdout;
+                if frames > 0 && frame >= frames then 0
+                else begin
+                  Unix.sleepf interval;
+                  loop (frame + 1) ~retried:false
+                end
+            | _ ->
+                (* daemon went away mid-frame: reconnect (with backoff)
+                   and retry this frame once *)
+                close_conn ();
+                if retried then begin
+                  prerr_endline
+                    "top: daemon did not answer metrics/health probes";
+                  1
+                end
+                else begin
+                  prerr_endline "top: connection lost, reconnecting";
+                  loop frame ~retried:true
+                end)
+      in
+      loop 1 ~retried:false
 
 let top_cmd =
   let doc =

@@ -774,3 +774,607 @@ let outcome_to_string o =
     (fun note -> Buffer.add_string buf (Printf.sprintf "note: %s\n" note))
     o.notes;
   Buffer.contents buf
+
+(* --- transport storm & crash replay ---------------------------------------- *)
+
+module Serve_mux = Encore_serve.Mux
+module Serve_journal = Encore_serve.Journal
+
+type transport_outcome = {
+  tr_clients : int;
+  tr_frames : int;
+  tr_faults : int;
+  tr_committed : int;
+  tr_lost : int;
+  tr_misrouted : int;
+  tr_overflow_answers : int;
+  tr_reconnects : int;
+  tr_health_probes : int;
+  tr_health_truthful : bool;
+  tr_bye_all : bool;
+  tr_exit : int;
+  cr_requests : int;
+  cr_journaled : int;
+  cr_completed : int;
+  cr_replayed : int;
+  cr_tail_truncated : bool;
+  cr_responses_identical : bool;
+  cr_ring_identical : bool;
+  cr_replay_idempotent : bool;
+  tr_notes : string list;
+}
+
+(* one scripted frame of a storm client *)
+type client_action =
+  | Send of string  (* intact frame; its id, if any, must be answered *)
+  | Send_slow of string  (* intact, dribbled one byte per driver turn *)
+  | Torn of string  (* strict prefix, then disconnect and reconnect *)
+  | Flood of int  (* unterminated junk of this size, then a newline *)
+
+type storm_client = {
+  index : int;
+  mutable fd : Unix.file_descr;
+  mutable script : client_action list;
+  mutable outq : string;
+  mutable out_off : int;
+  mutable slow : bool;
+  mutable close_after : bool;  (* mid-write disconnect once outq flushes *)
+  rbuf : Buffer.t;
+  mutable received : string list;  (* complete response lines, reverse *)
+  mutable bye : bool;
+  mutable anon_errors : int;  (* uncorrelated error responses (overflow) *)
+  mutable alive : bool;
+  mutable reconnects : int;
+}
+
+let transport_ok o =
+  o.tr_lost = 0 && o.tr_misrouted = 0
+  && o.tr_faults * 20 >= o.tr_frames
+  && o.tr_health_truthful && o.tr_bye_all
+  && o.cr_tail_truncated && o.cr_responses_identical && o.cr_ring_identical
+  && o.cr_replay_idempotent
+  && o.tr_notes = []
+
+let transport_storm ?(config = Config.default) ?(requests = 10_000)
+    ?(clients = 6) ?(n = 16) ?(app = Image.Mysql) ~dir ~seed () =
+  if clients < 2 then Error "transport storm needs at least 2 clients"
+  else begin
+    (* writes to a peer that disconnected mid-response must surface as
+       EPIPE, not kill the process *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let profile = { Profile.ec2 with Profile.latent_error_rate = 0.0 } in
+    let images =
+      Population.images (Population.generate ~profile ~seed app ~n)
+    in
+    let model = Pipeline.learn ~config images in
+    let arr = Array.of_list images in
+    let npop = Array.length arr in
+    let dumps = Array.map Collector.image_to_text arr in
+    let notes = ref [] in
+    let note fmt = Printf.ksprintf (fun s -> notes := !notes @ [ s ]) fmt in
+
+    (* ---- phase A: concurrent clients under transport faults ---- *)
+    let frames_total = max (clients * 8) (min requests 2_000) in
+    let sconfig =
+      {
+        Serve_server.default_config with
+        Serve_server.queue_capacity = 64;
+        ring_capacity = 64;
+        max_request_bytes = 1 lsl 16;
+      }
+    in
+    let mconfig =
+      {
+        Serve_mux.default_config with
+        Serve_mux.max_line_bytes = (1 lsl 16) + (1 lsl 13);
+        idle_polls_budget = 50_000;
+      }
+    in
+    match Serve_journal.open_ ~path:(Filename.concat dir "transport.wal") with
+    | Error e -> Error ("transport journal: " ^ e)
+    | Ok (jnl, _) ->
+        let cache = Serve_cache.create ~provider:(fun ~app:_ -> Ok model) in
+        let server = Serve_server.create ~config:sconfig ~journal:jnl cache in
+        let mux = Serve_mux.create ~config:mconfig server in
+        let mk_client index =
+          let cfd, sfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.set_nonblock cfd;
+          ignore (Serve_mux.adopt mux sfd);
+          {
+            index;
+            fd = cfd;
+            script = [];
+            outq = "";
+            out_off = 0;
+            slow = false;
+            close_after = false;
+            rbuf = Buffer.create 256;
+            received = [];
+            bye = false;
+            anon_errors = 0;
+            alive = true;
+            reconnects = 0;
+          }
+        in
+        let cls = Array.init clients mk_client in
+        (* expected correlation ids and which client owns each *)
+        let expected : (string, int) Hashtbl.t = Hashtbl.create 512 in
+        let got : (string, unit) Hashtbl.t = Hashtbl.create 512 in
+        let misrouted = ref 0 in
+        let health_probes = ref 0 and health_truthful = ref true in
+        let faults = ref 0 in
+        let json_line op id extra =
+          Json.to_string
+            (Json.Obj ([ ("op", Json.Str op); ("id", Json.Str id) ] @ extra))
+        in
+        let mk_check id k =
+          json_line "check" id [ ("image", Json.Str dumps.(k)) ]
+        in
+        let mk_watch id k =
+          let cfg =
+            match Image.config_for arr.(k) app with
+            | Some c -> c.Image.text
+            | None -> ""
+          in
+          json_line "watch" id
+            [
+              ("image", Json.Str arr.(k).Image.image_id);
+              ("app", Json.Str (Image.app_to_string app));
+              ("config", Json.Str cfg);
+            ]
+        in
+        let expect c id = Hashtbl.replace expected id c.index in
+        let gid = ref 0 in
+        let next_id c =
+          incr gid;
+          Printf.sprintf "t%d-%06d" c.index !gid
+        in
+        (* client 0 stays fault-free (it later requests the shutdown and
+           carries the health probes); the others tear, flood and crawl *)
+        Array.iter
+          (fun c ->
+            let per = frames_total / clients in
+            let acc = ref [] in
+            for j = 0 to per - 1 do
+              let id = next_id c in
+              let k = (c.index + (j * clients)) mod npop in
+              let action =
+                if c.index = 0 then
+                  if j mod 7 = 3 then begin
+                    incr health_probes;
+                    expect c id;
+                    Send (json_line "health" id [])
+                  end
+                  else begin
+                    expect c id;
+                    Send (mk_check id k)
+                  end
+                else if j mod 20 = 5 then begin
+                  incr faults;
+                  Torn (mk_check id k)
+                end
+                else if j mod 20 = 11 then begin
+                  incr faults;
+                  Flood (mconfig.Serve_mux.max_line_bytes + 4096)
+                end
+                else if j mod 20 = 17 then begin
+                  incr faults;
+                  expect c id;
+                  Send_slow (json_line "status" id [])
+                end
+                else if j mod 6 = 2 && j > 0 then begin
+                  expect c id;
+                  Send (mk_watch id c.index)
+                end
+                else begin
+                  expect c id;
+                  Send (mk_check id k)
+                end
+              in
+              acc := action :: !acc
+            done;
+            (* first frame seeds the client's watch session *)
+            let seed_id = next_id c in
+            expect c seed_id;
+            c.script <- Send (mk_check seed_id c.index) :: List.rev !acc)
+          cls;
+        let drain_reads c =
+          if c.alive then begin
+            let chunk = Bytes.create 4096 in
+            let rec go () =
+              match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+              | 0 -> ()
+              | nread ->
+                  Buffer.add_subbytes c.rbuf chunk 0 nread;
+                  go ()
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                ->
+                  ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+              | exception Unix.Unix_error (_, _, _) -> ()
+            in
+            go ();
+            let text = Buffer.contents c.rbuf in
+            Buffer.clear c.rbuf;
+            let rec split start =
+              match String.index_from_opt text start '\n' with
+              | Some nl ->
+                  let line = String.sub text start (nl - start) in
+                  if line <> "" then begin
+                    c.received <- line :: c.received;
+                    (match Json.of_string line with
+                    | Error _ -> note "client %d: unparsable response" c.index
+                    | Ok j -> (
+                        let ok =
+                          match Json.member "ok" j with
+                          | Some (Json.Bool b) -> b
+                          | _ -> false
+                        in
+                        (match Json.member "op" j with
+                        | Some (Json.Str "bye") -> c.bye <- true
+                        | Some (Json.Str "health") when ok -> (
+                            let verdict =
+                              Option.bind (Json.member "health" j)
+                                Json.to_string_opt
+                            in
+                            let reasons =
+                              match Json.member "reasons" j with
+                              | Some (Json.Arr l) -> l
+                              | _ -> []
+                            in
+                            match verdict with
+                            | Some (("ok" | "degraded" | "unhealthy") as v) ->
+                                if v = "ok" <> (reasons = []) then begin
+                                  health_truthful := false;
+                                  note
+                                    "health verdict '%s' inconsistent with %d \
+                                     reason(s)"
+                                    v (List.length reasons)
+                                end
+                            | _ ->
+                                health_truthful := false;
+                                note "health response without a verdict")
+                        | _ -> ());
+                        match
+                          Option.bind (Json.member "id" j) Json.to_string_opt
+                        with
+                        | Some id -> (
+                            match Hashtbl.find_opt expected id with
+                            | Some owner when owner <> c.index ->
+                                incr misrouted
+                            | Some _ -> Hashtbl.replace got id ()
+                            | None -> ())
+                        | None -> if not ok then c.anon_errors <- c.anon_errors + 1
+                        ))
+                  end;
+                  split (nl + 1)
+              | None -> Buffer.add_substring c.rbuf text start (String.length text - start)
+            in
+            split 0
+          end
+        in
+        let reconnect c =
+          let cfd, sfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.set_nonblock cfd;
+          ignore (Serve_mux.adopt mux sfd);
+          c.fd <- cfd;
+          c.reconnects <- c.reconnects + 1
+        in
+        let write_step c =
+          if c.alive then
+            if c.out_off < String.length c.outq then begin
+              let len = String.length c.outq - c.out_off in
+              let nwrite = if c.slow then 1 else len in
+              (match Unix.write_substring c.fd c.outq c.out_off nwrite with
+              | nw -> c.out_off <- c.out_off + nw
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                ->
+                  ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+                ->
+                  (* server closed us mid-script: reconnect and move on *)
+                  drain_reads c;
+                  Unix.close c.fd;
+                  reconnect c;
+                  c.outq <- "";
+                  c.out_off <- 0);
+              if c.out_off >= String.length c.outq && c.close_after then begin
+                (* mid-write disconnect: the prefix is on the wire, the
+                   frame will never terminate *)
+                drain_reads c;
+                Unix.close c.fd;
+                reconnect c;
+                c.close_after <- false;
+                c.outq <- "";
+                c.out_off <- 0
+              end
+            end
+            else
+              match c.script with
+              | [] -> ()
+              | action :: rest ->
+                  c.script <- rest;
+                  c.slow <- false;
+                  c.out_off <- 0;
+                  (match action with
+                  | Send s -> c.outq <- s ^ "\n"
+                  | Send_slow s ->
+                      c.slow <- true;
+                      c.outq <- s ^ "\n"
+                  | Torn s ->
+                      c.close_after <- true;
+                      c.outq <- String.sub s 0 (max 1 (String.length s / 2))
+                  | Flood size -> c.outq <- String.make size 'z' ^ "\n")
+        in
+        let turn () =
+          Array.iter write_step cls;
+          Serve_mux.step ~wait:false mux;
+          Array.iter drain_reads cls
+        in
+        let work_left () =
+          Array.exists
+            (fun c ->
+              c.script <> [] || c.out_off < String.length c.outq)
+            cls
+          || Hashtbl.length got < Hashtbl.length expected
+        in
+        let iters = ref 0 in
+        let last_progress = ref 0 and stall = ref 0 in
+        while work_left () && !stall < 5_000 && !iters < 400_000 do
+          incr iters;
+          turn ();
+          let progress =
+            Hashtbl.length got
+            + Array.fold_left
+                (fun acc c -> acc - List.length c.script)
+                0 cls
+          in
+          if progress = !last_progress then incr stall
+          else begin
+            stall := 0;
+            last_progress := progress
+          end
+        done;
+        if work_left () then
+          note "transport storm stalled after %d turn(s)" !iters;
+        (* shutdown through client 0; every surviving client gets a bye *)
+        cls.(0).script <- [ Send (json_line "shutdown" "t-bye" []) ];
+        let budget = ref 0 in
+        while (not (Serve_mux.stopped mux)) && !budget < 60_000 do
+          incr budget;
+          turn ()
+        done;
+        Array.iter drain_reads cls;
+        if not (Serve_mux.stopped mux) then begin
+          note "mux did not stop after shutdown";
+          Serve_mux.shutdown_fds mux
+        end;
+        let lost =
+          Hashtbl.fold
+            (fun id _ acc ->
+              if Hashtbl.mem got id then acc else id :: acc)
+            expected []
+        in
+        List.iteri
+          (fun i id -> if i < 5 then note "committed request %s unanswered" id)
+          (List.sort compare lost);
+        let bye_all = Array.for_all (fun c -> c.bye) cls in
+        let overflow_answers =
+          Array.fold_left (fun acc c -> acc + c.anon_errors) 0 cls
+        in
+        if overflow_answers = 0 then
+          note "flooding clients saw no typed overflow response";
+        let reconnects =
+          Array.fold_left (fun acc c -> acc + c.reconnects) 0 cls
+        in
+        Array.iter
+          (fun c -> if c.alive then try Unix.close c.fd with Unix.Unix_error _ -> ())
+          cls;
+        let tr_exit = Serve_server.exit_code server in
+
+        (* ---- phase B: kill -9 mid-storm, replay, converge ---- *)
+        let wal = Filename.concat dir "requests.wal" in
+        (match Serve_journal.open_ ~path:wal with
+        | Error e -> Error ("crash journal: " ^ e)
+        | Ok (j1, _) ->
+            let rng = Prng.create (seed + 777) in
+            let bad_dumps =
+              Array.init 8 (fun j ->
+                  let campaign = Conferr.inject rng app arr.(j mod npop) ~n:2 in
+                  Collector.image_to_text campaign.Conferr.image)
+            in
+            let cconfig =
+              {
+                sconfig with
+                Serve_server.queue_capacity = 256;
+                ring_capacity = 32;
+              }
+            in
+            let mk_server journal =
+              let c = Serve_cache.create ~provider:(fun ~app:_ -> Ok model) in
+              Serve_server.create ~config:cconfig ?journal c
+            in
+            let server1 = mk_server (Some j1) in
+            let storm_line i =
+              let id = Printf.sprintf "k%06d" i in
+              if i mod 211 = 17 then json_line "crash" id []
+              else if i mod 20 = 3 then
+                Chaos.mangle_request ~rng (mk_check id (Prng.int rng npop))
+              else if i mod 7 = 2 then
+                json_line "check" id
+                  [ ("image", Json.Str bad_dumps.(i mod 8)) ]
+              else if i mod 5 = 1 then mk_watch id (i mod npop)
+              else mk_check id (Prng.int rng npop)
+            in
+            (* trace -> the responses the uninterrupted prefix produced *)
+            let precrash : (string, string) Hashtbl.t = Hashtbl.create 512 in
+            let record_step () =
+              List.iter
+                (fun j ->
+                  match
+                    Option.bind (Json.member "trace" j) Json.to_string_opt
+                  with
+                  | Some trace ->
+                      Hashtbl.replace precrash trace (Json.to_string j)
+                  | None -> ())
+                (Serve_server.step server1)
+            in
+            let kill_at = max 1 (requests * 3 / 5) in
+            (for i = 0 to kill_at - 1 do
+               ignore (Serve_server.offer server1 (storm_line i));
+               if i mod 3 = 0 then record_step ()
+             done);
+            (* kill -9: abandon the server with its queue still loaded;
+               the journal fd goes away without a reset *)
+            Serve_journal.close j1;
+            (* a crash mid-append leaves a torn record at the tail *)
+            let tear =
+              "EJRNL1 R 999999 64 0123456789abcdef0123456789abcdef\ntorn"
+            in
+            (let fd =
+               Unix.openfile wal [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644
+             in
+             ignore (Unix.write_substring fd tear 0 (String.length tear));
+             Unix.close fd);
+            (match Serve_journal.open_ ~path:wal with
+            | Error e -> Error ("crash recovery: " ^ e)
+            | Ok (j2, recovery) ->
+                let entries = recovery.Serve_journal.entries in
+                let journaled = List.length entries in
+                let completed =
+                  List.length
+                    (List.filter
+                       (fun (e : Serve_journal.entry) -> e.completed)
+                       entries)
+                in
+                let collect_replay server journal_entries =
+                  let emitted : (int, string) Hashtbl.t =
+                    Hashtbl.create 512
+                  in
+                  ignore
+                    (Serve_server.replay server ~entries:journal_entries
+                       ~emit:(fun (e : Serve_journal.entry) resps ->
+                         Hashtbl.replace emitted e.seq
+                           (String.concat "\n"
+                              (List.map Json.to_string resps))));
+                  ( emitted,
+                    List.map Json.to_string (Serve_server.alerts server) )
+                in
+                let server2 = mk_server (Some j2) in
+                let recovered, ring2 = collect_replay server2 entries in
+                let server3 = mk_server None in
+                let reference, ring3 = collect_replay server3 entries in
+                let identical = ref true in
+                List.iter
+                  (fun (e : Serve_journal.entry) ->
+                    let want = Hashtbl.find_opt reference e.seq in
+                    let got_resp =
+                      if e.completed then
+                        let trace =
+                          match String.index_opt e.payload ' ' with
+                          | Some sp -> String.sub e.payload 0 sp
+                          | None -> e.payload
+                        in
+                        Hashtbl.find_opt precrash trace
+                      else Hashtbl.find_opt recovered e.seq
+                    in
+                    if want <> got_resp && !identical then begin
+                      identical := false;
+                      note "crash replay diverged at seq %d" e.seq
+                    end)
+                  entries;
+                let ring_identical = ring2 = ring3 in
+                if not ring_identical then
+                  note "alert ring diverged after crash replay";
+                Serve_journal.close j2;
+                (* second restart: everything is marked complete, and a
+                   second replay lands on byte-identical state *)
+                let idempotent =
+                  match Serve_journal.open_ ~path:wal with
+                  | Error e ->
+                      note "reopen after replay: %s" e;
+                      false
+                  | Ok (j4, recovery2) ->
+                      Serve_journal.close j4;
+                      let entries2 = recovery2.Serve_journal.entries in
+                      let server4 = mk_server None in
+                      let again, ring4 = collect_replay server4 entries2 in
+                      List.length entries2 = journaled
+                      && List.for_all
+                           (fun (e : Serve_journal.entry) -> e.completed)
+                           entries2
+                      && ring4 = ring2
+                      && List.for_all
+                           (fun (e : Serve_journal.entry) ->
+                             Hashtbl.find_opt again e.seq
+                             = Hashtbl.find_opt recovered e.seq)
+                           entries2
+                in
+                if not idempotent then note "replay is not idempotent";
+                Ok
+                  {
+                    tr_clients = clients;
+                    tr_frames = frames_total + clients;
+                    tr_faults = !faults;
+                    tr_committed = Hashtbl.length expected;
+                    tr_lost = List.length lost;
+                    tr_misrouted = !misrouted;
+                    tr_overflow_answers = overflow_answers;
+                    tr_reconnects = reconnects;
+                    tr_health_probes = !health_probes;
+                    tr_health_truthful = !health_truthful;
+                    tr_bye_all = bye_all;
+                    tr_exit;
+                    cr_requests = kill_at;
+                    cr_journaled = journaled;
+                    cr_completed = completed;
+                    cr_replayed = journaled - completed;
+                    cr_tail_truncated =
+                      recovery.Serve_journal.truncated_at <> None;
+                    cr_responses_identical = !identical;
+                    cr_ring_identical = ring_identical;
+                    cr_replay_idempotent = idempotent;
+                    tr_notes = !notes;
+                  }))
+  end
+
+let transport_outcome_to_string o =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "transport storm: %d client(s), %d frame(s), %d injected fault(s) \
+        (%.1f%%), %d reconnect(s)\n"
+       o.tr_clients o.tr_frames o.tr_faults
+       (100.0 *. float_of_int o.tr_faults /. float_of_int (max 1 o.tr_frames))
+       o.tr_reconnects);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "committed requests: %d, lost %d%s, misrouted %d; %d typed overflow \
+        answer(s)\n"
+       o.tr_committed o.tr_lost
+       (if o.tr_lost = 0 then "" else " (RESPONSES LOST)")
+       o.tr_misrouted o.tr_overflow_answers);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "health: %d probe(s), verdicts %s; drain byes %s; exit code %d\n"
+       o.tr_health_probes
+       (if o.tr_health_truthful then "truthful" else "UNTRUTHFUL")
+       (if o.tr_bye_all then "delivered to every client" else "MISSING")
+       o.tr_exit);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "crash drill: killed after %d request(s); %d journaled (%d completed, \
+        %d replayed), torn tail %s\n"
+       o.cr_requests o.cr_journaled o.cr_completed o.cr_replayed
+       (if o.cr_tail_truncated then "truncated" else "NOT DETECTED"));
+  Buffer.add_string buf
+    (Printf.sprintf "crash replay: responses %s, alert ring %s, replay %s\n"
+       (if o.cr_responses_identical then "byte-identical" else "DIVERGED")
+       (if o.cr_ring_identical then "byte-identical" else "DIVERGED")
+       (if o.cr_replay_idempotent then "idempotent" else "NOT IDEMPOTENT"));
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n))
+    o.tr_notes;
+  Buffer.contents buf

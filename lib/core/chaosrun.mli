@@ -154,3 +154,76 @@ val serve_storm :
     Deterministic in [seed]. *)
 
 val serve_outcome_to_string : serve_outcome -> string
+
+(** {1 Transport storm and crash replay}
+
+    The robustness drill for the multiplexed transport and the
+    write-ahead request journal (PR 9).  Phase A drives an in-process
+    {!Encore_serve.Mux} with concurrent socketpair clients injecting
+    transport faults — torn frames followed by mid-write disconnects,
+    unterminated floods past the frame bound, one-byte-per-poll slow
+    writers — and checks that no committed (intact, correlated) request
+    loses its response, responses never land on the wrong client,
+    health verdicts stay truthful (non-[ok] iff reasons are listed),
+    and every surviving client receives the drain bye.
+
+    Phase B proves crash recovery: journal a request storm, abandon the
+    server mid-processing (the in-process [kill -9]), append a torn
+    record to the journal tail, then recover.  The replayed responses
+    and the rebuilt alert ring must be byte-identical to an
+    uninterrupted reference run over the same committed prefix, the
+    torn tail must be detected and truncated, and a second
+    restart-and-replay must land on identical state (idempotence). *)
+
+type transport_outcome = {
+  tr_clients : int;
+  tr_frames : int;        (** scripted frames across all clients *)
+  tr_faults : int;        (** torn / flood / slow frames (>= 5%) *)
+  tr_committed : int;     (** intact correlated requests sent *)
+  tr_lost : int;          (** committed requests never answered (0) *)
+  tr_misrouted : int;     (** responses seen on the wrong client (0) *)
+  tr_overflow_answers : int;
+      (** typed uncorrelated overflow rejections received by flooders *)
+  tr_reconnects : int;    (** client reconnects after injected tears *)
+  tr_health_probes : int;
+  tr_health_truthful : bool;
+      (** every verdict was ok/degraded/unhealthy and non-[ok] iff
+          reasons were listed *)
+  tr_bye_all : bool;      (** every surviving client got the drain bye *)
+  tr_exit : int;          (** daemon exit code after the drain *)
+  cr_requests : int;      (** requests offered before the kill *)
+  cr_journaled : int;     (** entries recovered from the journal *)
+  cr_completed : int;     (** entries with completion marks *)
+  cr_replayed : int;      (** uncompleted entries re-emitted on recovery *)
+  cr_tail_truncated : bool;  (** the injected torn tail was cut *)
+  cr_responses_identical : bool;
+      (** per-entry responses (pre-crash committed + replayed) match the
+          uninterrupted reference byte-for-byte *)
+  cr_ring_identical : bool;  (** recovered alert ring matches reference *)
+  cr_replay_idempotent : bool;  (** second replay lands on same state *)
+  tr_notes : string list;  (** discrepancies (empty on success) *)
+}
+
+val transport_storm :
+  ?config:Config.t ->
+  ?requests:int ->
+  ?clients:int ->
+  ?n:int ->
+  ?app:Encore_sysenv.Image.app ->
+  dir:string ->
+  seed:int ->
+  unit ->
+  (transport_outcome, string) result
+(** Run both phases under [dir] (journals are created beneath it; the
+    caller owns cleanup): [clients] concurrent clients (default 6,
+    minimum 2) exchange up to [min requests 2000] transport-phase
+    frames, then the crash drill journals [requests] (default 10000)
+    storm lines and kills at 60%.  Deterministic in [seed] (socketpair
+    scheduling does not affect the committed-response accounting). *)
+
+val transport_ok : transport_outcome -> bool
+(** Every contract held: nothing lost or misrouted, fault mix >= 5%,
+    health truthful, byes delivered, torn tail truncated, replay
+    converged and idempotent, no notes. *)
+
+val transport_outcome_to_string : transport_outcome -> string

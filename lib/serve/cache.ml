@@ -73,3 +73,28 @@ let reload t =
 
 let cached_apps t =
   List.sort compare (Hashtbl.fold (fun app _ acc -> app :: acc) t.entries [])
+
+(* --- shadow-validated reload --------------------------------------------- *)
+
+let candidate t =
+  (* same provider, empty entry table: the server compiles and probes
+     the candidate in isolation while the live cache keeps serving *)
+  { provider = t.provider; entries = Hashtbl.create 8; generation = t.generation }
+
+let adopt t ~from =
+  let changed =
+    Hashtbl.fold
+      (fun app (e : entry) acc ->
+        acc
+        ||
+        match Hashtbl.find_opt t.entries app with
+        | Some old -> old.fingerprint <> e.fingerprint
+        | None -> true)
+      from.entries false
+    || Hashtbl.length t.entries <> Hashtbl.length from.entries
+  in
+  Hashtbl.reset t.entries;
+  Hashtbl.iter (fun app e -> Hashtbl.replace t.entries app e) from.entries;
+  t.generation <- t.generation + 1;
+  Ometrics.incr m_invalidations;
+  changed

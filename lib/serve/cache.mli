@@ -47,5 +47,17 @@ val reload :
 val cached_apps : t -> string list
 (** Sorted names of the apps currently cached. *)
 
+val candidate : t -> t
+(** A fresh, empty cache over the same provider.  The server's
+    shadow-validated reload compiles and probes candidate engines here
+    while the live cache keeps serving; on success the candidate is
+    {!adopt}ed atomically. *)
+
+val adopt : t -> from:t -> bool
+(** Swap [from]'s entries into [t] and bump [t]'s generation (stale
+    watch sessions re-seed on their next delta).  Returns [true] when
+    any fingerprint differs from what [t] previously served — the
+    [changed] field of the reload response. *)
+
 val fingerprint_of : Encore_detect.Engine.model -> string
 (** MD5 hex digest of the model's serialized payload. *)

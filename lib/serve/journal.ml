@@ -1,0 +1,164 @@
+(* Write-ahead request journal.
+
+   Record framing echoes the snapshot envelope's checksum discipline
+   (lib/util/snapshot.ml): a one-line header carrying magic, kind,
+   sequence number, payload length and MD5, then the payload bytes and
+   a terminating newline.  Unlike a snapshot — one atomic whole-file
+   write — the journal is append-only: each admitted request is
+   appended and fsynced *before* it enters the serve queue, so a crash
+   can lose responses but never an admitted request.  Completion marks
+   are appended without fsync: losing one merely widens the replay set
+   (at-least-once), which replay tolerates because re-executing a
+   completed entry is idempotent on the server's committed state.
+
+   File writes go through raw Unix file descriptors rather than
+   out_channels: the lint gate reserves channel-based writers in lib/
+   for the snapshot layer, and append-fsync sequencing is exactly what
+   the fd API expresses. *)
+
+let magic = "EJRNL1"
+
+type entry = { seq : int; payload : string; completed : bool }
+
+type recovery = {
+  entries : entry list;
+  truncated_at : int option;
+  valid_bytes : int;
+}
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  mutable next_seq : int;
+  mutable closed : bool;
+}
+
+let header kind seq payload =
+  Printf.sprintf "%s %c %d %d %s\n" magic kind seq (String.length payload)
+    (Digest.to_hex (Digest.string payload))
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Scan the raw journal bytes into records, stopping at the first torn
+   or corrupt record.  Returns the records in file order and the byte
+   offset of the last good record boundary — everything past it is a
+   torn tail to truncate. *)
+let scan text =
+  let len = String.length text in
+  let rec go off acc =
+    if off >= len then (List.rev acc, off)
+    else
+      match String.index_from_opt text off '\n' with
+      | None -> (List.rev acc, off)
+      | Some nl -> (
+          let hdr = String.sub text off (nl - off) in
+          match String.split_on_char ' ' hdr with
+          | [ m; kind; seq_s; plen_s; sum ]
+            when m = magic && (kind = "R" || kind = "C") -> (
+              match (int_of_string_opt seq_s, int_of_string_opt plen_s) with
+              | Some seq, Some plen when seq > 0 && plen >= 0 ->
+                  let pstart = nl + 1 in
+                  if pstart + plen + 1 > len then (List.rev acc, off)
+                  else
+                    let payload = String.sub text pstart plen in
+                    if
+                      text.[pstart + plen] <> '\n'
+                      || Digest.to_hex (Digest.string payload) <> sum
+                    then (List.rev acc, off)
+                    else go (pstart + plen + 1) ((kind, seq, payload) :: acc)
+              | _ -> (List.rev acc, off))
+          | _ -> (List.rev acc, off))
+  in
+  go 0 []
+
+let read_file fd =
+  let len = Unix.lseek fd 0 Unix.SEEK_END in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let buf = Bytes.create len in
+  let rec fill off =
+    if off < len then
+      match Unix.read fd buf off (len - off) with
+      | 0 -> off
+      | n -> fill (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill off
+    else off
+  in
+  let got = fill 0 in
+  Bytes.sub_string buf 0 got
+
+let open_ ~path =
+  match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot open journal %s: %s" path
+           (Unix.error_message e))
+  | fd ->
+      let text = read_file fd in
+      let records, good = scan text in
+      let truncated_at =
+        if good < String.length text then begin
+          (* physically drop the torn tail so the next append starts at
+             a record boundary *)
+          Unix.ftruncate fd good;
+          Some good
+        end
+        else None
+      in
+      ignore (Unix.lseek fd good Unix.SEEK_SET);
+      let done_seqs = Hashtbl.create 64 in
+      List.iter
+        (fun (kind, seq, _) ->
+          if kind = "C" then Hashtbl.replace done_seqs seq ())
+        records;
+      let entries =
+        List.filter_map
+          (fun (kind, seq, payload) ->
+            if kind = "R" then
+              Some { seq; payload; completed = Hashtbl.mem done_seqs seq }
+            else None)
+          records
+      in
+      let next_seq =
+        1 + List.fold_left (fun m (_, seq, _) -> max m seq) 0 records
+      in
+      Ok
+        ( { fd; path; next_seq; closed = false },
+          { entries; truncated_at; valid_bytes = good } )
+
+let path t = t.path
+
+let append t payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  write_all t.fd (header 'R' seq payload);
+  write_all t.fd payload;
+  write_all t.fd "\n";
+  (* the WAL guarantee: the record is durable before the request is
+     admitted to the queue *)
+  Unix.fsync t.fd;
+  seq
+
+let mark_done t seq =
+  (* no fsync: a lost completion mark only means the entry replays
+     again, which is idempotent *)
+  write_all t.fd (header 'C' seq "");
+  write_all t.fd "\n"
+
+let reset t =
+  Unix.ftruncate t.fd 0;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  t.next_seq <- 1
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,69 @@
+(** Write-ahead request journal for the serve daemon.
+
+    Every admitted worker request (check / watch / crash) is appended
+    and fsynced {e before} it enters the bounded queue; its completion
+    is appended (unfsynced) after the response is produced.  On
+    restart, {!open_} scans the file, physically truncates any torn
+    tail at the last good record boundary, and hands back the recorded
+    entries with their completion flags so {!Server.replay} can rebuild
+    the daemon's committed state and re-emit the responses a crash
+    swallowed.
+
+    Record framing follows the snapshot envelope's checksum discipline
+    ({!Encore_util.Snapshot}): a header line
+    [EJRNL1 <R|C> <seq> <len> <md5hex>] followed by [len] payload bytes
+    and a newline.  A header that does not parse, a payload shorter
+    than its declared length, a missing terminator or a digest mismatch
+    all end the scan — everything from that offset on is the torn tail.
+
+    Durability contract:
+    - {!append} fsyncs: an admitted request survives [kill -9];
+    - {!mark_done} does not: a lost mark widens the replay set, and
+      replaying a completed entry is idempotent on committed state
+      (at-least-once delivery);
+    - torn tails are truncated, never partially replayed. *)
+
+type t
+
+type entry = {
+  seq : int;  (** admission sequence number, 1-based per journal epoch *)
+  payload : string;
+      (** what the server journaled: the assigned trace id, a space,
+          then the raw request line *)
+  completed : bool;  (** a completion mark was recovered for this seq *)
+}
+
+type recovery = {
+  entries : entry list;  (** request records in admission order *)
+  truncated_at : int option;
+      (** byte offset where a torn tail was cut, when one was found *)
+  valid_bytes : int;  (** size of the journal after truncation *)
+}
+
+val open_ : path:string -> (t * recovery, string) result
+(** Open (creating if absent) and recover.  Detects and truncates a
+    torn tail; never raises on damaged contents. *)
+
+val append : t -> string -> int
+(** Append one request record and fsync; returns its sequence
+    number. *)
+
+val mark_done : t -> int -> unit
+(** Append a completion mark for [seq] (no fsync — see the durability
+    contract). *)
+
+val reset : t -> unit
+(** Truncate to empty (clean shutdown: nothing left to replay) and
+    restart sequence numbering. *)
+
+val close : t -> unit
+(** Close the underlying descriptor (idempotent). *)
+
+val path : t -> string
+
+(**/**)
+
+val scan : string -> (string * int * string) list * int
+(** Exposed for tests: parse raw journal bytes into
+    [(kind, seq, payload)] records plus the last-good-boundary
+    offset. *)

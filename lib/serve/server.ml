@@ -26,6 +26,8 @@ type config = {
   window_interval_ns : int64;
   sampler_interval_ns : int64;
   health_p99_us : float;
+  reload_shadow_k : int;
+      (* recent check requests replayed against a reload candidate *)
 }
 
 let default_config =
@@ -43,14 +45,30 @@ let default_config =
     window_interval_ns = 1_000_000_000L;
     sampler_interval_ns = 1_000_000_000L;
     health_p99_us = 250_000.0;
+    reload_shadow_k = 8;
   }
 
 type state = Running | Draining | Stopped
 
+(* One admitted request waiting for {!step}: its trace id, the
+   connection that sent it (None for stdio / direct drivers — responses
+   with no origin go to the default sink), its journal sequence number
+   when the daemon journals, and the raw line. *)
+type queue_item = {
+  q_trace : string;
+  q_origin : int option;
+  q_seq : int option;
+  q_line : string;
+}
+
 type t = {
   config : config;
   cache : Cache.t;
-  queue : (string * string) Queue.t;  (* (trace id, raw line) *)
+  queue : queue_item Queue.t;
+  journal : Journal.t option;
+  recent_checks : string Ring.t;
+      (* last K raw check lines: the shadow corpus for reload
+         validation *)
   ring : Json.t Ring.t;
   sessions : (string, Watch.session * int) Hashtbl.t;
       (* image id -> (session, cache generation the session was built
@@ -66,6 +84,10 @@ type t = {
   mutable restarts : int;
   mutable denied : int;
   mutable reloads : int;
+  mutable reload_rollbacks : int;
+  mutable replayed : int;
+  mutable reload_requested : bool;
+      (* set by a SIGHUP handler; step picks it up before queue work *)
   mutable trace_seq : int;
   lat : Owindow.t;  (* rolling request-latency window (µs) *)
   sampler : Osampler.t;
@@ -83,6 +105,8 @@ let m_partial = Ometrics.counter "serve.partial"
 let m_watch_delta = Ometrics.counter "serve.watch_delta"
 let m_watch_full = Ometrics.counter "serve.watch_full"
 let m_reloads = Ometrics.counter "serve.reloads"
+let m_reload_rollbacks = Ometrics.counter "serve.reload_rollbacks"
+let m_journal_replayed = Ometrics.counter "serve.journal_replayed"
 let m_queue_depth = Ometrics.gauge "serve.queue_depth"
 let h_request_us = Ometrics.histogram "serve.request_us"
 
@@ -105,7 +129,7 @@ let sampled_gauges t () =
     ("serve.sampled.sessions", float_of_int (Hashtbl.length t.sessions));
   ]
 
-let create ?(config = default_config) cache =
+let create ?(config = default_config) ?journal cache =
   (* the sampler's gauge provider needs the server it belongs to; tie
      the knot through a cell instead of a mutable field *)
   let gauges_src = ref (fun () -> []) in
@@ -114,6 +138,8 @@ let create ?(config = default_config) cache =
       config;
       cache;
       queue = Queue.create ();
+      journal;
+      recent_checks = Ring.create ~capacity:config.reload_shadow_k;
       ring = Ring.create ~capacity:config.ring_capacity;
       sessions = Hashtbl.create 64;
       session_order = [];
@@ -128,6 +154,9 @@ let create ?(config = default_config) cache =
       restarts = 0;
       denied = 0;
       reloads = 0;
+      reload_rollbacks = 0;
+      replayed = 0;
+      reload_requested = false;
       trace_seq = 0;
       lat =
         Owindow.create ~intervals:config.window_intervals
@@ -150,9 +179,14 @@ let state t = match t.state with
 
 let request_shutdown t = if t.state = Running then t.state <- Draining
 
+let request_reload t = if t.state = Running then t.reload_requested <- true
+
 let shed_count t = t.shed
 let restart_count t = t.restarts
 let ring_dropped t = Ring.dropped t.ring
+let replayed_count t = t.replayed
+let reload_rollback_count t = t.reload_rollbacks
+let alerts t = Ring.to_list t.ring
 let latency_window t = Owindow.view t.lat
 
 (* Degraded when robustness machinery had to engage: load was shed,
@@ -351,16 +385,80 @@ let do_watch t ?id ~image_id ~app ~config_text () =
                           stats.Watch.rules_rechecked )
                       verdict))
 
+(* Shadow-validated reload: compile the candidate model(s) in an
+   isolated cache, replay the last K journaled check requests against
+   them, and adopt only when nothing errors.  A broken provider or a
+   candidate that crashes on traffic the live model served is rolled
+   back with a typed refusal — the live cache, its generation and every
+   watch session stay untouched. *)
+let shadow_check t cand line =
+  match Proto.parse line with
+  | Error _ -> Ok false  (* stale corpus line no longer parses: skip *)
+  | Ok (Proto.Check { source; _ }) -> (
+      let text =
+        match source with
+        | Proto.Inline text -> Ok text
+        | Proto.Path path -> read_dump t path
+      in
+      match text with
+      | Error _ -> Ok false  (* dump since deleted: nothing to shadow *)
+      | Ok text -> (
+          match Collector.image_of_text text with
+          | Error _ -> Ok false
+          | Ok img -> (
+              match Cache.engine_for cand ~app:(app_key img) with
+              | Error d -> Error d
+              | Ok (eng, _) -> (
+                  match Engine.check eng img with
+                  | _ -> Ok true
+                  | exception exn ->
+                      Error
+                        (Res.diag Res.Custom_rule_error ~subject
+                           (Printf.sprintf "shadow check of %s raised %s"
+                              img.Image.image_id (Printexc.to_string exn)))))))
+  | Ok _ -> Ok false
+
 let do_reload t ?id () =
-  match Cache.reload t.cache with
-  | Error d -> Proto.error_response ?id ~op:"reload" d
-  | Ok changed ->
+  let cand = Cache.candidate t.cache in
+  let validated =
+    (* eagerly compile every app the live cache serves, then shadow the
+       recent check corpus — both must succeed before adoption *)
+    let rec compile_apps = function
+      | [] -> Ok ()
+      | app :: rest -> (
+          match Cache.engine_for cand ~app with
+          | Ok _ -> compile_apps rest
+          | Error d -> Error d)
+    in
+    match compile_apps (Cache.cached_apps t.cache) with
+    | Error d -> Error d
+    | Ok () ->
+        let rec shadow n = function
+          | [] -> Ok n
+          | line :: rest -> (
+              match shadow_check t cand line with
+              | Ok counted -> shadow (if counted then n + 1 else n) rest
+              | Error d -> Error d)
+        in
+        shadow 0 (Ring.to_list t.recent_checks)
+  in
+  match validated with
+  | Error d ->
+      t.reload_rollbacks <- t.reload_rollbacks + 1;
+      Ometrics.incr m_reload_rollbacks;
+      Proto.error_response ?id ~op:"reload"
+        (Res.diag d.Res.kind ~subject
+           ("reload rejected (rolled back, generation unchanged): "
+          ^ d.Res.detail))
+  | Ok shadow_checked ->
+      let changed = Cache.adopt t.cache ~from:cand in
       t.reloads <- t.reloads + 1;
       Ometrics.incr m_reloads;
       Proto.ok_response ?id ~op:"reload"
         [
           ("changed", Json.Bool changed);
           ("generation", Json.Int (Cache.generation t.cache));
+          ("shadow_checked", Json.Int shadow_checked);
           ( "apps",
             Json.Arr
               (List.map (fun a -> Json.Str a) (Cache.cached_apps t.cache)) );
@@ -377,6 +475,9 @@ let do_status t ?id () =
       ("restarts", Json.Int t.restarts);
       ("denied", Json.Int t.denied);
       ("reloads", Json.Int t.reloads);
+      ("reload_rollbacks", Json.Int t.reload_rollbacks);
+      ("replayed", Json.Int t.replayed);
+      ("journal", Json.Bool (t.journal <> None));
       ("sessions", Json.Int (Hashtbl.length t.sessions));
       ("generation", Json.Int (Cache.generation t.cache));
       ( "breaker",
@@ -541,7 +642,18 @@ let dispatch t ~trace req =
 
 (* --- the reactor ---------------------------------------------------------- *)
 
-let offer t line =
+(* Worker ops are journaled (they mutate committed state and their
+   responses must survive a crash); control ops are not — replaying a
+   journaled shutdown would re-drain the recovered daemon, and
+   status/metrics/health answers are views, not commitments. *)
+let journalable req =
+  match req with
+  | Proto.Check _ | Proto.Watch _ | Proto.Crash _ -> true
+  | Proto.Reload _ | Proto.Status _ | Proto.Metrics _ | Proto.Health _
+  | Proto.Shutdown _ ->
+      false
+
+let offer_from t ?origin line =
   if t.state <> Running then []
   else if String.trim line = "" then []
   else begin
@@ -585,28 +697,113 @@ let offer t line =
       ]
     end
     else begin
-      Queue.push (trace, line) t.queue;
+      (* WAL: the request record — trace id included, so a replay emits
+         byte-identical responses — is durable before the queue sees
+         it.  Shed and oversize rejections above are deliberately not
+         journaled: they were answered immediately and commit nothing. *)
+      let seq =
+        match t.journal with
+        | Some j
+          when (match Proto.parse line with
+               | Ok req -> journalable req
+               | Error _ -> false) ->
+            Some (Journal.append j (trace ^ " " ^ line))
+        | _ -> None
+      in
+      Queue.push { q_trace = trace; q_origin = origin; q_seq = seq; q_line = line }
+        t.queue;
       Ometrics.set_max m_queue_depth (float_of_int (Queue.length t.queue));
       []
     end
   end
 
-let step t =
+let offer t line = offer_from t line
+
+(* Process one queued request, tagging each response with the origin it
+   must be routed to (None = default sink).  A SIGHUP-requested reload
+   runs ahead of queue work so a storm cannot starve it. *)
+let step_routed t =
   ignore (Osampler.poll t.sampler);
-  match Queue.take_opt t.queue with
-  | None -> []
-  | Some (trace, line) -> (
+  if t.reload_requested then begin
+    t.reload_requested <- false;
+    [ (None, do_reload t ()) ]
+  end
+  else
+    match Queue.take_opt t.queue with
+    | None -> []
+    | Some { q_trace = trace; q_origin; q_seq; q_line = line } -> (
+        let traced resp = Proto.with_trace (Some trace) resp in
+        let finish resps =
+          (match (t.journal, q_seq) with
+          | Some j, Some seq -> Journal.mark_done j seq
+          | _ -> ());
+          t.answered <- t.answered + 1;
+          List.map (fun r -> (q_origin, r)) resps
+        in
+        match Proto.parse line with
+        | Error d ->
+            t.errors <- t.errors + 1;
+            Ometrics.incr m_errors;
+            finish [ traced (Proto.error_response d) ]
+        | Ok req ->
+            (match req with
+            | Proto.Check _ -> Ring.push t.recent_checks line
+            | _ -> ());
+            finish [ traced (dispatch t ~trace req) ])
+
+let step t = List.map snd (step_routed t)
+
+(* --- crash recovery -------------------------------------------------------- *)
+
+(* Re-execute journaled entries in admission order against a fresh
+   server.  Completed entries rebuild committed state (alert ring,
+   watch sessions, counters) without re-emitting — their responses were
+   already delivered; uncompleted entries are the requests a crash
+   swallowed, so their responses are produced again, byte-identical
+   (the journaled trace id is reused) to what the uninterrupted run
+   would have sent.  The caller decides delivery through [emit], which
+   sees every entry with its replayed responses. *)
+let replay t ~entries ~emit =
+  List.iter
+    (fun (e : Journal.entry) ->
+      let trace, line =
+        match String.index_opt e.Journal.payload ' ' with
+        | Some sp ->
+            ( String.sub e.Journal.payload 0 sp,
+              String.sub e.Journal.payload (sp + 1)
+                (String.length e.Journal.payload - sp - 1) )
+        | None -> (e.Journal.payload, "")
+      in
+      (* keep fresh admissions from colliding with replayed trace ids *)
+      (if String.length trace > 2 then
+         match int_of_string_opt (String.sub trace 2 (String.length trace - 2))
+         with
+         | Some n when n > t.trace_seq -> t.trace_seq <- n
+         | _ -> ());
+      t.requests <- t.requests + 1;
+      Ometrics.incr m_requests;
+      t.replayed <- t.replayed + 1;
+      Ometrics.incr m_journal_replayed;
       let traced resp = Proto.with_trace (Some trace) resp in
-      match Proto.parse line with
-      | Error d ->
-          t.errors <- t.errors + 1;
-          Ometrics.incr m_errors;
-          t.answered <- t.answered + 1;
-          [ traced (Proto.error_response d) ]
-      | Ok req ->
-          let resp = dispatch t ~trace req in
-          t.answered <- t.answered + 1;
-          [ traced resp ])
+      let resps =
+        match Proto.parse line with
+        | Error d ->
+            t.errors <- t.errors + 1;
+            Ometrics.incr m_errors;
+            [ traced (Proto.error_response d) ]
+        | Ok req ->
+            (match req with
+            | Proto.Check _ -> Ring.push t.recent_checks line
+            | _ -> ());
+            [ traced (dispatch t ~trace req) ]
+      in
+      t.answered <- t.answered + 1;
+      (match t.journal with
+      | Some j when not e.Journal.completed -> Journal.mark_done j e.Journal.seq
+      | _ -> ());
+      emit e resps)
+    entries;
+  List.length entries
 
 let drain_flush t =
   let alerts = Ring.drain t.ring in
@@ -620,9 +817,13 @@ let drain_flush t =
         ("restarts", Json.Int t.restarts);
         ("alerts_flushed", Json.Int (List.length alerts));
         ("ring_dropped", Json.Int (Ring.dropped t.ring));
+        ("replayed", Json.Int t.replayed);
       ]
   in
   t.state <- Stopped;
+  (* clean shutdown: every journaled entry was answered, so the next
+     start has nothing to replay *)
+  (match t.journal with Some j -> Journal.reset j | None -> ());
   alerts @ [ bye ]
 
 let run t ~recv ~send =

@@ -32,8 +32,9 @@
     Metrics: [serve.requests], [serve.shed], [serve.errors],
     [serve.restarts], [serve.breaker_denied], [serve.ring_dropped],
     [serve.partial], [serve.watch_delta], [serve.watch_full],
-    [serve.reloads], [serve.queue_depth] (high-water), and the
-    [serve.request_us] latency histogram (p99 source for bench).
+    [serve.reloads], [serve.reload_rollbacks], [serve.journal_replayed],
+    [serve.queue_depth] (high-water), and the [serve.request_us]
+    latency histogram (p99 source for bench).
 
     Telemetry (PR 7): every admitted request is assigned a trace id at
     {!offer} ([t-NNNNNN], monotonic per server) that is echoed in a
@@ -74,22 +75,42 @@ type config = {
   sampler_interval_ns : int64;  (** runtime-sampler cadence (1s) *)
   health_p99_us : float;
       (** rolling p99 above this flags the health verdict degraded *)
+  reload_shadow_k : int;
+      (** recent check requests replayed in shadow against a reload
+          candidate before the cache generation bumps (default 8) *)
 }
 
 val default_config : config
 
 type t
 
-val create : ?config:config -> Cache.t -> t
+val create : ?config:config -> ?journal:Journal.t -> Cache.t -> t
+(** With [journal], every admitted worker request (check / watch /
+    crash) is appended and fsynced before queueing and marked complete
+    after its response is produced — the write-ahead log {!replay}
+    recovers from after a crash. *)
 
 val offer : t -> string -> Encore_obs.Jsonenc.t list
 (** Admit one raw request line.  [[]] when queued (or ignored: blank
     line, draining daemon); immediate error responses when the line is
     oversized or the queue sheds it. *)
 
+val offer_from :
+  t -> ?origin:int -> string -> Encore_obs.Jsonenc.t list
+(** {!offer} with a connection tag: responses to this request come out
+    of {!step_routed} carrying [origin], so a multiplexed transport can
+    route them to the right client.  Immediate rejections returned here
+    belong to the same origin. *)
+
 val step : t -> Encore_obs.Jsonenc.t list
 (** Parse and process one queued request; [[]] when the queue is
     empty. *)
+
+val step_routed : t -> (int option * Encore_obs.Jsonenc.t) list
+(** {!step}, with each response tagged by the origin passed to
+    {!offer_from} ([None] for {!offer} or internally generated
+    responses, e.g. a SIGHUP-requested reload — route those to the
+    default sink). *)
 
 val pending : t -> int
 
@@ -98,6 +119,28 @@ val state : t -> [ `Running | `Draining | `Stopped ]
 val request_shutdown : t -> unit
 (** Begin graceful drain (idempotent).  Safe to call from a signal
     handler: it writes one field. *)
+
+val request_reload : t -> unit
+(** Ask for a shadow-validated model reload ahead of the next queued
+    request (the SIGHUP hook).  Safe to call from a signal handler: it
+    writes one field.  The reload response comes out of {!step_routed}
+    with no origin. *)
+
+val replay :
+  t ->
+  entries:Journal.entry list ->
+  emit:(Journal.entry -> Encore_obs.Jsonenc.t list -> unit) ->
+  int
+(** Crash recovery: re-execute journaled entries in admission order on
+    a freshly created server, rebuilding the committed state (alert
+    ring, watch sessions, counters) a crash destroyed.  Responses reuse
+    the journaled trace ids, so an entry's replayed responses are
+    byte-identical to what the uninterrupted run produced (completed
+    entries) or would have produced (uncompleted ones).  [emit] sees
+    every entry with its responses; deliver the uncompleted ones — the
+    completed were already delivered before the crash.  Uncompleted
+    entries are marked complete in the attached journal as they
+    replay.  Returns the number of entries replayed. *)
 
 val drain_flush : t -> Encore_obs.Jsonenc.t list
 (** Flush the alert ring and produce the final [bye] summary; moves the
@@ -124,6 +167,16 @@ val exit_code : t -> int
 val shed_count : t -> int
 val restart_count : t -> int
 val ring_dropped : t -> int
+
+val replayed_count : t -> int
+(** Journal entries re-executed by {!replay} on this server. *)
+
+val reload_rollback_count : t -> int
+(** Reload attempts refused after shadow validation failed. *)
+
+val alerts : t -> Encore_obs.Jsonenc.t list
+(** Current alert-ring contents, oldest first, non-destructively — the
+    crash-recovery drills compare these byte-for-byte across replays. *)
 
 val latency_window : t -> Encore_obs.Window.view
 (** The rolling request-latency view (µs) as of now — what the
