@@ -602,6 +602,128 @@ let print_learn_times ~jobs =
     m.fleet;
   Printf.printf "  fleet speedup monotonic                %b\n" m.fleet_monotonic
 
+(* --- incremental learning: suffstats merge + append ------------------------- *)
+
+module Suffstats = Encore_rules.Suffstats
+
+type merge_measurement = {
+  mg_images : int;            (* corpus size the learner is resident over *)
+  mg_shards : int;
+  mg_fold_seq_ns : int;       (* sequential statistics fold *)
+  mg_fold_sharded_ns : int;   (* sharded fold on the pool *)
+  mg_retrain_ns : int;        (* batch relearn of the n+1 corpus *)
+  mg_append_ns : int;         (* learn_append of 1 image into the learner *)
+  mg_identical : bool;        (* appended model == retrained model, bytewise *)
+}
+
+let fold_ratio m =
+  if m.mg_fold_sharded_ns <= 0 then 0.0
+  else float_of_int m.mg_fold_seq_ns /. float_of_int m.mg_fold_sharded_ns
+
+let append_ratio m =
+  if m.mg_append_ns <= 0 then 0.0
+  else float_of_int m.mg_retrain_ns /. float_of_int m.mg_append_ns
+
+(* The acceptance bar for incremental learning: folding one observed
+   image into a resident 10k-fleet learner must beat retraining from
+   scratch by >= 10x, and the refreshed model must stay byte-identical
+   to the batch relearn.  A one-image append is under the learner's
+   1 % probe re-arm threshold, so the comparison measures what append
+   is designed to amortize: incremental maintenance against the full
+   batch pipeline, mining probe included.  The reduced cap keeps the
+   retrain leg's probe from dwarfing everything else at this fleet's
+   attribute width. *)
+let merge_mining_cap = 20_000
+
+let measure_merge ~jobs =
+  let n = Synthfleet.full_size in
+  let images = Synthfleet.generate ~n () in
+  let grown = images @ [ Synthfleet.generate ~seed:4242 ~n:1 () |> List.hd ] in
+  let tail = [ List.nth grown n ] in
+  let config = { Encore.Config.default with Encore.Config.jobs } in
+  let seq_config = { config with Encore.Config.jobs = 1 } in
+  let shards = 8 in
+  let _, mg_fold_seq_ns =
+    time_ns (fun () -> Encore.Pipeline.stats_of_images ~config:seq_config images)
+  in
+  let stats, mg_fold_sharded_ns =
+    time_ns (fun () -> Encore.Pipeline.stats_of_images ~config ~shards images)
+  in
+  let learner =
+    match
+      Encore.Pipeline.learner_result ~config ~mining_cap:merge_mining_cap stats
+    with
+    | Ok l -> l
+    | Error d -> failwith d.Encore_util.Resilience.detail
+  in
+  let retrained, mg_retrain_ns =
+    time_ns (fun () ->
+        match
+          Encore.Pipeline.learn_resilient ~config ~mining_cap:merge_mining_cap
+            grown
+        with
+        | Ok (m, _) -> m
+        | Error d -> failwith d.Encore_util.Resilience.detail)
+  in
+  let appended, mg_append_ns =
+    time_ns (fun () -> Encore.Pipeline.learn_append ~config learner tail)
+  in
+  let mg_identical =
+    Model_io.to_string (Encore.Pipeline.model_of_learner appended)
+    = Model_io.to_string retrained
+  in
+  {
+    mg_images = n;
+    mg_shards = shards;
+    mg_fold_seq_ns;
+    mg_fold_sharded_ns;
+    mg_retrain_ns;
+    mg_append_ns;
+    mg_identical;
+  }
+
+(* the regression gate --stage merge enforces *)
+let merge_gate m = m.mg_identical && append_ratio m >= 10.0
+
+let print_merge_times ~jobs =
+  let m = measure_merge ~jobs in
+  Printf.printf
+    "=== Incremental learning: suffstats fold/merge/append, synthetic fleet \
+     n=%d (jobs=%d) ===\n\n"
+    m.mg_images jobs;
+  Printf.printf "  stats fold sequential   %12d ns  (%8.3f ms)\n"
+    m.mg_fold_seq_ns
+    (float_of_int m.mg_fold_seq_ns /. 1e6);
+  Printf.printf "  stats fold %d shards     %12d ns  (%8.3f ms)  %.2fx\n"
+    m.mg_shards m.mg_fold_sharded_ns
+    (float_of_int m.mg_fold_sharded_ns /. 1e6)
+    (fold_ratio m);
+  Printf.printf "  batch relearn n+1       %12d ns  (%8.3f ms)\n"
+    m.mg_retrain_ns
+    (float_of_int m.mg_retrain_ns /. 1e6);
+  Printf.printf "  learn_append 1 image    %12d ns  (%8.3f ms)\n"
+    m.mg_append_ns
+    (float_of_int m.mg_append_ns /. 1e6);
+  Printf.printf "  append speedup vs retrain  %.2fx  (gate: >= 10x)\n"
+    (append_ratio m);
+  Printf.printf "  appended == retrained      %b\n" m.mg_identical;
+  if not (merge_gate m) then begin
+    prerr_endline "merge gate FAILED: append not >= 10x or model diverged";
+    exit 1
+  end
+
+let merge_json m =
+  Json.Obj
+    [ ("images", Json.Int m.mg_images);
+      ("shards", Json.Int m.mg_shards);
+      ("fold_seq_ns", Json.Int m.mg_fold_seq_ns);
+      ("fold_sharded_ns", Json.Int m.mg_fold_sharded_ns);
+      ("fold_speedup", Json.Float (fold_ratio m));
+      ("retrain_ns", Json.Int m.mg_retrain_ns);
+      ("append_ns", Json.Int m.mg_append_ns);
+      ("append_speedup", Json.Float (append_ratio m));
+      ("identical", Json.Bool m.mg_identical) ]
+
 (* --- machine-readable regression gate: bench --json FILE ------------------- *)
 
 let stage_ns (s : Summary.t) name =
@@ -623,6 +745,7 @@ let write_json ~jobs path =
   let chk = measure_check ~jobs in
   let srv = measure_serve () in
   let lrn = measure_learn ~jobs in
+  let mrg = measure_merge ~jobs in
   let learn_point_json p =
     Json.Obj
       [ ("images", Json.Int p.lp_images);
@@ -683,6 +806,7 @@ let write_json ~jobs path =
              ("paper", learn_point_json lrn.paper);
              ("fleet", Json.Arr (List.map learn_point_json lrn.fleet));
              ("fleet_monotonic", Json.Bool lrn.fleet_monotonic) ]);
+        ("incremental", merge_json mrg);
         ("serve",
          Json.Obj
            [ ("requests", Json.Int srv.serve_requests);
@@ -727,10 +851,11 @@ let () =
       | Some "check" -> print_check_times ~jobs
       | Some "serve" -> print_serve_times ()
       | Some "learn" -> print_learn_times ~jobs
+      | Some "merge" -> print_merge_times ~jobs
       | Some other ->
           prerr_endline
             ("bench: unknown --stage " ^ other
-             ^ " (try: checkpoint, check, serve, learn)");
+             ^ " (try: checkpoint, check, serve, learn, merge)");
           exit 2
       | None ->
           if has "--stage-times" then print_stage_times ~jobs

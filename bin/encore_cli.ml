@@ -81,6 +81,14 @@ let jobs_arg =
                  machine's recommended domain count; 1 = sequential). \
                  Learned models are identical for every value.")
 
+let chunk_arg =
+  Arg.(value & opt (some int) None
+       & info [ "chunk" ] ~docv:"K"
+           ~doc:"Chunks per worker for one pool round (default 4). \
+                 Lower values cut queue/GC synchronization on few-core \
+                 hosts; scheduling only, results are identical for \
+                 every value.")
+
 let read_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic)
@@ -236,10 +244,108 @@ let deadline_arg =
                  clean boundary, keeps the checkpoints it has written, \
                  reports its status as timed-out and exits with code 3.")
 
-let learn seed profile app n custom mode max_retries chaos_frac jobs
-    checkpoint_dir resume_dir deadline_s trace metrics =
+let shards_arg =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"K"
+           ~doc:"Partition the corpus into $(docv) shards, learn each \
+                 shard's sufficient statistics on the worker pool and \
+                 recombine them with an order-preserving merge.  The model \
+                 is byte-identical for every shard count.")
+
+let stats_arg =
+  Arg.(value & opt (some string) None
+       & info [ "stats" ] ~docv:"DIR"
+           ~doc:"Persist the run's sufficient statistics as a snapshot \
+                 under $(docv) (versioned envelope, atomic write); a later \
+                 $(b,--append) run or the serve daemon's $(b,--learn-stats) \
+                 extends them without retraining.")
+
+let append_arg =
+  Arg.(value & opt (some string) None
+       & info [ "append" ] ~docv:"DIR"
+           ~doc:"Incremental learning: load the newest statistics snapshot \
+                 under $(docv), fold this run's population into it in \
+                 sublinear time, write the grown statistics back and print \
+                 the refreshed model — byte-identical to retraining on the \
+                 union corpus.")
+
+(* the suffstats face of learn: shard-merge batch learning and
+   incremental append, both byte-identical to the batch pipeline *)
+let learn_mergeable ~config ~custom ~shards ~stats_dir ~append_dir images =
+  let module Suffstats = Encore_rules.Suffstats in
+  let save_stats learner =
+    match stats_dir with
+    | None -> ()
+    | Some dir ->
+        let store = Encore.Stats_io.Store.create ~dir () in
+        let path = Encore.Stats_io.Store.save store (Suffstats.stats learner) in
+        Printf.printf "statistics snapshot: %s (%d image(s))\n" path
+          (Suffstats.n_images (Suffstats.stats learner))
+  in
+  let learned =
+    match append_dir with
+    | None ->
+        Result.map
+          (fun (model, learner) -> (model, learner, 0))
+          (Encore.Pipeline.learn_sharded_result ~config ?custom ~shards images)
+    | Some dir -> (
+        let store = Encore.Stats_io.Store.create ~dir () in
+        match Encore.Stats_io.Store.load_latest store with
+        | Error e ->
+            Error
+              (Encore_util.Resilience.diag Encore_util.Resilience.Corrupt_image
+                 ~subject:dir
+                 ("cannot load statistics: "
+                 ^ Encore.Stats_io.load_error_to_string e))
+        | Ok (stats, _) -> (
+            let before = Suffstats.n_images stats in
+            match Encore.Pipeline.learner_result ~config ?custom stats with
+            | Error d -> Error d
+            | Ok learner ->
+                let learner =
+                  Encore.Pipeline.learn_append ~config learner images
+                in
+                let path =
+                  Encore.Stats_io.Store.save store (Suffstats.stats learner)
+                in
+                Printf.printf "statistics snapshot: %s\n" path;
+                Ok (Encore.Pipeline.model_of_learner learner, learner, before)))
+  in
+  match learned with
+  | Error d ->
+      prerr_endline
+        ("learning failed: " ^ Encore_util.Resilience.diagnostic_to_string d);
+      1
+  | Ok (model, learner, before) ->
+      save_stats learner;
+      if before > 0 then
+        Printf.printf "appended %d image(s) to a %d-image corpus\n"
+          (List.length images) before
+      else if shards > 1 then
+        Printf.printf "merged %d shard(s)\n" shards;
+      Printf.printf "\nlearned from %d image(s): %d types, %d rules\n\n"
+        model.Detector.training_count
+        (List.length model.Detector.types)
+        (List.length model.Detector.rules);
+      List.iter
+        (fun r -> print_endline (Encore_rules.Template.rule_to_string r))
+        model.Detector.rules;
+      (* same exit contract as the batch path: mining overflow degrades *)
+      if model.Detector.overflowed then begin
+        print_endline
+          "degraded: itemset mining overflowed; correlation rules may be \
+           incomplete";
+        3
+      end
+      else 0
+
+let learn seed profile app n custom mode max_retries chaos_frac jobs chunk
+    shards stats_dir append_dir checkpoint_dir resume_dir deadline_s trace
+    metrics =
   with_telemetry ~trace ~metrics @@ fun () ->
-  let config = { Encore.Config.default with Encore.Config.seed; jobs } in
+  let config =
+    { Encore.Config.default with Encore.Config.seed; jobs; chunk }
+  in
   let images = Population.clean (Population.generate ~profile ~seed app ~n) in
   let images, stormed =
     if chaos_frac > 0.0 then begin
@@ -251,6 +357,9 @@ let learn seed profile app n custom mode max_retries chaos_frac jobs
     else (images, 0)
   in
   let custom = Option.map read_file custom in
+  if shards > 1 || stats_dir <> None || append_dir <> None then
+    learn_mergeable ~config ~custom ~shards ~stats_dir ~append_dir images
+  else begin
   let checkpoint =
     Option.map (fun dir -> Encore.Checkpoint.create ~dir) checkpoint_dir
   in
@@ -287,12 +396,14 @@ let learn seed profile app n custom mode max_retries chaos_frac jobs
               model.Detector.rules
         | None -> ()));
   Encore.Pipeline.exit_code result
+  end
 
 let learn_cmd =
   let doc = "Learn configuration rules from a generated population." in
   Cmd.v (Cmd.info "learn" ~doc)
     Term.(const learn $ seed_arg $ profile_arg $ app_arg $ count_arg 100 $ custom_arg
-          $ mode_arg $ max_retries_arg $ chaos_frac_arg $ jobs_arg
+          $ mode_arg $ max_retries_arg $ chaos_frac_arg $ jobs_arg $ chunk_arg
+          $ shards_arg $ stats_arg $ append_arg
           $ checkpoint_arg $ resume_arg $ deadline_arg
           $ trace_arg $ metrics_arg)
 
@@ -487,7 +598,7 @@ let response_line resp = Encore_obs.Jsonenc.to_string resp ^ "\n"
    resident until a shutdown request or a signal drains it.  Responses
    with no live origin (a SIGHUP reload, filesystem-watcher deltas, the
    bye of a clientless daemon) go to stdout. *)
-let serve_socket ?watch srv path max_connections =
+let serve_socket ?watch ?(learn_feed = false) srv path max_connections =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sfd (Unix.ADDR_UNIX path);
@@ -521,7 +632,14 @@ let serve_socket ?watch srv path max_connections =
                   List.iter orphan
                     (Encore_serve.Server.offer srv
                        (Encore_serve.Fswatch.watch_request d)))
-                (Encore_serve.Fswatch.poll w)
+                (Encore_serve.Fswatch.poll w);
+              if learn_feed then
+                List.iter
+                  (fun p ->
+                    List.iter orphan
+                      (Encore_serve.Server.offer srv
+                         (Encore_serve.Fswatch.learn_request p)))
+                  (Encore_serve.Fswatch.poll_images w)
           | None -> ());
           Encore_serve.Mux.step mux;
           loop ()
@@ -529,11 +647,62 @@ let serve_socket ?watch srv path max_connections =
       in
       loop ())
 
-let serve model_path store_dir socket_path journal_path watch_dir
-    max_connections seed profile n jobs queue_capacity max_request_bytes
-    ring_capacity deadline_s alert_score trace metrics =
+let serve model_path store_dir learn_stats_dir socket_path journal_path
+    watch_dir max_connections seed profile n jobs queue_capacity
+    max_request_bytes ring_capacity deadline_s alert_score trace metrics =
   with_telemetry ~trace ~metrics @@ fun () ->
+  (* Continuous learning: a resident suffstats learner backed by a
+     statistics store.  The learn-append hook folds one image into the
+     statistics in sublinear time, persists the grown snapshot and
+     refreshes [model_ref]; the provider below serves that refreshed
+     model, so the server's shadow-validated reload adopts it. *)
+  let learner_hook, model_ref =
+    match learn_stats_dir with
+    | None -> (None, ref None)
+    | Some dir ->
+        let module Suffstats = Encore_rules.Suffstats in
+        let config = { Encore.Config.default with Encore.Config.seed; jobs } in
+        let store = Encore.Stats_io.Store.create ~dir () in
+        let model_ref = ref None in
+        let learner_ref = ref None in
+        (match Encore.Stats_io.Store.load_latest store with
+        | Ok (stats, path) -> (
+            match Encore.Pipeline.learner_result ~config stats with
+            | Ok l ->
+                learner_ref := Some l;
+                model_ref := Some (Encore.Pipeline.model_of_learner l);
+                Printf.eprintf
+                  "serve: learner restored from %s (%d image(s))\n%!" path
+                  (Suffstats.n_images stats)
+            | Error d ->
+                Printf.eprintf "serve: cannot finalize statistics: %s\n%!"
+                  (Encore_util.Resilience.diagnostic_to_string d))
+        | Error _ -> () (* empty store: the learner starts cold *));
+        let hook img =
+          match
+            match !learner_ref with
+            | Some l -> Ok (Encore.Pipeline.learn_append ~config l [ img ])
+            | None ->
+                Encore.Pipeline.learner_result ~config
+                  (Encore.Pipeline.stats_of_images ~config [ img ])
+          with
+          | Error d -> Error (Encore_util.Resilience.diagnostic_to_string d)
+          | exception e -> Error (Printexc.to_string e)
+          | Ok l ->
+              learner_ref := Some l;
+              model_ref := Some (Encore.Pipeline.model_of_learner l);
+              let stats = Suffstats.stats l in
+              let (_ : string) = Encore.Stats_io.Store.save store stats in
+              Ok
+                (Printf.sprintf "corpus grew to %d image(s)"
+                   (Suffstats.n_images stats))
+        in
+        (Some hook, model_ref)
+  in
   let provider ~app:name =
+    match !model_ref with
+    | Some m -> Ok m
+    | None -> (
     match (model_path, store_dir) with
     | Some path, _ -> (
         match Encore_detect.Model_io.load path with
@@ -547,7 +716,7 @@ let serve model_path store_dir socket_path journal_path watch_dir
     | None, None -> (
         match Image.app_of_string name with
         | None -> Error (Printf.sprintf "unknown application %S" name)
-        | Some app -> Ok (fst (learn_model ~seed ~profile ~jobs app n)))
+        | Some app -> Ok (fst (learn_model ~seed ~profile ~jobs app n))))
   in
   let dc = Encore_serve.Server.default_config in
   let config =
@@ -584,6 +753,7 @@ let serve model_path store_dir socket_path journal_path watch_dir
       let srv =
         Encore_serve.Server.create ~config
           ?journal:(Option.map fst journal)
+          ?learner:learner_hook
           (Encore_serve.Cache.create ~provider)
       in
       (* crash recovery before the transport opens: rebuild committed
@@ -616,7 +786,10 @@ let serve model_path store_dir socket_path journal_path watch_dir
         (Sys.Signal_handle (fun _ -> Encore_serve.Server.request_reload srv));
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       (match socket_path with
-      | Some path -> serve_socket ?watch srv path max_connections
+      | Some path ->
+          serve_socket ?watch
+            ~learn_feed:(Option.is_some learner_hook)
+            srv path max_connections
       | None ->
           let stdin_recv = fd_line_reader Unix.stdin in
           (* the watcher feeds synthesized watch requests between client
@@ -630,7 +803,13 @@ let serve model_path store_dir socket_path journal_path watch_dir
                   (fun d ->
                     Queue.push (Encore_serve.Fswatch.watch_request d)
                       pending_watch)
-                  (Encore_serve.Fswatch.poll w)
+                  (Encore_serve.Fswatch.poll w);
+                if Option.is_some learner_hook then
+                  List.iter
+                    (fun p ->
+                      Queue.push (Encore_serve.Fswatch.learn_request p)
+                        pending_watch)
+                    (Encore_serve.Fswatch.poll_images w)
             | _ -> ());
             match Queue.take_opt pending_watch with
             | Some line -> `Line line
@@ -656,10 +835,10 @@ let serve model_path store_dir socket_path journal_path watch_dir
 
 let serve_cmd =
   let doc =
-    "Run the resident check daemon: JSONL requests ($(b,check), $(b,watch), \
-     $(b,reload), $(b,status), $(b,metrics), $(b,health), $(b,shutdown)) \
-     over stdio or a Unix socket (concurrent clients via a select \
-     multiplexer).  \
+    "Run the resident check daemon: JSONL requests ($(b,check), \
+     $(b,learn-append), $(b,watch), $(b,reload), $(b,status), $(b,metrics), \
+     $(b,health), $(b,shutdown)) over stdio or a Unix socket (concurrent \
+     clients via a select multiplexer).  \
      Oversized lines are rejected before queueing, a full queue sheds with \
      an $(i,overloaded) response, malformed requests get typed errors, \
      detections land in a bounded drop-oldest alert ring, and SIGTERM (or a \
@@ -682,6 +861,17 @@ let serve_cmd =
                      ~doc:"Serve the newest verifiable snapshot of the model \
                            store under $(docv) (written by 'save --store'); \
                            $(b,reload) picks up new snapshots.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "learn-stats" ] ~docv:"DIR"
+                     ~doc:"Continuous learning: keep a resident learner \
+                           whose sufficient statistics persist as snapshots \
+                           under $(docv) (restored at startup when \
+                           present).  Each $(b,learn-append) request — or \
+                           $(i,<name>.img) dump dropped into \
+                           $(b,--watch-dir) — folds one observed image into \
+                           the statistics in sublinear time and adopts the \
+                           refreshed model through the shadow-validated \
+                           reload.")
           $ Arg.(value & opt (some string) None
                  & info [ "socket" ] ~docv:"PATH"
                      ~doc:"Listen on a Unix socket at $(docv) instead of \

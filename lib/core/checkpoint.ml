@@ -71,6 +71,30 @@ let fingerprint ~config ~custom ~mode ~max_retries ~mining_cap images =
 
 (* --- framed save / load --------------------------------------------------- *)
 
+(* Assemble/model checkpoints are functions of the images that actually
+   survived ingest, not of the requested population alone: a flaky run
+   that quarantined images must not share post-ingest checkpoints with
+   a clean run (or a differently-flaky one) over the same corpus, or a
+   [--resume] would silently rebuild from the wrong survivor set.  The
+   stage fingerprint therefore folds the survivor and quarantine ids
+   into the base run fingerprint. *)
+let stage_fingerprint ~fingerprint ~survivor_ids ~quarantined_ids =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf fingerprint;
+  Buffer.add_string buf "\ns:";
+  List.iter
+    (fun id ->
+      Buffer.add_string buf id;
+      Buffer.add_char buf '\n')
+    survivor_ids;
+  Buffer.add_string buf "q:";
+  List.iter
+    (fun id ->
+      Buffer.add_string buf id;
+      Buffer.add_char buf '\n')
+    quarantined_ids;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let save_payload t stage payload =
   let path = stage_path t stage in
   Snapshot.write_atomic ~kind:(kind_of_stage stage) path payload;

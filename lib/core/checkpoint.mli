@@ -51,6 +51,18 @@ val fingerprint :
     and every parameter that can change the learned artifacts.  Two
     runs share checkpoints only when their fingerprints match. *)
 
+val stage_fingerprint :
+  fingerprint:string ->
+  survivor_ids:string list ->
+  quarantined_ids:string list ->
+  string
+(** The key for post-ingest (assemble/model) checkpoints: the run
+    {!fingerprint} extended with the ids that survived and were
+    quarantined by the ingest stage.  Binding later stages to the
+    {e actual} image set means a [--resume] after a flaky run can never
+    silently reuse an assemble/model checkpoint computed from a
+    different survivor set than the one the current ingest produced. *)
+
 (** What the ingest stage learned about the population; together with
     the input image list (re-supplied on resume) this reconstructs the
     survivor set and the ingest half of the report exactly. *)

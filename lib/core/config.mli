@@ -16,6 +16,10 @@ type t = {
           sequential; the CLI defaults its [-j] flag to
           [Domain.recommended_domain_count]).  Learned models are
           identical for every value. *)
+  chunk : int option;
+      (** per-worker chunk factor for transient pools ([--chunk];
+          [None] = the pool default).  Scheduling only — results never
+          depend on it. *)
 }
 
 val default : t

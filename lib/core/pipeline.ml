@@ -33,7 +33,8 @@ let with_configured_pool ~config pool f =
   match pool with
   | Some _ -> f pool
   | None when config.Config.jobs > 1 ->
-      Encore_util.Pool.with_pool ~jobs:config.Config.jobs (fun p -> f (Some p))
+      Encore_util.Pool.with_pool ?chunk:config.Config.chunk
+        ~jobs:config.Config.jobs (fun p -> f (Some p))
   | None -> f None
 
 let learn_result ?(config = Config.default) ?custom ?pool images =
@@ -51,6 +52,38 @@ let learn ?config ?custom ?pool images =
   match learn_result ?config ?custom ?pool images with
   | Ok model -> model
   | Error d -> invalid_arg (d.Res.subject ^ ", " ^ d.Res.detail)
+
+(* --- mergeable sufficient-statistics learning ----------------------------- *)
+
+let stats_of_images ?(config = Config.default) ?pool ?shards images =
+  with_configured_pool ~config pool (fun pool ->
+      Encore_rules.Suffstats.of_images ?pool ?shards images)
+
+let learner_result ?(config = Config.default) ?custom ?pool
+    ?(mining_cap = 100_000) stats =
+  match templates_result custom with
+  | Error d -> Error d
+  | Ok templates ->
+      Ok
+        (with_configured_pool ~config pool (fun pool ->
+             Encore_rules.Suffstats.learner_of ?pool
+               ~params:(Config.rule_params config)
+               ~templates
+               ~entropy_threshold:config.Config.entropy_threshold
+               ~mining_frac:config.Config.min_support_frac ~mining_cap stats))
+
+let learn_append ?(config = Config.default) ?pool learner images =
+  with_configured_pool ~config pool (fun pool ->
+      Encore_rules.Suffstats.append ?pool learner images)
+
+let model_of_learner learner =
+  Detector.model_of_finalized (Encore_rules.Suffstats.current learner)
+
+let learn_sharded_result ?config ?custom ?pool ?shards ?mining_cap images =
+  let stats = stats_of_images ?config ?pool ?shards images in
+  match learner_result ?config ?custom ?pool ?mining_cap stats with
+  | Error d -> Error d
+  | Ok learner -> Ok (model_of_learner learner, learner)
 
 let check ?config:_ model img = Detector.check model img
 
@@ -405,13 +438,21 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
                 "all %d image(s) quarantined; nothing to learn from"
                 (List.length images)))
     | _ ->
+        (* Post-ingest stages key their checkpoints on the survivor set
+           the ingest stage actually produced, so a resume after a
+           flaky run cannot reuse artifacts from a different one. *)
+        let sfp =
+          Checkpoint.stage_fingerprint ~fingerprint:fp
+            ~survivor_ids:st.Checkpoint.survivor_ids
+            ~quarantined_ids:(List.map fst st.Checkpoint.quarantined)
+        in
         (* --- stage 2: assemble -------------------------------------- *)
         current := Checkpoint.Assemble;
         Encore_util.Deadline.raise_if_expired deadline;
         let assembled =
           match
             restore Checkpoint.Assemble (fun ck ->
-                Checkpoint.load_assemble ck ~fingerprint:fp)
+                Checkpoint.load_assemble ck ~fingerprint:sfp)
           with
           | Some a -> a
           | None ->
@@ -420,7 +461,7 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
                     Assemble.assemble_training ?pool survivors)
               in
               persist Checkpoint.Assemble (fun ck ->
-                  Checkpoint.save_assemble ck ~fingerprint:fp a);
+                  Checkpoint.save_assemble ck ~fingerprint:sfp a);
               a
         in
         (* --- stage 3: model + mining probe -------------------------- *)
@@ -429,7 +470,7 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
         let model =
           match
             restore Checkpoint.Model (fun ck ->
-                Checkpoint.load_model ck ~fingerprint:fp)
+                Checkpoint.load_model ck ~fingerprint:sfp)
           with
           | Some m -> m
           | None ->
@@ -453,7 +494,7 @@ let learn_durable ?(config = Config.default) ?custom ?(mode = Keep_going)
                 { model with Detector.overflowed = mining_overflowed }
               in
               persist Checkpoint.Model (fun ck ->
-                  Checkpoint.save_model ck ~fingerprint:fp model);
+                  Checkpoint.save_model ck ~fingerprint:sfp model);
               model
         in
         let extra_warnings =

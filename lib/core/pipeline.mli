@@ -33,6 +33,51 @@ val learn :
 (** Raising wrapper over {!learn_result}, kept for API compatibility.
     @raise Invalid_argument when the customization file is malformed. *)
 
+(** {1 Mergeable sufficient-statistics learning}
+
+    The incremental/sharded face of learning: statistics fold per image
+    and merge associatively ({!Encore_rules.Suffstats}), a resident
+    learner finalizes them into a model and extends in sublinear time.
+    All entry points produce models byte-identical to the batch path
+    under the same {!Config}. *)
+
+val stats_of_images :
+  ?config:Config.t -> ?pool:Encore_util.Pool.t -> ?shards:int ->
+  Encore_sysenv.Image.t list -> Encore_rules.Suffstats.t
+(** Fold the corpus into sufficient statistics.  With [shards > 1] the
+    corpus is partitioned into contiguous chunks learned on the
+    configured pool and recombined with an order-preserving merge
+    reduction; the result is identical for every shard count and pool
+    size. *)
+
+val learner_result :
+  ?config:Config.t -> ?custom:string -> ?pool:Encore_util.Pool.t ->
+  ?mining_cap:int -> Encore_rules.Suffstats.t ->
+  (Encore_rules.Suffstats.learner, Encore_util.Resilience.diagnostic) result
+(** Finalize statistics into a resident learner under the configured
+    thresholds (and optional customization file, as {!learn_result}).
+    The learner's model matches {!learn_resilient}'s on the same
+    corpus, mining-overflow bit included. *)
+
+val learn_append :
+  ?config:Config.t -> ?pool:Encore_util.Pool.t ->
+  Encore_rules.Suffstats.learner -> Encore_sysenv.Image.t list ->
+  Encore_rules.Suffstats.learner
+(** Fold new images into a resident learner — sublinear in corpus size
+    while type decisions hold (see {!Encore_rules.Suffstats.append});
+    the refreshed model always equals a batch relearn over the grown
+    corpus. *)
+
+val model_of_learner : Encore_rules.Suffstats.learner -> model
+
+val learn_sharded_result :
+  ?config:Config.t -> ?custom:string -> ?pool:Encore_util.Pool.t ->
+  ?shards:int -> ?mining_cap:int -> Encore_sysenv.Image.t list ->
+  (model * Encore_rules.Suffstats.learner,
+   Encore_util.Resilience.diagnostic) result
+(** [stats_of_images] then [learner_result]: the [learn --shards]
+    entry point. *)
+
 val check :
   ?config:Config.t -> model -> Encore_sysenv.Image.t ->
   Encore_detect.Warning.t list

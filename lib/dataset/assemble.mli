@@ -17,6 +17,13 @@ val parse_only : Encore_sysenv.Image.t -> Row.t
 (** Configuration entries alone (no augmentation): the "Original"
     attribute view of paper Table 2. *)
 
+val augment_row :
+  types:Encore_typing.Infer.env -> Encore_sysenv.Image.t -> Row.t -> Row.t
+(** Second-pass augmentation of one parsed row under a fixed type
+    environment: entry augmentations per typed attribute, then the
+    image globals.  [assemble_training] is exactly the first-pass type
+    inference followed by this per image. *)
+
 val assemble_training :
   ?pool:Encore_util.Pool.t -> Encore_sysenv.Image.t list -> assembled
 (** Full pipeline over a training set.  With [pool], the per-image

@@ -85,6 +85,9 @@ end
 
 type t = {
   rows : int;
+  values : Encore_util.Symtab.t;
+      (* the overlay's value-id universe; retained so [append] interns
+         new cells consistently with the ids already in [single] *)
   presence : Bitset.t array;
   index : int array array;
   single : int array option array;
@@ -130,7 +133,68 @@ let of_colview view =
   let single =
     Array.init n_attrs (fun a -> if all_single.(a) then Some ids.(a) else None)
   in
-  { rows; presence; index; single }
+  { rows; values; presence; index; single }
+
+let append t view =
+  let rows' = Colview.n_rows view in
+  let n_attrs' = Colview.n_attrs view in
+  let old_attrs = Array.length t.presence in
+  if rows' < t.rows || n_attrs' < old_attrs then
+    invalid_arg "Bitcol.append: view does not extend the overlay";
+  let cols = Array.init n_attrs' (Colview.column view) in
+  let presence =
+    Array.init n_attrs' (fun a ->
+        let b = Bitset.create rows' in
+        if a < old_attrs then
+          Array.blit t.presence.(a).Bitset.words 0 b.Bitset.words 0
+            (Array.length t.presence.(a).Bitset.words);
+        b)
+  in
+  let added = Array.make n_attrs' 0 in
+  for i = t.rows to rows' - 1 do
+    for a = 0 to n_attrs' - 1 do
+      if cols.(a).(i) <> [] then added.(a) <- added.(a) + 1
+    done
+  done;
+  let index =
+    Array.init n_attrs' (fun a ->
+        let old = if a < old_attrs then t.index.(a) else [||] in
+        if added.(a) = 0 then old
+        else begin
+          let arr = Array.make (Array.length old + added.(a)) 0 in
+          Array.blit old 0 arr 0 (Array.length old);
+          arr
+        end)
+  in
+  (* an attribute single-valued so far can turn multi-valued in the
+     appended rows (-> None, like a batch build would decide); one that
+     already went multi-valued stays so *)
+  let single =
+    Array.init n_attrs' (fun a ->
+        match if a < old_attrs then t.single.(a) else Some [||] with
+        | None -> None
+        | Some old ->
+            let arr = Array.make rows' (-1) in
+            Array.blit old 0 arr 0 (Array.length old);
+            Some arr)
+  in
+  let filled = Array.make n_attrs' 0 in
+  for i = t.rows to rows' - 1 do
+    for a = 0 to n_attrs' - 1 do
+      match cols.(a).(i) with
+      | [] -> ()
+      | cell ->
+          Bitset.set presence.(a) i;
+          let old_len = if a < old_attrs then Array.length t.index.(a) else 0 in
+          index.(a).(old_len + filled.(a)) <- i;
+          filled.(a) <- filled.(a) + 1;
+          (match (cell, single.(a)) with
+           | [ v ], Some arr -> arr.(i) <- Encore_util.Symtab.intern t.values v
+           | _, Some _ -> single.(a) <- None
+           | _, None -> ())
+    done
+  done;
+  { rows = rows'; values = t.values; presence; index; single }
 
 let n_rows t = t.rows
 let presence t a = t.presence.(a)

@@ -55,6 +55,14 @@ type t
 val of_colview : Colview.t -> t
 (** One pass over every (attribute, row) cell of the view. *)
 
+val append : t -> Colview.t -> t
+(** [append t view], where [view] extends the rows (and possibly the
+    attributes) the overlay was built from, is a fresh overlay over all
+    of [view] that agrees with [of_colview view] on every query: only
+    the appended rows are scanned.  New cell values are interned into
+    [t]'s value universe, so equal ids still mean equal strings across
+    the old and new overlays.  [t] itself is unchanged. *)
+
 val n_rows : t -> int
 
 val presence : t -> int -> Bitset.t

@@ -24,6 +24,28 @@ let of_rows rows =
     rows;
   { tab; columns; rows = n }
 
+let append_rows t rows =
+  let k = List.length rows in
+  let tab = Symtab.create ~size:(max 256 (2 * Symtab.size t.tab)) () in
+  Array.iter (fun a -> ignore (Symtab.intern tab a)) (Symtab.to_array t.tab);
+  List.iter
+    (fun row -> List.iter (fun a -> ignore (Symtab.intern tab a)) (Row.attrs row))
+    rows;
+  let n = t.rows + k in
+  let columns =
+    Array.init (Symtab.size tab) (fun a ->
+        let col = Array.make n [] in
+        if a < Array.length t.columns then Array.blit t.columns.(a) 0 col 0 t.rows;
+        col)
+  in
+  List.iteri
+    (fun j row ->
+      List.iter
+        (fun a -> columns.(Symtab.intern tab a).(t.rows + j) <- Row.get_all row a)
+        (Row.attrs row))
+    rows;
+  { tab; columns; rows = n }
+
 let n_rows t = t.rows
 let n_attrs t = Symtab.size t.tab
 let attrs t = Array.to_list (Symtab.to_array t.tab)

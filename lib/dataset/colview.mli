@@ -16,6 +16,12 @@ val of_rows : Row.t list -> t
 (** Column order is first-appearance order across the rows, matching
     {!Table.columns}. *)
 
+val append_rows : t -> Row.t list -> t
+(** A fresh view equal to [of_rows (rows_of t @ rows)]: existing
+    columns keep their ids, attributes first seen in [rows] take the
+    next ids in their own first-appearance order.  [t] is unchanged;
+    old column cells are shared. *)
+
 val n_rows : t -> int
 val n_attrs : t -> int
 

@@ -35,6 +35,11 @@ let numeric_item attr lo hi v =
     let blo = lo +. (width *. float_of_int idx) in
     bin_label attr blo (blo +. width)
 
+let item_of attr kind v =
+  match kind with
+  | Numeric (lo, hi) -> numeric_item attr lo hi v
+  | Text -> attr ^ "=" ^ v
+
 let items_of_table ?(numeric = true) table =
   let kinds = Hashtbl.create 64 in
   List.iter
@@ -44,8 +49,8 @@ let items_of_table ?(numeric = true) table =
     (Table.columns table);
   let item_of attr v =
     match Hashtbl.find_opt kinds attr with
-    | Some (Numeric (lo, hi)) -> numeric_item attr lo hi v
-    | Some Text | None -> attr ^ "=" ^ v
+    | Some kind -> item_of attr kind v
+    | None -> attr ^ "=" ^ v
   in
   let row_items =
     Array.of_list

@@ -77,6 +77,16 @@ let model_of_training ?(params = Rinfer.default_params) ?templates
     overflowed = false;
   }
 
+let model_of_finalized (f : Encore_rules.Suffstats.finalized) =
+  {
+    types = f.Encore_rules.Suffstats.f_types;
+    rules = f.f_rules;
+    value_stats = f.f_value_stats;
+    known_attrs = f.f_known_attrs;
+    training_count = f.f_training_count;
+    overflowed = f.f_overflowed;
+  }
+
 let learn ?params ?templates ?entropy_threshold ?pool images =
   Otrace.with_span "learn" (fun () ->
       let assembled =

@@ -56,6 +56,12 @@ val model_of_training :
   (Encore_sysenv.Image.t * Encore_dataset.Row.t) list -> model
 (** Same, from an already-assembled training set. *)
 
+val model_of_finalized : Encore_rules.Suffstats.finalized -> model
+(** Repackage a finalized sufficient-statistics model.  For any corpus,
+    [model_of_finalized (Suffstats.current (Suffstats.learner_of
+    (Suffstats.of_images imgs)))] equals [learn imgs] byte for byte —
+    the incremental learner's acceptance bar. *)
+
 type checks = Engine.checks = {
   check_names : bool;
   check_rules : bool;

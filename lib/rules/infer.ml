@@ -323,9 +323,11 @@ let build_value_cache bits view a ~zero parse =
         (Bitcol.index bits a);
       Some (vals, ok)
 
-let build_fast ~meta c =
+let build_fast ?bits ~meta c =
   let view = c.cols in
-  let bits = Bitcol.of_colview view in
+  let bits =
+    match bits with Some b -> b | None -> Bitcol.of_colview view
+  in
   let n_attrs = Encore_dataset.Colview.n_attrs view in
   let tru = Array.make n_attrs None
   and fls = Array.make n_attrs None
@@ -587,6 +589,107 @@ let emit_metrics ~candidates ~rej_support ~rej_confidence ~kept =
   Encore_obs.Metrics.incr ~by:rej_confidence
     (Encore_obs.Metrics.counter "rules.rejected_confidence");
   Encore_obs.Metrics.incr ~by:kept (Encore_obs.Metrics.counter "rules.kept")
+
+(* --- counts engine -------------------------------------------------------- *)
+
+(* The per-candidate arithmetic of {!infer}, exposed as a handle over a
+   prebuilt view/overlay so {!Suffstats} can maintain (applicable,
+   valid) counts as mergeable integers: candidates and verdicts are
+   regenerated from cached counts instead of re-scanning every row.
+   Every function here reuses the exact code paths of {!infer}, so a
+   verdict computed from counts equals the batch verdict bit for bit. *)
+type engine = { fast : fast }
+
+let engine_of ~types ~ctxs ~view ~bits =
+  let c = { cols = view; ctxs } in
+  let meta = meta_of ~types view in
+  { fast = build_fast ~bits ~meta c }
+
+let engine_instantiations eng template = instantiations_idx eng.fast.meta template
+let engine_attr eng i = eng.fast.meta.names.(i)
+
+let engine_counts eng (template, ia, ib) =
+  let co_present =
+    Bitset.inter_count
+      (Bitcol.presence eng.fast.bits ia)
+      (Bitcol.presence eng.fast.bits ib)
+  in
+  counts_fast eng.fast template ia ib ~co_present
+
+(* First index position whose row id is >= [x] (the arrays are
+   ascending), so tail scans skip the already-counted prefix. *)
+let lower_bound arr x =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let engine_counts_from eng ~from_row (template, ia, ib) =
+  let fast = eng.fast in
+  let ixa = Bitcol.index fast.bits ia and ixb = Bitcol.index fast.bits ib in
+  let sa = lower_bound ixa from_row and sb = lower_bound ixb from_row in
+  let la = Array.length ixa - sa and lb = Array.length ixb - sb in
+  if la = 0 || lb = 0 then (0, 0)
+  else begin
+    let ca = Encore_dataset.Colview.column fast.c.cols ia
+    and cb = Encore_dataset.Colview.column fast.c.cols ib in
+    let pa = Bitcol.presence fast.bits ia
+    and pb = Bitcol.presence fast.bits ib in
+    let applicable = ref 0 and valid = ref 0 in
+    let visit i =
+      match
+        Relation.eval template.Template.relation fast.c.ctxs.(i) ~a:ca.(i)
+          ~b:cb.(i)
+      with
+      | None -> ()
+      | Some true ->
+          incr applicable;
+          incr valid
+      | Some false -> incr applicable
+    in
+    if la <= lb then
+      for p = sa to Array.length ixa - 1 do
+        let i = ixa.(p) in
+        if Bitset.mem pb i then visit i
+      done
+    else
+      for p = sb to Array.length ixb - 1 do
+        let i = ixb.(p) in
+        if Bitset.mem pa i then visit i
+      done;
+    (!applicable, !valid)
+  end
+
+let engine_verdict eng ~params ~min_support (template, ia, ib) ~applicable
+    ~valid =
+  let relation = template.Template.relation in
+  let vacuous =
+    match antecedent_support_fast eng.fast relation ia with
+    | Some s -> s < min_support
+    | None -> false
+  in
+  (* [applicable <= co_present], so one comparison covers both of the
+     fast judge's support rejections *)
+  if vacuous || applicable < min_support then Rejected_support
+  else
+    let min_conf =
+      Option.value ~default:params.min_confidence template.Template.min_confidence
+    in
+    let confidence = float_of_int valid /. float_of_int applicable in
+    let lifts =
+      match consequent_base_rate_fast eng.fast relation ib with
+      | Some base -> confidence >= base +. min_lift_margin
+      | None -> true
+    in
+    if confidence >= min_conf && lifts then
+      Kept
+        { Template.template;
+          attr_a = eng.fast.meta.names.(ia);
+          attr_b = eng.fast.meta.names.(ib);
+          support = applicable; confidence }
+    else Rejected_confidence
 
 let candidates_of ~types ~templates attrs =
   List.concat_map

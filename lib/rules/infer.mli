@@ -31,6 +31,69 @@ val expand_polarities : Template.t list -> Template.t list
     template into its four (antecedent, consequent) polarity variants
     under the same template name. *)
 
+type verdict =
+  | Kept of Template.rule
+  | Rejected_support      (** applicable too rarely, or vacuous *)
+  | Rejected_confidence   (** confident too rarely, or no lift *)
+
+val sort_rules : Template.rule list -> Template.rule list
+(** The final rule order of {!infer}: confidence desc, then support
+    desc; stable. *)
+
+val min_support_of : params:params -> int -> int
+(** Minimum applicable count over a training set of the given size. *)
+
+val emit_metrics :
+  candidates:int -> rej_support:int -> rej_confidence:int -> kept:int -> unit
+(** Bump the [rules.*] counters, exactly as {!infer} does. *)
+
+(** {2 Counts engine}
+
+    The per-candidate arithmetic of {!infer} over a prebuilt columnar
+    view and bitset overlay, for callers (the sufficient-statistics
+    learner) that cache per-candidate [(applicable, valid)] counts and
+    re-derive verdicts without re-scanning the training rows.  Every
+    entry point reuses {!infer}'s own code paths, so verdicts computed
+    through the engine are byte-identical to the batch judge's. *)
+
+type engine
+
+val engine_of :
+  types:Encore_typing.Infer.env ->
+  ctxs:Relation.ctx array ->
+  view:Encore_dataset.Colview.t ->
+  bits:Encore_dataset.Bitcol.t ->
+  engine
+(** [ctxs], [view] and [bits] must cover the same rows in the same
+    order. *)
+
+val engine_instantiations :
+  engine -> Template.t -> (Template.t * int * int) list
+(** Candidates of one template over the engine's attributes, as
+    (template, attr-id, attr-id) in {!infer}'s generation order. *)
+
+val engine_attr : engine -> int -> string
+(** Attribute name of a column id. *)
+
+val engine_counts : engine -> Template.t * int * int -> int * int
+(** [(applicable, valid)] for a candidate over all rows — the fast
+    bitset path, without the support pruning (the counts themselves
+    decide support). *)
+
+val engine_counts_from :
+  engine -> from_row:int -> Template.t * int * int -> int * int
+(** [(applicable, valid)] restricted to rows [>= from_row]: the
+    incremental delta when rows are appended.  Counts are additive over
+    a row partition, so [engine_counts eng c = old_counts + delta] when
+    the engine extends an overlay whose counts were [old_counts]. *)
+
+val engine_verdict :
+  engine -> params:params -> min_support:int -> Template.t * int * int ->
+  applicable:int -> valid:int -> verdict
+(** The fate {!infer} would assign the candidate given its counts:
+    vacuity and lift are answered from the engine's per-attribute
+    caches, support and confidence from the supplied counts. *)
+
 val infer :
   ?params:params -> ?templates:Template.t list -> ?jobs:int ->
   ?pool:Encore_util.Pool.t -> ?view:Encore_dataset.Colview.t ->

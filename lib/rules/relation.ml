@@ -152,12 +152,27 @@ let exists_pair f xs ys =
   List.exists (fun x -> List.exists (fun y -> f x y) ys) xs
 
 let opt_all_pairs (f : string -> string -> bool option) xs ys =
-  (* None if any pair is inapplicable; Some conjunction otherwise *)
-  let results =
-    List.concat_map (fun x -> List.map (fun y -> f x y) ys) xs
-  in
-  if results = [] || List.exists (fun r -> r = None) results then None
-  else Some (List.for_all (fun r -> r = Some true) results)
+  (* None if any pair is inapplicable; Some conjunction otherwise.
+     One pass, no materialized pair-result list: this runs per row per
+     generic-fallback candidate, where the cons garbage was measurable
+     at fleet scale. *)
+  if xs = [] || ys = [] then None
+  else
+    let rec outer conj = function
+      | [] -> Some conj
+      | x :: xs' -> (
+          let rec inner conj = function
+            | [] -> Some conj
+            | y :: ys' -> (
+                match f x y with
+                | None -> None
+                | Some b -> inner (conj && b) ys')
+          in
+          match inner conj ys with
+          | None -> None
+          | Some conj -> outer conj xs')
+    in
+    outer true xs
 
 let eval rel ctx ~a ~b =
   if a = [] || b = [] then None
@@ -166,21 +181,18 @@ let eval rel ctx ~a ~b =
     | Eq_all -> Some (all_pairs String.equal a b)
     | Eq_exists -> Some (exists_pair String.equal a b)
     | Bool_implies (pa, pb) ->
-        let pairs =
-          List.concat_map
-            (fun x ->
-              List.map (fun y -> (truthy x, truthy y)) b)
-            a
-        in
-        if List.exists (fun (x, y) -> x = None || y = None) pairs then None
+        (* No |a|*|b| pair list: inapplicable when any instance fails to
+           parse as a boolean; otherwise ∀(x,y). x=pa ⇒ y=pb factors
+           into per-side for_alls because the pair predicate is a
+           disjunction of per-side predicates. *)
+        if
+          List.exists (fun x -> truthy x = None) a
+          || List.exists (fun y -> truthy y = None) b
+        then None
         else
           Some
-            (List.for_all
-               (fun (x, y) ->
-                 match (x, y) with
-                 | Some x, Some y -> (not (x = pa)) || y = pb
-                 | _ -> true)
-               pairs)
+            (List.for_all (fun x -> truthy x <> Some pa) a
+            || List.for_all (fun y -> truthy y = Some pb) b)
     | Subnet -> opt_all_pairs in_subnet a b
     | Concat_path ->
         Some

@@ -81,10 +81,38 @@ let scan t ~emit =
                   end)))
         names
 
+(* <name>.img: a full collector image dump dropped into the watched
+   directory — the continuous-learning feed.  Shares the signature
+   table with config files (the suffixes keep the namespaces
+   disjoint), so the two polls never disturb each other. *)
+let scan_images t ~emit =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.sort compare names;
+      Array.iter
+        (fun name ->
+          if Filename.check_suffix name ".img" then
+            let path = Filename.concat t.dir name in
+            match signature path with
+            | None -> Hashtbl.remove t.seen name
+            | Some s ->
+                let changed =
+                  match Hashtbl.find_opt t.seen name with
+                  | Some old -> old.mtime <> s.mtime || old.size <> s.size
+                  | None -> true
+                in
+                if changed then begin
+                  Hashtbl.replace t.seen name s;
+                  emit path
+                end)
+        names
+
 let create ~dir =
   let t = { dir; seen = Hashtbl.create 16 } in
   (* baseline: existing files are current state, not deltas *)
   scan t ~emit:(fun _ -> ());
+  scan_images t ~emit:(fun _ -> ());
   t
 
 let poll t =
@@ -92,7 +120,21 @@ let poll t =
   scan t ~emit:(fun d -> acc := d :: !acc);
   List.rev !acc
 
+let poll_images t =
+  let acc = ref [] in
+  scan_images t ~emit:(fun p -> acc := p :: !acc);
+  List.rev !acc
+
 let dir t = t.dir
+
+let learn_request path =
+  Encore_obs.Jsonenc.to_string
+    (Encore_obs.Jsonenc.Obj
+       [
+         ("op", Encore_obs.Jsonenc.Str "learn-append");
+         ("id", Encore_obs.Jsonenc.Str ("fswatch:" ^ Filename.basename path));
+         ("path", Encore_obs.Jsonenc.Str path);
+       ])
 
 let watch_request d =
   Encore_obs.Jsonenc.to_string

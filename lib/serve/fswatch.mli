@@ -30,8 +30,19 @@ val poll : t -> delta list
     order.  Never raises: unreadable files and a vanished directory
     yield no deltas. *)
 
+val poll_images : t -> string list
+(** New or changed [<name>.img] collector image dumps since the
+    previous poll, as paths in file-name order — the
+    continuous-learning feed.  Shares {!create}'s baseline (dumps
+    present at startup are not replayed) and the change detection of
+    {!poll}; the two polls are independent. *)
+
 val dir : t -> string
 
 val watch_request : delta -> string
 (** The delta as a serve-protocol [watch] request line, correlation id
     [fswatch:<image-id>]. *)
+
+val learn_request : string -> string
+(** An image-dump path as a serve-protocol [learn-append] request
+    line, correlation id [fswatch:<basename>]. *)

@@ -9,6 +9,7 @@ type metrics_format = Prometheus | Json_body
 
 type request =
   | Check of { id : string option; source : check_source }
+  | Learn_append of { id : string option; source : check_source }
   | Watch of {
       id : string option;
       image_id : string;
@@ -24,6 +25,7 @@ type request =
 
 let request_op = function
   | Check _ -> "check"
+  | Learn_append _ -> "learn-append"
   | Watch _ -> "watch"
   | Reload _ -> "reload"
   | Status _ -> "status"
@@ -34,6 +36,7 @@ let request_op = function
 
 let request_id = function
   | Check { id; _ }
+  | Learn_append { id; _ }
   | Watch { id; _ }
   | Reload { id }
   | Status { id }
@@ -45,8 +48,8 @@ let request_id = function
 
 let ops =
   [
-    "check"; "watch"; "reload"; "status"; "metrics"; "health"; "shutdown";
-    "crash";
+    "check"; "learn-append"; "watch"; "reload"; "status"; "metrics"; "health";
+    "shutdown"; "crash";
   ]
 
 let subject = "serve"
@@ -67,6 +70,14 @@ let parse line =
           | None, Some path -> Ok (Check { id; source = Path path })
           | Some _, Some _ -> bad "check: give 'image' or 'path', not both"
           | None, None -> bad "check: missing 'image' (inline dump) or 'path'")
+      | Some "learn-append" -> (
+          match (str "image", str "path") with
+          | Some text, None -> Ok (Learn_append { id; source = Inline text })
+          | None, Some path -> Ok (Learn_append { id; source = Path path })
+          | Some _, Some _ ->
+              bad "learn-append: give 'image' or 'path', not both"
+          | None, None ->
+              bad "learn-append: missing 'image' (inline dump) or 'path'")
       | Some "watch" -> (
           match (str "image", str "app", str "config") with
           | Some image_id, Some app, Some config ->

@@ -8,6 +8,10 @@
     Request shapes:
     - [{"op":"check","image":<dump>}] or [{"op":"check","path":<file>}]
       — check one collector image dump, inline or on disk;
+    - [{"op":"learn-append","image":<dump>}] or
+      [{"op":"learn-append","path":<file>}] — fold one observed image
+      into the daemon's learning statistics (continuous learning) and
+      adopt the refreshed model via the shadow-validated reload;
     - [{"op":"watch","image":<id>,"app":<app>,"config":<text>}] —
       replace one app's config text on a previously checked image and
       re-check incrementally;
@@ -34,6 +38,10 @@ type metrics_format = Prometheus | Json_body
 
 type request =
   | Check of { id : string option; source : check_source }
+  | Learn_append of { id : string option; source : check_source }
+      (** fold one observed image into the daemon's learning statistics
+          and adopt the refreshed model through the shadow-validated
+          reload path *)
   | Watch of {
       id : string option;
       image_id : string;

@@ -64,6 +64,10 @@ type queue_item = {
 type t = {
   config : config;
   cache : Cache.t;
+  learner : (Image.t -> (string, string) result) option;
+      (* continuous-learning hook: fold one observed image into the
+         resident sufficient statistics and refresh the model behind
+         the cache's provider; [Ok note] describes the fold *)
   queue : queue_item Queue.t;
   journal : Journal.t option;
   recent_checks : string Ring.t;
@@ -85,6 +89,7 @@ type t = {
   mutable denied : int;
   mutable reloads : int;
   mutable reload_rollbacks : int;
+  mutable learned : int;
   mutable replayed : int;
   mutable reload_requested : bool;
       (* set by a SIGHUP handler; step picks it up before queue work *)
@@ -105,6 +110,7 @@ let m_partial = Ometrics.counter "serve.partial"
 let m_watch_delta = Ometrics.counter "serve.watch_delta"
 let m_watch_full = Ometrics.counter "serve.watch_full"
 let m_reloads = Ometrics.counter "serve.reloads"
+let m_learned = Ometrics.counter "serve.learn_appended"
 let m_reload_rollbacks = Ometrics.counter "serve.reload_rollbacks"
 let m_journal_replayed = Ometrics.counter "serve.journal_replayed"
 let m_queue_depth = Ometrics.gauge "serve.queue_depth"
@@ -129,7 +135,7 @@ let sampled_gauges t () =
     ("serve.sampled.sessions", float_of_int (Hashtbl.length t.sessions));
   ]
 
-let create ?(config = default_config) ?journal cache =
+let create ?(config = default_config) ?journal ?learner cache =
   (* the sampler's gauge provider needs the server it belongs to; tie
      the knot through a cell instead of a mutable field *)
   let gauges_src = ref (fun () -> []) in
@@ -137,6 +143,7 @@ let create ?(config = default_config) ?journal cache =
     {
       config;
       cache;
+      learner;
       queue = Queue.create ();
       journal;
       recent_checks = Ring.create ~capacity:config.reload_shadow_k;
@@ -155,6 +162,7 @@ let create ?(config = default_config) ?journal cache =
       denied = 0;
       reloads = 0;
       reload_rollbacks = 0;
+      learned = 0;
       replayed = 0;
       reload_requested = false;
       trace_seq = 0;
@@ -464,6 +472,65 @@ let do_reload t ?id () =
               (List.map (fun a -> Json.Str a) (Cache.cached_apps t.cache)) );
         ]
 
+(* Continuous learning: fold the observed image into the resident
+   statistics through the attached hook, then adopt the refreshed
+   model through the same shadow-validated reload as the reload verb —
+   a refresh that fails validation is rolled back (generation
+   unchanged) while the statistics keep the image for the next
+   attempt.  Durability comes from the statistics store the hook
+   persists to, not the request journal. *)
+let do_learn_append t ?id source =
+  let op = "learn-append" in
+  let text =
+    match source with
+    | Proto.Inline text -> Ok text
+    | Proto.Path path -> read_dump t path
+  in
+  match text with
+  | Error d -> Proto.error_response ?id ~op d
+  | Ok text -> (
+      match Collector.image_of_text text with
+      | Error msg ->
+          Proto.error_response ?id ~op
+            (Res.diag Res.Parse_error ~subject ("bad image dump: " ^ msg))
+      | Ok img -> (
+          match
+            List.concat_map
+              (fun (c : Image.config_file) ->
+                Res.scan_text ~subject:c.Image.path c.Image.text)
+              img.Image.configs
+          with
+          | d :: _ -> Proto.error_response ?id ~op d
+          | [] -> (
+              match t.learner with
+              | None ->
+                  Proto.error_response ?id ~op
+                    (Res.diag Res.Custom_rule_error ~subject
+                       "no learner attached: the daemon was started without \
+                        learning statistics")
+              | Some learn -> (
+                  match learn img with
+                  | Error msg ->
+                      Proto.error_response ?id ~op
+                        (Res.diag Res.Custom_rule_error ~subject msg)
+                  | Ok note ->
+                      t.learned <- t.learned + 1;
+                      Ometrics.incr m_learned;
+                      let reload = do_reload t ?id:None () in
+                      let adopted =
+                        match reload with
+                        | Json.Obj fields ->
+                            List.assoc_opt "ok" fields = Some (Json.Bool true)
+                        | _ -> false
+                      in
+                      Proto.ok_response ?id ~op
+                        [
+                          ("image", Json.Str img.Image.image_id);
+                          ("trained", Json.Str note);
+                          ("adopted", Json.Bool adopted);
+                          ("reload", reload);
+                        ]))))
+
 let do_status t ?id () =
   Proto.ok_response ?id ~op:"status"
     [
@@ -476,6 +543,7 @@ let do_status t ?id () =
       ("denied", Json.Int t.denied);
       ("reloads", Json.Int t.reloads);
       ("reload_rollbacks", Json.Int t.reload_rollbacks);
+      ("learned", Json.Int t.learned);
       ("replayed", Json.Int t.replayed);
       ("journal", Json.Bool (t.journal <> None));
       ("sessions", Json.Int (Hashtbl.length t.sessions));
@@ -589,7 +657,7 @@ let dispatch t ~trace req =
   | Proto.Shutdown { id } ->
       request_shutdown t;
       Proto.ok_response ?id ~op:"shutdown" [ ("draining", Json.Bool true) ]
-  | Proto.Check _ | Proto.Watch _ | Proto.Crash _ ->
+  | Proto.Check _ | Proto.Learn_append _ | Proto.Watch _ | Proto.Crash _ ->
       let op = Proto.request_op req in
       if not (Res.allow t.breaker ~subject:worker_subject) then begin
         t.denied <- t.denied + 1;
@@ -614,6 +682,8 @@ let dispatch t ~trace req =
             (fun () ->
               match req with
               | Proto.Check { id; source } -> do_check t ?id source
+              | Proto.Learn_append { id; source } ->
+                  do_learn_append t ?id source
               | Proto.Watch { id; image_id; app; config } ->
                   do_watch t ?id ~image_id ~app ~config_text:config ()
               | Proto.Crash _ -> raise Injected_crash
@@ -649,6 +719,11 @@ let dispatch t ~trace req =
 let journalable req =
   match req with
   | Proto.Check _ | Proto.Watch _ | Proto.Crash _ -> true
+  | Proto.Learn_append _ ->
+      (* durable through the statistics store its hook persists to;
+         replaying it against recovered statistics would double-count
+         the image *)
+      false
   | Proto.Reload _ | Proto.Status _ | Proto.Metrics _ | Proto.Health _
   | Proto.Shutdown _ ->
       false

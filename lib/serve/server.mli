@@ -84,11 +84,25 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> ?journal:Journal.t -> Cache.t -> t
+val create :
+  ?config:config ->
+  ?journal:Journal.t ->
+  ?learner:(Encore_sysenv.Image.t -> (string, string) result) ->
+  Cache.t ->
+  t
 (** With [journal], every admitted worker request (check / watch /
     crash) is appended and fsynced before queueing and marked complete
     after its response is produced — the write-ahead log {!replay}
-    recovers from after a crash. *)
+    recovers from after a crash.
+
+    [learner] enables the [learn-append] verb: it folds one observed
+    image into the daemon's resident learning statistics (persisting
+    them and refreshing whatever the cache's provider reads), returns
+    [Ok note] describing the fold, and the server then adopts the
+    refreshed model through the shadow-validated reload path.
+    Learn-append requests are never journaled — their durability is
+    the statistics store the hook writes, and replaying one against
+    recovered statistics would double-count the image. *)
 
 val offer : t -> string -> Encore_obs.Jsonenc.t list
 (** Admit one raw request line.  [[]] when queued (or ignored: blank

@@ -126,31 +126,35 @@ let restore_fs records =
     Fs.empty records
 
 let restore_accounts records =
+  (* groups first: [Accounts.add_user] invents a group when the user's
+     gid has none yet, so replaying users before the dumped groups
+     would materialize groups the serialized image never had and break
+     the to_text/of_text round trip *)
   let accounts =
     List.fold_left
       (fun acc r ->
-        if r.section <> "Acct.User" then acc
+        if r.section <> "Acct.Group" then acc
         else
           match r.fields with
-          | [ uid; gid; home; shell ] -> (
-              match (int_of_string_opt uid, int_of_string_opt gid) with
-              | Some uid, Some gid ->
-                  Accounts.add_user acc { Accounts.name = r.key; uid; gid; home; shell }
-              | _ -> acc)
-          | _ -> acc)
+          | gid :: members -> (
+              match int_of_string_opt gid with
+              | Some ggid ->
+                  Accounts.add_group acc { Accounts.gname = r.key; ggid; members }
+              | None -> acc)
+          | [] -> acc)
       Accounts.empty records
   in
   List.fold_left
     (fun acc r ->
-      if r.section <> "Acct.Group" then acc
+      if r.section <> "Acct.User" then acc
       else
         match r.fields with
-        | gid :: members -> (
-            match int_of_string_opt gid with
-            | Some ggid ->
-                Accounts.add_group acc { Accounts.gname = r.key; ggid; members }
-            | None -> acc)
-        | [] -> acc)
+        | [ uid; gid; home; shell ] -> (
+            match (int_of_string_opt uid, int_of_string_opt gid) with
+            | Some uid, Some gid ->
+                Accounts.add_user acc { Accounts.name = r.key; uid; gid; home; shell }
+            | _ -> acc)
+        | _ -> acc)
     accounts records
 
 let restore_services records =

@@ -15,31 +15,64 @@ let specificity t =
   | Ctype.String_t -> 101
   | _ -> idx 0 Syntactic.candidate_order
 
-let infer_column ?(min_agreement = 0.8) ?hint samples =
-  let n = List.length samples in
+(* --- mergeable per-column tally ------------------------------------------- *)
+
+(* How many (image, value) samples verified each candidate type, in
+   first-verification order.  This is the sufficient statistic of type
+   inference: it is additive across corpus partitions ([tally_merge]),
+   and {!decide} is a pure function of (tally, sample count) — the
+   incremental and sharded learners maintain tallies per column and
+   reach the exact decisions the batch scan makes.  Tallies are tiny
+   (bounded by the candidate-type universe), so assoc lists beat
+   hashing here. *)
+type tally = (Ctype.t * int) list
+
+let tally_empty : tally = []
+
+let tally_add tally img value =
+  List.fold_left
+    (fun tally t ->
+      if Semantic.verify img t value then begin
+        let rec bump = function
+          | [] -> [ (t, 1) ]
+          | (t', c) :: rest ->
+              if Ctype.equal t' t then (t', c + 1) :: rest
+              else (t', c) :: bump rest
+        in
+        bump tally
+      end
+      else tally)
+    tally
+    (Syntactic.candidates value)
+
+let tally_of_samples samples =
+  List.fold_left (fun tally (img, value) -> tally_add tally img value)
+    tally_empty samples
+
+(* Left order wins; unseen right keys append in their own order — the
+   exact key order a single scan of the concatenated sample streams
+   produces, which makes the merge associative. *)
+let tally_merge a b =
+  let bump tally (t, cb) =
+    let rec go = function
+      | [] -> [ (t, cb) ]
+      | (t', c) :: rest ->
+          if Ctype.equal t' t then (t', c + cb) :: rest else (t', c) :: go rest
+    in
+    go tally
+  in
+  List.fold_left bump a b
+
+let decide ?(min_agreement = 0.8) ?hint ~samples:n tally =
   if n = 0 then { ctype = Ctype.String_t; agreement = 1.0; samples = 0 }
   else begin
-    (* Count, for every candidate type, how many samples verify it. *)
-    let tally = Hashtbl.create 8 in
-    List.iter
-      (fun (img, value) ->
-        List.iter
-          (fun t ->
-            if Semantic.verify img t value then
-              let key = Ctype.to_string t in
-              Hashtbl.replace tally key
-                (match Hashtbl.find_opt tally key with
-                 | None -> (t, 1)
-                 | Some (_, c) -> (t, c + 1)))
-          (Syntactic.candidates value))
-      samples;
     let nf = float_of_int n in
     let qualified =
-      Hashtbl.fold
-        (fun _ (t, c) acc ->
+      List.fold_left
+        (fun acc (t, c) ->
           let agreement = float_of_int c /. nf in
           if agreement >= min_agreement then (t, agreement) :: acc else acc)
-        tally []
+        [] tally
     in
     match
       List.sort
@@ -61,7 +94,37 @@ let infer_column ?(min_agreement = 0.8) ?hint samples =
         | None -> { ctype = t; agreement; samples = n })
   end
 
-let infer ?(min_agreement = 0.8) ?(enum_max_cardinality = 4) rows =
+let infer_column ?min_agreement ?hint samples =
+  let n = List.length samples in
+  if n = 0 then { ctype = Ctype.String_t; agreement = 1.0; samples = 0 }
+  else decide ?min_agreement ?hint ~samples:n (tally_of_samples samples)
+
+(* name-based hints resolve ambiguities the value alone cannot
+   (a user and its primary group usually share one name) *)
+let hint_of attr =
+  let base =
+    Encore_util.Strutil.lowercase_ascii
+      (match Encore_util.Strutil.split_on '/' attr with
+       | [] -> attr
+       | parts -> List.nth parts (List.length parts - 1))
+  in
+  if Encore_util.Strutil.contains_sub base "group" then Some Ctype.Group_name
+  else if Encore_util.Strutil.contains_sub base "user" then Some Ctype.User_name
+  else None
+
+(* Low-cardinality string columns are enums of their observed values.
+   [distinct] is the exact distinct-value set when the caller knows it
+   ([None] = known to exceed the cardinality bound, keep the string
+   type). *)
+let refine_enum ?(enum_max_cardinality = 4) ~distinct decision =
+  if Ctype.equal decision.ctype Ctype.String_t && decision.samples >= 5 then
+    match distinct with
+    | Some values when List.length values <= enum_max_cardinality ->
+        { decision with ctype = Ctype.Enum (List.sort compare values) }
+    | _ -> decision
+  else decision
+
+let infer ?min_agreement ?enum_max_cardinality rows =
   (* Pivot: attribute -> [(image, value); ...] *)
   let columns = Hashtbl.create 64 in
   let order = ref [] in
@@ -76,32 +139,14 @@ let infer ?(min_agreement = 0.8) ?(enum_max_cardinality = 4) rows =
            | Some existing -> Hashtbl.replace columns attr ((img, value) :: existing)))
         kvs)
     rows;
-  (* name-based hints resolve ambiguities the value alone cannot
-     (a user and its primary group usually share one name) *)
-  let hint_of attr =
-    let base =
-      Encore_util.Strutil.lowercase_ascii
-        (match Encore_util.Strutil.split_on '/' attr with
-         | [] -> attr
-         | parts -> List.nth parts (List.length parts - 1))
-    in
-    if Encore_util.Strutil.contains_sub base "group" then Some Ctype.Group_name
-    else if Encore_util.Strutil.contains_sub base "user" then Some Ctype.User_name
-    else None
-  in
   List.rev_map
     (fun attr ->
       let samples = List.rev (Hashtbl.find columns attr) in
-      let decision = infer_column ~min_agreement ?hint:(hint_of attr) samples in
+      let decision = infer_column ?min_agreement ?hint:(hint_of attr) samples in
       let decision =
-        if Ctype.equal decision.ctype Ctype.String_t && decision.samples >= 5
-        then
-          let values = List.map snd samples in
-          let distinct = Encore_util.Stats.distinct values in
-          if List.length distinct <= enum_max_cardinality then
-            { decision with ctype = Ctype.Enum (List.sort compare distinct) }
-          else decision
-        else decision
+        refine_enum ?enum_max_cardinality
+          ~distinct:(Some (Encore_util.Stats.distinct (List.map snd samples)))
+          decision
       in
       (attr, decision))
     !order

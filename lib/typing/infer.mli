@@ -16,6 +16,40 @@ type decision = {
 type env = (string * decision) list
 (** Attribute name -> inferred type. *)
 
+type tally = (Ctype.t * int) list
+(** How many samples of a column verified each candidate type, in
+    first-verification order.  The sufficient statistic of type
+    inference: additive across corpus partitions, and {!decide} turns a
+    (tally, sample count) pair into the exact decision a batch scan of
+    the concatenated samples would make. *)
+
+val tally_empty : tally
+
+val tally_add : tally -> Encore_sysenv.Image.t -> string -> tally
+(** Fold one (image context, value) sample into the tally. *)
+
+val tally_of_samples : (Encore_sysenv.Image.t * string) list -> tally
+
+val tally_merge : tally -> tally -> tally
+(** Associative; [tally_merge a b] equals the tally of a's sample
+    stream followed by b's. *)
+
+val decide :
+  ?min_agreement:float -> ?hint:Ctype.t -> samples:int -> tally -> decision
+(** The decision rule of {!infer_column}, as a pure function of the
+    tally and the column's sample count. *)
+
+val hint_of : string -> Ctype.t option
+(** Name-based UserName/GroupName hint from the attribute's last
+    path segment ({!infer} applies this per column). *)
+
+val refine_enum :
+  ?enum_max_cardinality:int -> distinct:string list option -> decision -> decision
+(** The [Enum] promotion rule of {!infer}: a [String_t] decision over
+    at least 5 samples becomes [Enum (sorted distinct)] when the exact
+    distinct-value set is known ([Some]) and within the cardinality
+    bound.  [None] means the set is known to exceed the bound. *)
+
 val infer_column :
   ?min_agreement:float -> ?hint:Ctype.t ->
   (Encore_sysenv.Image.t * string) list -> decision

@@ -3,6 +3,7 @@ let g_busy = Encore_obs.Metrics.gauge "pool.domains_busy"
 
 type t = {
   n_jobs : int;
+  chunk : int;  (* chunks per worker for one map/map_reduce round *)
   queue : (unit -> unit) Queue.t;  (* tasks never raise: wrappers catch *)
   mutex : Mutex.t;
   nonempty : Condition.t;
@@ -14,6 +15,7 @@ type t = {
 }
 
 let jobs t = t.n_jobs
+let chunk t = t.chunk
 
 let rec record_high_water t busy_now =
   let hw = Atomic.get t.high_water in
@@ -42,7 +44,11 @@ let rec worker_loop t =
       ignore (Atomic.fetch_and_add t.busy (-1));
       worker_loop t
 
-let create ~jobs =
+(* A few chunks per worker balances the load when item costs are
+   skewed, without paying queue synchronization per item. *)
+let default_chunk_factor = 4
+
+let create ?(chunk = default_chunk_factor) ~jobs () =
   (* Never run more worker domains than the hardware can schedule:
      OCaml domains are heavyweight, and oversubscribing cores makes
      every pool operation slower than running inline.  A request for
@@ -51,6 +57,7 @@ let create ~jobs =
   let t =
     {
       n_jobs = max 1 (min jobs (Domain.recommended_domain_count ()));
+      chunk = max 1 chunk;
       queue = Queue.create ();
       mutex = Mutex.create ();
       nonempty = Condition.create ();
@@ -78,8 +85,8 @@ let shutdown t =
   in
   List.iter Domain.join workers
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
+let with_pool ?chunk ~jobs f =
+  let t = create ?chunk ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Cooperative cancellation: while [f] runs, every item processed by
@@ -99,10 +106,6 @@ let poll_deadline t =
   match Atomic.get t.deadline with
   | None -> ()
   | Some d -> Deadline.raise_if_expired d
-
-(* A few chunks per worker balances the load when item costs are
-   skewed, without paying queue synchronization per item. *)
-let chunk_factor = 4
 
 (* Boundaries of [n_chunks] near-equal slices of [0, n). *)
 let chunk_bounds n n_chunks =
@@ -161,7 +164,7 @@ let map t f xs =
              | exception e -> Error (e, Printexc.get_raw_backtrace ()))
       done
     in
-    let bounds = chunk_bounds n (min n (t.n_jobs * chunk_factor)) in
+    let bounds = chunk_bounds n (min n (t.n_jobs * t.chunk)) in
     submit_and_wait t (List.map chunk bounds);
     Array.to_list results
     |> List.map (function
@@ -183,7 +186,7 @@ let rec take n xs =
 
 let map_batched t ~deadline ?batch ?yield f xs =
   let batch_size =
-    match batch with Some b -> max 1 b | None -> max 1 (t.n_jobs * chunk_factor)
+    match batch with Some b -> max 1 b | None -> max 1 (t.n_jobs * t.chunk)
   in
   let emit rs = match yield with None -> () | Some y -> y rs in
   let rec go acc xs =
@@ -212,7 +215,7 @@ let map_reduce t ~map:fm ~reduce ~init xs =
   else begin
     let items = Array.of_list xs in
     let n = Array.length items in
-    let n_chunks = min n (t.n_jobs * chunk_factor) in
+    let n_chunks = min n (t.n_jobs * t.chunk) in
     let accs = Array.make n_chunks None in
     let chunk idx (lo, hi) () =
       accs.(idx) <-

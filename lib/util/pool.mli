@@ -27,21 +27,31 @@
 
 type t
 
-val create : jobs:int -> t
+val create : ?chunk:int -> jobs:int -> unit -> t
 (** Spawn the workers.  [jobs <= 1] spawns none (inline execution).
     The worker count is capped at [Domain.recommended_domain_count ()]:
     oversubscribing cores only adds contention, so a request for more
     workers than the hardware can schedule degrades gracefully — down
     to inline execution on a single-core host.  Results never depend
-    on the effective worker count. *)
+    on the effective worker count.
+
+    [chunk] is the number of chunks each worker gets per {!map} /
+    {!map_reduce} round (default 4, clamped to >= 1).  Small values
+    amortize queue synchronization and GC safepoint traffic — the right
+    call on few-core hosts where the fan-out is sync-bound; larger
+    values rebalance skewed item costs.  Chunking never changes
+    results, only scheduling. *)
 
 val jobs : t -> int
+
+val chunk : t -> int
+(** The per-worker chunk factor this pool was created with. *)
 
 val shutdown : t -> unit
 (** Drain and join the workers.  Idempotent; the pool runs inline
     afterwards. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?chunk:int -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run, then {!shutdown} — even on exceptions. *)
 
 val with_deadline : t -> Deadline.t -> (unit -> 'a) -> 'a

@@ -155,6 +155,27 @@ let read ~kind path =
                    { path; offset = 0;
                      detail = "malformed snapshot header line" })))
 
+(* --- typed payload framing ------------------------------------------------ *)
+
+let frame ~schema payload = schema ^ "\n" ^ payload
+
+let unframe ~schema ~path payload =
+  match String.index_opt payload '\n' with
+  | Some nl when String.sub payload 0 nl = schema ->
+      Ok (String.sub payload (nl + 1) (String.length payload - nl - 1))
+  | Some nl ->
+      Error
+        (Version_mismatch
+           { path; found = String.sub payload 0 nl; expected = schema })
+  | None ->
+      Error
+        (Version_mismatch
+           { path;
+             found =
+               (if payload = "" then "(empty payload)"
+                else String.sub payload 0 (min 40 (String.length payload)));
+             expected = schema })
+
 (* --- versioned store ----------------------------------------------------- *)
 
 module Store = struct

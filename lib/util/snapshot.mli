@@ -56,6 +56,16 @@ val read : kind:string -> string -> (string, error) result
 (** Verify header, length and checksum; return the payload.  Never
     raises. *)
 
+val frame : schema:string -> string -> string
+(** Prefix a typed payload with its own schema line, inside the
+    snapshot envelope: the snapshot layer authenticates bytes, the
+    schema line versions their interpretation (the model and
+    sufficient-statistics envelopes both use this). *)
+
+val unframe : schema:string -> path:string -> string -> (string, error) result
+(** Strip and check the schema line; [Version_mismatch] when it is not
+    exactly [schema].  [path] only labels the error. *)
+
 module Store : sig
   type t
 

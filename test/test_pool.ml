@@ -70,7 +70,7 @@ let test_reuse_across_calls () =
   done
 
 let test_shutdown_idempotent_then_inline () =
-  let p = Pool.create ~jobs:4 in
+  let p = Pool.create ~jobs:4 () in
   check ints "before shutdown" [ 1; 2 ] (Pool.map p succ [ 0; 1 ]);
   Pool.shutdown p;
   Pool.shutdown p;

@@ -393,6 +393,54 @@ let test_server_check_roundtrip () =
     (expect_items (Engine.check eng img))
     (items_str r)
 
+let learn_line ?id img =
+  let id = match id with Some i -> [ ("id", Json.Str i) ] | None -> [] in
+  line
+    (("op", Json.Str "learn-append")
+    :: id
+    @ [ ("image", Json.Str (Collector.image_to_text img)) ])
+
+let test_server_learn_append_folds_and_adopts () =
+  let taught = ref [] in
+  let hook (img : Image.t) =
+    taught := img.Image.image_id :: !taught;
+    Ok ("folded " ^ img.Image.image_id)
+  in
+  let srv =
+    Server.create ~learner:hook
+      (Cache.create ~provider:(fun ~app:_ -> Ok (Lazy.force model)))
+  in
+  let r = ask srv (learn_line ~id:"l1" (target 917 "srv-learn")) in
+  check Alcotest.bool "ok" true (is_ok r);
+  check Alcotest.(option string) "op" (Some "learn-append") (str_field "op" r);
+  check Alcotest.(option string) "image" (Some "srv-learn")
+    (str_field "image" r);
+  check Alcotest.(option string) "hook's note" (Some "folded srv-learn")
+    (str_field "trained" r);
+  check Alcotest.(option bool) "refreshed model adopted" (Some true)
+    (bool_field "adopted" r);
+  check Alcotest.(list string) "hook saw the image" [ "srv-learn" ] !taught;
+  (* the daemon keeps serving checks afterwards *)
+  let r2 = ask srv (check_line ~id:"after" (target 918 "after-learn")) in
+  check Alcotest.bool "still serving" true (is_ok r2)
+
+let test_server_learn_append_hook_failure_is_typed () =
+  let srv =
+    Server.create ~learner:(fun _ -> Error "statistics store unwritable")
+      (Cache.create ~provider:(fun ~app:_ -> Ok (Lazy.force model)))
+  in
+  let r = ask srv (learn_line ~id:"l2" (target 919 "srv-learn-fail")) in
+  check Alcotest.bool "not ok" true (not (is_ok r));
+  check Alcotest.(option string) "typed error" (Some "custom-rule-error")
+    (str_field "error" r)
+
+let test_server_learn_append_without_learner () =
+  let srv = make_server () in
+  let r = ask srv (learn_line ~id:"l3" (target 920 "srv-nolearner")) in
+  check Alcotest.bool "not ok" true (not (is_ok r));
+  check Alcotest.(option string) "typed error" (Some "custom-rule-error")
+    (str_field "error" r)
+
 let test_server_malformed_gets_typed_error () =
   let srv = make_server () in
   let r = ask srv "{\"op\":\"check\",\"image\":" in
@@ -833,6 +881,12 @@ let () =
       ( "server",
         [
           Alcotest.test_case "check roundtrip" `Quick test_server_check_roundtrip;
+          Alcotest.test_case "learn-append folds and adopts" `Quick
+            test_server_learn_append_folds_and_adopts;
+          Alcotest.test_case "learn-append hook failure typed" `Quick
+            test_server_learn_append_hook_failure_is_typed;
+          Alcotest.test_case "learn-append without learner" `Quick
+            test_server_learn_append_without_learner;
           Alcotest.test_case "malformed typed error" `Quick
             test_server_malformed_gets_typed_error;
           Alcotest.test_case "oversize rejected unqueued" `Quick
